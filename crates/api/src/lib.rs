@@ -1,0 +1,26 @@
+#![warn(missing_docs)]
+//! # exdra-api
+//!
+//! The lazy-evaluation front-end API of the ExDRa reproduction — the
+//! analogue of SystemDS' Python API (paper §3.2): users create matrices
+//! from local data or federated configurations, compose operations into a
+//! DAG, and call `compute()`, which generates a script via depth-first DAG
+//! traversal (inspect it with `explain()`), executes it on the runtime,
+//! and returns a local result.
+//!
+//! ```no_run
+//! use exdra_api::Session;
+//! # fn main() -> exdra_core::Result<()> {
+//! let sds = Session::connect(&["site1:8001".into(), "site2:8002".into()])?;
+//! let features = sds.read_federated_csv(&[("x1.csv".into(), 40_000), ("x2.csv".into(), 60_000)], 70)?;
+//! let normalized = features.sub(&features.col_means()?)?;
+//! let result = normalized.tsmm()?.compute()?;
+//! # let _ = result; Ok(())
+//! # }
+//! ```
+
+pub mod dag;
+pub mod session;
+
+pub use dag::Lazy;
+pub use session::Session;

@@ -1,0 +1,171 @@
+//! Sessions: the entry point mirroring `SystemDSContext` of the Python API.
+//!
+//! A session is either *local* (no federation; everything executes
+//! in-memory at the coordinator) or *connected* to standing federated
+//! workers, in which case `federated(...)`/`read_federated_csv(...)`
+//! produce lazily-evaluated federated matrices — the
+//! `Federated(sds, [node1, node2], ...)` constructor of paper §3.2.
+
+use std::sync::Arc;
+
+use exdra_core::coordinator::WorkerEndpoint;
+use exdra_core::fed::prep::FedFrame;
+use exdra_core::fed::FedMatrix;
+use exdra_core::protocol::ReadFormat;
+use exdra_core::{FedContext, PrivacyLevel, Result, RuntimeError};
+use exdra_matrix::{DenseMatrix, Frame};
+
+use crate::dag::Lazy;
+
+/// A user session against a (possibly federated) runtime.
+pub struct Session {
+    ctx: Option<Arc<FedContext>>,
+    privacy: PrivacyLevel,
+}
+
+impl Session {
+    /// Local session: no federated workers.
+    pub fn local() -> Self {
+        Self {
+            ctx: None,
+            privacy: PrivacyLevel::Public,
+        }
+    }
+
+    /// Connects to standing federated workers by address.
+    pub fn connect(addresses: &[String]) -> Result<Self> {
+        let endpoints: Vec<WorkerEndpoint> = addresses
+            .iter()
+            .map(|a| WorkerEndpoint::tcp(a.clone()))
+            .collect();
+        Ok(Self {
+            ctx: Some(FedContext::connect(&endpoints)?),
+            privacy: PrivacyLevel::Public,
+        })
+    }
+
+    /// Session over an existing context (in-process federations, custom
+    /// transports).
+    pub fn with_context(ctx: Arc<FedContext>) -> Self {
+        Self {
+            ctx: Some(ctx),
+            privacy: PrivacyLevel::Public,
+        }
+    }
+
+    /// Sets the privacy constraint attached to federated data created by
+    /// this session.
+    pub fn with_privacy(mut self, privacy: PrivacyLevel) -> Self {
+        self.privacy = privacy;
+        self
+    }
+
+    /// The federated context, if connected.
+    pub fn ctx(&self) -> Option<&Arc<FedContext>> {
+        self.ctx.as_ref()
+    }
+
+    fn require_ctx(&self) -> Result<&Arc<FedContext>> {
+        self.ctx
+            .as_ref()
+            .ok_or_else(|| RuntimeError::Invalid("session is not connected to workers".into()))
+    }
+
+    /// Wraps a local matrix.
+    pub fn matrix(&self, m: DenseMatrix) -> Lazy {
+        Lazy::from_local(m)
+    }
+
+    /// Creates a federated matrix by scattering rows of a local matrix
+    /// (tests/benches; production uses `read_federated_csv`).
+    pub fn federated(&self, m: &DenseMatrix) -> Result<Lazy> {
+        let ctx = self.require_ctx()?;
+        Ok(Lazy::from_fed(FedMatrix::scatter_rows(ctx, m, self.privacy)?))
+    }
+
+    /// Creates a federated matrix from worker-local CSV files
+    /// (`files[w] = (fname, rows)`), read on demand at the sites.
+    pub fn read_federated_csv(&self, files: &[(String, usize)], cols: usize) -> Result<Lazy> {
+        let ctx = self.require_ctx()?;
+        let specs: Vec<(String, ReadFormat, usize)> = files
+            .iter()
+            .map(|(f, rows)| (f.clone(), ReadFormat::MatrixCsv, *rows))
+            .collect();
+        Ok(Lazy::from_fed(FedMatrix::read_row_partitioned(
+            ctx,
+            &specs,
+            cols,
+            self.privacy,
+        )?))
+    }
+
+    /// Creates a federated frame from per-site frames (raw heterogeneous
+    /// data for `transform_encode`).
+    pub fn federated_frame(&self, frames: &[Frame]) -> Result<FedFrame> {
+        let ctx = self.require_ctx()?;
+        FedFrame::from_site_frames(ctx, frames, self.privacy)
+    }
+
+    /// Federated `transformencode`: encodes a federated frame and returns
+    /// the (lazy) encoded matrix plus the metadata frame.
+    pub fn transform_encode(
+        &self,
+        frame: &FedFrame,
+        spec: &exdra_transform::TransformSpec,
+    ) -> Result<(Lazy, exdra_transform::TransformMeta)> {
+        let (fed, meta) = frame.transform_encode(spec)?;
+        Ok((Lazy::from_fed(fed), meta))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use exdra_core::testutil::mem_federation;
+    use exdra_matrix::rng::rand_matrix;
+
+    #[test]
+    fn local_session_computes() {
+        let sds = Session::local();
+        let x = sds.matrix(rand_matrix(10, 3, 0.0, 1.0, 1));
+        let s = x.sum().compute_scalar().unwrap();
+        assert!(s > 0.0);
+        assert!(sds.federated(&rand_matrix(10, 3, 0.0, 1.0, 2)).is_err());
+    }
+
+    #[test]
+    fn federated_session_matches_local() {
+        let (ctx, _workers) = mem_federation(3);
+        let sds = Session::with_context(ctx);
+        let m = rand_matrix(60, 5, -1.0, 1.0, 3);
+        let fed = sds.federated(&m).unwrap();
+        let local = Session::local().matrix(m);
+        let a = fed.tsmm().unwrap().compute().unwrap();
+        let b = local.tsmm().unwrap().compute().unwrap();
+        assert!(a.max_abs_diff(&b) < 1e-10);
+    }
+
+    #[test]
+    fn paper_snippet_shape() {
+        // features = Federated(sds, ...); model = features.l2svm(labels)
+        let (ctx, _workers) = mem_federation(2);
+        let sds = Session::with_context(ctx);
+        let (x, y) = exdra_ml::synth::two_class(100, 4, 0.05, 4);
+        let features = sds.federated(&x).unwrap();
+        let model = features.l2svm(&y).unwrap();
+        assert_eq!(model.weights.rows(), 4);
+    }
+
+    #[test]
+    fn privacy_flows_into_created_data() {
+        let (ctx, _workers) = mem_federation(2);
+        let sds = Session::with_context(ctx).with_privacy(PrivacyLevel::Private);
+        let m = rand_matrix(20, 3, 0.0, 1.0, 5);
+        let fed = sds.federated(&m).unwrap();
+        // Consolidation of private data must fail.
+        assert!(matches!(
+            fed.compute(),
+            Err(RuntimeError::Privacy(_))
+        ));
+    }
+}

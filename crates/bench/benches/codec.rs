@@ -1,0 +1,35 @@
+//! Criterion micro-benchmarks for the wire codec (the per-byte cost every
+//! federated transfer pays).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use exdra_matrix::rng::rand_matrix;
+use exdra_net::codec::Wire;
+use exdra_net::crypto::{ChannelKey, CipherState};
+
+fn bench_codec(c: &mut Criterion) {
+    let m = rand_matrix(1000, 100, -1.0, 1.0, 1);
+    let bytes = m.to_bytes();
+    let mut g = c.benchmark_group("codec");
+    g.throughput(Throughput::Bytes(bytes.len() as u64));
+    g.bench_function("encode_matrix_800KB", |b| b.iter(|| m.to_bytes()));
+    g.bench_function("decode_matrix_800KB", |b| {
+        b.iter(|| exdra_matrix::DenseMatrix::from_bytes(&bytes).unwrap())
+    });
+    g.finish();
+}
+
+fn bench_crypto(c: &mut Criterion) {
+    let m = rand_matrix(1000, 100, -1.0, 1.0, 2);
+    let plain = m.to_bytes();
+    let key = ChannelKey::from_passphrase("bench");
+    let mut g = c.benchmark_group("crypto");
+    g.throughput(Throughput::Bytes(plain.len() as u64));
+    g.bench_function("chacha20_seal_800KB", |b| {
+        let mut cs = CipherState::new(key, 0);
+        b.iter(|| cs.seal(&plain))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_codec, bench_crypto);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! Criterion micro-benchmarks for feature transformation and column
+//! compression (the data-preparation path of Figures 3/8).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use exdra_matrix::compress::CompressedMatrix;
+use exdra_matrix::frame::{Frame, FrameColumn};
+use exdra_transform::{transform_encode, TransformSpec};
+
+fn raw_frame(rows: usize) -> Frame {
+    use rand::Rng;
+    use rand::SeedableRng;
+    let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+    Frame::new(vec![
+        (
+            "recipe".into(),
+            FrameColumn::Str((0..rows).map(|_| Some(format!("R{}", rng.gen_range(0..50)))).collect()),
+        ),
+        (
+            "power".into(),
+            FrameColumn::F64((0..rows).map(|_| Some(rng.gen_range(0.0..5000.0))).collect()),
+        ),
+        (
+            "temp".into(),
+            FrameColumn::F64((0..rows).map(|_| Some(rng.gen_range(20.0..90.0))).collect()),
+        ),
+    ])
+    .unwrap()
+}
+
+fn bench_encode(c: &mut Criterion) {
+    let frame = raw_frame(20_000);
+    let spec = TransformSpec::auto(&frame);
+    let mut g = c.benchmark_group("transform");
+    g.bench_function("transformencode_20k_recode_onehot", |b| {
+        b.iter(|| transform_encode(&frame, &spec).unwrap())
+    });
+    let (encoded, _) = transform_encode(&frame, &spec).unwrap();
+    g.bench_function("compress_onehot_matrix", |b| {
+        b.iter(|| CompressedMatrix::compress(&encoded))
+    });
+    let compressed = CompressedMatrix::compress(&encoded);
+    g.bench_function("decompress", |b| b.iter(|| compressed.decompress()));
+    g.finish();
+}
+
+criterion_group!(benches, bench_encode);
+criterion_main!(benches);

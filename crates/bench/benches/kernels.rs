@@ -1,0 +1,55 @@
+//! Criterion micro-benchmarks for the dense kernels every figure builds
+//! on: matrix multiplication variants, element-wise ops, and aggregates.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use exdra_matrix::kernels::aggregates::{aggregate, AggDir, AggOp};
+use exdra_matrix::kernels::elementwise::{binary, unary, BinaryOp, UnaryOp};
+use exdra_matrix::kernels::matmul::{matmul, mmchain, tsmm};
+use exdra_matrix::kernels::reorg::transpose;
+use exdra_matrix::rng::rand_matrix;
+
+fn bench_matmul(c: &mut Criterion) {
+    let mut g = c.benchmark_group("matmul");
+    for &n in &[64usize, 128, 256] {
+        let a = rand_matrix(n, n, -1.0, 1.0, 1);
+        let b = rand_matrix(n, n, -1.0, 1.0, 2);
+        g.bench_with_input(BenchmarkId::new("mm_nxn", n), &n, |bch, _| {
+            bch.iter(|| matmul(&a, &b).unwrap())
+        });
+    }
+    let x = rand_matrix(20_000, 100, -1.0, 1.0, 3);
+    let v = rand_matrix(100, 1, -1.0, 1.0, 4);
+    g.bench_function("matvec_20kx100", |b| b.iter(|| matmul(&x, &v).unwrap()));
+    g.bench_function("tsmm_20kx100", |b| b.iter(|| tsmm(&x, true).unwrap()));
+    g.bench_function("mmchain_20kx100", |b| {
+        b.iter(|| mmchain(&x, &v, None).unwrap())
+    });
+    g.finish();
+}
+
+fn bench_elementwise(c: &mut Criterion) {
+    let x = rand_matrix(2000, 100, -1.0, 1.0, 5);
+    let rv = rand_matrix(1, 100, 0.5, 1.5, 6);
+    let mut g = c.benchmark_group("elementwise");
+    g.bench_function("unary_sigmoid", |b| b.iter(|| unary(&x, UnaryOp::Sigmoid)));
+    g.bench_function("binary_rowvec_div", |b| {
+        b.iter(|| binary(&x, BinaryOp::Div, &rv).unwrap())
+    });
+    g.finish();
+}
+
+fn bench_aggregates(c: &mut Criterion) {
+    let x = rand_matrix(20_000, 100, -1.0, 1.0, 7);
+    let mut g = c.benchmark_group("aggregates");
+    g.bench_function("colSums", |b| {
+        b.iter(|| aggregate(&x, AggOp::Sum, AggDir::Col).unwrap())
+    });
+    g.bench_function("var_full", |b| {
+        b.iter(|| aggregate(&x, AggOp::Var, AggDir::Full).unwrap())
+    });
+    g.bench_function("transpose", |b| b.iter(|| transpose(&x)));
+    g.finish();
+}
+
+criterion_group!(benches, bench_matmul, bench_elementwise, bench_aggregates);
+criterion_main!(benches);

@@ -1,0 +1,55 @@
+//! Criterion micro-benchmarks for RPC round trips over the in-memory and
+//! loopback-TCP transports (the fixed per-request overhead of federated
+//! instructions).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use exdra_core::protocol::Request;
+use exdra_core::testutil::{mem_federation, tcp_federation};
+use exdra_core::{DataValue, PrivacyLevel};
+use exdra_matrix::rng::rand_matrix;
+
+fn bench_rpc(c: &mut Criterion) {
+    let small = DataValue::from(rand_matrix(1, 16, 0.0, 1.0, 1));
+    let big = DataValue::from(rand_matrix(500, 100, 0.0, 1.0, 2));
+    let mut g = c.benchmark_group("rpc");
+    for (name, ctx) in [
+        ("mem", mem_federation(1).0),
+        ("tcp", tcp_federation(1).0),
+    ] {
+        let small = small.clone();
+        let big = big.clone();
+        g.bench_function(format!("{name}_put_small"), |b| {
+            b.iter(|| {
+                ctx.call(
+                    0,
+                    &[Request::Put {
+                        id: 1,
+                        data: small.clone(),
+                        privacy: PrivacyLevel::Public,
+                    }],
+                )
+                .unwrap()
+            })
+        });
+        g.bench_function(format!("{name}_put_get_400KB"), |b| {
+            b.iter(|| {
+                ctx.call(
+                    0,
+                    &[
+                        Request::Put {
+                            id: 2,
+                            data: big.clone(),
+                            privacy: PrivacyLevel::Public,
+                        },
+                        Request::Get { id: 2 },
+                    ],
+                )
+                .unwrap()
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_rpc);
+criterion_main!(benches);

@@ -1,0 +1,95 @@
+//! Ablation A1 — lineage-based reuse across repeated pipeline runs
+//! (paper §4.4, "Lineage-based Reuse" / LIMA).
+//!
+//! Exploratory data science re-executes pipelines with small variations;
+//! standing workers cache intermediates keyed by lineage. This ablation
+//! runs the same preprocessing sub-plan repeatedly (as an exploring data
+//! scientist would while tweaking the downstream model) with the worker
+//! cache enabled vs disabled.
+//!
+//! `cargo run -p exdra-bench --bin ablation_reuse --release [-- --quick]`
+
+use exdra_bench::*;
+use exdra_core::coordinator::WorkerEndpoint;
+use exdra_core::testutil::tcp_federation_with;
+use exdra_core::worker::WorkerConfig;
+use exdra_core::{PrivacyLevel, Tensor};
+use exdra_matrix::kernels::aggregates::{AggDir, AggOp};
+use exdra_matrix::kernels::elementwise::BinaryOp;
+
+fn main() {
+    let cfg = BenchConfig::from_args();
+    let workers = 3usize;
+    let runs = 8usize;
+    println!(
+        "Ablation A1 (lineage reuse) | X: {}x{} | {} workers | {} repeated pipeline runs",
+        cfg.rows, cfg.cols, workers, runs
+    );
+    let x = paper_matrix(cfg.rows, cfg.cols, 1);
+
+    // The repeated exploratory sub-plan: normalization + Gram matrix.
+    // Identical across runs, so a lineage cache can serve it entirely.
+    let pipeline = |fed: &exdra_core::fed::FedMatrix| {
+        let t = Tensor::Fed(fed.clone());
+        let mu = t.agg(AggOp::Mean, AggDir::Col).expect("mean").to_local().expect("local");
+        let centered = t.binary(BinaryOp::Sub, &Tensor::Local(mu)).expect("center");
+        let _gram = centered.tsmm().expect("gram");
+    };
+
+    let mut table = Table::new(
+        "Ablation A1: repeated-pipeline runtime, reuse on vs off",
+        &["run", "reuse ON", "reuse OFF"],
+    );
+    let mut totals = [0.0f64; 2];
+    let mut hits_on = 0u64;
+    for (col, reuse) in [true, false].into_iter().enumerate() {
+        let (ctx, ws) = tcp_federation_with(
+            workers,
+            || WorkerConfig {
+                reuse_enabled: reuse,
+                ..WorkerConfig::default()
+            },
+            WorkerEndpoint::tcp,
+        );
+        let fed = exdra_core::fed::FedMatrix::scatter_rows(&ctx, &x, PrivacyLevel::Public)
+            .expect("scatter");
+        let mut per_run = Vec::new();
+        for _ in 0..runs {
+            let (_, t) = time(|| pipeline(&fed));
+            per_run.push(t);
+            totals[col] += t;
+        }
+        if reuse {
+            hits_on = ws.iter().map(|w| w.cache().hits()).sum();
+            for (i, t) in per_run.iter().enumerate() {
+                table.row(&[format!("{}", i + 1), secs(*t), String::new()]);
+            }
+        } else {
+            // Merge the OFF column into the existing rows.
+            for (i, t) in per_run.iter().enumerate() {
+                table.rows_set(i, 2, secs(*t));
+            }
+        }
+    }
+    table.row(&[
+        "total".into(),
+        secs(totals[0]),
+        secs(totals[1]),
+    ]);
+    table.print();
+    println!(
+        "\nworker cache hits with reuse ON: {hits_on} | speedup on repeated runs: {:.1}x",
+        totals[1] / totals[0]
+    );
+}
+
+/// Small extension trait so the binary can fill a column after the fact.
+trait TableExt {
+    fn rows_set(&mut self, row: usize, col: usize, value: String);
+}
+
+impl TableExt for Table {
+    fn rows_set(&mut self, row: usize, col: usize, value: String) {
+        self.set_cell(row, col, value);
+    }
+}

@@ -1,0 +1,136 @@
+//! Ablation A4 — transfer-reducing federated feature transformations
+//! (paper §4.4, "Improved Feature Transformations").
+//!
+//! Compares the metadata exchanged by three distinct-set consolidation
+//! strategies for federated recoding:
+//!
+//! 1. **full exchange** — every site ships its full distinct set,
+//! 2. **Bloom pre-filter** (zigzag-join style) — the coordinator
+//!    broadcasts a Bloom filter of already-consolidated categories; sites
+//!    ship only definitely-new categories plus 8-byte verification hashes,
+//! 3. **feature hashing** — no metadata exchange at all, at the cost of
+//!    collisions (accuracy trade-off reported as collision rate).
+//!
+//! `cargo run -p exdra-bench --bin ablation_transform --release [-- --quick]`
+
+use std::collections::BTreeSet;
+
+use exdra_bench::*;
+use exdra_transform::bloom::{prefilter, verify_candidates, BloomFilter};
+use exdra_transform::hashing::feature_bucket;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Per-site distinct category sets with heavy overlap (recipes shared
+/// across plants) plus site-specific custom recipes — the Figure 3 regime.
+fn site_distincts(sites: usize, shared: usize, unique_per_site: usize, seed: u64) -> Vec<Vec<String>> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..sites)
+        .map(|s| {
+            let mut out: Vec<String> = (0..shared)
+                .filter(|_| rng.gen::<f64>() < 0.9) // each site sees ~90%
+                .map(|i| format!("R{i:05}"))
+                .collect();
+            out.extend((0..unique_per_site).map(|i| format!("C{s}-{i:05}")));
+            out
+        })
+        .collect()
+}
+
+fn string_bytes(items: &[String]) -> usize {
+    items.iter().map(|s| 8 + s.len()).sum()
+}
+
+fn main() {
+    let cfg = BenchConfig::from_args();
+    let sites = 4usize;
+    let shared = (cfg.rows / 50).clamp(200, 20_000);
+    let unique = shared / 10;
+    println!(
+        "Ablation A4 (distinct exchange) | {sites} sites | ~{shared} shared + {unique} site-specific categories"
+    );
+    let site_sets = site_distincts(sites, shared, unique, 21);
+
+    // --- strategy 1: full exchange ---------------------------------------
+    let full_bytes: usize = site_sets.iter().map(|s| string_bytes(s)).sum();
+    let mut union: BTreeSet<String> = BTreeSet::new();
+    for s in &site_sets {
+        union.extend(s.iter().cloned());
+    }
+
+    // --- strategy 2: Bloom pre-filter (sequential zigzag consolidation) --
+    let mut consolidated: Vec<String> = site_sets[0].clone();
+    let mut bloom_bytes = string_bytes(&site_sets[0]); // site 0 ships in full
+    let mut false_positive_rounds = 0usize;
+    for site in &site_sets[1..] {
+        let mut filter = BloomFilter::new(consolidated.len(), 0.01);
+        for c in &consolidated {
+            filter.insert(c.as_bytes());
+        }
+        bloom_bytes += filter.size_bytes(); // broadcast cost
+        let result = prefilter(&filter, site.iter().map(String::as_str));
+        bloom_bytes += result.reply_bytes();
+        // Bloom false positives: resolved in a second round (full strings).
+        let unresolved = verify_candidates(&consolidated, &result.candidate_hashes);
+        if !unresolved.is_empty() {
+            false_positive_rounds += 1;
+            // Request + response for the misclassified categories.
+            let fp: Vec<String> = site
+                .iter()
+                .filter(|c| {
+                    unresolved
+                        .contains(&exdra_transform::hashing::fnv1a(c.as_bytes()))
+                })
+                .cloned()
+                .collect();
+            bloom_bytes += 8 * unresolved.len() + string_bytes(&fp);
+            consolidated.extend(fp);
+        }
+        consolidated.extend(result.definitely_new.iter().cloned());
+        consolidated.sort();
+        consolidated.dedup();
+    }
+    let bloom_complete = consolidated.len() == union.len();
+
+    // --- strategy 3: feature hashing (no exchange) ------------------------
+    let num_features = union.len(); // same output width for fairness
+    let mut buckets = vec![0usize; num_features + 1];
+    for c in &union {
+        buckets[feature_bucket(c, num_features)] += 1;
+    }
+    let collided: usize = buckets.iter().filter(|&&n| n > 1).copied().sum();
+    let collision_rate = collided as f64 / union.len() as f64;
+
+    let mut table = Table::new(
+        "Ablation A4: metadata exchanged for federated recoding",
+        &["strategy", "bytes moved", "vs full", "exact domain?"],
+    );
+    table.row(&[
+        "full distinct exchange".into(),
+        format!("{:.1} KB", full_bytes as f64 / 1e3),
+        "1.0x".into(),
+        "yes".into(),
+    ]);
+    table.row(&[
+        "Bloom pre-filter (zigzag)".into(),
+        format!("{:.1} KB", bloom_bytes as f64 / 1e3),
+        format!("{:.2}x", bloom_bytes as f64 / full_bytes as f64),
+        if bloom_complete { "yes" } else { "LOST" }.into(),
+    ]);
+    table.row(&[
+        "feature hashing".into(),
+        "0.0 KB".into(),
+        "0.00x".into(),
+        format!("{:.1}% colliding", 100.0 * collision_rate),
+    ]);
+    table.print();
+    println!(
+        "\nconsolidated domain: {} categories | Bloom second rounds: {false_positive_rounds}\n\
+         Paper 4.4: Bloom pre-filtering reduces transfer AND revealed\n\
+         information; hashing removes exchange entirely but merges\n\
+         categories (accuracy trade-off left to the user).",
+        union.len()
+    );
+    assert!(bloom_complete, "bloom consolidation lost categories");
+    assert!(bloom_bytes < full_bytes, "bloom must reduce transfer here");
+}

@@ -1,0 +1,129 @@
+//! Figure 6 — Comparison of communication settings.
+//!
+//! LM, K-Means, and FFN (chosen by the paper for their very different
+//! communication characteristics) under Federated LAN, Federated WAN, and
+//! Federated WAN with encrypted channels ("SSL"). The paper reports ~2x
+//! WAN overhead for LM, 4-8x for K-Means, moderate overhead for FFN, and
+//! ~10-15% extra for SSL.
+//!
+//! `cargo run -p exdra-bench --bin fig6_comm --release [-- --quick]`
+
+use exdra_bench::*;
+use exdra_core::Tensor;
+use exdra_ml::nn::Network;
+use exdra_ml::{kmeans, lm, synth};
+use exdra_paramserv::balance::BalanceStrategy;
+use exdra_paramserv::{fed as psfed, PsConfig};
+
+fn main() {
+    let cfg = BenchConfig::from_args();
+    let workers = 3usize;
+    println!(
+        "Figure 6 | X: {}x{} | {} workers | WAN {}ms rtt / {} MB/s | reps {}",
+        cfg.rows, cfg.cols, workers, cfg.wan_rtt_ms, cfg.wan_mbps, cfg.reps
+    );
+    let x = paper_matrix(cfg.rows, cfg.cols, 1);
+    let y_reg = paper_labels(&x, 2);
+    let y_cls = paper_class_labels(&x, 3, 2);
+    let y_cls_1h = synth::one_hot(&y_cls, 3);
+    let ffn = Network::ffn(cfg.cols, &[64], 3, 7);
+    let ps = PsConfig {
+        epochs: 3,
+        batch_size: 512,
+        ..PsConfig::default()
+    };
+
+    let mut table = Table::new(
+        "Figure 6: communication settings (3 workers)",
+        &["algorithm", "Fed LAN", "Fed WAN", "Fed WAN+SSL", "WAN/LAN", "SSL overhead"],
+    );
+
+    type RunFn<'a> = Box<dyn Fn(&Tensor) + 'a>;
+    let runs: Vec<(&str, RunFn)> = vec![
+        (
+            "LM",
+            Box::new(|t: &Tensor| {
+                lm::lm_cg(
+                    t,
+                    &y_reg,
+                    &lm::LmParams {
+                        lambda: 1e-3,
+                        max_iter: 10,
+                        tol: 0.0,
+                        cg_threshold: 0,
+                    },
+                )
+                .expect("lm");
+            }),
+        ),
+        (
+            "K-Means",
+            Box::new(|t: &Tensor| {
+                kmeans::kmeans(
+                    t,
+                    &kmeans::KMeansParams {
+                        k: 50,
+                        max_iter: 5,
+                        runs: 1,
+                        tol: 0.0,
+                        seed: 9,
+                    },
+                )
+                .expect("kmeans");
+            }),
+        ),
+    ];
+
+    let measure = |name: &str, run: &dyn Fn(&Tensor)| {
+        let mut times = Vec::new();
+        let mut bytes = Vec::new();
+        for setting in [NetSetting::Lan, NetSetting::Wan, NetSetting::WanEncrypted] {
+            let (ctx, _w) = federation(workers, setting, cfg.wan_profile());
+            let fed = scatter(&ctx, &_w, &x);
+            ctx.stats().reset();
+            let (t, _) = time_reps(cfg.reps, || run(&Tensor::Fed(fed.clone())));
+            times.push(t);
+            bytes.push(ctx.stats().bytes_sent() + ctx.stats().bytes_received());
+        }
+        let mut table_row = vec![name.to_string()];
+        table_row.extend(times.iter().map(|t| secs(*t)));
+        table_row.push(format!("{:.1}x", times[1] / times[0]));
+        table_row.push(format!("{:+.1}%", 100.0 * (times[2] / times[1] - 1.0)));
+        println!(
+            "{name}: moved {:.2} MB per configuration",
+            bytes[0] as f64 / 1e6 / cfg.reps as f64
+        );
+        table_row
+    };
+
+    let mut rows = Vec::new();
+    for (name, run) in &runs {
+        rows.push(measure(name, run));
+    }
+    // FFN through the federated parameter server.
+    {
+        let mut times = Vec::new();
+        for setting in [NetSetting::Lan, NetSetting::Wan, NetSetting::WanEncrypted] {
+            let (ctx, ws) = federation(workers, setting, cfg.wan_profile());
+            let fed = scatter(&ctx, &ws, &x);
+            let (t, _) = time_reps(cfg.reps, || {
+                psfed::train_federated(&fed, &y_cls_1h, &ws, &ffn, &ps, BalanceStrategy::None)
+                    .expect("ps fed");
+            });
+            times.push(t);
+        }
+        let mut row = vec!["FFN".to_string()];
+        row.extend(times.iter().map(|t| secs(*t)));
+        row.push(format!("{:.1}x", times[1] / times[0]));
+        row.push(format!("{:+.1}%", 100.0 * (times[2] / times[1] - 1.0)));
+        rows.push(row);
+    }
+    for r in rows {
+        table.row(&r);
+    }
+    table.print();
+    println!(
+        "\nPaper reference: LM ~2x WAN and ~10% SSL, K-Means 4-8x WAN and\n\
+         ~15% SSL, FFN moderate on both (compute-heavy, per-epoch sync)."
+    );
+}

@@ -1,0 +1,183 @@
+//! Figure 8 — ML pipeline scalability with the number of federated workers.
+//!
+//! The simplified paper-production training pipeline P2 (§6.3): read the
+//! raw federated frame, `transformencode` (recode + one-hot), clip values
+//! outside ±1.5σ, z-normalize, split 70/30 with balanced federated
+//! partitions, and train LM (P2_LM) or an FFN (P2_FFN); Local vs Fed LAN
+//! over a sweep of worker counts.
+//!
+//! `cargo run -p exdra-bench --bin fig8_pipeline --release [-- --quick]`
+
+use exdra_bench::*;
+use exdra_core::fed::prep::{split_rows_per_partition, FedFrame};
+use exdra_core::{PrivacyLevel, Tensor};
+use exdra_matrix::kernels::aggregates::{AggDir, AggOp};
+use exdra_matrix::kernels::elementwise::BinaryOp;
+use exdra_matrix::{DenseMatrix, Frame};
+use exdra_ml::nn::Network;
+use exdra_ml::{lm, synth};
+use exdra_paramserv::balance::BalanceStrategy;
+use exdra_paramserv::{fed as psfed, PsConfig};
+use exdra_transform::TransformSpec;
+
+/// P2 preprocessing over a locality-agnostic tensor: clip to ±1.5σ and
+/// z-normalize — identical code for the local and federated variants.
+fn preprocess(x: Tensor) -> exdra_core::Result<Tensor> {
+    let x = x.replace(f64::NAN, 0.0)?;
+    let mu = x.agg(AggOp::Mean, AggDir::Col)?.to_local()?;
+    let sd = x
+        .agg(AggOp::Sd, AggDir::Col)?
+        .to_local()?
+        .map(|v| if v > 1e-12 { v } else { 1.0 });
+    let lower = mu.zip(&sd, "clip", |m, s| m - 1.5 * s)?;
+    let upper = mu.zip(&sd, "clip", |m, s| m + 1.5 * s)?;
+    let x = x.binary(BinaryOp::Max, &Tensor::Local(lower))?;
+    let x = x.binary(BinaryOp::Min, &Tensor::Local(upper))?;
+    let x = x.binary(BinaryOp::Sub, &Tensor::Local(mu))?;
+    x.binary(BinaryOp::Div, &Tensor::Local(sd))
+}
+
+/// Generates the per-site raw frames and aligned targets.
+fn site_data(rows_per_site: usize, cont_cols: usize, sites: usize) -> (Vec<Frame>, DenseMatrix) {
+    let mut frames = Vec::new();
+    let mut y: Option<DenseMatrix> = None;
+    for s in 0..sites {
+        let (f, t) = synth::paper_production_frame(
+            rows_per_site,
+            2,
+            8,
+            cont_cols,
+            0.01,
+            1000 + s as u64,
+        );
+        frames.push(f);
+        y = Some(match y {
+            None => t,
+            Some(acc) => exdra_matrix::kernels::reorg::rbind(&acc, &t).expect("rbind"),
+        });
+    }
+    (frames, y.expect("at least one site"))
+}
+
+fn run_fed_pipeline(
+    ctx: &std::sync::Arc<exdra_core::FedContext>,
+    frames: &[Frame],
+    y: &DenseMatrix,
+    train_ffn: bool,
+    workers: &[std::sync::Arc<exdra_core::worker::Worker>],
+) {
+    let fed_frame =
+        FedFrame::from_site_frames(ctx, frames, PrivacyLevel::Public).expect("frame");
+    let spec = TransformSpec::auto(&frames[0]);
+    let (encoded, _meta) = fed_frame.transform_encode(&spec).expect("encode");
+    let x = preprocess(Tensor::Fed(encoded)).expect("preprocess");
+    let x_fed = match x {
+        Tensor::Fed(f) => f,
+        Tensor::Local(_) => unreachable!("stays federated"),
+    };
+    let split = split_rows_per_partition(&x_fed, Some(y), 0.7, 7).expect("split");
+    let y_train = split.y_train.expect("labels");
+    if train_ffn {
+        let y1h = y_train.map(|v| if v >= 0.0 { 1.0 } else { 0.0 });
+        let y1h = exdra_matrix::kernels::reorg::cbind(&y1h, &y1h.map(|v| 1.0 - v))
+            .expect("one-hot");
+        let net = Network::ffn(split.x_train.cols(), &[64], 2, 7);
+        psfed::train_federated(
+            &split.x_train,
+            &y1h,
+            workers,
+            &net,
+            &PsConfig {
+                epochs: 3,
+                batch_size: 512,
+                ..PsConfig::default()
+            },
+            BalanceStrategy::None,
+        )
+        .expect("ffn");
+    } else {
+        lm::lm(
+            &Tensor::Fed(split.x_train),
+            &y_train,
+            &lm::LmParams::default(),
+        )
+        .expect("lm");
+    }
+}
+
+fn run_local_pipeline(frames: &[Frame], y: &DenseMatrix, train_ffn: bool) {
+    // Same steps, entirely local (the Local baseline of Figure 8).
+    let mut all = frames[0].clone();
+    for f in &frames[1..] {
+        all = all.rbind(f).expect("rbind");
+    }
+    let spec = TransformSpec::auto(&all);
+    let (encoded, _) = exdra_transform::transform_encode(&all, &spec).expect("encode");
+    let x = preprocess(Tensor::Local(encoded)).expect("preprocess");
+    let xl = x.to_local().expect("local");
+    // Local split with the same per-"partition" shuffling (one partition).
+    let perm = exdra_matrix::rng::rand_permutation(xl.rows(), 7);
+    let xs = exdra_matrix::kernels::reorg::gather_rows(&xl, &perm).expect("shuffle");
+    let ys = exdra_matrix::kernels::reorg::gather_rows(y, &perm).expect("shuffle");
+    let n_train = (xl.rows() as f64 * 0.7).round() as usize;
+    let x_train =
+        exdra_matrix::kernels::reorg::index(&xs, 0, n_train, 0, xs.cols()).expect("split");
+    let y_train = exdra_matrix::kernels::reorg::index(&ys, 0, n_train, 0, 1).expect("split");
+    if train_ffn {
+        let y1h = y_train.map(|v| if v >= 0.0 { 1.0 } else { 0.0 });
+        let y1h = exdra_matrix::kernels::reorg::cbind(&y1h, &y1h.map(|v| 1.0 - v))
+            .expect("one-hot");
+        let net = Network::ffn(x_train.cols(), &[64], 2, 7);
+        let mut sgd = exdra_ml::nn::Sgd::new(0.05, 0.9, true);
+        let mut n = net.clone();
+        exdra_ml::nn::train_local(&mut n, &x_train, &y1h, 3, 512, &mut sgd).expect("ffn");
+    } else {
+        lm::lm(
+            &Tensor::Local(x_train),
+            &y_train,
+            &lm::LmParams::default(),
+        )
+        .expect("lm");
+    }
+}
+
+fn main() {
+    let cfg = BenchConfig::from_args();
+    // Continuous signal count so the encoded width approximates cfg.cols
+    // (2 categorical columns with domain <= 8 add <= 16 one-hot columns).
+    let cont_cols = cfg.cols.saturating_sub(16).max(4);
+    println!(
+        "Figure 8 | {} rows total, ~{} encoded cols | workers {:?} | reps {}",
+        cfg.rows, cfg.cols, cfg.workers, cfg.reps
+    );
+    let mut table = Table::new("Figure 8: pipeline P2 end-to-end runtime", &{
+        let mut h = vec!["pipeline", "Local"];
+        for w in &cfg.workers {
+            h.push(Box::leak(format!("Fed w={w}").into_boxed_str()));
+        }
+        h
+    });
+
+    for (name, ffn) in [("P2_LM", false), ("P2_FFN", true)] {
+        let mut cells = vec![name.to_string()];
+        // Local baseline over single-site data of the full size.
+        let (frames1, y1) = site_data(cfg.rows, cont_cols, 1);
+        let (t_local, _) = time_reps(cfg.reps, || run_local_pipeline(&frames1, &y1, ffn));
+        cells.push(secs(t_local));
+        for &w in &cfg.workers {
+            let rows_per_site = cfg.rows / w;
+            let (frames, y) = site_data(rows_per_site, cont_cols, w);
+            let (ctx, workers) = federation(w, NetSetting::Lan, cfg.wan_profile());
+            let (t, _) = time_reps(cfg.reps, || {
+                run_fed_pipeline(&ctx, &frames, &y, ffn, &workers)
+            });
+            cells.push(secs(t));
+        }
+        table.row(&cells);
+    }
+    table.print();
+    println!(
+        "\nPaper reference: good improvements over Local as workers grow;\n\
+         P2_FFN scales better than P2_LM (larger compute per worker)."
+    );
+}

@@ -1,0 +1,470 @@
+//! The federated coordinator: worker connections and parallel RPC.
+//!
+//! The coordinator is the main control program (paper Figure 2). It holds
+//! only metadata of federated data and communicates with the standing
+//! workers through request sequences. "For efficiency, the coordinator
+//! sends RPCs to all workers in parallel, and a single RPC can contain a
+//! sequence of requests."
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use exdra_net::codec::Wire;
+use exdra_net::crypto::ChannelKey;
+use exdra_net::sim::NetProfile;
+use exdra_net::stats::NetStats;
+use exdra_net::transport::{
+    Channel, EncryptedChannel, InstrumentedChannel, ShapedChannel, TcpChannel,
+};
+
+use crate::error::{Result, RuntimeError};
+use crate::protocol::{Request, Response};
+use crate::value::DataValue;
+
+/// How to reach one federated worker.
+#[derive(Clone)]
+pub enum WorkerEndpoint {
+    /// TCP address with optional WAN shaping and channel encryption.
+    Tcp {
+        /// `host:port` address of the standing worker.
+        addr: String,
+        /// Link simulation profile.
+        profile: NetProfile,
+        /// Pre-shared channel key (None = plaintext).
+        key: Option<ChannelKey>,
+    },
+}
+
+impl WorkerEndpoint {
+    /// Plain LAN endpoint.
+    pub fn tcp(addr: impl Into<String>) -> Self {
+        WorkerEndpoint::Tcp {
+            addr: addr.into(),
+            profile: NetProfile::lan(),
+            key: None,
+        }
+    }
+
+    /// Endpoint with explicit shaping/encryption.
+    pub fn tcp_with(addr: impl Into<String>, profile: NetProfile, key: Option<ChannelKey>) -> Self {
+        WorkerEndpoint::Tcp {
+            addr: addr.into(),
+            profile,
+            key,
+        }
+    }
+
+    fn connect(&self, stats: Arc<NetStats>) -> Result<Box<dyn Channel>> {
+        match self {
+            WorkerEndpoint::Tcp { addr, profile, key } => {
+                let tcp = TcpChannel::connect(addr.as_str())
+                    .map_err(|e| RuntimeError::Network(format!("connect {addr}: {e}")))?;
+                let ch: Box<dyn Channel> = match key {
+                    Some(k) => Box::new(EncryptedChannel::new(tcp, *k, true)),
+                    None => Box::new(tcp),
+                };
+                let ch: Box<dyn Channel> = if profile.is_unshaped() {
+                    ch
+                } else {
+                    Box::new(ShapedChannel::new(ch, *profile))
+                };
+                Ok(Box::new(InstrumentedChannel::new(ch, stats)))
+            }
+        }
+    }
+}
+
+struct WorkerConn {
+    /// The standing connection (one RPC at a time per connection; parallel
+    /// callers from e.g. the parameter server open extra connections).
+    channel: Mutex<Box<dyn Channel>>,
+    endpoint: Option<WorkerEndpoint>,
+}
+
+/// Connections to all federated workers plus ID allocation and network
+/// accounting. Shared by every federated object of one session.
+pub struct FedContext {
+    workers: Vec<WorkerConn>,
+    next_id: AtomicU64,
+    stats: Arc<NetStats>,
+    /// Per-worker queues of symbol IDs awaiting amortized `rmvar` cleanup
+    /// (filled by dropped federated handles, drained on the next RPC).
+    garbage: Mutex<Vec<Vec<u64>>>,
+}
+
+impl std::fmt::Debug for FedContext {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FedContext")
+            .field("workers", &self.workers.len())
+            .finish()
+    }
+}
+
+impl FedContext {
+    /// Connects to TCP workers.
+    pub fn connect(endpoints: &[WorkerEndpoint]) -> Result<Arc<Self>> {
+        if endpoints.is_empty() {
+            return Err(RuntimeError::Invalid("no federated workers given".into()));
+        }
+        let stats = NetStats::shared();
+        let mut workers = Vec::with_capacity(endpoints.len());
+        for ep in endpoints {
+            workers.push(WorkerConn {
+                channel: Mutex::new(ep.connect(Arc::clone(&stats))?),
+                endpoint: Some(ep.clone()),
+            });
+        }
+        let n = workers.len();
+        Ok(Arc::new(Self {
+            workers,
+            next_id: AtomicU64::new(1),
+            stats,
+            garbage: Mutex::new(vec![Vec::new(); n]),
+        }))
+    }
+
+    /// Builds a context over pre-established channels (in-memory transport
+    /// for tests, or custom stacks).
+    pub fn from_channels(channels: Vec<Box<dyn Channel>>) -> Result<Arc<Self>> {
+        if channels.is_empty() {
+            return Err(RuntimeError::Invalid("no federated workers given".into()));
+        }
+        let stats = NetStats::shared();
+        let workers = channels
+            .into_iter()
+            .map(|ch| WorkerConn {
+                channel: Mutex::new(Box::new(InstrumentedChannel::new(ch, Arc::clone(&stats)))
+                    as Box<dyn Channel>),
+                endpoint: None,
+            })
+            .collect::<Vec<_>>();
+        let n = workers.len();
+        Ok(Arc::new(Self {
+            workers,
+            next_id: AtomicU64::new(1),
+            stats,
+            garbage: Mutex::new(vec![Vec::new(); n]),
+        }))
+    }
+
+    pub(crate) fn garbage(&self) -> &Mutex<Vec<Vec<u64>>> {
+        &self.garbage
+    }
+
+    /// Number of federated workers.
+    pub fn num_workers(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Aggregate network statistics across all worker channels.
+    pub fn stats(&self) -> &Arc<NetStats> {
+        &self.stats
+    }
+
+    /// Allocates a fresh symbol ID (unique per session; the coordinator
+    /// owns the ID space of all worker symbol tables).
+    pub fn fresh_id(&self) -> u64 {
+        self.next_id.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Opens an additional connection to one worker (e.g. one per
+    /// parameter-server thread). Only available for TCP contexts.
+    pub fn connect_extra(&self, worker: usize) -> Result<Box<dyn Channel>> {
+        let conn = self
+            .workers
+            .get(worker)
+            .ok_or_else(|| RuntimeError::Invalid(format!("no worker {worker}")))?;
+        match &conn.endpoint {
+            Some(ep) => ep.connect(Arc::clone(&self.stats)),
+            None => Err(RuntimeError::Unsupported(
+                "extra connections need TCP endpoints".into(),
+            )),
+        }
+    }
+
+    /// Sends one request sequence to one worker and returns its responses.
+    ///
+    /// Pending garbage-collection `rmvar`s for the worker (queued by
+    /// dropped federated handles) are piggybacked onto the batch and their
+    /// response stripped — amortized cleanup, invisible to callers.
+    pub fn call(&self, worker: usize, batch: &[Request]) -> Result<Vec<Response>> {
+        let conn = self
+            .workers
+            .get(worker)
+            .ok_or_else(|| RuntimeError::Invalid(format!("no worker {worker}")))?;
+        let garbage = self.take_garbage_ids(worker);
+        let mut full: Vec<Request> = Vec::with_capacity(batch.len() + 1);
+        if !garbage.is_empty() {
+            full.push(Request::ExecInst {
+                inst: crate::instruction::Instruction::Rmvar { ids: garbage },
+            });
+        }
+        let prepended = !full.is_empty();
+        full.extend_from_slice(batch);
+        let mut ch = conn.channel.lock();
+        ch.send(&full.to_bytes())
+            .map_err(|e| RuntimeError::Network(format!("send to worker {worker}: {e}")))?;
+        let frame = ch
+            .recv()
+            .map_err(|e| RuntimeError::Network(format!("recv from worker {worker}: {e}")))?;
+        drop(ch);
+        let mut responses = Vec::<Response>::from_bytes(&frame)?;
+        if responses.len() != full.len() {
+            return Err(RuntimeError::Protocol(format!(
+                "worker {worker}: {} responses for {} requests",
+                responses.len(),
+                full.len()
+            )));
+        }
+        if prepended {
+            responses.remove(0); // the rmvar ack (rmvar cannot fail)
+        }
+        Ok(responses)
+    }
+
+    fn take_garbage_ids(&self, worker: usize) -> Vec<u64> {
+        let mut q = self.garbage.lock();
+        match q.get_mut(worker) {
+            Some(v) => std::mem::take(v),
+            None => Vec::new(),
+        }
+    }
+
+    /// Sends per-worker request sequences in parallel (one thread per
+    /// worker) and returns responses per worker. Workers with empty
+    /// batches are skipped (empty response vector).
+    pub fn call_all(&self, batches: Vec<Vec<Request>>) -> Result<Vec<Vec<Response>>> {
+        if batches.len() != self.workers.len() {
+            return Err(RuntimeError::Invalid(format!(
+                "{} batches for {} workers",
+                batches.len(),
+                self.workers.len()
+            )));
+        }
+        let mut results: Vec<Result<Vec<Response>>> = Vec::with_capacity(batches.len());
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = batches
+                .iter()
+                .enumerate()
+                .map(|(w, batch)| {
+                    scope.spawn(move || {
+                        if batch.is_empty() {
+                            Ok(Vec::new())
+                        } else {
+                            self.call(w, batch)
+                        }
+                    })
+                })
+                .collect();
+            for h in handles {
+                results.push(h.join().unwrap_or_else(|_| {
+                    Err(RuntimeError::Network("worker RPC thread panicked".into()))
+                }));
+            }
+        });
+        results.into_iter().collect()
+    }
+
+    /// Sends the same request sequence to every worker in parallel.
+    pub fn broadcast(&self, batch: &[Request]) -> Result<Vec<Vec<Response>>> {
+        self.call_all(vec![batch.to_vec(); self.workers.len()])
+    }
+
+    /// Drops all state at every worker (`CLEAR`).
+    pub fn clear_all(&self) -> Result<()> {
+        for responses in self.broadcast(&[Request::Clear])? {
+            expect_ok(&responses[0], 0)?;
+        }
+        Ok(())
+    }
+}
+
+/// Interprets a response as success, mapping worker errors.
+pub fn expect_ok(r: &Response, worker: usize) -> Result<()> {
+    match r {
+        Response::Ok | Response::Data(_) => Ok(()),
+        Response::Error(msg) => Err(worker_error(worker, msg)),
+    }
+}
+
+/// Interprets a response as a data value.
+pub fn expect_data(r: &Response, worker: usize) -> Result<DataValue> {
+    match r {
+        Response::Data(v) => Ok(v.clone()),
+        Response::Ok => Err(RuntimeError::Protocol(format!(
+            "worker {worker}: expected data, got Ok"
+        ))),
+        Response::Error(msg) => Err(worker_error(worker, msg)),
+    }
+}
+
+fn worker_error(worker: usize, msg: &str) -> RuntimeError {
+    if msg.contains("privacy") {
+        RuntimeError::Privacy(format!("worker {worker}: {msg}"))
+    } else {
+        RuntimeError::Worker {
+            worker,
+            msg: msg.to_string(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::privacy::PrivacyLevel;
+    use crate::worker::{Worker, WorkerConfig};
+    use exdra_matrix::rng::rand_matrix;
+
+    fn mem_context(n: usize) -> (Arc<FedContext>, Vec<Arc<Worker>>) {
+        let mut channels = Vec::new();
+        let mut workers = Vec::new();
+        for _ in 0..n {
+            let w = Worker::new(WorkerConfig::default());
+            channels.push(Box::new(w.serve_mem()) as Box<dyn Channel>);
+            workers.push(w);
+        }
+        (FedContext::from_channels(channels).unwrap(), workers)
+    }
+
+    #[test]
+    fn parallel_broadcast_reaches_all_workers() {
+        let (ctx, workers) = mem_context(3);
+        let m = rand_matrix(4, 2, 0.0, 1.0, 1);
+        let rs = ctx
+            .broadcast(&[Request::Put {
+                id: 7,
+                data: DataValue::from(m),
+                privacy: PrivacyLevel::Public,
+            }])
+            .unwrap();
+        assert_eq!(rs.len(), 3);
+        for w in &workers {
+            assert!(w.table().contains(7));
+        }
+    }
+
+    #[test]
+    fn call_all_with_different_batches() {
+        let (ctx, workers) = mem_context(2);
+        let batches = vec![
+            vec![Request::Put {
+                id: 1,
+                data: DataValue::Scalar(1.0),
+                privacy: PrivacyLevel::Public,
+            }],
+            vec![],
+        ];
+        let rs = ctx.call_all(batches).unwrap();
+        assert_eq!(rs[0].len(), 1);
+        assert!(rs[1].is_empty());
+        assert!(workers[0].table().contains(1));
+        assert!(!workers[1].table().contains(1));
+    }
+
+    #[test]
+    fn fresh_ids_unique() {
+        let (ctx, _workers) = mem_context(1);
+        let a = ctx.fresh_id();
+        let b = ctx.fresh_id();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn worker_error_classification() {
+        assert!(matches!(
+            worker_error(0, "privacy violation: nope"),
+            RuntimeError::Privacy(_)
+        ));
+        assert!(matches!(
+            worker_error(1, "boom"),
+            RuntimeError::Worker { worker: 1, .. }
+        ));
+    }
+
+    #[test]
+    fn stats_accumulate_over_rpcs() {
+        let (ctx, _workers) = mem_context(1);
+        ctx.broadcast(&[Request::Put {
+            id: 1,
+            data: DataValue::from(rand_matrix(100, 10, 0.0, 1.0, 2)),
+            privacy: PrivacyLevel::Public,
+        }])
+        .unwrap();
+        assert!(ctx.stats().bytes_sent() > 8000);
+        assert_eq!(ctx.stats().messages_sent(), 1);
+    }
+
+    #[test]
+    fn clear_all_wipes_workers() {
+        let (ctx, workers) = mem_context(2);
+        ctx.broadcast(&[Request::Put {
+            id: 1,
+            data: DataValue::Scalar(1.0),
+            privacy: PrivacyLevel::Public,
+        }])
+        .unwrap();
+        ctx.clear_all().unwrap();
+        for w in &workers {
+            assert!(w.table().is_empty());
+        }
+    }
+}
+
+#[cfg(test)]
+mod garbage_tests {
+    use super::*;
+    use crate::fed::FedMatrix;
+    use crate::privacy::PrivacyLevel;
+    use crate::testutil::mem_federation;
+    use exdra_matrix::rng::rand_matrix;
+
+    #[test]
+    fn dropped_handles_clean_up_via_any_call() {
+        // Garbage queued by dropped federated handles drains through plain
+        // `call` traffic (e.g. parameter-server RPCs), not only through
+        // federated matrix operations.
+        let (ctx, workers) = mem_federation(2);
+        let x = rand_matrix(20, 3, 0.0, 1.0, 1);
+        let fed = FedMatrix::scatter_rows(&ctx, &x, PrivacyLevel::Public).unwrap();
+        let ids: Vec<(usize, u64)> = fed.parts().iter().map(|p| (p.worker, p.id)).collect();
+        drop(fed);
+        // An unrelated direct RPC to each worker triggers the cleanup.
+        for w in 0..2 {
+            let rs = ctx
+                .call(
+                    w,
+                    &[Request::Put {
+                        id: 999 + w as u64,
+                        data: DataValue::Scalar(1.0),
+                        privacy: PrivacyLevel::Public,
+                    }],
+                )
+                .unwrap();
+            // The piggybacked rmvar response is stripped: one response per
+            // caller-visible request.
+            assert_eq!(rs.len(), 1);
+        }
+        for (w, id) in ids {
+            assert!(
+                !workers[w].table().contains(id),
+                "worker {w} id {id} not cleaned through plain call"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_batch_with_pending_garbage() {
+        let (ctx, workers) = mem_federation(1);
+        let x = rand_matrix(10, 2, 0.0, 1.0, 2);
+        let fed = FedMatrix::scatter_rows(&ctx, &x, PrivacyLevel::Public).unwrap();
+        let id = fed.parts()[0].id;
+        drop(fed);
+        // A call with an empty caller batch still drains the queue.
+        let rs = ctx.call(0, &[]).unwrap();
+        assert!(rs.is_empty());
+        assert!(!workers[0].table().contains(id));
+    }
+}

@@ -1,0 +1,72 @@
+//! Runtime error type.
+
+use exdra_matrix::MatrixError;
+use std::fmt;
+
+/// Result alias for runtime operations.
+pub type Result<T> = std::result::Result<T, RuntimeError>;
+
+/// Errors raised by the federated runtime.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RuntimeError {
+    /// A local kernel failed (dimension mismatch, numerical issue, ...).
+    Matrix(MatrixError),
+    /// A privacy constraint forbids the requested transfer or consolidation.
+    ///
+    /// This is the paper's "privacy exception ... if this consolidation
+    /// would reveal private raw data".
+    Privacy(String),
+    /// Network/transport failure talking to a federated worker.
+    Network(String),
+    /// Malformed or unexpected protocol message.
+    Protocol(String),
+    /// A federated worker reported an error executing a request.
+    Worker {
+        /// Index of the failing worker in the federation.
+        worker: usize,
+        /// The worker's error description.
+        msg: String,
+    },
+    /// A symbol-table ID was not found.
+    UnknownSymbol(u64),
+    /// The operation is not supported for the given federation scheme
+    /// (e.g. a row-partitioned-only op on column-partitioned data).
+    Unsupported(String),
+    /// Invalid user input (bad federation ranges, empty worker list, ...).
+    Invalid(String),
+}
+
+impl fmt::Display for RuntimeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RuntimeError::Matrix(e) => write!(f, "{e}"),
+            RuntimeError::Privacy(msg) => write!(f, "privacy violation: {msg}"),
+            RuntimeError::Network(msg) => write!(f, "network error: {msg}"),
+            RuntimeError::Protocol(msg) => write!(f, "protocol error: {msg}"),
+            RuntimeError::Worker { worker, msg } => write!(f, "worker {worker}: {msg}"),
+            RuntimeError::UnknownSymbol(id) => write!(f, "unknown symbol id {id}"),
+            RuntimeError::Unsupported(msg) => write!(f, "unsupported: {msg}"),
+            RuntimeError::Invalid(msg) => write!(f, "invalid argument: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for RuntimeError {}
+
+impl From<MatrixError> for RuntimeError {
+    fn from(e: MatrixError) -> Self {
+        RuntimeError::Matrix(e)
+    }
+}
+
+impl From<std::io::Error> for RuntimeError {
+    fn from(e: std::io::Error) -> Self {
+        RuntimeError::Network(e.to_string())
+    }
+}
+
+impl From<exdra_net::codec::DecodeError> for RuntimeError {
+    fn from(e: exdra_net::codec::DecodeError) -> Self {
+        RuntimeError::Protocol(e.to_string())
+    }
+}

@@ -1,0 +1,598 @@
+//! The local instruction executor.
+//!
+//! Executes [`Instruction`]s against a [`SymbolTable`], used verbatim by
+//! the coordinator (local operations) and by every federated worker
+//! (`EXEC_INST` requests). The executor also maintains the two pieces of
+//! cross-cutting state the paper's standing workers rely on:
+//!
+//! * **privacy propagation** — every output inherits the strictest input
+//!   constraint, and becomes *releasable* only once each private input has
+//!   been aggregated over at least its `min_group` observations;
+//! * **lineage tracing + reuse** — outputs are bound with a lineage hash
+//!   and repeated sub-plans are served from the [`LineageCache`].
+
+use std::sync::Arc;
+
+use exdra_matrix::kernels::aggregates::{self, AggDir};
+use exdra_matrix::kernels::elementwise;
+use exdra_matrix::kernels::matmul;
+use exdra_matrix::kernels::quaternary;
+use exdra_matrix::kernels::reorg::{self, Margin};
+use exdra_matrix::kernels::ternary;
+use exdra_matrix::{DenseMatrix, Matrix};
+
+use crate::error::{Result, RuntimeError};
+use crate::instruction::Instruction;
+use crate::lineage::{self, CachedEntry, LineageCache};
+use crate::privacy::PrivacyLevel;
+use crate::symbol::{Entry, SymbolTable};
+use crate::value::DataValue;
+
+/// Executes one instruction against the symbol table, with optional
+/// lineage-based reuse.
+pub fn execute(inst: &Instruction, table: &SymbolTable, cache: Option<&LineageCache>) -> Result<()> {
+    if let Instruction::Rmvar { ids } = inst {
+        table.remove(ids);
+        return Ok(());
+    }
+    let out_id = inst
+        .output()
+        .expect("non-rmvar instructions bind an output");
+
+    // Resolve inputs in declaration order.
+    let input_ids = inst.inputs();
+    let mut inputs = Vec::with_capacity(input_ids.len());
+    for id in &input_ids {
+        inputs.push((*id, table.get(*id)?));
+    }
+
+    // Lineage of the output.
+    let mut h = lineage::seed(inst.name());
+    for (_, e) in &inputs {
+        h = lineage::mix(h, e.meta.lineage);
+    }
+    h = mix_literals(inst, h);
+
+    // Reuse probe.
+    if let Some(cache) = cache {
+        if let Some(hit) = cache.probe(h) {
+            table.bind(out_id, hit.value, hit.privacy, hit.releasable, h);
+            return Ok(());
+        }
+    }
+
+    // Privacy propagation.
+    let dims = |id: u64| -> (usize, usize) {
+        inputs
+            .iter()
+            .find(|(i, _)| *i == id)
+            .map(|(_, e)| match &*e.value {
+                DataValue::Matrix(m) => m.shape(),
+                _ => (1, 1),
+            })
+            .unwrap_or((0, 0))
+    };
+    let mut privacy = PrivacyLevel::Public;
+    let mut releasable = true;
+    for (id, e) in &inputs {
+        privacy = privacy.max(e.meta.privacy);
+        match e.meta.privacy {
+            PrivacyLevel::Public => {}
+            PrivacyLevel::PrivateAggregate { min_group } => {
+                if !e.meta.releasable && !aggregates_input(inst, *id, &dims, min_group) {
+                    releasable = false;
+                }
+            }
+            PrivacyLevel::Private => {
+                // Strictly private inputs make the output strictly private;
+                // the releasable flag is irrelevant but kept consistent.
+                releasable = false;
+            }
+        }
+    }
+
+    let value = compute(inst, &inputs)?;
+    let value = Arc::new(value);
+    if let Some(cache) = cache {
+        cache.insert(
+            h,
+            CachedEntry {
+                value: Arc::clone(&value),
+                privacy,
+                releasable,
+            },
+        );
+    }
+    table.bind(out_id, value, privacy, releasable, h);
+    Ok(())
+}
+
+/// True when every output cell of `inst` combines at least `k` cells of
+/// the given input along the observation (row) or feature (column)
+/// direction — the paper's release condition: "if these aggregates include
+/// sufficiently many observations and/or features, such aggregates share
+/// information on distributions but do not reveal the raw data" (§2.3).
+fn aggregates_input(
+    inst: &Instruction,
+    input: u64,
+    dims: &impl Fn(u64) -> (usize, usize),
+    k: usize,
+) -> bool {
+    use Instruction::*;
+    match inst {
+        Agg { x, dir, .. } if *x == input => match dir {
+            AggDir::Full => dims(*x).0 >= k || dims(*x).1 >= k,
+            AggDir::Col => dims(*x).0 >= k,
+            AggDir::Row => dims(*x).1 >= k,
+        },
+        // tsmm contracts rows (left) or columns (right).
+        Tsmm { x, left, .. } if *x == input => {
+            if *left {
+                dims(*x).0 >= k
+            } else {
+                dims(*x).1 >= k
+            }
+        }
+        // mmchain contracts both directions of x.
+        MmChain { x, .. } if *x == input => dims(*x).0 >= k || dims(*x).1 >= k,
+        // A matmul contracts the columns of its LEFT operand (each output
+        // cell combines one full row of features) and the rows of its
+        // RIGHT operand (each output cell sums over observations).
+        MatMul { lhs, .. } if *lhs == input => dims(*lhs).1 >= k,
+        MatMul { rhs, .. } if *rhs == input => dims(*rhs).0 >= k,
+        Cov { a, b, .. } if *a == input || *b == input => dims(*a).0 >= k,
+        CentralMoment { a, .. } if *a == input => dims(*a).0 >= k,
+        _ => false,
+    }
+}
+
+/// Mixes literal parameters (but not symbol IDs) into the lineage hash.
+fn mix_literals(inst: &Instruction, h: u64) -> u64 {
+    use Instruction::*;
+    let f = |h: u64, v: f64| lineage::mix(h, v.to_bits());
+    let b = |h: u64, v: bool| lineage::mix(h, v as u64);
+    let u = |h: u64, v: u64| lineage::mix(h, v);
+    match inst {
+        Tsmm { left, .. } => b(h, *left),
+        // The aggregate function is part of the opcode name, but the
+        // direction is not - without it, sum/colSums/rowSums collide.
+        Agg { dir, .. } => u(
+            h,
+            match dir {
+                AggDir::Full => 0,
+                AggDir::Row => 1,
+                AggDir::Col => 2,
+            },
+        ),
+        Scalar { value, swap, .. } => b(f(h, *value), *swap),
+        Axpy { s, sub, .. } => b(f(h, *s), *sub),
+        WCeMm { eps, .. } => f(h, *eps),
+        RemoveEmpty { rows, .. } => b(h, *rows),
+        Replace {
+            pattern,
+            replacement,
+            ..
+        } => f(f(h, *pattern), *replacement),
+        Index {
+            row_lo,
+            row_hi,
+            col_lo,
+            col_hi,
+            ..
+        } => u(u(u(u(h, *row_lo), *row_hi), *col_lo), *col_hi),
+        IndexAssign { row_lo, col_lo, .. } => u(u(h, *row_lo), *col_lo),
+        Order {
+            by,
+            decreasing,
+            index_return,
+            ..
+        } => b(b(u(h, *by), *decreasing), *index_return),
+        Reshape { rows, cols, .. } => u(u(h, *rows), *cols),
+        CTable {
+            dims: Some((r, c)), ..
+        } => u(u(h, *r), *c),
+        CentralMoment { order, .. } => u(h, *order as u64),
+        _ => h,
+    }
+}
+
+/// Borrowed dense view of an entry: zero-copy when the value is already a
+/// dense matrix (the common case), materializing only sparse/compressed/
+/// scalar values. Instruction inputs can be multi-MB partitions, so the
+/// per-instruction clone this avoids dominated federated element-wise ops.
+fn dense(e: &Entry) -> Result<std::borrow::Cow<'_, DenseMatrix>> {
+    match &*e.value {
+        DataValue::Matrix(Matrix::Dense(d)) => Ok(std::borrow::Cow::Borrowed(d)),
+        other => Ok(std::borrow::Cow::Owned(other.to_dense()?)),
+    }
+}
+
+/// Computes the output value of a non-rmvar instruction.
+#[allow(clippy::collapsible_match)]
+fn compute(inst: &Instruction, inputs: &[(u64, Entry)]) -> Result<DataValue> {
+    use Instruction::*;
+    let by_id = |id: u64| -> &Entry {
+        &inputs
+            .iter()
+            .find(|(i, _)| *i == id)
+            .expect("input resolved")
+            .1
+    };
+    let m = |id: u64| -> Result<std::borrow::Cow<'_, DenseMatrix>> { dense(by_id(id)) };
+    Ok(match inst {
+        MatMul { lhs, rhs, .. } => {
+            // Keep the CSR fast path when the left operand is sparse.
+            let l = by_id(*lhs);
+            if let DataValue::Matrix(Matrix::Sparse(s)) = &*l.value {
+                DataValue::from(s.matmul_dense(&*m(*rhs)?)?)
+            } else {
+                DataValue::from(matmul::matmul(&*m(*lhs)?, &*m(*rhs)?)?)
+            }
+        }
+        Tsmm { x, left, .. } => DataValue::from(matmul::tsmm(&*m(*x)?, *left)?),
+        MmChain { x, v, w, .. } => {
+            let wm = w.map(&m).transpose()?;
+            DataValue::from(matmul::mmchain(&*m(*x)?, &*m(*v)?, wm.as_deref())?)
+        }
+        Unary { x, op, .. } => DataValue::from(elementwise::unary(&*m(*x)?, *op)),
+        Softmax { x, .. } => DataValue::from(elementwise::softmax(&*m(*x)?)),
+        Binary { lhs, rhs, op, .. } => {
+            DataValue::from(elementwise::binary(&*m(*lhs)?, *op, &*m(*rhs)?)?)
+        }
+        Scalar {
+            x, op, value, swap, ..
+        } => DataValue::from(elementwise::scalar(&*m(*x)?, *op, *value, *swap)),
+        Agg { x, op, dir, .. } => DataValue::from(aggregates::aggregate(&*m(*x)?, *op, *dir)?),
+        RowIndexMax { x, .. } => DataValue::from(aggregates::row_index_max(&*m(*x)?)?),
+        RowIndexMin { x, .. } => DataValue::from(aggregates::row_index_min(&*m(*x)?)?),
+        CTable { a, b, w, dims, .. } => {
+            let wm = w.map(&m).transpose()?;
+            let d = dims.map(|(r, c)| (r as usize, c as usize));
+            DataValue::from(ternary::ctable(&*m(*a)?, &*m(*b)?, wm.as_deref(), d)?)
+        }
+        IfElse {
+            cond,
+            then_v,
+            else_v,
+            ..
+        } => DataValue::from(ternary::ifelse(&*m(*cond)?, &*m(*then_v)?, &*m(*else_v)?)?),
+        Axpy { x, s, y, sub, .. } => DataValue::from(ternary::axpy(&*m(*x)?, *s, &*m(*y)?, *sub)?),
+        WsLoss { x, w, u, v, .. } => {
+            DataValue::Scalar(quaternary::wsloss(&*m(*x)?, &*m(*w)?, &*m(*u)?, &*m(*v)?)?)
+        }
+        WSigmoid { w, u, v, .. } => {
+            DataValue::from(quaternary::wsigmoid(&*m(*w)?, &*m(*u)?, &*m(*v)?)?)
+        }
+        WDivMm { w, u, v, .. } => {
+            DataValue::from(quaternary::wdivmm_left(&*m(*w)?, &*m(*u)?, &*m(*v)?)?)
+        }
+        WCeMm { w, u, v, eps, .. } => {
+            DataValue::Scalar(quaternary::wcemm(&*m(*w)?, &*m(*u)?, &*m(*v)?, *eps)?)
+        }
+        Transpose { x, .. } => DataValue::from(reorg::transpose(&*m(*x)?)),
+        Rbind { a, b, .. } => DataValue::from(reorg::rbind(&*m(*a)?, &*m(*b)?)?),
+        Cbind { a, b, .. } => DataValue::from(reorg::cbind(&*m(*a)?, &*m(*b)?)?),
+        RemoveEmpty {
+            x, rows, select, ..
+        } => {
+            let sel = select.map(&m).transpose()?;
+            let margin = if *rows { Margin::Rows } else { Margin::Cols };
+            DataValue::from(reorg::remove_empty(&*m(*x)?, margin, sel.as_deref())?)
+        }
+        Replace {
+            x,
+            pattern,
+            replacement,
+            ..
+        } => DataValue::from(reorg::replace(&*m(*x)?, *pattern, *replacement)),
+        Index {
+            x,
+            row_lo,
+            row_hi,
+            col_lo,
+            col_hi,
+            ..
+        } => DataValue::from(reorg::index(
+            &*m(*x)?,
+            *row_lo as usize,
+            *row_hi as usize,
+            *col_lo as usize,
+            *col_hi as usize,
+        )?),
+        IndexAssign {
+            x,
+            row_lo,
+            col_lo,
+            y,
+            ..
+        } => DataValue::from(reorg::index_assign(
+            &*m(*x)?,
+            *row_lo as usize,
+            *col_lo as usize,
+            &*m(*y)?,
+        )?),
+        Diag { x, .. } => DataValue::from(reorg::diag(&*m(*x)?)?),
+        Order {
+            x,
+            by,
+            decreasing,
+            index_return,
+            ..
+        } => DataValue::from(reorg::order(
+            &*m(*x)?,
+            *by as usize,
+            *decreasing,
+            *index_return,
+        )?),
+        GatherRows { x, idx, .. } => DataValue::from(reorg::gather_rows(&*m(*x)?, &*m(*idx)?)?),
+        Reshape { x, rows, cols, .. } => {
+            DataValue::from(m(*x)?.reshape(*rows as usize, *cols as usize)?)
+        }
+        Cov { a, b, .. } => DataValue::Scalar(elementwise::cov(&*m(*a)?, &*m(*b)?)?),
+        CentralMoment { a, order, .. } => {
+            DataValue::Scalar(elementwise::central_moment(&*m(*a)?, *order)?)
+        }
+        Rmvar { .. } => return Err(RuntimeError::Invalid("rmvar handled earlier".into())),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use exdra_matrix::kernels::aggregates::AggOp;
+    use exdra_matrix::kernels::elementwise::BinaryOp;
+    use exdra_matrix::rng::rand_matrix;
+
+    fn table_with(values: &[(u64, DenseMatrix)]) -> SymbolTable {
+        let t = SymbolTable::new();
+        for (id, m) in values {
+            t.bind_public(*id, DataValue::from(m.clone()));
+        }
+        t
+    }
+
+    #[test]
+    fn matmul_executes_and_binds() {
+        let a = rand_matrix(5, 3, -1.0, 1.0, 1);
+        let b = rand_matrix(3, 2, -1.0, 1.0, 2);
+        let t = table_with(&[(1, a.clone()), (2, b.clone())]);
+        execute(
+            &Instruction::MatMul { lhs: 1, rhs: 2, out: 3 },
+            &t,
+            None,
+        )
+        .unwrap();
+        let got = t.value(3).unwrap().to_dense().unwrap();
+        let want = matmul::matmul_naive(&a, &b).unwrap();
+        assert!(got.max_abs_diff(&want) < 1e-12);
+    }
+
+    #[test]
+    fn unknown_input_reports_symbol() {
+        let t = SymbolTable::new();
+        let err = execute(
+            &Instruction::Transpose { x: 9, out: 10 },
+            &t,
+            None,
+        )
+        .unwrap_err();
+        assert!(matches!(err, RuntimeError::UnknownSymbol(9)));
+    }
+
+    #[test]
+    fn rmvar_drops_variables() {
+        let t = table_with(&[(1, DenseMatrix::zeros(2, 2)), (2, DenseMatrix::zeros(2, 2))]);
+        execute(&Instruction::Rmvar { ids: vec![1] }, &t, None).unwrap();
+        assert!(!t.contains(1));
+        assert!(t.contains(2));
+    }
+
+    #[test]
+    fn privacy_propagates_strictest_level() {
+        let t = SymbolTable::new();
+        let x = rand_matrix(100, 4, 0.0, 1.0, 3);
+        t.bind(
+            1,
+            Arc::new(DataValue::from(x)),
+            PrivacyLevel::PrivateAggregate { min_group: 10 },
+            false,
+            11,
+        );
+        t.bind_public(2, DataValue::from(rand_matrix(100, 4, 0.0, 1.0, 4)));
+        execute(
+            &Instruction::Binary {
+                lhs: 1,
+                rhs: 2,
+                op: BinaryOp::Add,
+                out: 3,
+            },
+            &t,
+            None,
+        )
+        .unwrap();
+        let e = t.get(3).unwrap();
+        assert_eq!(
+            e.meta.privacy,
+            PrivacyLevel::PrivateAggregate { min_group: 10 }
+        );
+        assert!(!e.meta.releasable, "element-wise op does not aggregate");
+    }
+
+    #[test]
+    fn aggregation_unlocks_release() {
+        let t = SymbolTable::new();
+        let x = rand_matrix(100, 4, 0.0, 1.0, 5);
+        t.bind(
+            1,
+            Arc::new(DataValue::from(x)),
+            PrivacyLevel::PrivateAggregate { min_group: 10 },
+            false,
+            11,
+        );
+        execute(
+            &Instruction::Agg {
+                x: 1,
+                op: AggOp::Sum,
+                dir: AggDir::Col,
+                out: 2,
+            },
+            &t,
+            None,
+        )
+        .unwrap();
+        assert!(t.get(2).unwrap().meta.releasable, "colSums over 100 rows");
+
+        // Row sums aggregate within a row, not across observations.
+        execute(
+            &Instruction::Agg {
+                x: 1,
+                op: AggOp::Sum,
+                dir: AggDir::Row,
+                out: 3,
+            },
+            &t,
+            None,
+        )
+        .unwrap();
+        assert!(!t.get(3).unwrap().meta.releasable);
+    }
+
+    #[test]
+    fn small_groups_stay_unreleasable() {
+        let t = SymbolTable::new();
+        let x = rand_matrix(5, 4, 0.0, 1.0, 6);
+        t.bind(
+            1,
+            Arc::new(DataValue::from(x)),
+            PrivacyLevel::PrivateAggregate { min_group: 10 },
+            false,
+            11,
+        );
+        execute(
+            &Instruction::Agg {
+                x: 1,
+                op: AggOp::Sum,
+                dir: AggDir::Col,
+                out: 2,
+            },
+            &t,
+            None,
+        )
+        .unwrap();
+        assert!(
+            !t.get(2).unwrap().meta.releasable,
+            "only 5 rows < min_group 10"
+        );
+    }
+
+    #[test]
+    fn strictly_private_stays_private_through_aggregation() {
+        let t = SymbolTable::new();
+        t.bind(
+            1,
+            Arc::new(DataValue::from(rand_matrix(100, 4, 0.0, 1.0, 7))),
+            PrivacyLevel::Private,
+            false,
+            11,
+        );
+        execute(
+            &Instruction::Agg {
+                x: 1,
+                op: AggOp::Sum,
+                dir: AggDir::Full,
+                out: 2,
+            },
+            &t,
+            None,
+        )
+        .unwrap();
+        let e = t.get(2).unwrap();
+        assert_eq!(e.meta.privacy, PrivacyLevel::Private);
+        assert!(!crate::privacy::may_release(e.meta.privacy, e.meta.releasable));
+    }
+
+    #[test]
+    fn lineage_reuse_hits_on_identical_subplan() {
+        let cache = LineageCache::new(1 << 20, true);
+        let a = rand_matrix(10, 10, -1.0, 1.0, 8);
+        // Two runs with fresh IDs but identical data lineage.
+        for run in 0..2 {
+            let t = SymbolTable::new();
+            let base = run * 100;
+            t.bind(
+                base + 1,
+                Arc::new(DataValue::from(a.clone())),
+                PrivacyLevel::Public,
+                true,
+                777, // same source lineage across runs
+            );
+            execute(
+                &Instruction::Tsmm {
+                    x: base + 1,
+                    left: true,
+                    out: base + 2,
+                },
+                &t,
+                Some(&cache),
+            )
+            .unwrap();
+        }
+        assert_eq!(cache.hits(), 1);
+        assert_eq!(cache.misses(), 1);
+    }
+
+    #[test]
+    fn lineage_distinguishes_literals() {
+        let cache = LineageCache::new(1 << 20, true);
+        let t = SymbolTable::new();
+        t.bind(
+            1,
+            Arc::new(DataValue::from(rand_matrix(4, 4, 0.0, 1.0, 9))),
+            PrivacyLevel::Public,
+            true,
+            42,
+        );
+        for (out, v) in [(2u64, 1.0f64), (3, 2.0)] {
+            execute(
+                &Instruction::Scalar {
+                    x: 1,
+                    op: BinaryOp::Mul,
+                    value: v,
+                    swap: false,
+                    out,
+                },
+                &t,
+                Some(&cache),
+            )
+            .unwrap();
+        }
+        assert_eq!(cache.hits(), 0, "different literals must not collide");
+        assert_eq!(
+            t.value(3).unwrap().to_dense().unwrap().get(0, 0),
+            2.0 * t.value(1).unwrap().to_dense().unwrap().get(0, 0)
+        );
+    }
+
+    #[test]
+    fn scalar_results_flow_into_matrix_ops() {
+        let t = table_with(&[
+            (1, DenseMatrix::col_vector(&[1., 2., 3., 4.])),
+            (2, DenseMatrix::col_vector(&[2., 4., 6., 8.])),
+        ]);
+        execute(&Instruction::Cov { a: 1, b: 2, out: 3 }, &t, None).unwrap();
+        assert!((t.value(3).unwrap().as_scalar().unwrap() - 10.0 / 3.0).abs() < 1e-12);
+        // The 1x1 scalar can be used as a broadcast operand.
+        execute(
+            &Instruction::Binary {
+                lhs: 1,
+                rhs: 3,
+                op: BinaryOp::Mul,
+                out: 4,
+            },
+            &t,
+            None,
+        )
+        .unwrap();
+        assert_eq!(t.value(4).unwrap().to_dense().unwrap().rows(), 4);
+    }
+}

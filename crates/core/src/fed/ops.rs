@@ -1,0 +1,1195 @@
+//! Federated linear algebra (paper §4.2).
+//!
+//! Operations on [`FedMatrix`] compose the six request types into the
+//! paper's dispatch patterns: *broadcast* side inputs (full or sliced by
+//! partition range), *local execution* per partition via `EXEC_INST`, and
+//! *aggregation* of partial results at the coordinator. Where no
+//! aggregation is needed the output is itself federated data with a
+//! "logical rbind" federation map (paper Example 2).
+
+use std::collections::HashSet;
+
+use exdra_matrix::kernels::aggregates::{AggDir, AggOp};
+use exdra_matrix::kernels::elementwise::{BinaryOp, UnaryOp};
+use exdra_matrix::kernels::reorg;
+use exdra_matrix::DenseMatrix;
+
+use crate::coordinator::expect_data;
+use crate::error::{Result, RuntimeError};
+use crate::instruction::Instruction;
+use crate::privacy::PrivacyLevel;
+use crate::protocol::Request;
+use crate::value::DataValue;
+
+use super::{FedMatrix, FedPartition, PartitionScheme};
+
+impl FedMatrix {
+    // --- broadcast helpers -------------------------------------------------
+
+    /// Broadcasts a side input to every worker holding a partition,
+    /// returning the shared symbol ID. The ID is garbage-queued afterwards
+    /// by the caller via [`FedMatrix::retire_broadcast`].
+    fn workers_of(&self) -> Vec<usize> {
+        let mut seen = HashSet::new();
+        let mut out = Vec::new();
+        for p in self.parts() {
+            if seen.insert(p.worker) {
+                out.push(p.worker);
+            }
+        }
+        out
+    }
+
+    fn retire_broadcast(&self, id: u64) {
+        for w in self.workers_of() {
+            self.ctx().enqueue_garbage(w, id);
+        }
+    }
+
+    /// `self %*% rhs` with a local right-hand side.
+    ///
+    /// Row scheme (paper's matrix-vector case): broadcast `rhs`, multiply
+    /// per partition, output federated with the same row map.
+    /// Col scheme: sliced broadcast of `rhs` rows per column range, partial
+    /// products summed at the coordinator (local output).
+    pub fn matmul_rhs_local(&self, rhs: &DenseMatrix) -> Result<crate::tensor::Tensor> {
+        if self.cols() != rhs.rows() {
+            return Err(RuntimeError::Matrix(exdra_matrix::MatrixError::DimensionMismatch {
+                op: "fed_matmul",
+                lhs: self.shape(),
+                rhs: rhs.shape(),
+            }));
+        }
+        match self.scheme() {
+            PartitionScheme::Row => {
+                let rhs_id = self.ctx().fresh_id();
+                let (parts, _) = self.fresh_like(self.rows(), rhs.cols());
+                let mut sent: HashSet<usize> = HashSet::new();
+                let mut i = 0usize;
+                self.per_part(|p| {
+                    let mut batch = Vec::new();
+                    if sent.insert(p.worker) {
+                        batch.push(Request::Put {
+                            id: rhs_id,
+                            data: DataValue::from(rhs.clone()),
+                            privacy: PrivacyLevel::Public,
+                        });
+                    }
+                    batch.push(Request::ExecInst {
+                        inst: Instruction::MatMul {
+                            lhs: p.id,
+                            rhs: rhs_id,
+                            out: parts[i].id,
+                        },
+                    });
+                    i += 1;
+                    batch
+                })?;
+                self.retire_broadcast(rhs_id);
+                Ok(crate::tensor::Tensor::Fed(self.sibling(
+                    self.rows(),
+                    rhs.cols(),
+                    parts,
+                    self.privacy(),
+                )?))
+            }
+            PartitionScheme::Col => {
+                // Partial products X_w (m x len) * rhs[lo:hi, :] summed up.
+                let mut acc: Option<DenseMatrix> = None;
+                let results = self.per_part(|p| {
+                    let slice_id = self.ctx().fresh_id();
+                    let out_id = self.ctx().fresh_id();
+                    let slice = reorg::index(rhs, p.lo, p.hi, 0, rhs.cols())
+                        .expect("validated range");
+                    vec![
+                        Request::Put {
+                            id: slice_id,
+                            data: DataValue::from(slice),
+                            privacy: PrivacyLevel::Public,
+                        },
+                        Request::ExecInst {
+                            inst: Instruction::MatMul {
+                                lhs: p.id,
+                                rhs: slice_id,
+                                out: out_id,
+                            },
+                        },
+                        Request::Get { id: out_id },
+                        Request::ExecInst {
+                            inst: Instruction::Rmvar {
+                                ids: vec![slice_id, out_id],
+                            },
+                        },
+                    ]
+                })?;
+                for (p, rs) in self.parts().iter().zip(&results) {
+                    let partial = expect_data(&rs[2], p.worker)?.to_dense()?;
+                    acc = Some(match acc {
+                        None => partial,
+                        Some(a) => a.zip(&partial, "+", |x, y| x + y)?,
+                    });
+                }
+                Ok(crate::tensor::Tensor::Local(
+                    acc.expect("at least one partition"),
+                ))
+            }
+        }
+    }
+
+    /// `lhs %*% self` with a local left-hand side.
+    ///
+    /// Row scheme (paper's vector-matrix case): *sliced* broadcast of the
+    /// `lhs` columns matching each row range, partial products aggregated
+    /// by element-wise addition at the coordinator.
+    /// Col scheme: broadcast `lhs`, output federated with the same col map.
+    pub fn matmul_lhs_local(&self, lhs: &DenseMatrix) -> Result<crate::tensor::Tensor> {
+        if lhs.cols() != self.rows() {
+            return Err(RuntimeError::Matrix(exdra_matrix::MatrixError::DimensionMismatch {
+                op: "fed_matmul",
+                lhs: lhs.shape(),
+                rhs: self.shape(),
+            }));
+        }
+        match self.scheme() {
+            PartitionScheme::Row => {
+                let mut acc: Option<DenseMatrix> = None;
+                let results = self.per_part(|p| {
+                    let slice_id = self.ctx().fresh_id();
+                    let out_id = self.ctx().fresh_id();
+                    let slice = reorg::index(lhs, 0, lhs.rows(), p.lo, p.hi)
+                        .expect("validated range");
+                    vec![
+                        Request::Put {
+                            id: slice_id,
+                            data: DataValue::from(slice),
+                            privacy: PrivacyLevel::Public,
+                        },
+                        Request::ExecInst {
+                            inst: Instruction::MatMul {
+                                lhs: slice_id,
+                                rhs: p.id,
+                                out: out_id,
+                            },
+                        },
+                        Request::Get { id: out_id },
+                        Request::ExecInst {
+                            inst: Instruction::Rmvar {
+                                ids: vec![slice_id, out_id],
+                            },
+                        },
+                    ]
+                })?;
+                for (p, rs) in self.parts().iter().zip(&results) {
+                    let partial = expect_data(&rs[2], p.worker)?.to_dense()?;
+                    acc = Some(match acc {
+                        None => partial,
+                        Some(a) => a.zip(&partial, "+", |x, y| x + y)?,
+                    });
+                }
+                Ok(crate::tensor::Tensor::Local(
+                    acc.expect("at least one partition"),
+                ))
+            }
+            PartitionScheme::Col => {
+                let lhs_id = self.ctx().fresh_id();
+                let (parts, _) = self.fresh_like(lhs.rows(), self.cols());
+                let mut sent: HashSet<usize> = HashSet::new();
+                let mut i = 0usize;
+                self.per_part(|p| {
+                    let mut batch = Vec::new();
+                    if sent.insert(p.worker) {
+                        batch.push(Request::Put {
+                            id: lhs_id,
+                            data: DataValue::from(lhs.clone()),
+                            privacy: PrivacyLevel::Public,
+                        });
+                    }
+                    batch.push(Request::ExecInst {
+                        inst: Instruction::MatMul {
+                            lhs: lhs_id,
+                            rhs: p.id,
+                            out: parts[i].id,
+                        },
+                    });
+                    i += 1;
+                    batch
+                })?;
+                self.retire_broadcast(lhs_id);
+                Ok(crate::tensor::Tensor::Fed(self.sibling(
+                    lhs.rows(),
+                    self.cols(),
+                    parts,
+                    self.privacy(),
+                )?))
+            }
+        }
+    }
+
+    /// `t(self) %*% self` (tsmm) for row-partitioned data: per-partition
+    /// `XᵀX`, partial Gram matrices summed at the coordinator.
+    pub fn tsmm(&self) -> Result<DenseMatrix> {
+        if self.scheme() != PartitionScheme::Row {
+            return Err(RuntimeError::Unsupported(
+                "tsmm currently requires row-partitioned federated data".into(),
+            ));
+        }
+        let mut acc: Option<DenseMatrix> = None;
+        let results = self.per_part(|p| {
+            let out_id = self.ctx().fresh_id();
+            vec![
+                Request::ExecInst {
+                    inst: Instruction::Tsmm {
+                        x: p.id,
+                        left: true,
+                        out: out_id,
+                    },
+                },
+                Request::Get { id: out_id },
+                Request::ExecInst {
+                    inst: Instruction::Rmvar { ids: vec![out_id] },
+                },
+            ]
+        })?;
+        for (p, rs) in self.parts().iter().zip(&results) {
+            let partial = expect_data(&rs[1], p.worker)?.to_dense()?;
+            acc = Some(match acc {
+                None => partial,
+                Some(a) => a.zip(&partial, "+", |x, y| x + y)?,
+            });
+        }
+        Ok(acc.expect("at least one partition"))
+    }
+
+    /// Fused `t(self) %*% (w ⊙ (self %*% v))` (mmchain) for row-partitioned
+    /// data: broadcast `v`, optionally slice a local `w`, aggregate partial
+    /// results by addition. This is LM's and MLogReg's inner-loop pattern.
+    pub fn mmchain(&self, v: &DenseMatrix, w: Option<&DenseMatrix>) -> Result<DenseMatrix> {
+        if self.scheme() != PartitionScheme::Row {
+            return Err(RuntimeError::Unsupported(
+                "mmchain requires row-partitioned federated data".into(),
+            ));
+        }
+        if v.rows() != self.cols() || v.cols() != 1 {
+            return Err(RuntimeError::Matrix(exdra_matrix::MatrixError::DimensionMismatch {
+                op: "fed_mmchain",
+                lhs: self.shape(),
+                rhs: v.shape(),
+            }));
+        }
+        if let Some(w) = w {
+            if w.rows() != self.rows() || w.cols() != 1 {
+                return Err(RuntimeError::Matrix(
+                    exdra_matrix::MatrixError::DimensionMismatch {
+                        op: "fed_mmchain",
+                        lhs: self.shape(),
+                        rhs: w.shape(),
+                    },
+                ));
+            }
+        }
+        let v_id = self.ctx().fresh_id();
+        let mut sent: HashSet<usize> = HashSet::new();
+        let mut acc: Option<DenseMatrix> = None;
+        let results = self.per_part(|p| {
+            let out_id = self.ctx().fresh_id();
+            let mut batch = Vec::new();
+            if sent.insert(p.worker) {
+                batch.push(Request::Put {
+                    id: v_id,
+                    data: DataValue::from(v.clone()),
+                    privacy: PrivacyLevel::Public,
+                });
+            }
+            let w_id = w.map(|w| {
+                let id = self.ctx().fresh_id();
+                let slice = reorg::index(w, p.lo, p.hi, 0, 1).expect("validated range");
+                batch.push(Request::Put {
+                    id,
+                    data: DataValue::from(slice),
+                    privacy: PrivacyLevel::Public,
+                });
+                id
+            });
+            batch.push(Request::ExecInst {
+                inst: Instruction::MmChain {
+                    x: p.id,
+                    v: v_id,
+                    w: w_id,
+                    out: out_id,
+                },
+            });
+            batch.push(Request::Get { id: out_id });
+            let mut rm = vec![out_id];
+            rm.extend(w_id);
+            batch.push(Request::ExecInst {
+                inst: Instruction::Rmvar { ids: rm },
+            });
+            batch
+        })?;
+        self.retire_broadcast(v_id);
+        for (p, rs) in self.parts().iter().zip(&results) {
+            let get_idx = rs.len() - 2;
+            let partial = expect_data(&rs[get_idx], p.worker)?.to_dense()?;
+            acc = Some(match acc {
+                None => partial,
+                Some(a) => a.zip(&partial, "+", |x, y| x + y)?,
+            });
+        }
+        Ok(acc.expect("at least one partition"))
+    }
+
+    /// Aligned `t(self) %*% other` over two co-partitioned (row) federated
+    /// matrices — the `t(P) %*% X` aggregation of K-Means (Example 3).
+    pub fn aligned_matmul_t(&self, other: &FedMatrix) -> Result<DenseMatrix> {
+        if !self.aligned_with(other) {
+            return Err(RuntimeError::Unsupported(
+                "t(A) %*% B needs co-partitioned federated inputs".into(),
+            ));
+        }
+        if self.scheme() != PartitionScheme::Row {
+            return Err(RuntimeError::Unsupported(
+                "aligned t(A) %*% B requires row partitioning".into(),
+            ));
+        }
+        let other_parts: Vec<FedPartition> = other.parts().to_vec();
+        let mut i = 0usize;
+        let mut acc: Option<DenseMatrix> = None;
+        let results = self.per_part(|p| {
+            let t_id = self.ctx().fresh_id();
+            let out_id = self.ctx().fresh_id();
+            let q = &other_parts[i];
+            i += 1;
+            vec![
+                Request::ExecInst {
+                    inst: Instruction::Transpose { x: p.id, out: t_id },
+                },
+                Request::ExecInst {
+                    inst: Instruction::MatMul {
+                        lhs: t_id,
+                        rhs: q.id,
+                        out: out_id,
+                    },
+                },
+                Request::Get { id: out_id },
+                Request::ExecInst {
+                    inst: Instruction::Rmvar {
+                        ids: vec![t_id, out_id],
+                    },
+                },
+            ]
+        })?;
+        for (p, rs) in self.parts().iter().zip(&results) {
+            let partial = expect_data(&rs[2], p.worker)?.to_dense()?;
+            acc = Some(match acc {
+                None => partial,
+                Some(a) => a.zip(&partial, "+", |x, y| x + y)?,
+            });
+        }
+        Ok(acc.expect("at least one partition"))
+    }
+
+    /// Element-wise unary op; output stays federated.
+    pub fn unary(&self, op: UnaryOp) -> Result<FedMatrix> {
+        let (parts, _) = self.fresh_like(self.rows(), self.cols());
+        let mut i = 0usize;
+        self.per_part(|p| {
+            let inst = Instruction::Unary {
+                x: p.id,
+                op,
+                out: parts[i].id,
+            };
+            i += 1;
+            vec![Request::ExecInst { inst }]
+        })?;
+        self.sibling(self.rows(), self.cols(), parts, self.privacy())
+    }
+
+    /// Row-wise softmax (row-partitioned only; rows are site-local).
+    pub fn softmax(&self) -> Result<FedMatrix> {
+        if self.scheme() != PartitionScheme::Row {
+            return Err(RuntimeError::Unsupported(
+                "softmax requires row-partitioned federated data".into(),
+            ));
+        }
+        let (parts, _) = self.fresh_like(self.rows(), self.cols());
+        let mut i = 0usize;
+        self.per_part(|p| {
+            let inst = Instruction::Softmax {
+                x: p.id,
+                out: parts[i].id,
+            };
+            i += 1;
+            vec![Request::ExecInst { inst }]
+        })?;
+        self.sibling(self.rows(), self.cols(), parts, self.privacy())
+    }
+
+    /// Matrix-scalar op with a literal scalar; output stays federated.
+    pub fn scalar_op(&self, op: BinaryOp, value: f64, swap: bool) -> Result<FedMatrix> {
+        let (parts, _) = self.fresh_like(self.rows(), self.cols());
+        let mut i = 0usize;
+        self.per_part(|p| {
+            let inst = Instruction::Scalar {
+                x: p.id,
+                op,
+                value,
+                swap,
+                out: parts[i].id,
+            };
+            i += 1;
+            vec![Request::ExecInst { inst }]
+        })?;
+        self.sibling(self.rows(), self.cols(), parts, self.privacy())
+    }
+
+    /// Element-wise binary op with a co-partitioned federated right-hand
+    /// side ("whenever two federated inputs are co-partitioned ... we
+    /// directly execute federated operations on them").
+    pub fn binary_fed(&self, op: BinaryOp, other: &FedMatrix) -> Result<FedMatrix> {
+        if !self.aligned_with(other) {
+            return Err(RuntimeError::Unsupported(
+                "binary op on non-co-partitioned federated matrices".into(),
+            ));
+        }
+        // Broadcasting: other may be an aligned vector (e.g. row sums).
+        let shapes_ok = other.shape() == self.shape()
+            || (self.scheme() == PartitionScheme::Row
+                && other.cols() == 1
+                && other.rows() == self.rows())
+            || (self.scheme() == PartitionScheme::Col
+                && other.rows() == 1
+                && other.cols() == self.cols());
+        if !shapes_ok {
+            return Err(RuntimeError::Matrix(exdra_matrix::MatrixError::DimensionMismatch {
+                op: "fed_binary",
+                lhs: self.shape(),
+                rhs: other.shape(),
+            }));
+        }
+        let other_parts: Vec<FedPartition> = other.parts().to_vec();
+        let (parts, _) = self.fresh_like(self.rows(), self.cols());
+        let mut i = 0usize;
+        self.per_part(|p| {
+            let inst = Instruction::Binary {
+                lhs: p.id,
+                rhs: other_parts[i].id,
+                op,
+                out: parts[i].id,
+            };
+            i += 1;
+            vec![Request::ExecInst { inst }]
+        })?;
+        self.sibling(
+            self.rows(),
+            self.cols(),
+            parts,
+            self.privacy().max(other.privacy()),
+        )
+    }
+
+    /// Element-wise binary op with a local right-hand side (scalar, row
+    /// vector, column vector, or full matrix): broadcast fully or sliced
+    /// according to the partition ranges.
+    pub fn binary_local(&self, op: BinaryOp, rhs: &DenseMatrix) -> Result<FedMatrix> {
+        if rhs.shape() == (1, 1) {
+            return self.scalar_op(op, rhs.get(0, 0), false);
+        }
+        // Decide slicing: which rhs region does partition p need?
+        let slice_for = |p: &FedPartition| -> Result<DenseMatrix> {
+            match self.scheme() {
+                PartitionScheme::Row => {
+                    if rhs.rows() == 1 && rhs.cols() == self.cols() {
+                        Ok(rhs.clone()) // row vector: full broadcast
+                    } else if rhs.cols() == 1 && rhs.rows() == self.rows() {
+                        Ok(reorg::index(rhs, p.lo, p.hi, 0, 1)?)
+                    } else if rhs.shape() == self.shape() {
+                        Ok(reorg::index(rhs, p.lo, p.hi, 0, rhs.cols())?)
+                    } else {
+                        Err(exdra_matrix::MatrixError::DimensionMismatch {
+                            op: "fed_binary",
+                            lhs: self.shape(),
+                            rhs: rhs.shape(),
+                        }
+                        .into())
+                    }
+                }
+                PartitionScheme::Col => {
+                    if rhs.cols() == 1 && rhs.rows() == self.rows() {
+                        Ok(rhs.clone()) // col vector: full broadcast
+                    } else if rhs.rows() == 1 && rhs.cols() == self.cols() {
+                        Ok(reorg::index(rhs, 0, 1, p.lo, p.hi)?)
+                    } else if rhs.shape() == self.shape() {
+                        Ok(reorg::index(rhs, 0, rhs.rows(), p.lo, p.hi)?)
+                    } else {
+                        Err(exdra_matrix::MatrixError::DimensionMismatch {
+                            op: "fed_binary",
+                            lhs: self.shape(),
+                            rhs: rhs.shape(),
+                        }
+                        .into())
+                    }
+                }
+            }
+        };
+        // Validate all slices up front (per_part closures cannot fail).
+        let mut slices = Vec::with_capacity(self.parts().len());
+        for p in self.parts() {
+            slices.push(slice_for(p)?);
+        }
+        let (parts, _) = self.fresh_like(self.rows(), self.cols());
+        let mut i = 0usize;
+        self.per_part(|_p| {
+            let rhs_id = self.ctx().fresh_id();
+            let batch = vec![
+                Request::Put {
+                    id: rhs_id,
+                    data: DataValue::from(slices[i].clone()),
+                    privacy: PrivacyLevel::Public,
+                },
+                Request::ExecInst {
+                    inst: Instruction::Binary {
+                        lhs: self.parts()[i].id,
+                        rhs: rhs_id,
+                        op,
+                        out: parts[i].id,
+                    },
+                },
+                Request::ExecInst {
+                    inst: Instruction::Rmvar { ids: vec![rhs_id] },
+                },
+            ];
+            i += 1;
+            batch
+        })?;
+        self.sibling(self.rows(), self.cols(), parts, self.privacy())
+    }
+
+    /// Federated aggregate. Aggregation *along* the partitioned dimension's
+    /// orthogonal axis stays federated (e.g. `rowSums` of row-partitioned
+    /// data); aggregation *across* partitions combines partial statistics
+    /// at the coordinator (e.g. `colSums`, `sum`, `var`).
+    pub fn agg(&self, op: AggOp, dir: AggDir) -> Result<crate::tensor::Tensor> {
+        let stays_federated = matches!(
+            (self.scheme(), dir),
+            (PartitionScheme::Row, AggDir::Row) | (PartitionScheme::Col, AggDir::Col)
+        );
+        if stays_federated {
+            let (rows, cols) = match dir {
+                AggDir::Row => (self.rows(), 1),
+                AggDir::Col => (1, self.cols()),
+                AggDir::Full => unreachable!(),
+            };
+            let (parts, _) = self.fresh_like(rows, cols);
+            let mut i = 0usize;
+            self.per_part(|p| {
+                let inst = Instruction::Agg {
+                    x: p.id,
+                    op,
+                    dir,
+                    out: parts[i].id,
+                };
+                i += 1;
+                vec![Request::ExecInst { inst }]
+            })?;
+            return Ok(crate::tensor::Tensor::Fed(self.sibling(
+                rows,
+                cols,
+                parts,
+                self.privacy(),
+            )?));
+        }
+
+        // Cross-partition aggregation via partial statistics.
+        let needs_sumsq = matches!(op, AggOp::Var | AggOp::Sd);
+        let base_op = match op {
+            AggOp::Min => AggOp::Min,
+            AggOp::Max => AggOp::Max,
+            AggOp::SumSq => AggOp::SumSq,
+            _ => AggOp::Sum,
+        };
+        let results = self.per_part(|p| {
+            let sum_id = self.ctx().fresh_id();
+            let mut batch = vec![
+                Request::ExecInst {
+                    inst: Instruction::Agg {
+                        x: p.id,
+                        op: base_op,
+                        dir,
+                        out: sum_id,
+                    },
+                },
+                Request::Get { id: sum_id },
+            ];
+            let mut rm = vec![sum_id];
+            if needs_sumsq {
+                let sq_id = self.ctx().fresh_id();
+                batch.push(Request::ExecInst {
+                    inst: Instruction::Agg {
+                        x: p.id,
+                        op: AggOp::SumSq,
+                        dir,
+                        out: sq_id,
+                    },
+                });
+                batch.push(Request::Get { id: sq_id });
+                rm.push(sq_id);
+            }
+            batch.push(Request::ExecInst {
+                inst: Instruction::Rmvar { ids: rm },
+            });
+            batch
+        })?;
+        let mut sum_acc: Option<DenseMatrix> = None;
+        let mut sq_acc: Option<DenseMatrix> = None;
+        for (p, rs) in self.parts().iter().zip(&results) {
+            let partial = expect_data(&rs[1], p.worker)?.to_dense()?;
+            sum_acc = Some(match sum_acc {
+                None => partial,
+                Some(a) => match base_op {
+                    AggOp::Min => a.zip(&partial, "min", f64::min)?,
+                    AggOp::Max => a.zip(&partial, "max", f64::max)?,
+                    _ => a.zip(&partial, "+", |x, y| x + y)?,
+                },
+            });
+            if needs_sumsq {
+                let sq = expect_data(&rs[3], p.worker)?.to_dense()?;
+                sq_acc = Some(match sq_acc {
+                    None => sq,
+                    Some(a) => a.zip(&sq, "+", |x, y| x + y)?,
+                });
+            }
+        }
+        let sums = sum_acc.expect("at least one partition");
+        // Number of cells aggregated into each output cell.
+        let n = match dir {
+            AggDir::Full => self.rows() * self.cols(),
+            AggDir::Col => self.rows(),
+            AggDir::Row => self.cols(),
+        } as f64;
+        let out = match op {
+            AggOp::Sum | AggOp::SumSq | AggOp::Min | AggOp::Max => sums,
+            AggOp::Mean => sums.map(|v| v / n),
+            AggOp::Var | AggOp::Sd => {
+                let sq = sq_acc.expect("sumsq collected");
+                let var = sq.zip(&sums, "var", |sq, s| ((sq - s * s / n) / (n - 1.0)).max(0.0))?;
+                if op == AggOp::Var {
+                    var
+                } else {
+                    var.map(f64::sqrt)
+                }
+            }
+        };
+        Ok(crate::tensor::Tensor::Local(out))
+    }
+
+    /// 1-based row-wise argmax (row-partitioned; rows are site-local).
+    pub fn row_index_max(&self) -> Result<FedMatrix> {
+        self.row_index(true)
+    }
+
+    /// 1-based row-wise argmin.
+    pub fn row_index_min(&self) -> Result<FedMatrix> {
+        self.row_index(false)
+    }
+
+    fn row_index(&self, max: bool) -> Result<FedMatrix> {
+        if self.scheme() != PartitionScheme::Row {
+            return Err(RuntimeError::Unsupported(
+                "rowIndexMax/Min require row-partitioned federated data".into(),
+            ));
+        }
+        let (parts, _) = self.fresh_like(self.rows(), 1);
+        let mut i = 0usize;
+        self.per_part(|p| {
+            let inst = if max {
+                Instruction::RowIndexMax {
+                    x: p.id,
+                    out: parts[i].id,
+                }
+            } else {
+                Instruction::RowIndexMin {
+                    x: p.id,
+                    out: parts[i].id,
+                }
+            };
+            i += 1;
+            vec![Request::ExecInst { inst }]
+        })?;
+        self.sibling(self.rows(), 1, parts, self.privacy())
+    }
+
+    /// Federated transpose: per-partition transpose with the scheme
+    /// flipped (row partitions become column partitions).
+    pub fn transpose(&self) -> Result<FedMatrix> {
+        let flipped = match self.scheme() {
+            PartitionScheme::Row => PartitionScheme::Col,
+            PartitionScheme::Col => PartitionScheme::Row,
+        };
+        let mut parts = Vec::with_capacity(self.parts().len());
+        for p in self.parts() {
+            parts.push(FedPartition {
+                lo: p.lo,
+                hi: p.hi,
+                worker: p.worker,
+                id: self.ctx().fresh_id(),
+            });
+        }
+        let mut i = 0usize;
+        self.per_part(|p| {
+            let inst = Instruction::Transpose {
+                x: p.id,
+                out: parts[i].id,
+            };
+            i += 1;
+            vec![Request::ExecInst { inst }]
+        })?;
+        FedMatrix::from_parts(
+            std::sync::Arc::clone(self.ctx()),
+            flipped,
+            self.cols(),
+            self.rows(),
+            parts,
+            self.privacy(),
+            true,
+        )
+    }
+
+    /// Federated right indexing `self[rl:ru, cl:cu]` (half-open).
+    /// Row-partitioned: intersects the row range with the federation map,
+    /// slicing only the overlapping partitions — no data leaves the sites.
+    pub fn index(
+        &self,
+        row_lo: usize,
+        row_hi: usize,
+        col_lo: usize,
+        col_hi: usize,
+    ) -> Result<FedMatrix> {
+        if self.scheme() != PartitionScheme::Row {
+            return Err(RuntimeError::Unsupported(
+                "federated indexing currently requires row partitioning".into(),
+            ));
+        }
+        if row_lo >= row_hi || row_hi > self.rows() || col_lo >= col_hi || col_hi > self.cols() {
+            return Err(RuntimeError::Invalid(format!(
+                "index [{row_lo}:{row_hi}, {col_lo}:{col_hi}] out of {:?}",
+                self.shape()
+            )));
+        }
+        let mut new_parts = Vec::new();
+        let mut work = Vec::new(); // (source part idx, local lo, local hi)
+        for (i, p) in self.parts().iter().enumerate() {
+            let lo = p.lo.max(row_lo);
+            let hi = p.hi.min(row_hi);
+            if lo < hi {
+                new_parts.push(FedPartition {
+                    lo: lo - row_lo,
+                    hi: hi - row_lo,
+                    worker: p.worker,
+                    id: self.ctx().fresh_id(),
+                });
+                work.push((i, lo - p.lo, hi - p.lo));
+            }
+        }
+        // Issue Index instructions only on overlapping partitions.
+        let mut batches = vec![Vec::new(); self.ctx().num_workers()];
+        for (np, (src, lo, hi)) in new_parts.iter().zip(&work) {
+            let p = &self.parts()[*src];
+            batches[p.worker].push(Request::ExecInst {
+                inst: Instruction::Index {
+                    x: p.id,
+                    row_lo: *lo as u64,
+                    row_hi: *hi as u64,
+                    col_lo: col_lo as u64,
+                    col_hi: col_hi as u64,
+                    out: np.id,
+                },
+            });
+        }
+        let responses = self.ctx().call_all(batches)?;
+        for (w, rs) in responses.iter().enumerate() {
+            for r in rs {
+                crate::coordinator::expect_ok(r, w)?;
+            }
+        }
+        FedMatrix::from_parts(
+            std::sync::Arc::clone(self.ctx()),
+            PartitionScheme::Row,
+            row_hi - row_lo,
+            col_hi - col_lo,
+            new_parts,
+            self.privacy(),
+            true,
+        )
+    }
+
+    /// Logical `rbind` of two row-partitioned federated matrices: pure
+    /// metadata concatenation, no data movement (paper Example 2's
+    /// "logical rbind").
+    pub fn rbind_fed(&self, other: &FedMatrix) -> Result<FedMatrix> {
+        if self.scheme() != PartitionScheme::Row || other.scheme() != PartitionScheme::Row {
+            return Err(RuntimeError::Unsupported(
+                "rbind requires row-partitioned federated inputs".into(),
+            ));
+        }
+        if self.cols() != other.cols() {
+            return Err(RuntimeError::Matrix(exdra_matrix::MatrixError::DimensionMismatch {
+                op: "fed_rbind",
+                lhs: self.shape(),
+                rhs: other.shape(),
+            }));
+        }
+        let mut parts = self.parts().to_vec();
+        for p in other.parts() {
+            parts.push(FedPartition {
+                lo: p.lo + self.rows(),
+                hi: p.hi + self.rows(),
+                worker: p.worker,
+                id: p.id,
+            });
+        }
+        FedMatrix::from_parts_aliasing(
+            std::sync::Arc::clone(self.ctx()),
+            PartitionScheme::Row,
+            self.rows() + other.rows(),
+            self.cols(),
+            parts,
+            self.privacy().max(other.privacy()),
+            vec![self.guard(), other.guard()],
+        )
+    }
+
+    /// Aligned `cbind` of two co-partitioned row-federated matrices: each
+    /// site concatenates its local parts.
+    pub fn cbind_aligned(&self, other: &FedMatrix) -> Result<FedMatrix> {
+        if !self.aligned_with(other) {
+            return Err(RuntimeError::Unsupported(
+                "cbind needs co-partitioned federated inputs".into(),
+            ));
+        }
+        let other_parts: Vec<FedPartition> = other.parts().to_vec();
+        let (parts, _) = self.fresh_like(self.rows(), self.cols() + other.cols());
+        let mut i = 0usize;
+        self.per_part(|p| {
+            let inst = Instruction::Cbind {
+                a: p.id,
+                b: other_parts[i].id,
+                out: parts[i].id,
+            };
+            i += 1;
+            vec![Request::ExecInst { inst }]
+        })?;
+        self.sibling(
+            self.rows(),
+            self.cols() + other.cols(),
+            parts,
+            self.privacy().max(other.privacy()),
+        )
+    }
+
+    /// Federated `replace` (pattern may be NaN for missing values).
+    pub fn replace(&self, pattern: f64, replacement: f64) -> Result<FedMatrix> {
+        let (parts, _) = self.fresh_like(self.rows(), self.cols());
+        let mut i = 0usize;
+        self.per_part(|p| {
+            let inst = Instruction::Replace {
+                x: p.id,
+                pattern,
+                replacement,
+                out: parts[i].id,
+            };
+            i += 1;
+            vec![Request::ExecInst { inst }]
+        })?;
+        self.sibling(self.rows(), self.cols(), parts, self.privacy())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tensor::Tensor;
+    use crate::testutil::mem_federation;
+    use exdra_matrix::kernels::aggregates;
+    use exdra_matrix::kernels::matmul;
+    use exdra_matrix::rng::rand_matrix;
+
+    fn fed_of(
+        n_workers: usize,
+        x: &DenseMatrix,
+    ) -> (std::sync::Arc<crate::FedContext>, FedMatrix) {
+        let (ctx, _workers) = mem_federation(n_workers);
+        let fed = FedMatrix::scatter_rows(&ctx, x, PrivacyLevel::Public).unwrap();
+        (ctx, fed)
+    }
+
+    #[test]
+    fn fed_matvec_matches_local() {
+        let x = rand_matrix(90, 12, -1.0, 1.0, 101);
+        let v = rand_matrix(12, 1, -1.0, 1.0, 102);
+        let (_ctx, fed) = fed_of(3, &x);
+        let got = fed.matmul_rhs_local(&v).unwrap();
+        assert!(got.is_fed(), "matrix-vector output stays federated");
+        let want = matmul::matmul(&x, &v).unwrap();
+        assert!(got.to_local().unwrap().max_abs_diff(&want) < 1e-10);
+    }
+
+    #[test]
+    fn fed_vecmat_matches_local() {
+        let x = rand_matrix(90, 12, -1.0, 1.0, 103);
+        let vt = rand_matrix(1, 90, -1.0, 1.0, 104);
+        let (_ctx, fed) = fed_of(3, &x);
+        let got = fed.matmul_lhs_local(&vt).unwrap();
+        assert!(!got.is_fed(), "vector-matrix output is aggregated locally");
+        let want = matmul::matmul(&vt, &x).unwrap();
+        assert!(got.to_local().unwrap().max_abs_diff(&want) < 1e-10);
+    }
+
+    #[test]
+    fn fed_tsmm_matches_local() {
+        let x = rand_matrix(77, 9, -1.0, 1.0, 105);
+        let (_ctx, fed) = fed_of(4, &x);
+        let got = fed.tsmm().unwrap();
+        let want = matmul::tsmm(&x, true).unwrap();
+        assert!(got.max_abs_diff(&want) < 1e-10);
+    }
+
+    #[test]
+    fn fed_mmchain_matches_local() {
+        let x = rand_matrix(60, 8, -1.0, 1.0, 106);
+        let v = rand_matrix(8, 1, -1.0, 1.0, 107);
+        let w = rand_matrix(60, 1, 0.0, 1.0, 108);
+        let (_ctx, fed) = fed_of(3, &x);
+        let got = fed.mmchain(&v, Some(&w)).unwrap();
+        let want = matmul::mmchain(&x, &v, Some(&w)).unwrap();
+        assert!(got.max_abs_diff(&want) < 1e-10);
+        let got2 = fed.mmchain(&v, None).unwrap();
+        let want2 = matmul::mmchain(&x, &v, None).unwrap();
+        assert!(got2.max_abs_diff(&want2) < 1e-10);
+    }
+
+    #[test]
+    fn fed_aligned_tmatmul_matches_local() {
+        let x = rand_matrix(50, 6, -1.0, 1.0, 109);
+        let (_ctx, fed) = fed_of(2, &x);
+        // P = sigmoid(X) is co-partitioned with X.
+        let p = fed.unary(UnaryOp::Sigmoid).unwrap();
+        let got = p.aligned_matmul_t(&fed).unwrap();
+        let pl = exdra_matrix::kernels::elementwise::unary(&x, UnaryOp::Sigmoid);
+        let want = matmul::matmul(&reorg::transpose(&pl), &x).unwrap();
+        assert!(got.max_abs_diff(&want) < 1e-10);
+    }
+
+    #[test]
+    fn fed_aggregates_match_local() {
+        let x = rand_matrix(66, 5, -2.0, 2.0, 110);
+        let (_ctx, fed) = fed_of(3, &x);
+        for op in [AggOp::Sum, AggOp::Min, AggOp::Max, AggOp::Mean, AggOp::Var, AggOp::Sd] {
+            for dir in [AggDir::Full, AggDir::Col] {
+                let got = fed.agg(op, dir).unwrap().to_local().unwrap();
+                let want = aggregates::aggregate(&x, op, dir).unwrap();
+                assert!(
+                    got.max_abs_diff(&want) < 1e-9,
+                    "{:?} {:?}: {}",
+                    op,
+                    dir,
+                    got.max_abs_diff(&want)
+                );
+            }
+        }
+        // Row direction stays federated under row partitioning.
+        let got = fed.agg(AggOp::Sum, AggDir::Row).unwrap();
+        assert!(got.is_fed());
+        let want = aggregates::aggregate(&x, AggOp::Sum, AggDir::Row).unwrap();
+        assert!(got.to_local().unwrap().max_abs_diff(&want) < 1e-10);
+    }
+
+    #[test]
+    fn fed_binary_broadcast_matches_local() {
+        let x = rand_matrix(40, 6, -1.0, 1.0, 111);
+        let (_ctx, fed) = fed_of(2, &x);
+        // Row vector broadcast (colMeans subtraction — normalization).
+        let mu = aggregates::aggregate(&x, AggOp::Mean, AggDir::Col).unwrap();
+        let got = fed.binary_local(BinaryOp::Sub, &mu).unwrap();
+        let want = exdra_matrix::kernels::elementwise::binary(&x, BinaryOp::Sub, &mu).unwrap();
+        assert!(got.consolidate().unwrap().max_abs_diff(&want) < 1e-12);
+        // Column vector: sliced broadcast.
+        let rv = rand_matrix(40, 1, 0.5, 1.5, 112);
+        let got = fed.binary_local(BinaryOp::Div, &rv).unwrap();
+        let want = exdra_matrix::kernels::elementwise::binary(&x, BinaryOp::Div, &rv).unwrap();
+        assert!(got.consolidate().unwrap().max_abs_diff(&want) < 1e-12);
+        // Full matrix: sliced rows.
+        let fm = rand_matrix(40, 6, 1.0, 2.0, 113);
+        let got = fed.binary_local(BinaryOp::Mul, &fm).unwrap();
+        let want = exdra_matrix::kernels::elementwise::binary(&x, BinaryOp::Mul, &fm).unwrap();
+        assert!(got.consolidate().unwrap().max_abs_diff(&want) < 1e-12);
+    }
+
+    #[test]
+    fn fed_binary_fed_aligned() {
+        let x = rand_matrix(30, 4, -1.0, 1.0, 114);
+        let (_ctx, fed) = fed_of(3, &x);
+        let sq = fed.unary(UnaryOp::Square).unwrap();
+        let got = fed.binary_fed(BinaryOp::Add, &sq).unwrap();
+        let want = x.zip(&x.map(|v| v * v), "+", |a, b| a + b).unwrap();
+        assert!(got.consolidate().unwrap().max_abs_diff(&want) < 1e-12);
+        // Aligned vector broadcast: X / rowSums(X).
+        let rs = match fed.agg(AggOp::Sum, AggDir::Row).unwrap() {
+            Tensor::Fed(f) => f,
+            _ => panic!("rowSums should stay federated"),
+        };
+        let got = fed.binary_fed(BinaryOp::Div, &rs).unwrap();
+        let rsl = aggregates::aggregate(&x, AggOp::Sum, AggDir::Row).unwrap();
+        let want = exdra_matrix::kernels::elementwise::binary(&x, BinaryOp::Div, &rsl).unwrap();
+        assert!(got.consolidate().unwrap().max_abs_diff(&want) < 1e-12);
+    }
+
+    #[test]
+    fn fed_transpose_flips_scheme() {
+        let x = rand_matrix(20, 5, -1.0, 1.0, 115);
+        let (_ctx, fed) = fed_of(2, &x);
+        let t = fed.transpose().unwrap();
+        assert_eq!(t.scheme(), PartitionScheme::Col);
+        assert_eq!(t.shape(), (5, 20));
+        let want = reorg::transpose(&x);
+        assert!(t.consolidate().unwrap().max_abs_diff(&want) < 1e-15);
+        // Transposed (col-partitioned) matvec aggregates locally.
+        let v = rand_matrix(20, 1, -1.0, 1.0, 116);
+        let got = t.matmul_rhs_local(&v).unwrap();
+        assert!(!got.is_fed());
+        let want = matmul::matmul(&reorg::transpose(&x), &v).unwrap();
+        assert!(got.to_local().unwrap().max_abs_diff(&want) < 1e-10);
+    }
+
+    #[test]
+    fn fed_indexing_slices_partitions() {
+        let x = rand_matrix(60, 8, -1.0, 1.0, 117);
+        let (_ctx, fed) = fed_of(3, &x); // parts of 20 rows each
+        // Range spanning two partitions.
+        let got = fed.index(10, 35, 2, 6).unwrap();
+        assert_eq!(got.shape(), (25, 4));
+        assert_eq!(got.parts().len(), 2);
+        let want = reorg::index(&x, 10, 35, 2, 6).unwrap();
+        assert!(got.consolidate().unwrap().max_abs_diff(&want) < 1e-15);
+        // Range inside one partition.
+        let got = fed.index(42, 55, 0, 8).unwrap();
+        assert_eq!(got.parts().len(), 1);
+        let want = reorg::index(&x, 42, 55, 0, 8).unwrap();
+        assert!(got.consolidate().unwrap().max_abs_diff(&want) < 1e-15);
+    }
+
+    #[test]
+    fn fed_rbind_is_metadata_only() {
+        let x = rand_matrix(30, 4, -1.0, 1.0, 118);
+        let y = rand_matrix(30, 4, 2.0, 3.0, 119);
+        let (ctx, _workers) = mem_federation(2);
+        let fx = FedMatrix::scatter_rows(&ctx, &x, PrivacyLevel::Public).unwrap();
+        let fy = FedMatrix::scatter_rows(&ctx, &y, PrivacyLevel::Public).unwrap();
+        let bytes_before = ctx.stats().bytes_sent();
+        let cat = fx.rbind_fed(&fy).unwrap();
+        assert_eq!(
+            ctx.stats().bytes_sent(),
+            bytes_before,
+            "logical rbind moves no data"
+        );
+        assert_eq!(cat.shape(), (60, 4));
+        let want = reorg::rbind(&x, &y).unwrap();
+        assert!(cat.consolidate().unwrap().max_abs_diff(&want) < 1e-15);
+        // Parents' symbols survive even after the parents drop.
+        drop(fx);
+        drop(fy);
+        assert!(cat.consolidate().is_ok());
+    }
+
+    #[test]
+    fn fed_cbind_aligned() {
+        let x = rand_matrix(24, 3, -1.0, 1.0, 120);
+        let (_ctx, fed) = fed_of(2, &x);
+        let sq = fed.unary(UnaryOp::Square).unwrap();
+        let got = fed.cbind_aligned(&sq).unwrap();
+        assert_eq!(got.shape(), (24, 6));
+        let want = reorg::cbind(&x, &x.map(|v| v * v)).unwrap();
+        assert!(got.consolidate().unwrap().max_abs_diff(&want) < 1e-12);
+    }
+
+    #[test]
+    fn fed_softmax_and_rowindexmax() {
+        let x = rand_matrix(22, 7, -2.0, 2.0, 121);
+        let (_ctx, fed) = fed_of(2, &x);
+        let sm = fed.softmax().unwrap();
+        let want = exdra_matrix::kernels::elementwise::softmax(&x);
+        assert!(sm.consolidate().unwrap().max_abs_diff(&want) < 1e-12);
+        let am = fed.row_index_max().unwrap();
+        let want = aggregates::row_index_max(&x).unwrap();
+        assert!(am.consolidate().unwrap().max_abs_diff(&want) < 1e-15);
+    }
+
+    #[test]
+    fn privacy_blocks_partial_gets_for_small_partitions() {
+        // 3 rows per worker with min_group 5: colSums partials not releasable.
+        let (ctx, _workers) = mem_federation(2);
+        let x = rand_matrix(6, 3, 0.0, 1.0, 122);
+        let fed = FedMatrix::scatter_rows(
+            &ctx,
+            &x,
+            PrivacyLevel::PrivateAggregate { min_group: 5 },
+        )
+        .unwrap();
+        assert!(matches!(
+            fed.agg(AggOp::Sum, AggDir::Col),
+            Err(RuntimeError::Privacy(_))
+        ));
+        // With enough rows per partition, the same op succeeds.
+        let y = rand_matrix(20, 3, 0.0, 1.0, 123);
+        let fed = FedMatrix::scatter_rows(
+            &ctx,
+            &y,
+            PrivacyLevel::PrivateAggregate { min_group: 5 },
+        )
+        .unwrap();
+        let got = fed.agg(AggOp::Sum, AggDir::Col).unwrap().to_local().unwrap();
+        let want = aggregates::aggregate(&y, AggOp::Sum, AggDir::Col).unwrap();
+        assert!(got.max_abs_diff(&want) < 1e-10);
+    }
+
+    #[test]
+    fn kmeans_inner_loop_federated_equals_local() {
+        // Paper Example 3: one inner iteration of K-Means on federated X.
+        let x = rand_matrix(80, 5, 0.0, 1.0, 124);
+        let c = rand_matrix(4, 5, 0.0, 1.0, 125); // centroids
+        let (_ctx, fed) = fed_of(3, &x);
+
+        let run = |xt: &Tensor| -> DenseMatrix {
+            // D = -2 * (X %*% t(C)) + t(rowSums(C^2))
+            let ct = reorg::transpose(&c);
+            let xc = xt.matmul(&Tensor::Local(ct)).unwrap();
+            let c2 = aggregates::aggregate(&c.map(|v| v * v), AggOp::Sum, AggDir::Row).unwrap();
+            let c2t = reorg::transpose(&c2);
+            let d = xc
+                .scalar_op(BinaryOp::Mul, -2.0, false)
+                .unwrap()
+                .binary(BinaryOp::Add, &Tensor::Local(c2t))
+                .unwrap();
+            // P = (D <= rowMins(D)); P = P / rowSums(P)
+            let mins = d.row_mins().unwrap();
+            let p = d.binary(BinaryOp::Le, &mins).unwrap();
+            let psum = p.row_sums().unwrap();
+            let p = p.binary(BinaryOp::Div, &psum).unwrap();
+            // P_denom = colSums(P); C_new = (t(P) %*% X) / t(P_denom)
+            let pdenom = p.col_sums().unwrap().to_local().unwrap();
+            let ptx = p.t_matmul(xt).unwrap().to_local().unwrap();
+            // C_new = ptx / t(P_denom): divide each row by its denominator.
+            let mut cn = ptx.clone();
+            for r in 0..cn.rows() {
+                let dv = pdenom.get(0, r);
+                for cc in 0..cn.cols() {
+                    let v = cn.get(r, cc) / dv;
+                    cn.set(r, cc, v);
+                }
+            }
+            cn
+        };
+        let fed_c = run(&Tensor::Fed(fed));
+        let loc_c = run(&Tensor::Local(x));
+        assert!(fed_c.max_abs_diff(&loc_c) < 1e-9);
+    }
+}

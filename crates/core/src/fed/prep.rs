@@ -1,0 +1,702 @@
+//! Federated data preparation (paper §4.4): federated frames and the
+//! two-pass `transformencode` over raw federated data.
+
+use std::sync::Arc;
+
+use exdra_matrix::frame::Frame;
+use exdra_transform::{merge_partials, TransformMeta, TransformSpec};
+
+use crate::coordinator::{expect_data, expect_ok, FedContext};
+use crate::error::{Result, RuntimeError};
+use crate::privacy::PrivacyLevel;
+use crate::protocol::{ReadFormat, Request};
+use crate::udf::Udf;
+use crate::value::DataValue;
+
+use super::{FedMatrix, FedPartition, PartitionScheme};
+
+/// A row-partitioned federated frame: raw heterogeneous data at the sites.
+#[derive(Debug, Clone)]
+pub struct FedFrame {
+    inner: FedMatrix, // reuse map/guard plumbing; dims = (rows, #columns)
+    names: Vec<String>,
+}
+
+impl FedFrame {
+    /// Distributes per-site frames to the workers (one frame per worker,
+    /// in worker order). All frames must share a schema.
+    pub fn from_site_frames(
+        ctx: &Arc<FedContext>,
+        frames: &[Frame],
+        privacy: PrivacyLevel,
+    ) -> Result<Self> {
+        if frames.len() != ctx.num_workers() {
+            return Err(RuntimeError::Invalid(format!(
+                "{} site frames for {} workers",
+                frames.len(),
+                ctx.num_workers()
+            )));
+        }
+        let schema = frames[0].schema();
+        for f in frames {
+            if f.schema() != schema {
+                return Err(RuntimeError::Invalid(
+                    "site frames have differing schemas".into(),
+                ));
+            }
+        }
+        let mut parts = Vec::new();
+        let mut batches = Vec::new();
+        let mut lo = 0usize;
+        for (w, f) in frames.iter().enumerate() {
+            let id = ctx.fresh_id();
+            batches.push(vec![Request::Put {
+                id,
+                data: DataValue::Frame(f.clone()),
+                privacy,
+            }]);
+            parts.push(FedPartition {
+                lo,
+                hi: lo + f.rows(),
+                worker: w,
+                id,
+            });
+            lo += f.rows();
+        }
+        let responses = ctx.call_all(batches)?;
+        for (w, rs) in responses.iter().enumerate() {
+            expect_ok(&rs[0], w)?;
+        }
+        let cols = schema.len();
+        let inner = FedMatrix::from_parts(
+            Arc::clone(ctx),
+            PartitionScheme::Row,
+            lo,
+            cols,
+            parts,
+            privacy,
+            true,
+        )?;
+        Ok(Self {
+            inner,
+            names: schema.into_iter().map(|(n, _)| n).collect(),
+        })
+    }
+
+    /// Reads per-worker CSV files as a federated frame:
+    /// `files[w] = (fname, format, rows_in_file)`.
+    pub fn read_row_partitioned(
+        ctx: &Arc<FedContext>,
+        files: &[(String, ReadFormat, usize)],
+        names: Vec<String>,
+        privacy: PrivacyLevel,
+    ) -> Result<Self> {
+        let inner = FedMatrix::read_row_partitioned(ctx, files, names.len(), privacy)?;
+        Ok(Self { inner, names })
+    }
+
+    /// Total number of rows.
+    pub fn rows(&self) -> usize {
+        self.inner.rows()
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.inner.cols()
+    }
+
+    /// Column names.
+    pub fn names(&self) -> &[String] {
+        &self.names
+    }
+
+    /// Federation map entries.
+    pub fn parts(&self) -> &[FedPartition] {
+        self.inner.parts()
+    }
+
+    /// Privacy constraint of the raw frame.
+    pub fn privacy(&self) -> PrivacyLevel {
+        self.inner.privacy()
+    }
+
+    /// The shared context.
+    pub fn ctx(&self) -> &Arc<FedContext> {
+        self.inner.ctx()
+    }
+
+    /// Federated feature selection: projects columns by name at the sites.
+    pub fn select(&self, columns: &[&str]) -> Result<FedFrame> {
+        for c in columns {
+            if !self.names.iter().any(|n| n == c) {
+                return Err(RuntimeError::Invalid(format!("no column named '{c}'")));
+            }
+        }
+        let (parts, _) = self.inner.fresh_like(self.rows(), columns.len());
+        let cols: Vec<String> = columns.iter().map(|c| c.to_string()).collect();
+        let mut i = 0usize;
+        self.inner.per_part(|p| {
+            let udf = Udf::FrameSelect {
+                frame: p.id,
+                columns: cols.clone(),
+                out: parts[i].id,
+            };
+            i += 1;
+            vec![Request::ExecUdf { udf }]
+        })?;
+        let inner = self
+            .inner
+            .sibling(self.rows(), columns.len(), parts, self.privacy())?;
+        Ok(Self { inner, names: cols })
+    }
+
+    /// Federated `transformencode` (paper Figure 3): first pass builds
+    /// encoder metadata at every site, the coordinator merges/sorts/assigns
+    /// codes, and the second pass applies the broadcast global metadata —
+    /// yielding a federated encoded matrix plus the local metadata frame.
+    pub fn transform_encode(&self, spec: &TransformSpec) -> Result<(FedMatrix, TransformMeta)> {
+        // Pass 1: partial metadata per site.
+        let results = self
+            .inner
+            .per_part(|p| {
+                vec![Request::ExecUdf {
+                    udf: Udf::EncodeBuildPartial {
+                        frame: p.id,
+                        spec: spec.clone(),
+                    },
+                }]
+            })?;
+        let mut partials = Vec::with_capacity(results.len());
+        for (p, rs) in self.parts().iter().zip(&results) {
+            match expect_data(&rs[0], p.worker)? {
+                DataValue::PartialMeta(m) => partials.push(m),
+                other => {
+                    return Err(RuntimeError::Protocol(format!(
+                        "expected partial-meta, got {}",
+                        other.type_name()
+                    )))
+                }
+            }
+        }
+        // Merge, sort, assign codes.
+        let meta = merge_partials(&partials, spec)?;
+        // Pass 2: broadcast global metadata and encode at the sites.
+        let out_cols = meta.out_cols();
+        let (parts, _) = self.inner.fresh_like(self.rows(), out_cols);
+        let mut i = 0usize;
+        self.inner.per_part(|p| {
+            let meta_id = self.ctx().fresh_id();
+            let batch = vec![
+                Request::Put {
+                    id: meta_id,
+                    data: DataValue::TransformMeta(meta.clone()),
+                    privacy: PrivacyLevel::Public,
+                },
+                Request::ExecUdf {
+                    udf: Udf::EncodeApply {
+                        frame: p.id,
+                        meta: meta_id,
+                        out: parts[i].id,
+                    },
+                },
+                Request::ExecInst {
+                    inst: crate::instruction::Instruction::Rmvar { ids: vec![meta_id] },
+                },
+            ];
+            i += 1;
+            batch
+        })?;
+        let fed = self
+            .inner
+            .sibling(self.rows(), out_cols, parts, self.privacy())?;
+        Ok((fed, meta))
+    }
+
+    /// Consolidates the raw federated frame (privacy-checked at workers).
+    pub fn consolidate(&self) -> Result<Frame> {
+        let results = self.inner.per_part(|p| vec![Request::Get { id: p.id }])?;
+        let mut pieces: Vec<(usize, Frame)> = Vec::with_capacity(results.len());
+        for (p, rs) in self.parts().iter().zip(&results) {
+            let v = expect_data(&rs[0], p.worker)?;
+            pieces.push((p.lo, v.as_frame()?.clone()));
+        }
+        pieces.sort_by_key(|(lo, _)| *lo);
+        let mut it = pieces.into_iter();
+        let (_, mut out) = it
+            .next()
+            .ok_or_else(|| RuntimeError::Invalid("empty federation map".into()))?;
+        for (_, f) in it {
+            out = out.rbind(&f)?;
+        }
+        Ok(out)
+    }
+}
+
+/// Per-partition train/test split via locally-sampled selection (paper
+/// §6.3: "in order to retain a balanced data distribution across federated
+/// workers, we perform this splitting via a uniformly sampled
+/// selection-matrix-multiply"): each site shuffles its rows with a
+/// deterministic per-partition seed and takes the first `train_frac` as the
+/// train split — so both splits remain federated with balanced partitions.
+///
+/// When aligned coordinator-local labels `y` are supplied, they are
+/// reordered with the *same* per-partition permutations and split
+/// identically, keeping X/y row alignment without moving X.
+pub fn split_rows_per_partition(
+    x: &FedMatrix,
+    y: Option<&exdra_matrix::DenseMatrix>,
+    train_frac: f64,
+    seed: u64,
+) -> Result<SplitResult> {
+    use exdra_matrix::kernels::reorg;
+    if !(0.0..=1.0).contains(&train_frac) {
+        return Err(RuntimeError::Invalid(format!(
+            "train fraction {train_frac} not in [0, 1]"
+        )));
+    }
+    if x.scheme() != super::PartitionScheme::Row {
+        return Err(RuntimeError::Unsupported(
+            "split requires row-partitioned federated data".into(),
+        ));
+    }
+    if let Some(y) = y {
+        if y.rows() != x.rows() {
+            return Err(RuntimeError::Invalid(format!(
+                "labels have {} rows, features {}",
+                y.rows(),
+                x.rows()
+            )));
+        }
+    }
+    let ctx = x.ctx();
+    let mut train_parts = Vec::new();
+    let mut test_parts = Vec::new();
+    let mut y_train: Option<exdra_matrix::DenseMatrix> = None;
+    let mut y_test: Option<exdra_matrix::DenseMatrix> = None;
+    let mut train_lo = 0usize;
+    let mut test_lo = 0usize;
+    let mut batches = vec![Vec::new(); ctx.num_workers()];
+    for (i, p) in x.parts().iter().enumerate() {
+        let len = p.len();
+        let n_train = ((len as f64) * train_frac).round() as usize;
+        let part_seed = seed.wrapping_add(i as u64);
+        let shuf_id = ctx.fresh_id();
+        let train_id = ctx.fresh_id();
+        let test_id = ctx.fresh_id();
+        batches[p.worker].push(Request::ExecUdf {
+            udf: crate::udf::Udf::Shuffle {
+                x: p.id,
+                y: None,
+                seed: part_seed,
+                out_x: shuf_id,
+                out_y: None,
+            },
+        });
+        batches[p.worker].push(Request::ExecInst {
+            inst: crate::instruction::Instruction::Index {
+                x: shuf_id,
+                row_lo: 0,
+                row_hi: n_train as u64,
+                col_lo: 0,
+                col_hi: x.cols() as u64,
+                out: train_id,
+            },
+        });
+        batches[p.worker].push(Request::ExecInst {
+            inst: crate::instruction::Instruction::Index {
+                x: shuf_id,
+                row_lo: n_train as u64,
+                row_hi: len as u64,
+                col_lo: 0,
+                col_hi: x.cols() as u64,
+                out: test_id,
+            },
+        });
+        batches[p.worker].push(Request::ExecInst {
+            inst: crate::instruction::Instruction::Rmvar { ids: vec![shuf_id] },
+        });
+        train_parts.push(FedPartition {
+            lo: train_lo,
+            hi: train_lo + n_train,
+            worker: p.worker,
+            id: train_id,
+        });
+        test_parts.push(FedPartition {
+            lo: test_lo,
+            hi: test_lo + (len - n_train),
+            worker: p.worker,
+            id: test_id,
+        });
+        train_lo += n_train;
+        test_lo += len - n_train;
+        // Mirror the site's permutation on the coordinator-local labels.
+        if let Some(y) = y {
+            let perm = exdra_matrix::rng::rand_permutation(len, part_seed);
+            let y_part = reorg::index(y, p.lo, p.hi, 0, y.cols())?;
+            let y_shuf = reorg::gather_rows(&y_part, &perm)?;
+            let tr = reorg::index(&y_shuf, 0, n_train, 0, y.cols())?;
+            let te = reorg::index(&y_shuf, n_train, len, 0, y.cols())?;
+            y_train = Some(match y_train {
+                None => tr,
+                Some(acc) => reorg::rbind(&acc, &tr)?,
+            });
+            y_test = Some(match y_test {
+                None => te,
+                Some(acc) => reorg::rbind(&acc, &te)?,
+            });
+        }
+    }
+    let responses = ctx.call_all(batches)?;
+    for (w, rs) in responses.iter().enumerate() {
+        for r in rs {
+            expect_ok(r, w)?;
+        }
+    }
+    let train = FedMatrix::from_parts(
+        Arc::clone(ctx),
+        super::PartitionScheme::Row,
+        train_lo,
+        x.cols(),
+        train_parts,
+        x.privacy(),
+        true,
+    )?;
+    let test = FedMatrix::from_parts(
+        Arc::clone(ctx),
+        super::PartitionScheme::Row,
+        test_lo,
+        x.cols(),
+        test_parts,
+        x.privacy(),
+        true,
+    )?;
+    Ok(SplitResult {
+        x_train: train,
+        x_test: test,
+        y_train,
+        y_test,
+    })
+}
+
+/// Output of [`split_rows_per_partition`].
+pub struct SplitResult {
+    /// Federated train features.
+    pub x_train: FedMatrix,
+    /// Federated test features.
+    pub x_test: FedMatrix,
+    /// Aligned train labels (when labels were supplied).
+    pub y_train: Option<exdra_matrix::DenseMatrix>,
+    /// Aligned test labels (when labels were supplied).
+    pub y_test: Option<exdra_matrix::DenseMatrix>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::mem_federation;
+    use exdra_matrix::frame::FrameColumn;
+    use exdra_matrix::rng::rand_matrix;
+    use exdra_transform::{transform_encode, TransformSpec};
+
+    fn site_frame(seed: u64, rows: usize) -> Frame {
+        use rand::Rng;
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let cats: Vec<Option<String>> = (0..rows)
+            .map(|_| Some(format!("R{}", rng.gen_range(0..5))))
+            .collect();
+        let vals: Vec<Option<f64>> = (0..rows).map(|_| Some(rng.gen_range(0.0..100.0))).collect();
+        Frame::new(vec![
+            ("recipe".into(), FrameColumn::Str(cats)),
+            ("power".into(), FrameColumn::F64(vals)),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn fed_frame_roundtrip_and_select() {
+        let (ctx, _workers) = mem_federation(2);
+        let frames = vec![site_frame(1, 10), site_frame(2, 15)];
+        let fed = FedFrame::from_site_frames(&ctx, &frames, PrivacyLevel::Public).unwrap();
+        assert_eq!(fed.rows(), 25);
+        assert_eq!(fed.cols(), 2);
+        let back = fed.consolidate().unwrap();
+        assert_eq!(back.rows(), 25);
+        assert_eq!(
+            back.column_by_name("recipe").unwrap().token(0),
+            frames[0].column_by_name("recipe").unwrap().token(0)
+        );
+        let projected = fed.select(&["power"]).unwrap();
+        assert_eq!(projected.cols(), 1);
+        assert!(fed.select(&["nope"]).is_err());
+    }
+
+    #[test]
+    fn fed_transform_encode_equals_central() {
+        let (ctx, _workers) = mem_federation(3);
+        let frames = vec![site_frame(3, 12), site_frame(4, 8), site_frame(5, 20)];
+        let fed = FedFrame::from_site_frames(&ctx, &frames, PrivacyLevel::Public).unwrap();
+        let spec = TransformSpec::auto(&frames[0]);
+        let (encoded, meta) = fed.transform_encode(&spec).unwrap();
+        // Central reference over the concatenated frames.
+        let mut all = frames[0].clone();
+        for f in &frames[1..] {
+            all = all.rbind(f).unwrap();
+        }
+        let (want, want_meta) = transform_encode(&all, &spec).unwrap();
+        assert_eq!(meta, want_meta);
+        assert_eq!(encoded.shape(), want.shape());
+        assert!(encoded.consolidate().unwrap().max_abs_diff(&want) < 1e-15);
+    }
+
+    #[test]
+    fn encode_metadata_exchange_denied_for_strictly_private() {
+        let (ctx, _workers) = mem_federation(2);
+        let frames = vec![site_frame(6, 10), site_frame(7, 10)];
+        let fed = FedFrame::from_site_frames(&ctx, &frames, PrivacyLevel::Private).unwrap();
+        let spec = TransformSpec::auto(&frames[0]);
+        assert!(matches!(
+            fed.transform_encode(&spec),
+            Err(RuntimeError::Privacy(_))
+        ));
+    }
+
+    #[test]
+    fn split_keeps_partitions_balanced_and_aligned() {
+        let (ctx, _workers) = mem_federation(2);
+        let x = rand_matrix(100, 3, 0.0, 1.0, 8);
+        // y = rowSums(x) so alignment is checkable after splitting.
+        let y = exdra_matrix::kernels::aggregates::aggregate(
+            &x,
+            exdra_matrix::kernels::aggregates::AggOp::Sum,
+            exdra_matrix::kernels::aggregates::AggDir::Row,
+        )
+        .unwrap();
+        let fed = FedMatrix::scatter_rows(&ctx, &x, PrivacyLevel::Public).unwrap();
+        let split = split_rows_per_partition(&fed, Some(&y), 0.7, 99).unwrap();
+        assert_eq!(split.x_train.rows(), 70);
+        assert_eq!(split.x_test.rows(), 30);
+        // Balanced: each worker holds 35 train rows.
+        assert_eq!(split.x_train.parts()[0].len(), 35);
+        assert_eq!(split.x_train.parts()[1].len(), 35);
+        // Alignment: y_train[i] == rowSums(x_train[i]).
+        let xt = split.x_train.consolidate().unwrap();
+        let yt = split.y_train.unwrap();
+        for r in 0..70 {
+            let s: f64 = xt.row(r).iter().sum();
+            assert!((s - yt.get(r, 0)).abs() < 1e-10, "row {r} misaligned");
+        }
+        // Train and test are disjoint and cover everything.
+        let xe = split.x_test.consolidate().unwrap();
+        let mut all: Vec<String> = Vec::new();
+        for r in 0..70 {
+            all.push(format!("{:?}", xt.row(r)));
+        }
+        for r in 0..30 {
+            all.push(format!("{:?}", xe.row(r)));
+        }
+        all.sort();
+        all.dedup();
+        assert_eq!(all.len(), 100, "rows lost or duplicated in split");
+    }
+}
+
+/// Fully-federated mean imputation over a (possibly federated) numeric
+/// matrix with NaN missing cells (paper Example 4: missing values "might
+/// be imputed" after encoding; the mean variant maps directly onto
+/// federated linear algebra — masks, column aggregates, and broadcast
+/// arithmetic — with no raw data movement).
+pub fn impute_mean(x: &crate::tensor::Tensor) -> Result<crate::tensor::Tensor> {
+    use exdra_matrix::kernels::aggregates::{AggDir, AggOp};
+    use exdra_matrix::kernels::elementwise::{BinaryOp, UnaryOp};
+    use crate::tensor::Tensor;
+    let n = x.rows() as f64;
+    // mask = isNA(X); x0 = replace(X, NaN -> 0)
+    let mask = x.unary(UnaryOp::IsNa)?;
+    let x0 = x.replace(f64::NAN, 0.0)?;
+    // Observed counts and means per column (releasable aggregates).
+    let missing_per_col = mask.agg(AggOp::Sum, AggDir::Col)?.to_local()?;
+    let counts = missing_per_col.map(|m| (n - m).max(1.0));
+    let sums = x0.agg(AggOp::Sum, AggDir::Col)?.to_local()?;
+    let means = sums.zip(&counts, "/", |s, c| s / c)?;
+    // filled = x0 + mask ⊙ broadcast(means)
+    let filler = mask.binary(BinaryOp::Mul, &Tensor::Local(means))?;
+    x0.binary(BinaryOp::Add, &filler)
+}
+
+impl FedFrame {
+    /// Federated mode imputation of a categorical column (paper Example 4:
+    /// "the NULLs ... might be imputed with the mode"): sites return
+    /// per-category counts (aggregate-sized metadata, like the encode
+    /// partials of Figure 3), the coordinator merges them and broadcasts
+    /// the global mode for site-local filling. Returns the repaired frame
+    /// and the chosen mode.
+    pub fn impute_mode(&self, column: &str) -> Result<(FedFrame, String)> {
+        if !self.names.iter().any(|n| n == column) {
+            return Err(RuntimeError::Invalid(format!("no column named '{column}'")));
+        }
+        // Pass 1: per-site category counts.
+        let results = self.inner.per_part(|p| {
+            vec![Request::ExecUdf {
+                udf: Udf::CategoryCounts {
+                    frame: p.id,
+                    column: column.to_string(),
+                },
+            }]
+        })?;
+        let mut counts: std::collections::BTreeMap<String, u64> = std::collections::BTreeMap::new();
+        for (p, rs) in self.parts().iter().zip(&results) {
+            let v = expect_data(&rs[0], p.worker)?;
+            match v {
+                DataValue::Frame(f) => {
+                    let tokens = f.column_by_name("token")?;
+                    let cnt = f.column_by_name("count")?;
+                    for r in 0..f.rows() {
+                        if let Some(tok) = tokens.token(r) {
+                            *counts.entry(tok).or_default() += cnt.numeric(r)? as u64;
+                        }
+                    }
+                }
+                other => {
+                    return Err(RuntimeError::Protocol(format!(
+                        "expected count frame, got {}",
+                        other.type_name()
+                    )))
+                }
+            }
+        }
+        let mode = counts
+            .iter()
+            .max_by(|a, b| a.1.cmp(b.1).then(b.0.cmp(a.0)))
+            .map(|(t, _)| t.clone())
+            .ok_or_else(|| {
+                RuntimeError::Invalid(format!("column '{column}' is entirely missing"))
+            })?;
+        // Pass 2: broadcast the mode; sites fill locally.
+        let (parts, _) = self.inner.fresh_like(self.rows(), self.cols());
+        let mut i = 0usize;
+        self.inner.per_part(|p| {
+            let udf = Udf::FillMissing {
+                frame: p.id,
+                column: column.to_string(),
+                value: mode.clone(),
+                out: parts[i].id,
+            };
+            i += 1;
+            vec![Request::ExecUdf { udf }]
+        })?;
+        let inner = self
+            .inner
+            .sibling(self.rows(), self.cols(), parts, self.privacy())?;
+        Ok((
+            FedFrame {
+                inner,
+                names: self.names.clone(),
+            },
+            mode,
+        ))
+    }
+}
+
+#[cfg(test)]
+mod impute_tests {
+    use super::*;
+    use crate::tensor::Tensor;
+    use crate::testutil::mem_federation;
+    use exdra_matrix::frame::FrameColumn;
+    use exdra_matrix::rng::rand_matrix;
+
+    #[test]
+    fn federated_mean_imputation_matches_local() {
+        let (ctx, _w) = mem_federation(2);
+        let mut x = rand_matrix(40, 3, 0.0, 10.0, 1);
+        // Knock out some cells.
+        for (r, c) in [(0usize, 0usize), (5, 1), (17, 2), (33, 0), (39, 1)] {
+            x.set(r, c, f64::NAN);
+        }
+        let fed = FedMatrix::scatter_rows(&ctx, &x, PrivacyLevel::Public).unwrap();
+        let filled = impute_mean(&Tensor::Fed(fed)).unwrap();
+        let got = filled.to_local().unwrap();
+        // Local reference.
+        let want = impute_mean(&Tensor::Local(x.clone())).unwrap().to_local().unwrap();
+        assert!(got.max_abs_diff(&want) < 1e-10);
+        // No NaNs remain; imputed cells hold their column's observed mean.
+        assert!(got.values().iter().all(|v| !v.is_nan()));
+        let observed: Vec<f64> = (0..40)
+            .filter(|&r| !x.get(r, 0).is_nan())
+            .map(|r| x.get(r, 0))
+            .collect();
+        let mean0 = observed.iter().sum::<f64>() / observed.len() as f64;
+        assert!((got.get(0, 0) - mean0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn federated_mode_imputation_two_pass() {
+        let (ctx, _w) = mem_federation(2);
+        // Site 1 is Z-heavy, site 2 is X-heavy; X wins globally 5:4.
+        let s1 = Frame::new(vec![(
+            "c".into(),
+            FrameColumn::Str(vec![
+                Some("Z".into()),
+                Some("Z".into()),
+                Some("Z".into()),
+                None,
+                Some("X".into()),
+            ]),
+        )])
+        .unwrap();
+        let s2 = Frame::new(vec![(
+            "c".into(),
+            FrameColumn::Str(vec![
+                Some("X".into()),
+                Some("X".into()),
+                Some("X".into()),
+                Some("X".into()),
+                None,
+                Some("Z".into()),
+            ]),
+        )])
+        .unwrap();
+        let fed = FedFrame::from_site_frames(&ctx, &[s1, s2], PrivacyLevel::Public).unwrap();
+        let (repaired, mode) = fed.impute_mode("c").unwrap();
+        assert_eq!(mode, "X", "global mode (5 X vs 4 Z), not the local ones");
+        let back = repaired.consolidate().unwrap();
+        let col = back.column_by_name("c").unwrap();
+        assert_eq!(col.missing_count(), 0);
+        assert_eq!(col.token(3).as_deref(), Some("X"), "site-1 NULL -> global mode");
+        assert_eq!(col.token(9).as_deref(), Some("X"), "site-2 NULL -> global mode");
+        // Non-missing cells untouched.
+        assert_eq!(col.token(0).as_deref(), Some("Z"));
+    }
+
+    #[test]
+    fn mode_imputation_respects_strict_privacy() {
+        let (ctx, _w) = mem_federation(2);
+        let frames: Vec<Frame> = (0..2)
+            .map(|i| {
+                Frame::new(vec![(
+                    "c".into(),
+                    FrameColumn::Str(vec![Some(format!("v{i}")), None]),
+                )])
+                .unwrap()
+            })
+            .collect();
+        let fed = FedFrame::from_site_frames(&ctx, &frames, PrivacyLevel::Private).unwrap();
+        assert!(matches!(
+            fed.impute_mode("c"),
+            Err(RuntimeError::Privacy(_))
+        ));
+    }
+
+    #[test]
+    fn impute_mode_unknown_column() {
+        let (ctx, _w) = mem_federation(1);
+        let f = Frame::new(vec![(
+            "c".into(),
+            FrameColumn::Str(vec![Some("a".into())]),
+        )])
+        .unwrap();
+        let fed = FedFrame::from_site_frames(&ctx, &[f], PrivacyLevel::Public).unwrap();
+        assert!(fed.impute_mode("nope").is_err());
+    }
+}

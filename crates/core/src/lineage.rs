@@ -1,0 +1,247 @@
+//! Lineage tracing and reuse (LIMA-lite, paper §4.4).
+//!
+//! Every instruction output gets a lineage hash derived from the opcode,
+//! the lineage of its inputs, and literal parameters. A bounded,
+//! lineage-keyed cache at each standing worker (and optionally the
+//! coordinator) then short-circuits re-execution of identical sub-plans
+//! across repeated exploratory pipeline runs.
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::privacy::PrivacyLevel;
+use crate::value::DataValue;
+
+/// Mixes a value into a lineage hash (FNV-style).
+pub fn mix(h: u64, v: u64) -> u64 {
+    (h ^ v).wrapping_mul(0x100000001b3).rotate_left(17)
+}
+
+/// Hashes an opcode name into a seed.
+pub fn seed(name: &str) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for b in name.bytes() {
+        h = mix(h, b as u64);
+    }
+    h
+}
+
+/// Lineage hash of raw bytes (for `PUT` payloads).
+pub fn of_bytes(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0x9E3779B97F4A7C15;
+    // Sample long payloads: head, tail, and length keep this cheap while
+    // remaining effectively collision-free for runtime purposes.
+    if bytes.len() <= 4096 {
+        for &b in bytes {
+            h = mix(h, b as u64);
+        }
+    } else {
+        for &b in &bytes[..2048] {
+            h = mix(h, b as u64);
+        }
+        for &b in &bytes[bytes.len() - 2048..] {
+            h = mix(h, b as u64);
+        }
+    }
+    mix(h, bytes.len() as u64)
+}
+
+/// A cached output value with the metadata needed to rebind it.
+#[derive(Debug, Clone)]
+pub struct CachedEntry {
+    /// The cached value.
+    pub value: Arc<DataValue>,
+    /// Privacy level of the cached value.
+    pub privacy: PrivacyLevel,
+    /// Release flag of the cached value.
+    pub releasable: bool,
+}
+
+/// A bounded lineage-keyed reuse cache with FIFO eviction.
+#[derive(Debug)]
+pub struct LineageCache {
+    inner: Mutex<CacheInner>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    enabled: bool,
+    byte_budget: usize,
+}
+
+#[derive(Debug, Default)]
+struct CacheInner {
+    map: HashMap<u64, CachedEntry>,
+    order: VecDeque<u64>,
+    bytes: usize,
+}
+
+impl LineageCache {
+    /// Creates a cache with the given byte budget; `enabled = false` makes
+    /// every probe a miss (the reuse-off ablation).
+    pub fn new(byte_budget: usize, enabled: bool) -> Self {
+        Self {
+            inner: Mutex::new(CacheInner::default()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            enabled,
+            byte_budget,
+        }
+    }
+
+    /// Probes the cache.
+    pub fn probe(&self, lineage: u64) -> Option<CachedEntry> {
+        if !self.enabled {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+            return None;
+        }
+        let inner = self.inner.lock();
+        match inner.map.get(&lineage) {
+            Some(e) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(e.clone())
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Inserts an output value, evicting FIFO when over budget. Values
+    /// larger than the whole budget are not cached.
+    pub fn insert(&self, lineage: u64, entry: CachedEntry) {
+        if !self.enabled {
+            return;
+        }
+        let bytes = entry.value.size_bytes();
+        if bytes > self.byte_budget {
+            return;
+        }
+        let mut inner = self.inner.lock();
+        if inner.map.contains_key(&lineage) {
+            return;
+        }
+        while inner.bytes + bytes > self.byte_budget {
+            match inner.order.pop_front() {
+                Some(old) => {
+                    if let Some(e) = inner.map.remove(&old) {
+                        inner.bytes -= e.value.size_bytes();
+                    }
+                }
+                None => break,
+            }
+        }
+        inner.map.insert(lineage, entry);
+        inner.order.push_back(lineage);
+        inner.bytes += bytes;
+    }
+
+    /// Cache hits so far.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Cache misses so far.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Number of cached entries.
+    pub fn entries(&self) -> usize {
+        self.inner.lock().map.len()
+    }
+
+    /// Bytes currently cached.
+    pub fn bytes(&self) -> usize {
+        self.inner.lock().bytes
+    }
+
+    /// Drops all entries and counters.
+    pub fn clear(&self) {
+        let mut inner = self.inner.lock();
+        inner.map.clear();
+        inner.order.clear();
+        inner.bytes = 0;
+        self.hits.store(0, Ordering::Relaxed);
+        self.misses.store(0, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(v: f64) -> CachedEntry {
+        CachedEntry {
+            value: Arc::new(DataValue::Scalar(v)),
+            privacy: PrivacyLevel::Public,
+            releasable: true,
+        }
+    }
+
+    #[test]
+    fn hash_mixing_is_order_sensitive() {
+        let a = mix(mix(seed("op"), 1), 2);
+        let b = mix(mix(seed("op"), 2), 1);
+        assert_ne!(a, b);
+        assert_ne!(seed("op1"), seed("op2"));
+    }
+
+    #[test]
+    fn of_bytes_samples_consistently() {
+        let big = vec![7u8; 100_000];
+        assert_eq!(of_bytes(&big), of_bytes(&big.clone()));
+        let mut other = big.clone();
+        other[0] = 8; // head change detected
+        assert_ne!(of_bytes(&big), of_bytes(&other));
+        let mut tail = big.clone();
+        *tail.last_mut().unwrap() = 8; // tail change detected
+        assert_ne!(of_bytes(&big), of_bytes(&tail));
+    }
+
+    #[test]
+    fn probe_insert_hit_counting() {
+        let c = LineageCache::new(1024, true);
+        assert!(c.probe(42).is_none());
+        c.insert(42, entry(1.0));
+        let hit = c.probe(42).unwrap();
+        assert_eq!(hit.value.as_scalar().unwrap(), 1.0);
+        assert_eq!(c.hits(), 1);
+        assert_eq!(c.misses(), 1);
+    }
+
+    #[test]
+    fn disabled_cache_never_hits() {
+        let c = LineageCache::new(1024, false);
+        c.insert(1, entry(1.0));
+        assert!(c.probe(1).is_none());
+        assert_eq!(c.entries(), 0);
+    }
+
+    #[test]
+    fn eviction_respects_budget() {
+        let c = LineageCache::new(24, true); // room for 3 scalars
+        for i in 0..5 {
+            c.insert(i, entry(i as f64));
+        }
+        assert!(c.bytes() <= 24);
+        assert!(c.entries() <= 3);
+        // Oldest entries were evicted.
+        assert!(c.probe(0).is_none());
+        assert!(c.probe(4).is_some());
+    }
+
+    #[test]
+    fn oversized_values_not_cached() {
+        let c = LineageCache::new(16, true);
+        let big = CachedEntry {
+            value: Arc::new(DataValue::from(exdra_matrix::DenseMatrix::zeros(10, 10))),
+            privacy: PrivacyLevel::Public,
+            releasable: true,
+        };
+        c.insert(1, big);
+        assert_eq!(c.entries(), 0);
+    }
+}

@@ -1,0 +1,320 @@
+//! The federation protocol: the paper's six generic request types.
+//!
+//! "We restricted the federation protocol to only six generic request
+//! types" (§4.1): `READ`, `PUT`, `GET`, `EXEC_INST`, `EXEC_UDF`, `CLEAR`.
+//! One RPC carries a *sequence* of requests and returns one response per
+//! request; the coordinator issues RPCs to all workers in parallel.
+
+use bytes::{Buf, BufMut};
+use exdra_matrix::ValueType;
+use exdra_net::codec::{DecodeError, DecodeResult, Wire};
+
+use crate::instruction::Instruction;
+use crate::privacy::PrivacyLevel;
+use crate::udf::Udf;
+use crate::value::DataValue;
+
+/// On-disk format selector for `READ` requests.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ReadFormat {
+    /// Headerless numeric CSV read as a matrix.
+    MatrixCsv,
+    /// `EXDRAMT1` binary matrix file.
+    MatrixBin,
+    /// CSV-with-header read as a frame using an explicit schema.
+    FrameCsv {
+        /// One value type per column.
+        schema: Vec<ValueType>,
+    },
+    /// CSV-with-header read as a frame with schema inference over a sample.
+    FrameCsvInfer,
+}
+
+fn vt_tag(v: ValueType) -> u8 {
+    match v {
+        ValueType::F64 => 0,
+        ValueType::I64 => 1,
+        ValueType::Str => 2,
+        ValueType::Bool => 3,
+    }
+}
+
+fn vt_from(t: u8) -> DecodeResult<ValueType> {
+    Ok(match t {
+        0 => ValueType::F64,
+        1 => ValueType::I64,
+        2 => ValueType::Str,
+        3 => ValueType::Bool,
+        other => return Err(DecodeError(format!("invalid ValueType tag {other}"))),
+    })
+}
+
+impl Wire for ReadFormat {
+    fn encode(&self, buf: &mut impl BufMut) {
+        match self {
+            ReadFormat::MatrixCsv => buf.put_u8(0),
+            ReadFormat::MatrixBin => buf.put_u8(1),
+            ReadFormat::FrameCsv { schema } => {
+                buf.put_u8(2);
+                (schema.len() as u64).encode(buf);
+                for &v in schema {
+                    buf.put_u8(vt_tag(v));
+                }
+            }
+            ReadFormat::FrameCsvInfer => buf.put_u8(3),
+        }
+    }
+    fn decode(buf: &mut impl Buf) -> DecodeResult<Self> {
+        match u8::decode(buf)? {
+            0 => Ok(ReadFormat::MatrixCsv),
+            1 => Ok(ReadFormat::MatrixBin),
+            2 => {
+                let n = u64::decode(buf)? as usize;
+                let mut schema = Vec::with_capacity(n.min(1 << 16));
+                for _ in 0..n {
+                    schema.push(vt_from(u8::decode(buf)?)?);
+                }
+                Ok(ReadFormat::FrameCsv { schema })
+            }
+            3 => Ok(ReadFormat::FrameCsvInfer),
+            t => Err(DecodeError(format!("invalid ReadFormat tag {t}"))),
+        }
+    }
+}
+
+impl Wire for PrivacyLevel {
+    fn encode(&self, buf: &mut impl BufMut) {
+        let (tag, group) = self.to_parts();
+        buf.put_u8(tag);
+        group.encode(buf);
+    }
+    fn decode(buf: &mut impl Buf) -> DecodeResult<Self> {
+        let tag = u8::decode(buf)?;
+        let group = u64::decode(buf)?;
+        PrivacyLevel::from_parts(tag, group)
+            .ok_or_else(|| DecodeError(format!("invalid PrivacyLevel tag {tag}")))
+    }
+}
+
+/// One federated request (paper §4.1).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// `READ(ID, fname)`: the worker reads a local file into its symbol
+    /// table under the given privacy constraint.
+    Read {
+        /// Target symbol ID.
+        id: u64,
+        /// Worker-local file path.
+        fname: String,
+        /// File format.
+        format: ReadFormat,
+        /// Constraint attached to the loaded raw data.
+        privacy: PrivacyLevel,
+    },
+    /// `PUT(ID, data)`: stores a transferred value in the symbol table.
+    Put {
+        /// Target symbol ID.
+        id: u64,
+        /// Transferred value.
+        data: DataValue,
+        /// Constraint attached at the worker.
+        privacy: PrivacyLevel,
+    },
+    /// `GET(ID)`: returns a value to the coordinator (privacy-checked).
+    Get {
+        /// Symbol ID to fetch.
+        id: u64,
+    },
+    /// `EXEC_INST(inst)`: executes an instruction over the symbol table.
+    ExecInst {
+        /// The instruction.
+        inst: Instruction,
+    },
+    /// `EXEC_UDF(udf)`: executes a (named or built-in) UDF.
+    ExecUdf {
+        /// The UDF.
+        udf: Udf,
+    },
+    /// `CLEAR`: drops all variables and execution state.
+    Clear,
+}
+
+impl Request {
+    /// Request-type name (for tracing).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Request::Read { .. } => "READ",
+            Request::Put { .. } => "PUT",
+            Request::Get { .. } => "GET",
+            Request::ExecInst { .. } => "EXEC_INST",
+            Request::ExecUdf { .. } => "EXEC_UDF",
+            Request::Clear => "CLEAR",
+        }
+    }
+}
+
+impl Wire for Request {
+    fn encode(&self, buf: &mut impl BufMut) {
+        match self {
+            Request::Read {
+                id,
+                fname,
+                format,
+                privacy,
+            } => {
+                buf.put_u8(0);
+                id.encode(buf);
+                fname.encode(buf);
+                format.encode(buf);
+                privacy.encode(buf);
+            }
+            Request::Put { id, data, privacy } => {
+                buf.put_u8(1);
+                id.encode(buf);
+                data.encode(buf);
+                privacy.encode(buf);
+            }
+            Request::Get { id } => {
+                buf.put_u8(2);
+                id.encode(buf);
+            }
+            Request::ExecInst { inst } => {
+                buf.put_u8(3);
+                inst.encode(buf);
+            }
+            Request::ExecUdf { udf } => {
+                buf.put_u8(4);
+                udf.encode(buf);
+            }
+            Request::Clear => buf.put_u8(5),
+        }
+    }
+
+    fn decode(buf: &mut impl Buf) -> DecodeResult<Self> {
+        match u8::decode(buf)? {
+            0 => Ok(Request::Read {
+                id: u64::decode(buf)?,
+                fname: String::decode(buf)?,
+                format: ReadFormat::decode(buf)?,
+                privacy: PrivacyLevel::decode(buf)?,
+            }),
+            1 => Ok(Request::Put {
+                id: u64::decode(buf)?,
+                data: DataValue::decode(buf)?,
+                privacy: PrivacyLevel::decode(buf)?,
+            }),
+            2 => Ok(Request::Get {
+                id: u64::decode(buf)?,
+            }),
+            3 => Ok(Request::ExecInst {
+                inst: Instruction::decode(buf)?,
+            }),
+            4 => Ok(Request::ExecUdf {
+                udf: Udf::decode(buf)?,
+            }),
+            5 => Ok(Request::Clear),
+            t => Err(DecodeError(format!("invalid Request tag {t}"))),
+        }
+    }
+}
+
+/// One response per request in the RPC.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// Success with no payload.
+    Ok,
+    /// Success with a value (GET and data-returning UDFs).
+    Data(DataValue),
+    /// The request failed at the worker; the batch stops at this request.
+    Error(String),
+}
+
+impl Wire for Response {
+    fn encode(&self, buf: &mut impl BufMut) {
+        match self {
+            Response::Ok => buf.put_u8(0),
+            Response::Data(v) => {
+                buf.put_u8(1);
+                v.encode(buf);
+            }
+            Response::Error(msg) => {
+                buf.put_u8(2);
+                msg.encode(buf);
+            }
+        }
+    }
+
+    fn decode(buf: &mut impl Buf) -> DecodeResult<Self> {
+        match u8::decode(buf)? {
+            0 => Ok(Response::Ok),
+            1 => Ok(Response::Data(DataValue::decode(buf)?)),
+            2 => Ok(Response::Error(String::decode(buf)?)),
+            t => Err(DecodeError(format!("invalid Response tag {t}"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use exdra_matrix::rng::rand_matrix;
+
+    #[test]
+    fn request_batch_roundtrip() {
+        let batch: Vec<Request> = vec![
+            Request::Read {
+                id: 1,
+                fname: "/data/x.csv".into(),
+                format: ReadFormat::FrameCsv {
+                    schema: vec![ValueType::Str, ValueType::F64],
+                },
+                privacy: PrivacyLevel::PrivateAggregate { min_group: 100 },
+            },
+            Request::Put {
+                id: 2,
+                data: DataValue::from(rand_matrix(4, 1, 0.0, 1.0, 3)),
+                privacy: PrivacyLevel::Public,
+            },
+            Request::Get { id: 2 },
+            Request::ExecInst {
+                inst: Instruction::MatMul {
+                    lhs: 1,
+                    rhs: 2,
+                    out: 3,
+                },
+            },
+            Request::ExecUdf {
+                udf: Udf::CacheStats,
+            },
+            Request::Clear,
+        ];
+        let back = Vec::<Request>::from_bytes(&batch.to_bytes()).unwrap();
+        assert_eq!(back, batch);
+        assert_eq!(back[0].kind(), "READ");
+        assert_eq!(back[5].kind(), "CLEAR");
+    }
+
+    #[test]
+    fn response_roundtrip() {
+        let rs = vec![
+            Response::Ok,
+            Response::Data(DataValue::Scalar(5.0)),
+            Response::Error("privacy violation".into()),
+        ];
+        assert_eq!(Vec::<Response>::from_bytes(&rs.to_bytes()).unwrap(), rs);
+    }
+
+    #[test]
+    fn read_format_roundtrip() {
+        for f in [
+            ReadFormat::MatrixCsv,
+            ReadFormat::MatrixBin,
+            ReadFormat::FrameCsv {
+                schema: vec![ValueType::Bool, ValueType::I64],
+            },
+            ReadFormat::FrameCsvInfer,
+        ] {
+            assert_eq!(ReadFormat::from_bytes(&f.to_bytes()).unwrap(), f);
+        }
+    }
+}

@@ -1,0 +1,210 @@
+//! Symbol tables: live-variable storage of control programs.
+//!
+//! Both the coordinator and every federated worker are control programs
+//! with a symbol table (paper §4.1). Entries carry the privacy constraint
+//! and lineage of the stored value so `GET` can be privacy-checked and
+//! repeated sub-plans can be reused.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Instant;
+
+use parking_lot::RwLock;
+
+use crate::error::{Result, RuntimeError};
+use crate::privacy::PrivacyLevel;
+use crate::value::DataValue;
+
+/// Metadata attached to a symbol-table entry.
+#[derive(Debug, Clone)]
+pub struct EntryMeta {
+    /// Privacy constraint of the stored value.
+    pub privacy: PrivacyLevel,
+    /// True when the value may be released under its constraint (i.e. it is
+    /// a sufficient aggregate of any private inputs).
+    pub releasable: bool,
+    /// Lineage hash of the producing (sub-)plan.
+    pub lineage: u64,
+    /// Last read/write time (drives background compaction).
+    pub last_access: Instant,
+}
+
+/// A stored value plus its metadata.
+#[derive(Debug, Clone)]
+pub struct Entry {
+    /// The value (shared to make reads cheap).
+    pub value: Arc<DataValue>,
+    /// Privacy/lineage metadata.
+    pub meta: EntryMeta,
+}
+
+/// A concurrent symbol table keyed by variable ID.
+#[derive(Debug, Default)]
+pub struct SymbolTable {
+    map: RwLock<HashMap<u64, Entry>>,
+}
+
+impl SymbolTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Binds `id` to a value with explicit metadata, replacing any previous
+    /// binding.
+    pub fn bind(&self, id: u64, value: Arc<DataValue>, privacy: PrivacyLevel, releasable: bool, lineage: u64) {
+        let entry = Entry {
+            value,
+            meta: EntryMeta {
+                privacy,
+                releasable,
+                lineage,
+                last_access: Instant::now(),
+            },
+        };
+        self.map.write().insert(id, entry);
+    }
+
+    /// Convenience bind for public data.
+    pub fn bind_public(&self, id: u64, value: DataValue) {
+        let lineage = id.wrapping_mul(0x9E3779B97F4A7C15);
+        self.bind(id, Arc::new(value), PrivacyLevel::Public, true, lineage);
+    }
+
+    /// Looks up an entry, refreshing its access time.
+    pub fn get(&self, id: u64) -> Result<Entry> {
+        let mut map = self.map.write();
+        let entry = map.get_mut(&id).ok_or(RuntimeError::UnknownSymbol(id))?;
+        entry.meta.last_access = Instant::now();
+        Ok(entry.clone())
+    }
+
+    /// Looks up just the value.
+    pub fn value(&self, id: u64) -> Result<Arc<DataValue>> {
+        Ok(self.get(id)?.value)
+    }
+
+    /// True when `id` is bound.
+    pub fn contains(&self, id: u64) -> bool {
+        self.map.read().contains_key(&id)
+    }
+
+    /// Removes bindings (`rmvar`); missing IDs are ignored.
+    pub fn remove(&self, ids: &[u64]) {
+        let mut map = self.map.write();
+        for id in ids {
+            map.remove(id);
+        }
+    }
+
+    /// Drops everything (`CLEAR`).
+    pub fn clear(&self) {
+        self.map.write().clear();
+    }
+
+    /// Number of bound variables.
+    pub fn len(&self) -> usize {
+        self.map.read().len()
+    }
+
+    /// True when no variables are bound.
+    pub fn is_empty(&self) -> bool {
+        self.map.read().is_empty()
+    }
+
+    /// Total approximate bytes held.
+    pub fn total_bytes(&self) -> usize {
+        self.map
+            .read()
+            .values()
+            .map(|e| e.value.size_bytes())
+            .sum()
+    }
+
+    /// Replaces the value of an existing binding in place, keeping its
+    /// metadata (used by background compression: same logical value, new
+    /// physical representation).
+    pub fn replace_value(&self, id: u64, value: Arc<DataValue>) -> Result<()> {
+        let mut map = self.map.write();
+        let entry = map.get_mut(&id).ok_or(RuntimeError::UnknownSymbol(id))?;
+        entry.value = value;
+        Ok(())
+    }
+
+    /// Snapshot of `(id, bytes, idle, is_dense_matrix)` for the compaction
+    /// planner.
+    pub fn compaction_candidates(&self) -> Vec<(u64, usize, std::time::Duration)> {
+        let map = self.map.read();
+        map.iter()
+            .filter(|(_, e)| {
+                matches!(&*e.value, DataValue::Matrix(exdra_matrix::Matrix::Dense(_)))
+            })
+            .map(|(id, e)| (*id, e.value.size_bytes(), e.meta.last_access.elapsed()))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use exdra_matrix::DenseMatrix;
+
+    #[test]
+    fn bind_get_remove() {
+        let t = SymbolTable::new();
+        t.bind_public(1, DataValue::Scalar(5.0));
+        assert!(t.contains(1));
+        assert_eq!(t.value(1).unwrap().as_scalar().unwrap(), 5.0);
+        t.remove(&[1, 99]);
+        assert!(!t.contains(1));
+        assert!(matches!(t.get(1), Err(RuntimeError::UnknownSymbol(1))));
+    }
+
+    #[test]
+    fn rebinding_replaces() {
+        let t = SymbolTable::new();
+        t.bind_public(1, DataValue::Scalar(1.0));
+        t.bind_public(1, DataValue::Scalar(2.0));
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.value(1).unwrap().as_scalar().unwrap(), 2.0);
+    }
+
+    #[test]
+    fn clear_drops_everything() {
+        let t = SymbolTable::new();
+        for i in 0..10 {
+            t.bind_public(i, DataValue::Scalar(i as f64));
+        }
+        assert_eq!(t.len(), 10);
+        t.clear();
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn metadata_preserved_on_replace_value() {
+        let t = SymbolTable::new();
+        let m = DenseMatrix::zeros(4, 4);
+        t.bind(
+            7,
+            Arc::new(DataValue::from(m.clone())),
+            PrivacyLevel::Private,
+            false,
+            123,
+        );
+        t.replace_value(7, Arc::new(DataValue::from(m))).unwrap();
+        let e = t.get(7).unwrap();
+        assert_eq!(e.meta.privacy, PrivacyLevel::Private);
+        assert_eq!(e.meta.lineage, 123);
+    }
+
+    #[test]
+    fn candidates_only_dense_matrices() {
+        let t = SymbolTable::new();
+        t.bind_public(1, DataValue::from(DenseMatrix::zeros(8, 8)));
+        t.bind_public(2, DataValue::Scalar(1.0));
+        let c = t.compaction_candidates();
+        assert_eq!(c.len(), 1);
+        assert_eq!(c[0].0, 1);
+        assert_eq!(c[0].1, 512);
+    }
+}

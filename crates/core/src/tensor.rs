@@ -1,0 +1,358 @@
+//! The locality-agnostic tensor handle.
+//!
+//! [`Tensor`] is what ML algorithms are written against: the same code
+//! executes on a local in-memory matrix or on federated data, mirroring the
+//! paper's claim that "this built-in function script is agnostic of local,
+//! distributed, or federated input matrices" (Example 3). Local inputs run
+//! the in-memory kernels; federated inputs dispatch to the federated
+//! instructions of [`crate::fed::ops`].
+
+use exdra_matrix::kernels::aggregates::{self, AggDir, AggOp};
+use exdra_matrix::kernels::elementwise::{self, BinaryOp, UnaryOp};
+use exdra_matrix::kernels::matmul;
+use exdra_matrix::kernels::reorg;
+use exdra_matrix::DenseMatrix;
+
+use crate::error::{Result, RuntimeError};
+use crate::fed::{FedMatrix, PartitionScheme};
+
+/// A matrix that is either local or federated.
+#[derive(Debug, Clone)]
+pub enum Tensor {
+    /// In-memory matrix at the coordinator.
+    Local(DenseMatrix),
+    /// Federated matrix (raw data at the sites).
+    Fed(FedMatrix),
+}
+
+impl Tensor {
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        match self {
+            Tensor::Local(m) => m.rows(),
+            Tensor::Fed(f) => f.rows(),
+        }
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        match self {
+            Tensor::Local(m) => m.cols(),
+            Tensor::Fed(f) => f.cols(),
+        }
+    }
+
+    /// `(rows, cols)`.
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows(), self.cols())
+    }
+
+    /// True for federated tensors.
+    pub fn is_fed(&self) -> bool {
+        matches!(self, Tensor::Fed(_))
+    }
+
+    /// Borrows the local matrix (error for federated tensors — use
+    /// [`Tensor::to_local`] for an explicit, privacy-checked transfer).
+    pub fn as_local(&self) -> Result<&DenseMatrix> {
+        match self {
+            Tensor::Local(m) => Ok(m),
+            Tensor::Fed(_) => Err(RuntimeError::Unsupported(
+                "tensor is federated; consolidate explicitly via to_local()".into(),
+            )),
+        }
+    }
+
+    /// Materializes the tensor locally; federated data is transparently
+    /// transferred *unless it violates privacy constraints* (paper §4.1).
+    pub fn to_local(&self) -> Result<DenseMatrix> {
+        match self {
+            Tensor::Local(m) => Ok(m.clone()),
+            Tensor::Fed(f) => f.consolidate(),
+        }
+    }
+
+    /// The scalar value of a 1x1 tensor.
+    pub fn scalar_value(&self) -> Result<f64> {
+        let m = self.to_local()?;
+        Ok(m.as_scalar()?)
+    }
+
+    /// Matrix multiplication `self %*% rhs`. For two federated inputs, the
+    /// smaller side is consolidated first ("some of them are consolidated
+    /// in the coordinator, or a privacy exception is thrown", §4.2).
+    pub fn matmul(&self, rhs: &Tensor) -> Result<Tensor> {
+        match (self, rhs) {
+            (Tensor::Local(a), Tensor::Local(b)) => {
+                Ok(Tensor::Local(matmul::matmul(a, b)?))
+            }
+            (Tensor::Fed(a), Tensor::Local(b)) => a.matmul_rhs_local(b),
+            (Tensor::Local(a), Tensor::Fed(b)) => b.matmul_lhs_local(a),
+            (Tensor::Fed(a), Tensor::Fed(b)) => {
+                // Consolidate the smaller operand (privacy-checked).
+                if a.rows() * a.cols() <= b.rows() * b.cols() {
+                    let al = a.consolidate()?;
+                    b.matmul_lhs_local(&al)
+                } else {
+                    let bl = b.consolidate()?;
+                    a.matmul_rhs_local(&bl)
+                }
+            }
+        }
+    }
+
+    /// `t(self) %*% rhs`. The aligned federated-federated case runs fully
+    /// federated (K-Means' `t(P) %*% X`, Example 3).
+    pub fn t_matmul(&self, rhs: &Tensor) -> Result<Tensor> {
+        match (self, rhs) {
+            (Tensor::Fed(a), Tensor::Fed(b)) if a.aligned_with(b) => {
+                Ok(Tensor::Local(a.aligned_matmul_t(b)?))
+            }
+            (Tensor::Local(a), Tensor::Local(b)) => {
+                Ok(Tensor::Local(matmul::matmul(&reorg::transpose(a), b)?))
+            }
+            (Tensor::Fed(a), Tensor::Local(b)) => {
+                // t(X) %*% y = t( t(y) %*% X ) with a sliced broadcast of y.
+                let ty = reorg::transpose(b);
+                match a.matmul_lhs_local(&ty)? {
+                    Tensor::Local(m) => Ok(Tensor::Local(reorg::transpose(&m))),
+                    Tensor::Fed(f) => Ok(Tensor::Fed(f.transpose()?)),
+                }
+            }
+            (Tensor::Local(a), Tensor::Fed(b)) => {
+                let ta = reorg::transpose(a);
+                b.matmul_lhs_local(&ta)
+            }
+            (Tensor::Fed(_), Tensor::Fed(b)) => {
+                // Non-co-partitioned federated inputs: consolidate the
+                // right side (privacy-checked) and go through the
+                // (Fed, Local) sliced-broadcast path (paper §4.2: "some of
+                // them are consolidated in the coordinator, or a privacy
+                // exception is thrown").
+                let bl = b.consolidate()?;
+                self.t_matmul(&Tensor::Local(bl))
+            }
+        }
+    }
+
+    /// Fused `t(self) %*% (w ⊙ (self %*% v))` (mmchain).
+    pub fn mmchain(&self, v: &DenseMatrix, w: Option<&DenseMatrix>) -> Result<DenseMatrix> {
+        match self {
+            Tensor::Local(x) => Ok(matmul::mmchain(x, v, w)?),
+            Tensor::Fed(x) => x.mmchain(v, w),
+        }
+    }
+
+    /// `t(self) %*% self` (tsmm).
+    pub fn tsmm(&self) -> Result<DenseMatrix> {
+        match self {
+            Tensor::Local(x) => Ok(matmul::tsmm(x, true)?),
+            Tensor::Fed(x) => x.tsmm(),
+        }
+    }
+
+    /// Element-wise unary op.
+    pub fn unary(&self, op: UnaryOp) -> Result<Tensor> {
+        match self {
+            Tensor::Local(m) => Ok(Tensor::Local(elementwise::unary(m, op))),
+            Tensor::Fed(f) => Ok(Tensor::Fed(f.unary(op)?)),
+        }
+    }
+
+    /// Row-wise softmax.
+    pub fn softmax(&self) -> Result<Tensor> {
+        match self {
+            Tensor::Local(m) => Ok(Tensor::Local(elementwise::softmax(m))),
+            Tensor::Fed(f) => Ok(Tensor::Fed(f.softmax()?)),
+        }
+    }
+
+    /// Matrix-scalar op (`swap` computes `scalar op self`).
+    pub fn scalar_op(&self, op: BinaryOp, value: f64, swap: bool) -> Result<Tensor> {
+        match self {
+            Tensor::Local(m) => Ok(Tensor::Local(elementwise::scalar(m, op, value, swap))),
+            Tensor::Fed(f) => {
+                if swap {
+                    // Compose from the non-swapped federated primitives.
+                    match op {
+                        BinaryOp::Sub => {
+                            // s - X = -(X - s)
+                            let t = f.scalar_op(BinaryOp::Sub, value, false)?;
+                            Ok(Tensor::Fed(t.scalar_op(BinaryOp::Mul, -1.0, false)?))
+                        }
+                        BinaryOp::Div => {
+                            // s / X = s * X^-1
+                            let inv = f.scalar_op(BinaryOp::Pow, -1.0, false)?;
+                            Ok(Tensor::Fed(inv.scalar_op(BinaryOp::Mul, value, false)?))
+                        }
+                        _ if op.is_commutative() => {
+                            Ok(Tensor::Fed(f.scalar_op(op, value, false)?))
+                        }
+                        _ => Err(RuntimeError::Unsupported(format!(
+                            "swapped scalar {} on federated data",
+                            op.name()
+                        ))),
+                    }
+                } else {
+                    Ok(Tensor::Fed(f.scalar_op(op, value, false)?))
+                }
+            }
+        }
+    }
+
+    /// Element-wise binary op with SystemDS broadcasting semantics.
+    pub fn binary(&self, op: BinaryOp, rhs: &Tensor) -> Result<Tensor> {
+        match (self, rhs) {
+            (Tensor::Local(a), Tensor::Local(b)) => {
+                Ok(Tensor::Local(elementwise::binary(a, op, b)?))
+            }
+            (Tensor::Fed(a), Tensor::Local(b)) => Ok(Tensor::Fed(a.binary_local(op, b)?)),
+            (Tensor::Fed(a), Tensor::Fed(b)) => Ok(Tensor::Fed(a.binary_fed(op, b)?)),
+            (Tensor::Local(a), Tensor::Fed(b)) => {
+                if a.is_scalar() {
+                    return Tensor::Fed(b.clone()).scalar_op(op, a.get(0, 0), true);
+                }
+                // Rewrite non-commutative ops into fed-lhs form.
+                match op {
+                    _ if op.is_commutative() => Ok(Tensor::Fed(b.binary_local(op, a)?)),
+                    BinaryOp::Sub => {
+                        // a - B = -(B - a)
+                        let t = b.binary_local(BinaryOp::Sub, a)?;
+                        Ok(Tensor::Fed(t.scalar_op(BinaryOp::Mul, -1.0, false)?))
+                    }
+                    BinaryOp::Div => {
+                        // a / B = a * B^-1
+                        let inv = b.scalar_op(BinaryOp::Pow, -1.0, false)?;
+                        Ok(Tensor::Fed(inv.binary_local(BinaryOp::Mul, a)?))
+                    }
+                    BinaryOp::Lt => Ok(Tensor::Fed(b.binary_local(BinaryOp::Gt, a)?)),
+                    BinaryOp::Le => Ok(Tensor::Fed(b.binary_local(BinaryOp::Ge, a)?)),
+                    BinaryOp::Gt => Ok(Tensor::Fed(b.binary_local(BinaryOp::Lt, a)?)),
+                    BinaryOp::Ge => Ok(Tensor::Fed(b.binary_local(BinaryOp::Le, a)?)),
+                    _ => Err(RuntimeError::Unsupported(format!(
+                        "local {} federated without a federated rewrite",
+                        op.name()
+                    ))),
+                }
+            }
+        }
+    }
+
+    /// Aggregate along a direction.
+    pub fn agg(&self, op: AggOp, dir: AggDir) -> Result<Tensor> {
+        match self {
+            Tensor::Local(m) => Ok(Tensor::Local(aggregates::aggregate(m, op, dir)?)),
+            Tensor::Fed(f) => f.agg(op, dir),
+        }
+    }
+
+    /// Full sum as a scalar.
+    pub fn sum(&self) -> Result<f64> {
+        self.agg(AggOp::Sum, AggDir::Full)?.scalar_value()
+    }
+
+    /// Full mean as a scalar.
+    pub fn mean(&self) -> Result<f64> {
+        self.agg(AggOp::Mean, AggDir::Full)?.scalar_value()
+    }
+
+    /// Row sums (`rowSums`).
+    pub fn row_sums(&self) -> Result<Tensor> {
+        self.agg(AggOp::Sum, AggDir::Row)
+    }
+
+    /// Column sums (`colSums`).
+    pub fn col_sums(&self) -> Result<Tensor> {
+        self.agg(AggOp::Sum, AggDir::Col)
+    }
+
+    /// Column means (`colMeans`).
+    pub fn col_means(&self) -> Result<Tensor> {
+        self.agg(AggOp::Mean, AggDir::Col)
+    }
+
+    /// Row-wise minima (`rowMins`).
+    pub fn row_mins(&self) -> Result<Tensor> {
+        self.agg(AggOp::Min, AggDir::Row)
+    }
+
+    /// 1-based row-wise argmax.
+    pub fn row_index_max(&self) -> Result<Tensor> {
+        match self {
+            Tensor::Local(m) => Ok(Tensor::Local(aggregates::row_index_max(m)?)),
+            Tensor::Fed(f) => Ok(Tensor::Fed(f.row_index_max()?)),
+        }
+    }
+
+    /// Transpose.
+    pub fn t(&self) -> Result<Tensor> {
+        match self {
+            Tensor::Local(m) => Ok(Tensor::Local(reorg::transpose(m))),
+            Tensor::Fed(f) => Ok(Tensor::Fed(f.transpose()?)),
+        }
+    }
+
+    /// Right indexing with half-open, 0-based ranges.
+    pub fn index(
+        &self,
+        row_lo: usize,
+        row_hi: usize,
+        col_lo: usize,
+        col_hi: usize,
+    ) -> Result<Tensor> {
+        match self {
+            Tensor::Local(m) => Ok(Tensor::Local(reorg::index(
+                m, row_lo, row_hi, col_lo, col_hi,
+            )?)),
+            Tensor::Fed(f) => Ok(Tensor::Fed(f.index(row_lo, row_hi, col_lo, col_hi)?)),
+        }
+    }
+
+    /// Vertical concatenation.
+    pub fn rbind(&self, other: &Tensor) -> Result<Tensor> {
+        match (self, other) {
+            (Tensor::Local(a), Tensor::Local(b)) => Ok(Tensor::Local(reorg::rbind(a, b)?)),
+            (Tensor::Fed(a), Tensor::Fed(b)) => Ok(Tensor::Fed(a.rbind_fed(b)?)),
+            _ => Err(RuntimeError::Unsupported(
+                "rbind of mixed local/federated tensors".into(),
+            )),
+        }
+    }
+
+    /// Horizontal concatenation (aligned for federated inputs).
+    pub fn cbind(&self, other: &Tensor) -> Result<Tensor> {
+        match (self, other) {
+            (Tensor::Local(a), Tensor::Local(b)) => Ok(Tensor::Local(reorg::cbind(a, b)?)),
+            (Tensor::Fed(a), Tensor::Fed(b)) => Ok(Tensor::Fed(a.cbind_aligned(b)?)),
+            _ => Err(RuntimeError::Unsupported(
+                "cbind of mixed local/federated tensors".into(),
+            )),
+        }
+    }
+
+    /// Value replacement (`replace`; pattern may be NaN).
+    pub fn replace(&self, pattern: f64, replacement: f64) -> Result<Tensor> {
+        match self {
+            Tensor::Local(m) => Ok(Tensor::Local(reorg::replace(m, pattern, replacement))),
+            Tensor::Fed(f) => Ok(Tensor::Fed(f.replace(pattern, replacement)?)),
+        }
+    }
+}
+
+impl From<DenseMatrix> for Tensor {
+    fn from(m: DenseMatrix) -> Self {
+        Tensor::Local(m)
+    }
+}
+
+impl From<FedMatrix> for Tensor {
+    fn from(f: FedMatrix) -> Self {
+        Tensor::Fed(f)
+    }
+}
+
+/// Partition scheme helper re-export (used by API callers).
+pub use crate::fed::PartitionScheme as Scheme;
+
+#[allow(unused)]
+fn _scheme_used(s: PartitionScheme) {}

@@ -1,0 +1,61 @@
+//! Test and benchmark helpers for spawning in-process federations.
+//!
+//! Public because integration tests, benches, and examples across the
+//! workspace all need "N workers on a fast transport" as a starting point.
+
+use std::sync::Arc;
+
+use exdra_net::transport::Channel;
+
+use crate::coordinator::FedContext;
+use crate::worker::{Worker, WorkerConfig};
+
+/// Spawns `n` in-process workers on the in-memory transport and connects a
+/// federated context to them. Deterministic and fast; used by unit tests.
+pub fn mem_federation(n: usize) -> (Arc<FedContext>, Vec<Arc<Worker>>) {
+    mem_federation_with(n, WorkerConfig::default)
+}
+
+/// [`mem_federation`] with per-worker configuration.
+pub fn mem_federation_with(
+    n: usize,
+    mut config: impl FnMut() -> WorkerConfig,
+) -> (Arc<FedContext>, Vec<Arc<Worker>>) {
+    let mut channels = Vec::with_capacity(n);
+    let mut workers = Vec::with_capacity(n);
+    for _ in 0..n {
+        let w = Worker::new(config());
+        channels.push(Box::new(w.serve_mem()) as Box<dyn Channel>);
+        workers.push(w);
+    }
+    let ctx = FedContext::from_channels(channels).expect("non-empty federation");
+    (ctx, workers)
+}
+
+/// Spawns `n` in-process workers behind real loopback TCP sockets and
+/// connects to them — the production transport path, used by integration
+/// tests and all benchmarks.
+pub fn tcp_federation(n: usize) -> (Arc<FedContext>, Vec<Arc<Worker>>) {
+    tcp_federation_with(n, WorkerConfig::default, |addr| {
+        crate::coordinator::WorkerEndpoint::tcp(addr)
+    })
+}
+
+/// [`tcp_federation`] with per-worker configuration and custom endpoints
+/// (e.g. WAN shaping or channel encryption).
+pub fn tcp_federation_with(
+    n: usize,
+    mut config: impl FnMut() -> WorkerConfig,
+    endpoint: impl Fn(String) -> crate::coordinator::WorkerEndpoint,
+) -> (Arc<FedContext>, Vec<Arc<Worker>>) {
+    let mut endpoints = Vec::with_capacity(n);
+    let mut workers = Vec::with_capacity(n);
+    for _ in 0..n {
+        let w = Worker::new(config());
+        let addr = w.serve_tcp("127.0.0.1:0").expect("bind loopback");
+        endpoints.push(endpoint(addr.to_string()));
+        workers.push(w);
+    }
+    let ctx = FedContext::connect(&endpoints).expect("connect to workers");
+    (ctx, workers)
+}

@@ -1,0 +1,909 @@
+//! The standing federated worker.
+//!
+//! A worker is a control program "started as a worker process that acts
+//! like a server at the federated site" (§4.1): it listens for incoming
+//! federated requests, executes them against a local symbol table, checks
+//! privacy constraints on data exchange, and returns responses. Standing
+//! workers additionally host the lineage reuse cache and the background
+//! compaction of cached intermediates (§4.4).
+
+use std::collections::HashMap;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use parking_lot::RwLock;
+
+use exdra_matrix::compress::CompressedMatrix;
+use exdra_matrix::frame::Frame;
+use exdra_matrix::io as mio;
+use exdra_matrix::kernels::reorg;
+use exdra_matrix::{DenseMatrix, Matrix};
+use exdra_net::codec::Wire;
+use exdra_net::transport::{Channel, MemChannel, TcpServer};
+
+use crate::error::{Result, RuntimeError};
+use crate::exec;
+use crate::lineage::{self, LineageCache};
+use crate::privacy::{may_release, PrivacyLevel};
+use crate::protocol::{ReadFormat, Request, Response};
+use crate::symbol::SymbolTable;
+use crate::udf::Udf;
+use crate::value::DataValue;
+
+/// An application-registered UDF: takes resolved symbol arguments followed
+/// by inline arguments, returns an optional result value.
+pub type RegisteredFn =
+    dyn Fn(&[Arc<DataValue>], &[DataValue]) -> Result<Option<DataValue>> + Send + Sync;
+
+/// Configuration of a federated worker.
+pub struct WorkerConfig {
+    /// Directory that `READ` file names are resolved against (the worker's
+    /// permissioned raw-data root; paths escaping it are rejected).
+    pub data_dir: PathBuf,
+    /// Lineage reuse cache budget in bytes.
+    pub cache_bytes: usize,
+    /// Whether lineage-based reuse is enabled (ablation A1).
+    pub reuse_enabled: bool,
+    /// Entries idle longer than this are eligible for background
+    /// compression (paper §4.4 "free cycles ... asynchronous compression").
+    pub compact_idle: Duration,
+    /// Background compaction sweep period; `None` disables the thread.
+    pub compact_period: Option<Duration>,
+    /// Pre-shared channel key: when set, accepted TCP connections are
+    /// encrypted (the worker-side counterpart of the coordinator's
+    /// encrypted endpoints).
+    pub channel_key: Option<exdra_net::crypto::ChannelKey>,
+}
+
+impl Default for WorkerConfig {
+    fn default() -> Self {
+        Self {
+            data_dir: std::env::temp_dir(),
+            cache_bytes: 256 << 20,
+            reuse_enabled: true,
+            compact_idle: Duration::from_secs(30),
+            compact_period: None,
+            channel_key: None,
+        }
+    }
+}
+
+/// A standing federated worker: shared state plus serving loops.
+pub struct Worker {
+    table: Arc<SymbolTable>,
+    cache: Arc<LineageCache>,
+    registry: RwLock<HashMap<String, Arc<RegisteredFn>>>,
+    config: WorkerConfig,
+    compressed_count: std::sync::atomic::AtomicU64,
+    shutdown: AtomicBool,
+}
+
+impl Worker {
+    /// Creates a worker with the given configuration.
+    pub fn new(config: WorkerConfig) -> Arc<Self> {
+        let cache = Arc::new(LineageCache::new(config.cache_bytes, config.reuse_enabled));
+        Arc::new(Self {
+            table: Arc::new(SymbolTable::new()),
+            cache,
+            registry: RwLock::new(HashMap::new()),
+            config,
+            compressed_count: std::sync::atomic::AtomicU64::new(0),
+            shutdown: AtomicBool::new(false),
+        })
+    }
+
+    /// Registers a named UDF (e.g. parameter-server gradient functions,
+    /// installed at setup time).
+    pub fn register_udf(&self, name: &str, f: Arc<RegisteredFn>) {
+        self.registry.write().insert(name.to_string(), f);
+    }
+
+    /// The worker's symbol table (exposed for tests and embedding apps).
+    pub fn table(&self) -> &Arc<SymbolTable> {
+        &self.table
+    }
+
+    /// The worker's lineage cache.
+    pub fn cache(&self) -> &Arc<LineageCache> {
+        &self.cache
+    }
+
+    /// Requests shutdown of serving loops (they exit after the current
+    /// connection closes).
+    pub fn shutdown(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+    }
+
+    /// Serves one connection until the peer closes it.
+    pub fn serve_connection(self: &Arc<Self>, mut channel: Box<dyn Channel>) {
+        loop {
+            let frame = match channel.recv() {
+                Ok(f) => f,
+                Err(_) => return, // connection closed
+            };
+            let responses = match Vec::<Request>::from_bytes(&frame) {
+                Ok(batch) => self.handle_batch(batch),
+                Err(e) => vec![Response::Error(format!("malformed request batch: {e}"))],
+            };
+            if channel.send(&responses.to_bytes()).is_err() {
+                return;
+            }
+        }
+    }
+
+    /// Serves a TCP endpoint, spawning one thread per accepted connection.
+    /// Returns the bound address.
+    pub fn serve_tcp(self: &Arc<Self>, addr: &str) -> Result<std::net::SocketAddr> {
+        let server = TcpServer::bind(addr)?;
+        let local = server.local_addr()?;
+        let worker = Arc::clone(self);
+        std::thread::Builder::new()
+            .name("exdra-worker-accept".into())
+            .spawn(move || loop {
+                if worker.shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+                match server.accept() {
+                    Ok(ch) => {
+                        let w = Arc::clone(&worker);
+                        let key = w.config.channel_key;
+                        std::thread::spawn(move || match key {
+                            Some(k) => w.serve_connection(Box::new(
+                                exdra_net::transport::EncryptedChannel::new(ch, k, false),
+                            )),
+                            None => w.serve_connection(Box::new(ch)),
+                        });
+                    }
+                    Err(_) => return,
+                }
+            })
+            .expect("spawn worker accept thread");
+        self.maybe_spawn_compactor();
+        Ok(local)
+    }
+
+    /// Serves an in-memory channel pair on a background thread and returns
+    /// the coordinator-side endpoint (deterministic test transport).
+    pub fn serve_mem(self: &Arc<Self>) -> MemChannel {
+        let (coord_side, worker_side) = exdra_net::transport::mem_pair();
+        let worker = Arc::clone(self);
+        std::thread::spawn(move || worker.serve_connection(Box::new(worker_side)));
+        self.maybe_spawn_compactor();
+        coord_side
+    }
+
+    fn maybe_spawn_compactor(self: &Arc<Self>) {
+        if let Some(period) = self.config.compact_period {
+            let worker = Arc::clone(self);
+            std::thread::spawn(move || loop {
+                std::thread::sleep(period);
+                if worker.shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+                worker.compact(1024, worker.config.compact_idle);
+            });
+        }
+    }
+
+    /// Handles a request sequence; execution stops at the first failure and
+    /// the remaining requests report a skip error.
+    pub fn handle_batch(self: &Arc<Self>, batch: Vec<Request>) -> Vec<Response> {
+        let mut responses = Vec::with_capacity(batch.len());
+        let mut failed = false;
+        for req in batch {
+            if failed {
+                responses.push(Response::Error("skipped: earlier request failed".into()));
+                continue;
+            }
+            let resp = match self.handle_one(req) {
+                Ok(r) => r,
+                Err(e) => {
+                    failed = true;
+                    Response::Error(e.to_string())
+                }
+            };
+            responses.push(resp);
+        }
+        responses
+    }
+
+    fn handle_one(self: &Arc<Self>, req: Request) -> Result<Response> {
+        match req {
+            Request::Read {
+                id,
+                fname,
+                format,
+                privacy,
+            } => {
+                let path = self.resolve_path(&fname)?;
+                let value = match format {
+                    ReadFormat::MatrixCsv => {
+                        DataValue::Matrix(Matrix::Dense(mio::read_matrix_csv(&path)?))
+                    }
+                    ReadFormat::MatrixBin => {
+                        DataValue::Matrix(Matrix::Dense(mio::read_matrix_bin(&path)?))
+                    }
+                    ReadFormat::FrameCsv { schema } => {
+                        DataValue::Frame(mio::read_frame_csv(&path, &schema)?)
+                    }
+                    ReadFormat::FrameCsvInfer => {
+                        let schema = mio::infer_schema(&path, 1000)?;
+                        DataValue::Frame(mio::read_frame_csv(&path, &schema)?)
+                    }
+                };
+                let (ptag, pgroup) = privacy.to_parts();
+                let lin = lineage::mix(
+                    lineage::mix(lineage::seed(&format!("read:{fname}")), ptag as u64),
+                    pgroup,
+                );
+                // Raw reads are releasable only when public.
+                let releasable = privacy == PrivacyLevel::Public;
+                self.table.bind(id, Arc::new(value), privacy, releasable, lin);
+                Ok(Response::Ok)
+            }
+            Request::Put { id, data, privacy } => {
+                // The privacy constraint is part of the data's identity:
+                // the same bytes under a different constraint must not
+                // share cached derivations (their release metadata differs).
+                let (ptag, pgroup) = privacy.to_parts();
+                let lin = lineage::mix(
+                    lineage::mix(lineage::of_bytes(&data.to_bytes()), ptag as u64),
+                    pgroup,
+                );
+                let releasable = privacy == PrivacyLevel::Public;
+                self.table.bind(id, Arc::new(data), privacy, releasable, lin);
+                Ok(Response::Ok)
+            }
+            Request::Get { id } => {
+                let entry = self.table.get(id)?;
+                if !may_release(entry.meta.privacy, entry.meta.releasable) {
+                    return Err(RuntimeError::Privacy(format!(
+                        "GET of {} value {id} denied (releasable={})",
+                        entry.meta.privacy.name(),
+                        entry.meta.releasable
+                    )));
+                }
+                Ok(Response::Data((*entry.value).clone()))
+            }
+            Request::ExecInst { inst } => {
+                exec::execute(&inst, &self.table, Some(&self.cache))?;
+                Ok(Response::Ok)
+            }
+            Request::ExecUdf { udf } => self.handle_udf(udf),
+            Request::Clear => {
+                self.table.clear();
+                self.cache.clear();
+                Ok(Response::Ok)
+            }
+        }
+    }
+
+    fn resolve_path(&self, fname: &str) -> Result<PathBuf> {
+        let candidate = self.config.data_dir.join(fname);
+        // Reject traversal out of the permissioned data directory.
+        if fname.contains("..") {
+            return Err(RuntimeError::Invalid(format!(
+                "path '{fname}' escapes the worker data directory"
+            )));
+        }
+        Ok(candidate)
+    }
+
+    fn handle_udf(self: &Arc<Self>, udf: Udf) -> Result<Response> {
+        match udf {
+            Udf::EncodeBuildPartial { frame, spec } => {
+                let entry = self.table.get(frame)?;
+                let f = entry.value.as_frame()?;
+                let partial = exdra_transform::build_partial(f, &spec)?;
+                // Distinct sets / ranges are metadata the protocol is
+                // allowed to consolidate (they are the paper's exchanged
+                // encoder metadata), so they are returned even for
+                // private-aggregate data. Strictly private data refuses.
+                if entry.meta.privacy == PrivacyLevel::Private {
+                    return Err(RuntimeError::Privacy(
+                        "transformencode metadata exchange on strictly private frame".into(),
+                    ));
+                }
+                Ok(Response::Data(DataValue::PartialMeta(partial)))
+            }
+            Udf::EncodeApply { frame, meta, out } => {
+                let fe = self.table.get(frame)?;
+                let f = fe.value.as_frame()?;
+                let me = self.table.get(meta)?;
+                let meta_v = match &*me.value {
+                    DataValue::TransformMeta(m) => m.clone(),
+                    other => {
+                        return Err(RuntimeError::Invalid(format!(
+                            "expected transform-meta, found {}",
+                            other.type_name()
+                        )))
+                    }
+                };
+                let encoded = exdra_transform::apply(f, &meta_v)?;
+                let lin = lineage::mix(lineage::seed("tfencode-apply"), fe.meta.lineage);
+                self.table.bind(
+                    out,
+                    Arc::new(DataValue::from(encoded)),
+                    fe.meta.privacy,
+                    fe.meta.releasable,
+                    lin,
+                );
+                Ok(Response::Ok)
+            }
+            Udf::FrameSelect { frame, columns, out } => {
+                let fe = self.table.get(frame)?;
+                let f = fe.value.as_frame()?;
+                let names: Vec<&str> = columns.iter().map(String::as_str).collect();
+                let projected = f.select(&names)?;
+                let mut lin = lineage::mix(lineage::seed("frame-select"), fe.meta.lineage);
+                for c in &columns {
+                    lin = lineage::mix(lin, lineage::seed(c));
+                }
+                self.table.bind(
+                    out,
+                    Arc::new(DataValue::Frame(projected)),
+                    fe.meta.privacy,
+                    fe.meta.releasable,
+                    lin,
+                );
+                Ok(Response::Ok)
+            }
+            Udf::Shuffle {
+                x,
+                y,
+                seed,
+                out_x,
+                out_y,
+            } => {
+                let xe = self.table.get(x)?;
+                let xm = xe.value.to_dense()?;
+                let perm = exdra_matrix::rng::rand_permutation(xm.rows(), seed);
+                let xs = reorg::gather_rows(&xm, &perm)?;
+                let lin = lineage::mix(
+                    lineage::mix(lineage::seed("shuffle"), xe.meta.lineage),
+                    seed,
+                );
+                self.table.bind(
+                    out_x,
+                    Arc::new(DataValue::from(xs)),
+                    xe.meta.privacy,
+                    xe.meta.releasable,
+                    lin,
+                );
+                if let (Some(y), Some(out_y)) = (y, out_y) {
+                    let ye = self.table.get(y)?;
+                    let ym = ye.value.to_dense()?;
+                    if ym.rows() != xm.rows() {
+                        return Err(RuntimeError::Invalid(format!(
+                            "shuffle: X has {} rows, y has {}",
+                            xm.rows(),
+                            ym.rows()
+                        )));
+                    }
+                    let ys = reorg::gather_rows(&ym, &perm)?;
+                    self.table.bind(
+                        out_y,
+                        Arc::new(DataValue::from(ys)),
+                        ye.meta.privacy,
+                        ye.meta.releasable,
+                        lineage::mix(lin, 1),
+                    );
+                }
+                Ok(Response::Ok)
+            }
+            Udf::Replicate {
+                x,
+                y,
+                times,
+                out_x,
+                out_y,
+            } => {
+                if times == 0 {
+                    return Err(RuntimeError::Invalid("replication factor 0".into()));
+                }
+                let rep = |m: &DenseMatrix| -> Result<DenseMatrix> {
+                    let mut out = m.clone();
+                    for _ in 1..times {
+                        out = reorg::rbind(&out, m)?;
+                    }
+                    Ok(out)
+                };
+                let xe = self.table.get(x)?;
+                let xs = rep(&xe.value.to_dense()?)?;
+                let lin = lineage::mix(
+                    lineage::mix(lineage::seed("replicate"), xe.meta.lineage),
+                    times,
+                );
+                self.table.bind(
+                    out_x,
+                    Arc::new(DataValue::from(xs)),
+                    xe.meta.privacy,
+                    xe.meta.releasable,
+                    lin,
+                );
+                if let (Some(y), Some(out_y)) = (y, out_y) {
+                    let ye = self.table.get(y)?;
+                    let ys = rep(&ye.value.to_dense()?)?;
+                    self.table.bind(
+                        out_y,
+                        Arc::new(DataValue::from(ys)),
+                        ye.meta.privacy,
+                        ye.meta.releasable,
+                        lineage::mix(lin, 1),
+                    );
+                }
+                Ok(Response::Ok)
+            }
+            Udf::CompactNow { min_bytes } => {
+                let n = self.compact(min_bytes as usize, Duration::ZERO);
+                Ok(Response::Data(DataValue::Scalar(n as f64)))
+            }
+            Udf::MatrixDims { id } => {
+                let e = self.table.get(id)?;
+                let m = e.value.as_matrix()?;
+                Ok(Response::Data(DataValue::List(vec![
+                    DataValue::Scalar(m.rows() as f64),
+                    DataValue::Scalar(m.cols() as f64),
+                    DataValue::Scalar(m.nnz() as f64),
+                ])))
+            }
+            Udf::CategoryCounts { frame, column } => {
+                let e = self.table.get(frame)?;
+                let f = e.value.as_frame()?;
+                let col = f.column_by_name(&column)?;
+                let mut counts: std::collections::BTreeMap<String, u64> =
+                    std::collections::BTreeMap::new();
+                for r in 0..col.len() {
+                    if let Some(tok) = col.token(r) {
+                        *counts.entry(tok).or_default() += 1;
+                    }
+                }
+                let (tokens, ns): (Vec<Option<String>>, Vec<Option<f64>>) = counts
+                    .into_iter()
+                    .map(|(t, n)| (Some(t), Some(n as f64)))
+                    .unzip();
+                let out = Frame::new(vec![
+                    ("token".into(), exdra_matrix::frame::FrameColumn::Str(tokens)),
+                    ("count".into(), exdra_matrix::frame::FrameColumn::F64(ns)),
+                ])?;
+                // Category counts are the same aggregate-sized metadata the
+                // encode protocol exchanges; strictly private data refuses.
+                if e.meta.privacy == PrivacyLevel::Private {
+                    return Err(RuntimeError::Privacy(
+                        "category counts on strictly private frame".into(),
+                    ));
+                }
+                Ok(Response::Data(DataValue::Frame(out)))
+            }
+            Udf::FillMissing {
+                frame,
+                column,
+                value,
+                out,
+            } => {
+                let e = self.table.get(frame)?;
+                let f = e.value.as_frame()?;
+                let idx = f.column_index(&column)?;
+                let mut columns = Vec::with_capacity(f.cols());
+                for (c, (name, _)) in f.schema().into_iter().enumerate() {
+                    let col = f.column(c)?.clone();
+                    let col = if c == idx {
+                        match col {
+                            exdra_matrix::frame::FrameColumn::Str(v) => {
+                                exdra_matrix::frame::FrameColumn::Str(
+                                    v.into_iter()
+                                        .map(|cell| cell.or_else(|| Some(value.clone())))
+                                        .collect(),
+                                )
+                            }
+                            other => {
+                                return Err(RuntimeError::Invalid(format!(
+                                    "fill-missing targets string columns, '{column}' is {}",
+                                    other.value_type().name()
+                                )))
+                            }
+                        }
+                    } else {
+                        col
+                    };
+                    columns.push((name, col));
+                }
+                let repaired = Frame::new(columns)?;
+                let lin = lineage::mix(
+                    lineage::mix(lineage::seed("fill-missing"), e.meta.lineage),
+                    lineage::seed(&value),
+                );
+                self.table.bind(
+                    out,
+                    Arc::new(DataValue::Frame(repaired)),
+                    e.meta.privacy,
+                    e.meta.releasable,
+                    lin,
+                );
+                Ok(Response::Ok)
+            }
+            Udf::CacheStats => Ok(Response::Data(DataValue::List(vec![
+                DataValue::Scalar(self.cache.hits() as f64),
+                DataValue::Scalar(self.cache.misses() as f64),
+                DataValue::Scalar(self.cache.entries() as f64),
+                DataValue::Scalar(
+                    self.compressed_count.load(Ordering::Relaxed) as f64,
+                ),
+            ]))),
+            Udf::Registered {
+                name,
+                args,
+                arg_ids,
+                out,
+            } => {
+                let f = self
+                    .registry
+                    .read()
+                    .get(&name)
+                    .cloned()
+                    .ok_or_else(|| RuntimeError::Invalid(format!("unknown UDF '{name}'")))?;
+                let mut resolved = Vec::with_capacity(arg_ids.len());
+                let mut strictest = PrivacyLevel::Public;
+                for id in &arg_ids {
+                    let e = self.table.get(*id)?;
+                    strictest = strictest.max(e.meta.privacy);
+                    resolved.push(e.value);
+                }
+                let result = f(&resolved, &args)?;
+                match (result, out) {
+                    (Some(v), Some(out_id)) => {
+                        let lin = lineage::seed(&format!("udf:{name}:{out_id}"));
+                        // Registered UDF outputs inherit the strictest input
+                        // constraint and are conservatively unreleasable.
+                        self.table.bind(
+                            out_id,
+                            Arc::new(v.clone()),
+                            strictest,
+                            strictest == PrivacyLevel::Public,
+                            lin,
+                        );
+                        Ok(Response::Data(v))
+                    }
+                    (Some(v), None) => Ok(Response::Data(v)),
+                    (None, _) => Ok(Response::Ok),
+                }
+            }
+        }
+    }
+
+    /// Compresses dense matrix entries of at least `min_bytes` that have
+    /// been idle for `min_idle`. Returns the number of compacted entries.
+    pub fn compact(&self, min_bytes: usize, min_idle: Duration) -> usize {
+        let mut n = 0usize;
+        for (id, bytes, idle) in self.table.compaction_candidates() {
+            if bytes < min_bytes || idle < min_idle {
+                continue;
+            }
+            let Ok(entry) = self.table.get(id) else { continue };
+            if let DataValue::Matrix(Matrix::Dense(d)) = &*entry.value {
+                let compressed = CompressedMatrix::compress(d);
+                // Only keep the compressed form when it actually pays off.
+                if compressed.size_bytes() < d.size_bytes() {
+                    let value = DataValue::Matrix(Matrix::Compressed(compressed));
+                    if self.table.replace_value(id, Arc::new(value)).is_ok() {
+                        n += 1;
+                    }
+                }
+            }
+        }
+        self.compressed_count
+            .fetch_add(n as u64, Ordering::Relaxed);
+        n
+    }
+
+    /// Loads a frame directly into the symbol table (embedding-API
+    /// convenience for in-process workers, avoiding the file system).
+    pub fn install_frame(&self, id: u64, frame: Frame, privacy: PrivacyLevel, source_tag: &str) {
+        let lin = lineage::seed(&format!("frame:{source_tag}"));
+        self.table.bind(
+            id,
+            Arc::new(DataValue::Frame(frame)),
+            privacy,
+            privacy == PrivacyLevel::Public,
+            lin,
+        );
+    }
+
+    /// Loads a matrix directly into the symbol table (see
+    /// [`Worker::install_frame`]).
+    pub fn install_matrix(
+        &self,
+        id: u64,
+        m: DenseMatrix,
+        privacy: PrivacyLevel,
+        source_tag: &str,
+    ) {
+        let lin = lineage::seed(&format!("matrix:{source_tag}"));
+        self.table.bind(
+            id,
+            Arc::new(DataValue::from(m)),
+            privacy,
+            privacy == PrivacyLevel::Public,
+            lin,
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use exdra_matrix::rng::rand_matrix;
+
+    fn worker() -> Arc<Worker> {
+        Worker::new(WorkerConfig::default())
+    }
+
+    #[test]
+    fn put_get_roundtrip() {
+        let w = worker();
+        let m = rand_matrix(3, 3, 0.0, 1.0, 1);
+        let rs = w.handle_batch(vec![
+            Request::Put {
+                id: 1,
+                data: DataValue::from(m.clone()),
+                privacy: PrivacyLevel::Public,
+            },
+            Request::Get { id: 1 },
+        ]);
+        assert_eq!(rs[0], Response::Ok);
+        match &rs[1] {
+            Response::Data(DataValue::Matrix(got)) => {
+                assert!(got.to_dense().max_abs_diff(&m) < 1e-15)
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn get_of_private_data_denied() {
+        let w = worker();
+        let rs = w.handle_batch(vec![
+            Request::Put {
+                id: 1,
+                data: DataValue::from(rand_matrix(100, 2, 0.0, 1.0, 2)),
+                privacy: PrivacyLevel::Private,
+            },
+            Request::Get { id: 1 },
+        ]);
+        assert_eq!(rs[0], Response::Ok);
+        assert!(matches!(&rs[1], Response::Error(msg) if msg.contains("privacy")));
+    }
+
+    #[test]
+    fn aggregate_of_private_aggregate_data_released() {
+        let w = worker();
+        let rs = w.handle_batch(vec![
+            Request::Put {
+                id: 1,
+                data: DataValue::from(rand_matrix(100, 2, 0.0, 1.0, 3)),
+                privacy: PrivacyLevel::PrivateAggregate { min_group: 10 },
+            },
+            // Raw GET is denied...
+            Request::Get { id: 1 },
+        ]);
+        assert!(matches!(&rs[1], Response::Error(_)));
+        let rs = w.handle_batch(vec![
+            Request::ExecInst {
+                inst: crate::instruction::Instruction::Agg {
+                    x: 1,
+                    op: exdra_matrix::kernels::aggregates::AggOp::Sum,
+                    dir: exdra_matrix::kernels::aggregates::AggDir::Col,
+                    out: 2,
+                },
+            },
+            // ...but the column aggregate is releasable.
+            Request::Get { id: 2 },
+        ]);
+        assert_eq!(rs[0], Response::Ok);
+        assert!(matches!(&rs[1], Response::Data(_)));
+    }
+
+    #[test]
+    fn batch_stops_at_first_failure() {
+        let w = worker();
+        let rs = w.handle_batch(vec![
+            Request::Get { id: 99 }, // unknown symbol
+            Request::Put {
+                id: 1,
+                data: DataValue::Scalar(1.0),
+                privacy: PrivacyLevel::Public,
+            },
+        ]);
+        assert!(matches!(&rs[0], Response::Error(_)));
+        assert!(matches!(&rs[1], Response::Error(msg) if msg.contains("skipped")));
+        assert!(!w.table().contains(1));
+    }
+
+    #[test]
+    fn clear_resets_table_and_cache() {
+        let w = worker();
+        w.handle_batch(vec![Request::Put {
+            id: 1,
+            data: DataValue::Scalar(1.0),
+            privacy: PrivacyLevel::Public,
+        }]);
+        assert_eq!(w.table().len(), 1);
+        let rs = w.handle_batch(vec![Request::Clear]);
+        assert_eq!(rs[0], Response::Ok);
+        assert!(w.table().is_empty());
+    }
+
+    #[test]
+    fn read_rejects_path_traversal() {
+        let w = worker();
+        let rs = w.handle_batch(vec![Request::Read {
+            id: 1,
+            fname: "../../etc/passwd".into(),
+            format: ReadFormat::MatrixCsv,
+            privacy: PrivacyLevel::Public,
+        }]);
+        assert!(matches!(&rs[0], Response::Error(msg) if msg.contains("escapes")));
+    }
+
+    #[test]
+    fn read_matrix_from_data_dir() {
+        let dir = std::env::temp_dir().join("exdra_worker_read_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let m = rand_matrix(10, 3, 0.0, 1.0, 4);
+        mio::write_matrix_csv(&m, &dir.join("x.csv")).unwrap();
+        let w = Worker::new(WorkerConfig {
+            data_dir: dir,
+            ..WorkerConfig::default()
+        });
+        let rs = w.handle_batch(vec![
+            Request::Read {
+                id: 1,
+                fname: "x.csv".into(),
+                format: ReadFormat::MatrixCsv,
+                privacy: PrivacyLevel::Public,
+            },
+            Request::Get { id: 1 },
+        ]);
+        assert_eq!(rs[0], Response::Ok);
+        match &rs[1] {
+            Response::Data(v) => {
+                assert!(v.to_dense().unwrap().max_abs_diff(&m) < 1e-12)
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn registered_udf_roundtrip() {
+        let w = worker();
+        w.register_udf(
+            "double-sum",
+            Arc::new(|symbols, args| {
+                let m = symbols[0].to_dense()?;
+                let factor = args[0].as_scalar()?;
+                Ok(Some(DataValue::Scalar(
+                    m.values().iter().sum::<f64>() * factor,
+                )))
+            }),
+        );
+        let rs = w.handle_batch(vec![
+            Request::Put {
+                id: 1,
+                data: DataValue::from(DenseMatrix::filled(2, 2, 3.0)),
+                privacy: PrivacyLevel::Public,
+            },
+            Request::ExecUdf {
+                udf: Udf::Registered {
+                    name: "double-sum".into(),
+                    args: vec![DataValue::Scalar(2.0)],
+                    arg_ids: vec![1],
+                    out: None,
+                },
+            },
+        ]);
+        match &rs[1] {
+            Response::Data(v) => assert_eq!(v.as_scalar().unwrap(), 24.0),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unknown_registered_udf_errors() {
+        let w = worker();
+        let rs = w.handle_batch(vec![Request::ExecUdf {
+            udf: Udf::Registered {
+                name: "nope".into(),
+                args: vec![],
+                arg_ids: vec![],
+                out: None,
+            },
+        }]);
+        assert!(matches!(&rs[0], Response::Error(msg) if msg.contains("unknown UDF")));
+    }
+
+    #[test]
+    fn compaction_compresses_idle_dense_entries() {
+        let w = worker();
+        // Low-cardinality matrix compresses well.
+        let mut m = DenseMatrix::zeros(1000, 4);
+        for r in 0..1000 {
+            for c in 0..4 {
+                m.set(r, c, (r % 3) as f64);
+            }
+        }
+        w.install_matrix(1, m.clone(), PrivacyLevel::Public, "t");
+        let n = w.compact(1024, Duration::ZERO);
+        assert_eq!(n, 1);
+        let entry = w.table().get(1).unwrap();
+        match &*entry.value {
+            DataValue::Matrix(mat) => {
+                assert_eq!(mat.repr_name(), "compressed");
+                assert!(mat.to_dense().max_abs_diff(&m) == 0.0, "lossless");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // Compressed entries still execute instructions.
+        let rs = w.handle_batch(vec![Request::ExecInst {
+            inst: crate::instruction::Instruction::Agg {
+                x: 1,
+                op: exdra_matrix::kernels::aggregates::AggOp::Sum,
+                dir: exdra_matrix::kernels::aggregates::AggDir::Full,
+                out: 2,
+            },
+        }]);
+        assert_eq!(rs[0], Response::Ok);
+    }
+
+    #[test]
+    fn shuffle_preserves_row_alignment() {
+        let w = worker();
+        let x = rand_matrix(50, 3, 0.0, 1.0, 5);
+        // y = rowSums(x): alignment detectable after shuffling.
+        let y = exdra_matrix::kernels::aggregates::aggregate(
+            &x,
+            exdra_matrix::kernels::aggregates::AggOp::Sum,
+            exdra_matrix::kernels::aggregates::AggDir::Row,
+        )
+        .unwrap();
+        w.install_matrix(1, x, PrivacyLevel::Public, "x");
+        w.install_matrix(2, y, PrivacyLevel::Public, "y");
+        let rs = w.handle_batch(vec![Request::ExecUdf {
+            udf: Udf::Shuffle {
+                x: 1,
+                y: Some(2),
+                seed: 9,
+                out_x: 3,
+                out_y: Some(4),
+            },
+        }]);
+        assert_eq!(rs[0], Response::Ok);
+        let xs = w.table().value(3).unwrap().to_dense().unwrap();
+        let ys = w.table().value(4).unwrap().to_dense().unwrap();
+        for r in 0..50 {
+            let sum: f64 = xs.row(r).iter().sum();
+            assert!((sum - ys.get(r, 0)).abs() < 1e-12, "row {r} misaligned");
+        }
+    }
+
+    #[test]
+    fn replicate_multiplies_rows() {
+        let w = worker();
+        w.install_matrix(1, rand_matrix(10, 2, 0.0, 1.0, 6), PrivacyLevel::Public, "x");
+        let rs = w.handle_batch(vec![Request::ExecUdf {
+            udf: Udf::Replicate {
+                x: 1,
+                y: None,
+                times: 3,
+                out_x: 2,
+                out_y: None,
+            },
+        }]);
+        assert_eq!(rs[0], Response::Ok);
+        let out = w.table().value(2).unwrap().to_dense().unwrap();
+        assert_eq!(out.rows(), 30);
+        assert_eq!(out.row(0), out.row(10));
+        assert_eq!(out.row(0), out.row(20));
+    }
+}

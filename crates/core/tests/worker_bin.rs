@@ -1,0 +1,118 @@
+//! Smoke test of the deployable `exdra-worker` binary: spawn the real
+//! server process, connect a coordinator over TCP, and run federated
+//! requests against it — the minimal Figure 4 deployment.
+
+use std::io::{BufRead, BufReader};
+use std::process::{Child, Command, Stdio};
+
+use exdra_core::coordinator::WorkerEndpoint;
+use exdra_core::protocol::{Request, Response};
+use exdra_core::{DataValue, FedContext, PrivacyLevel};
+use exdra_matrix::rng::rand_matrix;
+
+struct WorkerProcess {
+    child: Child,
+    addr: String,
+}
+
+impl WorkerProcess {
+    fn spawn(extra_args: &[&str]) -> Self {
+        let dir = std::env::temp_dir().join(format!("exdra-worker-bin-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let mut child = Command::new(env!("CARGO_BIN_EXE_exdra-worker"))
+            .args([
+                "--listen",
+                "127.0.0.1:0",
+                "--data-dir",
+                dir.to_str().unwrap(),
+            ])
+            .args(extra_args)
+            .stdout(Stdio::piped())
+            .spawn()
+            .expect("spawn exdra-worker");
+        // The binary announces its bound address on the first stdout line.
+        let stdout = child.stdout.take().expect("piped stdout");
+        let mut line = String::new();
+        BufReader::new(stdout).read_line(&mut line).unwrap();
+        let addr = line
+            .split("listening on ")
+            .nth(1)
+            .and_then(|rest| rest.split_whitespace().next())
+            .unwrap_or_else(|| panic!("no address in banner: {line:?}"))
+            .to_string();
+        Self { child, addr }
+    }
+}
+
+impl Drop for WorkerProcess {
+    fn drop(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+#[test]
+fn binary_serves_the_six_request_protocol() {
+    let worker = WorkerProcess::spawn(&[]);
+    let ctx = FedContext::connect(&[WorkerEndpoint::tcp(worker.addr.clone())]).unwrap();
+    let m = rand_matrix(8, 4, -1.0, 1.0, 1);
+    let rs = ctx
+        .call(
+            0,
+            &[
+                Request::Put {
+                    id: 1,
+                    data: DataValue::from(m.clone()),
+                    privacy: PrivacyLevel::Public,
+                },
+                Request::ExecInst {
+                    inst: exdra_core::instruction::Instruction::Tsmm {
+                        x: 1,
+                        left: true,
+                        out: 2,
+                    },
+                },
+                Request::Get { id: 2 },
+                Request::Clear,
+            ],
+        )
+        .unwrap();
+    assert_eq!(rs[0], Response::Ok);
+    assert_eq!(rs[1], Response::Ok);
+    match &rs[2] {
+        Response::Data(v) => {
+            let got = v.to_dense().unwrap();
+            let want = exdra_matrix::kernels::matmul::tsmm(&m, true).unwrap();
+            assert!(got.max_abs_diff(&want) < 1e-10);
+        }
+        other => panic!("unexpected {other:?}"),
+    }
+    assert_eq!(rs[3], Response::Ok);
+}
+
+#[test]
+fn binary_with_encrypted_channels() {
+    let worker = WorkerProcess::spawn(&["--key", "bin-test-secret"]);
+    // Matching key connects...
+    let key = exdra_net::crypto::ChannelKey::from_passphrase("bin-test-secret");
+    let ctx = FedContext::connect(&[WorkerEndpoint::tcp_with(
+        worker.addr.clone(),
+        exdra_net::sim::NetProfile::lan(),
+        Some(key),
+    )])
+    .unwrap();
+    let rs = ctx
+        .call(
+            0,
+            &[Request::Put {
+                id: 1,
+                data: DataValue::Scalar(5.0),
+                privacy: PrivacyLevel::Public,
+            }],
+        )
+        .unwrap();
+    assert_eq!(rs[0], Response::Ok);
+    // ...a plaintext client does not get valid responses.
+    let plain = FedContext::connect(&[WorkerEndpoint::tcp(worker.addr.clone())]).unwrap();
+    assert!(plain.call(0, &[Request::Get { id: 1 }]).is_err());
+}

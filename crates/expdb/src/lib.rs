@@ -1,0 +1,16 @@
+#![warn(missing_docs)]
+//! # exdra-expdb
+//!
+//! The ExperimentDB of the ExDRa architecture (paper §3.3): a model and
+//! metric store for exploratory data science — versioned pipelines, runs
+//! with parameters/metrics/lineage, operator-type categorization — plus the
+//! pipeline recommendation prototype ("computes embeddings of pipeline
+//! metadata, and trains an ML model to predict scores of pipeline
+//! candidates"; here a similarity-weighted historical scorer over dataset
+//! meta-feature embeddings).
+
+pub mod recommend;
+pub mod store;
+
+pub use recommend::{recommend, DatasetMeta};
+pub use store::{ExperimentDb, OperatorType, Pipeline, PipelineStep, Run};

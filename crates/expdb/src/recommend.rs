@@ -1,0 +1,202 @@
+//! Pipeline recommendation (paper §3.3).
+//!
+//! "Given a high-level ML task, dataset and its data characteristics, ...
+//! and history of pipeline runs and their accuracy, the goal is to
+//! recommend a ranked list of pipelines for exploration. ... Our current
+//! prototype computes embeddings of pipeline metadata, and trains an ML
+//! model to predict scores of pipeline candidates."
+//!
+//! This implementation embeds dataset characteristics into a normalized
+//! meta-feature vector and scores each candidate pipeline by a
+//! similarity-weighted (Nadaraya-Watson) average of its historical metric
+//! values — unseen pipelines rank by a prior so exploration still surfaces
+//! them.
+
+use crate::store::ExperimentDb;
+
+/// Dataset characteristics ("data characteristics" of §3.3) used as the
+/// recommendation embedding.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DatasetMeta {
+    /// Number of observations.
+    pub rows: usize,
+    /// Number of features (post-encoding).
+    pub cols: usize,
+    /// Fraction of non-zero cells.
+    pub sparsity: f64,
+    /// Number of target classes (0 for regression/unsupervised).
+    pub num_classes: usize,
+    /// Fraction of missing cells in the raw input.
+    pub missing_rate: f64,
+}
+
+impl DatasetMeta {
+    /// Normalized meta-feature embedding.
+    pub fn embed(&self) -> [f64; 5] {
+        [
+            (self.rows as f64).max(1.0).log10() / 9.0,
+            (self.cols as f64).max(1.0).log10() / 6.0,
+            self.sparsity,
+            (self.num_classes as f64).min(100.0) / 100.0,
+            self.missing_rate,
+        ]
+    }
+
+    /// Euclidean distance between embeddings.
+    pub fn distance(&self, other: &DatasetMeta) -> f64 {
+        self.embed()
+            .iter()
+            .zip(other.embed())
+            .map(|(a, b)| (a - b) * (a - b))
+            .sum::<f64>()
+            .sqrt()
+    }
+
+    /// Persistence line (space-separated).
+    #[allow(clippy::wrong_self_convention)]
+    pub(crate) fn to_line(&self) -> String {
+        format!(
+            "{} {} {} {} {}",
+            self.rows, self.cols, self.sparsity, self.num_classes, self.missing_rate
+        )
+    }
+
+    /// Parses [`DatasetMeta::to_line`] output.
+    pub(crate) fn from_line(s: &str) -> Option<Self> {
+        let mut it = s.split(' ');
+        Some(Self {
+            rows: it.next()?.parse().ok()?,
+            cols: it.next()?.parse().ok()?,
+            sparsity: it.next()?.parse().ok()?,
+            num_classes: it.next()?.parse().ok()?,
+            missing_rate: it.next()?.parse().ok()?,
+        })
+    }
+}
+
+/// A ranked recommendation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Recommendation {
+    /// Candidate pipeline ID.
+    pub pipeline_id: u64,
+    /// Predicted metric value on the target dataset.
+    pub predicted_score: f64,
+    /// Number of historical runs that informed the prediction.
+    pub support: usize,
+}
+
+/// Recommends a ranked list of pipelines for a new dataset, predicting
+/// `metric` (higher = better) from the run history.
+///
+/// `prior` is the score assigned to pipelines without history (controls
+/// the exploration/exploitation balance).
+pub fn recommend(
+    db: &ExperimentDb,
+    target: &DatasetMeta,
+    metric: &str,
+    prior: f64,
+) -> Vec<Recommendation> {
+    let bandwidth = 0.25f64;
+    let runs = db.all_runs();
+    let mut out: Vec<Recommendation> = db
+        .all_pipelines()
+        .iter()
+        .map(|p| {
+            let mut wsum = 0.0;
+            let mut wtotal = 0.0;
+            let mut support = 0usize;
+            for r in runs.iter().filter(|r| r.pipeline_id == p.id) {
+                if let Some(v) = r.metric(metric) {
+                    let d = target.distance(&r.dataset);
+                    let w = (-d * d / (2.0 * bandwidth * bandwidth)).exp();
+                    wsum += w * v;
+                    wtotal += w;
+                    support += 1;
+                }
+            }
+            let predicted_score = if wtotal > 1e-12 {
+                wsum / wtotal
+            } else {
+                prior
+            };
+            Recommendation {
+                pipeline_id: p.id,
+                predicted_score,
+                support,
+            }
+        })
+        .collect();
+    out.sort_by(|a, b| {
+        b.predicted_score
+            .partial_cmp(&a.predicted_score)
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn meta(rows: usize, classes: usize) -> DatasetMeta {
+        DatasetMeta {
+            rows,
+            cols: 100,
+            sparsity: 0.5,
+            num_classes: classes,
+            missing_rate: 0.0,
+        }
+    }
+
+    #[test]
+    fn embedding_distance_sane() {
+        let a = meta(1000, 2);
+        let b = meta(1000, 2);
+        assert_eq!(a.distance(&b), 0.0);
+        let c = meta(1_000_000, 50);
+        assert!(a.distance(&c) > 0.1);
+    }
+
+    #[test]
+    fn meta_line_roundtrip() {
+        let m = DatasetMeta {
+            rows: 123,
+            cols: 45,
+            sparsity: 0.67,
+            num_classes: 8,
+            missing_rate: 0.09,
+        };
+        assert_eq!(DatasetMeta::from_line(&m.to_line()), Some(m));
+        assert_eq!(DatasetMeta::from_line("1 2 3"), None);
+    }
+
+    #[test]
+    fn similar_history_dominates_ranking() {
+        let db = ExperimentDb::new();
+        let good = db.register_pipeline("good-on-small", &["lm"]);
+        let bad = db.register_pipeline("bad-on-small", &["l2svm"]);
+        // History: "good" excels on small data, "bad" excels on huge data.
+        db.track_run(good, &[], meta(1000, 2), &[("accuracy", 0.95)], &[]);
+        db.track_run(bad, &[], meta(1000, 2), &[("accuracy", 0.60)], &[]);
+        db.track_run(bad, &[], meta(100_000_000, 2), &[("accuracy", 0.99)], &[]);
+        let recs = recommend(&db, &meta(1200, 2), "accuracy", 0.5);
+        assert_eq!(recs[0].pipeline_id, good);
+        assert!(recs[0].predicted_score > 0.9);
+        // The bad pipeline's faraway success barely counts here.
+        assert!(recs[1].predicted_score < 0.9);
+    }
+
+    #[test]
+    fn unseen_pipelines_get_prior() {
+        let db = ExperimentDb::new();
+        let seen = db.register_pipeline("seen", &["lm"]);
+        let unseen = db.register_pipeline("unseen", &["kmeans"]);
+        db.track_run(seen, &[], meta(1000, 2), &[("accuracy", 0.4)], &[]);
+        let recs = recommend(&db, &meta(1000, 2), "accuracy", 0.7);
+        // The unseen pipeline's prior outranks the seen one's poor history.
+        assert_eq!(recs[0].pipeline_id, unseen);
+        assert_eq!(recs[0].predicted_score, 0.7);
+        assert_eq!(recs[0].support, 0);
+        assert_eq!(recs[1].support, 1);
+    }
+}

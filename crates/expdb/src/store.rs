@@ -1,0 +1,490 @@
+//! The model and metric store.
+//!
+//! Pipelines are registered with versioning (same name → next version);
+//! runs record parameters, dataset characteristics, output metrics, and
+//! lineage strings. Queries support "query-based pipeline comparisons,
+//! explanations, and analysis" (paper §3.3). A line-based text format
+//! provides durable save/load without external dependencies.
+
+use std::collections::HashMap;
+use std::fmt::Write as _;
+use std::path::Path;
+
+use parking_lot::RwLock;
+
+use crate::recommend::DatasetMeta;
+
+/// High-level operator categories the store assigns to pipeline steps
+/// (paper §3.3 lists exactly these).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OperatorType {
+    /// Model ensembling.
+    Ensemble,
+    /// Model training (estimator).
+    Estimator,
+    /// Missing-value imputation.
+    Imputer,
+    /// Feature scaling/normalization.
+    Scaler,
+    /// Feature selection.
+    Selector,
+    /// Feature generation.
+    Generator,
+    /// Data sampling.
+    Sampler,
+    /// Feature transformation (encode/hash/bin).
+    Transformer,
+}
+
+impl OperatorType {
+    /// Stable name for persistence.
+    pub fn name(self) -> &'static str {
+        match self {
+            OperatorType::Ensemble => "ensemble",
+            OperatorType::Estimator => "estimator",
+            OperatorType::Imputer => "imputer",
+            OperatorType::Scaler => "scaler",
+            OperatorType::Selector => "selector",
+            OperatorType::Generator => "generator",
+            OperatorType::Sampler => "sampler",
+            OperatorType::Transformer => "transformer",
+        }
+    }
+
+    /// Parses a stable name.
+    pub fn parse(s: &str) -> Option<Self> {
+        Some(match s {
+            "ensemble" => OperatorType::Ensemble,
+            "estimator" => OperatorType::Estimator,
+            "imputer" => OperatorType::Imputer,
+            "scaler" => OperatorType::Scaler,
+            "selector" => OperatorType::Selector,
+            "generator" => OperatorType::Generator,
+            "sampler" => OperatorType::Sampler,
+            "transformer" => OperatorType::Transformer,
+            _ => return None,
+        })
+    }
+
+    /// Categorizes a step by conventional naming (the store's parser
+    /// categorizes pipeline steps "accordingly", §3.3).
+    pub fn categorize(step_name: &str) -> OperatorType {
+        let n = step_name.to_ascii_lowercase();
+        if n.contains("impute") || n.contains("mice") {
+            OperatorType::Imputer
+        } else if n.contains("normalize") || n.contains("scale") || n.contains("clip") {
+            OperatorType::Scaler
+        } else if n.contains("select") {
+            OperatorType::Selector
+        } else if n.contains("encode") || n.contains("hash") || n.contains("bin") {
+            OperatorType::Transformer
+        } else if n.contains("split") || n.contains("sample") {
+            OperatorType::Sampler
+        } else if n.contains("generate") || n.contains("synth") {
+            OperatorType::Generator
+        } else if n.contains("ensemble") || n.contains("vote") {
+            OperatorType::Ensemble
+        } else {
+            OperatorType::Estimator
+        }
+    }
+}
+
+/// One step of a pipeline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PipelineStep {
+    /// Step name (e.g. "transformencode", "lm").
+    pub name: String,
+    /// Categorized operator type.
+    pub op_type: OperatorType,
+}
+
+impl PipelineStep {
+    /// Creates a step, auto-categorizing its operator type.
+    pub fn new(name: impl Into<String>) -> Self {
+        let name = name.into();
+        let op_type = OperatorType::categorize(&name);
+        Self { name, op_type }
+    }
+}
+
+/// A registered pipeline version (an "artifact").
+#[derive(Debug, Clone, PartialEq)]
+pub struct Pipeline {
+    /// Store-assigned ID.
+    pub id: u64,
+    /// Pipeline name (shared across versions).
+    pub name: String,
+    /// Version within the name (1-based).
+    pub version: u32,
+    /// Ordered steps.
+    pub steps: Vec<PipelineStep>,
+}
+
+/// One tracked run of a pipeline version.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Run {
+    /// Store-assigned ID.
+    pub id: u64,
+    /// The pipeline version this run executed.
+    pub pipeline_id: u64,
+    /// Hyperparameters as key/value strings.
+    pub params: Vec<(String, String)>,
+    /// Characteristics of the input dataset.
+    pub dataset: DatasetMeta,
+    /// Output metrics (e.g. `("accuracy", 0.93)`).
+    pub metrics: Vec<(String, f64)>,
+    /// Lineage strings (input sources, intermediate hashes).
+    pub lineage: Vec<String>,
+}
+
+impl Run {
+    /// Looks up a metric by name.
+    pub fn metric(&self, name: &str) -> Option<f64> {
+        self.metrics.iter().find(|(n, _)| n == name).map(|(_, v)| *v)
+    }
+}
+
+/// The experiment store.
+#[derive(Debug, Default)]
+pub struct ExperimentDb {
+    inner: RwLock<DbInner>,
+}
+
+#[derive(Debug, Default)]
+struct DbInner {
+    pipelines: Vec<Pipeline>,
+    runs: Vec<Run>,
+    next_id: u64,
+}
+
+impl ExperimentDb {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a pipeline; re-registering a name creates the next
+    /// version. Returns the pipeline ID.
+    pub fn register_pipeline(&self, name: &str, step_names: &[&str]) -> u64 {
+        let mut inner = self.inner.write();
+        let version = inner
+            .pipelines
+            .iter()
+            .filter(|p| p.name == name)
+            .map(|p| p.version)
+            .max()
+            .unwrap_or(0)
+            + 1;
+        inner.next_id += 1;
+        let id = inner.next_id;
+        inner.pipelines.push(Pipeline {
+            id,
+            name: name.to_string(),
+            version,
+            steps: step_names.iter().map(|s| PipelineStep::new(*s)).collect(),
+        });
+        id
+    }
+
+    /// Tracks a run; returns the run ID. Unknown pipeline IDs are rejected.
+    pub fn track_run(
+        &self,
+        pipeline_id: u64,
+        params: &[(&str, &str)],
+        dataset: DatasetMeta,
+        metrics: &[(&str, f64)],
+        lineage: &[&str],
+    ) -> Option<u64> {
+        let mut inner = self.inner.write();
+        if !inner.pipelines.iter().any(|p| p.id == pipeline_id) {
+            return None;
+        }
+        inner.next_id += 1;
+        let id = inner.next_id;
+        inner.runs.push(Run {
+            id,
+            pipeline_id,
+            params: params
+                .iter()
+                .map(|(k, v)| (k.to_string(), v.to_string()))
+                .collect(),
+            dataset,
+            metrics: metrics.iter().map(|(k, v)| (k.to_string(), *v)).collect(),
+            lineage: lineage.iter().map(|s| s.to_string()).collect(),
+        });
+        Some(id)
+    }
+
+    /// Pipeline by ID.
+    pub fn pipeline(&self, id: u64) -> Option<Pipeline> {
+        self.inner.read().pipelines.iter().find(|p| p.id == id).cloned()
+    }
+
+    /// All versions of a pipeline name, ascending.
+    pub fn versions(&self, name: &str) -> Vec<Pipeline> {
+        let mut v: Vec<Pipeline> = self
+            .inner
+            .read()
+            .pipelines
+            .iter()
+            .filter(|p| p.name == name)
+            .cloned()
+            .collect();
+        v.sort_by_key(|p| p.version);
+        v
+    }
+
+    /// All runs of a pipeline version.
+    pub fn runs_for(&self, pipeline_id: u64) -> Vec<Run> {
+        self.inner
+            .read()
+            .runs
+            .iter()
+            .filter(|r| r.pipeline_id == pipeline_id)
+            .cloned()
+            .collect()
+    }
+
+    /// All runs (for the recommender).
+    pub fn all_runs(&self) -> Vec<Run> {
+        self.inner.read().runs.clone()
+    }
+
+    /// All pipelines.
+    pub fn all_pipelines(&self) -> Vec<Pipeline> {
+        self.inner.read().pipelines.clone()
+    }
+
+    /// Best run by metric (maximizing).
+    pub fn best_run(&self, metric: &str) -> Option<Run> {
+        self.inner
+            .read()
+            .runs
+            .iter()
+            .filter(|r| r.metric(metric).is_some())
+            .max_by(|a, b| {
+                a.metric(metric)
+                    .partial_cmp(&b.metric(metric))
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            })
+            .cloned()
+    }
+
+    /// Query-based comparison: mean metric per pipeline version, sorted
+    /// descending — the "query-based pipeline comparisons" of §3.3.
+    pub fn compare(&self, metric: &str) -> Vec<(u64, f64, usize)> {
+        let inner = self.inner.read();
+        let mut agg: HashMap<u64, (f64, usize)> = HashMap::new();
+        for r in &inner.runs {
+            if let Some(v) = r.metric(metric) {
+                let e = agg.entry(r.pipeline_id).or_insert((0.0, 0));
+                e.0 += v;
+                e.1 += 1;
+            }
+        }
+        let mut out: Vec<(u64, f64, usize)> = agg
+            .into_iter()
+            .map(|(id, (sum, n))| (id, sum / n as f64, n))
+            .collect();
+        out.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+        out
+    }
+
+    /// Serializes the store to a line-based text format.
+    pub fn save(&self, path: &Path) -> std::io::Result<()> {
+        let inner = self.inner.read();
+        let mut out = String::new();
+        writeln!(out, "exdra-expdb v1").unwrap();
+        writeln!(out, "next_id {}", inner.next_id).unwrap();
+        for p in &inner.pipelines {
+            let steps: Vec<String> = p.steps.iter().map(|s| s.name.clone()).collect();
+            writeln!(out, "P\t{}\t{}\t{}\t{}", p.id, esc(&p.name), p.version, steps.join("|"))
+                .unwrap();
+        }
+        for r in &inner.runs {
+            let params: Vec<String> = r
+                .params
+                .iter()
+                .map(|(k, v)| format!("{}={}", esc(k), esc(v)))
+                .collect();
+            let metrics: Vec<String> = r
+                .metrics
+                .iter()
+                .map(|(k, v)| format!("{}={}", esc(k), v))
+                .collect();
+            writeln!(
+                out,
+                "R\t{}\t{}\t{}\t{}\t{}\t{}",
+                r.id,
+                r.pipeline_id,
+                params.join("|"),
+                r.dataset.to_line(),
+                metrics.join("|"),
+                r.lineage.iter().map(|l| esc(l)).collect::<Vec<_>>().join("|"),
+            )
+            .unwrap();
+        }
+        std::fs::write(path, out)
+    }
+
+    /// Loads a store from [`ExperimentDb::save`] output.
+    pub fn load(path: &Path) -> std::io::Result<Self> {
+        let text = std::fs::read_to_string(path)?;
+        let mut inner = DbInner::default();
+        for (i, line) in text.lines().enumerate() {
+            let bad = || std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!("expdb parse error at line {}", i + 1),
+            );
+            if i == 0 {
+                if line != "exdra-expdb v1" {
+                    return Err(bad());
+                }
+                continue;
+            }
+            if let Some(rest) = line.strip_prefix("next_id ") {
+                inner.next_id = rest.parse().map_err(|_| bad())?;
+                continue;
+            }
+            let parts: Vec<&str> = line.split('\t').collect();
+            match parts.first() {
+                Some(&"P") if parts.len() == 5 => {
+                    inner.pipelines.push(Pipeline {
+                        id: parts[1].parse().map_err(|_| bad())?,
+                        name: unesc(parts[2]),
+                        version: parts[3].parse().map_err(|_| bad())?,
+                        steps: parts[4]
+                            .split('|')
+                            .filter(|s| !s.is_empty())
+                            .map(PipelineStep::new)
+                            .collect(),
+                    });
+                }
+                Some(&"R") if parts.len() == 7 => {
+                    inner.runs.push(Run {
+                        id: parts[1].parse().map_err(|_| bad())?,
+                        pipeline_id: parts[2].parse().map_err(|_| bad())?,
+                        params: parse_kv(parts[3]),
+                        dataset: DatasetMeta::from_line(parts[4]).ok_or_else(bad)?,
+                        metrics: parse_kv(parts[5])
+                            .into_iter()
+                            .filter_map(|(k, v)| v.parse().ok().map(|f| (k, f)))
+                            .collect(),
+                        lineage: parts[6]
+                            .split('|')
+                            .filter(|s| !s.is_empty())
+                            .map(unesc)
+                            .collect(),
+                    });
+                }
+                _ => return Err(bad()),
+            }
+        }
+        Ok(Self {
+            inner: RwLock::new(inner),
+        })
+    }
+}
+
+fn esc(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('\t', "\\t").replace('|', "\\p").replace('=', "\\e").replace('\n', "\\n")
+}
+
+fn unesc(s: &str) -> String {
+    s.replace("\\n", "\n").replace("\\e", "=").replace("\\p", "|").replace("\\t", "\t").replace("\\\\", "\\")
+}
+
+fn parse_kv(s: &str) -> Vec<(String, String)> {
+    s.split('|')
+        .filter(|kv| !kv.is_empty())
+        .filter_map(|kv| {
+            kv.split_once('=')
+                .map(|(k, v)| (unesc(k), unesc(v)))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn meta() -> DatasetMeta {
+        DatasetMeta {
+            rows: 1000,
+            cols: 50,
+            sparsity: 0.8,
+            num_classes: 3,
+            missing_rate: 0.05,
+        }
+    }
+
+    #[test]
+    fn versioning_increments_per_name() {
+        let db = ExperimentDb::new();
+        let a1 = db.register_pipeline("p2", &["transformencode", "lm"]);
+        let a2 = db.register_pipeline("p2", &["transformencode", "normalize", "lm"]);
+        let b1 = db.register_pipeline("other", &["kmeans"]);
+        assert_eq!(db.pipeline(a1).unwrap().version, 1);
+        assert_eq!(db.pipeline(a2).unwrap().version, 2);
+        assert_eq!(db.pipeline(b1).unwrap().version, 1);
+        assert_eq!(db.versions("p2").len(), 2);
+    }
+
+    #[test]
+    fn step_categorization_matches_paper_types() {
+        assert_eq!(OperatorType::categorize("transformencode"), OperatorType::Transformer);
+        assert_eq!(OperatorType::categorize("impute_mice"), OperatorType::Imputer);
+        assert_eq!(OperatorType::categorize("normalize"), OperatorType::Scaler);
+        assert_eq!(OperatorType::categorize("train_test_split"), OperatorType::Sampler);
+        assert_eq!(OperatorType::categorize("feature_select"), OperatorType::Selector);
+        assert_eq!(OperatorType::categorize("lm"), OperatorType::Estimator);
+        assert_eq!(OperatorType::categorize("vote_ensemble"), OperatorType::Ensemble);
+    }
+
+    #[test]
+    fn run_tracking_and_queries() {
+        let db = ExperimentDb::new();
+        let p1 = db.register_pipeline("a", &["lm"]);
+        let p2 = db.register_pipeline("b", &["l2svm"]);
+        db.track_run(p1, &[("lr", "0.1")], meta(), &[("accuracy", 0.8)], &["src:x.csv"]);
+        db.track_run(p1, &[("lr", "0.2")], meta(), &[("accuracy", 0.9)], &[]);
+        db.track_run(p2, &[], meta(), &[("accuracy", 0.85)], &[]);
+        assert!(db.track_run(999, &[], meta(), &[], &[]).is_none());
+
+        assert_eq!(db.runs_for(p1).len(), 2);
+        let best = db.best_run("accuracy").unwrap();
+        assert_eq!(best.metric("accuracy"), Some(0.9));
+        let cmp = db.compare("accuracy");
+        assert_eq!(cmp[0].0, p1); // mean 0.85 ... tie actually: p1 mean 0.85, p2 0.85
+        assert_eq!(cmp.len(), 2);
+    }
+
+    #[test]
+    fn save_load_roundtrip() {
+        let db = ExperimentDb::new();
+        let p = db.register_pipeline("pipe|with=weird\tname", &["encode", "lm"]);
+        db.track_run(
+            p,
+            &[("lr", "0.1"), ("note", "a|b=c")],
+            meta(),
+            &[("rmse", 1.25), ("r2", 0.9)],
+            &["lineage|1", "lineage=2"],
+        );
+        let path = std::env::temp_dir().join(format!("expdb-{}.txt", std::process::id()));
+        db.save(&path).unwrap();
+        let loaded = ExperimentDb::load(&path).unwrap();
+        assert_eq!(loaded.all_pipelines(), db.all_pipelines());
+        assert_eq!(loaded.all_runs(), db.all_runs());
+        // IDs continue after reload.
+        let p2 = loaded.register_pipeline("new", &["x"]);
+        assert!(p2 > p);
+    }
+
+    #[test]
+    fn load_rejects_garbage() {
+        let path = std::env::temp_dir().join(format!("expdb-bad-{}.txt", std::process::id()));
+        std::fs::write(&path, "not an expdb\n").unwrap();
+        assert!(ExperimentDb::load(&path).is_err());
+    }
+}

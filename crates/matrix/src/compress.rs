@@ -1,0 +1,437 @@
+//! Lossless column compression for cached intermediates (paper §4.4,
+//! "Compression": federated workers use free cycles for asynchronous,
+//! lossless compression and compaction of intermediates).
+//!
+//! The scheme follows compressed linear algebra (Elgohary et al.): each
+//! column is encoded independently with the cheapest of
+//!
+//! * **DDC** (dense dictionary coding) — a dictionary of distinct values plus
+//!   one code per row (u8 or u16 depending on dictionary size),
+//! * **RLE** (run-length encoding) — `(value, run_length)` pairs,
+//! * **UC** (uncompressed) — fallback when neither pays off.
+//!
+//! A handful of linear-algebra ops execute *directly* on the compressed
+//! form (`matrix-vector`, `col_sums`, `sum`), which is what makes compressed
+//! caching attractive: repeated pipeline runs can reuse compacted
+//! intermediates without decompressing.
+
+use crate::dense::DenseMatrix;
+
+/// One encoded column.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ColumnGroup {
+    /// Dense dictionary coding with u8 codes (≤ 256 distinct values).
+    Ddc8 {
+        /// Distinct values, index = code.
+        dict: Vec<f64>,
+        /// One code per row.
+        codes: Vec<u8>,
+    },
+    /// Dense dictionary coding with u16 codes (≤ 65,536 distinct values).
+    Ddc16 {
+        /// Distinct values, index = code.
+        dict: Vec<f64>,
+        /// One code per row.
+        codes: Vec<u16>,
+    },
+    /// Run-length encoding as `(value, run_length)` pairs.
+    Rle {
+        /// Runs of equal values covering the column top to bottom.
+        runs: Vec<(f64, u32)>,
+    },
+    /// Uncompressed fallback.
+    Uc {
+        /// Raw column values.
+        values: Vec<f64>,
+    },
+}
+
+impl ColumnGroup {
+    /// Encoded size in bytes (used by the compression planner).
+    pub fn size_bytes(&self) -> usize {
+        match self {
+            ColumnGroup::Ddc8 { dict, codes } => dict.len() * 8 + codes.len(),
+            ColumnGroup::Ddc16 { dict, codes } => dict.len() * 8 + codes.len() * 2,
+            ColumnGroup::Rle { runs } => runs.len() * 12,
+            ColumnGroup::Uc { values } => values.len() * 8,
+        }
+    }
+
+    /// Scheme name for stats output.
+    pub fn scheme(&self) -> &'static str {
+        match self {
+            ColumnGroup::Ddc8 { .. } => "DDC8",
+            ColumnGroup::Ddc16 { .. } => "DDC16",
+            ColumnGroup::Rle { .. } => "RLE",
+            ColumnGroup::Uc { .. } => "UC",
+        }
+    }
+
+    fn decode_into(&self, out: &mut [f64], stride: usize) {
+        match self {
+            ColumnGroup::Ddc8 { dict, codes } => {
+                for (r, &code) in codes.iter().enumerate() {
+                    out[r * stride] = dict[code as usize];
+                }
+            }
+            ColumnGroup::Ddc16 { dict, codes } => {
+                for (r, &code) in codes.iter().enumerate() {
+                    out[r * stride] = dict[code as usize];
+                }
+            }
+            ColumnGroup::Rle { runs } => {
+                let mut r = 0usize;
+                for &(v, len) in runs {
+                    for _ in 0..len {
+                        out[r * stride] = v;
+                        r += 1;
+                    }
+                }
+            }
+            ColumnGroup::Uc { values } => {
+                for (r, &v) in values.iter().enumerate() {
+                    out[r * stride] = v;
+                }
+            }
+        }
+    }
+
+    /// Dot product of this column with a dense vector of row weights
+    /// (core of compressed matrix-vector multiplication).
+    fn dot(&self, weights: &[f64]) -> f64 {
+        match self {
+            ColumnGroup::Ddc8 { dict, codes } => {
+                // Accumulate weights per code, then one pass over the dict.
+                let mut acc = vec![0.0; dict.len()];
+                for (r, &code) in codes.iter().enumerate() {
+                    acc[code as usize] += weights[r];
+                }
+                acc.iter().zip(dict).map(|(&a, &d)| a * d).sum()
+            }
+            ColumnGroup::Ddc16 { dict, codes } => {
+                let mut acc = vec![0.0; dict.len()];
+                for (r, &code) in codes.iter().enumerate() {
+                    acc[code as usize] += weights[r];
+                }
+                acc.iter().zip(dict).map(|(&a, &d)| a * d).sum()
+            }
+            ColumnGroup::Rle { runs } => {
+                let mut r = 0usize;
+                let mut total = 0.0;
+                for &(v, len) in runs {
+                    if v != 0.0 {
+                        let s: f64 = weights[r..r + len as usize].iter().sum();
+                        total += v * s;
+                    }
+                    r += len as usize;
+                }
+                total
+            }
+            ColumnGroup::Uc { values } => values.iter().zip(weights).map(|(&v, &w)| v * w).sum(),
+        }
+    }
+
+    /// Sum of the column values.
+    fn sum(&self, rows: usize) -> f64 {
+        match self {
+            ColumnGroup::Ddc8 { dict, codes } => {
+                let mut counts = vec![0usize; dict.len()];
+                for &c in codes {
+                    counts[c as usize] += 1;
+                }
+                counts
+                    .iter()
+                    .zip(dict)
+                    .map(|(&n, &d)| n as f64 * d)
+                    .sum()
+            }
+            ColumnGroup::Ddc16 { dict, codes } => {
+                let mut counts = vec![0usize; dict.len()];
+                for &c in codes {
+                    counts[c as usize] += 1;
+                }
+                counts
+                    .iter()
+                    .zip(dict)
+                    .map(|(&n, &d)| n as f64 * d)
+                    .sum()
+            }
+            ColumnGroup::Rle { runs } => runs.iter().map(|&(v, len)| v * len as f64).sum(),
+            ColumnGroup::Uc { values } => {
+                debug_assert_eq!(values.len(), rows);
+                values.iter().sum()
+            }
+        }
+    }
+}
+
+/// A losslessly compressed matrix: one [`ColumnGroup`] per column.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompressedMatrix {
+    rows: usize,
+    groups: Vec<ColumnGroup>,
+}
+
+/// Compression planner decision for one column (returned by
+/// [`CompressedMatrix::plan`] for observability).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ColumnPlan {
+    /// Chosen scheme name.
+    pub scheme: &'static str,
+    /// Encoded bytes under the chosen scheme.
+    pub bytes: usize,
+}
+
+impl CompressedMatrix {
+    /// Compresses a dense matrix column by column, choosing per column the
+    /// scheme with the smallest encoded size.
+    pub fn compress(d: &DenseMatrix) -> Self {
+        let (rows, cols) = d.shape();
+        let mut groups = Vec::with_capacity(cols);
+        for c in 0..cols {
+            let col: Vec<f64> = (0..rows).map(|r| d.get(r, c)).collect();
+            groups.push(Self::encode_column(col));
+        }
+        Self { rows, groups }
+    }
+
+    fn encode_column(col: Vec<f64>) -> ColumnGroup {
+        // Candidate 1: RLE.
+        let mut runs: Vec<(f64, u32)> = Vec::new();
+        for &v in &col {
+            match runs.last_mut() {
+                // Compare bit patterns so NaN runs compress too.
+                Some((last, len)) if last.to_bits() == v.to_bits() && *len < u32::MAX => *len += 1,
+                _ => runs.push((v, 1)),
+            }
+        }
+        let rle_bytes = runs.len() * 12;
+
+        // Candidate 2: DDC. Build dictionary on value bit patterns.
+        let mut dict: Vec<f64> = Vec::new();
+        let mut lookup = std::collections::HashMap::new();
+        let mut codes: Vec<u32> = Vec::with_capacity(col.len());
+        for &v in &col {
+            let next = dict.len() as u32;
+            let code = *lookup.entry(v.to_bits()).or_insert_with(|| {
+                dict.push(v);
+                next
+            });
+            codes.push(code);
+        }
+        let ddc_bytes = if dict.len() <= 256 {
+            dict.len() * 8 + codes.len()
+        } else if dict.len() <= 65_536 {
+            dict.len() * 8 + codes.len() * 2
+        } else {
+            usize::MAX
+        };
+
+        let uc_bytes = col.len() * 8;
+        let best = rle_bytes.min(ddc_bytes).min(uc_bytes);
+        if best == uc_bytes {
+            ColumnGroup::Uc { values: col }
+        } else if best == ddc_bytes {
+            if dict.len() <= 256 {
+                ColumnGroup::Ddc8 {
+                    dict,
+                    codes: codes.into_iter().map(|c| c as u8).collect(),
+                }
+            } else {
+                ColumnGroup::Ddc16 {
+                    dict,
+                    codes: codes.into_iter().map(|c| c as u16).collect(),
+                }
+            }
+        } else {
+            ColumnGroup::Rle { runs }
+        }
+    }
+
+    /// Per-column planner decisions (scheme + size).
+    pub fn plan(&self) -> Vec<ColumnPlan> {
+        self.groups
+            .iter()
+            .map(|g| ColumnPlan {
+                scheme: g.scheme(),
+                bytes: g.size_bytes(),
+            })
+            .collect()
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.groups.len()
+    }
+
+    /// Total encoded bytes.
+    pub fn size_bytes(&self) -> usize {
+        self.groups.iter().map(ColumnGroup::size_bytes).sum()
+    }
+
+    /// Compression ratio relative to dense f64 storage.
+    pub fn ratio(&self) -> f64 {
+        let dense = (self.rows * self.groups.len() * 8) as f64;
+        if dense == 0.0 {
+            1.0
+        } else {
+            dense / self.size_bytes() as f64
+        }
+    }
+
+    /// Materializes the dense matrix.
+    pub fn decompress(&self) -> DenseMatrix {
+        let cols = self.groups.len();
+        let mut out = DenseMatrix::zeros(self.rows, cols);
+        for (c, g) in self.groups.iter().enumerate() {
+            g.decode_into(&mut out.values_mut()[c..], cols);
+        }
+        out
+    }
+
+    /// Matrix-vector product `self * v` executed directly on the compressed
+    /// representation (one dictionary-aggregated dot per column).
+    ///
+    /// Note: this evaluates `selfᵀ`-major, so it is most efficient when the
+    /// matrix is tall; it returns the exact same result as the dense kernel.
+    pub fn matvec(&self, v: &DenseMatrix) -> crate::error::Result<DenseMatrix> {
+        if v.rows() != self.cols() || v.cols() != 1 {
+            return Err(crate::error::MatrixError::DimensionMismatch {
+                op: "compressed_matvec",
+                lhs: (self.rows, self.cols()),
+                rhs: v.shape(),
+            });
+        }
+        // out[r] = sum_c value(r,c) * v[c]; evaluate column-wise with scaling.
+        let mut out = vec![0.0; self.rows];
+        let mut colbuf = vec![0.0; self.rows];
+        for (c, g) in self.groups.iter().enumerate() {
+            let scale = v.get(c, 0);
+            if scale == 0.0 {
+                continue;
+            }
+            g.decode_into(&mut colbuf, 1);
+            for (o, &x) in out.iter_mut().zip(&colbuf) {
+                *o += scale * x;
+            }
+        }
+        DenseMatrix::new(self.rows, 1, out)
+    }
+
+    /// Vector-matrix product `wᵀ * self` on the compressed representation;
+    /// this is the fast path (per-code weight aggregation, no decode).
+    pub fn t_vecmat(&self, w: &DenseMatrix) -> crate::error::Result<DenseMatrix> {
+        if w.rows() != self.rows || w.cols() != 1 {
+            return Err(crate::error::MatrixError::DimensionMismatch {
+                op: "compressed_vecmat",
+                lhs: (self.rows, self.cols()),
+                rhs: w.shape(),
+            });
+        }
+        let data: Vec<f64> = self.groups.iter().map(|g| g.dot(w.values())).collect();
+        DenseMatrix::new(1, self.cols(), data)
+    }
+
+    /// Column sums computed on the compressed representation.
+    pub fn col_sums(&self) -> DenseMatrix {
+        let data: Vec<f64> = self.groups.iter().map(|g| g.sum(self.rows)).collect();
+        DenseMatrix::new(1, self.cols(), data).expect("consistent dims")
+    }
+
+    /// Full sum computed on the compressed representation.
+    pub fn sum(&self) -> f64 {
+        self.groups.iter().map(|g| g.sum(self.rows)).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernels::matmul::matmul_naive;
+    use crate::kernels::reorg::transpose;
+    use crate::rng::rand_matrix;
+
+    /// Matrix with low-cardinality and constant columns (compressible) plus
+    /// one random column (incompressible).
+    fn mixed_matrix(rows: usize) -> DenseMatrix {
+        let mut d = DenseMatrix::zeros(rows, 4);
+        for r in 0..rows {
+            d.set(r, 0, (r % 3) as f64); // 3 distinct values -> DDC8
+            d.set(r, 1, 7.0); // constant -> RLE
+            d.set(r, 2, if r < rows / 2 { 1.0 } else { 2.0 }); // 2 runs -> RLE
+        }
+        let noise = rand_matrix(rows, 1, 0.0, 1.0, 99);
+        for r in 0..rows {
+            d.set(r, 3, noise.get(r, 0)); // random -> UC
+        }
+        d
+    }
+
+    #[test]
+    fn roundtrip_lossless() {
+        let d = mixed_matrix(500);
+        let c = CompressedMatrix::compress(&d);
+        assert!(c.decompress().max_abs_diff(&d) == 0.0);
+    }
+
+    #[test]
+    fn planner_picks_expected_schemes() {
+        let d = mixed_matrix(500);
+        let c = CompressedMatrix::compress(&d);
+        let plan = c.plan();
+        assert_eq!(plan[0].scheme, "DDC8");
+        assert_eq!(plan[1].scheme, "RLE");
+        assert_eq!(plan[2].scheme, "RLE");
+        assert_eq!(plan[3].scheme, "UC");
+        assert!(c.ratio() > 2.0, "ratio {}", c.ratio());
+    }
+
+    #[test]
+    fn nan_columns_roundtrip() {
+        let mut d = DenseMatrix::zeros(10, 1);
+        for r in 0..5 {
+            d.set(r, 0, f64::NAN);
+        }
+        let c = CompressedMatrix::compress(&d);
+        let back = c.decompress();
+        for r in 0..10 {
+            assert_eq!(back.get(r, 0).is_nan(), r < 5);
+        }
+    }
+
+    #[test]
+    fn compressed_matvec_matches_dense() {
+        let d = mixed_matrix(100);
+        let c = CompressedMatrix::compress(&d);
+        let v = rand_matrix(4, 1, -1.0, 1.0, 5);
+        let got = c.matvec(&v).unwrap();
+        let want = matmul_naive(&d, &v).unwrap();
+        assert!(got.max_abs_diff(&want) < 1e-12);
+    }
+
+    #[test]
+    fn compressed_vecmat_matches_dense() {
+        let d = mixed_matrix(100);
+        let c = CompressedMatrix::compress(&d);
+        let w = rand_matrix(100, 1, -1.0, 1.0, 6);
+        let got = c.t_vecmat(&w).unwrap();
+        let want = matmul_naive(&transpose(&w), &d).unwrap();
+        assert!(got.max_abs_diff(&want) < 1e-10);
+    }
+
+    #[test]
+    fn compressed_aggregates_match_dense() {
+        let d = mixed_matrix(64);
+        let c = CompressedMatrix::compress(&d);
+        let want =
+            crate::kernels::aggregates::aggregate(&d, crate::kernels::aggregates::AggOp::Sum, crate::kernels::aggregates::AggDir::Col)
+                .unwrap();
+        assert!(c.col_sums().max_abs_diff(&want) < 1e-10);
+        assert!((c.sum() - d.values().iter().sum::<f64>()).abs() < 1e-10);
+    }
+}

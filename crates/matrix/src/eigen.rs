@@ -1,0 +1,252 @@
+//! Numerical routines: symmetric eigen-decomposition (cyclic Jacobi) and a
+//! Cholesky solver.
+//!
+//! PCA in the paper computes "an Eigen decomposition of XᵀX"; LM's direct
+//! solver (used when `ncol(X) <= 1024`) needs a symmetric positive-definite
+//! solve. Both are implemented here without external numeric dependencies.
+
+use crate::dense::DenseMatrix;
+use crate::error::{MatrixError, Result};
+
+/// Result of a symmetric eigen-decomposition: `values[i]` belongs to column
+/// `i` of `vectors`, sorted by descending eigenvalue.
+#[derive(Debug, Clone)]
+pub struct EigenDecomposition {
+    /// Eigenvalues in descending order.
+    pub values: Vec<f64>,
+    /// Orthonormal eigenvectors as matrix columns, aligned with `values`.
+    pub vectors: DenseMatrix,
+}
+
+/// Cyclic Jacobi eigen-decomposition of a symmetric matrix.
+///
+/// Converges quadratically for symmetric inputs; `max_sweeps` bounds the
+/// number of full off-diagonal sweeps (15 is ample for the sizes PCA
+/// produces: `cols x cols` Gram matrices).
+pub fn eigen_symmetric(a: &DenseMatrix, max_sweeps: usize) -> Result<EigenDecomposition> {
+    let n = a.rows();
+    if a.cols() != n {
+        return Err(MatrixError::DimensionMismatch {
+            op: "eigen_symmetric",
+            lhs: a.shape(),
+            rhs: a.shape(),
+        });
+    }
+    let mut m = a.clone();
+    let mut v = DenseMatrix::identity(n);
+    let tol = 1e-12 * frobenius(&m).max(1.0);
+    for _ in 0..max_sweeps {
+        let mut off = 0.0;
+        for p in 0..n {
+            for q in (p + 1)..n {
+                off += m.get(p, q).abs();
+            }
+        }
+        if off < tol {
+            break;
+        }
+        for p in 0..n {
+            for q in (p + 1)..n {
+                let apq = m.get(p, q);
+                if apq.abs() < 1e-300 {
+                    continue;
+                }
+                let app = m.get(p, p);
+                let aqq = m.get(q, q);
+                let theta = (aqq - app) / (2.0 * apq);
+                let t = theta.signum() / (theta.abs() + (theta * theta + 1.0).sqrt());
+                let c = 1.0 / (t * t + 1.0).sqrt();
+                let s = t * c;
+                // Apply the rotation G(p,q,theta) on both sides of m.
+                for k in 0..n {
+                    let mkp = m.get(k, p);
+                    let mkq = m.get(k, q);
+                    m.set(k, p, c * mkp - s * mkq);
+                    m.set(k, q, s * mkp + c * mkq);
+                }
+                for k in 0..n {
+                    let mpk = m.get(p, k);
+                    let mqk = m.get(q, k);
+                    m.set(p, k, c * mpk - s * mqk);
+                    m.set(q, k, s * mpk + c * mqk);
+                }
+                for k in 0..n {
+                    let vkp = v.get(k, p);
+                    let vkq = v.get(k, q);
+                    v.set(k, p, c * vkp - s * vkq);
+                    v.set(k, q, s * vkp + c * vkq);
+                }
+            }
+        }
+    }
+    // Extract and sort by descending eigenvalue.
+    let mut order: Vec<usize> = (0..n).collect();
+    let diag: Vec<f64> = (0..n).map(|i| m.get(i, i)).collect();
+    order.sort_by(|&x, &y| diag[y].partial_cmp(&diag[x]).unwrap_or(std::cmp::Ordering::Equal));
+    let values: Vec<f64> = order.iter().map(|&i| diag[i]).collect();
+    let mut vectors = DenseMatrix::zeros(n, n);
+    for (new_c, &old_c) in order.iter().enumerate() {
+        for r in 0..n {
+            vectors.set(r, new_c, v.get(r, old_c));
+        }
+    }
+    Ok(EigenDecomposition { values, vectors })
+}
+
+/// Cholesky factorization `A = L Lᵀ` of a symmetric positive-definite
+/// matrix; returns the lower factor.
+pub fn cholesky(a: &DenseMatrix) -> Result<DenseMatrix> {
+    let n = a.rows();
+    if a.cols() != n {
+        return Err(MatrixError::DimensionMismatch {
+            op: "cholesky",
+            lhs: a.shape(),
+            rhs: a.shape(),
+        });
+    }
+    let mut l = DenseMatrix::zeros(n, n);
+    for i in 0..n {
+        for j in 0..=i {
+            let mut sum = a.get(i, j);
+            for k in 0..j {
+                sum -= l.get(i, k) * l.get(j, k);
+            }
+            if i == j {
+                if sum <= 0.0 {
+                    return Err(MatrixError::Numerical {
+                        op: "cholesky",
+                        msg: format!("matrix not positive definite at pivot {i} ({sum})"),
+                    });
+                }
+                l.set(i, j, sum.sqrt());
+            } else {
+                l.set(i, j, sum / l.get(j, j));
+            }
+        }
+    }
+    Ok(l)
+}
+
+/// Solves `A x = b` for symmetric positive-definite `A` via Cholesky.
+pub fn solve_spd(a: &DenseMatrix, b: &DenseMatrix) -> Result<DenseMatrix> {
+    let l = cholesky(a)?;
+    let n = a.rows();
+    if b.rows() != n {
+        return Err(MatrixError::DimensionMismatch {
+            op: "solve_spd",
+            lhs: a.shape(),
+            rhs: b.shape(),
+        });
+    }
+    let m = b.cols();
+    // Forward substitution: L y = b.
+    let mut y = DenseMatrix::zeros(n, m);
+    for col in 0..m {
+        for i in 0..n {
+            let mut sum = b.get(i, col);
+            for k in 0..i {
+                sum -= l.get(i, k) * y.get(k, col);
+            }
+            y.set(i, col, sum / l.get(i, i));
+        }
+    }
+    // Back substitution: Lᵀ x = y.
+    let mut x = DenseMatrix::zeros(n, m);
+    for col in 0..m {
+        for i in (0..n).rev() {
+            let mut sum = y.get(i, col);
+            for k in (i + 1)..n {
+                sum -= l.get(k, i) * x.get(k, col);
+            }
+            x.set(i, col, sum / l.get(i, i));
+        }
+    }
+    Ok(x)
+}
+
+fn frobenius(m: &DenseMatrix) -> f64 {
+    m.values().iter().map(|v| v * v).sum::<f64>().sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernels::matmul::{matmul, matmul_naive, tsmm};
+    use crate::kernels::reorg::transpose;
+    use crate::rng::rand_matrix;
+
+    /// Random symmetric positive-definite matrix `XᵀX + n I`.
+    fn spd(n: usize, seed: u64) -> DenseMatrix {
+        let x = rand_matrix(n + 5, n, -1.0, 1.0, seed);
+        let mut g = tsmm(&x, true).unwrap();
+        for i in 0..n {
+            let v = g.get(i, i);
+            g.set(i, i, v + n as f64);
+        }
+        g
+    }
+
+    #[test]
+    fn eigen_reconstructs_input() {
+        let a = spd(8, 41);
+        let e = eigen_symmetric(&a, 30).unwrap();
+        // A V = V diag(lambda)
+        let av = matmul_naive(&a, &e.vectors).unwrap();
+        let mut vl = e.vectors.clone();
+        for r in 0..8 {
+            for c in 0..8 {
+                let v = vl.get(r, c) * e.values[c];
+                vl.set(r, c, v);
+            }
+        }
+        assert!(av.max_abs_diff(&vl) < 1e-8);
+    }
+
+    #[test]
+    fn eigen_vectors_orthonormal() {
+        let a = spd(10, 42);
+        let e = eigen_symmetric(&a, 30).unwrap();
+        let vtv = matmul(&transpose(&e.vectors), &e.vectors).unwrap();
+        assert!(vtv.max_abs_diff(&DenseMatrix::identity(10)) < 1e-9);
+    }
+
+    #[test]
+    fn eigen_values_descending() {
+        let a = spd(12, 43);
+        let e = eigen_symmetric(&a, 30).unwrap();
+        for w in e.values.windows(2) {
+            assert!(w[0] >= w[1] - 1e-12);
+        }
+    }
+
+    #[test]
+    fn eigen_known_2x2() {
+        let a = DenseMatrix::new(2, 2, vec![2., 1., 1., 2.]).unwrap();
+        let e = eigen_symmetric(&a, 20).unwrap();
+        assert!((e.values[0] - 3.0).abs() < 1e-10);
+        assert!((e.values[1] - 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn cholesky_reconstructs() {
+        let a = spd(9, 44);
+        let l = cholesky(&a).unwrap();
+        let llt = matmul_naive(&l, &transpose(&l)).unwrap();
+        assert!(llt.max_abs_diff(&a) < 1e-9);
+    }
+
+    #[test]
+    fn cholesky_rejects_indefinite() {
+        let a = DenseMatrix::new(2, 2, vec![1., 2., 2., 1.]).unwrap();
+        assert!(cholesky(&a).is_err());
+    }
+
+    #[test]
+    fn solve_spd_matches_direct() {
+        let a = spd(7, 45);
+        let xtrue = rand_matrix(7, 2, -1.0, 1.0, 46);
+        let b = matmul_naive(&a, &xtrue).unwrap();
+        let x = solve_spd(&a, &b).unwrap();
+        assert!(x.max_abs_diff(&xtrue) < 1e-8);
+    }
+}

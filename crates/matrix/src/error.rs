@@ -1,0 +1,94 @@
+//! Error type shared by all matrix/frame operations.
+
+use std::fmt;
+
+/// Convenient result alias for matrix operations.
+pub type Result<T> = std::result::Result<T, MatrixError>;
+
+/// Errors raised by the local matrix/frame substrate.
+///
+/// Dimension checks are performed eagerly by every kernel so that federated
+/// dispatch errors surface at the operation that caused them rather than deep
+/// inside a worker.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MatrixError {
+    /// Operand shapes are incompatible for the requested operation.
+    DimensionMismatch {
+        /// Operation name, e.g. `"matmul"`.
+        op: &'static str,
+        /// Shape of the left/first operand.
+        lhs: (usize, usize),
+        /// Shape of the right/second operand.
+        rhs: (usize, usize),
+    },
+    /// An index (row, column, or range bound) is out of bounds.
+    IndexOutOfBounds {
+        /// Operation name.
+        op: &'static str,
+        /// The offending index.
+        index: usize,
+        /// The exclusive bound that was violated.
+        bound: usize,
+    },
+    /// The requested operation is undefined for the input
+    /// (e.g. empty input to an aggregate that requires data).
+    InvalidArgument {
+        /// Operation name.
+        op: &'static str,
+        /// Human-readable description.
+        msg: String,
+    },
+    /// A numerical routine failed to converge or produced a singular system.
+    Numerical {
+        /// Routine name, e.g. `"eigen_jacobi"`.
+        op: &'static str,
+        /// Human-readable description.
+        msg: String,
+    },
+    /// An I/O error while reading or writing matrix/frame data.
+    Io(String),
+    /// A parse error in a raw input file (CSV, binary header, ...).
+    Parse {
+        /// 1-based line number when known, 0 otherwise.
+        line: usize,
+        /// Human-readable description.
+        msg: String,
+    },
+    /// Frame column type does not match the requested access.
+    TypeMismatch {
+        /// Requested value type name.
+        expected: &'static str,
+        /// Actual value type name.
+        actual: &'static str,
+    },
+}
+
+impl fmt::Display for MatrixError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MatrixError::DimensionMismatch { op, lhs, rhs } => write!(
+                f,
+                "{op}: dimension mismatch {}x{} vs {}x{}",
+                lhs.0, lhs.1, rhs.0, rhs.1
+            ),
+            MatrixError::IndexOutOfBounds { op, index, bound } => {
+                write!(f, "{op}: index {index} out of bounds {bound}")
+            }
+            MatrixError::InvalidArgument { op, msg } => write!(f, "{op}: {msg}"),
+            MatrixError::Numerical { op, msg } => write!(f, "{op}: numerical failure: {msg}"),
+            MatrixError::Io(msg) => write!(f, "io error: {msg}"),
+            MatrixError::Parse { line, msg } => write!(f, "parse error (line {line}): {msg}"),
+            MatrixError::TypeMismatch { expected, actual } => {
+                write!(f, "type mismatch: expected {expected}, found {actual}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MatrixError {}
+
+impl From<std::io::Error> for MatrixError {
+    fn from(e: std::io::Error) -> Self {
+        MatrixError::Io(e.to_string())
+    }
+}

@@ -1,0 +1,444 @@
+//! Heterogeneous frames: the raw-data container of the federated runtime.
+//!
+//! A [`Frame`] holds named, typed columns (`f64`, `i64`, string, boolean).
+//! Raw federated inputs (CSV files, streaming sinks) are read as frames at
+//! the workers and converted to numeric matrices by the feature
+//! transformations of `exdra-transform`. Missing values are represented as
+//! `None` cells, which encode to NaN when a column is viewed numerically.
+
+use crate::dense::DenseMatrix;
+use crate::error::{MatrixError, Result};
+
+/// Value type of a frame column (SystemDS "value types").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ValueType {
+    /// Double-precision float.
+    F64,
+    /// 64-bit integer.
+    I64,
+    /// UTF-8 string.
+    Str,
+    /// Boolean.
+    Bool,
+}
+
+impl ValueType {
+    /// Lower-case name used in schemas and metadata files.
+    pub fn name(self) -> &'static str {
+        match self {
+            ValueType::F64 => "f64",
+            ValueType::I64 => "i64",
+            ValueType::Str => "string",
+            ValueType::Bool => "bool",
+        }
+    }
+
+    /// Parses a schema token.
+    pub fn parse(s: &str) -> Result<Self> {
+        match s {
+            "f64" | "double" => Ok(ValueType::F64),
+            "i64" | "int" => Ok(ValueType::I64),
+            "string" | "str" => Ok(ValueType::Str),
+            "bool" | "boolean" => Ok(ValueType::Bool),
+            other => Err(MatrixError::Parse {
+                line: 0,
+                msg: format!("unknown value type '{other}'"),
+            }),
+        }
+    }
+}
+
+/// A typed column; `None` cells are missing values.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FrameColumn {
+    /// Float column.
+    F64(Vec<Option<f64>>),
+    /// Integer column.
+    I64(Vec<Option<i64>>),
+    /// String column.
+    Str(Vec<Option<String>>),
+    /// Boolean column.
+    Bool(Vec<Option<bool>>),
+}
+
+impl FrameColumn {
+    /// Number of cells.
+    pub fn len(&self) -> usize {
+        match self {
+            FrameColumn::F64(v) => v.len(),
+            FrameColumn::I64(v) => v.len(),
+            FrameColumn::Str(v) => v.len(),
+            FrameColumn::Bool(v) => v.len(),
+        }
+    }
+
+    /// True when the column has no cells.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Value type of the column.
+    pub fn value_type(&self) -> ValueType {
+        match self {
+            FrameColumn::F64(_) => ValueType::F64,
+            FrameColumn::I64(_) => ValueType::I64,
+            FrameColumn::Str(_) => ValueType::Str,
+            FrameColumn::Bool(_) => ValueType::Bool,
+        }
+    }
+
+    /// True when the cell at `row` is missing.
+    pub fn is_missing(&self, row: usize) -> bool {
+        match self {
+            FrameColumn::F64(v) => v[row].is_none(),
+            FrameColumn::I64(v) => v[row].is_none(),
+            FrameColumn::Str(v) => v[row].is_none(),
+            FrameColumn::Bool(v) => v[row].is_none(),
+        }
+    }
+
+    /// Number of missing cells.
+    pub fn missing_count(&self) -> usize {
+        (0..self.len()).filter(|&r| self.is_missing(r)).count()
+    }
+
+    /// Numeric view of the cell (missing -> NaN, strings -> error).
+    pub fn numeric(&self, row: usize) -> Result<f64> {
+        match self {
+            FrameColumn::F64(v) => Ok(v[row].unwrap_or(f64::NAN)),
+            FrameColumn::I64(v) => Ok(v[row].map_or(f64::NAN, |x| x as f64)),
+            FrameColumn::Bool(v) => Ok(v[row].map_or(f64::NAN, |b| if b { 1.0 } else { 0.0 })),
+            FrameColumn::Str(_) => Err(MatrixError::TypeMismatch {
+                expected: "numeric",
+                actual: "string",
+            }),
+        }
+    }
+
+    /// String rendering of the cell; missing cells render as `""`.
+    pub fn render(&self, row: usize) -> String {
+        match self {
+            FrameColumn::F64(v) => v[row].map_or(String::new(), |x| format!("{x}")),
+            FrameColumn::I64(v) => v[row].map_or(String::new(), |x| format!("{x}")),
+            FrameColumn::Str(v) => v[row].clone().unwrap_or_default(),
+            FrameColumn::Bool(v) => v[row].map_or(String::new(), |b| b.to_string()),
+        }
+    }
+
+    /// Categorical token of the cell for recoding: `None` for missing,
+    /// otherwise the canonical string form.
+    pub fn token(&self, row: usize) -> Option<String> {
+        if self.is_missing(row) {
+            None
+        } else {
+            Some(self.render(row))
+        }
+    }
+
+    /// Extracts the half-open row range as a new column.
+    pub fn slice(&self, lo: usize, hi: usize) -> FrameColumn {
+        match self {
+            FrameColumn::F64(v) => FrameColumn::F64(v[lo..hi].to_vec()),
+            FrameColumn::I64(v) => FrameColumn::I64(v[lo..hi].to_vec()),
+            FrameColumn::Str(v) => FrameColumn::Str(v[lo..hi].to_vec()),
+            FrameColumn::Bool(v) => FrameColumn::Bool(v[lo..hi].to_vec()),
+        }
+    }
+
+    /// Appends another column of the same type.
+    pub fn append(&mut self, other: &FrameColumn) -> Result<()> {
+        match (self, other) {
+            (FrameColumn::F64(a), FrameColumn::F64(b)) => a.extend_from_slice(b),
+            (FrameColumn::I64(a), FrameColumn::I64(b)) => a.extend_from_slice(b),
+            (FrameColumn::Str(a), FrameColumn::Str(b)) => a.extend_from_slice(b),
+            (FrameColumn::Bool(a), FrameColumn::Bool(b)) => a.extend_from_slice(b),
+            (a, b) => {
+                return Err(MatrixError::TypeMismatch {
+                    expected: a.value_type().name(),
+                    actual: b.value_type().name(),
+                })
+            }
+        }
+        Ok(())
+    }
+}
+
+/// A heterogeneous frame of named, typed columns of equal length.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Frame {
+    names: Vec<String>,
+    columns: Vec<FrameColumn>,
+}
+
+impl Frame {
+    /// Creates a frame from `(name, column)` pairs, validating equal lengths
+    /// and unique names.
+    pub fn new(columns: Vec<(String, FrameColumn)>) -> Result<Self> {
+        let mut names = Vec::with_capacity(columns.len());
+        let mut cols = Vec::with_capacity(columns.len());
+        let mut len: Option<usize> = None;
+        for (name, col) in columns {
+            if names.contains(&name) {
+                return Err(MatrixError::InvalidArgument {
+                    op: "Frame::new",
+                    msg: format!("duplicate column name '{name}'"),
+                });
+            }
+            match len {
+                None => len = Some(col.len()),
+                Some(l) if l != col.len() => {
+                    return Err(MatrixError::InvalidArgument {
+                        op: "Frame::new",
+                        msg: format!("column '{name}' has {} rows, expected {l}", col.len()),
+                    })
+                }
+                _ => {}
+            }
+            names.push(name);
+            cols.push(col);
+        }
+        Ok(Self {
+            names,
+            columns: cols,
+        })
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.columns.first().map_or(0, FrameColumn::len)
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// Column names.
+    pub fn names(&self) -> &[String] {
+        &self.names
+    }
+
+    /// Schema as `(name, type)` pairs.
+    pub fn schema(&self) -> Vec<(String, ValueType)> {
+        self.names
+            .iter()
+            .zip(&self.columns)
+            .map(|(n, c)| (n.clone(), c.value_type()))
+            .collect()
+    }
+
+    /// Column by position.
+    pub fn column(&self, idx: usize) -> Result<&FrameColumn> {
+        self.columns.get(idx).ok_or(MatrixError::IndexOutOfBounds {
+            op: "Frame::column",
+            index: idx,
+            bound: self.columns.len(),
+        })
+    }
+
+    /// Column index by name.
+    pub fn column_index(&self, name: &str) -> Result<usize> {
+        self.names
+            .iter()
+            .position(|n| n == name)
+            .ok_or_else(|| MatrixError::InvalidArgument {
+                op: "Frame::column_index",
+                msg: format!("no column named '{name}'"),
+            })
+    }
+
+    /// Column by name.
+    pub fn column_by_name(&self, name: &str) -> Result<&FrameColumn> {
+        let idx = self.column_index(name)?;
+        self.column(idx)
+    }
+
+    /// Vertical concatenation of two frames with identical schemas.
+    pub fn rbind(&self, other: &Frame) -> Result<Frame> {
+        if self.schema() != other.schema() {
+            return Err(MatrixError::InvalidArgument {
+                op: "Frame::rbind",
+                msg: "schemas differ".into(),
+            });
+        }
+        let mut out = self.clone();
+        for (a, b) in out.columns.iter_mut().zip(&other.columns) {
+            a.append(b)?;
+        }
+        Ok(out)
+    }
+
+    /// Extracts a half-open row range.
+    pub fn slice_rows(&self, lo: usize, hi: usize) -> Result<Frame> {
+        if lo > hi || hi > self.rows() {
+            return Err(MatrixError::IndexOutOfBounds {
+                op: "Frame::slice_rows",
+                index: hi,
+                bound: self.rows(),
+            });
+        }
+        Ok(Frame {
+            names: self.names.clone(),
+            columns: self.columns.iter().map(|c| c.slice(lo, hi)).collect(),
+        })
+    }
+
+    /// Projects a subset of columns by name (federated feature selection).
+    pub fn select(&self, names: &[&str]) -> Result<Frame> {
+        let mut cols = Vec::with_capacity(names.len());
+        for &n in names {
+            let idx = self.column_index(n)?;
+            cols.push((n.to_string(), self.columns[idx].clone()));
+        }
+        Frame::new(cols)
+    }
+
+    /// Converts all-numeric frames to a dense matrix (missing -> NaN).
+    pub fn to_matrix(&self) -> Result<DenseMatrix> {
+        let rows = self.rows();
+        let cols = self.cols();
+        let mut out = DenseMatrix::zeros(rows, cols);
+        for (c, col) in self.columns.iter().enumerate() {
+            for r in 0..rows {
+                out.set(r, c, col.numeric(r)?);
+            }
+        }
+        Ok(out)
+    }
+
+    /// Builds a single-type frame from a dense matrix.
+    pub fn from_matrix(m: &DenseMatrix, prefix: &str) -> Frame {
+        let columns = (0..m.cols())
+            .map(|c| {
+                let data: Vec<Option<f64>> = (0..m.rows())
+                    .map(|r| {
+                        let v = m.get(r, c);
+                        if v.is_nan() {
+                            None
+                        } else {
+                            Some(v)
+                        }
+                    })
+                    .collect();
+                (format!("{prefix}{}", c + 1), FrameColumn::F64(data))
+            })
+            .collect();
+        Frame::new(columns).expect("consistent construction")
+    }
+
+    /// Estimated in-memory size in bytes.
+    pub fn size_bytes(&self) -> usize {
+        self.columns
+            .iter()
+            .map(|c| match c {
+                FrameColumn::F64(v) => v.len() * 16,
+                FrameColumn::I64(v) => v.len() * 16,
+                FrameColumn::Bool(v) => v.len() * 2,
+                FrameColumn::Str(v) => v
+                    .iter()
+                    .map(|s| 24 + s.as_ref().map_or(0, String::len))
+                    .sum(),
+            })
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Frame {
+        Frame::new(vec![
+            (
+                "recipe".into(),
+                FrameColumn::Str(vec![
+                    Some("R101".into()),
+                    Some("C7".into()),
+                    None,
+                    Some("R101".into()),
+                ]),
+            ),
+            (
+                "power".into(),
+                FrameColumn::F64(vec![Some(2100.0), Some(4350.0), Some(5500.0), None]),
+            ),
+            (
+                "batch".into(),
+                FrameColumn::I64(vec![Some(1), Some(2), Some(3), Some(4)]),
+            ),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn construction_validates() {
+        assert!(Frame::new(vec![
+            ("a".into(), FrameColumn::F64(vec![Some(1.0)])),
+            ("a".into(), FrameColumn::F64(vec![Some(2.0)])),
+        ])
+        .is_err());
+        assert!(Frame::new(vec![
+            ("a".into(), FrameColumn::F64(vec![Some(1.0)])),
+            ("b".into(), FrameColumn::F64(vec![Some(2.0), Some(3.0)])),
+        ])
+        .is_err());
+    }
+
+    #[test]
+    fn missing_values_tracked() {
+        let f = sample();
+        assert_eq!(f.column_by_name("recipe").unwrap().missing_count(), 1);
+        assert!(f.column_by_name("power").unwrap().is_missing(3));
+        assert_eq!(f.column_by_name("batch").unwrap().missing_count(), 0);
+    }
+
+    #[test]
+    fn tokens_for_recoding() {
+        let f = sample();
+        let c = f.column_by_name("recipe").unwrap();
+        assert_eq!(c.token(0).as_deref(), Some("R101"));
+        assert_eq!(c.token(2), None);
+    }
+
+    #[test]
+    fn rbind_and_slice() {
+        let f = sample();
+        let both = f.rbind(&f).unwrap();
+        assert_eq!(both.rows(), 8);
+        let tail = both.slice_rows(4, 8).unwrap();
+        assert_eq!(tail.rows(), 4);
+        assert_eq!(
+            tail.column_by_name("recipe").unwrap().token(0).as_deref(),
+            Some("R101")
+        );
+    }
+
+    #[test]
+    fn select_projects_columns() {
+        let f = sample();
+        let p = f.select(&["batch", "power"]).unwrap();
+        assert_eq!(p.names(), &["batch".to_string(), "power".to_string()]);
+        assert!(f.select(&["nope"]).is_err());
+    }
+
+    #[test]
+    fn numeric_conversion() {
+        let f = sample().select(&["power", "batch"]).unwrap();
+        let m = f.to_matrix().unwrap();
+        assert_eq!(m.get(0, 0), 2100.0);
+        assert!(m.get(3, 0).is_nan());
+        assert_eq!(m.get(3, 1), 4.0);
+        // String columns refuse numeric conversion.
+        assert!(sample().to_matrix().is_err());
+    }
+
+    #[test]
+    fn matrix_roundtrip_preserves_nan_as_missing() {
+        let mut m = DenseMatrix::zeros(2, 2);
+        m.set(1, 1, f64::NAN);
+        m.set(0, 0, 5.0);
+        let f = Frame::from_matrix(&m, "c");
+        assert!(f.column(1).unwrap().is_missing(1));
+        assert_eq!(f.column(0).unwrap().numeric(0).unwrap(), 5.0);
+    }
+}

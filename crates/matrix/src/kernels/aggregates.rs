@@ -1,0 +1,268 @@
+//! Aggregate kernels (Table 1 "Aggregates" row): full, row-wise, and
+//! column-wise `sum/min/max/mean/var/sd`, plus index-of aggregates.
+//!
+//! The federated runtime decomposes these over partitions; the partial
+//! statistics combined by the coordinator (count/sum/sum-of-squares for
+//! variance) are produced by the same kernels, so partition-combine laws are
+//! property-tested here.
+
+use crate::dense::DenseMatrix;
+use crate::error::{MatrixError, Result};
+
+/// Aggregate function selector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AggOp {
+    /// Sum of values.
+    Sum,
+    /// Minimum value.
+    Min,
+    /// Maximum value.
+    Max,
+    /// Arithmetic mean.
+    Mean,
+    /// Unbiased sample variance.
+    Var,
+    /// Unbiased sample standard deviation.
+    Sd,
+    /// Sum of squared values (internal partial for Var/Sd; also `sumSq`).
+    SumSq,
+}
+
+impl AggOp {
+    /// Canonical instruction name.
+    pub fn name(self) -> &'static str {
+        match self {
+            AggOp::Sum => "sum",
+            AggOp::Min => "min",
+            AggOp::Max => "max",
+            AggOp::Mean => "mean",
+            AggOp::Var => "var",
+            AggOp::Sd => "sd",
+            AggOp::SumSq => "sumSq",
+        }
+    }
+}
+
+/// Aggregation direction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AggDir {
+    /// Aggregate over all cells to a `1 x 1` result.
+    Full,
+    /// Aggregate each row to an `r x 1` column vector (`rowSums`, ...).
+    Row,
+    /// Aggregate each column to a `1 x c` row vector (`colSums`, ...).
+    Col,
+}
+
+fn finish(op: AggOp, sum: f64, sumsq: f64, min: f64, max: f64, n: f64) -> f64 {
+    match op {
+        AggOp::Sum => sum,
+        AggOp::SumSq => sumsq,
+        AggOp::Min => min,
+        AggOp::Max => max,
+        AggOp::Mean => sum / n,
+        AggOp::Var | AggOp::Sd => {
+            if n < 2.0 {
+                return f64::NAN;
+            }
+            let var = (sumsq - sum * sum / n) / (n - 1.0);
+            let var = var.max(0.0); // guard tiny negative from cancellation
+            if op == AggOp::Var {
+                var
+            } else {
+                var.sqrt()
+            }
+        }
+    }
+}
+
+/// Computes an aggregate of `x` along `dir`.
+///
+/// Full aggregates return a `1 x 1` matrix so the result can flow through
+/// matrix-typed plans (the runtime unwraps scalars where needed). Empty
+/// inputs are rejected for min/max/mean/var/sd.
+pub fn aggregate(x: &DenseMatrix, op: AggOp, dir: AggDir) -> Result<DenseMatrix> {
+    let needs_data = !matches!(op, AggOp::Sum | AggOp::SumSq);
+    if x.is_empty() && needs_data {
+        return Err(MatrixError::InvalidArgument {
+            op: op.name(),
+            msg: "aggregate of empty matrix".into(),
+        });
+    }
+    let (r, c) = x.shape();
+    match dir {
+        AggDir::Full => {
+            let mut sum = 0.0;
+            let mut sumsq = 0.0;
+            let mut min = f64::INFINITY;
+            let mut max = f64::NEG_INFINITY;
+            for &v in x.values() {
+                sum += v;
+                sumsq += v * v;
+                min = min.min(v);
+                max = max.max(v);
+            }
+            Ok(DenseMatrix::filled(
+                1,
+                1,
+                finish(op, sum, sumsq, min, max, (r * c) as f64),
+            ))
+        }
+        AggDir::Row => {
+            let mut out = DenseMatrix::zeros(r, 1);
+            for i in 0..r {
+                let mut sum = 0.0;
+                let mut sumsq = 0.0;
+                let mut min = f64::INFINITY;
+                let mut max = f64::NEG_INFINITY;
+                for &v in x.row(i) {
+                    sum += v;
+                    sumsq += v * v;
+                    min = min.min(v);
+                    max = max.max(v);
+                }
+                out.set(i, 0, finish(op, sum, sumsq, min, max, c as f64));
+            }
+            Ok(out)
+        }
+        AggDir::Col => {
+            let mut sum = vec![0.0; c];
+            let mut sumsq = vec![0.0; c];
+            let mut min = vec![f64::INFINITY; c];
+            let mut max = vec![f64::NEG_INFINITY; c];
+            for i in 0..r {
+                for (j, &v) in x.row(i).iter().enumerate() {
+                    sum[j] += v;
+                    sumsq[j] += v * v;
+                    if v < min[j] {
+                        min[j] = v;
+                    }
+                    if v > max[j] {
+                        max[j] = v;
+                    }
+                }
+            }
+            let data: Vec<f64> = (0..c)
+                .map(|j| finish(op, sum[j], sumsq[j], min[j], max[j], r as f64))
+                .collect();
+            DenseMatrix::new(1, c, data)
+        }
+    }
+}
+
+/// Row-wise index of the maximum value, 1-based as in SystemDS `rowIndexMax`.
+pub fn row_index_max(x: &DenseMatrix) -> Result<DenseMatrix> {
+    row_index_by(x, |a, b| a > b)
+}
+
+/// Row-wise index of the minimum value, 1-based (`rowIndexMin`).
+pub fn row_index_min(x: &DenseMatrix) -> Result<DenseMatrix> {
+    row_index_by(x, |a, b| a < b)
+}
+
+fn row_index_by(x: &DenseMatrix, better: impl Fn(f64, f64) -> bool) -> Result<DenseMatrix> {
+    if x.cols() == 0 {
+        return Err(MatrixError::InvalidArgument {
+            op: "rowIndex",
+            msg: "matrix has zero columns".into(),
+        });
+    }
+    let mut out = DenseMatrix::zeros(x.rows(), 1);
+    for r in 0..x.rows() {
+        let row = x.row(r);
+        let mut best = 0usize;
+        for (j, &v) in row.iter().enumerate() {
+            if better(v, row[best]) {
+                best = j;
+            }
+        }
+        out.set(r, 0, (best + 1) as f64);
+    }
+    Ok(out)
+}
+
+/// Trace of a square matrix.
+pub fn trace(x: &DenseMatrix) -> Result<f64> {
+    if x.rows() != x.cols() {
+        return Err(MatrixError::DimensionMismatch {
+            op: "trace",
+            lhs: x.shape(),
+            rhs: x.shape(),
+        });
+    }
+    Ok((0..x.rows()).map(|i| x.get(i, i)).sum())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::rand_matrix;
+
+    fn sample() -> DenseMatrix {
+        DenseMatrix::new(2, 3, vec![1., 5., 3., 2., 4., 6.]).unwrap()
+    }
+
+    #[test]
+    fn full_aggregates() {
+        let x = sample();
+        assert_eq!(aggregate(&x, AggOp::Sum, AggDir::Full).unwrap().get(0, 0), 21.0);
+        assert_eq!(aggregate(&x, AggOp::Min, AggDir::Full).unwrap().get(0, 0), 1.0);
+        assert_eq!(aggregate(&x, AggOp::Max, AggDir::Full).unwrap().get(0, 0), 6.0);
+        assert_eq!(aggregate(&x, AggOp::Mean, AggDir::Full).unwrap().get(0, 0), 3.5);
+        assert!((aggregate(&x, AggOp::Var, AggDir::Full).unwrap().get(0, 0) - 3.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn row_and_col_aggregates() {
+        let x = sample();
+        assert_eq!(
+            aggregate(&x, AggOp::Sum, AggDir::Row).unwrap().values(),
+            &[9.0, 12.0]
+        );
+        assert_eq!(
+            aggregate(&x, AggOp::Max, AggDir::Col).unwrap().values(),
+            &[2.0, 5.0, 6.0]
+        );
+        assert_eq!(
+            aggregate(&x, AggOp::Mean, AggDir::Col).unwrap().values(),
+            &[1.5, 4.5, 4.5]
+        );
+    }
+
+    #[test]
+    fn variance_matches_two_pass_reference() {
+        let x = rand_matrix(31, 9, -5.0, 5.0, 13);
+        let got = aggregate(&x, AggOp::Var, AggDir::Full).unwrap().get(0, 0);
+        let n = x.len() as f64;
+        let mean = x.values().iter().sum::<f64>() / n;
+        let want = x.values().iter().map(|v| (v - mean).powi(2)).sum::<f64>() / (n - 1.0);
+        assert!((got - want).abs() < 1e-9);
+    }
+
+    #[test]
+    fn row_index_max_is_one_based() {
+        let x = sample();
+        assert_eq!(row_index_max(&x).unwrap().values(), &[2.0, 3.0]);
+        assert_eq!(row_index_min(&x).unwrap().values(), &[1.0, 1.0]);
+    }
+
+    #[test]
+    fn row_index_max_ties_pick_first() {
+        let x = DenseMatrix::new(1, 3, vec![7., 7., 1.]).unwrap();
+        assert_eq!(row_index_max(&x).unwrap().get(0, 0), 1.0);
+    }
+
+    #[test]
+    fn empty_min_rejected_empty_sum_zero() {
+        let x = DenseMatrix::zeros(0, 3);
+        assert!(aggregate(&x, AggOp::Min, AggDir::Full).is_err());
+        assert_eq!(aggregate(&x, AggOp::Sum, AggDir::Full).unwrap().get(0, 0), 0.0);
+    }
+
+    #[test]
+    fn trace_square_only() {
+        let x = DenseMatrix::new(2, 2, vec![1., 2., 3., 4.]).unwrap();
+        assert_eq!(trace(&x).unwrap(), 5.0);
+        assert!(trace(&sample()).is_err());
+    }
+}

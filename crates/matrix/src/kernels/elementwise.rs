@@ -1,0 +1,482 @@
+//! Element-wise unary and binary kernels (Table 1 "Unary"/"Binary" rows),
+//! including row/column-vector broadcasting as used by the federated plans
+//! (e.g. `X - colMeans(X)` broadcasts a `1 x c` vector over rows).
+
+use crate::dense::DenseMatrix;
+use crate::error::{MatrixError, Result};
+
+/// Unary element-wise operations of Table 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum UnaryOp {
+    /// Absolute value.
+    Abs,
+    /// Cosine.
+    Cos,
+    /// Sine.
+    Sin,
+    /// Tangent.
+    Tan,
+    /// Natural exponential.
+    Exp,
+    /// Natural logarithm.
+    Log,
+    /// Square root.
+    Sqrt,
+    /// Round half away from zero.
+    Round,
+    /// Floor.
+    Floor,
+    /// Ceiling.
+    Ceil,
+    /// Sign (-1, 0, 1).
+    Sign,
+    /// Logical negation: `x == 0 -> 1`, else `0`.
+    Not,
+    /// 1.0 where the value is NaN, 0.0 otherwise (`isNA`).
+    IsNa,
+    /// Logistic sigmoid `1 / (1 + e^-x)`.
+    Sigmoid,
+    /// Unary minus.
+    Neg,
+    /// Square (`x * x`), a common fused shorthand.
+    Square,
+}
+
+impl UnaryOp {
+    /// Scalar semantics of the operation.
+    #[inline]
+    pub fn apply(self, x: f64) -> f64 {
+        match self {
+            UnaryOp::Abs => x.abs(),
+            UnaryOp::Cos => x.cos(),
+            UnaryOp::Sin => x.sin(),
+            UnaryOp::Tan => x.tan(),
+            UnaryOp::Exp => x.exp(),
+            UnaryOp::Log => x.ln(),
+            UnaryOp::Sqrt => x.sqrt(),
+            UnaryOp::Round => {
+                if x >= 0.0 {
+                    (x + 0.5).floor()
+                } else {
+                    (x - 0.5).ceil()
+                }
+            }
+            UnaryOp::Floor => x.floor(),
+            UnaryOp::Ceil => x.ceil(),
+            UnaryOp::Sign => {
+                if x > 0.0 {
+                    1.0
+                } else if x < 0.0 {
+                    -1.0
+                } else {
+                    0.0
+                }
+            }
+            UnaryOp::Not => {
+                if x == 0.0 {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+            UnaryOp::IsNa => {
+                if x.is_nan() {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+            UnaryOp::Sigmoid => 1.0 / (1.0 + (-x).exp()),
+            UnaryOp::Neg => -x,
+            UnaryOp::Square => x * x,
+        }
+    }
+
+    /// Canonical instruction name (used by plan explain strings).
+    pub fn name(self) -> &'static str {
+        match self {
+            UnaryOp::Abs => "abs",
+            UnaryOp::Cos => "cos",
+            UnaryOp::Sin => "sin",
+            UnaryOp::Tan => "tan",
+            UnaryOp::Exp => "exp",
+            UnaryOp::Log => "log",
+            UnaryOp::Sqrt => "sqrt",
+            UnaryOp::Round => "round",
+            UnaryOp::Floor => "floor",
+            UnaryOp::Ceil => "ceil",
+            UnaryOp::Sign => "sign",
+            UnaryOp::Not => "!",
+            UnaryOp::IsNa => "isNA",
+            UnaryOp::Sigmoid => "sigmoid",
+            UnaryOp::Neg => "-",
+            UnaryOp::Square => "sq",
+        }
+    }
+}
+
+/// Applies a unary operation cell-wise.
+pub fn unary(x: &DenseMatrix, op: UnaryOp) -> DenseMatrix {
+    x.map(|v| op.apply(v))
+}
+
+/// Row-wise softmax: `exp(x - rowMax) / rowSum(exp(..))`, numerically stable.
+///
+/// Listed in Table 1's unary row; operates per row as in SystemDS.
+pub fn softmax(x: &DenseMatrix) -> DenseMatrix {
+    let mut out = DenseMatrix::zeros(x.rows(), x.cols());
+    for r in 0..x.rows() {
+        let row = x.row(r);
+        let mx = row.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let orow = out.row_mut(r);
+        let mut sum = 0.0;
+        for (o, &v) in orow.iter_mut().zip(row) {
+            *o = (v - mx).exp();
+            sum += *o;
+        }
+        if sum > 0.0 {
+            for o in orow.iter_mut() {
+                *o /= sum;
+            }
+        }
+    }
+    out
+}
+
+/// Binary element-wise operations of Table 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BinaryOp {
+    /// Addition.
+    Add,
+    /// Subtraction.
+    Sub,
+    /// Multiplication (Hadamard).
+    Mul,
+    /// Division.
+    Div,
+    /// Integer division (`%/%`).
+    IntDiv,
+    /// Modulus (`%%`).
+    Mod,
+    /// Power (`^`).
+    Pow,
+    /// Element-wise minimum.
+    Min,
+    /// Element-wise maximum.
+    Max,
+    /// Equality comparison producing 0/1.
+    Eq,
+    /// Inequality comparison producing 0/1.
+    Neq,
+    /// Less-than producing 0/1.
+    Lt,
+    /// Less-or-equal producing 0/1.
+    Le,
+    /// Greater-than producing 0/1.
+    Gt,
+    /// Greater-or-equal producing 0/1.
+    Ge,
+    /// Logical and (non-zero = true) producing 0/1.
+    And,
+    /// Logical or producing 0/1.
+    Or,
+    /// Logical xor producing 0/1.
+    Xor,
+    /// Logarithm of `lhs` to base `rhs` (`log(x, base)`).
+    LogBase,
+}
+
+impl BinaryOp {
+    /// Scalar semantics of the operation.
+    #[inline]
+    pub fn apply(self, a: f64, b: f64) -> f64 {
+        let t = |c: bool| if c { 1.0 } else { 0.0 };
+        match self {
+            BinaryOp::Add => a + b,
+            BinaryOp::Sub => a - b,
+            BinaryOp::Mul => a * b,
+            BinaryOp::Div => a / b,
+            BinaryOp::IntDiv => (a / b).floor(),
+            BinaryOp::Mod => a - (a / b).floor() * b,
+            BinaryOp::Pow => a.powf(b),
+            BinaryOp::Min => a.min(b),
+            BinaryOp::Max => a.max(b),
+            BinaryOp::Eq => t(a == b),
+            BinaryOp::Neq => t(a != b),
+            BinaryOp::Lt => t(a < b),
+            BinaryOp::Le => t(a <= b),
+            BinaryOp::Gt => t(a > b),
+            BinaryOp::Ge => t(a >= b),
+            BinaryOp::And => t(a != 0.0 && b != 0.0),
+            BinaryOp::Or => t(a != 0.0 || b != 0.0),
+            BinaryOp::Xor => t((a != 0.0) ^ (b != 0.0)),
+            BinaryOp::LogBase => a.ln() / b.ln(),
+        }
+    }
+
+    /// Canonical instruction name.
+    pub fn name(self) -> &'static str {
+        match self {
+            BinaryOp::Add => "+",
+            BinaryOp::Sub => "-",
+            BinaryOp::Mul => "*",
+            BinaryOp::Div => "/",
+            BinaryOp::IntDiv => "%/%",
+            BinaryOp::Mod => "%%",
+            BinaryOp::Pow => "^",
+            BinaryOp::Min => "min",
+            BinaryOp::Max => "max",
+            BinaryOp::Eq => "==",
+            BinaryOp::Neq => "!=",
+            BinaryOp::Lt => "<",
+            BinaryOp::Le => "<=",
+            BinaryOp::Gt => ">",
+            BinaryOp::Ge => ">=",
+            BinaryOp::And => "&",
+            BinaryOp::Or => "|",
+            BinaryOp::Xor => "xor",
+            BinaryOp::LogBase => "log",
+        }
+    }
+
+    /// True when the op is commutative (used by plan canonicalization for
+    /// lineage-based reuse).
+    pub fn is_commutative(self) -> bool {
+        matches!(
+            self,
+            BinaryOp::Add
+                | BinaryOp::Mul
+                | BinaryOp::Min
+                | BinaryOp::Max
+                | BinaryOp::Eq
+                | BinaryOp::Neq
+                | BinaryOp::And
+                | BinaryOp::Or
+                | BinaryOp::Xor
+        )
+    }
+}
+
+/// Broadcasting shapes supported by [`binary`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Broadcast {
+    /// Both operands share the same shape.
+    None,
+    /// Right operand is a `1 x c` row vector broadcast over rows.
+    RowVector,
+    /// Right operand is an `r x 1` column vector broadcast over columns.
+    ColVector,
+    /// Right operand is `1 x 1`.
+    Scalar,
+}
+
+fn classify(lhs: &DenseMatrix, rhs: &DenseMatrix) -> Option<Broadcast> {
+    if lhs.shape() == rhs.shape() {
+        Some(Broadcast::None)
+    } else if rhs.is_scalar() {
+        Some(Broadcast::Scalar)
+    } else if rhs.rows() == 1 && rhs.cols() == lhs.cols() {
+        Some(Broadcast::RowVector)
+    } else if rhs.cols() == 1 && rhs.rows() == lhs.rows() {
+        Some(Broadcast::ColVector)
+    } else {
+        None
+    }
+}
+
+/// Matrix-matrix binary operation with SystemDS-style broadcasting: the right
+/// operand may be an equally-shaped matrix, a row vector (`1 x c`), a column
+/// vector (`r x 1`), or a `1 x 1` scalar.
+pub fn binary(lhs: &DenseMatrix, op: BinaryOp, rhs: &DenseMatrix) -> Result<DenseMatrix> {
+    let bc = classify(lhs, rhs).ok_or(MatrixError::DimensionMismatch {
+        op: "binary",
+        lhs: lhs.shape(),
+        rhs: rhs.shape(),
+    })?;
+    let mut out = DenseMatrix::zeros(lhs.rows(), lhs.cols());
+    match bc {
+        Broadcast::None => {
+            for ((o, &a), &b) in out
+                .values_mut()
+                .iter_mut()
+                .zip(lhs.values())
+                .zip(rhs.values())
+            {
+                *o = op.apply(a, b);
+            }
+        }
+        Broadcast::Scalar => {
+            let b = rhs.values()[0];
+            for (o, &a) in out.values_mut().iter_mut().zip(lhs.values()) {
+                *o = op.apply(a, b);
+            }
+        }
+        Broadcast::RowVector => {
+            let bv = rhs.values();
+            for r in 0..lhs.rows() {
+                let lrow = lhs.row(r);
+                let orow = out.row_mut(r);
+                for ((o, &a), &b) in orow.iter_mut().zip(lrow).zip(bv) {
+                    *o = op.apply(a, b);
+                }
+            }
+        }
+        Broadcast::ColVector => {
+            for r in 0..lhs.rows() {
+                let b = rhs.get(r, 0);
+                let lrow = lhs.row(r);
+                let orow = out.row_mut(r);
+                for (o, &a) in orow.iter_mut().zip(lrow) {
+                    *o = op.apply(a, b);
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Matrix-scalar binary operation; `swap` computes `scalar op matrix`
+/// instead of `matrix op scalar` (needed for non-commutative ops like `1-X`).
+pub fn scalar(lhs: &DenseMatrix, op: BinaryOp, s: f64, swap: bool) -> DenseMatrix {
+    if swap {
+        lhs.map(|v| op.apply(s, v))
+    } else {
+        lhs.map(|v| op.apply(v, s))
+    }
+}
+
+/// Covariance between two equal-length vectors (Table 1 `cov`), using the
+/// unbiased (n-1) estimator.
+pub fn cov(a: &DenseMatrix, b: &DenseMatrix) -> Result<f64> {
+    if a.len() != b.len() || a.len() < 2 {
+        return Err(MatrixError::InvalidArgument {
+            op: "cov",
+            msg: format!("need equal-length vectors of >=2 cells, got {} and {}", a.len(), b.len()),
+        });
+    }
+    let n = a.len() as f64;
+    let ma = a.values().iter().sum::<f64>() / n;
+    let mb = b.values().iter().sum::<f64>() / n;
+    let s: f64 = a
+        .values()
+        .iter()
+        .zip(b.values())
+        .map(|(&x, &y)| (x - ma) * (y - mb))
+        .sum();
+    Ok(s / (n - 1.0))
+}
+
+/// Central moment of order 2..4 of a vector (Table 1 `cm`).
+pub fn central_moment(a: &DenseMatrix, order: u32) -> Result<f64> {
+    if a.is_empty() {
+        return Err(MatrixError::InvalidArgument {
+            op: "cm",
+            msg: "empty input".into(),
+        });
+    }
+    if !(2..=4).contains(&order) {
+        return Err(MatrixError::InvalidArgument {
+            op: "cm",
+            msg: format!("order {order} not in 2..=4"),
+        });
+    }
+    let n = a.len() as f64;
+    let mean = a.values().iter().sum::<f64>() / n;
+    let s: f64 = a
+        .values()
+        .iter()
+        .map(|&x| (x - mean).powi(order as i32))
+        .sum();
+    Ok(s / n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::rand_matrix;
+
+    #[test]
+    fn unary_ops_scalar_semantics() {
+        assert_eq!(UnaryOp::Round.apply(2.5), 3.0);
+        assert_eq!(UnaryOp::Round.apply(-2.5), -3.0);
+        assert_eq!(UnaryOp::Sign.apply(-0.3), -1.0);
+        assert_eq!(UnaryOp::Not.apply(0.0), 1.0);
+        assert_eq!(UnaryOp::IsNa.apply(f64::NAN), 1.0);
+        assert_eq!(UnaryOp::IsNa.apply(1.0), 0.0);
+        assert!((UnaryOp::Sigmoid.apply(0.0) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn softmax_rows_sum_to_one() {
+        let x = rand_matrix(5, 7, -3.0, 3.0, 11);
+        let s = softmax(&x);
+        for r in 0..5 {
+            let sum: f64 = s.row(r).iter().sum();
+            assert!((sum - 1.0).abs() < 1e-12);
+            assert!(s.row(r).iter().all(|&v| v >= 0.0));
+        }
+    }
+
+    #[test]
+    fn binary_broadcast_row_vector() {
+        let x = DenseMatrix::new(2, 3, vec![1., 2., 3., 4., 5., 6.]).unwrap();
+        let v = DenseMatrix::row_vector(&[10., 20., 30.]);
+        let got = binary(&x, BinaryOp::Add, &v).unwrap();
+        assert_eq!(got.values(), &[11., 22., 33., 14., 25., 36.]);
+    }
+
+    #[test]
+    fn binary_broadcast_col_vector() {
+        let x = DenseMatrix::new(2, 3, vec![1., 2., 3., 4., 5., 6.]).unwrap();
+        let v = DenseMatrix::col_vector(&[10., 100.]);
+        let got = binary(&x, BinaryOp::Mul, &v).unwrap();
+        assert_eq!(got.values(), &[10., 20., 30., 400., 500., 600.]);
+    }
+
+    #[test]
+    fn binary_broadcast_scalar_matrix() {
+        let x = DenseMatrix::new(1, 3, vec![1., 2., 3.]).unwrap();
+        let s = DenseMatrix::filled(1, 1, 2.0);
+        let got = binary(&x, BinaryOp::Pow, &s).unwrap();
+        assert_eq!(got.values(), &[1., 4., 9.]);
+    }
+
+    #[test]
+    fn binary_rejects_incompatible_shapes() {
+        let x = DenseMatrix::zeros(2, 3);
+        let y = DenseMatrix::zeros(3, 2);
+        assert!(binary(&x, BinaryOp::Add, &y).is_err());
+    }
+
+    #[test]
+    fn scalar_swap_order() {
+        let x = DenseMatrix::new(1, 2, vec![1., 4.]).unwrap();
+        let a = scalar(&x, BinaryOp::Sub, 1.0, false);
+        assert_eq!(a.values(), &[0., 3.]);
+        let b = scalar(&x, BinaryOp::Sub, 1.0, true);
+        assert_eq!(b.values(), &[0., -3.]);
+    }
+
+    #[test]
+    fn modulus_matches_r_semantics() {
+        // R-style %%: result has the sign of the divisor.
+        assert_eq!(BinaryOp::Mod.apply(5.0, 3.0), 2.0);
+        assert_eq!(BinaryOp::Mod.apply(-5.0, 3.0), 1.0);
+        assert_eq!(BinaryOp::IntDiv.apply(-5.0, 3.0), -2.0);
+    }
+
+    #[test]
+    fn cov_matches_manual() {
+        let a = DenseMatrix::col_vector(&[1., 2., 3., 4.]);
+        let b = DenseMatrix::col_vector(&[2., 4., 6., 8.]);
+        // cov(a, 2a) = 2 var(a); var([1..4]) = 5/3
+        assert!((cov(&a, &b).unwrap() - 10.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn central_moment_order2_is_population_variance() {
+        let a = DenseMatrix::col_vector(&[1., 2., 3., 4.]);
+        assert!((central_moment(&a, 2).unwrap() - 1.25).abs() < 1e-12);
+        assert!(central_moment(&a, 5).is_err());
+    }
+}

@@ -1,0 +1,233 @@
+//! Matrix multiplication kernels: `mm`, `tsmm` (transpose-self), and
+//! `mmchain` (the fused `Xᵀ (w ⊙ (X v))` pattern used by LM and MLogReg).
+
+// Parallel-array index loops are intentional in the hot kernels below:
+// iterator zips over 3+ arrays obscure the access pattern.
+#![allow(clippy::needless_range_loop)]
+
+use crate::dense::DenseMatrix;
+use crate::error::{MatrixError, Result};
+
+/// Cache-blocking tile edge (in elements) for the general kernel.
+const TILE: usize = 64;
+
+/// General matrix multiplication `lhs (m x k) * rhs (k x n)`.
+///
+/// Uses an i-k-j loop order with tiling over `k` so the inner loop streams
+/// both the `rhs` row and the output row — the standard dense layout-friendly
+/// schedule for row-major data.
+pub fn matmul(lhs: &DenseMatrix, rhs: &DenseMatrix) -> Result<DenseMatrix> {
+    if lhs.cols() != rhs.rows() {
+        return Err(MatrixError::DimensionMismatch {
+            op: "matmul",
+            lhs: lhs.shape(),
+            rhs: rhs.shape(),
+        });
+    }
+    let (m, k) = lhs.shape();
+    let n = rhs.cols();
+    let mut out = DenseMatrix::zeros(m, n);
+    // Fast path: matrix-vector.
+    if n == 1 {
+        let rv = rhs.values();
+        for i in 0..m {
+            let row = lhs.row(i);
+            let mut acc = 0.0;
+            for (a, b) in row.iter().zip(rv) {
+                acc += a * b;
+            }
+            out.set(i, 0, acc);
+        }
+        return Ok(out);
+    }
+    for kb in (0..k).step_by(TILE) {
+        let kend = (kb + TILE).min(k);
+        for i in 0..m {
+            let lrow = lhs.row(i);
+            // Split borrows: copy the output row pointer once per (i, kb).
+            let orow_start = i * n;
+            let out_vals = out.values_mut();
+            for kk in kb..kend {
+                let a = lrow[kk];
+                if a == 0.0 {
+                    continue;
+                }
+                let rrow = rhs.row(kk);
+                let orow = &mut out_vals[orow_start..orow_start + n];
+                for (o, &b) in orow.iter_mut().zip(rrow) {
+                    *o += a * b;
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Transpose-self matrix multiplication `tsmm`: computes `Xᵀ X` (`left=true`)
+/// or `X Xᵀ` (`left=false`) exploiting the symmetry of the result.
+pub fn tsmm(x: &DenseMatrix, left: bool) -> Result<DenseMatrix> {
+    if left {
+        let (m, n) = x.shape();
+        let mut out = DenseMatrix::zeros(n, n);
+        for r in 0..m {
+            let row = x.row(r);
+            for i in 0..n {
+                let a = row[i];
+                if a == 0.0 {
+                    continue;
+                }
+                let orow_start = i * n;
+                let out_vals = out.values_mut();
+                for j in i..n {
+                    out_vals[orow_start + j] += a * row[j];
+                }
+            }
+        }
+        // Mirror the upper triangle.
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let v = out.get(i, j);
+                out.set(j, i, v);
+            }
+        }
+        Ok(out)
+    } else {
+        let xt = super::reorg::transpose(x);
+        tsmm(&xt, true)
+    }
+}
+
+/// Fused matrix-multiplication chain `Xᵀ (w ⊙ (X v))`.
+///
+/// With `w = None` this is `Xᵀ (X v)` — the conjugate-gradient inner step of
+/// the paper's LM algorithm. The fusion avoids materializing `X v` twice and
+/// is the exact `mmchain` instruction of Table 1.
+pub fn mmchain(x: &DenseMatrix, v: &DenseMatrix, w: Option<&DenseMatrix>) -> Result<DenseMatrix> {
+    if x.cols() != v.rows() || v.cols() != 1 {
+        return Err(MatrixError::DimensionMismatch {
+            op: "mmchain",
+            lhs: x.shape(),
+            rhs: v.shape(),
+        });
+    }
+    if let Some(w) = w {
+        if w.rows() != x.rows() || w.cols() != 1 {
+            return Err(MatrixError::DimensionMismatch {
+                op: "mmchain",
+                lhs: x.shape(),
+                rhs: w.shape(),
+            });
+        }
+    }
+    let (m, n) = x.shape();
+    let vv = v.values();
+    let mut out = DenseMatrix::zeros(n, 1);
+    let out_vals = out.values_mut();
+    for i in 0..m {
+        let row = x.row(i);
+        let mut q = 0.0;
+        for (a, b) in row.iter().zip(vv) {
+            q += a * b;
+        }
+        if let Some(w) = w {
+            q *= w.values()[i];
+        }
+        if q != 0.0 {
+            for (o, &a) in out_vals.iter_mut().zip(row) {
+                *o += q * a;
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Naive triple-loop reference used by tests to validate the tiled kernel.
+pub fn matmul_naive(lhs: &DenseMatrix, rhs: &DenseMatrix) -> Result<DenseMatrix> {
+    if lhs.cols() != rhs.rows() {
+        return Err(MatrixError::DimensionMismatch {
+            op: "matmul_naive",
+            lhs: lhs.shape(),
+            rhs: rhs.shape(),
+        });
+    }
+    let (m, k) = lhs.shape();
+    let n = rhs.cols();
+    let mut out = DenseMatrix::zeros(m, n);
+    for i in 0..m {
+        for j in 0..n {
+            let mut acc = 0.0;
+            for kk in 0..k {
+                acc += lhs.get(i, kk) * rhs.get(kk, j);
+            }
+            out.set(i, j, acc);
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::rand_matrix;
+
+    #[test]
+    fn tiled_matches_naive() {
+        let a = rand_matrix(37, 113, 0.0, 1.0, 1);
+        let b = rand_matrix(113, 29, -1.0, 1.0, 2);
+        let got = matmul(&a, &b).unwrap();
+        let want = matmul_naive(&a, &b).unwrap();
+        assert!(got.max_abs_diff(&want) < 1e-9);
+    }
+
+    #[test]
+    fn matmul_dimension_check() {
+        let a = DenseMatrix::zeros(2, 3);
+        let b = DenseMatrix::zeros(2, 3);
+        assert!(matmul(&a, &b).is_err());
+    }
+
+    #[test]
+    fn matrix_vector_fast_path() {
+        let a = rand_matrix(64, 16, 0.0, 1.0, 3);
+        let v = rand_matrix(16, 1, 0.0, 1.0, 4);
+        let got = matmul(&a, &v).unwrap();
+        let want = matmul_naive(&a, &v).unwrap();
+        assert!(got.max_abs_diff(&want) < 1e-10);
+    }
+
+    #[test]
+    fn tsmm_left_matches_explicit() {
+        let x = rand_matrix(50, 7, -2.0, 2.0, 5);
+        let got = tsmm(&x, true).unwrap();
+        let xt = super::super::reorg::transpose(&x);
+        let want = matmul_naive(&xt, &x).unwrap();
+        assert!(got.max_abs_diff(&want) < 1e-9);
+    }
+
+    #[test]
+    fn tsmm_right_matches_explicit() {
+        let x = rand_matrix(9, 20, -2.0, 2.0, 6);
+        let got = tsmm(&x, false).unwrap();
+        let xt = super::super::reorg::transpose(&x);
+        let want = matmul_naive(&x, &xt).unwrap();
+        assert!(got.max_abs_diff(&want) < 1e-9);
+    }
+
+    #[test]
+    fn mmchain_matches_composition() {
+        let x = rand_matrix(40, 11, -1.0, 1.0, 7);
+        let v = rand_matrix(11, 1, -1.0, 1.0, 8);
+        let w = rand_matrix(40, 1, 0.0, 1.0, 9);
+        let xt = super::super::reorg::transpose(&x);
+
+        let got = mmchain(&x, &v, None).unwrap();
+        let want = matmul_naive(&xt, &matmul_naive(&x, &v).unwrap()).unwrap();
+        assert!(got.max_abs_diff(&want) < 1e-9);
+
+        let got_w = mmchain(&x, &v, Some(&w)).unwrap();
+        let xv = matmul_naive(&x, &v).unwrap();
+        let wxv = w.zip(&xv, "mul", |a, b| a * b).unwrap();
+        let want_w = matmul_naive(&xt, &wxv).unwrap();
+        assert!(got_w.max_abs_diff(&want_w) < 1e-9);
+    }
+}

@@ -1,0 +1,20 @@
+//! Dense kernels backing the Table-1 instruction surface.
+//!
+//! Modules mirror the paper's operation-type rows:
+//!
+//! | Table 1 row            | Module |
+//! |------------------------|--------|
+//! | Matmult (mm/tsmm/mmchain) | [`matmul`] |
+//! | Aggregates             | [`aggregates`] |
+//! | Unary                  | [`elementwise`] ([`elementwise::unary`]) |
+//! | Binary                 | [`elementwise`] (matrix/vector/scalar with broadcasting) |
+//! | Ternary                | [`ternary`] (`ctable`, `ifelse`, `+*`, `-*`) |
+//! | Quaternary             | [`quaternary`] (`wsloss`, `wsigmoid`, `wdivmm`, `wcemm`) |
+//! | Transform/Reorg        | [`reorg`] (`rbind`, `cbind`, `t`, `removeEmpty`, `replace`, `reshape`, indexing) |
+
+pub mod aggregates;
+pub mod elementwise;
+pub mod matmul;
+pub mod quaternary;
+pub mod reorg;
+pub mod ternary;

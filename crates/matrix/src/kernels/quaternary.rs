@@ -1,0 +1,192 @@
+//! Quaternary fused kernels (Table 1 "Quaternary" row): the weighted
+//! factorization operators `wsloss`, `wsigmoid`, `wdivmm`, and `wcemm`.
+//!
+//! These fuse a large product `U Vᵀ` with a sparse weighting matrix `W` so
+//! that only cells where `W != 0` are ever computed — the same rationale as
+//! SystemDS' weighted ops for matrix-factorization workloads.
+
+use crate::dense::DenseMatrix;
+use crate::error::{MatrixError, Result};
+
+fn check_factors(w: &DenseMatrix, u: &DenseMatrix, v: &DenseMatrix, op: &'static str) -> Result<()> {
+    if u.rows() != w.rows() || v.rows() != w.cols() || u.cols() != v.cols() {
+        return Err(MatrixError::DimensionMismatch {
+            op,
+            lhs: w.shape(),
+            rhs: (u.rows(), v.rows()),
+        });
+    }
+    Ok(())
+}
+
+#[inline]
+fn dot(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(&x, &y)| x * y).sum()
+}
+
+/// Weighted squared loss `wsloss`: `sum(W ⊙ (X - U Vᵀ)^2)` computed only
+/// over cells with non-zero weight.
+pub fn wsloss(x: &DenseMatrix, w: &DenseMatrix, u: &DenseMatrix, v: &DenseMatrix) -> Result<f64> {
+    if x.shape() != w.shape() {
+        return Err(MatrixError::DimensionMismatch {
+            op: "wsloss",
+            lhs: x.shape(),
+            rhs: w.shape(),
+        });
+    }
+    check_factors(w, u, v, "wsloss")?;
+    let mut loss = 0.0;
+    for i in 0..w.rows() {
+        let urow = u.row(i);
+        for j in 0..w.cols() {
+            let wij = w.get(i, j);
+            if wij != 0.0 {
+                let pred = dot(urow, v.row(j));
+                let d = x.get(i, j) - pred;
+                loss += wij * d * d;
+            }
+        }
+    }
+    Ok(loss)
+}
+
+/// Weighted sigmoid `wsigmoid`: `W ⊙ sigmoid(U Vᵀ)`, evaluated only at
+/// non-zero weights; the output is dense but zero where `W` is zero.
+pub fn wsigmoid(w: &DenseMatrix, u: &DenseMatrix, v: &DenseMatrix) -> Result<DenseMatrix> {
+    check_factors(w, u, v, "wsigmoid")?;
+    let mut out = DenseMatrix::zeros(w.rows(), w.cols());
+    for i in 0..w.rows() {
+        let urow = u.row(i);
+        for j in 0..w.cols() {
+            let wij = w.get(i, j);
+            if wij != 0.0 {
+                let s = 1.0 / (1.0 + (-dot(urow, v.row(j))).exp());
+                out.set(i, j, wij * s);
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Weighted divide matrix-multiply `wdivmm` (left variant): computes
+/// `(W / (U Vᵀ))ᵀ U`, the V-gradient step of weighted matrix factorization,
+/// without materializing `U Vᵀ`.
+pub fn wdivmm_left(w: &DenseMatrix, u: &DenseMatrix, v: &DenseMatrix) -> Result<DenseMatrix> {
+    check_factors(w, u, v, "wdivmm")?;
+    let k = u.cols();
+    let mut out = DenseMatrix::zeros(v.rows(), k);
+    for i in 0..w.rows() {
+        let urow = u.row(i);
+        for j in 0..w.cols() {
+            let wij = w.get(i, j);
+            if wij != 0.0 {
+                let pred = dot(urow, v.row(j));
+                let q = wij / pred;
+                let orow = out.row_mut(j);
+                for (o, &uu) in orow.iter_mut().zip(urow) {
+                    *o += q * uu;
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Weighted cross-entropy matrix-multiply `wcemm`:
+/// `sum(W ⊙ log(U Vᵀ + eps))` over non-zero weights.
+pub fn wcemm(w: &DenseMatrix, u: &DenseMatrix, v: &DenseMatrix, eps: f64) -> Result<f64> {
+    check_factors(w, u, v, "wcemm")?;
+    let mut loss = 0.0;
+    for i in 0..w.rows() {
+        let urow = u.row(i);
+        for j in 0..w.cols() {
+            let wij = w.get(i, j);
+            if wij != 0.0 {
+                loss += wij * (dot(urow, v.row(j)) + eps).ln();
+            }
+        }
+    }
+    Ok(loss)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernels::matmul::matmul_naive;
+    use crate::kernels::reorg::transpose;
+    use crate::rng::rand_matrix;
+
+    fn setup() -> (DenseMatrix, DenseMatrix, DenseMatrix, DenseMatrix) {
+        let mut w = rand_matrix(8, 6, 0.0, 1.0, 21);
+        // Sparsify the weights.
+        w.map_inplace(|v| if v > 0.5 { 1.0 } else { 0.0 });
+        let x = rand_matrix(8, 6, 0.0, 1.0, 22);
+        let u = rand_matrix(8, 3, 0.1, 1.0, 23);
+        let v = rand_matrix(6, 3, 0.1, 1.0, 24);
+        (x, w, u, v)
+    }
+
+    #[test]
+    fn wsloss_matches_unfused() {
+        let (x, w, u, v) = setup();
+        let got = wsloss(&x, &w, &u, &v).unwrap();
+        let pred = matmul_naive(&u, &transpose(&v)).unwrap();
+        let mut want = 0.0;
+        for i in 0..8 {
+            for j in 0..6 {
+                let d = x.get(i, j) - pred.get(i, j);
+                want += w.get(i, j) * d * d;
+            }
+        }
+        assert!((got - want).abs() < 1e-9);
+    }
+
+    #[test]
+    fn wsigmoid_matches_unfused() {
+        let (_, w, u, v) = setup();
+        let got = wsigmoid(&w, &u, &v).unwrap();
+        let pred = matmul_naive(&u, &transpose(&v)).unwrap();
+        for i in 0..8 {
+            for j in 0..6 {
+                let want = w.get(i, j) / (1.0 + (-pred.get(i, j)).exp());
+                assert!((got.get(i, j) - want).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn wdivmm_matches_unfused() {
+        let (_, w, u, v) = setup();
+        let got = wdivmm_left(&w, &u, &v).unwrap();
+        let pred = matmul_naive(&u, &transpose(&v)).unwrap();
+        let ratio = w
+            .zip(&pred, "div", |a, b| if a != 0.0 { a / b } else { 0.0 })
+            .unwrap();
+        let want = matmul_naive(&transpose(&ratio), &u).unwrap();
+        assert!(got.max_abs_diff(&want) < 1e-9);
+    }
+
+    #[test]
+    fn wcemm_matches_unfused() {
+        let (_, w, u, v) = setup();
+        let got = wcemm(&w, &u, &v, 1e-15).unwrap();
+        let pred = matmul_naive(&u, &transpose(&v)).unwrap();
+        let mut want = 0.0;
+        for i in 0..8 {
+            for j in 0..6 {
+                if w.get(i, j) != 0.0 {
+                    want += w.get(i, j) * (pred.get(i, j) + 1e-15).ln();
+                }
+            }
+        }
+        assert!((got - want).abs() < 1e-9);
+    }
+
+    #[test]
+    fn factor_shape_checks() {
+        let w = DenseMatrix::zeros(4, 5);
+        let u = DenseMatrix::zeros(4, 2);
+        let bad_v = DenseMatrix::zeros(3, 2);
+        assert!(wsigmoid(&w, &u, &bad_v).is_err());
+    }
+}

@@ -1,0 +1,164 @@
+//! Ternary kernels (Table 1 "Ternary" row): `ctable`, `ifelse`, and the
+//! fused axpy-style `+*` / `-*` operations.
+
+use crate::dense::DenseMatrix;
+use crate::error::{MatrixError, Result};
+
+/// Contingency table `ctable(a, b, w)`: builds a matrix `O` with
+/// `O[a[i], b[i]] += w[i]` over 1-based index vectors `a`, `b`.
+///
+/// `a` and `b` must be column vectors of equal length with positive integer
+/// values; `w` defaults to all-ones. The output is sized by the max observed
+/// indices, or by `(out_rows, out_cols)` when given (entries beyond the
+/// requested size are ignored, matching SystemDS).
+pub fn ctable(
+    a: &DenseMatrix,
+    b: &DenseMatrix,
+    w: Option<&DenseMatrix>,
+    out_dims: Option<(usize, usize)>,
+) -> Result<DenseMatrix> {
+    if a.cols() != 1 || b.cols() != 1 || a.rows() != b.rows() {
+        return Err(MatrixError::DimensionMismatch {
+            op: "ctable",
+            lhs: a.shape(),
+            rhs: b.shape(),
+        });
+    }
+    if let Some(w) = w {
+        if w.rows() != a.rows() || w.cols() != 1 {
+            return Err(MatrixError::DimensionMismatch {
+                op: "ctable",
+                lhs: a.shape(),
+                rhs: w.shape(),
+            });
+        }
+    }
+    let to_idx = |v: f64, what: &'static str| -> Result<usize> {
+        if v < 1.0 || v.fract() != 0.0 || !v.is_finite() {
+            return Err(MatrixError::InvalidArgument {
+                op: "ctable",
+                msg: format!("{what} value {v} is not a positive integer"),
+            });
+        }
+        Ok(v as usize)
+    };
+    let mut entries = Vec::with_capacity(a.rows());
+    let mut max_r = 0usize;
+    let mut max_c = 0usize;
+    for i in 0..a.rows() {
+        let ri = to_idx(a.get(i, 0), "row")?;
+        let ci = to_idx(b.get(i, 0), "col")?;
+        let wi = w.map_or(1.0, |w| w.get(i, 0));
+        max_r = max_r.max(ri);
+        max_c = max_c.max(ci);
+        entries.push((ri, ci, wi));
+    }
+    let (rows, cols) = out_dims.unwrap_or((max_r, max_c));
+    let mut out = DenseMatrix::zeros(rows, cols);
+    for (ri, ci, wi) in entries {
+        if ri <= rows && ci <= cols {
+            let cur = out.get(ri - 1, ci - 1);
+            out.set(ri - 1, ci - 1, cur + wi);
+        }
+    }
+    Ok(out)
+}
+
+/// Element-wise conditional `ifelse(cond, then, else)` with scalar or
+/// matrix branches; `cond` is non-zero = true.
+pub fn ifelse(
+    cond: &DenseMatrix,
+    then_m: &DenseMatrix,
+    else_m: &DenseMatrix,
+) -> Result<DenseMatrix> {
+    let pick = |m: &DenseMatrix, r: usize, c: usize| -> f64 {
+        if m.is_scalar() {
+            m.values()[0]
+        } else {
+            m.get(r, c)
+        }
+    };
+    for m in [then_m, else_m] {
+        if !m.is_scalar() && m.shape() != cond.shape() {
+            return Err(MatrixError::DimensionMismatch {
+                op: "ifelse",
+                lhs: cond.shape(),
+                rhs: m.shape(),
+            });
+        }
+    }
+    let mut out = DenseMatrix::zeros(cond.rows(), cond.cols());
+    for r in 0..cond.rows() {
+        for c in 0..cond.cols() {
+            let v = if cond.get(r, c) != 0.0 {
+                pick(then_m, r, c)
+            } else {
+                pick(else_m, r, c)
+            };
+            out.set(r, c, v);
+        }
+    }
+    Ok(out)
+}
+
+/// Fused `X + s*Y` (`+*` when `sub=false`) or `X - s*Y` (`-*` when
+/// `sub=true`); avoids materializing the scaled intermediate.
+pub fn axpy(x: &DenseMatrix, s: f64, y: &DenseMatrix, sub: bool) -> Result<DenseMatrix> {
+    let factor = if sub { -s } else { s };
+    x.zip(y, if sub { "-*" } else { "+*" }, |a, b| a + factor * b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ctable_counts_pairs() {
+        let a = DenseMatrix::col_vector(&[1., 2., 1., 3.]);
+        let b = DenseMatrix::col_vector(&[2., 1., 2., 3.]);
+        let t = ctable(&a, &b, None, None).unwrap();
+        assert_eq!(t.shape(), (3, 3));
+        assert_eq!(t.get(0, 1), 2.0);
+        assert_eq!(t.get(1, 0), 1.0);
+        assert_eq!(t.get(2, 2), 1.0);
+        assert_eq!(t.get(0, 0), 0.0);
+    }
+
+    #[test]
+    fn ctable_weights_and_fixed_dims() {
+        let a = DenseMatrix::col_vector(&[1., 2.]);
+        let b = DenseMatrix::col_vector(&[1., 5.]);
+        let w = DenseMatrix::col_vector(&[0.5, 2.0]);
+        // Fixed 2x2 output: the (2,5) entry falls outside and is dropped.
+        let t = ctable(&a, &b, Some(&w), Some((2, 2))).unwrap();
+        assert_eq!(t.shape(), (2, 2));
+        assert_eq!(t.get(0, 0), 0.5);
+        assert_eq!(t.values().iter().sum::<f64>(), 0.5);
+    }
+
+    #[test]
+    fn ctable_rejects_non_integer() {
+        let a = DenseMatrix::col_vector(&[1.5]);
+        let b = DenseMatrix::col_vector(&[1.0]);
+        assert!(ctable(&a, &b, None, None).is_err());
+        let z = DenseMatrix::col_vector(&[0.0]);
+        assert!(ctable(&z, &b, None, None).is_err());
+    }
+
+    #[test]
+    fn ifelse_scalar_and_matrix_branches() {
+        let cond = DenseMatrix::new(1, 3, vec![1., 0., 2.]).unwrap();
+        let t = DenseMatrix::filled(1, 1, 10.0);
+        let e = DenseMatrix::new(1, 3, vec![-1., -2., -3.]).unwrap();
+        let got = ifelse(&cond, &t, &e).unwrap();
+        assert_eq!(got.values(), &[10., -2., 10.]);
+    }
+
+    #[test]
+    fn axpy_plus_minus() {
+        let x = DenseMatrix::new(1, 2, vec![1., 2.]).unwrap();
+        let y = DenseMatrix::new(1, 2, vec![10., 20.]).unwrap();
+        assert_eq!(axpy(&x, 0.5, &y, false).unwrap().values(), &[6., 12.]);
+        assert_eq!(axpy(&x, 0.5, &y, true).unwrap().values(), &[-4., -8.]);
+    }
+}

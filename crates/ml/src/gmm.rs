@@ -1,0 +1,361 @@
+//! Gaussian mixture models with diagonal covariance, trained by EM — the
+//! unsupervised anomaly-detection model of the fertilizer-production use
+//! case (paper §2.1: "these grinding mill data are used to create
+//! unsupervised anomaly detection models (e.g., Gaussian mixture models)").
+//!
+//! Every EM quantity is expressed through the locality-agnostic tensor ops:
+//! per-component Mahalanobis terms via broadcast arithmetic and `rowSums`,
+//! responsibilities via federated `softmax`, and the M-step via aligned
+//! `t(P) %*% X` — so the same code trains on local or federated data.
+
+use exdra_core::{Result, RuntimeError, Tensor};
+use exdra_matrix::kernels::elementwise::{BinaryOp, UnaryOp};
+use exdra_matrix::kernels::reorg;
+use exdra_matrix::DenseMatrix;
+
+/// Hyperparameters for GMM training.
+#[derive(Debug, Clone, Copy)]
+pub struct GmmParams {
+    /// Number of mixture components.
+    pub k: usize,
+    /// Maximum EM iterations.
+    pub max_iter: usize,
+    /// Log-likelihood relative-improvement tolerance.
+    pub tol: f64,
+    /// Variance floor preventing component collapse.
+    pub var_floor: f64,
+    /// Seed for mean initialization.
+    pub seed: u64,
+}
+
+impl Default for GmmParams {
+    fn default() -> Self {
+        Self {
+            k: 3,
+            max_iter: 50,
+            tol: 1e-6,
+            var_floor: 1e-6,
+            seed: 11,
+        }
+    }
+}
+
+/// A fitted diagonal-covariance Gaussian mixture model.
+#[derive(Debug, Clone)]
+pub struct GmmModel {
+    /// Component means (`k x d`).
+    pub means: DenseMatrix,
+    /// Component variances (`k x d`, diagonal).
+    pub variances: DenseMatrix,
+    /// Mixing weights (`1 x k`).
+    pub weights: DenseMatrix,
+    /// Final average log-likelihood.
+    pub log_likelihood: f64,
+    /// EM iterations performed.
+    pub iterations: usize,
+}
+
+/// Per-row, per-component log densities `n x k` (stays federated for
+/// federated inputs).
+fn log_densities(x: &Tensor, model: &GmmModel) -> Result<Tensor> {
+    let d = x.cols();
+    let k = model.means.rows();
+    let mut cols: Option<Tensor> = None;
+    for c in 0..k {
+        let mu = reorg::index(&model.means, c, c + 1, 0, d)?;
+        let var = reorg::index(&model.variances, c, c + 1, 0, d)?;
+        // -(x - mu)^2 / (2 var), summed over features.
+        let centered = x.binary(BinaryOp::Sub, &Tensor::Local(mu))?;
+        let sq = centered.unary(UnaryOp::Square)?;
+        let scaled = sq.binary(BinaryOp::Div, &Tensor::Local(var.map(|v| 2.0 * v)))?;
+        let m_dist = scaled.row_sums()?; // n x 1
+        let log_norm: f64 = var
+            .values()
+            .iter()
+            .map(|&v| 0.5 * (2.0 * std::f64::consts::PI * v).ln())
+            .sum();
+        let log_pi = model.weights.get(0, c).max(1e-300).ln();
+        let col = m_dist.scalar_op(BinaryOp::Mul, -1.0, false)?.scalar_op(
+            BinaryOp::Add,
+            log_pi - log_norm,
+            false,
+        )?;
+        cols = Some(match cols {
+            None => col,
+            Some(acc) => acc.cbind(&col)?,
+        });
+    }
+    cols.ok_or_else(|| RuntimeError::Invalid("k must be >= 1".into()))
+}
+
+/// Trains a diagonal GMM by expectation-maximization.
+pub fn gmm(x: &Tensor, params: &GmmParams) -> Result<GmmModel> {
+    let n = x.rows();
+    let d = x.cols();
+    let k = params.k;
+    // Initialize means from sampled rows (or releasable moments when the
+    // privacy constraint forbids raw-row transfer), unit variances,
+    // uniform weights.
+    let means = crate::init::rows_or_moments(x, k, params.seed)?;
+    let mut model = GmmModel {
+        means,
+        variances: DenseMatrix::filled(k, d, 1.0),
+        weights: DenseMatrix::filled(1, k, 1.0 / k as f64),
+        log_likelihood: f64::NEG_INFINITY,
+        iterations: 0,
+    };
+    // Precompute sum(x^2) per column for the variance M-step: t(P) %*% X².
+    let x_sq = x.unary(UnaryOp::Square)?;
+
+    for iter in 0..params.max_iter {
+        // E-step: responsibilities P = softmax(log densities) row-wise.
+        let ld = log_densities(x, &model)?;
+        let p = ld.softmax()?;
+        // Average log-likelihood: logsumexp per row == max + log sum exp;
+        // softmax already normalized, recover via sum of densities:
+        // ll = mean over rows of logsumexp(ld). Compute with the stable
+        // decomposition max + log(sum(exp(ld - max))).
+        let row_max = ld.agg(
+            exdra_matrix::kernels::aggregates::AggOp::Max,
+            exdra_matrix::kernels::aggregates::AggDir::Row,
+        )?;
+        let shifted = ld.binary(BinaryOp::Sub, &row_max)?;
+        let sum_exp = shifted.unary(UnaryOp::Exp)?.row_sums()?;
+        let log_sum = sum_exp.unary(UnaryOp::Log)?.binary(BinaryOp::Add, &row_max)?;
+        let ll = log_sum.mean()?;
+
+        // M-step (all aggregates): Nk = colSums(P); mu = t(P)X / Nk;
+        // var = t(P)X² / Nk - mu².
+        let nk = p.col_sums()?.to_local()?;
+        let ptx = p.t_matmul(x)?.to_local()?;
+        let ptx2 = p.t_matmul(&x_sq)?.to_local()?;
+        for c in 0..k {
+            let denom = nk.get(0, c).max(1e-10);
+            model.weights.set(0, c, denom / n as f64);
+            for j in 0..d {
+                let mu = ptx.get(c, j) / denom;
+                model.means.set(c, j, mu);
+                let var = (ptx2.get(c, j) / denom - mu * mu).max(params.var_floor);
+                model.variances.set(c, j, var);
+            }
+        }
+        model.iterations = iter + 1;
+        let improvement = ll - model.log_likelihood;
+        let done = improvement.abs() < params.tol * model.log_likelihood.abs().max(1.0);
+        model.log_likelihood = ll;
+        if done && iter > 0 {
+            break;
+        }
+    }
+    Ok(model)
+}
+
+/// Per-row log-likelihood scores as a (possibly federated) tensor; low
+/// scores indicate anomalies. Keeping the result federated lets deployed
+/// pipelines flag anomalies at the sites and release only aggregate counts.
+pub fn score_tensor(x: &Tensor, model: &GmmModel) -> Result<Tensor> {
+    let ld = log_densities(x, model)?;
+    let row_max = ld.agg(
+        exdra_matrix::kernels::aggregates::AggOp::Max,
+        exdra_matrix::kernels::aggregates::AggDir::Row,
+    )?;
+    let shifted = ld.binary(BinaryOp::Sub, &row_max)?;
+    let sum_exp = shifted.unary(UnaryOp::Exp)?.row_sums()?;
+    sum_exp
+        .unary(UnaryOp::Log)?
+        .binary(BinaryOp::Add, &row_max)
+}
+
+/// Per-row scores consolidated locally (privacy-checked for federated
+/// inputs; see [`score_tensor`] for the federated deployment pattern).
+pub fn score(x: &Tensor, model: &GmmModel) -> Result<DenseMatrix> {
+    score_tensor(x, model)?.to_local()
+}
+
+/// Flags rows whose score is below the `quantile` of training scores.
+/// Returns `(threshold, flags)` where flags are 0/1.
+pub fn anomaly_threshold(scores: &DenseMatrix, quantile: f64) -> (f64, DenseMatrix) {
+    let mut sorted: Vec<f64> = scores.values().to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let idx = ((sorted.len() as f64 - 1.0) * quantile).round() as usize;
+    let threshold = sorted[idx.min(sorted.len() - 1)];
+    let flags = scores.map(|v| if v < threshold { 1.0 } else { 0.0 });
+    (threshold, flags)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synth;
+    use exdra_core::fed::FedMatrix;
+    use exdra_core::testutil::mem_federation;
+    use exdra_core::PrivacyLevel;
+
+    #[test]
+    fn recovers_blob_structure() {
+        let (x, _) = synth::blobs(400, 3, 3, 0.3, 71);
+        let model = gmm(
+            &Tensor::Local(x),
+            &GmmParams {
+                k: 3,
+                max_iter: 40,
+                ..GmmParams::default()
+            },
+        )
+        .unwrap();
+        // Weights roughly uniform (equal-sized blobs) and variances small.
+        for c in 0..3 {
+            assert!(model.weights.get(0, c) > 0.15, "degenerate weight");
+        }
+        assert!(model.iterations > 1);
+    }
+
+    #[test]
+    fn likelihood_increases_monotonically() {
+        let (x, _) = synth::blobs(300, 3, 2, 0.5, 72);
+        let t = Tensor::Local(x);
+        let mut lls = Vec::new();
+        for iters in [1usize, 3, 8] {
+            let m = gmm(
+                &t,
+                &GmmParams {
+                    k: 2,
+                    max_iter: iters,
+                    tol: 0.0,
+                    ..GmmParams::default()
+                },
+            )
+            .unwrap();
+            lls.push(m.log_likelihood);
+        }
+        assert!(lls[1] >= lls[0] - 1e-9 && lls[2] >= lls[1] - 1e-9, "{lls:?}");
+    }
+
+    #[test]
+    fn federated_equals_local() {
+        let (x, _) = synth::blobs(240, 3, 2, 0.4, 73);
+        let params = GmmParams {
+            k: 2,
+            max_iter: 5,
+            tol: 0.0,
+            ..GmmParams::default()
+        };
+        let local = gmm(&Tensor::Local(x.clone()), &params).unwrap();
+        let (ctx, _workers) = mem_federation(3);
+        let fed = FedMatrix::scatter_rows(&ctx, &x, PrivacyLevel::Public).unwrap();
+        let fed_model = gmm(&Tensor::Fed(fed), &params).unwrap();
+        assert!(
+            fed_model.means.max_abs_diff(&local.means) < 1e-7,
+            "means diff {}",
+            fed_model.means.max_abs_diff(&local.means)
+        );
+        assert!((fed_model.log_likelihood - local.log_likelihood).abs() < 1e-8);
+    }
+
+    #[test]
+    fn anomalies_score_lower() {
+        let (x, _) = synth::blobs(300, 4, 2, 0.3, 74);
+        let model = gmm(
+            &Tensor::Local(x.clone()),
+            &GmmParams {
+                k: 2,
+                ..GmmParams::default()
+            },
+        )
+        .unwrap();
+        let normal_scores = score(&Tensor::Local(x), &model).unwrap();
+        // Far-away outliers.
+        let outliers = DenseMatrix::filled(10, 4, 50.0);
+        let outlier_scores = score(&Tensor::Local(outliers), &model).unwrap();
+        let avg_normal: f64 =
+            normal_scores.values().iter().sum::<f64>() / normal_scores.len() as f64;
+        let avg_out: f64 =
+            outlier_scores.values().iter().sum::<f64>() / outlier_scores.len() as f64;
+        assert!(avg_out < avg_normal - 10.0);
+        let (_, flags) = anomaly_threshold(&normal_scores, 0.05);
+        let flagged: f64 = flags.values().iter().sum();
+        assert!((flagged / 300.0 - 0.05).abs() < 0.03);
+    }
+}
+
+/// Task-parallel training of multiple GMM instances (paper §6.3: the
+/// partially-supported pipelines include "the task-parallel training of
+/// multiple GMM instances"): each hyperparameter configuration trains on
+/// its own thread against the same (possibly federated) data. Federated
+/// requests from concurrent tasks interleave at the standing workers.
+pub fn gmm_task_parallel(x: &Tensor, configs: &[GmmParams]) -> Result<Vec<GmmModel>> {
+    let mut results: Vec<Option<Result<GmmModel>>> = Vec::new();
+    results.resize_with(configs.len(), || None);
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(configs.len());
+        for params in configs {
+            let x = x.clone();
+            handles.push(scope.spawn(move || gmm(&x, params)));
+        }
+        for (slot, h) in results.iter_mut().zip(handles) {
+            *slot = Some(h.join().unwrap_or_else(|_| {
+                Err(RuntimeError::Network("gmm task panicked".into()))
+            }));
+        }
+    });
+    results
+        .into_iter()
+        .map(|r| r.expect("every slot written"))
+        .collect()
+}
+
+#[cfg(test)]
+mod task_parallel_tests {
+    use super::*;
+    use crate::synth;
+    use exdra_core::fed::FedMatrix;
+    use exdra_core::testutil::mem_federation;
+    use exdra_core::PrivacyLevel;
+
+    #[test]
+    fn parallel_tasks_equal_sequential() {
+        let (x, _) = synth::blobs(200, 3, 3, 0.4, 91);
+        let configs: Vec<GmmParams> = (2..=4)
+            .map(|k| GmmParams {
+                k,
+                max_iter: 4,
+                tol: 0.0,
+                seed: 5,
+                ..GmmParams::default()
+            })
+            .collect();
+        let t = Tensor::Local(x);
+        let parallel = gmm_task_parallel(&t, &configs).unwrap();
+        for (params, got) in configs.iter().zip(&parallel) {
+            let want = gmm(&t, params).unwrap();
+            assert!(got.means.max_abs_diff(&want.means) < 1e-12);
+            assert_eq!(got.iterations, want.iterations);
+        }
+    }
+
+    #[test]
+    fn parallel_tasks_over_shared_federation() {
+        // Concurrent federated tasks interleave safely at the workers.
+        let (ctx, _w) = mem_federation(2);
+        let (x, _) = synth::blobs(160, 3, 2, 0.4, 92);
+        let fed = FedMatrix::scatter_rows(&ctx, &x, PrivacyLevel::Public).unwrap();
+        let configs: Vec<GmmParams> = (0..3)
+            .map(|i| GmmParams {
+                k: 2,
+                max_iter: 3,
+                tol: 0.0,
+                seed: 30 + i,
+                ..GmmParams::default()
+            })
+            .collect();
+        let fed_models = gmm_task_parallel(&Tensor::Fed(fed), &configs).unwrap();
+        let local_models = gmm_task_parallel(&Tensor::Local(x), &configs).unwrap();
+        for (f, l) in fed_models.iter().zip(&local_models) {
+            assert!(
+                f.means.max_abs_diff(&l.means) < 1e-7,
+                "federated task diverged: {}",
+                f.means.max_abs_diff(&l.means)
+            );
+        }
+    }
+}

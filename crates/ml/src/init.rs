@@ -1,0 +1,113 @@
+//! Model initialization helpers that respect privacy constraints.
+//!
+//! Sampling raw rows as initial centroids/means is the classic strategy,
+//! but raw rows of `PrivateAggregate`/`Private` federated data must not
+//! leave their site. [`rows_or_moments`] therefore falls back to a
+//! moment-based initialization — global column means jittered by column
+//! standard deviations, both of which are releasable aggregates.
+
+use exdra_core::{Result, RuntimeError, Tensor};
+use exdra_matrix::kernels::aggregates::{AggDir, AggOp};
+use exdra_matrix::rng::{rand_permutation, randn_matrix};
+use exdra_matrix::DenseMatrix;
+
+/// Draws `k` initial points: sampled raw rows when the data's privacy
+/// constraint permits it, otherwise mean ± sd jitter (releasable
+/// aggregates only).
+pub fn rows_or_moments(x: &Tensor, k: usize, seed: u64) -> Result<DenseMatrix> {
+    match sample_rows(x, k, seed) {
+        Ok(c) => Ok(c),
+        Err(RuntimeError::Privacy(_)) => moment_jitter(x, k, seed),
+        Err(e) => Err(e),
+    }
+}
+
+/// Samples `k` distinct rows (raw-data transfer; privacy-checked).
+pub fn sample_rows(x: &Tensor, k: usize, seed: u64) -> Result<DenseMatrix> {
+    let n = x.rows();
+    let d = x.cols();
+    if k > n {
+        return Err(RuntimeError::Invalid(format!("k={k} > rows={n}")));
+    }
+    let perm = rand_permutation(n, seed);
+    match x {
+        Tensor::Local(m) => {
+            let idx = exdra_matrix::kernels::reorg::index(&perm, 0, k, 0, 1)?;
+            Ok(exdra_matrix::kernels::reorg::gather_rows(m, &idx)?)
+        }
+        Tensor::Fed(_) => {
+            let mut c = DenseMatrix::zeros(k, d);
+            for i in 0..k {
+                let r = perm.get(i, 0) as usize - 1;
+                let row = x.index(r, r + 1, 0, d)?.to_local()?;
+                for j in 0..d {
+                    c.set(i, j, row.get(0, j));
+                }
+            }
+            Ok(c)
+        }
+    }
+}
+
+/// Moment-based initialization: `mean + z * sd` per point, using only
+/// releasable column aggregates.
+pub fn moment_jitter(x: &Tensor, k: usize, seed: u64) -> Result<DenseMatrix> {
+    let d = x.cols();
+    let mu = x.agg(AggOp::Mean, AggDir::Col)?.to_local()?;
+    let sd = x.agg(AggOp::Sd, AggDir::Col)?.to_local()?;
+    let z = randn_matrix(k, d, seed);
+    let mut out = DenseMatrix::zeros(k, d);
+    for c in 0..k {
+        for j in 0..d {
+            out.set(c, j, mu.get(0, j) + z.get(c, j) * sd.get(0, j).max(1e-9));
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use exdra_core::fed::FedMatrix;
+    use exdra_core::testutil::mem_federation;
+    use exdra_core::PrivacyLevel;
+    use exdra_matrix::rng::rand_matrix;
+
+    #[test]
+    fn public_data_samples_raw_rows() {
+        let x = rand_matrix(50, 4, 0.0, 1.0, 1);
+        let c = rows_or_moments(&Tensor::Local(x.clone()), 3, 2).unwrap();
+        assert_eq!(c.shape(), (3, 4));
+        // Each init point is an actual data row.
+        for i in 0..3 {
+            let found = (0..50).any(|r| {
+                (0..4).all(|j| (x.get(r, j) - c.get(i, j)).abs() < 1e-15)
+            });
+            assert!(found, "init point {i} is not a data row");
+        }
+    }
+
+    #[test]
+    fn private_data_falls_back_to_moments() {
+        let (ctx, _workers) = mem_federation(2);
+        let x = rand_matrix(60, 3, 0.0, 1.0, 3);
+        let fed = FedMatrix::scatter_rows(
+            &ctx,
+            &x,
+            PrivacyLevel::PrivateAggregate { min_group: 10 },
+        )
+        .unwrap();
+        let c = rows_or_moments(&Tensor::Fed(fed), 4, 4).unwrap();
+        assert_eq!(c.shape(), (4, 3));
+        // Points are near the data distribution (mean 0.5, sd ~0.29).
+        for v in c.values() {
+            assert!((-1.5..=2.5).contains(v), "init point out of band: {v}");
+        }
+    }
+
+    #[test]
+    fn sample_rows_rejects_k_too_large() {
+        let x = rand_matrix(3, 2, 0.0, 1.0, 5);
+        assert!(sample_rows(&Tensor::Local(x), 5, 1).is_err());
+    }
+}

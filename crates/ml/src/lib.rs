@@ -1,0 +1,26 @@
+#![warn(missing_docs)]
+//! # exdra-ml
+//!
+//! ML algorithms of the ExDRa evaluation, written against the
+//! locality-agnostic [`exdra_core::Tensor`]: the *same* function trains on a
+//! local in-memory matrix or on federated data without code changes — the
+//! paper's central systems claim (§4.2, Example 3).
+//!
+//! Batch algorithms: [`lm`] (conjugate-gradient and direct-solve linear
+//! regression), [`l2svm`], [`mlogreg`], [`kmeans`], [`pca`], [`gmm`].
+//! Mini-batch networks: [`nn`] (dense/conv layers, SGD with Nesterov
+//! momentum) — trained through the parameter server of `exdra-paramserv`.
+//! [`baselines`] holds independent, specialized single-algorithm
+//! implementations standing in for Scikit-learn/TensorFlow in Figure 7.
+
+pub mod baselines;
+pub mod gmm;
+pub mod init;
+pub mod kmeans;
+pub mod l2svm;
+pub mod lm;
+pub mod mlogreg;
+pub mod nn;
+pub mod pca;
+pub mod scoring;
+pub mod synth;

@@ -1,0 +1,231 @@
+//! Linear regression (SystemDS `lm`): conjugate-gradient solver for wide
+//! data and a direct normal-equation solver for narrow data.
+//!
+//! The paper's LM "internally calls an iterative conjugate-gradient LM
+//! method (used for ncol(X) > 1,024), where each iteration performs an
+//! `Xᵀ(Xv)` over the federated data" — exactly the fused `mmchain`
+//! instruction. The direct solver computes `XᵀX` via federated `tsmm`.
+
+use exdra_core::{Result, Tensor};
+use exdra_matrix::eigen::solve_spd;
+use exdra_matrix::kernels::matmul::matmul;
+use exdra_matrix::kernels::reorg::transpose;
+use exdra_matrix::DenseMatrix;
+
+/// Hyperparameters for linear regression.
+#[derive(Debug, Clone, Copy)]
+pub struct LmParams {
+    /// L2 regularization strength.
+    pub lambda: f64,
+    /// Maximum CG iterations.
+    pub max_iter: usize,
+    /// Relative residual tolerance for CG convergence.
+    pub tol: f64,
+    /// Column threshold above which CG is used instead of the direct
+    /// solver (SystemDS uses 1,024).
+    pub cg_threshold: usize,
+}
+
+impl Default for LmParams {
+    fn default() -> Self {
+        Self {
+            lambda: 1e-3,
+            max_iter: 100,
+            tol: 1e-9,
+            cg_threshold: 1024,
+        }
+    }
+}
+
+/// A fitted linear model.
+#[derive(Debug, Clone)]
+pub struct LmModel {
+    /// Learned weights (`d x 1`).
+    pub weights: DenseMatrix,
+    /// Iterations performed (0 for the direct solver).
+    pub iterations: usize,
+    /// Final squared-residual norm of the CG system (NaN for direct).
+    pub residual: f64,
+}
+
+/// Trains linear regression on (possibly federated) features with local
+/// labels, auto-selecting the solver by column count.
+pub fn lm(x: &Tensor, y: &DenseMatrix, params: &LmParams) -> Result<LmModel> {
+    if x.cols() > params.cg_threshold {
+        lm_cg(x, y, params)
+    } else {
+        lm_direct(x, y, params)
+    }
+}
+
+/// Conjugate-gradient solver for `(XᵀX + lambda I) w = Xᵀ y`.
+pub fn lm_cg(x: &Tensor, y: &DenseMatrix, params: &LmParams) -> Result<LmModel> {
+    let d = x.cols();
+    // r = -t(X) %*% y  (negative gradient at w = 0)
+    let xty = x.t_matmul(&Tensor::Local(y.clone()))?.to_local()?;
+    let mut r = xty.map(|v| -v);
+    let mut p = r.map(|v| -v);
+    let mut w = DenseMatrix::zeros(d, 1);
+    let mut norm_r2: f64 = r.values().iter().map(|v| v * v).sum();
+    let norm_r2_init = norm_r2;
+    let target = params.tol * params.tol * norm_r2_init;
+    let mut iterations = 0usize;
+    while iterations < params.max_iter && norm_r2 > target {
+        // q = t(X) %*% (X %*% p) + lambda p — one fused federated mmchain.
+        let mut q = x.mmchain(&p, None)?;
+        for (qv, pv) in q.values_mut().iter_mut().zip(p.values()) {
+            *qv += params.lambda * pv;
+        }
+        let pq: f64 = p.values().iter().zip(q.values()).map(|(&a, &b)| a * b).sum();
+        let alpha = norm_r2 / pq;
+        for ((wv, pv), _) in w.values_mut().iter_mut().zip(p.values()).zip(0..d) {
+            *wv += alpha * pv;
+        }
+        for (rv, qv) in r.values_mut().iter_mut().zip(q.values()) {
+            *rv += alpha * qv;
+        }
+        let norm_r2_new: f64 = r.values().iter().map(|v| v * v).sum();
+        let beta = norm_r2_new / norm_r2;
+        for (pv, rv) in p.values_mut().iter_mut().zip(r.values()) {
+            *pv = -rv + beta * *pv;
+        }
+        norm_r2 = norm_r2_new;
+        iterations += 1;
+    }
+    Ok(LmModel {
+        weights: w,
+        iterations,
+        residual: norm_r2,
+    })
+}
+
+/// Direct solver via federated `tsmm` and a local Cholesky solve.
+pub fn lm_direct(x: &Tensor, y: &DenseMatrix, params: &LmParams) -> Result<LmModel> {
+    let mut gram = x.tsmm()?;
+    for i in 0..gram.rows() {
+        let v = gram.get(i, i);
+        gram.set(i, i, v + params.lambda);
+    }
+    let xty = x.t_matmul(&Tensor::Local(y.clone()))?.to_local()?;
+    let w = solve_spd(&gram, &xty)?;
+    Ok(LmModel {
+        weights: w,
+        iterations: 0,
+        residual: f64::NAN,
+    })
+}
+
+/// Predicts `X w` (stays federated for federated inputs until
+/// consolidated).
+pub fn predict(x: &Tensor, model: &LmModel) -> Result<Tensor> {
+    x.matmul(&Tensor::Local(model.weights.clone()))
+}
+
+/// Local prediction convenience.
+pub fn predict_local(x: &DenseMatrix, model: &LmModel) -> Result<DenseMatrix> {
+    Ok(matmul(x, &model.weights)?)
+}
+
+/// Squared loss of a model on local data (for tests).
+pub fn loss_local(x: &DenseMatrix, y: &DenseMatrix, model: &LmModel) -> Result<f64> {
+    let pred = predict_local(x, model)?;
+    let d = pred.zip(y, "-", |a, b| a - b)?;
+    Ok(d.values().iter().map(|v| v * v).sum::<f64>() / y.rows() as f64)
+}
+
+/// Reference solution via explicit normal equations (tests only).
+pub fn normal_equations(x: &DenseMatrix, y: &DenseMatrix, lambda: f64) -> Result<DenseMatrix> {
+    let xt = transpose(x);
+    let mut gram = matmul(&xt, x)?;
+    for i in 0..gram.rows() {
+        let v = gram.get(i, i);
+        gram.set(i, i, v + lambda);
+    }
+    let rhs = matmul(&xt, y)?;
+    Ok(solve_spd(&gram, &rhs)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synth;
+    use exdra_core::fed::FedMatrix;
+    use exdra_core::testutil::mem_federation;
+    use exdra_core::PrivacyLevel;
+
+    #[test]
+    fn cg_matches_normal_equations_local() {
+        let (x, y, _) = synth::regression(300, 8, 0.1, 21);
+        let params = LmParams {
+            lambda: 1e-3,
+            max_iter: 200,
+            tol: 1e-12,
+            cg_threshold: 0,
+        };
+        let model = lm(&Tensor::Local(x.clone()), &y, &params).unwrap();
+        assert!(model.iterations > 0, "CG path taken");
+        let direct = normal_equations(&x, &y, params.lambda).unwrap();
+        assert!(model.weights.max_abs_diff(&direct) < 1e-6);
+    }
+
+    #[test]
+    fn direct_solver_for_narrow_data() {
+        let (x, y, _) = synth::regression(200, 5, 0.1, 22);
+        let model = lm(&Tensor::Local(x.clone()), &y, &LmParams::default()).unwrap();
+        assert_eq!(model.iterations, 0, "direct path taken");
+        let want = normal_equations(&x, &y, LmParams::default().lambda).unwrap();
+        assert!(model.weights.max_abs_diff(&want) < 1e-8);
+    }
+
+    #[test]
+    fn recovers_true_weights_noiseless() {
+        let (x, y, beta) = synth::regression(400, 6, 0.0, 23);
+        let params = LmParams {
+            lambda: 1e-9,
+            ..LmParams::default()
+        };
+        let model = lm(&Tensor::Local(x), &y, &params).unwrap();
+        assert!(model.weights.max_abs_diff(&beta) < 1e-5);
+    }
+
+    #[test]
+    fn federated_cg_equals_local_cg() {
+        let (x, y, _) = synth::regression(240, 7, 0.2, 24);
+        let params = LmParams {
+            lambda: 1e-2,
+            max_iter: 50,
+            tol: 1e-12,
+            cg_threshold: 0,
+        };
+        let local = lm(&Tensor::Local(x.clone()), &y, &params).unwrap();
+        let (ctx, _workers) = mem_federation(3);
+        let fed = FedMatrix::scatter_rows(&ctx, &x, PrivacyLevel::Public).unwrap();
+        let fed_model = lm(&Tensor::Fed(fed), &y, &params).unwrap();
+        assert!(fed_model.weights.max_abs_diff(&local.weights) < 1e-9);
+        assert_eq!(fed_model.iterations, local.iterations);
+    }
+
+    #[test]
+    fn federated_direct_equals_local_direct() {
+        let (x, y, _) = synth::regression(150, 4, 0.1, 25);
+        let local = lm_direct(&Tensor::Local(x.clone()), &y, &LmParams::default()).unwrap();
+        let (ctx, _workers) = mem_federation(2);
+        let fed = FedMatrix::scatter_rows(&ctx, &x, PrivacyLevel::Public).unwrap();
+        let fed_model = lm_direct(&Tensor::Fed(fed), &y, &LmParams::default()).unwrap();
+        assert!(fed_model.weights.max_abs_diff(&local.weights) < 1e-9);
+    }
+
+    #[test]
+    fn prediction_reduces_loss_vs_zero_model() {
+        let (x, y, _) = synth::regression(200, 5, 0.5, 26);
+        let model = lm(&Tensor::Local(x.clone()), &y, &LmParams::default()).unwrap();
+        let zero = LmModel {
+            weights: DenseMatrix::zeros(5, 1),
+            iterations: 0,
+            residual: f64::NAN,
+        };
+        assert!(
+            loss_local(&x, &y, &model).unwrap() < loss_local(&x, &y, &zero).unwrap() / 2.0
+        );
+    }
+}

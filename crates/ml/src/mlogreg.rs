@@ -1,0 +1,218 @@
+//! Multinomial (multi-class) logistic regression (SystemDS `multiLogReg`).
+//!
+//! Newton-CG in spirit: each outer iteration computes class probabilities
+//! and a gradient; the inner conjugate-gradient loop solves the Newton
+//! system, where "each inner iteration performs an `Xᵀ(w ⊙ (Xv))` on the
+//! federated X" (paper §6.2) — the weighted `mmchain` instruction. We run
+//! one CG solve per class block against the diagonal Fisher approximation,
+//! which preserves the exact federated access pattern.
+
+use exdra_core::{Result, Tensor};
+use exdra_matrix::kernels::elementwise::BinaryOp;
+use exdra_matrix::DenseMatrix;
+
+use crate::synth::one_hot;
+
+/// Hyperparameters for multinomial logistic regression.
+#[derive(Debug, Clone, Copy)]
+pub struct MLogRegParams {
+    /// L2 regularization strength.
+    pub lambda: f64,
+    /// Maximum outer (Newton) iterations.
+    pub max_outer: usize,
+    /// Maximum inner (CG) iterations per class and outer step.
+    pub max_inner: usize,
+    /// Gradient-norm convergence tolerance.
+    pub tol: f64,
+}
+
+impl Default for MLogRegParams {
+    fn default() -> Self {
+        Self {
+            lambda: 1e-3,
+            max_outer: 10,
+            max_inner: 5,
+            tol: 1e-6,
+        }
+    }
+}
+
+/// A fitted multinomial logistic regression model.
+#[derive(Debug, Clone)]
+pub struct MLogRegModel {
+    /// Weights (`d x k`).
+    pub weights: DenseMatrix,
+    /// Number of classes.
+    pub classes: usize,
+    /// Outer iterations performed.
+    pub iterations: usize,
+}
+
+/// Class probabilities `softmax(X W)`; stays federated for federated `x`.
+fn probabilities(x: &Tensor, w: &DenseMatrix) -> Result<Tensor> {
+    x.matmul(&Tensor::Local(w.clone()))?.softmax()
+}
+
+/// Trains multinomial logistic regression on (possibly federated) features
+/// with local 1-based labels.
+pub fn mlogreg(
+    x: &Tensor,
+    y: &DenseMatrix,
+    classes: usize,
+    params: &MLogRegParams,
+) -> Result<MLogRegModel> {
+    let n = x.rows();
+    let d = x.cols();
+    assert_eq!(y.shape(), (n, 1), "labels must be n x 1, 1-based");
+    let y1h = one_hot(y, classes);
+    let mut w = DenseMatrix::zeros(d, classes);
+    let mut iterations = 0usize;
+
+    while iterations < params.max_outer {
+        // P = softmax(X W) — federated when X is federated.
+        let p = probabilities(x, &w)?;
+        // Residual R = P - Y (co-partitioned with X when federated).
+        let r = p.binary(BinaryOp::Sub, &Tensor::Local(y1h.clone()))?;
+        // Gradient G = t(X) %*% R / n + lambda W — aligned federated
+        // matmul of two co-partitioned matrices (paper §4.2).
+        let mut g = x.t_matmul(&r)?.to_local()?;
+        for (gv, wv) in g.values_mut().iter_mut().zip(w.values()) {
+            *gv = *gv / n as f64 + params.lambda * wv;
+        }
+        let gnorm: f64 = g.values().iter().map(|v| v * v).sum::<f64>().sqrt();
+        if gnorm < params.tol {
+            break;
+        }
+        // Newton direction per class block via CG on the diagonal Fisher
+        // approximation: H_c v = Xᵀ (q_c ⊙ (X v)) / n + lambda v, with
+        // q_c = p_c (1 - p_c). The q_c vector is consolidated (size n, the
+        // "vectors in the number of rows" exchange of §6.2).
+        let pl = p.to_local()?;
+        for c in 0..classes {
+            let mut q = DenseMatrix::zeros(n, 1);
+            for i in 0..n {
+                let pc = pl.get(i, c);
+                q.set(i, 0, (pc * (1.0 - pc)).max(1e-6));
+            }
+            // Solve H_c s = g_c by CG (few iterations suffice for a
+            // Newton-CG step).
+            let mut gc = DenseMatrix::zeros(d, 1);
+            for j in 0..d {
+                gc.set(j, 0, g.get(j, c));
+            }
+            let mut s = DenseMatrix::zeros(d, 1);
+            let mut resid = gc.clone();
+            let mut dir = resid.clone();
+            let mut rr: f64 = resid.values().iter().map(|v| v * v).sum();
+            for _ in 0..params.max_inner {
+                if rr < 1e-18 {
+                    break;
+                }
+                // Hd = Xᵀ (q ⊙ (X dir)) / n + lambda dir — weighted mmchain.
+                let mut hd = x.mmchain(&dir, Some(&q))?;
+                for (hv, dv) in hd.values_mut().iter_mut().zip(dir.values()) {
+                    *hv = *hv / n as f64 + params.lambda * dv;
+                }
+                let dh: f64 = dir.values().iter().zip(hd.values()).map(|(&a, &b)| a * b).sum();
+                let alpha = rr / dh.max(1e-300);
+                for (sv, dv) in s.values_mut().iter_mut().zip(dir.values()) {
+                    *sv += alpha * dv;
+                }
+                for (rv, hv) in resid.values_mut().iter_mut().zip(hd.values()) {
+                    *rv -= alpha * hv;
+                }
+                let rr_new: f64 = resid.values().iter().map(|v| v * v).sum();
+                let beta = rr_new / rr;
+                for (dv, rv) in dir.values_mut().iter_mut().zip(resid.values()) {
+                    *dv = rv + beta * *dv;
+                }
+                rr = rr_new;
+            }
+            for j in 0..d {
+                let v = w.get(j, c) - s.get(j, 0);
+                w.set(j, c, v);
+            }
+        }
+        iterations += 1;
+    }
+    Ok(MLogRegModel {
+        weights: w,
+        classes,
+        iterations,
+    })
+}
+
+/// Predicts 1-based class labels.
+pub fn predict(x: &Tensor, model: &MLogRegModel) -> Result<DenseMatrix> {
+    let p = probabilities(x, &model.weights)?;
+    p.row_index_max()?.to_local()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scoring::accuracy;
+    use crate::synth;
+    use exdra_core::fed::FedMatrix;
+    use exdra_core::testutil::mem_federation;
+    use exdra_core::PrivacyLevel;
+
+    #[test]
+    fn blobs_classified_accurately() {
+        let (x, y) = synth::multi_class(600, 5, 3, 0.4, 41);
+        let model = mlogreg(&Tensor::Local(x.clone()), &y, 3, &MLogRegParams::default()).unwrap();
+        let pred = predict(&Tensor::Local(x), &model).unwrap();
+        assert!(accuracy(&pred, &y).unwrap() > 0.95, "acc too low");
+    }
+
+    #[test]
+    fn federated_equals_local() {
+        let (x, y) = synth::multi_class(300, 4, 3, 0.5, 42);
+        let params = MLogRegParams {
+            max_outer: 4,
+            ..MLogRegParams::default()
+        };
+        let local = mlogreg(&Tensor::Local(x.clone()), &y, 3, &params).unwrap();
+        let (ctx, _workers) = mem_federation(3);
+        let fed = FedMatrix::scatter_rows(&ctx, &x, PrivacyLevel::Public).unwrap();
+        let fed_model = mlogreg(&Tensor::Fed(fed), &y, 3, &params).unwrap();
+        assert!(
+            fed_model.weights.max_abs_diff(&local.weights) < 1e-7,
+            "diff {}",
+            fed_model.weights.max_abs_diff(&local.weights)
+        );
+    }
+
+    #[test]
+    fn more_outer_iterations_do_not_hurt() {
+        let (x, y) = synth::multi_class(400, 4, 4, 0.6, 43);
+        let short = mlogreg(
+            &Tensor::Local(x.clone()),
+            &y,
+            4,
+            &MLogRegParams {
+                max_outer: 1,
+                ..MLogRegParams::default()
+            },
+        )
+        .unwrap();
+        let long = mlogreg(&Tensor::Local(x.clone()), &y, 4, &MLogRegParams::default()).unwrap();
+        let acc_s = accuracy(&predict(&Tensor::Local(x.clone()), &short).unwrap(), &y).unwrap();
+        let acc_l = accuracy(&predict(&Tensor::Local(x), &long).unwrap(), &y).unwrap();
+        assert!(acc_l >= acc_s - 0.02, "long {acc_l} vs short {acc_s}");
+    }
+
+    #[test]
+    fn probabilities_rows_sum_to_one() {
+        let (x, y) = synth::multi_class(100, 3, 3, 0.5, 44);
+        let model = mlogreg(&Tensor::Local(x.clone()), &y, 3, &MLogRegParams::default()).unwrap();
+        let p = probabilities(&Tensor::Local(x), &model.weights)
+            .unwrap()
+            .to_local()
+            .unwrap();
+        for r in 0..p.rows() {
+            let s: f64 = p.row(r).iter().sum();
+            assert!((s - 1.0).abs() < 1e-10);
+        }
+    }
+}

@@ -1,0 +1,122 @@
+//! Model evaluation metrics.
+
+use exdra_matrix::{DenseMatrix, MatrixError, Result};
+
+/// Root mean squared error between predictions and targets.
+pub fn rmse(pred: &DenseMatrix, truth: &DenseMatrix) -> Result<f64> {
+    check(pred, truth, "rmse")?;
+    let n = pred.len() as f64;
+    let sse: f64 = pred
+        .values()
+        .iter()
+        .zip(truth.values())
+        .map(|(&p, &t)| (p - t) * (p - t))
+        .sum();
+    Ok((sse / n).sqrt())
+}
+
+/// Coefficient of determination R².
+pub fn r2(pred: &DenseMatrix, truth: &DenseMatrix) -> Result<f64> {
+    check(pred, truth, "r2")?;
+    let n = truth.len() as f64;
+    let mean = truth.values().iter().sum::<f64>() / n;
+    let ss_tot: f64 = truth.values().iter().map(|&t| (t - mean) * (t - mean)).sum();
+    let ss_res: f64 = pred
+        .values()
+        .iter()
+        .zip(truth.values())
+        .map(|(&p, &t)| (p - t) * (p - t))
+        .sum();
+    if ss_tot == 0.0 {
+        return Err(MatrixError::InvalidArgument {
+            op: "r2",
+            msg: "constant target".into(),
+        });
+    }
+    Ok(1.0 - ss_res / ss_tot)
+}
+
+/// Fraction of exactly matching labels.
+pub fn accuracy(pred: &DenseMatrix, truth: &DenseMatrix) -> Result<f64> {
+    check(pred, truth, "accuracy")?;
+    let hits = pred
+        .values()
+        .iter()
+        .zip(truth.values())
+        .filter(|(p, t)| p == t)
+        .count();
+    Ok(hits as f64 / pred.len() as f64)
+}
+
+/// Confusion matrix for 1-based labels (`k x k`, rows = truth).
+pub fn confusion(pred: &DenseMatrix, truth: &DenseMatrix, k: usize) -> Result<DenseMatrix> {
+    check(pred, truth, "confusion")?;
+    let mut out = DenseMatrix::zeros(k, k);
+    for (&p, &t) in pred.values().iter().zip(truth.values()) {
+        let (pi, ti) = (p as usize, t as usize);
+        if pi < 1 || pi > k || ti < 1 || ti > k {
+            return Err(MatrixError::InvalidArgument {
+                op: "confusion",
+                msg: format!("label out of 1..={k}: pred {p}, truth {t}"),
+            });
+        }
+        let cur = out.get(ti - 1, pi - 1);
+        out.set(ti - 1, pi - 1, cur + 1.0);
+    }
+    Ok(out)
+}
+
+fn check(a: &DenseMatrix, b: &DenseMatrix, op: &'static str) -> Result<()> {
+    if a.shape() != b.shape() || a.is_empty() {
+        return Err(MatrixError::DimensionMismatch {
+            op,
+            lhs: a.shape(),
+            rhs: b.shape(),
+        });
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rmse_and_r2_perfect_fit() {
+        let t = DenseMatrix::col_vector(&[1., 2., 3.]);
+        assert_eq!(rmse(&t, &t).unwrap(), 0.0);
+        assert_eq!(r2(&t, &t).unwrap(), 1.0);
+    }
+
+    #[test]
+    fn r2_of_mean_prediction_is_zero() {
+        let t = DenseMatrix::col_vector(&[1., 2., 3.]);
+        let p = DenseMatrix::col_vector(&[2., 2., 2.]);
+        assert!(r2(&p, &t).unwrap().abs() < 1e-12);
+    }
+
+    #[test]
+    fn accuracy_counts_matches() {
+        let t = DenseMatrix::col_vector(&[1., 2., 2., 3.]);
+        let p = DenseMatrix::col_vector(&[1., 2., 3., 3.]);
+        assert_eq!(accuracy(&p, &t).unwrap(), 0.75);
+    }
+
+    #[test]
+    fn confusion_layout() {
+        let t = DenseMatrix::col_vector(&[1., 2., 2.]);
+        let p = DenseMatrix::col_vector(&[1., 1., 2.]);
+        let c = confusion(&p, &t, 2).unwrap();
+        assert_eq!(c.get(0, 0), 1.0); // truth 1 pred 1
+        assert_eq!(c.get(1, 0), 1.0); // truth 2 pred 1
+        assert_eq!(c.get(1, 1), 1.0); // truth 2 pred 2
+        assert!(confusion(&p, &t, 1).is_err());
+    }
+
+    #[test]
+    fn shape_mismatch_rejected() {
+        let a = DenseMatrix::col_vector(&[1.]);
+        let b = DenseMatrix::col_vector(&[1., 2.]);
+        assert!(rmse(&a, &b).is_err());
+    }
+}

@@ -1,0 +1,74 @@
+//! Length-prefixed message framing over any byte stream.
+//!
+//! Every message on the wire is `[u32 length LE][payload]`. A maximum frame
+//! size guards against corrupt prefixes. The same framing is used by plain,
+//! encrypted, and shaped channels.
+
+use std::io::{self, Read, Write};
+
+/// Maximum accepted frame payload (256 MiB) — larger prefixes indicate
+/// corruption or protocol mismatch.
+pub const MAX_FRAME: u32 = 256 * 1024 * 1024;
+
+/// Writes one length-prefixed frame.
+pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> io::Result<()> {
+    let len = u32::try_from(payload.len())
+        .map_err(|_| io::Error::new(io::ErrorKind::InvalidInput, "frame too large"))?;
+    if len > MAX_FRAME {
+        return Err(io::Error::new(io::ErrorKind::InvalidInput, "frame too large"));
+    }
+    w.write_all(&len.to_le_bytes())?;
+    w.write_all(payload)?;
+    w.flush()
+}
+
+/// Reads one length-prefixed frame.
+pub fn read_frame(r: &mut impl Read) -> io::Result<Vec<u8>> {
+    let mut len_bytes = [0u8; 4];
+    r.read_exact(&mut len_bytes)?;
+    let len = u32::from_le_bytes(len_bytes);
+    if len > MAX_FRAME {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("frame length {len} exceeds maximum"),
+        ));
+    }
+    let mut payload = vec![0u8; len as usize];
+    r.read_exact(&mut payload)?;
+    Ok(payload)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn frame_roundtrip() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"hello").unwrap();
+        write_frame(&mut buf, b"").unwrap();
+        write_frame(&mut buf, &[7u8; 1000]).unwrap();
+        let mut c = Cursor::new(buf);
+        assert_eq!(read_frame(&mut c).unwrap(), b"hello");
+        assert_eq!(read_frame(&mut c).unwrap(), b"");
+        assert_eq!(read_frame(&mut c).unwrap(), vec![7u8; 1000]);
+    }
+
+    #[test]
+    fn oversized_prefix_rejected() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&u32::MAX.to_le_bytes());
+        let mut c = Cursor::new(buf);
+        assert!(read_frame(&mut c).is_err());
+    }
+
+    #[test]
+    fn truncated_payload_errors() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&10u32.to_le_bytes());
+        buf.extend_from_slice(b"abc");
+        let mut c = Cursor::new(buf);
+        assert!(read_frame(&mut c).is_err());
+    }
+}

@@ -1,0 +1,132 @@
+//! Network condition simulation.
+//!
+//! The paper's WAN experiments run the coordinator in Copenhagen and
+//! workers in Graz: "round-trip latency of about 35-60 ms, and data
+//! transfer bandwidth of about 1.4-2 MB/s". We reproduce those two effects
+//! — latency per message and transfer time per byte — by shaping the send
+//! path of a channel. Sleeps are real wall-clock time so end-to-end
+//! runtimes reflect the same costs the paper measures; a `scale` factor
+//! lets the harness shrink them proportionally for fast runs.
+
+use std::time::Duration;
+
+/// Link profile applied to each message on the send path.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NetProfile {
+    /// One-way latency added per message, in milliseconds.
+    pub one_way_latency_ms: f64,
+    /// Link bandwidth in bytes per second (`f64::INFINITY` = unshaped).
+    pub bandwidth_bytes_per_sec: f64,
+}
+
+impl NetProfile {
+    /// Unshaped local-area profile: loopback/LAN latency and bandwidth are
+    /// left to the real socket (the paper's 10 Gb LAN is likewise unshaped
+    /// relative to its workloads).
+    pub fn lan() -> Self {
+        Self {
+            one_way_latency_ms: 0.0,
+            bandwidth_bytes_per_sec: f64::INFINITY,
+        }
+    }
+
+    /// The paper's measured WAN band: ~40 ms RTT (20 ms one-way) and
+    /// ~1.7 MB/s.
+    pub fn wan() -> Self {
+        Self {
+            one_way_latency_ms: 20.0,
+            bandwidth_bytes_per_sec: 1.7e6,
+        }
+    }
+
+    /// Custom profile from round-trip latency and bandwidth in MB/s.
+    pub fn custom(rtt_ms: f64, mbps: f64) -> Self {
+        Self {
+            one_way_latency_ms: rtt_ms / 2.0,
+            bandwidth_bytes_per_sec: mbps * 1e6,
+        }
+    }
+
+    /// Scales delays down by `factor` (e.g. 0.1 = ten times faster), for
+    /// quick experiment runs; relative overheads are preserved because both
+    /// the latency and transfer terms scale together.
+    pub fn scaled(self, factor: f64) -> Self {
+        Self {
+            one_way_latency_ms: self.one_way_latency_ms * factor,
+            bandwidth_bytes_per_sec: if self.bandwidth_bytes_per_sec.is_finite() {
+                self.bandwidth_bytes_per_sec / factor
+            } else {
+                self.bandwidth_bytes_per_sec
+            },
+        }
+    }
+
+    /// True when the profile adds no shaping at all.
+    pub fn is_unshaped(&self) -> bool {
+        self.one_way_latency_ms == 0.0 && self.bandwidth_bytes_per_sec.is_infinite()
+    }
+
+    /// The simulated delay for sending one message of `bytes`.
+    pub fn delay_for(&self, bytes: usize) -> Duration {
+        let latency = self.one_way_latency_ms / 1e3;
+        let transfer = if self.bandwidth_bytes_per_sec.is_finite() {
+            bytes as f64 / self.bandwidth_bytes_per_sec
+        } else {
+            0.0
+        };
+        Duration::from_secs_f64(latency + transfer)
+    }
+
+    /// Sleeps for the simulated delay of one `bytes`-sized message.
+    pub fn apply(&self, bytes: usize) {
+        if !self.is_unshaped() {
+            std::thread::sleep(self.delay_for(bytes));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lan_is_unshaped() {
+        assert!(NetProfile::lan().is_unshaped());
+        assert_eq!(NetProfile::lan().delay_for(1 << 20), Duration::ZERO);
+    }
+
+    #[test]
+    fn wan_delay_combines_latency_and_transfer() {
+        let p = NetProfile::wan();
+        let d = p.delay_for(1_700_000); // 1.7 MB at 1.7 MB/s = 1 s
+        assert!((d.as_secs_f64() - 1.02).abs() < 1e-9, "{d:?}");
+    }
+
+    #[test]
+    fn custom_profile_from_rtt() {
+        let p = NetProfile::custom(50.0, 2.0);
+        assert_eq!(p.one_way_latency_ms, 25.0);
+        assert_eq!(p.bandwidth_bytes_per_sec, 2e6);
+    }
+
+    #[test]
+    fn scaling_preserves_ratio() {
+        let p = NetProfile::wan();
+        let s = p.scaled(0.1);
+        let big = 1 << 20;
+        let ratio = p.delay_for(big).as_secs_f64() / s.delay_for(big).as_secs_f64();
+        assert!((ratio - 10.0).abs() < 1e-6);
+        let ratio_small = p.delay_for(64).as_secs_f64() / s.delay_for(64).as_secs_f64();
+        // Nanosecond rounding in Duration loosens the small-message ratio.
+        assert!((ratio_small - 10.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn apply_sleeps_approximately() {
+        let p = NetProfile::custom(10.0, 1000.0);
+        let t0 = std::time::Instant::now();
+        p.apply(0);
+        let elapsed = t0.elapsed();
+        assert!(elapsed >= Duration::from_millis(4), "{elapsed:?}");
+    }
+}

@@ -1,0 +1,127 @@
+//! Per-channel network accounting.
+//!
+//! The communication experiments (paper Figure 6 and the scalability
+//! discussion of Figure 5) need bytes-moved and time-in-network per
+//! configuration; [`NetStats`] is a cheap atomic counter bundle shared
+//! between a channel wrapper and the reporting harness.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Atomic counters for one logical connection (or an aggregate of many).
+#[derive(Debug, Default)]
+pub struct NetStats {
+    bytes_sent: AtomicU64,
+    bytes_received: AtomicU64,
+    messages_sent: AtomicU64,
+    messages_received: AtomicU64,
+    /// Nanoseconds spent blocked in send/recv calls.
+    network_nanos: AtomicU64,
+}
+
+impl NetStats {
+    /// Creates a zeroed, shareable counter bundle.
+    pub fn shared() -> Arc<Self> {
+        Arc::new(Self::default())
+    }
+
+    /// Records an outbound message of `bytes` taking `nanos`.
+    pub fn record_send(&self, bytes: u64, nanos: u64) {
+        self.bytes_sent.fetch_add(bytes, Ordering::Relaxed);
+        self.messages_sent.fetch_add(1, Ordering::Relaxed);
+        self.network_nanos.fetch_add(nanos, Ordering::Relaxed);
+    }
+
+    /// Records an inbound message of `bytes` taking `nanos`.
+    pub fn record_recv(&self, bytes: u64, nanos: u64) {
+        self.bytes_received.fetch_add(bytes, Ordering::Relaxed);
+        self.messages_received.fetch_add(1, Ordering::Relaxed);
+        self.network_nanos.fetch_add(nanos, Ordering::Relaxed);
+    }
+
+    /// Total bytes sent.
+    pub fn bytes_sent(&self) -> u64 {
+        self.bytes_sent.load(Ordering::Relaxed)
+    }
+
+    /// Total bytes received.
+    pub fn bytes_received(&self) -> u64 {
+        self.bytes_received.load(Ordering::Relaxed)
+    }
+
+    /// Total messages sent.
+    pub fn messages_sent(&self) -> u64 {
+        self.messages_sent.load(Ordering::Relaxed)
+    }
+
+    /// Total messages received.
+    pub fn messages_received(&self) -> u64 {
+        self.messages_received.load(Ordering::Relaxed)
+    }
+
+    /// Total seconds spent blocked in the network layer.
+    pub fn network_seconds(&self) -> f64 {
+        self.network_nanos.load(Ordering::Relaxed) as f64 / 1e9
+    }
+
+    /// Resets all counters (between experiment repetitions).
+    pub fn reset(&self) {
+        self.bytes_sent.store(0, Ordering::Relaxed);
+        self.bytes_received.store(0, Ordering::Relaxed);
+        self.messages_sent.store(0, Ordering::Relaxed);
+        self.messages_received.store(0, Ordering::Relaxed);
+        self.network_nanos.store(0, Ordering::Relaxed);
+    }
+
+    /// One-line human-readable summary.
+    pub fn summary(&self) -> String {
+        format!(
+            "sent {} msgs / {:.2} MB, recv {} msgs / {:.2} MB, {:.3}s in network",
+            self.messages_sent(),
+            self.bytes_sent() as f64 / 1e6,
+            self.messages_received(),
+            self.bytes_received() as f64 / 1e6,
+            self.network_seconds()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_reset() {
+        let s = NetStats::shared();
+        s.record_send(100, 1_000_000);
+        s.record_send(50, 500_000);
+        s.record_recv(10, 100_000);
+        assert_eq!(s.bytes_sent(), 150);
+        assert_eq!(s.messages_sent(), 2);
+        assert_eq!(s.bytes_received(), 10);
+        assert!((s.network_seconds() - 0.0016).abs() < 1e-9);
+        s.reset();
+        assert_eq!(s.bytes_sent(), 0);
+        assert_eq!(s.messages_received(), 0);
+    }
+
+    #[test]
+    fn concurrent_updates_race_free() {
+        let s = NetStats::shared();
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let s = Arc::clone(&s);
+                std::thread::spawn(move || {
+                    for _ in 0..1000 {
+                        s.record_send(1, 1);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(s.bytes_sent(), 8000);
+        assert_eq!(s.messages_sent(), 8000);
+    }
+}

@@ -1,0 +1,103 @@
+//! Imbalance and skew handling (paper §4.3).
+//!
+//! Federated partitions differ in size ("statistical heterogeneity"); an
+//! equal number of epochs then means different iteration counts, stalls in
+//! BSP, and biased updates dominated by the largest site. The paper's
+//! current approach — "replication with adjusted weights" — replicates
+//! small partitions up to rough parity and weights each site's update by
+//! its *original* data fraction.
+
+/// Balancing strategy for heterogeneous partition sizes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BalanceStrategy {
+    /// Use partitions as-is; aggregate weighted by data fraction.
+    None,
+    /// Replicate small partitions to approximate the largest, with
+    /// aggregation weights still proportional to the original sizes.
+    ReplicateToMax,
+}
+
+/// Per-worker balancing plan.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BalancePlan {
+    /// Replication factor per worker (>= 1).
+    pub replication: Vec<usize>,
+    /// Aggregation weight per worker (sums to 1, proportional to the
+    /// original partition sizes).
+    pub weights: Vec<f64>,
+}
+
+/// Computes the balancing plan for the given partition sizes.
+pub fn plan(sizes: &[usize], strategy: BalanceStrategy) -> BalancePlan {
+    assert!(!sizes.is_empty(), "at least one partition");
+    let total: usize = sizes.iter().sum();
+    let weights: Vec<f64> = sizes
+        .iter()
+        .map(|&s| {
+            if total == 0 {
+                1.0 / sizes.len() as f64
+            } else {
+                s as f64 / total as f64
+            }
+        })
+        .collect();
+    let replication = match strategy {
+        BalanceStrategy::None => vec![1; sizes.len()],
+        BalanceStrategy::ReplicateToMax => {
+            let max = sizes.iter().copied().max().unwrap_or(1).max(1);
+            sizes
+                .iter()
+                .map(|&s| {
+                    if s == 0 {
+                        1
+                    } else {
+                        // Round to nearest factor, at least 1.
+                        ((max as f64 / s as f64).round() as usize).max(1)
+                    }
+                })
+                .collect()
+        }
+    };
+    BalancePlan {
+        replication,
+        weights,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn weights_proportional_to_sizes() {
+        let p = plan(&[100, 300], BalanceStrategy::None);
+        assert_eq!(p.replication, vec![1, 1]);
+        assert!((p.weights[0] - 0.25).abs() < 1e-12);
+        assert!((p.weights[1] - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn replication_approaches_parity() {
+        let p = plan(&[100, 400, 1000], BalanceStrategy::ReplicateToMax);
+        assert_eq!(p.replication, vec![10, 3, 1]);
+        // Weights stay proportional to the original sizes, not the
+        // replicated ones (the "adjusted weights" of §4.3).
+        assert!((p.weights[2] - 1000.0 / 1500.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn balanced_partitions_unchanged() {
+        let p = plan(&[500, 500, 500], BalanceStrategy::ReplicateToMax);
+        assert_eq!(p.replication, vec![1, 1, 1]);
+        for w in &p.weights {
+            assert!((w - 1.0 / 3.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn weights_sum_to_one() {
+        let p = plan(&[7, 13, 29, 51], BalanceStrategy::ReplicateToMax);
+        let s: f64 = p.weights.iter().sum();
+        assert!((s - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,483 @@
+//! The federated parameter server (paper §4.3).
+//!
+//! Architecture: the server runs at the coordinator; workers at the
+//! federated sites compute gradients on their private partitions. "During
+//! setup, we serialize the gradient and update functions and send them to
+//! the workers" — here the functions are installed by name
+//! ([`install_ps_udf`], see DESIGN.md §4 on the substitution) and invoked
+//! through `EXEC_UDF` requests. "Depending on the update frequency, the
+//! model is updated at the worker, and after a fixed number of batches,
+//! the accrued gradients are sent to the server for aggregation."
+//!
+//! Only models and model deltas cross the network; the raw federated
+//! partitions never do.
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use exdra_core::coordinator::expect_data;
+use exdra_core::fed::FedMatrix;
+use exdra_core::protocol::Request;
+use exdra_core::udf::Udf;
+use exdra_core::worker::Worker;
+use exdra_core::{DataValue, FedContext, Result, RuntimeError};
+use exdra_matrix::kernels::reorg;
+use exdra_matrix::{DenseMatrix, Matrix};
+
+use exdra_ml::nn::{Network, Sgd};
+
+use crate::balance::BalancePlan;
+use crate::local::PsRun;
+use crate::{axpy_model, model_delta, PsConfig, UpdateType};
+
+/// Registry name of the parameter-server epoch function.
+pub const PS_EPOCH_UDF: &str = "ps.epoch";
+
+fn model_to_value(model: &[DenseMatrix]) -> DataValue {
+    DataValue::List(
+        model
+            .iter()
+            .map(|m| DataValue::Matrix(Matrix::Dense(m.clone())))
+            .collect(),
+    )
+}
+
+fn value_to_model(v: &DataValue) -> Result<Vec<DenseMatrix>> {
+    match v {
+        DataValue::List(items) => items.iter().map(|i| i.to_dense()).collect(),
+        other => Err(RuntimeError::Invalid(format!(
+            "expected model list, found {}",
+            other.type_name()
+        ))),
+    }
+}
+
+/// Installs the gradient/update function on a worker (the setup-time
+/// function shipment of §4.3). The network architecture is captured; model
+/// parameters arrive with every invocation.
+pub fn install_ps_udf(worker: &Worker, net: Network) {
+    worker.register_udf(
+        PS_EPOCH_UDF,
+        Arc::new(move |symbols, args| {
+            // symbols: [X partition, y one-hot partition]
+            // args: [model list, lr, momentum, nesterov, batch_size, seed]
+            if symbols.len() != 2 || args.len() != 6 {
+                return Err(RuntimeError::Invalid(format!(
+                    "ps.epoch: expected 2 symbols + 6 args, got {} + {}",
+                    symbols.len(),
+                    args.len()
+                )));
+            }
+            let x = symbols[0].to_dense()?;
+            let y = symbols[1].to_dense()?;
+            let snapshot = value_to_model(&args[0])?;
+            let lr = args[1].as_scalar()?;
+            let momentum = args[2].as_scalar()?;
+            let nesterov = args[3].as_scalar()? != 0.0;
+            let batch_size = args[4].as_scalar()? as usize;
+            let seed = args[5].as_scalar()? as u64;
+
+            let mut local = snapshot.clone();
+            let mut sgd = Sgd::new(lr, momentum, nesterov);
+            let mut net = net.clone();
+            let n = x.rows();
+            // Local shuffling only — the raw rows never leave the site.
+            let perm = exdra_matrix::rng::rand_permutation(n, seed);
+            let xs = reorg::gather_rows(&x, &perm)?;
+            let ys = reorg::gather_rows(&y, &perm)?;
+            let mut total = 0.0;
+            let mut batches = 0usize;
+            let mut lo = 0usize;
+            while lo < n {
+                let hi = (lo + batch_size).min(n);
+                let xb = reorg::index(&xs, lo, hi, 0, xs.cols())?;
+                let yb = reorg::index(&ys, lo, hi, 0, ys.cols())?;
+                net.set_params(&local)?;
+                let (loss, grads) = net.loss_grad(&xb, &yb)?;
+                sgd.step(&mut local, &grads);
+                total += loss;
+                batches += 1;
+                lo = hi;
+            }
+            let delta = model_delta(&local, &snapshot);
+            Ok(Some(DataValue::List(vec![
+                model_to_value(&delta),
+                DataValue::Scalar(total / batches.max(1) as f64),
+            ])))
+        }),
+    );
+}
+
+/// Labels aligned with a row-partitioned federated matrix: per-partition
+/// label symbol IDs at the workers.
+pub struct FedLabels {
+    /// `(worker, symbol id)` per partition, in partition order.
+    pub ids: Vec<(usize, u64)>,
+}
+
+/// Scatters coordinator-local one-hot labels to the workers, sliced to
+/// align with the federated feature partitions.
+pub fn scatter_labels(x: &FedMatrix, y_onehot: &DenseMatrix) -> Result<FedLabels> {
+    if y_onehot.rows() != x.rows() {
+        return Err(RuntimeError::Invalid(format!(
+            "labels have {} rows, features {}",
+            y_onehot.rows(),
+            x.rows()
+        )));
+    }
+    let ctx = x.ctx();
+    let mut ids = Vec::with_capacity(x.parts().len());
+    let mut batches = vec![Vec::new(); ctx.num_workers()];
+    for p in x.parts() {
+        let id = ctx.fresh_id();
+        let slice = reorg::index(y_onehot, p.lo, p.hi, 0, y_onehot.cols())?;
+        batches[p.worker].push(Request::Put {
+            id,
+            data: DataValue::from(slice),
+            privacy: x.privacy(),
+        });
+        ids.push((p.worker, id));
+    }
+    let responses = ctx.call_all(batches)?;
+    for (w, rs) in responses.iter().enumerate() {
+        for r in rs {
+            exdra_core::coordinator::expect_ok(r, w)?;
+        }
+    }
+    Ok(FedLabels { ids })
+}
+
+/// Applies a balancing plan at the workers: replicates partitions in place
+/// (fresh symbol IDs) per [`BalancePlan::replication`]. Returns the new
+/// feature/label IDs per partition.
+pub fn apply_balance(
+    x: &FedMatrix,
+    labels: &FedLabels,
+    plan: &BalancePlan,
+) -> Result<Vec<(usize, u64, u64)>> {
+    let ctx = x.ctx();
+    let mut out = Vec::with_capacity(x.parts().len());
+    let mut batches = vec![Vec::new(); ctx.num_workers()];
+    for (i, p) in x.parts().iter().enumerate() {
+        let times = plan.replication[i] as u64;
+        let (_, y_id) = labels.ids[i];
+        if times <= 1 {
+            out.push((p.worker, p.id, y_id));
+            continue;
+        }
+        let new_x = ctx.fresh_id();
+        let new_y = ctx.fresh_id();
+        batches[p.worker].push(Request::ExecUdf {
+            udf: Udf::Replicate {
+                x: p.id,
+                y: Some(y_id),
+                times,
+                out_x: new_x,
+                out_y: Some(new_y),
+            },
+        });
+        out.push((p.worker, new_x, new_y));
+    }
+    let responses = ctx.call_all(batches)?;
+    for (w, rs) in responses.iter().enumerate() {
+        for r in rs {
+            exdra_core::coordinator::expect_ok(r, w)?;
+        }
+    }
+    Ok(out)
+}
+
+/// Trains a network with the federated parameter server over a
+/// row-partitioned federated feature matrix and aligned federated labels.
+///
+/// `weights` are the per-partition aggregation weights (see
+/// [`crate::balance::plan`]); they must sum to 1.
+pub fn train(
+    ctx: &Arc<FedContext>,
+    data_ids: &[(usize, u64, u64)],
+    net: &Network,
+    cfg: &PsConfig,
+    weights: &[f64],
+) -> Result<PsRun> {
+    if data_ids.is_empty() || data_ids.len() != weights.len() {
+        return Err(RuntimeError::Invalid(
+            "data ids and weights must be non-empty and aligned".into(),
+        ));
+    }
+    let model = Arc::new(Mutex::new(net.params()));
+    let mut epoch_losses = Vec::with_capacity(cfg.epochs);
+    let make_udf = |snapshot: &[DenseMatrix], epoch: usize| Udf::Registered {
+        name: PS_EPOCH_UDF.into(),
+        args: vec![
+            model_to_value(snapshot),
+            DataValue::Scalar(cfg.lr),
+            DataValue::Scalar(cfg.momentum),
+            DataValue::Scalar(if cfg.nesterov { 1.0 } else { 0.0 }),
+            DataValue::Scalar(cfg.batch_size as f64),
+            DataValue::Scalar(cfg.seed.wrapping_add(epoch as u64) as f64),
+        ],
+        arg_ids: vec![],
+        out: None,
+    };
+
+    match cfg.update_type {
+        UpdateType::Bsp => {
+            for epoch in 0..cfg.epochs {
+                let snapshot = model.lock().clone();
+                // One server thread per worker (via parallel call_all).
+                let mut batches = vec![Vec::new(); ctx.num_workers()];
+                let mut slots = Vec::with_capacity(data_ids.len());
+                for &(worker, x_id, y_id) in data_ids {
+                    let mut udf = make_udf(&snapshot, epoch);
+                    if let Udf::Registered { arg_ids, .. } = &mut udf {
+                        *arg_ids = vec![x_id, y_id];
+                    }
+                    slots.push((worker, batches[worker].len()));
+                    batches[worker].push(Request::ExecUdf { udf });
+                }
+                let responses = ctx.call_all(batches)?;
+                let mut new_model = snapshot.clone();
+                let mut loss = 0.0;
+                for (&(worker, idx), w) in slots.iter().zip(weights) {
+                    let data = expect_data(&responses[worker][idx], worker)?;
+                    let (delta, l) = split_epoch_result(&data)?;
+                    axpy_model(&mut new_model, &delta, *w);
+                    loss += w * l;
+                }
+                *model.lock() = new_model;
+                epoch_losses.push(loss);
+            }
+        }
+        UpdateType::Asp => {
+            let losses = Arc::new(Mutex::new(vec![0.0f64; cfg.epochs]));
+            std::thread::scope(|scope| -> Result<()> {
+                let mut handles = Vec::new();
+                for (i, &(worker, x_id, y_id)) in data_ids.iter().enumerate() {
+                    let model = Arc::clone(&model);
+                    let losses = Arc::clone(&losses);
+                    let weight = weights[i];
+                    let ctx = Arc::clone(ctx);
+                    handles.push(scope.spawn(move || -> Result<()> {
+                        for epoch in 0..cfg.epochs {
+                            let snapshot = model.lock().clone();
+                            let mut udf = make_udf(&snapshot, epoch);
+                            if let Udf::Registered { arg_ids, .. } = &mut udf {
+                                *arg_ids = vec![x_id, y_id];
+                            }
+                            let rs = ctx.call(worker, &[Request::ExecUdf { udf }])?;
+                            let data = expect_data(&rs[0], worker)?;
+                            let (delta, l) = split_epoch_result(&data)?;
+                            let mut m = model.lock();
+                            axpy_model(&mut m, &delta, weight);
+                            losses.lock()[epoch] += weight * l;
+                        }
+                        Ok(())
+                    }));
+                }
+                for h in handles {
+                    h.join()
+                        .map_err(|_| RuntimeError::Network("PS thread panicked".into()))??;
+                }
+                Ok(())
+            })?;
+            epoch_losses = Arc::try_unwrap(losses)
+                .map(|m| m.into_inner())
+                .unwrap_or_default();
+        }
+    }
+    let params = Arc::try_unwrap(model)
+        .map(|m| m.into_inner())
+        .unwrap_or_else(|m| m.lock().clone());
+    Ok(PsRun {
+        params,
+        epoch_losses,
+    })
+}
+
+fn split_epoch_result(v: &DataValue) -> Result<(Vec<DenseMatrix>, f64)> {
+    match v {
+        DataValue::List(items) if items.len() == 2 => {
+            Ok((value_to_model(&items[0])?, items[1].as_scalar()?))
+        }
+        other => Err(RuntimeError::Protocol(format!(
+            "malformed ps.epoch result: {}",
+            other.type_name()
+        ))),
+    }
+}
+
+/// Convenience: full federated PS setup and training in one call — scatter
+/// labels, optionally balance, and train. The `workers` slice is needed to
+/// install the gradient UDF (setup-time function shipment).
+pub fn train_federated(
+    x: &FedMatrix,
+    y_onehot: &DenseMatrix,
+    workers: &[Arc<Worker>],
+    net: &Network,
+    cfg: &PsConfig,
+    strategy: crate::balance::BalanceStrategy,
+) -> Result<PsRun> {
+    for w in workers {
+        install_ps_udf(w, net.clone());
+    }
+    let labels = scatter_labels(x, y_onehot)?;
+    let sizes: Vec<usize> = x.parts().iter().map(|p| p.len()).collect();
+    let plan = crate::balance::plan(&sizes, strategy);
+    let data_ids = apply_balance(x, &labels, &plan)?;
+    train(x.ctx(), &data_ids, net, cfg, &plan.weights)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::balance::BalanceStrategy;
+    use crate::local;
+    use exdra_core::testutil::mem_federation;
+    use exdra_core::PrivacyLevel;
+    use exdra_ml::scoring::accuracy;
+    use exdra_ml::synth;
+
+    #[test]
+    fn federated_bsp_equals_local_bsp() {
+        let (x, y) = synth::multi_class(300, 5, 3, 0.4, 201);
+        let y1h = synth::one_hot(&y, 3);
+        let net = Network::ffn(5, &[12], 3, 202);
+        let cfg = PsConfig {
+            epochs: 3,
+            seed: 7,
+            ..PsConfig::default()
+        };
+        // Local reference with identical contiguous partitioning.
+        let parts = local::partition(&x, &y1h, 3, None).unwrap();
+        let local_run = local::train(&net, &parts, &cfg).unwrap();
+        // Federated run over the same partitioning.
+        let (ctx, workers) = mem_federation(3);
+        let fed = FedMatrix::scatter_rows(&ctx, &x, PrivacyLevel::Public).unwrap();
+        let fed_run =
+            train_federated(&fed, &y1h, &workers, &net, &cfg, BalanceStrategy::None).unwrap();
+        for (a, b) in fed_run.params.iter().zip(&local_run.params) {
+            assert!(a.max_abs_diff(b) < 1e-10, "diff {}", a.max_abs_diff(b));
+        }
+        for (a, b) in fed_run.epoch_losses.iter().zip(&local_run.epoch_losses) {
+            assert!((a - b).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn federated_ffn_learns() {
+        let (x, y) = synth::multi_class(500, 6, 3, 0.4, 203);
+        let y1h = synth::one_hot(&y, 3);
+        let net = Network::ffn(6, &[16], 3, 204);
+        let (ctx, workers) = mem_federation(3);
+        let _ = ctx;
+        let fed = FedMatrix::scatter_rows(
+            &ctx,
+            &x,
+            PrivacyLevel::PrivateAggregate { min_group: 10 },
+        )
+        .unwrap();
+        let run = train_federated(
+            &fed,
+            &y1h,
+            &workers,
+            &net,
+            &PsConfig {
+                epochs: 10,
+                ..PsConfig::default()
+            },
+            BalanceStrategy::None,
+        )
+        .unwrap();
+        let mut trained = net.clone();
+        trained.set_params(&run.params).unwrap();
+        let pred = trained.predict(&x).unwrap();
+        assert!(
+            accuracy(&pred, &y).unwrap() > 0.9,
+            "losses {:?}",
+            run.epoch_losses
+        );
+    }
+
+    #[test]
+    fn asp_federated_converges() {
+        let (x, y) = synth::multi_class(300, 4, 2, 0.4, 205);
+        let y1h = synth::one_hot(&y, 2);
+        let net = Network::ffn(4, &[10], 2, 206);
+        let (_ctx, workers) = mem_federation(2);
+        let fed = FedMatrix::scatter_rows(&_ctx, &x, PrivacyLevel::Public).unwrap();
+        let run = train_federated(
+            &fed,
+            &y1h,
+            &workers,
+            &net,
+            &PsConfig {
+                update_type: UpdateType::Asp,
+                epochs: 8,
+                ..PsConfig::default()
+            },
+            BalanceStrategy::None,
+        )
+        .unwrap();
+        let mut trained = net.clone();
+        trained.set_params(&run.params).unwrap();
+        let pred = trained.predict(&x).unwrap();
+        assert!(accuracy(&pred, &y).unwrap() > 0.85);
+    }
+
+    #[test]
+    fn imbalanced_partitions_with_replication() {
+        // Build a skewed federation: worker 0 gets 20 rows, worker 1 gets
+        // 280 — replication with adjusted weights must still learn class
+        // structure present at both sites.
+        let (x, y) = synth::multi_class(300, 4, 2, 0.4, 207);
+        let y1h = synth::one_hot(&y, 2);
+        let net = Network::ffn(4, &[10], 2, 208);
+        let (ctx, workers) = mem_federation(2);
+        // Manual skewed scatter.
+        let x0 = reorg::index(&x, 0, 20, 0, 4).unwrap();
+        let x1 = reorg::index(&x, 20, 300, 0, 4).unwrap();
+        let id0 = ctx.fresh_id();
+        let id1 = ctx.fresh_id();
+        workers[0].install_matrix(id0, x0, PrivacyLevel::Public, "skew0");
+        workers[1].install_matrix(id1, x1, PrivacyLevel::Public, "skew1");
+        let fed = FedMatrix::from_parts(
+            Arc::clone(&ctx),
+            exdra_core::PartitionScheme::Row,
+            300,
+            4,
+            vec![
+                exdra_core::fed::FedPartition { lo: 0, hi: 20, worker: 0, id: id0 },
+                exdra_core::fed::FedPartition { lo: 20, hi: 300, worker: 1, id: id1 },
+            ],
+            PrivacyLevel::Public,
+            false,
+        )
+        .unwrap();
+        let run = train_federated(
+            &fed,
+            &y1h,
+            &workers,
+            &net,
+            &PsConfig {
+                epochs: 10,
+                ..PsConfig::default()
+            },
+            BalanceStrategy::ReplicateToMax,
+        )
+        .unwrap();
+        let mut trained = net.clone();
+        trained.set_params(&run.params).unwrap();
+        let pred = trained.predict(&x).unwrap();
+        assert!(accuracy(&pred, &y).unwrap() > 0.85);
+    }
+
+    #[test]
+    fn scatter_labels_rejects_misaligned() {
+        let (x, _) = synth::multi_class(100, 3, 2, 0.5, 209);
+        let (ctx, _workers) = mem_federation(2);
+        let fed = FedMatrix::scatter_rows(&ctx, &x, PrivacyLevel::Public).unwrap();
+        let bad = DenseMatrix::zeros(50, 2);
+        assert!(scatter_labels(&fed, &bad).is_err());
+    }
+}

@@ -1,0 +1,95 @@
+#![warn(missing_docs)]
+//! # exdra-paramserv
+//!
+//! Data-parallel parameter servers (paper §4.3): the classic architecture —
+//! a server holding the model, workers computing mini-batch gradients over
+//! disjoint partitions — in two deployments:
+//!
+//! * [`local`] — multi-threaded in-process workers (SystemDS' local PS),
+//! * [`fed`] — the *federated* parameter server: workers are the standing
+//!   federated sites; gradient/update functions are installed at setup
+//!   (shipped by name over `EXEC_UDF`); per-epoch synchronization exchanges
+//!   only models/gradients, never raw data.
+//!
+//! [`balance`] implements the paper's imbalance handling: replication of
+//! small partitions with adjusted aggregation weights.
+
+pub mod balance;
+pub mod fed;
+pub mod local;
+
+use exdra_matrix::DenseMatrix;
+
+/// Update strategy (paper: `utype`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UpdateType {
+    /// Bulk-synchronous parallel: the server waits for all workers each
+    /// synchronization round.
+    Bsp,
+    /// Asynchronous parallel: updates apply as they arrive.
+    Asp,
+}
+
+/// Synchronization frequency (paper: `freq`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UpdateFreq {
+    /// Push accrued updates after every local mini-batch.
+    Batch,
+    /// Update locally per batch; push once per epoch (the federated
+    /// default — "after a fixed number of batches, the accrued gradients
+    /// are sent to the server").
+    Epoch,
+}
+
+/// Parameter-server configuration (the `paramserv(...)` argument list).
+#[derive(Debug, Clone, Copy)]
+pub struct PsConfig {
+    /// Update strategy.
+    pub update_type: UpdateType,
+    /// Synchronization frequency.
+    pub freq: UpdateFreq,
+    /// Number of passes over the (local) data.
+    pub epochs: usize,
+    /// Mini-batch size.
+    pub batch_size: usize,
+    /// SGD learning rate.
+    pub lr: f64,
+    /// SGD momentum coefficient.
+    pub momentum: f64,
+    /// Nesterov momentum flag.
+    pub nesterov: bool,
+    /// Shuffle/init seed.
+    pub seed: u64,
+}
+
+impl Default for PsConfig {
+    fn default() -> Self {
+        Self {
+            update_type: UpdateType::Bsp,
+            freq: UpdateFreq::Epoch,
+            epochs: 5,
+            batch_size: 64,
+            lr: 0.05,
+            momentum: 0.9,
+            nesterov: true,
+            seed: 42,
+        }
+    }
+}
+
+/// Weighted in-place model aggregation: `acc += weight * delta`.
+pub(crate) fn axpy_model(acc: &mut [DenseMatrix], delta: &[DenseMatrix], weight: f64) {
+    for (a, d) in acc.iter_mut().zip(delta) {
+        for (av, &dv) in a.values_mut().iter_mut().zip(d.values()) {
+            *av += weight * dv;
+        }
+    }
+}
+
+/// Element-wise model difference `a - b`.
+pub(crate) fn model_delta(a: &[DenseMatrix], b: &[DenseMatrix]) -> Vec<DenseMatrix> {
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| x.zip(y, "delta", |p, q| p - q).expect("aligned models"))
+        .collect()
+}

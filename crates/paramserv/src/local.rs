@@ -1,0 +1,261 @@
+//! Local, multi-threaded parameter server (the `Local` FFN/CNN baseline):
+//! data is partitioned horizontally among in-process workers; a shared
+//! server model is updated under BSP (per-epoch barrier) or ASP.
+
+use std::sync::Arc;
+
+use exdra_matrix::kernels::reorg;
+use exdra_matrix::{DenseMatrix, Result};
+use parking_lot::Mutex;
+
+use exdra_ml::nn::{Network, Sgd};
+
+use crate::{axpy_model, model_delta, PsConfig, UpdateType};
+
+/// Result of a parameter-server training run.
+#[derive(Debug, Clone)]
+pub struct PsRun {
+    /// Final model parameters.
+    pub params: Vec<DenseMatrix>,
+    /// Mean training loss per epoch, as reported by the workers.
+    pub epoch_losses: Vec<f64>,
+}
+
+/// One local worker's epoch: run mini-batch SGD from the given snapshot,
+/// return the model delta and mean loss.
+fn worker_epoch(
+    net: &Network,
+    snapshot: &[DenseMatrix],
+    x: &DenseMatrix,
+    y: &DenseMatrix,
+    cfg: &PsConfig,
+    epoch: usize,
+) -> Result<(Vec<DenseMatrix>, f64)> {
+    let mut local = snapshot.to_vec();
+    let mut sgd = Sgd::new(cfg.lr, cfg.momentum, cfg.nesterov);
+    let mut net = net.clone();
+    let n = x.rows();
+    // Local shuffling only (locality-respecting partitioner, §4.3).
+    let perm = exdra_matrix::rng::rand_permutation(n, cfg.seed.wrapping_add(epoch as u64));
+    let xs = reorg::gather_rows(x, &perm)?;
+    let ys = reorg::gather_rows(y, &perm)?;
+    let mut total = 0.0;
+    let mut batches = 0usize;
+    let mut lo = 0usize;
+    while lo < n {
+        let hi = (lo + cfg.batch_size).min(n);
+        let xb = reorg::index(&xs, lo, hi, 0, xs.cols())?;
+        let yb = reorg::index(&ys, lo, hi, 0, ys.cols())?;
+        net.set_params(&local)?;
+        let (loss, grads) = net.loss_grad(&xb, &yb)?;
+        sgd.step(&mut local, &grads);
+        total += loss;
+        batches += 1;
+        lo = hi;
+    }
+    Ok((model_delta(&local, snapshot), total / batches.max(1) as f64))
+}
+
+/// Runs the local multi-threaded parameter server over `parts` disjoint
+/// `(X, y_onehot)` partitions.
+pub fn train(
+    net: &Network,
+    parts: &[(DenseMatrix, DenseMatrix)],
+    cfg: &PsConfig,
+) -> Result<PsRun> {
+    assert!(!parts.is_empty(), "at least one worker partition");
+    let total_rows: usize = parts.iter().map(|(x, _)| x.rows()).sum();
+    let weights: Vec<f64> = parts
+        .iter()
+        .map(|(x, _)| x.rows() as f64 / total_rows as f64)
+        .collect();
+    let model = Arc::new(Mutex::new(net.params()));
+    let mut epoch_losses = Vec::with_capacity(cfg.epochs);
+
+    match cfg.update_type {
+        UpdateType::Bsp => {
+            for epoch in 0..cfg.epochs {
+                let snapshot = model.lock().clone();
+                let mut results: Vec<Result<(Vec<DenseMatrix>, f64)>> = Vec::new();
+                std::thread::scope(|scope| {
+                    let handles: Vec<_> = parts
+                        .iter()
+                        .map(|(x, y)| {
+                            let snap = &snapshot;
+                            scope.spawn(move || worker_epoch(net, snap, x, y, cfg, epoch))
+                        })
+                        .collect();
+                    for h in handles {
+                        results.push(h.join().expect("worker thread"));
+                    }
+                });
+                let mut new_model = snapshot.clone();
+                let mut loss = 0.0;
+                for (w, r) in weights.iter().zip(results) {
+                    let (delta, l) = r?;
+                    axpy_model(&mut new_model, &delta, *w);
+                    loss += w * l;
+                }
+                *model.lock() = new_model;
+                epoch_losses.push(loss);
+            }
+        }
+        UpdateType::Asp => {
+            // Each worker loops epochs independently, applying its deltas
+            // to the shared model as they complete (no barrier).
+            let losses = Arc::new(Mutex::new(vec![0.0f64; cfg.epochs]));
+            std::thread::scope(|scope| {
+                for (wi, (x, y)) in parts.iter().enumerate() {
+                    let model = Arc::clone(&model);
+                    let losses = Arc::clone(&losses);
+                    let weight = weights[wi];
+                    scope.spawn(move || {
+                        for epoch in 0..cfg.epochs {
+                            let snapshot = model.lock().clone();
+                            if let Ok((delta, l)) =
+                                worker_epoch(net, &snapshot, x, y, cfg, epoch)
+                            {
+                                let mut m = model.lock();
+                                axpy_model(&mut m, &delta, weight);
+                                losses.lock()[epoch] += weight * l;
+                            }
+                        }
+                    });
+                }
+            });
+            epoch_losses = Arc::try_unwrap(losses)
+                .map(|m| m.into_inner())
+                .unwrap_or_default();
+        }
+    }
+    let params = Arc::try_unwrap(model)
+        .map(|m| m.into_inner())
+        .unwrap_or_else(|m| m.lock().clone());
+    Ok(PsRun {
+        params,
+        epoch_losses,
+    })
+}
+
+/// Splits `(X, y)` into `k` contiguous row partitions (shuffled first when
+/// `shuffle_seed` is set) — the standard PS data partitioner.
+pub fn partition(
+    x: &DenseMatrix,
+    y: &DenseMatrix,
+    k: usize,
+    shuffle_seed: Option<u64>,
+) -> Result<Vec<(DenseMatrix, DenseMatrix)>> {
+    let (xs, ys) = match shuffle_seed {
+        Some(seed) => {
+            let perm = exdra_matrix::rng::rand_permutation(x.rows(), seed);
+            (
+                reorg::gather_rows(x, &perm)?,
+                reorg::gather_rows(y, &perm)?,
+            )
+        }
+        None => (x.clone(), y.clone()),
+    };
+    let n = xs.rows();
+    let base = n / k;
+    let extra = n % k;
+    let mut out = Vec::with_capacity(k);
+    let mut lo = 0usize;
+    for i in 0..k {
+        let hi = lo + base + usize::from(i < extra);
+        out.push((
+            reorg::index(&xs, lo, hi, 0, xs.cols())?,
+            reorg::index(&ys, lo, hi, 0, ys.cols())?,
+        ));
+        lo = hi;
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use exdra_ml::scoring::accuracy;
+    use exdra_ml::synth;
+
+    #[test]
+    fn bsp_trains_ffn_to_high_accuracy() {
+        let (x, y) = synth::multi_class(600, 6, 3, 0.4, 91);
+        let y1h = synth::one_hot(&y, 3);
+        let net = Network::ffn(6, &[16], 3, 92);
+        let parts = partition(&x, &y1h, 3, Some(1)).unwrap();
+        let run = train(
+            &net,
+            &parts,
+            &PsConfig {
+                epochs: 12,
+                ..PsConfig::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(run.epoch_losses.len(), 12);
+        assert!(run.epoch_losses[11] < run.epoch_losses[0] * 0.5);
+        let mut trained = net.clone();
+        trained.set_params(&run.params).unwrap();
+        let pred = trained.predict(&x).unwrap();
+        assert!(accuracy(&pred, &y).unwrap() > 0.9);
+    }
+
+    #[test]
+    fn asp_also_converges() {
+        let (x, y) = synth::multi_class(400, 5, 2, 0.4, 93);
+        let y1h = synth::one_hot(&y, 2);
+        let net = Network::ffn(5, &[12], 2, 94);
+        let parts = partition(&x, &y1h, 2, Some(2)).unwrap();
+        let run = train(
+            &net,
+            &parts,
+            &PsConfig {
+                update_type: UpdateType::Asp,
+                epochs: 10,
+                ..PsConfig::default()
+            },
+        )
+        .unwrap();
+        let mut trained = net.clone();
+        trained.set_params(&run.params).unwrap();
+        let pred = trained.predict(&x).unwrap();
+        assert!(accuracy(&pred, &y).unwrap() > 0.85);
+    }
+
+    #[test]
+    fn partition_covers_all_rows() {
+        let (x, y) = synth::multi_class(103, 4, 2, 0.5, 95);
+        let y1h = synth::one_hot(&y, 2);
+        let parts = partition(&x, &y1h, 4, None).unwrap();
+        assert_eq!(parts.len(), 4);
+        let rows: usize = parts.iter().map(|(p, _)| p.rows()).sum();
+        assert_eq!(rows, 103);
+        assert_eq!(parts[0].0.rows(), 26); // 103 = 26 + 26 + 26 + 25
+        assert_eq!(parts[3].0.rows(), 25);
+    }
+
+    #[test]
+    fn single_worker_bsp_equals_sequential_sgd() {
+        let (x, y) = synth::multi_class(200, 4, 2, 0.5, 96);
+        let y1h = synth::one_hot(&y, 2);
+        let net = Network::ffn(4, &[8], 2, 97);
+        let cfg = PsConfig {
+            epochs: 3,
+            seed: 5,
+            ..PsConfig::default()
+        };
+        let run = train(&net, &[(x.clone(), y1h.clone())], &cfg).unwrap();
+        // Sequential reference with the same shuffling per epoch.
+        let mut params = net.params();
+        let mut netc = net.clone();
+        for epoch in 0..cfg.epochs {
+            let snapshot = params.clone();
+            let (delta, _) = worker_epoch(&netc, &snapshot, &x, &y1h, &cfg, epoch).unwrap();
+            axpy_model(&mut params, &delta, 1.0);
+        }
+        netc.set_params(&params).unwrap();
+        for (a, b) in run.params.iter().zip(&params) {
+            assert!(a.max_abs_diff(b) < 1e-12);
+        }
+    }
+}

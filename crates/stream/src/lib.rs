@@ -1,0 +1,29 @@
+#![warn(missing_docs)]
+//! # exdra-stream
+//!
+//! Streaming data acquisition in the spirit of NebulaStream (paper §3.4):
+//! a per-site coordinator deploys continuous queries over a topology of
+//! sensor sources; results are appended to buffered *file sinks with
+//! retention periods*, from which ML training sessions read consistent
+//! in-memory snapshots — bridging "the impedance mismatch between streaming
+//! data sources and iterative, multi-pass federated learning" (§5.1).
+//!
+//! * [`record`] — timestamped multi-field stream records,
+//! * [`source`] — synthetic sensor sources (sinusoid + drift + noise +
+//!   injected anomalies) standing in for OPC-connected equipment,
+//! * [`query`] — continuous-query operators: filter, map/projection, and
+//!   tumbling-window aggregation,
+//! * [`sink`] — segmented file sinks with retention and snapshot reads,
+//! * [`coordinator`] — per-site coordinator wiring sources through query
+//!   plans into sinks, on background threads.
+
+pub mod coordinator;
+pub mod query;
+pub mod record;
+pub mod sink;
+pub mod source;
+
+pub use coordinator::{NesCoordinator, QueryHandle};
+pub use record::Record;
+pub use sink::FileSink;
+pub use source::SensorSource;

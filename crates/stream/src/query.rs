@@ -1,0 +1,291 @@
+//! Continuous-query operators.
+//!
+//! A [`Query`] is a pipeline of stateless/stateful operators applied to a
+//! record stream: selection ([`Operator::Filter`]), projection/scaling
+//! ([`Operator::Project`]), and tumbling-window aggregation
+//! ([`Operator::TumblingWindow`]) — the core relational-streaming surface
+//! NES deploys to its node topology.
+
+use crate::record::{Record, Schema};
+
+/// Comparison predicate for filters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Cmp {
+    /// Strictly less than.
+    Lt,
+    /// Less than or equal.
+    Le,
+    /// Strictly greater than.
+    Gt,
+    /// Greater than or equal.
+    Ge,
+    /// Equal.
+    Eq,
+}
+
+impl Cmp {
+    fn apply(self, a: f64, b: f64) -> bool {
+        match self {
+            Cmp::Lt => a < b,
+            Cmp::Le => a <= b,
+            Cmp::Gt => a > b,
+            Cmp::Ge => a >= b,
+            Cmp::Eq => a == b,
+        }
+    }
+}
+
+/// Window aggregate functions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WindowAgg {
+    /// Arithmetic mean per field.
+    Mean,
+    /// Minimum per field.
+    Min,
+    /// Maximum per field.
+    Max,
+    /// Sum per field.
+    Sum,
+}
+
+/// A continuous-query operator.
+#[derive(Debug, Clone)]
+pub enum Operator {
+    /// Keeps records where `field cmp value`.
+    Filter {
+        /// Field index.
+        field: usize,
+        /// Comparison.
+        cmp: Cmp,
+        /// Literal to compare against.
+        value: f64,
+    },
+    /// Projects (and optionally scales/offsets) fields:
+    /// output field `i` = `input[fields[i]] * scale[i] + offset[i]`.
+    Project {
+        /// Source field indices in output order.
+        fields: Vec<usize>,
+        /// Per-output scale (1.0 = identity).
+        scale: Vec<f64>,
+        /// Per-output offset (0.0 = identity).
+        offset: Vec<f64>,
+    },
+    /// Tumbling window of `size` records emitting one aggregate record per
+    /// full window (timestamp = last contained record's).
+    TumblingWindow {
+        /// Window length in records.
+        size: usize,
+        /// Aggregate function applied per field.
+        agg: WindowAgg,
+    },
+}
+
+/// Operator state for stateful operators.
+enum OpState {
+    Stateless,
+    Window { buffer: Vec<Record> },
+}
+
+/// A compiled continuous query: operators plus their runtime state.
+pub struct Query {
+    name: String,
+    operators: Vec<Operator>,
+    state: Vec<OpState>,
+}
+
+impl Query {
+    /// Builds a query from an operator pipeline.
+    pub fn new(name: impl Into<String>, operators: Vec<Operator>) -> Self {
+        let state = operators
+            .iter()
+            .map(|op| match op {
+                Operator::TumblingWindow { .. } => OpState::Window { buffer: Vec::new() },
+                _ => OpState::Stateless,
+            })
+            .collect();
+        Self {
+            name: name.into(),
+            operators,
+            state,
+        }
+    }
+
+    /// Query name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Output schema given the input schema.
+    pub fn output_schema(&self, input: &Schema) -> Schema {
+        let mut fields = input.fields.clone();
+        for op in &self.operators {
+            if let Operator::Project { fields: idx, .. } = op {
+                fields = idx.iter().map(|&i| fields[i].clone()).collect();
+            }
+        }
+        Schema { fields }
+    }
+
+    /// Processes one input record, producing zero or more output records.
+    pub fn process(&mut self, record: Record) -> Vec<Record> {
+        let mut current = vec![record];
+        for (op, state) in self.operators.iter().zip(&mut self.state) {
+            let mut next = Vec::new();
+            for r in current {
+                match (op, &mut *state) {
+                    (Operator::Filter { field, cmp, value }, _) => {
+                        if *field < r.arity() && cmp.apply(r.values[*field], *value) {
+                            next.push(r);
+                        }
+                    }
+                    (Operator::Project { fields, scale, offset }, _) => {
+                        let values = fields
+                            .iter()
+                            .enumerate()
+                            .map(|(i, &f)| r.values[f] * scale[i] + offset[i])
+                            .collect();
+                        next.push(Record::new(r.timestamp, values));
+                    }
+                    (
+                        Operator::TumblingWindow { size, agg },
+                        OpState::Window { buffer },
+                    ) => {
+                        buffer.push(r);
+                        if buffer.len() >= *size {
+                            next.push(aggregate_window(buffer, *agg));
+                            buffer.clear();
+                        }
+                    }
+                    _ => unreachable!("state/operator mismatch"),
+                }
+            }
+            current = next;
+        }
+        current
+    }
+}
+
+fn aggregate_window(buffer: &[Record], agg: WindowAgg) -> Record {
+    let arity = buffer[0].arity();
+    let ts = buffer.last().expect("non-empty window").timestamp;
+    let mut values = vec![
+        match agg {
+            WindowAgg::Min => f64::INFINITY,
+            WindowAgg::Max => f64::NEG_INFINITY,
+            _ => 0.0,
+        };
+        arity
+    ];
+    for r in buffer {
+        for (v, &x) in values.iter_mut().zip(&r.values) {
+            match agg {
+                WindowAgg::Mean | WindowAgg::Sum => *v += x,
+                WindowAgg::Min => *v = v.min(x),
+                WindowAgg::Max => *v = v.max(x),
+            }
+        }
+    }
+    if agg == WindowAgg::Mean {
+        for v in &mut values {
+            *v /= buffer.len() as f64;
+        }
+    }
+    Record::new(ts, values)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(ts: u64, vals: &[f64]) -> Record {
+        Record::new(ts, vals.to_vec())
+    }
+
+    #[test]
+    fn filter_keeps_matching() {
+        let mut q = Query::new(
+            "f",
+            vec![Operator::Filter {
+                field: 0,
+                cmp: Cmp::Gt,
+                value: 1.0,
+            }],
+        );
+        assert!(q.process(rec(0, &[0.5])).is_empty());
+        assert_eq!(q.process(rec(1, &[2.0])).len(), 1);
+    }
+
+    #[test]
+    fn project_reorders_and_scales() {
+        let mut q = Query::new(
+            "p",
+            vec![Operator::Project {
+                fields: vec![1, 0],
+                scale: vec![2.0, 1.0],
+                offset: vec![0.0, 10.0],
+            }],
+        );
+        let out = q.process(rec(3, &[1.0, 5.0]));
+        assert_eq!(out[0].values, vec![10.0, 11.0]);
+        assert_eq!(out[0].timestamp, 3);
+    }
+
+    #[test]
+    fn tumbling_window_mean() {
+        let mut q = Query::new(
+            "w",
+            vec![Operator::TumblingWindow {
+                size: 3,
+                agg: WindowAgg::Mean,
+            }],
+        );
+        assert!(q.process(rec(0, &[1.0])).is_empty());
+        assert!(q.process(rec(1, &[2.0])).is_empty());
+        let out = q.process(rec(2, &[3.0]));
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].values[0], 2.0);
+        assert_eq!(out[0].timestamp, 2);
+        // Next window starts fresh.
+        assert!(q.process(rec(3, &[10.0])).is_empty());
+    }
+
+    #[test]
+    fn pipeline_composes() {
+        // Filter out negatives, then 2-window max.
+        let mut q = Query::new(
+            "combo",
+            vec![
+                Operator::Filter {
+                    field: 0,
+                    cmp: Cmp::Ge,
+                    value: 0.0,
+                },
+                Operator::TumblingWindow {
+                    size: 2,
+                    agg: WindowAgg::Max,
+                },
+            ],
+        );
+        let mut outs = Vec::new();
+        for (ts, v) in [(0u64, 1.0), (1, -5.0), (2, 3.0), (3, 2.0)] {
+            outs.extend(q.process(rec(ts, &[v])));
+        }
+        // Records 1.0 and 3.0 fill the first window (the -5 was dropped).
+        assert_eq!(outs.len(), 1);
+        assert_eq!(outs[0].values[0], 3.0);
+    }
+
+    #[test]
+    fn output_schema_tracks_projection() {
+        let q = Query::new(
+            "s",
+            vec![Operator::Project {
+                fields: vec![2, 0],
+                scale: vec![1.0, 1.0],
+                offset: vec![0.0, 0.0],
+            }],
+        );
+        let schema = Schema::new(&["a", "b", "c"]);
+        assert_eq!(q.output_schema(&schema).fields, vec!["c", "a"]);
+    }
+}

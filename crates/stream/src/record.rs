@@ -1,0 +1,71 @@
+//! Stream records: timestamped rows of named numeric fields.
+
+/// One stream tuple: a logical timestamp plus numeric field values.
+///
+/// Field names live in the stream schema (held by sources/queries), not in
+/// every record, keeping tuples cheap to move through operator pipelines.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Record {
+    /// Logical timestamp (monotone per source).
+    pub timestamp: u64,
+    /// Field values, aligned with the stream schema.
+    pub values: Vec<f64>,
+}
+
+impl Record {
+    /// Creates a record.
+    pub fn new(timestamp: u64, values: Vec<f64>) -> Self {
+        Self { timestamp, values }
+    }
+
+    /// Number of fields.
+    pub fn arity(&self) -> usize {
+        self.values.len()
+    }
+}
+
+/// A stream schema: ordered field names.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Schema {
+    /// Field names in record order.
+    pub fields: Vec<String>,
+}
+
+impl Schema {
+    /// Creates a schema from field names.
+    pub fn new(fields: &[&str]) -> Self {
+        Self {
+            fields: fields.iter().map(|s| s.to_string()).collect(),
+        }
+    }
+
+    /// Index of a field by name.
+    pub fn index_of(&self, name: &str) -> Option<usize> {
+        self.fields.iter().position(|f| f == name)
+    }
+
+    /// Number of fields.
+    pub fn arity(&self) -> usize {
+        self.fields.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schema_lookup() {
+        let s = Schema::new(&["power", "temp", "vibration"]);
+        assert_eq!(s.index_of("temp"), Some(1));
+        assert_eq!(s.index_of("nope"), None);
+        assert_eq!(s.arity(), 3);
+    }
+
+    #[test]
+    fn record_arity() {
+        let r = Record::new(5, vec![1.0, 2.0]);
+        assert_eq!(r.arity(), 2);
+        assert_eq!(r.timestamp, 5);
+    }
+}

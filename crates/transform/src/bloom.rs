@@ -1,0 +1,197 @@
+//! Bloom filters for distinct-set exchange.
+//!
+//! Paper §4.4: "techniques like zigzag joins — that rely on Bloom filters
+//! for pre-filtering — can be adapted for determining categories that need
+//! to be exchanged with the coordinator, thereby reducing data transfer and
+//! revealed information."
+//!
+//! Protocol modeled here (exercised by the `ablation_transform` bench and
+//! the runtime's optimized distinct consolidation): the coordinator
+//! broadcasts a Bloom filter of the categories it has already consolidated;
+//! each site then sends in full only categories that are *definitely new*
+//! (filter miss), and 8-byte verification hashes for the possibly-known
+//! remainder. False positives are resolved in a second round.
+
+use crate::hashing::{fnv1a, fnv1a_alt};
+
+/// A classic Bloom filter with double hashing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BloomFilter {
+    bits: Vec<u64>,
+    num_bits: u64,
+    num_hashes: u32,
+}
+
+impl BloomFilter {
+    /// Sizes a filter for `expected_items` at the target false-positive
+    /// probability `fpp` (standard `m = -n ln p / ln2²`, `k = m/n ln2`).
+    pub fn new(expected_items: usize, fpp: f64) -> Self {
+        let n = expected_items.max(1) as f64;
+        let p = fpp.clamp(1e-9, 0.5);
+        let m = (-(n * p.ln()) / (std::f64::consts::LN_2 * std::f64::consts::LN_2)).ceil() as u64;
+        let m = m.max(64);
+        let k = ((m as f64 / n) * std::f64::consts::LN_2).round().max(1.0) as u32;
+        Self {
+            bits: vec![0u64; m.div_ceil(64) as usize],
+            num_bits: m,
+            num_hashes: k,
+        }
+    }
+
+    fn positions(&self, item: &[u8]) -> impl Iterator<Item = u64> + '_ {
+        let h1 = fnv1a(item);
+        let h2 = fnv1a_alt(item);
+        let m = self.num_bits;
+        (0..self.num_hashes).map(move |i| h1.wrapping_add((i as u64).wrapping_mul(h2)) % m)
+    }
+
+    /// Inserts an item.
+    pub fn insert(&mut self, item: &[u8]) {
+        let positions: Vec<u64> = self.positions(item).collect();
+        for pos in positions {
+            self.bits[(pos / 64) as usize] |= 1 << (pos % 64);
+        }
+    }
+
+    /// Tests membership; false positives possible, false negatives not.
+    pub fn contains(&self, item: &[u8]) -> bool {
+        self.positions(item)
+            .all(|pos| self.bits[(pos / 64) as usize] & (1 << (pos % 64)) != 0)
+    }
+
+    /// Serialized size in bytes (what a broadcast costs).
+    pub fn size_bytes(&self) -> usize {
+        self.bits.len() * 8 + 12
+    }
+}
+
+/// Result of pre-filtering a site's distinct set against the coordinator's
+/// Bloom filter.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PreFilterResult {
+    /// Categories the filter proves are new — shipped in full.
+    pub definitely_new: Vec<String>,
+    /// 8-byte verification hashes of possibly-known categories.
+    pub candidate_hashes: Vec<u64>,
+}
+
+impl PreFilterResult {
+    /// Bytes this first-round reply costs on the wire.
+    pub fn reply_bytes(&self) -> usize {
+        self.definitely_new
+            .iter()
+            .map(|s| 8 + s.len())
+            .sum::<usize>()
+            + self.candidate_hashes.len() * 8
+    }
+}
+
+/// Splits a site's distinct categories by the coordinator's filter.
+pub fn prefilter<'a>(
+    filter: &BloomFilter,
+    site_distincts: impl Iterator<Item = &'a str>,
+) -> PreFilterResult {
+    let mut definitely_new = Vec::new();
+    let mut candidate_hashes = Vec::new();
+    for item in site_distincts {
+        if filter.contains(item.as_bytes()) {
+            candidate_hashes.push(fnv1a(item.as_bytes()));
+        } else {
+            definitely_new.push(item.to_string());
+        }
+    }
+    PreFilterResult {
+        definitely_new,
+        candidate_hashes,
+    }
+}
+
+/// Coordinator-side verification: returns the candidate hashes that do NOT
+/// belong to any known category — these were Bloom false positives and must
+/// be requested in full in a second round.
+pub fn verify_candidates(known: &[String], candidate_hashes: &[u64]) -> Vec<u64> {
+    let known_hashes: std::collections::HashSet<u64> =
+        known.iter().map(|s| fnv1a(s.as_bytes())).collect();
+    candidate_hashes
+        .iter()
+        .copied()
+        .filter(|h| !known_hashes.contains(h))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_false_negatives() {
+        let mut f = BloomFilter::new(1000, 0.01);
+        let items: Vec<String> = (0..1000).map(|i| format!("cat-{i}")).collect();
+        for it in &items {
+            f.insert(it.as_bytes());
+        }
+        for it in &items {
+            assert!(f.contains(it.as_bytes()));
+        }
+    }
+
+    #[test]
+    fn false_positive_rate_near_target() {
+        let mut f = BloomFilter::new(1000, 0.01);
+        for i in 0..1000 {
+            f.insert(format!("in-{i}").as_bytes());
+        }
+        let fp = (0..10_000)
+            .filter(|i| f.contains(format!("out-{i}").as_bytes()))
+            .count();
+        let rate = fp as f64 / 10_000.0;
+        assert!(rate < 0.03, "false positive rate {rate}");
+    }
+
+    #[test]
+    fn filter_much_smaller_than_items() {
+        let f = BloomFilter::new(10_000, 0.01);
+        // ~1.2 bytes/item at 1% fpp vs >= 8 bytes for the raw strings.
+        assert!(f.size_bytes() < 10_000 * 8);
+    }
+
+    #[test]
+    fn prefilter_splits_new_and_known() {
+        let known: Vec<String> = (0..50).map(|i| format!("known-{i}")).collect();
+        let mut f = BloomFilter::new(known.len(), 0.01);
+        for k in &known {
+            f.insert(k.as_bytes());
+        }
+        let site: Vec<String> = known
+            .iter()
+            .take(30)
+            .cloned()
+            .chain((0..20).map(|i| format!("new-{i}")))
+            .collect();
+        let r = prefilter(&f, site.iter().map(String::as_str));
+        // All 30 overlapping items are candidates (no false negatives);
+        // new items are overwhelmingly classified as definitely new.
+        assert!(r.candidate_hashes.len() >= 30);
+        assert!(r.definitely_new.len() + (r.candidate_hashes.len() - 30) == 20);
+        // Verification finds no unknown hashes among true members.
+        let unknown = verify_candidates(&known, &r.candidate_hashes[..30]);
+        assert!(unknown.is_empty());
+    }
+
+    #[test]
+    fn verify_detects_false_positives() {
+        let known = vec!["a".to_string(), "b".to_string()];
+        let bogus = fnv1a(b"not-known");
+        let unresolved = verify_candidates(&known, &[fnv1a(b"a"), bogus]);
+        assert_eq!(unresolved, vec![bogus]);
+    }
+
+    #[test]
+    fn reply_bytes_accounts_strings_and_hashes() {
+        let r = PreFilterResult {
+            definitely_new: vec!["abcd".into()],
+            candidate_hashes: vec![1, 2, 3],
+        };
+        assert_eq!(r.reply_bytes(), (8 + 4) + 24);
+    }
+}

@@ -1,0 +1,64 @@
+//! Stable string hashing for feature hashing and Bloom filters.
+//!
+//! Feature hashing (paper §4.4, "Improved Feature Transformations") maps
+//! categories to upper-bounded integers "with an agreed hash function",
+//! computed purely federated without any metadata exchange. Stability
+//! across processes matters (sites hash independently), so we use FNV-1a
+//! rather than the process-seeded std hasher.
+
+/// 64-bit FNV-1a hash of a byte string.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+/// Second independent hash (FNV over reversed bytes with a different
+/// offset) for double-hashing Bloom filters.
+pub fn fnv1a_alt(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0x84222325cbf29ce4;
+    for &b in bytes.iter().rev() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h | 1 // keep odd so it is a valid double-hashing stride
+}
+
+/// Feature-hash a category token into a 1-based bucket in `1..=num_features`.
+pub fn feature_bucket(token: &str, num_features: usize) -> usize {
+    debug_assert!(num_features > 0);
+    (fnv1a(token.as_bytes()) % num_features as u64) as usize + 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv_known_values() {
+        // FNV-1a 64 reference values.
+        assert_eq!(fnv1a(b""), 0xcbf29ce484222325);
+        assert_eq!(fnv1a(b"a"), 0xaf63dc4c8601ec8c);
+        assert_eq!(fnv1a(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn buckets_in_range_and_stable() {
+        for token in ["R101", "C7", "X", "some longer category name"] {
+            let b = feature_bucket(token, 10);
+            assert!((1..=10).contains(&b));
+            assert_eq!(b, feature_bucket(token, 10), "stable");
+        }
+    }
+
+    #[test]
+    fn alt_hash_differs_and_is_odd() {
+        for token in [&b"a"[..], b"abc", b"R101"] {
+            assert_ne!(fnv1a(token), fnv1a_alt(token));
+            assert_eq!(fnv1a_alt(token) & 1, 1);
+        }
+    }
+}

@@ -1,0 +1,25 @@
+#![warn(missing_docs)]
+//! # exdra-transform
+//!
+//! Feature transformations of the ExDRa reproduction (paper §4.4): the
+//! SystemDS `transformencode` / `transformapply` / `transformdecode`
+//! family, plus missing-value imputation and the transfer-reducing
+//! optimizations the paper describes (Bloom-filter distinct exchange,
+//! feature hashing).
+//!
+//! Everything in this crate is *local and pure*: the two-pass federated
+//! protocol (partial metadata build at the sites → merge/sort/assign codes
+//! at the coordinator → broadcast and apply, Figure 3) is expressed as
+//! three functions — [`encoders::build_partial`],
+//! [`encoders::merge_partials`], [`encoders::apply`] — which the federated
+//! runtime (`exdra-core`) orchestrates over its six request types.
+
+pub mod bloom;
+pub mod encoders;
+pub mod hashing;
+pub mod impute;
+
+pub use encoders::{
+    apply, build_partial, decode, merge_partials, transform_encode, ColumnMeta, ColumnSpec,
+    EncodeKind, PartialMeta, TransformMeta, TransformSpec,
+};

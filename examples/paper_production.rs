@@ -1,0 +1,138 @@
+//! The paper-production use case (paper §2.2 / §6.3): the full P2 training
+//! pipeline on *raw* federated data —
+//!
+//! 1. raw frames (recipe IDs + sensor signals, with missing values) live at
+//!    three federated sites,
+//! 2. federated `transformencode` (recode + one-hot) builds a numeric
+//!    federated matrix with globally consistent feature positions,
+//! 3. value clipping to ±1.5σ and z-normalization via federated aggregates,
+//! 4. a balanced 70/30 train/test split that stays federated,
+//! 5. linear-regression training for z-strength prediction,
+//! 6. run tracking in the ExperimentDB.
+//!
+//! Run with: `cargo run --example paper_production`
+
+use exdra::core::fed::prep::split_rows_per_partition;
+use exdra::core::testutil::tcp_federation;
+use exdra::core::Tensor;
+use exdra::expdb::{DatasetMeta, ExperimentDb};
+use exdra::matrix::kernels::elementwise::BinaryOp;
+use exdra::ml::{lm, scoring, synth};
+use exdra::transform::TransformSpec;
+use exdra::{PrivacyLevel, Session};
+
+fn main() -> exdra::core::Result<()> {
+    // --- raw data at three sites (97 signals in the real plant; scaled) --
+    let sites = 3;
+    let (ctx, _workers) = tcp_federation(sites);
+    let sds = Session::with_context(ctx.clone())
+        .with_privacy(PrivacyLevel::PrivateAggregate { min_group: 25 });
+
+    let mut frames = Vec::new();
+    let mut targets = Vec::new();
+    for s in 0..sites {
+        let (frame, y) =
+            synth::paper_production_frame(2000, 2, 8, 12, 0.02, 100 + s as u64);
+        frames.push(frame);
+        targets.push(y);
+    }
+    let mut y_all = targets[0].clone();
+    for t in &targets[1..] {
+        y_all = exdra::matrix::kernels::reorg::rbind(&y_all, t)?;
+    }
+    let fed_frame = sds.federated_frame(&frames)?;
+    println!(
+        "raw federated frame: {} rows x {} columns over {} sites",
+        fed_frame.rows(),
+        fed_frame.cols(),
+        sites
+    );
+
+    // --- federated mode imputation of missing recipe IDs (Example 4) -----
+    let (fed_frame, mode) = fed_frame.impute_mode("recipe_0")?;
+    println!("imputed missing recipe_0 cells with the global mode '{mode}'");
+
+    // --- federated transformencode (recode + one-hot for categoricals) ---
+    let spec = TransformSpec::auto(&frames[0]);
+    let (encoded, meta) = fed_frame.transform_encode(&spec)?;
+    println!(
+        "encoded to {} numeric columns (metadata stays at the coordinator)",
+        meta.out_cols()
+    );
+
+    // --- clipping to +-1.5 sigma and z-normalization, all federated ------
+    let x = Tensor::Fed(encoded);
+    // Remaining numeric NaNs: federated mean imputation (Example 4).
+    let x = exdra::core::fed::prep::impute_mean(&x)?;
+    let mu = x.col_means()?.to_local()?;
+    let sd = x
+        .agg(
+            exdra::matrix::kernels::aggregates::AggOp::Sd,
+            exdra::matrix::kernels::aggregates::AggDir::Col,
+        )?
+        .to_local()?
+        .map(|v| if v > 1e-12 { v } else { 1.0 });
+    let lower = mu.zip(&sd, "clip", |m, s| m - 1.5 * s)?;
+    let upper = mu.zip(&sd, "clip", |m, s| m + 1.5 * s)?;
+    let x = x.binary(BinaryOp::Max, &Tensor::Local(lower))?;
+    let x = x.binary(BinaryOp::Min, &Tensor::Local(upper))?;
+    let x = x.binary(BinaryOp::Sub, &Tensor::Local(mu))?;
+    let x = x.binary(BinaryOp::Div, &Tensor::Local(sd))?;
+    println!("clipped to +-1.5 sigma and normalized (federated broadcasts only)");
+
+    // --- balanced federated 70/30 split ----------------------------------
+    let x_fed = match &x {
+        Tensor::Fed(f) => f.clone(),
+        Tensor::Local(_) => unreachable!("pipeline stays federated"),
+    };
+    let split = split_rows_per_partition(&x_fed, Some(&y_all), 0.7, 7)?;
+    println!(
+        "split: {} train rows / {} test rows, balanced across sites",
+        split.x_train.rows(),
+        split.x_test.rows()
+    );
+
+    // --- train LM on the federated train split ---------------------------
+    let y_train = split.y_train.expect("labels supplied");
+    let y_test = split.y_test.expect("labels supplied");
+    let model = lm::lm(
+        &Tensor::Fed(split.x_train),
+        &y_train,
+        &lm::LmParams::default(),
+    )?;
+    let pred = Tensor::Fed(split.x_test)
+        .matmul(&Tensor::Local(model.weights.clone()))?
+        .to_local()?;
+    let rmse = scoring::rmse(&pred, &y_test).map_err(exdra::core::RuntimeError::Matrix)?;
+    let r2 = scoring::r2(&pred, &y_test).map_err(exdra::core::RuntimeError::Matrix)?;
+    println!("LM test RMSE {rmse:.4}, R^2 {r2:.4}");
+
+    // --- track the run in the ExperimentDB -------------------------------
+    let db = ExperimentDb::new();
+    let pipeline = db.register_pipeline(
+        "P2_LM",
+        &["transformencode", "clip", "normalize", "split", "lm"],
+    );
+    db.track_run(
+        pipeline,
+        &[("lambda", "1e-3"), ("split", "70/30")],
+        DatasetMeta {
+            rows: fed_frame.rows(),
+            cols: meta.out_cols(),
+            sparsity: 0.5,
+            num_classes: 0,
+            missing_rate: 0.02,
+        },
+        &[("rmse", rmse), ("r2", r2)],
+        &["source:paper-production-sites-1-3"],
+    );
+    let best = db.best_run("r2").expect("run tracked");
+    println!(
+        "tracked run {} of pipeline {} in ExperimentDB (best r2 = {:.4})",
+        best.id,
+        pipeline,
+        best.metric("r2").unwrap()
+    );
+    println!("\nnetwork totals: {}", ctx.stats().summary());
+    Ok(())
+}

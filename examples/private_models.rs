@@ -1,0 +1,117 @@
+//! Other deployments: private *models* instead of private data (paper §5.2).
+//!
+//! "Consider ... hedge funds sharing financial data and predicting the
+//! stock market based on a stake-weighted federated ensemble of private
+//! models. Like enterprise federated ML, sharing only predictions prevents
+//! reverse-engineering of the underlying private models."
+//!
+//! Here each federated site holds a *private* regression model (its core
+//! asset). The coordinator broadcasts the (shared) feature data, each site
+//! scores it locally through a registered UDF, and only the predictions
+//! travel back; the ensemble combines them stake-weighted. The model
+//! weights never leave their sites.
+//!
+//! Run with: `cargo run --example private_models`
+
+use std::sync::Arc;
+
+use exdra::core::protocol::{Request, Response};
+use exdra::core::testutil::tcp_federation;
+use exdra::core::udf::Udf;
+use exdra::core::{DataValue, Tensor};
+use exdra::matrix::kernels::matmul::matmul;
+use exdra::ml::{lm, scoring};
+use exdra::DenseMatrix;
+
+fn main() -> exdra::core::Result<()> {
+    // --- three "funds", each training a private model on private data ----
+    let (ctx, workers) = tcp_federation(3);
+    let stakes = [0.5f64, 0.3, 0.2];
+    let d = 12usize;
+    println!("three sites hold private models; stakes {stakes:?}\n");
+
+    // All funds model the same market process but from different private
+    // samples: one shared ground-truth signal, site-specific observations.
+    let true_beta = exdra::matrix::rng::rand_matrix(d, 1, -2.0, 2.0, 77);
+    let observe = |n: usize, seed: u64| -> (DenseMatrix, DenseMatrix) {
+        let x = exdra::matrix::rng::rand_matrix(n, d, -1.0, 1.0, seed);
+        let noise = exdra::matrix::rng::randn_matrix(n, 1, seed + 1);
+        let mut y = matmul(&x, &true_beta).expect("shapes");
+        for (yv, nv) in y.values_mut().iter_mut().zip(noise.values()) {
+            *yv += 0.3 * nv;
+        }
+        (x, y)
+    };
+    for (site, worker) in workers.iter().enumerate() {
+        // Each site trains on its own (never shared) historical data.
+        let (x_private, y_private) = observe(800, 100 + site as u64);
+        let model = lm::lm(
+            &Tensor::Local(x_private),
+            &y_private,
+            &lm::LmParams::default(),
+        )?;
+        let weights = model.weights.clone();
+        // The model stays inside the registered UDF closure at the site —
+        // the registry is the "private model store".
+        worker.register_udf(
+            "fund.score",
+            Arc::new(move |_symbols, args| {
+                let x = args[0].to_dense()?;
+                let pred = matmul(&x, &weights).map_err(exdra::core::RuntimeError::Matrix)?;
+                Ok(Some(DataValue::from(pred)))
+            }),
+        );
+        println!("site{site}: private model trained and registered (weights stay on site)");
+    }
+
+    // --- the coordinator scores shared market data through the ensemble --
+    let (x_market, y_market) = observe(500, 999);
+    let mut ensemble: Option<DenseMatrix> = None;
+    for (site, stake) in stakes.iter().enumerate() {
+        let rs = ctx.call(
+            site,
+            &[Request::ExecUdf {
+                udf: Udf::Registered {
+                    name: "fund.score".into(),
+                    args: vec![DataValue::from(x_market.clone())],
+                    arg_ids: vec![],
+                    out: None,
+                },
+            }],
+        )?;
+        let pred = match &rs[0] {
+            Response::Data(v) => v.to_dense()?,
+            other => panic!("unexpected {other:?}"),
+        };
+        println!(
+            "site{site}: returned {} predictions (stake {stake})",
+            pred.rows()
+        );
+        let weighted = pred.map(|v| v * stake);
+        ensemble = Some(match ensemble {
+            None => weighted,
+            Some(acc) => acc
+                .zip(&weighted, "+", |a, b| a + b)
+                .map_err(exdra::core::RuntimeError::Matrix)?,
+        });
+    }
+    let ensemble = ensemble.expect("at least one site");
+    let r2 = scoring::r2(&ensemble, &y_market).map_err(exdra::core::RuntimeError::Matrix)?;
+    println!("\nstake-weighted ensemble R^2 on shared market data: {r2:.4}");
+
+    // --- the models themselves are not retrievable -----------------------
+    // There is no symbol-table entry for the weights and no UDF that
+    // returns them; a GET for an unknown ID is all an adversarial
+    // coordinator could try.
+    let rs = ctx.call(0, &[Request::Get { id: 424_242 }])?;
+    match &rs[0] {
+        Response::Error(msg) => {
+            println!("attempt to fetch model state: denied ({msg})")
+        }
+        other => panic!("model state must not be fetchable: {other:?}"),
+    }
+    // Privacy note from the paper: with enough adaptive queries, predictions
+    // can approximate a linear model; production deployments rate-limit and
+    // audit queries (out of scope here, as in the paper).
+    Ok(())
+}

@@ -1,0 +1,53 @@
+//! Quickstart: spin up three federated workers, create a federated matrix,
+//! and train an L2SVM without the raw data ever reaching the coordinator —
+//! the paper's §3.2 snippet (`features.l2svm(labels).compute()`) end to end.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use exdra::core::testutil::tcp_federation;
+use exdra::ml::scoring::accuracy;
+use exdra::ml::{l2svm, synth};
+use exdra::{PrivacyLevel, Session};
+
+fn main() -> exdra::core::Result<()> {
+    // 1. Start three standing federated workers on loopback TCP — in
+    //    production these are long-running servers at the federated sites.
+    let (ctx, _workers) = tcp_federation(3);
+    println!("connected to {} federated workers", ctx.num_workers());
+
+    // 2. Create a session and a federated feature matrix. The privacy
+    //    constraint says: raw rows must never leave a site, only
+    //    aggregates over at least 10 observations may.
+    let sds = Session::with_context(ctx.clone())
+        .with_privacy(PrivacyLevel::PrivateAggregate { min_group: 10 });
+    let (x, y) = synth::two_class(3000, 20, 0.05, 42);
+    let features = sds.federated(&x)?;
+
+    // 3. Inspect the lazily-built plan for a normalization expression.
+    let normalized = features.sub(&features.col_means()?)?;
+    println!("\ngenerated script for the normalization plan:");
+    println!("{}\n", normalized.explain());
+
+    // 4. Train an L2SVM directly on the federated data. Only gradient-
+    //    sized vectors cross the network.
+    let model = features.l2svm(&y)?;
+    println!(
+        "trained L2SVM in {} outer iterations (objective {:.4})",
+        model.iterations, model.objective
+    );
+
+    // 5. Evaluate: predictions need only the model and X %*% w products.
+    let pred = l2svm::predict(&features.eval()?, &model)?;
+    println!("training accuracy: {:.3}", accuracy(&pred, &y)?);
+
+    // 6. The privacy constraint holds: consolidating the raw federated
+    //    matrix at the coordinator is refused.
+    match features.compute() {
+        Err(e) => println!("\nraw consolidation denied as expected:\n  {e}"),
+        Ok(_) => unreachable!("privacy constraint must deny raw transfer"),
+    }
+
+    // 7. Network accounting: how much actually moved?
+    println!("\nnetwork totals: {}", ctx.stats().summary());
+    Ok(())
+}

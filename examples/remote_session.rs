@@ -1,0 +1,64 @@
+//! Connecting to *externally running* standing workers — the production
+//! deployment of Figure 4: start one `exdra-worker` process per site
+//! (`cargo run --bin exdra-worker -- --listen host:port --data-dir ...`),
+//! then point this coordinator at them.
+//!
+//! ```bash
+//! cargo run --bin exdra-worker -- --listen 127.0.0.1:8101 --data-dir /srv/site1 &
+//! cargo run --bin exdra-worker -- --listen 127.0.0.1:8102 --data-dir /srv/site2 &
+//! cargo run --example remote_session -- 127.0.0.1:8101 127.0.0.1:8102
+//! ```
+//!
+//! Each site directory must contain the raw partition `x.csv` (headerless
+//! numeric CSV) named on the command line below.
+
+use exdra::core::Tensor;
+use exdra::ml::lm;
+use exdra::{PrivacyLevel, Session};
+
+fn main() -> exdra::core::Result<()> {
+    let addrs: Vec<String> = std::env::args().skip(1).collect();
+    if addrs.is_empty() {
+        eprintln!("usage: remote_session <worker-addr> [<worker-addr> ...]");
+        eprintln!("start workers first: exdra-worker --listen ADDR --data-dir DIR");
+        std::process::exit(2);
+    }
+    println!("connecting to {} standing workers: {addrs:?}", addrs.len());
+    let sds = Session::connect(&addrs)?
+        .with_privacy(PrivacyLevel::PrivateAggregate { min_group: 10 });
+
+    // READ the per-site raw partitions on demand (the files never move).
+    let rows_per_site = 500usize;
+    let cols = 8usize;
+    let files: Vec<(String, usize)> = addrs
+        .iter()
+        .map(|_| ("x.csv".to_string(), rows_per_site))
+        .collect();
+    let x = sds.read_federated_csv(&files, cols)?;
+    println!(
+        "federated matrix from remote raw files: {} x {}",
+        rows_per_site * addrs.len(),
+        cols
+    );
+
+    // A few federated aggregates and a model, over real remote sockets.
+    let mu = x.col_means()?.compute()?;
+    println!("federated column means: {:?}", &mu.values()[..cols.min(4)]);
+    let y_parts = x.matmul(&sds.matrix(exdra::matrix::rng::rand_matrix(cols, 1, -1.0, 1.0, 7)));
+    let y = y_parts.compute().unwrap_or_else(|e| {
+        // Per-row values of private data cannot consolidate; synthesize
+        // local labels instead for the demo model.
+        println!("(raw predictions stay at the sites: {e})");
+        exdra::matrix::rng::rand_matrix(rows_per_site * addrs.len(), 1, -1.0, 1.0, 8)
+    });
+    let model = lm::lm(&x.eval()?, &y, &lm::LmParams::default())?;
+    println!(
+        "trained LM remotely: {} weights, {} CG iterations",
+        model.weights.rows(),
+        model.iterations
+    );
+    if let Some(ctx) = sds.ctx() {
+        println!("network totals: {}", ctx.stats().summary());
+    }
+    Ok(())
+}

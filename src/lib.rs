@@ -1,0 +1,28 @@
+#![warn(missing_docs)]
+//! # ExDRa-RS
+//!
+//! A from-scratch Rust reproduction of **"ExDRa: Exploratory Data Science
+//! on Federated Raw Data"** (SIGMOD 2021): a federated ML runtime in the
+//! style of Apache SystemDS' federated backend — coordinator and standing
+//! worker servers speaking a six-request protocol, federated linear
+//! algebra and parameter servers, federated feature transformations on raw
+//! data, streaming acquisition, and experiment/model management.
+//!
+//! Start with [`api::Session`] for the lazy front-end API, or drop down to
+//! [`core::fed::FedMatrix`] and [`core::Tensor`] for direct federated
+//! linear algebra. See `examples/quickstart.rs` for a 60-second tour and
+//! DESIGN.md for the system inventory.
+
+pub use exdra_api as api;
+pub use exdra_core as core;
+pub use exdra_expdb as expdb;
+pub use exdra_matrix as matrix;
+pub use exdra_ml as ml;
+pub use exdra_net as net;
+pub use exdra_paramserv as paramserv;
+pub use exdra_stream as stream;
+pub use exdra_transform as transform;
+
+pub use exdra_api::{Lazy, Session};
+pub use exdra_core::{DataValue, FedContext, FedMatrix, PrivacyLevel, Tensor};
+pub use exdra_matrix::{DenseMatrix, Frame, Matrix};

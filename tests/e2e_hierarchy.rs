@@ -1,0 +1,173 @@
+//! Federation hierarchies (paper §4.1): "If the worker-local data is
+//! federated data, a worker can also act as a coordinator of a subgroup of
+//! workers." A mid-tier worker holds its own federated context over two
+//! leaf workers and answers the top coordinator's requests by issuing
+//! federated sub-operations — e.g. a data-center site whose "partition" is
+//! itself distributed.
+
+use std::sync::Arc;
+
+use exdra::core::fed::FedMatrix;
+use exdra::core::protocol::{Request, Response};
+use exdra::core::testutil::tcp_federation;
+use exdra::core::udf::Udf;
+use exdra::core::{DataValue, PrivacyLevel, Tensor};
+use exdra::matrix::kernels::aggregates::{AggDir, AggOp};
+use exdra::matrix::rng::rand_matrix;
+
+#[test]
+fn worker_as_subcoordinator() {
+    // Leaf tier: two workers holding the mid-tier site's distributed data.
+    let (leaf_ctx, _leaf_workers) = tcp_federation(2);
+    let site_data = rand_matrix(200, 8, -1.0, 1.0, 1);
+    let sub_fed =
+        FedMatrix::scatter_rows(&leaf_ctx, &site_data, PrivacyLevel::Public).unwrap();
+
+    // Mid tier: one worker that exposes its (sub-federated) data through
+    // registered UDFs which internally run federated sub-operations.
+    let (top_ctx, top_workers) = tcp_federation(1);
+    let mid = &top_workers[0];
+    {
+        let sub = sub_fed.clone();
+        mid.register_udf(
+            "hier.colsums",
+            Arc::new(move |_symbols, _args| {
+                let partial = Tensor::Fed(sub.clone())
+                    .agg(AggOp::Sum, AggDir::Col)?
+                    .to_local()?;
+                Ok(Some(DataValue::from(partial)))
+            }),
+        );
+    }
+    {
+        let sub = sub_fed.clone();
+        mid.register_udf(
+            "hier.matvec",
+            Arc::new(move |_symbols, args| {
+                let v = args[0].to_dense()?;
+                let out = Tensor::Fed(sub.clone())
+                    .matmul(&Tensor::Local(v))?
+                    .to_local()?;
+                Ok(Some(DataValue::from(out)))
+            }),
+        );
+    }
+
+    // Top coordinator: one federated request per aggregate; the mid tier
+    // fans out to the leaves transparently.
+    let rs = top_ctx
+        .call(
+            0,
+            &[Request::ExecUdf {
+                udf: Udf::Registered {
+                    name: "hier.colsums".into(),
+                    args: vec![],
+                    arg_ids: vec![],
+                    out: None,
+                },
+            }],
+        )
+        .unwrap();
+    let got = match &rs[0] {
+        Response::Data(v) => v.to_dense().unwrap(),
+        other => panic!("unexpected {other:?}"),
+    };
+    let want = exdra::matrix::kernels::aggregates::aggregate(&site_data, AggOp::Sum, AggDir::Col)
+        .unwrap();
+    assert!(got.max_abs_diff(&want) < 1e-10);
+
+    // Matrix-vector through both tiers.
+    let v = rand_matrix(8, 1, -1.0, 1.0, 2);
+    let rs = top_ctx
+        .call(
+            0,
+            &[Request::ExecUdf {
+                udf: Udf::Registered {
+                    name: "hier.matvec".into(),
+                    args: vec![DataValue::from(v.clone())],
+                    arg_ids: vec![],
+                    out: None,
+                },
+            }],
+        )
+        .unwrap();
+    let got = match &rs[0] {
+        Response::Data(vv) => vv.to_dense().unwrap(),
+        other => panic!("unexpected {other:?}"),
+    };
+    let want = exdra::matrix::kernels::matmul::matmul(&site_data, &v).unwrap();
+    assert!(got.max_abs_diff(&want) < 1e-10);
+}
+
+#[test]
+fn hierarchy_preserves_leaf_privacy() {
+    // Leaves hold private-aggregate data: the mid tier can compute
+    // aggregates but cannot consolidate raw leaf data to serve the top.
+    let (leaf_ctx, _leaves) = tcp_federation(2);
+    let site_data = rand_matrix(100, 6, 0.0, 1.0, 3);
+    let sub_fed = FedMatrix::scatter_rows(
+        &leaf_ctx,
+        &site_data,
+        PrivacyLevel::PrivateAggregate { min_group: 10 },
+    )
+    .unwrap();
+    let (top_ctx, top_workers) = tcp_federation(1);
+    {
+        let sub = sub_fed.clone();
+        top_workers[0].register_udf(
+            "hier.raw",
+            Arc::new(move |_s, _a| {
+                let raw = sub.consolidate()?; // must fail at the leaves
+                Ok(Some(DataValue::from(raw)))
+            }),
+        );
+    }
+    {
+        let sub = sub_fed.clone();
+        top_workers[0].register_udf(
+            "hier.mean",
+            Arc::new(move |_s, _a| {
+                Ok(Some(DataValue::Scalar(Tensor::Fed(sub.clone()).mean()?)))
+            }),
+        );
+    }
+    let rs = top_ctx
+        .call(
+            0,
+            &[Request::ExecUdf {
+                udf: Udf::Registered {
+                    name: "hier.raw".into(),
+                    args: vec![],
+                    arg_ids: vec![],
+                    out: None,
+                },
+            }],
+        )
+        .unwrap();
+    assert!(
+        matches!(&rs[0], Response::Error(msg) if msg.contains("privacy")),
+        "raw consolidation must fail across tiers: {rs:?}"
+    );
+    let rs = top_ctx
+        .call(
+            0,
+            &[Request::ExecUdf {
+                udf: Udf::Registered {
+                    name: "hier.mean".into(),
+                    args: vec![],
+                    arg_ids: vec![],
+                    out: None,
+                },
+            }],
+        )
+        .unwrap();
+    match &rs[0] {
+        Response::Data(v) => {
+            let got = v.as_scalar().unwrap();
+            let want =
+                site_data.values().iter().sum::<f64>() / site_data.len() as f64;
+            assert!((got - want).abs() < 1e-10);
+        }
+        other => panic!("aggregate should pass: {other:?}"),
+    }
+}

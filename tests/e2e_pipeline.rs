@@ -1,0 +1,179 @@
+//! End-to-end pipeline P2 (paper §6.3) over a real TCP federation: raw
+//! frames → federated transformencode → clip/normalize → balanced split →
+//! LM training and evaluation, with ExperimentDB tracking.
+
+use exdra::core::fed::prep::split_rows_per_partition;
+use exdra::core::testutil::tcp_federation;
+use exdra::core::{PrivacyLevel, Tensor};
+use exdra::expdb::{DatasetMeta, ExperimentDb};
+use exdra::matrix::kernels::aggregates::{AggDir, AggOp};
+use exdra::matrix::kernels::elementwise::BinaryOp;
+use exdra::ml::{lm, synth};
+use exdra::transform::TransformSpec;
+use exdra::Session;
+
+#[test]
+fn p2_pipeline_end_to_end() {
+    let sites = 3usize;
+    let (ctx, _workers) = tcp_federation(sites);
+    let sds = Session::with_context(ctx)
+        .with_privacy(PrivacyLevel::PrivateAggregate { min_group: 25 });
+
+    // Raw per-site frames + aligned targets.
+    let mut frames = Vec::new();
+    let mut y_all: Option<exdra::DenseMatrix> = None;
+    for s in 0..sites {
+        let (f, y) = synth::paper_production_frame(600, 2, 6, 8, 0.02, 40 + s as u64);
+        frames.push(f);
+        y_all = Some(match y_all {
+            None => y,
+            Some(acc) => exdra::matrix::kernels::reorg::rbind(&acc, &y).unwrap(),
+        });
+    }
+    let y_all = y_all.unwrap();
+    let fed_frame = sds.federated_frame(&frames).unwrap();
+    assert_eq!(fed_frame.rows(), 1800);
+
+    // Federated encode.
+    let spec = TransformSpec::auto(&frames[0]);
+    let (encoded, meta) = fed_frame.transform_encode(&spec).unwrap();
+    assert!(meta.out_cols() > frames[0].cols(), "one-hot widens");
+
+    // Clip + normalize (federated broadcasts only).
+    let x = Tensor::Fed(encoded).replace(f64::NAN, 0.0).unwrap();
+    let mu = x.agg(AggOp::Mean, AggDir::Col).unwrap().to_local().unwrap();
+    let sd = x
+        .agg(AggOp::Sd, AggDir::Col)
+        .unwrap()
+        .to_local()
+        .unwrap()
+        .map(|v| if v > 1e-12 { v } else { 1.0 });
+    // Clipping to +-1.5 sigma is load-bearing here: missing cells were
+    // replaced by raw zeros, which sit ~11 sigma below the sensor range
+    // until clipped (the very outliers the paper's P2 clips away).
+    let lower = mu.zip(&sd, "clip", |m, s| m - 1.5 * s).unwrap();
+    let upper = mu.zip(&sd, "clip", |m, s| m + 1.5 * s).unwrap();
+    let x = x
+        .binary(BinaryOp::Max, &Tensor::Local(lower))
+        .unwrap()
+        .binary(BinaryOp::Min, &Tensor::Local(upper))
+        .unwrap()
+        .binary(BinaryOp::Sub, &Tensor::Local(mu.clone()))
+        .unwrap()
+        .binary(BinaryOp::Div, &Tensor::Local(sd))
+        .unwrap();
+    // Normalized federated data has near-zero column means (clipping
+    // shifts them slightly away from exactly zero).
+    let mu2 = x.agg(AggOp::Mean, AggDir::Col).unwrap().to_local().unwrap();
+    assert!(mu2.values().iter().all(|v| v.abs() < 0.2), "{mu2:?}");
+
+    // Balanced split + training.
+    let x_fed = match x {
+        Tensor::Fed(f) => f,
+        _ => unreachable!(),
+    };
+    let split = split_rows_per_partition(&x_fed, Some(&y_all), 0.7, 3).unwrap();
+    assert_eq!(split.x_train.rows(), 1260);
+    assert_eq!(split.x_test.rows(), 540);
+    let model = lm::lm(
+        &Tensor::Fed(split.x_train),
+        split.y_train.as_ref().unwrap(),
+        &lm::LmParams::default(),
+    )
+    .unwrap();
+    // Predictions are per-row values of private data: keep them federated
+    // and evaluate through releasable aggregates only.
+    let pred = Tensor::Fed(split.x_test)
+        .matmul(&Tensor::Local(model.weights.clone()))
+        .unwrap();
+    let y_test = split.y_test.as_ref().unwrap();
+    let residual = pred.binary(BinaryOp::Sub, &Tensor::Local(y_test.clone())).unwrap();
+    let ss_res = residual
+        .unary(exdra::matrix::kernels::elementwise::UnaryOp::Square)
+        .unwrap()
+        .sum()
+        .unwrap();
+    let mean_y = y_test.values().iter().sum::<f64>() / y_test.rows() as f64;
+    let ss_tot: f64 = y_test.values().iter().map(|v| (v - mean_y).powi(2)).sum();
+    let r2 = 1.0 - ss_res / ss_tot;
+    assert!(r2 > 0.6, "pipeline should learn the linear signal: r2={r2}");
+    // Raw per-row predictions must stay at the sites.
+    assert!(matches!(
+        pred.to_local(),
+        Err(exdra::core::RuntimeError::Privacy(_))
+    ));
+
+    // Track in the ExperimentDB and query back.
+    let db = ExperimentDb::new();
+    let pid = db.register_pipeline("P2_LM", &["transformencode", "normalize", "split", "lm"]);
+    db.track_run(
+        pid,
+        &[("split", "70/30")],
+        DatasetMeta {
+            rows: 1800,
+            cols: meta.out_cols(),
+            sparsity: 0.5,
+            num_classes: 0,
+            missing_rate: 0.02,
+        },
+        &[("r2", r2)],
+        &["sites:3"],
+    )
+    .unwrap();
+    assert_eq!(db.best_run("r2").unwrap().metric("r2"), Some(r2));
+}
+
+#[test]
+fn p2_pipeline_federated_matches_centralized() {
+    // Run the same preprocessing federated and centralized; the encoded,
+    // normalized matrices must be identical (paper: "equivalent to local
+    // encoding").
+    let sites = 2usize;
+    let (ctx, _workers) = tcp_federation(sites);
+    let sds = Session::with_context(ctx);
+    let frames: Vec<_> = (0..sites)
+        .map(|s| synth::paper_production_frame(300, 1, 5, 6, 0.0, 80 + s as u64).0)
+        .collect();
+    let fed_frame = sds.federated_frame(&frames).unwrap();
+    let spec = TransformSpec::auto(&frames[0]);
+    let (encoded, meta) = fed_frame.transform_encode(&spec).unwrap();
+
+    let mut all = frames[0].clone();
+    for f in &frames[1..] {
+        all = all.rbind(f).unwrap();
+    }
+    let (central, central_meta) = exdra::transform::transform_encode(&all, &spec).unwrap();
+    assert_eq!(meta, central_meta);
+    let fed_local = encoded.consolidate().unwrap();
+    assert!(fed_local.max_abs_diff(&central) < 1e-15);
+}
+
+#[test]
+fn pipeline_recommendation_over_history() {
+    // After several tracked runs, the recommender prefers the historically
+    // better pipeline for a similar dataset.
+    let db = ExperimentDb::new();
+    let p_lm = db.register_pipeline("P2_LM", &["transformencode", "lm"]);
+    let p_ffn = db.register_pipeline("P2_FFN", &["transformencode", "ffn"]);
+    let small = DatasetMeta {
+        rows: 2000,
+        cols: 30,
+        sparsity: 0.6,
+        num_classes: 0,
+        missing_rate: 0.02,
+    };
+    let big = DatasetMeta {
+        rows: 10_000_000,
+        cols: 1050,
+        sparsity: 0.3,
+        num_classes: 0,
+        missing_rate: 0.02,
+    };
+    db.track_run(p_lm, &[], small, &[("r2", 0.9)], &[]).unwrap();
+    db.track_run(p_ffn, &[], small, &[("r2", 0.7)], &[]).unwrap();
+    db.track_run(p_ffn, &[], big, &[("r2", 0.95)], &[]).unwrap();
+    let recs = exdra::expdb::recommend(&db, &small, "r2", 0.5);
+    assert_eq!(recs[0].pipeline_id, p_lm, "LM is better on small data");
+    let recs = exdra::expdb::recommend(&db, &big, "r2", 0.5);
+    assert_eq!(recs[0].pipeline_id, p_ffn, "FFN is better on big data");
+}

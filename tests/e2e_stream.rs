@@ -1,0 +1,120 @@
+//! End-to-end streaming acquisition feeding federated training (paper §3.4
+//! and Figure 4): NES-lite continuous queries → retained file sinks →
+//! worker `READ` over the six-request protocol → federated model training.
+
+use std::sync::Arc;
+
+use exdra::core::fed::FedMatrix;
+use exdra::core::protocol::ReadFormat;
+use exdra::core::testutil::tcp_federation_with;
+use exdra::core::worker::WorkerConfig;
+use exdra::core::{PrivacyLevel, Tensor};
+use exdra::stream::query::{Operator, Query, WindowAgg};
+use exdra::stream::record::Schema;
+use exdra::stream::source::{SensorConfig, SensorSource};
+use exdra::stream::{FileSink, NesCoordinator};
+
+#[test]
+fn sink_snapshot_to_federated_training() {
+    // Two sites, each with its own NES instance writing window aggregates
+    // into a retained sink that doubles as the worker's data directory.
+    let root = std::env::temp_dir().join(format!("exdra-e2e-stream-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&root);
+    let sensors = 6usize;
+    let mut site_dirs = Vec::new();
+    for site in 0..2 {
+        let dir = root.join(format!("site{site}"));
+        let nes = NesCoordinator::new(format!("site{site}"));
+        let mut source = SensorSource::new(SensorConfig::signals(sensors, 30 + site as u64));
+        let mut query = Query::new(
+            "window-mean",
+            vec![Operator::TumblingWindow {
+                size: 4,
+                agg: WindowAgg::Mean,
+            }],
+        );
+        let fields: Vec<String> = (0..sensors).map(|i| format!("s{i}")).collect();
+        let refs: Vec<&str> = fields.iter().map(String::as_str).collect();
+        let sink = Arc::new(FileSink::create(&dir, Schema::new(&refs), 100, 10).unwrap());
+        let emitted = nes.run_bounded(&mut source, &mut query, &sink, 800).unwrap();
+        assert_eq!(emitted, 200);
+        // Persist the snapshot as the worker's training file (the paper's
+        // "consistent in-memory snapshot" read by each training session).
+        let snapshot = sink.snapshot_features().unwrap();
+        exdra::matrix::io::write_matrix_csv(&snapshot, &dir.join("train.csv")).unwrap();
+        site_dirs.push(dir);
+    }
+
+    // Workers rooted at the per-site sink directories; data loaded through
+    // genuine READ requests (file access stays site-local).
+    let mut dirs = site_dirs.clone().into_iter();
+    let (ctx, _workers) = tcp_federation_with(
+        2,
+        move || WorkerConfig {
+            data_dir: dirs.next().expect("one dir per worker"),
+            ..WorkerConfig::default()
+        },
+        exdra::core::coordinator::WorkerEndpoint::tcp,
+    );
+    let fed = FedMatrix::read_row_partitioned(
+        &ctx,
+        &[
+            ("train.csv".into(), ReadFormat::MatrixCsv, 200),
+            ("train.csv".into(), ReadFormat::MatrixCsv, 200),
+        ],
+        sensors,
+        PrivacyLevel::PrivateAggregate { min_group: 20 },
+    )
+    .unwrap();
+    assert_eq!(fed.shape(), (400, sensors));
+
+    // Train a federated GMM on the streamed data.
+    let model = exdra::ml::gmm::gmm(
+        &Tensor::Fed(fed),
+        &exdra::ml::gmm::GmmParams {
+            k: 2,
+            max_iter: 10,
+            ..exdra::ml::gmm::GmmParams::default()
+        },
+    )
+    .unwrap();
+    assert!(model.log_likelihood.is_finite());
+    assert!(model.iterations >= 2);
+}
+
+#[test]
+fn retention_bounds_training_window() {
+    // With a short retention, only recent windows are in the snapshot —
+    // the "last two days" semantics of §3.4.
+    let dir = std::env::temp_dir().join(format!("exdra-e2e-retention-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let nes = NesCoordinator::new("site");
+    let mut source = SensorSource::new(SensorConfig::signals(2, 5));
+    let mut query = Query::new("raw", vec![]);
+    let sink = FileSink::create(&dir, Schema::new(&["a", "b"]), 50, 2).unwrap();
+    nes.run_bounded(&mut source, &mut query, &sink, 500).unwrap();
+    // 500 records in segments of 50, retention 2 segments -> <= 100 rows.
+    let snap = sink.snapshot().unwrap();
+    assert!(snap.rows() <= 100);
+    // The retained rows are the most recent ones.
+    assert!(snap.get(0, 0) >= 400.0, "oldest retained ts {}", snap.get(0, 0));
+}
+
+#[test]
+fn deployed_query_feeds_growing_sink_between_sessions() {
+    // A deployed (background) query keeps appending while training
+    // sessions snapshot at different times — later snapshots see more.
+    let dir = std::env::temp_dir().join(format!("exdra-e2e-deploy-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let nes = NesCoordinator::new("site");
+    let source = SensorSource::new(SensorConfig::signals(3, 6));
+    let query = Query::new("raw", vec![]);
+    let sink = Arc::new(FileSink::create(&dir, Schema::new(&["a", "b", "c"]), 1000, 10).unwrap());
+    let handle = nes.deploy(source, query, Arc::clone(&sink), None);
+    assert!(handle.wait_for_emitted(100, std::time::Duration::from_secs(5)));
+    let first = sink.snapshot().unwrap().rows();
+    assert!(handle.wait_for_emitted(first as u64 + 100, std::time::Duration::from_secs(5)));
+    let second = sink.snapshot().unwrap().rows();
+    handle.stop();
+    assert!(second > first, "snapshot must grow: {first} -> {second}");
+}

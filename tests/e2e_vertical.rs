@@ -1,0 +1,154 @@
+//! Vertical (column-partitioned) federated learning (paper §2.3): every
+//! site holds a subset of *features* — "site-specific measurement
+//! processes (e.g., available sensors)". The specialized column-scheme
+//! implementations of the federated instructions are exercised end to end.
+
+use exdra::core::fed::FedMatrix;
+use exdra::core::testutil::tcp_federation;
+use exdra::core::{PrivacyLevel, RuntimeError, Tensor};
+use exdra::matrix::kernels::aggregates::{aggregate, AggDir, AggOp};
+use exdra::matrix::kernels::elementwise::{binary, BinaryOp, UnaryOp};
+use exdra::matrix::kernels::matmul::matmul;
+use exdra::matrix::kernels::reorg;
+use exdra::matrix::rng::rand_matrix;
+
+fn vertical(
+    n_workers: usize,
+    x: &exdra::DenseMatrix,
+) -> (std::sync::Arc<exdra::FedContext>, FedMatrix) {
+    let (ctx, _w) = tcp_federation(n_workers);
+    let fed = FedMatrix::scatter_cols(&ctx, x, PrivacyLevel::Public).unwrap();
+    (ctx, fed)
+}
+
+#[test]
+fn column_scatter_consolidates_exactly() {
+    let x = rand_matrix(40, 17, -1.0, 1.0, 1);
+    let (_ctx, fed) = vertical(3, &x);
+    assert_eq!(fed.scheme(), exdra::core::PartitionScheme::Col);
+    assert_eq!(fed.parts().len(), 3);
+    assert_eq!(fed.parts()[0].len(), 6); // 17 = 6 + 6 + 5
+    assert!(fed.consolidate().unwrap().max_abs_diff(&x) < 1e-15);
+}
+
+#[test]
+fn vertical_matvec_aggregates_partials() {
+    // X v over column partitions: sliced broadcast of v, partial sums.
+    let x = rand_matrix(60, 12, -1.0, 1.0, 2);
+    let v = rand_matrix(12, 1, -1.0, 1.0, 3);
+    let (_ctx, fed) = vertical(3, &x);
+    let got = Tensor::Fed(fed).matmul(&Tensor::Local(v.clone())).unwrap();
+    assert!(!got.is_fed(), "contracted over the partitioned dimension");
+    let want = matmul(&x, &v).unwrap();
+    assert!(got.to_local().unwrap().max_abs_diff(&want) < 1e-10);
+}
+
+#[test]
+fn vertical_lhs_matmul_stays_federated() {
+    // w^T X over column partitions: broadcast w, per-site product, output
+    // federated by columns.
+    let x = rand_matrix(50, 9, -1.0, 1.0, 4);
+    let wt = rand_matrix(1, 50, -1.0, 1.0, 5);
+    let (_ctx, fed) = vertical(3, &x);
+    let got = Tensor::Local(wt.clone()).matmul(&Tensor::Fed(fed)).unwrap();
+    assert!(got.is_fed(), "per-feature results stay at the feature sites");
+    let want = matmul(&wt, &x).unwrap();
+    assert!(got.to_local().unwrap().max_abs_diff(&want) < 1e-10);
+}
+
+#[test]
+fn vertical_aggregates() {
+    let x = rand_matrix(30, 10, -2.0, 2.0, 6);
+    let (_ctx, fed) = vertical(2, &x);
+    let t = Tensor::Fed(fed);
+    // colSums stays federated under column partitioning...
+    let cs = t.col_sums().unwrap();
+    assert!(cs.is_fed());
+    let want = aggregate(&x, AggOp::Sum, AggDir::Col).unwrap();
+    assert!(cs.to_local().unwrap().max_abs_diff(&want) < 1e-10);
+    // ...while rowSums and full aggregates combine partials.
+    for (op, dir) in [
+        (AggOp::Sum, AggDir::Row),
+        (AggOp::Mean, AggDir::Row),
+        (AggOp::Var, AggDir::Full),
+        (AggOp::Min, AggDir::Full),
+    ] {
+        let got = t.agg(op, dir).unwrap().to_local().unwrap();
+        let want = aggregate(&x, op, dir).unwrap();
+        assert!(got.max_abs_diff(&want) < 1e-9, "{op:?} {dir:?}");
+    }
+}
+
+#[test]
+fn vertical_elementwise_broadcasts() {
+    let x = rand_matrix(25, 8, -1.0, 1.0, 7);
+    let (_ctx, fed) = vertical(2, &x);
+    let t = Tensor::Fed(fed);
+    // Column vector: full broadcast to every feature site.
+    let cv = rand_matrix(25, 1, 0.5, 1.5, 8);
+    let got = t.binary(BinaryOp::Mul, &Tensor::Local(cv.clone())).unwrap();
+    let want = binary(&x, BinaryOp::Mul, &cv).unwrap();
+    assert!(got.to_local().unwrap().max_abs_diff(&want) < 1e-12);
+    // Row vector: sliced by column ranges.
+    let rv = rand_matrix(1, 8, 0.5, 1.5, 9);
+    let got = t.binary(BinaryOp::Add, &Tensor::Local(rv.clone())).unwrap();
+    let want = binary(&x, BinaryOp::Add, &rv).unwrap();
+    assert!(got.to_local().unwrap().max_abs_diff(&want) < 1e-12);
+    // Unary stays federated.
+    let got = t.unary(UnaryOp::Abs).unwrap();
+    assert!(got.is_fed());
+    assert!(got.to_local().unwrap().max_abs_diff(&x.map(f64::abs)) < 1e-15);
+}
+
+#[test]
+fn transpose_converts_between_schemes() {
+    let x = rand_matrix(20, 14, -1.0, 1.0, 10);
+    let (_ctx, fed) = vertical(2, &x);
+    let t = fed.transpose().unwrap();
+    assert_eq!(t.scheme(), exdra::core::PartitionScheme::Row);
+    assert!(t.consolidate().unwrap().max_abs_diff(&reorg::transpose(&x)) < 1e-15);
+    // And back.
+    let back = t.transpose().unwrap();
+    assert_eq!(back.scheme(), exdra::core::PartitionScheme::Col);
+    assert!(back.consolidate().unwrap().max_abs_diff(&x) < 1e-15);
+}
+
+#[test]
+fn vertical_linear_model_via_transposed_gram() {
+    // Vertical federated ridge regression through the supported ops:
+    // gram = X^T X assembled from w^T X products (each row of X^T X is a
+    // vector-matrix product that stays federated until consolidated as an
+    // aggregate-sized d x d matrix).
+    let d = 6usize;
+    let (x, y, _) = exdra::ml::synth::regression(200, d, 0.1, 11);
+    let (_ctx, fed) = vertical(2, &x);
+    let t = Tensor::Fed(fed);
+    // X^T y: (Local y^T) %*% Fed X -> 1 x d federated -> consolidate.
+    let yt = reorg::transpose(&y);
+    let xty_t = Tensor::Local(yt).matmul(&t).unwrap().to_local().unwrap();
+    let xty = reorg::transpose(&xty_t);
+    // X^T X via d vector-matrix products (column e_i^T picks row i of X^T X
+    // ... here simply consolidate t(X) %*% X from the transposed handle).
+    // tsmm requires row partitioning; the supported vertical path is to
+    // consolidate the feature-sized d x n transpose (an aggregate-sized
+    // object for tall data) and form the Gram matrix locally.
+    let gram = match t.tsmm() {
+        Ok(g) => g,
+        Err(RuntimeError::Unsupported(_)) => {
+            let xt_local = match &t {
+                Tensor::Fed(f) => f.transpose().unwrap().consolidate().unwrap(),
+                _ => unreachable!(),
+            };
+            matmul(&xt_local, &reorg::transpose(&xt_local)).unwrap()
+        }
+        Err(e) => panic!("unexpected error: {e}"),
+    };
+    let mut gram = gram;
+    for i in 0..d {
+        let v = gram.get(i, i);
+        gram.set(i, i, v + 1e-3);
+    }
+    let w = exdra::matrix::eigen::solve_spd(&gram, &xty).unwrap();
+    let want = exdra::ml::lm::normal_equations(&x, &y, 1e-3).unwrap();
+    assert!(w.max_abs_diff(&want) < 1e-8);
+}

@@ -1,0 +1,106 @@
+//! Protocol-robustness properties: whatever bytes arrive at a worker, the
+//! decoders return errors instead of panicking or over-allocating, and the
+//! channel stacks deliver payloads verbatim under all compositions.
+
+use exdra::core::instruction::Instruction;
+use exdra::core::protocol::{Request, Response};
+use exdra::core::DataValue;
+use exdra::net::codec::Wire;
+use exdra::net::crypto::ChannelKey;
+use exdra::net::sim::NetProfile;
+use exdra::net::transport::{mem_pair, Channel, EncryptedChannel, ShapedChannel};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Feeding arbitrary bytes to every decoder must never panic — a worker
+    /// cannot be crashed by a malformed or malicious request frame.
+    #[test]
+    fn decoders_never_panic_on_garbage(bytes in proptest::collection::vec(any::<u8>(), 0..512)) {
+        let _ = Vec::<Request>::from_bytes(&bytes);
+        let _ = Vec::<Response>::from_bytes(&bytes);
+        let _ = Instruction::from_bytes(&bytes);
+        let _ = DataValue::from_bytes(&bytes);
+        let _ = exdra::DenseMatrix::from_bytes(&bytes);
+        let _ = exdra::Frame::from_bytes(&bytes);
+    }
+
+    /// Truncating a valid encoding at any point yields an error, never a
+    /// silently-wrong value of the same type with trailing acceptance.
+    #[test]
+    fn truncated_requests_rejected(cut_frac in 0.0f64..1.0) {
+        let batch = vec![
+            Request::Put {
+                id: 7,
+                data: DataValue::from(exdra::matrix::rng::rand_matrix(5, 4, 0.0, 1.0, 1)),
+                privacy: exdra::PrivacyLevel::Public,
+            },
+            Request::Get { id: 7 },
+        ];
+        let bytes = batch.to_bytes();
+        let cut = ((bytes.len() as f64) * cut_frac) as usize;
+        if cut < bytes.len() {
+            prop_assert!(Vec::<Request>::from_bytes(&bytes[..cut]).is_err());
+        }
+    }
+
+    /// Payloads survive every channel-stack composition bit-exactly.
+    #[test]
+    fn channel_stacks_deliver_verbatim(
+        payload in proptest::collection::vec(any::<u8>(), 0..2048),
+        encrypt in any::<bool>(),
+        shape in any::<bool>(),
+    ) {
+        let (a, b) = mem_pair();
+        let key = ChannelKey::from_passphrase("prop");
+        let mut tx: Box<dyn Channel> = if encrypt {
+            Box::new(EncryptedChannel::new(a, key, true))
+        } else {
+            Box::new(a)
+        };
+        let mut rx: Box<dyn Channel> = if encrypt {
+            Box::new(EncryptedChannel::new(b, key, false))
+        } else {
+            Box::new(b)
+        };
+        if shape {
+            tx = Box::new(ShapedChannel::new(tx, NetProfile::custom(0.2, 10_000.0)));
+        }
+        tx.send(&payload).unwrap();
+        prop_assert_eq!(rx.recv().unwrap(), payload);
+    }
+
+    /// Flipping any single byte of an encrypted frame fails authentication.
+    #[test]
+    fn encrypted_frames_tamper_evident(
+        payload in proptest::collection::vec(any::<u8>(), 1..256),
+        flip_frac in 0.0f64..1.0,
+    ) {
+        let key = ChannelKey::from_passphrase("tamper");
+        let mut tx = exdra::net::crypto::CipherState::new(key, 0);
+        let mut rx = exdra::net::crypto::CipherState::new(key, 0);
+        let mut sealed = tx.seal(&payload);
+        let idx = ((sealed.len() as f64 - 1.0) * flip_frac) as usize;
+        sealed[idx] ^= 0x01;
+        prop_assert!(rx.open(&sealed).is_none());
+    }
+
+    /// DataValue round-trips for nested structures.
+    #[test]
+    fn data_value_roundtrip(
+        scalars in proptest::collection::vec(-1e6f64..1e6, 0..8),
+        rows in 1usize..10,
+        cols in 1usize..10,
+    ) {
+        let m = exdra::matrix::rng::rand_matrix(rows, cols, -1.0, 1.0, 42);
+        let v = DataValue::List(
+            scalars
+                .iter()
+                .map(|&s| DataValue::Scalar(s))
+                .chain([DataValue::from(m)])
+                .collect(),
+        );
+        prop_assert_eq!(DataValue::from_bytes(&v.to_bytes()).unwrap(), v);
+    }
+}
