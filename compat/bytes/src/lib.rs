@@ -1,0 +1,163 @@
+//! Offline stand-in for the `bytes` crate.
+//!
+//! The wire codec (`exdra-net::codec`) is written against the
+//! `bytes::{Buf, BufMut}` traits. This stub provides those traits with the
+//! integer/float accessors the codec uses, implemented for `&[u8]`
+//! (reading) and `Vec<u8>` (writing). Semantics match `bytes`: the `get_*`
+//! and `copy_to_slice` methods panic on underflow, so callers must check
+//! [`Buf::remaining`] first (the codec's `need()` guard does exactly that).
+
+/// Read access to a contiguous buffer, consuming from the front.
+pub trait Buf {
+    /// Bytes left to consume.
+    fn remaining(&self) -> usize;
+
+    /// Copies `dst.len()` bytes into `dst`, advancing the buffer.
+    ///
+    /// Panics if fewer than `dst.len()` bytes remain.
+    fn copy_to_slice(&mut self, dst: &mut [u8]);
+
+    /// Advances the buffer by `cnt` bytes, discarding them.
+    fn advance(&mut self, cnt: usize);
+
+    /// True when at least one byte remains.
+    fn has_remaining(&self) -> bool {
+        self.remaining() > 0
+    }
+
+    /// Consumes one byte.
+    fn get_u8(&mut self) -> u8 {
+        let mut b = [0u8; 1];
+        self.copy_to_slice(&mut b);
+        b[0]
+    }
+
+    /// Consumes a little-endian `u32`.
+    fn get_u32_le(&mut self) -> u32 {
+        let mut b = [0u8; 4];
+        self.copy_to_slice(&mut b);
+        u32::from_le_bytes(b)
+    }
+
+    /// Consumes a little-endian `u64`.
+    fn get_u64_le(&mut self) -> u64 {
+        let mut b = [0u8; 8];
+        self.copy_to_slice(&mut b);
+        u64::from_le_bytes(b)
+    }
+
+    /// Consumes a little-endian `i64`.
+    fn get_i64_le(&mut self) -> i64 {
+        let mut b = [0u8; 8];
+        self.copy_to_slice(&mut b);
+        i64::from_le_bytes(b)
+    }
+
+    /// Consumes a little-endian `f64`.
+    fn get_f64_le(&mut self) -> f64 {
+        let mut b = [0u8; 8];
+        self.copy_to_slice(&mut b);
+        f64::from_le_bytes(b)
+    }
+}
+
+impl Buf for &[u8] {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn copy_to_slice(&mut self, dst: &mut [u8]) {
+        assert!(
+            dst.len() <= self.len(),
+            "buffer underflow: need {}, have {}",
+            dst.len(),
+            self.len()
+        );
+        let (head, tail) = self.split_at(dst.len());
+        dst.copy_from_slice(head);
+        *self = tail;
+    }
+
+    fn advance(&mut self, cnt: usize) {
+        assert!(cnt <= self.len(), "advance past end of buffer");
+        *self = &self[cnt..];
+    }
+}
+
+/// Write access to a growable buffer, appending at the back.
+pub trait BufMut {
+    /// Appends a byte slice.
+    fn put_slice(&mut self, src: &[u8]);
+
+    /// Appends one byte.
+    fn put_u8(&mut self, v: u8) {
+        self.put_slice(&[v]);
+    }
+
+    /// Appends a little-endian `u32`.
+    fn put_u32_le(&mut self, v: u32) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a little-endian `u64`.
+    fn put_u64_le(&mut self, v: u64) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a little-endian `i64`.
+    fn put_i64_le(&mut self, v: i64) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a little-endian `f64`.
+    fn put_f64_le(&mut self, v: f64) {
+        self.put_slice(&v.to_le_bytes());
+    }
+}
+
+impl BufMut for Vec<u8> {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.extend_from_slice(src);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_all_accessors() {
+        let mut v = Vec::new();
+        v.put_u8(7);
+        v.put_u32_le(0xDEAD_BEEF);
+        v.put_u64_le(u64::MAX - 1);
+        v.put_i64_le(-42);
+        v.put_f64_le(3.5);
+        v.put_slice(b"xyz");
+        let mut buf: &[u8] = &v;
+        assert_eq!(buf.remaining(), 1 + 4 + 8 + 8 + 8 + 3);
+        assert_eq!(buf.get_u8(), 7);
+        assert_eq!(buf.get_u32_le(), 0xDEAD_BEEF);
+        assert_eq!(buf.get_u64_le(), u64::MAX - 1);
+        assert_eq!(buf.get_i64_le(), -42);
+        assert_eq!(buf.get_f64_le(), 3.5);
+        let mut tail = [0u8; 3];
+        buf.copy_to_slice(&mut tail);
+        assert_eq!(&tail, b"xyz");
+        assert!(!buf.has_remaining());
+    }
+
+    #[test]
+    fn advance_skips_bytes() {
+        let mut buf: &[u8] = &[1, 2, 3, 4];
+        buf.advance(2);
+        assert_eq!(buf.get_u8(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "underflow")]
+    fn underflow_panics() {
+        let mut buf: &[u8] = &[1];
+        let _ = buf.get_u32_le();
+    }
+}

@@ -35,6 +35,7 @@ fn ps_config(epochs: usize, batch: usize) -> PsConfig {
         momentum: 0.9,
         nesterov: true,
         seed: 42,
+        aggregation: exdra_paramserv::AggregationMode::Strict,
     }
 }
 

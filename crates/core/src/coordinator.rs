@@ -5,23 +5,63 @@
 //! workers through request sequences. "For efficiency, the coordinator
 //! sends RPCs to all workers in parallel, and a single RPC can contain a
 //! sequence of requests."
+//!
+//! Every RPC runs under a [`FaultPolicy`]: transient transport failures
+//! (timeouts, resets) are retried with jittered backoff and reconnection,
+//! capped by a per-RPC deadline; exhausting the budget yields the typed
+//! [`RuntimeError::WorkerDead`] so callers fail fast instead of hanging.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::Duration;
 
 use parking_lot::Mutex;
 
+use exdra_fault::retry::{classify_io, Deadline, RetryPolicy};
 use exdra_net::codec::Wire;
 use exdra_net::crypto::ChannelKey;
 use exdra_net::sim::NetProfile;
 use exdra_net::stats::NetStats;
 use exdra_net::transport::{
-    Channel, EncryptedChannel, InstrumentedChannel, ShapedChannel, TcpChannel,
+    Channel, ChannelConfig, EncryptedChannel, InstrumentedChannel, ShapedChannel, TcpChannel,
 };
 
 use crate::error::{Result, RuntimeError};
 use crate::protocol::{Request, Response};
 use crate::value::DataValue;
+
+/// Retry/deadline configuration applied to every coordinator→worker RPC.
+#[derive(Debug, Clone, Copy)]
+pub struct FaultPolicy {
+    /// Backoff schedule for transient failures.
+    pub retry: RetryPolicy,
+    /// Wall-clock budget for one RPC including all retries.
+    pub rpc_deadline: Duration,
+    /// Socket timeouts for (re)established TCP channels.
+    pub channel_config: ChannelConfig,
+}
+
+impl Default for FaultPolicy {
+    fn default() -> Self {
+        Self {
+            retry: RetryPolicy::new(Duration::from_millis(20), Duration::from_millis(500), 4),
+            rpc_deadline: Duration::from_secs(30),
+            channel_config: ChannelConfig::default(),
+        }
+    }
+}
+
+impl FaultPolicy {
+    /// Policy that never retries and never reconnects (the paper's
+    /// original fail-on-first-error behavior).
+    pub fn none() -> Self {
+        Self {
+            retry: RetryPolicy::none(),
+            rpc_deadline: Duration::from_secs(3600),
+            channel_config: ChannelConfig::default(),
+        }
+    }
+}
 
 /// How to reach one federated worker.
 #[derive(Clone)]
@@ -57,9 +97,17 @@ impl WorkerEndpoint {
     }
 
     fn connect(&self, stats: Arc<NetStats>) -> Result<Box<dyn Channel>> {
+        self.connect_with(stats, &ChannelConfig::default())
+    }
+
+    fn connect_with(
+        &self,
+        stats: Arc<NetStats>,
+        config: &ChannelConfig,
+    ) -> Result<Box<dyn Channel>> {
         match self {
             WorkerEndpoint::Tcp { addr, profile, key } => {
-                let tcp = TcpChannel::connect(addr.as_str())
+                let tcp = TcpChannel::connect_with(addr.as_str(), config)
                     .map_err(|e| RuntimeError::Network(format!("connect {addr}: {e}")))?;
                 let ch: Box<dyn Channel> = match key {
                     Some(k) => Box::new(EncryptedChannel::new(tcp, *k, true)),
@@ -92,6 +140,8 @@ pub struct FedContext {
     /// Per-worker queues of symbol IDs awaiting amortized `rmvar` cleanup
     /// (filled by dropped federated handles, drained on the next RPC).
     garbage: Mutex<Vec<Vec<u64>>>,
+    /// Retry/deadline policy applied to every RPC.
+    fault: Mutex<FaultPolicy>,
 }
 
 impl std::fmt::Debug for FedContext {
@@ -122,6 +172,7 @@ impl FedContext {
             next_id: AtomicU64::new(1),
             stats,
             garbage: Mutex::new(vec![Vec::new(); n]),
+            fault: Mutex::new(FaultPolicy::default()),
         }))
     }
 
@@ -146,11 +197,51 @@ impl FedContext {
             next_id: AtomicU64::new(1),
             stats,
             garbage: Mutex::new(vec![Vec::new(); n]),
+            fault: Mutex::new(FaultPolicy::default()),
         }))
     }
 
     pub(crate) fn garbage(&self) -> &Mutex<Vec<Vec<u64>>> {
         &self.garbage
+    }
+
+    /// The active retry/deadline policy.
+    pub fn fault_policy(&self) -> FaultPolicy {
+        *self.fault.lock()
+    }
+
+    /// Replaces the retry/deadline policy (takes effect on the next RPC).
+    pub fn set_fault_policy(&self, policy: FaultPolicy) {
+        *self.fault.lock() = policy;
+    }
+
+    /// Re-establishes the channel to one worker from its endpoint (TCP
+    /// contexts). Used by the supervisor after a worker restart; plain
+    /// RPC retries also attempt this when a channel collapses.
+    pub fn reconnect(&self, worker: usize) -> Result<()> {
+        let conn = self
+            .workers
+            .get(worker)
+            .ok_or_else(|| RuntimeError::Invalid(format!("no worker {worker}")))?;
+        let ep = conn.endpoint.as_ref().ok_or_else(|| {
+            RuntimeError::Unsupported("reconnect needs a TCP endpoint".into())
+        })?;
+        let cfg = self.fault.lock().channel_config;
+        let fresh = ep.connect_with(Arc::clone(&self.stats), &cfg)?;
+        *conn.channel.lock() = fresh;
+        Ok(())
+    }
+
+    /// Installs a replacement channel for one worker (supervisor path for
+    /// endpoint-less transports: a restarted in-memory worker hands the
+    /// coordinator a fresh channel).
+    pub fn replace_channel(&self, worker: usize, channel: Box<dyn Channel>) -> Result<()> {
+        let conn = self
+            .workers
+            .get(worker)
+            .ok_or_else(|| RuntimeError::Invalid(format!("no worker {worker}")))?;
+        *conn.channel.lock() = Box::new(InstrumentedChannel::new(channel, Arc::clone(&self.stats)));
+        Ok(())
     }
 
     /// Number of federated workers.
@@ -189,6 +280,12 @@ impl FedContext {
     /// Pending garbage-collection `rmvar`s for the worker (queued by
     /// dropped federated handles) are piggybacked onto the batch and their
     /// response stripped — amortized cleanup, invisible to callers.
+    ///
+    /// The RPC runs under the context's [`FaultPolicy`]: transient
+    /// transport failures are retried with backoff (reconnecting first
+    /// when the context knows the worker's endpoint). A connection-type
+    /// failure that survives the whole retry budget returns
+    /// [`RuntimeError::WorkerDead`].
     pub fn call(&self, worker: usize, batch: &[Request]) -> Result<Vec<Response>> {
         let conn = self
             .workers
@@ -203,13 +300,30 @@ impl FedContext {
         }
         let prepended = !full.is_empty();
         full.extend_from_slice(batch);
-        let mut ch = conn.channel.lock();
-        ch.send(&full.to_bytes())
-            .map_err(|e| RuntimeError::Network(format!("send to worker {worker}: {e}")))?;
-        let frame = ch
-            .recv()
-            .map_err(|e| RuntimeError::Network(format!("recv from worker {worker}: {e}")))?;
-        drop(ch);
+        let bytes = full.to_bytes();
+        let policy = self.fault_policy();
+        let deadline = Deadline::after(policy.rpc_deadline);
+        let frame = policy
+            .retry
+            .run(
+                deadline,
+                |attempt| {
+                    if attempt > 0 {
+                        self.stats.record_retry();
+                        // A failed attempt may have left a half-written
+                        // frame on the wire: re-establish the channel
+                        // before resending when we know the endpoint.
+                        if conn.endpoint.is_some() {
+                            let _ = self.reconnect(worker);
+                        }
+                    }
+                    let mut ch = conn.channel.lock();
+                    ch.send(&bytes)?;
+                    ch.recv()
+                },
+                classify_io,
+            )
+            .map_err(|e| rpc_failure(worker, &e))?;
         let mut responses = Vec::<Response>::from_bytes(&frame)?;
         if responses.len() != full.len() {
             return Err(RuntimeError::Protocol(format!(
@@ -224,6 +338,31 @@ impl FedContext {
         Ok(responses)
     }
 
+    /// Sends one liveness probe to one worker and returns its
+    /// `(epoch, load)`. Deliberately NOT retried: a missed heartbeat IS
+    /// the failure-detection signal, so this is a single attempt against
+    /// the standing channel, bounded only by the socket timeouts.
+    pub fn heartbeat(&self, worker: usize) -> Result<(u64, u32)> {
+        let conn = self
+            .workers
+            .get(worker)
+            .ok_or_else(|| RuntimeError::Invalid(format!("no worker {worker}")))?;
+        self.stats.record_heartbeat();
+        let frame = {
+            let mut ch = conn.channel.lock();
+            ch.send(&vec![Request::Heartbeat].to_bytes())
+                .and_then(|()| ch.recv())
+                .map_err(|e| rpc_failure(worker, &e))?
+        };
+        let responses = Vec::<Response>::from_bytes(&frame)?;
+        match responses.as_slice() {
+            [Response::Alive { epoch, load }] => Ok((*epoch, *load)),
+            other => Err(RuntimeError::Protocol(format!(
+                "worker {worker}: heartbeat answered with {other:?}"
+            ))),
+        }
+    }
+
     fn take_garbage_ids(&self, worker: usize) -> Vec<u64> {
         let mut q = self.garbage.lock();
         match q.get_mut(worker) {
@@ -234,8 +373,22 @@ impl FedContext {
 
     /// Sends per-worker request sequences in parallel (one thread per
     /// worker) and returns responses per worker. Workers with empty
-    /// batches are skipped (empty response vector).
+    /// batches are skipped (empty response vector). Fail-fast: any
+    /// worker's failure fails the whole call (federated linear algebra
+    /// needs every partition).
     pub fn call_all(&self, batches: Vec<Vec<Request>>) -> Result<Vec<Vec<Response>>> {
+        self.call_all_tolerant(batches)?.into_iter().collect()
+    }
+
+    /// Like [`FedContext::call_all`], but partial-failure tolerant: each
+    /// worker's outcome is returned individually so callers with quorum
+    /// semantics (e.g. straggler-tolerant parameter-server aggregation)
+    /// can skip dead workers instead of aborting the round. The outer
+    /// `Result` only covers shape errors.
+    pub fn call_all_tolerant(
+        &self,
+        batches: Vec<Vec<Request>>,
+    ) -> Result<Vec<Result<Vec<Response>>>> {
         if batches.len() != self.workers.len() {
             return Err(RuntimeError::Invalid(format!(
                 "{} batches for {} workers",
@@ -264,7 +417,7 @@ impl FedContext {
                 }));
             }
         });
-        results.into_iter().collect()
+        Ok(results)
     }
 
     /// Sends the same request sequence to every worker in parallel.
@@ -284,7 +437,7 @@ impl FedContext {
 /// Interprets a response as success, mapping worker errors.
 pub fn expect_ok(r: &Response, worker: usize) -> Result<()> {
     match r {
-        Response::Ok | Response::Data(_) => Ok(()),
+        Response::Ok | Response::Data(_) | Response::Alive { .. } => Ok(()),
         Response::Error(msg) => Err(worker_error(worker, msg)),
     }
 }
@@ -293,10 +446,31 @@ pub fn expect_ok(r: &Response, worker: usize) -> Result<()> {
 pub fn expect_data(r: &Response, worker: usize) -> Result<DataValue> {
     match r {
         Response::Data(v) => Ok(v.clone()),
-        Response::Ok => Err(RuntimeError::Protocol(format!(
-            "worker {worker}: expected data, got Ok"
+        Response::Ok | Response::Alive { .. } => Err(RuntimeError::Protocol(format!(
+            "worker {worker}: expected data, got {}",
+            if matches!(r, Response::Ok) { "Ok" } else { "Alive" }
         ))),
         Response::Error(msg) => Err(worker_error(worker, msg)),
+    }
+}
+
+/// Maps an RPC failure that survived the whole retry budget (or was fatal
+/// outright) to the typed runtime error: connection-collapse kinds mean
+/// the worker is dead, timeouts stay typed as timeouts, anything else is
+/// a generic network error.
+fn rpc_failure(worker: usize, e: &std::io::Error) -> RuntimeError {
+    use std::io::ErrorKind::*;
+    match e.kind() {
+        TimedOut | WouldBlock => RuntimeError::Timeout {
+            worker,
+            msg: e.to_string(),
+        },
+        BrokenPipe | ConnectionReset | ConnectionAborted | ConnectionRefused | UnexpectedEof
+        | NotConnected => RuntimeError::WorkerDead {
+            worker,
+            msg: e.to_string(),
+        },
+        _ => RuntimeError::Network(format!("worker {worker}: {e}")),
     }
 }
 

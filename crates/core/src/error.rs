@@ -18,6 +18,25 @@ pub enum RuntimeError {
     Privacy(String),
     /// Network/transport failure talking to a federated worker.
     Network(String),
+    /// An RPC exceeded its deadline (transient: the worker may only be
+    /// slow or partitioned; the retry layer distinguishes it from hard
+    /// connection failures).
+    Timeout {
+        /// Index of the unresponsive worker.
+        worker: usize,
+        /// What timed out.
+        msg: String,
+    },
+    /// A worker was declared dead: its channel collapsed and the retry
+    /// budget was exhausted, or the failure detector crossed the
+    /// consecutive-miss threshold. Recovery requires supervisor
+    /// intervention (reconnect + state replay), not another retry.
+    WorkerDead {
+        /// Index of the dead worker.
+        worker: usize,
+        /// Last observed failure.
+        msg: String,
+    },
     /// Malformed or unexpected protocol message.
     Protocol(String),
     /// A federated worker reported an error executing a request.
@@ -42,12 +61,29 @@ impl fmt::Display for RuntimeError {
             RuntimeError::Matrix(e) => write!(f, "{e}"),
             RuntimeError::Privacy(msg) => write!(f, "privacy violation: {msg}"),
             RuntimeError::Network(msg) => write!(f, "network error: {msg}"),
+            RuntimeError::Timeout { worker, msg } => {
+                write!(f, "worker {worker} timed out: {msg}")
+            }
+            RuntimeError::WorkerDead { worker, msg } => {
+                write!(f, "worker {worker} dead: {msg}")
+            }
             RuntimeError::Protocol(msg) => write!(f, "protocol error: {msg}"),
             RuntimeError::Worker { worker, msg } => write!(f, "worker {worker}: {msg}"),
             RuntimeError::UnknownSymbol(id) => write!(f, "unknown symbol id {id}"),
             RuntimeError::Unsupported(msg) => write!(f, "unsupported: {msg}"),
             RuntimeError::Invalid(msg) => write!(f, "invalid argument: {msg}"),
         }
+    }
+}
+
+impl RuntimeError {
+    /// Whether the fault layer classifies this error as transient
+    /// (worth retrying) or fatal. Mirrors `exdra_fault::ErrorClass`.
+    pub fn is_transient(&self) -> bool {
+        matches!(
+            self,
+            RuntimeError::Network(_) | RuntimeError::Timeout { .. }
+        )
     }
 }
 

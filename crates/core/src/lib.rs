@@ -11,7 +11,11 @@
 //!   executor (reused by coordinator and workers),
 //! * [`worker`] — the standing worker server (symbol table, privacy checks,
 //!   lineage reuse, background compression, UDF registry),
-//! * [`coordinator`] — worker connections and parallel RPC,
+//! * [`coordinator`] — worker connections and parallel RPC (every RPC runs
+//!   under a retry policy with backoff and deadlines),
+//! * [`supervision`] — the heartbeat-driven supervisor: failure detection,
+//!   channel re-establishment, and initialization replay for restarted
+//!   workers,
 //! * [`fed`] — federation maps and [`fed::FedMatrix`]: federated linear
 //!   algebra and federated data preparation,
 //! * [`tensor`] — the locality-agnostic [`tensor::Tensor`] handle ML
@@ -26,6 +30,7 @@ pub mod instruction;
 pub mod lineage;
 pub mod privacy;
 pub mod protocol;
+pub mod supervision;
 pub mod symbol;
 pub mod tensor;
 pub mod testutil;

@@ -137,6 +137,10 @@ pub enum Request {
     },
     /// `CLEAR`: drops all variables and execution state.
     Clear,
+    /// `HEARTBEAT`: liveness probe. Answered out of band with
+    /// [`Response::Alive`]; never touches the symbol table, so a worker
+    /// answers it even while data-path requests are queued.
+    Heartbeat,
 }
 
 impl Request {
@@ -149,6 +153,7 @@ impl Request {
             Request::ExecInst { .. } => "EXEC_INST",
             Request::ExecUdf { .. } => "EXEC_UDF",
             Request::Clear => "CLEAR",
+            Request::Heartbeat => "HEARTBEAT",
         }
     }
 }
@@ -187,6 +192,7 @@ impl Wire for Request {
                 udf.encode(buf);
             }
             Request::Clear => buf.put_u8(5),
+            Request::Heartbeat => buf.put_u8(6),
         }
     }
 
@@ -213,6 +219,7 @@ impl Wire for Request {
                 udf: Udf::decode(buf)?,
             }),
             5 => Ok(Request::Clear),
+            6 => Ok(Request::Heartbeat),
             t => Err(DecodeError(format!("invalid Request tag {t}"))),
         }
     }
@@ -227,6 +234,16 @@ pub enum Response {
     Data(DataValue),
     /// The request failed at the worker; the batch stops at this request.
     Error(String),
+    /// Answer to [`Request::Heartbeat`]: the worker is alive.
+    Alive {
+        /// The worker process's registration epoch: bumps every time the
+        /// worker (re)starts, letting the coordinator detect restarts
+        /// that lost the symbol table.
+        epoch: u64,
+        /// Number of requests executed by the worker so far (a cheap
+        /// load signal for straggler decisions).
+        load: u32,
+    },
 }
 
 impl Wire for Response {
@@ -241,6 +258,11 @@ impl Wire for Response {
                 buf.put_u8(2);
                 msg.encode(buf);
             }
+            Response::Alive { epoch, load } => {
+                buf.put_u8(3);
+                epoch.encode(buf);
+                load.encode(buf);
+            }
         }
     }
 
@@ -249,6 +271,10 @@ impl Wire for Response {
             0 => Ok(Response::Ok),
             1 => Ok(Response::Data(DataValue::decode(buf)?)),
             2 => Ok(Response::Error(String::decode(buf)?)),
+            3 => Ok(Response::Alive {
+                epoch: u64::decode(buf)?,
+                load: u32::decode(buf)?,
+            }),
             t => Err(DecodeError(format!("invalid Response tag {t}"))),
         }
     }
@@ -300,6 +326,10 @@ mod tests {
             Response::Ok,
             Response::Data(DataValue::Scalar(5.0)),
             Response::Error("privacy violation".into()),
+            Response::Alive {
+                epoch: 3,
+                load: 17,
+            },
         ];
         assert_eq!(Vec::<Response>::from_bytes(&rs.to_bytes()).unwrap(), rs);
     }

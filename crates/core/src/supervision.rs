@@ -1,0 +1,289 @@
+//! Heartbeat-driven worker supervision.
+//!
+//! The [`Supervisor`] is the protocol-aware layer over the generic
+//! primitives in `exdra-fault`: it probes every worker with
+//! `Request::Heartbeat`, feeds the outcomes into a
+//! [`FailureDetector`] (walking unresponsive workers through
+//! `Healthy → Suspect → Dead`), and — once a worker process is back —
+//! drives the recovery arc: re-establish the channel, verify liveness,
+//! replay the registered federated-data initialization (a restarted
+//! worker's symbol table is empty), and only then return the worker to
+//! the `Healthy` pool.
+//!
+//! Recovery replay is expressed as registered closures
+//! ([`Supervisor::on_recovery`]) because only the application knows which
+//! `READ`s/`PUT`s/UDF registrations constitute a worker's initial state;
+//! federated handles stay valid across recovery because the coordinator
+//! owns the ID space.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use parking_lot::Mutex;
+
+use exdra_fault::detector::{DetectorConfig, FailureDetector, HeartbeatOutcome};
+use exdra_fault::HealthState;
+use exdra_net::transport::Channel;
+
+use crate::coordinator::FedContext;
+use crate::error::{Result, RuntimeError};
+
+/// Supervisor tuning knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct SupervisorConfig {
+    /// Miss thresholds of the failure detector.
+    pub detector: DetectorConfig,
+    /// Background heartbeat period (for [`Supervisor::run`]).
+    pub interval: Duration,
+}
+
+impl Default for SupervisorConfig {
+    fn default() -> Self {
+        Self {
+            detector: DetectorConfig::default(),
+            interval: Duration::from_millis(500),
+        }
+    }
+}
+
+/// Replays one worker's initialization after its process restarted.
+/// Receives the worker index and the context to issue requests through.
+pub type ReplayFn = dyn Fn(usize, &FedContext) -> Result<()> + Send + Sync;
+
+/// Produces a fresh channel to a restarted worker for transports without
+/// reconnectable endpoints (in-memory federations). `None` = still down.
+pub type ReconnectFn = dyn Fn(usize) -> Option<Box<dyn Channel>> + Send + Sync;
+
+/// Coordinator-side supervisor: heartbeats, failure detection, recovery.
+pub struct Supervisor {
+    ctx: Arc<FedContext>,
+    detector: Arc<FailureDetector>,
+    config: SupervisorConfig,
+    replay: Mutex<Vec<Arc<ReplayFn>>>,
+    reconnector: Mutex<Option<Box<ReconnectFn>>>,
+    shutdown: AtomicBool,
+}
+
+impl Supervisor {
+    /// Supervisor over all workers of `ctx`.
+    pub fn new(ctx: Arc<FedContext>, config: SupervisorConfig) -> Arc<Self> {
+        let detector = Arc::new(FailureDetector::new(ctx.num_workers(), config.detector));
+        Arc::new(Self {
+            ctx,
+            detector,
+            config,
+            replay: Mutex::new(Vec::new()),
+            reconnector: Mutex::new(None),
+            shutdown: AtomicBool::new(false),
+        })
+    }
+
+    /// The underlying failure detector (shared with callers that want to
+    /// consult worker health, e.g. quorum aggregation).
+    pub fn detector(&self) -> &Arc<FailureDetector> {
+        &self.detector
+    }
+
+    /// The supervised context.
+    pub fn context(&self) -> &Arc<FedContext> {
+        &self.ctx
+    }
+
+    /// Registers an initialization-replay step, run (in registration
+    /// order) for every recovering worker.
+    pub fn on_recovery(&self, f: Arc<ReplayFn>) {
+        self.replay.lock().push(f);
+    }
+
+    /// Installs a channel factory for endpoint-less transports; TCP
+    /// contexts reconnect through their endpoints and don't need one.
+    pub fn set_reconnector(&self, f: Box<ReconnectFn>) {
+        *self.reconnector.lock() = Some(f);
+    }
+
+    /// Probes every worker once and feeds the detector. Returns the
+    /// post-probe health states. Workers currently being recovered are
+    /// skipped (their channel is mid-replacement).
+    pub fn heartbeat_once(&self) -> Vec<HealthState> {
+        for w in 0..self.detector.len() {
+            if self.detector.state(w) == HealthState::Recovering {
+                continue;
+            }
+            match self.ctx.heartbeat(w) {
+                Ok((epoch, load)) => {
+                    self.detector.record_success(w, epoch, load);
+                }
+                Err(_) => {
+                    self.detector.record_miss(w);
+                }
+            }
+        }
+        self.detector.snapshot()
+    }
+
+    /// Attempts the full recovery arc for one `Dead` worker:
+    /// `begin_recovery` (Dead → Recovering), channel re-establishment,
+    /// liveness verification, initialization replay, `mark_recovered`
+    /// (Recovering → Healthy). Returns `Ok(false)` when the worker was
+    /// not dead; an `Err` leaves the worker `Dead` for the next sweep.
+    pub fn recover(&self, worker: usize) -> Result<bool> {
+        if !self.detector.begin_recovery(worker) {
+            return Ok(false);
+        }
+        match self.try_recover(worker) {
+            Ok(()) => {
+                self.detector.mark_recovered(worker);
+                Ok(true)
+            }
+            Err(e) => {
+                // Recovering → Dead: the next sweep starts over.
+                self.detector.record_miss(worker);
+                Err(e)
+            }
+        }
+    }
+
+    fn try_recover(&self, worker: usize) -> Result<()> {
+        // 1. Channel re-establishment.
+        let replacement = self.reconnector.lock().as_ref().and_then(|f| f(worker));
+        match replacement {
+            Some(ch) => self.ctx.replace_channel(worker, ch)?,
+            None => self.ctx.reconnect(worker).map_err(|e| match e {
+                RuntimeError::Unsupported(_) => RuntimeError::WorkerDead {
+                    worker,
+                    msg: "no endpoint and no reconnector produced a channel".into(),
+                },
+                other => other,
+            })?,
+        }
+        // 2. Liveness check on the fresh channel; records the restarted
+        //    worker's new epoch.
+        let (epoch, load) = self.ctx.heartbeat(worker)?;
+        let _restarted: HeartbeatOutcome = self.detector.record_success(worker, epoch, load);
+        // 3. Initialization replay: rebuild the worker's symbol table.
+        let steps: Vec<Arc<ReplayFn>> = self.replay.lock().clone();
+        for f in steps {
+            f(worker, &self.ctx)?;
+        }
+        Ok(())
+    }
+
+    /// One supervision sweep: heartbeat everyone, then attempt recovery of
+    /// every dead worker. Returns the workers recovered this sweep.
+    pub fn sweep(&self) -> Vec<usize> {
+        let states = self.heartbeat_once();
+        let mut recovered = Vec::new();
+        for (w, s) in states.iter().enumerate() {
+            if *s == HealthState::Dead && matches!(self.recover(w), Ok(true)) {
+                recovered.push(w);
+            }
+        }
+        recovered
+    }
+
+    /// Runs [`Supervisor::sweep`] every `config.interval` on a background
+    /// thread until [`Supervisor::stop`].
+    pub fn run(self: &Arc<Self>) -> std::thread::JoinHandle<()> {
+        let sup = Arc::clone(self);
+        std::thread::Builder::new()
+            .name("exdra-supervisor".into())
+            .spawn(move || {
+                while !sup.shutdown.load(Ordering::SeqCst) {
+                    std::thread::sleep(sup.config.interval);
+                    if sup.shutdown.load(Ordering::SeqCst) {
+                        return;
+                    }
+                    let _ = sup.sweep();
+                }
+            })
+            .expect("spawn supervisor thread")
+    }
+
+    /// Stops the background supervision loop after its current sweep.
+    pub fn stop(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::privacy::PrivacyLevel;
+    use crate::protocol::Request;
+    use crate::value::DataValue;
+    use crate::worker::{Worker, WorkerConfig};
+    use exdra_net::transport::Channel;
+
+    fn mem_setup(n: usize) -> (Arc<FedContext>, Vec<Arc<Worker>>) {
+        let mut channels = Vec::new();
+        let mut workers = Vec::new();
+        for _ in 0..n {
+            let w = Worker::new(WorkerConfig::default());
+            channels.push(Box::new(w.serve_mem()) as Box<dyn Channel>);
+            workers.push(w);
+        }
+        (FedContext::from_channels(channels).unwrap(), workers)
+    }
+
+    #[test]
+    fn heartbeats_keep_workers_healthy() {
+        let (ctx, _workers) = mem_setup(2);
+        let sup = Supervisor::new(ctx, SupervisorConfig::default());
+        for _ in 0..3 {
+            let states = sup.heartbeat_once();
+            assert_eq!(states, vec![HealthState::Healthy; 2]);
+        }
+        assert!(sup.context().stats().heartbeats() >= 6);
+    }
+
+    #[test]
+    fn missed_heartbeats_walk_to_dead() {
+        let (ctx, workers) = mem_setup(2);
+        let sup = Supervisor::new(ctx, SupervisorConfig::default());
+        workers[1].shutdown();
+        // Default thresholds: suspect at 2 misses, dead at 4.
+        let mut seen_suspect = false;
+        let mut last = Vec::new();
+        for _ in 0..4 {
+            last = sup.heartbeat_once();
+            seen_suspect |= last[1] == HealthState::Suspect;
+        }
+        assert_eq!(last, vec![HealthState::Healthy, HealthState::Dead]);
+        assert!(seen_suspect, "worker 1 passed through Suspect on the way down");
+    }
+
+    #[test]
+    fn recovery_replays_initialization() {
+        let (ctx, workers) = mem_setup(1);
+        let sup = Supervisor::new(Arc::clone(&ctx), SupervisorConfig::default());
+        // The application's initialization: symbol 42 must exist.
+        sup.on_recovery(Arc::new(|w, ctx| {
+            ctx.call(
+                w,
+                &[Request::Put {
+                    id: 42,
+                    data: DataValue::Scalar(4.2),
+                    privacy: PrivacyLevel::Public,
+                }],
+            )
+            .map(|_| ())
+        }));
+        // Kill the worker; detector learns via misses.
+        workers[0].shutdown();
+        drop(workers);
+        for _ in 0..4 {
+            sup.heartbeat_once();
+        }
+        assert_eq!(sup.detector().state(0), HealthState::Dead);
+        // Restart: a fresh worker with an empty table takes over.
+        let replacement = Worker::new(WorkerConfig::default());
+        let r2 = Arc::clone(&replacement);
+        sup.set_reconnector(Box::new(move |_w| {
+            Some(Box::new(r2.serve_mem()) as Box<dyn Channel>)
+        }));
+        assert!(sup.recover(0).unwrap());
+        assert_eq!(sup.detector().state(0), HealthState::Healthy);
+        assert!(replacement.table().contains(42), "replay re-installed state");
+    }
+}

@@ -9,7 +9,7 @@
 
 use std::collections::HashMap;
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -70,6 +70,12 @@ impl Default for WorkerConfig {
     }
 }
 
+/// Process-wide epoch counter: every worker instance gets a distinct,
+/// monotonically increasing epoch, so a coordinator comparing heartbeat
+/// epochs can tell "same standing worker" from "restarted replacement"
+/// (whose symbol table started empty).
+static NEXT_EPOCH: AtomicU64 = AtomicU64::new(1);
+
 /// A standing federated worker: shared state plus serving loops.
 pub struct Worker {
     table: Arc<SymbolTable>,
@@ -78,6 +84,10 @@ pub struct Worker {
     config: WorkerConfig,
     compressed_count: std::sync::atomic::AtomicU64,
     shutdown: AtomicBool,
+    /// This instance's registration epoch (see [`NEXT_EPOCH`]).
+    epoch: u64,
+    /// Data-path requests executed (heartbeat load signal).
+    load: AtomicU32,
 }
 
 impl Worker {
@@ -91,7 +101,19 @@ impl Worker {
             config,
             compressed_count: std::sync::atomic::AtomicU64::new(0),
             shutdown: AtomicBool::new(false),
+            epoch: NEXT_EPOCH.fetch_add(1, Ordering::Relaxed),
+            load: AtomicU32::new(0),
         })
+    }
+
+    /// The worker's registration epoch.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Data-path requests executed so far.
+    pub fn load(&self) -> u32 {
+        self.load.load(Ordering::Relaxed)
     }
 
     /// Registers a named UDF (e.g. parameter-server gradient functions,
@@ -116,13 +138,18 @@ impl Worker {
         self.shutdown.store(true, Ordering::SeqCst);
     }
 
-    /// Serves one connection until the peer closes it.
+    /// Serves one connection until the peer closes it or
+    /// [`Worker::shutdown`] is requested (the connection is dropped
+    /// without a response, so the peer observes a transport failure).
     pub fn serve_connection(self: &Arc<Self>, mut channel: Box<dyn Channel>) {
         loop {
             let frame = match channel.recv() {
                 Ok(f) => f,
                 Err(_) => return, // connection closed
             };
+            if self.shutdown.load(Ordering::SeqCst) {
+                return;
+            }
             let responses = match Vec::<Request>::from_bytes(&frame) {
                 Ok(batch) => self.handle_batch(batch),
                 Err(e) => vec![Response::Error(format!("malformed request batch: {e}"))],
@@ -193,7 +220,9 @@ impl Worker {
         let mut responses = Vec::with_capacity(batch.len());
         let mut failed = false;
         for req in batch {
-            if failed {
+            // Heartbeats answer even in a failed batch: liveness probing
+            // must not be confused by data-path errors.
+            if failed && !matches!(req, Request::Heartbeat) {
                 responses.push(Response::Error("skipped: earlier request failed".into()));
                 continue;
             }
@@ -210,7 +239,14 @@ impl Worker {
     }
 
     fn handle_one(self: &Arc<Self>, req: Request) -> Result<Response> {
+        if !matches!(req, Request::Heartbeat) {
+            self.load.fetch_add(1, Ordering::Relaxed);
+        }
         match req {
+            Request::Heartbeat => Ok(Response::Alive {
+                epoch: self.epoch,
+                load: self.load.load(Ordering::Relaxed),
+            }),
             Request::Read {
                 id,
                 fname,
@@ -719,6 +755,43 @@ mod tests {
         assert!(matches!(&rs[0], Response::Error(_)));
         assert!(matches!(&rs[1], Response::Error(msg) if msg.contains("skipped")));
         assert!(!w.table().contains(1));
+    }
+
+    #[test]
+    fn heartbeat_reports_epoch_and_load() {
+        let w = worker();
+        let rs = w.handle_batch(vec![
+            Request::Put {
+                id: 1,
+                data: DataValue::Scalar(1.0),
+                privacy: PrivacyLevel::Public,
+            },
+            Request::Heartbeat,
+        ]);
+        assert_eq!(rs[0], Response::Ok);
+        match rs[1] {
+            Response::Alive { epoch, load } => {
+                assert_eq!(epoch, w.epoch());
+                assert_eq!(load, 1, "heartbeats don't count as load");
+            }
+            ref other => panic!("unexpected {other:?}"),
+        }
+        // A replacement worker gets a strictly newer epoch.
+        let w2 = worker();
+        assert!(w2.epoch() > w.epoch());
+    }
+
+    #[test]
+    fn heartbeat_answers_even_after_batch_failure() {
+        let w = worker();
+        let rs = w.handle_batch(vec![
+            Request::Get { id: 404 }, // fails
+            Request::Clear,           // skipped
+            Request::Heartbeat,       // still answered
+        ]);
+        assert!(matches!(&rs[0], Response::Error(_)));
+        assert!(matches!(&rs[1], Response::Error(msg) if msg.contains("skipped")));
+        assert!(matches!(rs[2], Response::Alive { .. }));
     }
 
     #[test]

@@ -1,0 +1,336 @@
+//! Timeout-based failure detection with a per-worker health state machine.
+//!
+//! The coordinator drives one [`FailureDetector`] for the whole federation.
+//! Every heartbeat round reports either a success ([`FailureDetector::record_success`],
+//! carrying the worker's epoch so restarts are visible) or a miss
+//! ([`FailureDetector::record_miss`]). Consecutive misses walk the worker
+//! down the state machine:
+//!
+//! ```text
+//!            misses >= suspect_after      misses >= dead_after
+//!  Healthy ───────────────────────▶ Suspect ───────────────────▶ Dead
+//!     ▲                               │                            │
+//!     │          heartbeat ok         │                            │ supervisor
+//!     ├───────────────────────────────┘                            │ begin_recovery()
+//!     │                                                            ▼
+//!     └────────────────────────────────────────────────────── Recovering
+//!                      mark_recovered() after replay
+//! ```
+//!
+//! `Suspect` workers still receive traffic (their RPCs are retried);
+//! `Dead` workers are excluded until the supervisor walks them through
+//! `Recovering` (reconnect + re-registration replay) back to `Healthy`.
+
+use parking_lot::Mutex;
+
+/// Liveness state of one worker as seen by the coordinator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HealthState {
+    /// Heartbeats arriving; full participant.
+    Healthy,
+    /// Missed some heartbeats; still addressed, RPCs retried.
+    Suspect,
+    /// Missed the dead threshold; excluded from calls until recovered.
+    Dead,
+    /// Supervisor is re-establishing the channel and replaying state.
+    Recovering,
+}
+
+impl std::fmt::Display for HealthState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            HealthState::Healthy => "healthy",
+            HealthState::Suspect => "suspect",
+            HealthState::Dead => "dead",
+            HealthState::Recovering => "recovering",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Per-worker liveness record.
+#[derive(Debug, Clone)]
+pub struct WorkerHealth {
+    /// Current state-machine position.
+    pub state: HealthState,
+    /// Heartbeat misses since the last success.
+    pub consecutive_misses: u32,
+    /// Last epoch the worker reported (bumps when the worker restarts).
+    pub epoch: u64,
+    /// Last load figure the worker reported (live request count).
+    pub load: u32,
+    /// Total successful heartbeats observed.
+    pub beats: u64,
+}
+
+impl WorkerHealth {
+    fn new() -> Self {
+        Self {
+            state: HealthState::Healthy,
+            consecutive_misses: 0,
+            epoch: 0,
+            load: 0,
+            beats: 0,
+        }
+    }
+}
+
+/// Thresholds for the miss-count transitions.
+#[derive(Debug, Clone, Copy)]
+pub struct DetectorConfig {
+    /// Consecutive misses at which Healthy becomes Suspect.
+    pub suspect_after: u32,
+    /// Consecutive misses at which Suspect becomes Dead.
+    pub dead_after: u32,
+}
+
+impl Default for DetectorConfig {
+    fn default() -> Self {
+        Self {
+            suspect_after: 2,
+            dead_after: 4,
+        }
+    }
+}
+
+/// What a successful heartbeat revealed about the worker.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HeartbeatOutcome {
+    /// Same epoch as before: the worker kept running.
+    Stable,
+    /// Epoch advanced: the worker restarted and must be re-initialized
+    /// (federated data replay) before it can serve requests again.
+    Restarted {
+        /// Epoch seen before the restart.
+        previous: u64,
+        /// Epoch reported now.
+        current: u64,
+    },
+}
+
+/// Coordinator-side failure detector over a fixed set of workers.
+pub struct FailureDetector {
+    workers: Vec<Mutex<WorkerHealth>>,
+    config: DetectorConfig,
+}
+
+impl FailureDetector {
+    /// Detector for `n` workers, all starting Healthy.
+    pub fn new(n: usize, config: DetectorConfig) -> Self {
+        Self {
+            workers: (0..n).map(|_| Mutex::new(WorkerHealth::new())).collect(),
+            config,
+        }
+    }
+
+    /// Number of tracked workers.
+    pub fn len(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// True when no workers are tracked.
+    pub fn is_empty(&self) -> bool {
+        self.workers.is_empty()
+    }
+
+    /// The detector's thresholds.
+    pub fn config(&self) -> DetectorConfig {
+        self.config
+    }
+
+    /// Current state of worker `w`.
+    pub fn state(&self, w: usize) -> HealthState {
+        self.workers[w].lock().state
+    }
+
+    /// Copy of worker `w`'s full health record.
+    pub fn health(&self, w: usize) -> WorkerHealth {
+        self.workers[w].lock().clone()
+    }
+
+    /// Records a successful heartbeat from worker `w` reporting
+    /// (`epoch`, `load`). Resets the miss counter; Healthy/Suspect
+    /// collapse back to Healthy. Dead/Recovering states are NOT cleared
+    /// here — a lone heartbeat from a restarted worker does not mean its
+    /// federated state survived; only the supervisor's replay
+    /// ([`FailureDetector::mark_recovered`]) revives it.
+    pub fn record_success(&self, w: usize, epoch: u64, load: u32) -> HeartbeatOutcome {
+        let mut h = self.workers[w].lock();
+        h.consecutive_misses = 0;
+        h.beats += 1;
+        h.load = load;
+        let outcome = if h.beats > 1 && epoch != h.epoch {
+            HeartbeatOutcome::Restarted {
+                previous: h.epoch,
+                current: epoch,
+            }
+        } else {
+            HeartbeatOutcome::Stable
+        };
+        h.epoch = epoch;
+        if matches!(h.state, HealthState::Suspect) {
+            h.state = HealthState::Healthy;
+        }
+        // A restart while we thought the worker was fine still needs replay.
+        if matches!(outcome, HeartbeatOutcome::Restarted { .. })
+            && matches!(h.state, HealthState::Healthy)
+        {
+            h.state = HealthState::Dead;
+        }
+        outcome
+    }
+
+    /// Records a missed/failed heartbeat for worker `w`; returns the state
+    /// after applying the thresholds.
+    pub fn record_miss(&self, w: usize) -> HealthState {
+        let mut h = self.workers[w].lock();
+        h.consecutive_misses = h.consecutive_misses.saturating_add(1);
+        h.state = match h.state {
+            HealthState::Healthy | HealthState::Suspect => {
+                if h.consecutive_misses >= self.config.dead_after {
+                    HealthState::Dead
+                } else if h.consecutive_misses >= self.config.suspect_after {
+                    HealthState::Suspect
+                } else {
+                    HealthState::Healthy
+                }
+            }
+            // A miss during recovery sends the worker back to Dead; the
+            // supervisor will start over.
+            HealthState::Recovering => HealthState::Dead,
+            HealthState::Dead => HealthState::Dead,
+        };
+        h.state
+    }
+
+    /// Supervisor claims a Dead worker for recovery (Dead → Recovering).
+    /// Returns false when the worker is not Dead (nothing to recover, or
+    /// another pass already claimed it).
+    pub fn begin_recovery(&self, w: usize) -> bool {
+        let mut h = self.workers[w].lock();
+        if h.state == HealthState::Dead {
+            h.state = HealthState::Recovering;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Supervisor finished reconnect + replay: Recovering → Healthy.
+    pub fn mark_recovered(&self, w: usize) {
+        let mut h = self.workers[w].lock();
+        if h.state == HealthState::Recovering {
+            h.state = HealthState::Healthy;
+            h.consecutive_misses = 0;
+        }
+    }
+
+    /// Directly marks a worker Dead (e.g. a data-path RPC saw its channel
+    /// collapse — no need to wait for heartbeat misses to accumulate).
+    pub fn mark_dead(&self, w: usize) {
+        let mut h = self.workers[w].lock();
+        if !matches!(h.state, HealthState::Recovering) {
+            h.state = HealthState::Dead;
+        }
+    }
+
+    /// States of all workers, by index.
+    pub fn snapshot(&self) -> Vec<HealthState> {
+        self.workers.iter().map(|w| w.lock().state).collect()
+    }
+
+    /// Indices of workers currently usable for data-path calls
+    /// (Healthy or Suspect).
+    pub fn live_workers(&self) -> Vec<usize> {
+        self.workers
+            .iter()
+            .enumerate()
+            .filter(|(_, w)| {
+                matches!(w.lock().state, HealthState::Healthy | HealthState::Suspect)
+            })
+            .map(|(i, _)| i)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn misses_walk_healthy_suspect_dead() {
+        let d = FailureDetector::new(1, DetectorConfig::default());
+        assert_eq!(d.state(0), HealthState::Healthy);
+        assert_eq!(d.record_miss(0), HealthState::Healthy);
+        assert_eq!(d.record_miss(0), HealthState::Suspect);
+        assert_eq!(d.record_miss(0), HealthState::Suspect);
+        assert_eq!(d.record_miss(0), HealthState::Dead);
+        assert_eq!(d.record_miss(0), HealthState::Dead);
+    }
+
+    #[test]
+    fn success_heals_suspect() {
+        let d = FailureDetector::new(1, DetectorConfig::default());
+        d.record_miss(0);
+        d.record_miss(0);
+        assert_eq!(d.state(0), HealthState::Suspect);
+        assert_eq!(d.record_success(0, 1, 0), HeartbeatOutcome::Stable);
+        assert_eq!(d.state(0), HealthState::Healthy);
+        assert_eq!(d.health(0).consecutive_misses, 0);
+    }
+
+    #[test]
+    fn success_does_not_resurrect_dead_worker() {
+        let d = FailureDetector::new(1, DetectorConfig::default());
+        for _ in 0..4 {
+            d.record_miss(0);
+        }
+        assert_eq!(d.state(0), HealthState::Dead);
+        d.record_success(0, 1, 0);
+        assert_eq!(d.state(0), HealthState::Dead, "needs supervisor replay");
+    }
+
+    #[test]
+    fn recovery_arc_dead_recovering_healthy() {
+        let d = FailureDetector::new(2, DetectorConfig::default());
+        for _ in 0..4 {
+            d.record_miss(1);
+        }
+        assert!(d.begin_recovery(1));
+        assert!(!d.begin_recovery(1), "already claimed");
+        assert_eq!(d.state(1), HealthState::Recovering);
+        d.mark_recovered(1);
+        assert_eq!(d.state(1), HealthState::Healthy);
+        assert_eq!(d.snapshot(), vec![HealthState::Healthy; 2]);
+    }
+
+    #[test]
+    fn miss_during_recovery_goes_back_to_dead() {
+        let d = FailureDetector::new(1, DetectorConfig::default());
+        d.mark_dead(0);
+        assert!(d.begin_recovery(0));
+        assert_eq!(d.record_miss(0), HealthState::Dead);
+    }
+
+    #[test]
+    fn epoch_change_reports_restart_and_requires_replay() {
+        let d = FailureDetector::new(1, DetectorConfig::default());
+        assert_eq!(d.record_success(0, 7, 0), HeartbeatOutcome::Stable);
+        assert_eq!(
+            d.record_success(0, 8, 0),
+            HeartbeatOutcome::Restarted {
+                previous: 7,
+                current: 8
+            }
+        );
+        // Restart with a fresh (empty) worker: treated as dead until replayed.
+        assert_eq!(d.state(0), HealthState::Dead);
+    }
+
+    #[test]
+    fn live_workers_excludes_dead() {
+        let d = FailureDetector::new(3, DetectorConfig::default());
+        d.mark_dead(1);
+        assert_eq!(d.live_workers(), vec![0, 2]);
+    }
+}

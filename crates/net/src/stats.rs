@@ -17,6 +17,10 @@ pub struct NetStats {
     messages_received: AtomicU64,
     /// Nanoseconds spent blocked in send/recv calls.
     network_nanos: AtomicU64,
+    /// RPC attempts beyond the first (fault-tolerance layer).
+    retries: AtomicU64,
+    /// Heartbeat probes issued (fault-tolerance layer).
+    heartbeats: AtomicU64,
 }
 
 impl NetStats {
@@ -64,6 +68,41 @@ impl NetStats {
         self.network_nanos.load(Ordering::Relaxed) as f64 / 1e9
     }
 
+    /// Records one RPC retry (an attempt beyond the first).
+    pub fn record_retry(&self) {
+        self.retries.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one heartbeat probe.
+    pub fn record_heartbeat(&self) {
+        self.heartbeats.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Total RPC retries.
+    pub fn retries(&self) -> u64 {
+        self.retries.load(Ordering::Relaxed)
+    }
+
+    /// Total heartbeat probes.
+    pub fn heartbeats(&self) -> u64 {
+        self.heartbeats.load(Ordering::Relaxed)
+    }
+
+    /// Consistent-enough point-in-time copy of all counters (each counter
+    /// is read atomically; the set is not a single atomic snapshot, which
+    /// is fine for reporting).
+    pub fn snapshot(&self) -> NetStatsSnapshot {
+        NetStatsSnapshot {
+            bytes_sent: self.bytes_sent(),
+            bytes_received: self.bytes_received(),
+            messages_sent: self.messages_sent(),
+            messages_received: self.messages_received(),
+            network_seconds: self.network_seconds(),
+            retries: self.retries(),
+            heartbeats: self.heartbeats(),
+        }
+    }
+
     /// Resets all counters (between experiment repetitions).
     pub fn reset(&self) {
         self.bytes_sent.store(0, Ordering::Relaxed);
@@ -71,17 +110,48 @@ impl NetStats {
         self.messages_sent.store(0, Ordering::Relaxed);
         self.messages_received.store(0, Ordering::Relaxed);
         self.network_nanos.store(0, Ordering::Relaxed);
+        self.retries.store(0, Ordering::Relaxed);
+        self.heartbeats.store(0, Ordering::Relaxed);
     }
 
     /// One-line human-readable summary.
     pub fn summary(&self) -> String {
-        format!(
-            "sent {} msgs / {:.2} MB, recv {} msgs / {:.2} MB, {:.3}s in network",
-            self.messages_sent(),
-            self.bytes_sent() as f64 / 1e6,
-            self.messages_received(),
-            self.bytes_received() as f64 / 1e6,
-            self.network_seconds()
+        self.snapshot().to_string()
+    }
+}
+
+/// Plain-data copy of [`NetStats`] at one point in time.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NetStatsSnapshot {
+    /// Total bytes sent.
+    pub bytes_sent: u64,
+    /// Total bytes received.
+    pub bytes_received: u64,
+    /// Total messages sent.
+    pub messages_sent: u64,
+    /// Total messages received.
+    pub messages_received: u64,
+    /// Seconds spent blocked in the network layer.
+    pub network_seconds: f64,
+    /// RPC attempts beyond the first.
+    pub retries: u64,
+    /// Heartbeat probes issued.
+    pub heartbeats: u64,
+}
+
+impl std::fmt::Display for NetStatsSnapshot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "sent {} msgs / {:.2} MB, recv {} msgs / {:.2} MB, {:.3}s in network, \
+             {} retries, {} heartbeats",
+            self.messages_sent,
+            self.bytes_sent as f64 / 1e6,
+            self.messages_received,
+            self.bytes_received as f64 / 1e6,
+            self.network_seconds,
+            self.retries,
+            self.heartbeats
         )
     }
 }
@@ -96,13 +166,38 @@ mod tests {
         s.record_send(100, 1_000_000);
         s.record_send(50, 500_000);
         s.record_recv(10, 100_000);
+        s.record_retry();
+        s.record_heartbeat();
+        s.record_heartbeat();
         assert_eq!(s.bytes_sent(), 150);
         assert_eq!(s.messages_sent(), 2);
         assert_eq!(s.bytes_received(), 10);
         assert!((s.network_seconds() - 0.0016).abs() < 1e-9);
+        assert_eq!(s.retries(), 1);
+        assert_eq!(s.heartbeats(), 2);
         s.reset();
         assert_eq!(s.bytes_sent(), 0);
         assert_eq!(s.messages_received(), 0);
+        assert_eq!(s.retries(), 0);
+        assert_eq!(s.heartbeats(), 0);
+    }
+
+    #[test]
+    fn snapshot_captures_and_displays() {
+        let s = NetStats::shared();
+        s.record_send(2_000_000, 5_000_000);
+        s.record_retry();
+        let snap = s.snapshot();
+        assert_eq!(snap.bytes_sent, 2_000_000);
+        assert_eq!(snap.messages_sent, 1);
+        assert_eq!(snap.retries, 1);
+        let text = snap.to_string();
+        assert!(text.contains("2.00 MB"), "{text}");
+        assert!(text.contains("1 retries"), "{text}");
+        // Snapshot is a copy: later traffic doesn't change it.
+        s.record_send(1, 1);
+        assert_eq!(snap.messages_sent, 1);
+        assert_eq!(s.summary(), s.snapshot().to_string());
     }
 
     #[test]

@@ -18,7 +18,7 @@
 use std::io::{self, BufReader, BufWriter};
 use std::net::{TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use crossbeam::channel::{unbounded, Receiver, Sender};
 
@@ -35,37 +35,130 @@ pub trait Channel: Send {
     fn recv(&mut self) -> io::Result<Vec<u8>>;
 }
 
+/// Socket-level timeout configuration for [`TcpChannel`]s.
+///
+/// All timeouts default to `None` (block forever), preserving the paper's
+/// standing-worker assumption; the fault-tolerance layer passes finite
+/// values so a dead peer surfaces as [`io::ErrorKind::TimedOut`] — which
+/// the retry taxonomy classifies as transient — instead of hanging the
+/// coordinator.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ChannelConfig {
+    /// Bound on establishing the TCP connection.
+    pub connect_timeout: Option<Duration>,
+    /// Bound on each blocking read (per syscall, not per message).
+    pub read_timeout: Option<Duration>,
+    /// Bound on each blocking write.
+    pub write_timeout: Option<Duration>,
+}
+
+impl ChannelConfig {
+    /// Config with every timeout set to `d`.
+    pub fn all(d: Duration) -> Self {
+        Self {
+            connect_timeout: Some(d),
+            read_timeout: Some(d),
+            write_timeout: Some(d),
+        }
+    }
+
+    /// Config with no timeouts (block forever).
+    pub fn blocking() -> Self {
+        Self::default()
+    }
+}
+
 /// TCP channel with length-prefixed framing.
 pub struct TcpChannel {
     reader: BufReader<TcpStream>,
     writer: BufWriter<TcpStream>,
 }
 
+/// Maps the platform's read/write-timeout error (`WouldBlock` on Unix,
+/// `TimedOut` on Windows) to the single `TimedOut` kind the fault layer
+/// keys on.
+fn normalize_timeout(e: io::Error) -> io::Error {
+    if e.kind() == io::ErrorKind::WouldBlock {
+        io::Error::new(io::ErrorKind::TimedOut, e)
+    } else {
+        e
+    }
+}
+
 impl TcpChannel {
-    /// Connects to a listening peer.
+    /// Connects to a listening peer with no timeouts.
     pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Self> {
-        let stream = TcpStream::connect(addr)?;
-        stream.set_nodelay(true)?;
-        Self::from_stream(stream)
+        Self::connect_with(addr, &ChannelConfig::default())
     }
 
-    /// Wraps an accepted stream.
+    /// Connects to a listening peer under `config`.
+    pub fn connect_with(addr: impl ToSocketAddrs, config: &ChannelConfig) -> io::Result<Self> {
+        let stream = match config.connect_timeout {
+            None => TcpStream::connect(addr)?,
+            Some(t) => {
+                // connect_timeout needs resolved addresses; try each.
+                let mut last = None;
+                let mut stream = None;
+                for a in addr.to_socket_addrs()? {
+                    match TcpStream::connect_timeout(&a, t) {
+                        Ok(s) => {
+                            stream = Some(s);
+                            break;
+                        }
+                        Err(e) => last = Some(e),
+                    }
+                }
+                match stream {
+                    Some(s) => s,
+                    None => {
+                        return Err(last.unwrap_or_else(|| {
+                            io::Error::new(
+                                io::ErrorKind::InvalidInput,
+                                "address resolved to no endpoints",
+                            )
+                        }))
+                    }
+                }
+            }
+        };
+        stream.set_nodelay(true)?;
+        Self::from_stream_with(stream, config)
+    }
+
+    /// Wraps an accepted stream with no timeouts.
     pub fn from_stream(stream: TcpStream) -> io::Result<Self> {
+        Self::from_stream_with(stream, &ChannelConfig::default())
+    }
+
+    /// Wraps an accepted stream, applying `config`'s read/write timeouts.
+    pub fn from_stream_with(stream: TcpStream, config: &ChannelConfig) -> io::Result<Self> {
+        stream.set_read_timeout(config.read_timeout)?;
+        stream.set_write_timeout(config.write_timeout)?;
         let read_half = stream.try_clone()?;
         Ok(Self {
             reader: BufReader::new(read_half),
             writer: BufWriter::new(stream),
         })
     }
+
+    /// Changes the read timeout on the live socket.
+    pub fn set_read_timeout(&self, t: Option<Duration>) -> io::Result<()> {
+        self.reader.get_ref().set_read_timeout(t)
+    }
+
+    /// Changes the write timeout on the live socket.
+    pub fn set_write_timeout(&self, t: Option<Duration>) -> io::Result<()> {
+        self.writer.get_ref().set_write_timeout(t)
+    }
 }
 
 impl Channel for TcpChannel {
     fn send(&mut self, payload: &[u8]) -> io::Result<()> {
-        write_frame(&mut self.writer, payload)
+        write_frame(&mut self.writer, payload).map_err(normalize_timeout)
     }
 
     fn recv(&mut self) -> io::Result<Vec<u8>> {
-        read_frame(&mut self.reader)
+        read_frame(&mut self.reader).map_err(normalize_timeout)
     }
 }
 
@@ -89,9 +182,15 @@ impl TcpServer {
 
     /// Blocks until a client connects.
     pub fn accept(&self) -> io::Result<TcpChannel> {
+        self.accept_with(&ChannelConfig::default())
+    }
+
+    /// Blocks until a client connects; the accepted channel gets
+    /// `config`'s read/write timeouts.
+    pub fn accept_with(&self, config: &ChannelConfig) -> io::Result<TcpChannel> {
         let (stream, _) = self.listener.accept()?;
         stream.set_nodelay(true)?;
-        TcpChannel::from_stream(stream)
+        TcpChannel::from_stream_with(stream, config)
     }
 }
 
@@ -259,6 +358,69 @@ mod tests {
         let payload = vec![42u8; 100_000];
         client.send(&payload).unwrap();
         assert_eq!(client.recv().unwrap(), payload);
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn read_timeout_surfaces_as_timed_out() {
+        let server = TcpServer::bind("127.0.0.1:0").unwrap();
+        let addr = server.local_addr().unwrap();
+        let cfg = ChannelConfig {
+            read_timeout: Some(std::time::Duration::from_millis(50)),
+            ..ChannelConfig::default()
+        };
+        let handle = std::thread::spawn(move || {
+            // Accept and hold the connection open without ever replying.
+            let ch = server.accept().unwrap();
+            std::thread::sleep(std::time::Duration::from_millis(300));
+            drop(ch);
+        });
+        let mut client = TcpChannel::connect_with(addr, &cfg).unwrap();
+        let err = client.recv().unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::TimedOut, "{err}");
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn connect_timeout_path_connects_and_rejects() {
+        let cfg = ChannelConfig {
+            connect_timeout: Some(std::time::Duration::from_millis(500)),
+            ..ChannelConfig::default()
+        };
+        // Positive path: the resolved-address loop connects to a live peer.
+        let server = TcpServer::bind("127.0.0.1:0").unwrap();
+        let addr = server.local_addr().unwrap();
+        let handle = std::thread::spawn(move || {
+            let _ch = server.accept().unwrap();
+        });
+        TcpChannel::connect_with(addr, &cfg).unwrap();
+        handle.join().unwrap();
+        // Negative path: a port with no listener errors promptly.
+        let dead = TcpServer::bind("127.0.0.1:0").unwrap();
+        let dead_addr = dead.local_addr().unwrap();
+        drop(dead);
+        let t0 = Instant::now();
+        assert!(TcpChannel::connect_with(dead_addr, &cfg).is_err());
+        assert!(t0.elapsed() < std::time::Duration::from_secs(5));
+    }
+
+    #[test]
+    fn timeouts_adjustable_on_live_channel() {
+        let server = TcpServer::bind("127.0.0.1:0").unwrap();
+        let addr = server.local_addr().unwrap();
+        let handle = std::thread::spawn(move || {
+            let mut ch = server.accept().unwrap();
+            let msg = ch.recv().unwrap();
+            ch.send(&msg).unwrap();
+        });
+        let client = TcpChannel::connect(addr).unwrap();
+        client
+            .set_read_timeout(Some(std::time::Duration::from_secs(5)))
+            .unwrap();
+        client.set_write_timeout(None).unwrap();
+        let mut client = client;
+        client.send(b"echo").unwrap();
+        assert_eq!(client.recv().unwrap(), b"echo");
         handle.join().unwrap();
     }
 

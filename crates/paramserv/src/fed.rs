@@ -29,7 +29,7 @@ use exdra_ml::nn::{Network, Sgd};
 
 use crate::balance::BalancePlan;
 use crate::local::PsRun;
-use crate::{axpy_model, model_delta, PsConfig, UpdateType};
+use crate::{axpy_model, model_delta, AggregationMode, PsConfig, UpdateType};
 
 /// Registry name of the parameter-server epoch function.
 pub const PS_EPOCH_UDF: &str = "ps.epoch";
@@ -188,11 +188,24 @@ pub fn apply_balance(
     Ok(out)
 }
 
+/// True for failures quorum aggregation may skip: transport trouble and
+/// dead workers, never data/protocol errors (those indicate a bug, not a
+/// straggler).
+fn quorum_tolerable(e: &RuntimeError) -> bool {
+    e.is_transient() || matches!(e, RuntimeError::WorkerDead { .. })
+}
+
 /// Trains a network with the federated parameter server over a
 /// row-partitioned federated feature matrix and aligned federated labels.
 ///
 /// `weights` are the per-partition aggregation weights (see
 /// [`crate::balance::plan`]); they must sum to 1.
+///
+/// Under [`AggregationMode::Quorum`], a round tolerates worker failures
+/// as long as surviving partitions carry at least the configured weight
+/// fraction; their weights are renormalized for the round and the number
+/// of skipped per-partition contributions is reported in
+/// [`PsRun::skipped_updates`].
 pub fn train(
     ctx: &Arc<FedContext>,
     data_ids: &[(usize, u64, u64)],
@@ -205,7 +218,15 @@ pub fn train(
             "data ids and weights must be non-empty and aligned".into(),
         ));
     }
+    if let AggregationMode::Quorum { min_weight } = cfg.aggregation {
+        if !(min_weight > 0.0 && min_weight <= 1.0) {
+            return Err(RuntimeError::Invalid(format!(
+                "quorum min_weight must be in (0, 1], got {min_weight}"
+            )));
+        }
+    }
     let model = Arc::new(Mutex::new(net.params()));
+    let mut skipped_updates = 0usize;
     let mut epoch_losses = Vec::with_capacity(cfg.epochs);
     let make_udf = |snapshot: &[DenseMatrix], epoch: usize| Udf::Registered {
         name: PS_EPOCH_UDF.into(),
@@ -236,14 +257,47 @@ pub fn train(
                     slots.push((worker, batches[worker].len()));
                     batches[worker].push(Request::ExecUdf { udf });
                 }
-                let responses = ctx.call_all(batches)?;
+                let results = ctx.call_all_tolerant(batches)?;
+                // Collect the round's contributions; under quorum, a
+                // tolerable worker failure skips its partitions instead
+                // of aborting the epoch.
+                let mut round: Vec<(Vec<DenseMatrix>, f64, f64)> = Vec::new();
+                let mut contributed = 0.0;
+                for (&(worker, idx), w) in slots.iter().zip(weights) {
+                    let response = match &results[worker] {
+                        Ok(rs) => &rs[idx],
+                        Err(e) => match cfg.aggregation {
+                            AggregationMode::Quorum { .. } if quorum_tolerable(e) => {
+                                skipped_updates += 1;
+                                continue;
+                            }
+                            _ => return Err(e.clone()),
+                        },
+                    };
+                    let data = expect_data(response, worker)?;
+                    let (delta, l) = split_epoch_result(&data)?;
+                    round.push((delta, l, *w));
+                    contributed += *w;
+                }
+                if let AggregationMode::Quorum { min_weight } = cfg.aggregation {
+                    if contributed < min_weight {
+                        return Err(RuntimeError::WorkerDead {
+                            worker: usize::MAX,
+                            msg: format!(
+                                "quorum lost: only {contributed:.3} of required \
+                                 {min_weight:.3} aggregation weight responded"
+                            ),
+                        });
+                    }
+                }
+                // Renormalize surviving weights so the round's update has
+                // the same magnitude regardless of who was skipped.
                 let mut new_model = snapshot.clone();
                 let mut loss = 0.0;
-                for (&(worker, idx), w) in slots.iter().zip(weights) {
-                    let data = expect_data(&responses[worker][idx], worker)?;
-                    let (delta, l) = split_epoch_result(&data)?;
-                    axpy_model(&mut new_model, &delta, *w);
-                    loss += w * l;
+                for (delta, l, w) in &round {
+                    let wn = w / contributed;
+                    axpy_model(&mut new_model, delta, wn);
+                    loss += wn * l;
                 }
                 *model.lock() = new_model;
                 epoch_losses.push(loss);
@@ -251,11 +305,14 @@ pub fn train(
         }
         UpdateType::Asp => {
             let losses = Arc::new(Mutex::new(vec![0.0f64; cfg.epochs]));
+            // (skipped contributions, weight of partitions that gave up)
+            let dropped = Arc::new(Mutex::new((0usize, 0.0f64)));
             std::thread::scope(|scope| -> Result<()> {
                 let mut handles = Vec::new();
                 for (i, &(worker, x_id, y_id)) in data_ids.iter().enumerate() {
                     let model = Arc::clone(&model);
                     let losses = Arc::clone(&losses);
+                    let dropped = Arc::clone(&dropped);
                     let weight = weights[i];
                     let ctx = Arc::clone(ctx);
                     handles.push(scope.spawn(move || -> Result<()> {
@@ -265,7 +322,22 @@ pub fn train(
                             if let Udf::Registered { arg_ids, .. } = &mut udf {
                                 *arg_ids = vec![x_id, y_id];
                             }
-                            let rs = ctx.call(worker, &[Request::ExecUdf { udf }])?;
+                            let rs = match ctx.call(worker, &[Request::ExecUdf { udf }]) {
+                                Ok(rs) => rs,
+                                Err(e) => match cfg.aggregation {
+                                    AggregationMode::Quorum { .. }
+                                        if quorum_tolerable(&e) =>
+                                    {
+                                        // This partition drops out of the
+                                        // run; quorum is checked at join.
+                                        let mut d = dropped.lock();
+                                        d.0 += cfg.epochs - epoch;
+                                        d.1 += weight;
+                                        return Ok(());
+                                    }
+                                    _ => return Err(e),
+                                },
+                            };
                             let data = expect_data(&rs[0], worker)?;
                             let (delta, l) = split_epoch_result(&data)?;
                             let mut m = model.lock();
@@ -281,6 +353,20 @@ pub fn train(
                 }
                 Ok(())
             })?;
+            let (skips, lost_weight) = *dropped.lock();
+            skipped_updates = skips;
+            if let AggregationMode::Quorum { min_weight } = cfg.aggregation {
+                let surviving = 1.0 - lost_weight;
+                if surviving < min_weight {
+                    return Err(RuntimeError::WorkerDead {
+                        worker: usize::MAX,
+                        msg: format!(
+                            "quorum lost: only {surviving:.3} of required \
+                             {min_weight:.3} aggregation weight survived"
+                        ),
+                    });
+                }
+            }
             epoch_losses = Arc::try_unwrap(losses)
                 .map(|m| m.into_inner())
                 .unwrap_or_default();
@@ -292,6 +378,7 @@ pub fn train(
     Ok(PsRun {
         params,
         epoch_losses,
+        skipped_updates,
     })
 }
 

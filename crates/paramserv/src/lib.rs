@@ -41,6 +41,24 @@ pub enum UpdateFreq {
     Epoch,
 }
 
+/// Partial-failure tolerance of the synchronization barrier (federated
+/// deployments only; local workers share the coordinator's fate).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum AggregationMode {
+    /// Every partition must contribute each round; any worker failure
+    /// aborts training (exact BSP semantics).
+    Strict,
+    /// Straggler/failure tolerant: a round commits once partitions
+    /// carrying at least `min_weight` of the total aggregation weight
+    /// have contributed. Failed partitions are skipped for the round and
+    /// the surviving weights renormalized; skipped contributions are
+    /// counted in [`local::PsRun::skipped_updates`].
+    Quorum {
+        /// Minimum contributed weight fraction in `(0, 1]`.
+        min_weight: f64,
+    },
+}
+
 /// Parameter-server configuration (the `paramserv(...)` argument list).
 #[derive(Debug, Clone, Copy)]
 pub struct PsConfig {
@@ -60,6 +78,8 @@ pub struct PsConfig {
     pub nesterov: bool,
     /// Shuffle/init seed.
     pub seed: u64,
+    /// Partial-failure tolerance of each synchronization round.
+    pub aggregation: AggregationMode,
 }
 
 impl Default for PsConfig {
@@ -73,6 +93,7 @@ impl Default for PsConfig {
             momentum: 0.9,
             nesterov: true,
             seed: 42,
+            aggregation: AggregationMode::Strict,
         }
     }
 }

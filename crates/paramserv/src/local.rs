@@ -19,6 +19,9 @@ pub struct PsRun {
     pub params: Vec<DenseMatrix>,
     /// Mean training loss per epoch, as reported by the workers.
     pub epoch_losses: Vec<f64>,
+    /// Per-partition epoch contributions skipped by quorum aggregation
+    /// (always 0 for local runs and strict federated runs).
+    pub skipped_updates: usize,
 }
 
 /// One local worker's epoch: run mini-batch SGD from the given snapshot,
@@ -134,6 +137,7 @@ pub fn train(
     Ok(PsRun {
         params,
         epoch_losses,
+        skipped_updates: 0,
     })
 }
 

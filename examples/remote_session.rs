@@ -12,7 +12,6 @@
 //! Each site directory must contain the raw partition `x.csv` (headerless
 //! numeric CSV) named on the command line below.
 
-use exdra::core::Tensor;
 use exdra::ml::lm;
 use exdra::{PrivacyLevel, Session};
 

@@ -16,6 +16,7 @@
 pub use exdra_api as api;
 pub use exdra_core as core;
 pub use exdra_expdb as expdb;
+pub use exdra_fault as fault;
 pub use exdra_matrix as matrix;
 pub use exdra_ml as ml;
 pub use exdra_net as net;

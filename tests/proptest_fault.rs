@@ -1,0 +1,121 @@
+//! Properties of the retry/backoff machinery: jitter stays inside its
+//! bounds, the delay envelope grows monotonically up to the cap, and a
+//! deadline bounds the total time slept across all retries.
+
+use std::time::Duration;
+
+use exdra::fault::{Deadline, ErrorClass, RetryPolicy};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every backoff delay lies in `[base, cap]` regardless of seed.
+    #[test]
+    fn jitter_within_bounds(
+        base_ms in 1u64..50,
+        extra_ms in 1u64..500,
+        attempts in 2u32..12,
+        seed in any::<u64>(),
+    ) {
+        let base = Duration::from_millis(base_ms);
+        let cap = Duration::from_millis(base_ms + extra_ms);
+        let policy = RetryPolicy::new(base, cap, attempts).with_jitter_seed(seed);
+        let delays: Vec<Duration> = policy.delays().collect();
+        prop_assert_eq!(delays.len(), (attempts - 1) as usize);
+        for d in &delays {
+            prop_assert!(*d >= base, "delay {:?} under base {:?}", d, base);
+            prop_assert!(*d <= cap, "delay {:?} over cap {:?}", d, cap);
+        }
+    }
+
+    /// The decorrelated-jitter *envelope* is monotone-bounded: delay `i`
+    /// never exceeds `min(cap, 3^(i+1) * base)`, the deterministic upper
+    /// envelope of `sleep = rand(base, 3 * prev_sleep)`.
+    #[test]
+    fn envelope_monotone_bounded(
+        base_ms in 1u64..20,
+        attempts in 2u32..10,
+        seed in any::<u64>(),
+    ) {
+        let base = Duration::from_millis(base_ms);
+        let cap = Duration::from_millis(10_000);
+        let policy = RetryPolicy::new(base, cap, attempts).with_jitter_seed(seed);
+        let mut envelope = base.saturating_mul(3);
+        for d in policy.delays() {
+            let bound = envelope.min(cap);
+            prop_assert!(d <= bound, "delay {:?} above envelope {:?}", d, bound);
+            envelope = envelope.saturating_mul(3);
+        }
+    }
+
+    /// Identical policies replay identical delay sequences (seeded
+    /// determinism — fault schedules must be reproducible).
+    #[test]
+    fn delays_are_deterministic(seed in any::<u64>(), attempts in 2u32..10) {
+        let mk = || RetryPolicy::new(
+            Duration::from_millis(5),
+            Duration::from_millis(500),
+            attempts,
+        ).with_jitter_seed(seed);
+        let a: Vec<Duration> = mk().delays().collect();
+        let b: Vec<Duration> = mk().delays().collect();
+        prop_assert_eq!(a, b);
+    }
+
+    /// No single backoff sleep exceeds the deadline budget: every sleep
+    /// handed to the sleeper is clamped to the remaining time.
+    #[test]
+    fn each_sleep_clamped_to_deadline(
+        deadline_ms in 1u64..50,
+        attempts in 2u32..10,
+        seed in any::<u64>(),
+    ) {
+        let deadline = Duration::from_millis(deadline_ms);
+        let policy = RetryPolicy::new(
+            Duration::from_millis(10),
+            Duration::from_millis(500),
+            attempts,
+        ).with_jitter_seed(seed);
+        let mut max_sleep = Duration::ZERO;
+        let _ = policy.run_with_sleep(
+            Deadline::after(deadline),
+            &mut |_attempt| Err::<(), &str>("always transient"),
+            &|_e| ErrorClass::Transient,
+            |d| max_sleep = max_sleep.max(d),
+        );
+        prop_assert!(
+            max_sleep <= deadline,
+            "slept {:?} in one step, deadline {:?}", max_sleep, deadline
+        );
+    }
+
+    /// Total retry time respects the deadline: with real (wall-clock)
+    /// sleeps, a retry loop whose raw delay schedule would run for
+    /// seconds finishes within the deadline plus scheduling slack.
+    #[test]
+    fn total_retry_time_bounded_by_deadline(
+        deadline_ms in 1u64..25,
+        seed in any::<u64>(),
+    ) {
+        let deadline = Duration::from_millis(deadline_ms);
+        // 50 attempts at up to 100ms each: unbounded, this would take
+        // seconds. The deadline must cut it off.
+        let policy = RetryPolicy::new(
+            Duration::from_millis(5),
+            Duration::from_millis(100),
+            50,
+        ).with_jitter_seed(seed);
+        let t0 = std::time::Instant::now();
+        let _ = policy.run(
+            Deadline::after(deadline),
+            |_attempt| Err::<(), &str>("always transient"),
+            |_e| ErrorClass::Transient,
+        );
+        let elapsed = t0.elapsed();
+        prop_assert!(
+            elapsed < deadline + Duration::from_millis(250),
+            "retry loop ran {:?} against a {:?} deadline", elapsed, deadline
+        );
+    }
+}
