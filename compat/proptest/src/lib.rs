@@ -360,9 +360,9 @@ pub mod prelude {
     //! Glob-import surface mirroring `proptest::prelude`.
 
     pub use crate::prop_assert;
-    pub use crate::prop_assume;
     pub use crate::prop_assert_eq;
     pub use crate::prop_assert_ne;
+    pub use crate::prop_assume;
     pub use crate::proptest;
     pub use crate::strategy::{any, Just, Strategy};
     pub use crate::test_runner::ProptestConfig;

@@ -57,8 +57,15 @@ impl Node {
         use Node::*;
         match self {
             SourceLocal(_) | SourceFed(_) => vec![],
-            Tsmm(a) | Unary(_, a) | Softmax(a) | Agg(_, _, a) | RowIndexMax(a)
-            | Transpose(a) | Index(_, _, _, _, a) | Replace(_, _, a) | Scalar(_, _, _, a) => {
+            Tsmm(a)
+            | Unary(_, a)
+            | Softmax(a)
+            | Agg(_, _, a)
+            | RowIndexMax(a)
+            | Transpose(a)
+            | Index(_, _, _, _, a)
+            | Replace(_, _, a)
+            | Scalar(_, _, _, a) => {
                 vec![a]
             }
             MatMul(a, b) | TMatMul(a, b) | Binary(_, a, b) | Rbind(a, b) | Cbind(a, b) => {
@@ -388,12 +395,8 @@ mod tests {
         let lx = Lazy::from_local(x.clone());
         let normalized = lx.sub(&lx.col_means().unwrap()).unwrap();
         let got = normalized.compute().unwrap();
-        let mu = exdra_matrix::kernels::aggregates::aggregate(
-            &x,
-            AggOp::Mean,
-            AggDir::Col,
-        )
-        .unwrap();
+        let mu =
+            exdra_matrix::kernels::aggregates::aggregate(&x, AggOp::Mean, AggDir::Col).unwrap();
         let want = exdra_matrix::kernels::elementwise::binary(&x, BinaryOp::Sub, &mu).unwrap();
         assert!(got.max_abs_diff(&want) < 1e-12);
     }

@@ -80,7 +80,11 @@ impl Session {
     /// (tests/benches; production uses `read_federated_csv`).
     pub fn federated(&self, m: &DenseMatrix) -> Result<Lazy> {
         let ctx = self.require_ctx()?;
-        Ok(Lazy::from_fed(FedMatrix::scatter_rows(ctx, m, self.privacy)?))
+        Ok(Lazy::from_fed(FedMatrix::scatter_rows(
+            ctx,
+            m,
+            self.privacy,
+        )?))
     }
 
     /// Creates a federated matrix from worker-local CSV files
@@ -163,9 +167,6 @@ mod tests {
         let m = rand_matrix(20, 3, 0.0, 1.0, 5);
         let fed = sds.federated(&m).unwrap();
         // Consolidation of private data must fail.
-        assert!(matches!(
-            fed.compute(),
-            Err(RuntimeError::Privacy(_))
-        ));
+        assert!(matches!(fed.compute(), Err(RuntimeError::Privacy(_))));
     }
 }

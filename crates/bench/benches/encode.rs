@@ -13,11 +13,19 @@ fn raw_frame(rows: usize) -> Frame {
     Frame::new(vec![
         (
             "recipe".into(),
-            FrameColumn::Str((0..rows).map(|_| Some(format!("R{}", rng.gen_range(0..50)))).collect()),
+            FrameColumn::Str(
+                (0..rows)
+                    .map(|_| Some(format!("R{}", rng.gen_range(0..50))))
+                    .collect(),
+            ),
         ),
         (
             "power".into(),
-            FrameColumn::F64((0..rows).map(|_| Some(rng.gen_range(0.0..5000.0))).collect()),
+            FrameColumn::F64(
+                (0..rows)
+                    .map(|_| Some(rng.gen_range(0.0..5000.0)))
+                    .collect(),
+            ),
         ),
         (
             "temp".into(),

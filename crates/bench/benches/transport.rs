@@ -12,10 +12,7 @@ fn bench_rpc(c: &mut Criterion) {
     let small = DataValue::from(rand_matrix(1, 16, 0.0, 1.0, 1));
     let big = DataValue::from(rand_matrix(500, 100, 0.0, 1.0, 2));
     let mut g = c.benchmark_group("rpc");
-    for (name, ctx) in [
-        ("mem", mem_federation(1).0),
-        ("tcp", tcp_federation(1).0),
-    ] {
+    for (name, ctx) in [("mem", mem_federation(1).0), ("tcp", tcp_federation(1).0)] {
         let small = small.clone();
         let big = big.clone();
         g.bench_function(format!("{name}_put_small"), |b| {

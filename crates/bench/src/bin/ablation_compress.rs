@@ -33,11 +33,18 @@ fn main() {
     let dense_bytes = x.size_bytes();
     let comp_bytes = compressed.size_bytes();
 
-    let mut table = Table::new("Ablation A2: compressed cached intermediates", &["metric", "dense", "compressed"]);
+    let mut table = Table::new(
+        "Ablation A2: compressed cached intermediates",
+        &["metric", "dense", "compressed"],
+    );
     table.row(&[
         "size".into(),
         format!("{:.1} MB", dense_bytes as f64 / 1e6),
-        format!("{:.1} MB ({:.1}x)", comp_bytes as f64 / 1e6, compressed.ratio()),
+        format!(
+            "{:.1} MB ({:.1}x)",
+            comp_bytes as f64 / 1e6,
+            compressed.ratio()
+        ),
     ]);
     // Scheme histogram.
     let mut ddc = 0usize;
@@ -60,7 +67,10 @@ fn main() {
     // Ops on compressed vs dense.
     let (want_mv, t_dense_mv) = time_reps_result(cfg.reps, || matmul::matmul(&x, &v).unwrap());
     let (got_mv, t_comp_mv) = time_reps_result(cfg.reps, || compressed.matvec(&v).unwrap());
-    assert!(got_mv.max_abs_diff(&want_mv) < 1e-9, "compressed matvec wrong");
+    assert!(
+        got_mv.max_abs_diff(&want_mv) < 1e-9,
+        "compressed matvec wrong"
+    );
     table.row(&["X %*% v".into(), secs(t_dense_mv), secs(t_comp_mv)]);
 
     let xt = exdra_matrix::kernels::reorg::transpose(&x);
@@ -68,7 +78,10 @@ fn main() {
     let (want_vm, t_dense_vm) = time_reps_result(cfg.reps, || matmul::matmul(&wt, &x).unwrap());
     let (got_vm, t_comp_vm) = time_reps_result(cfg.reps, || compressed.t_vecmat(&w).unwrap());
     let _ = xt;
-    assert!(got_vm.max_abs_diff(&want_vm) < 1e-7, "compressed vecmat wrong");
+    assert!(
+        got_vm.max_abs_diff(&want_vm) < 1e-7,
+        "compressed vecmat wrong"
+    );
     table.row(&["t(w) %*% X".into(), secs(t_dense_vm), secs(t_comp_vm)]);
 
     let (want_cs, t_dense_cs) = time_reps_result(cfg.reps, || {
@@ -86,8 +99,8 @@ fn main() {
 
     // Worker-integrated path: CompactNow over the symbol table.
     let (ctx, workers) = federation(2, NetSetting::Lan, cfg.wan_profile());
-    let fed = exdra_core::fed::FedMatrix::scatter_rows(&ctx, &x, PrivacyLevel::Public)
-        .expect("scatter");
+    let fed =
+        exdra_core::fed::FedMatrix::scatter_rows(&ctx, &x, PrivacyLevel::Public).expect("scatter");
     let before: usize = workers.iter().map(|w| w.table().total_bytes()).sum();
     for p in fed.parts() {
         let rs = ctx
@@ -108,7 +121,9 @@ fn main() {
         before as f64 / after.max(1) as f64
     );
     // Federated op on the compacted representation still works.
-    let s = exdra_core::Tensor::Fed(fed).sum().expect("sum over compressed");
+    let s = exdra_core::Tensor::Fed(fed)
+        .sum()
+        .expect("sum over compressed");
     println!("federated sum over compacted partitions: {s:.3} (verified non-NaN)");
     assert!(s.is_finite());
 }

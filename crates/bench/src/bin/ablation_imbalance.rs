@@ -59,8 +59,16 @@ fn main() {
 
     for (name, strategy, naive_weights) in [
         ("equal weights, no replication", BalanceStrategy::None, true),
-        ("fraction weights, no replication", BalanceStrategy::None, false),
-        ("replication + adjusted weights (paper)", BalanceStrategy::ReplicateToMax, false),
+        (
+            "fraction weights, no replication",
+            BalanceStrategy::None,
+            false,
+        ),
+        (
+            "replication + adjusted weights (paper)",
+            BalanceStrategy::ReplicateToMax,
+            false,
+        ),
     ] {
         let (ctx, workers) = federation(3, NetSetting::Lan, cfg.wan_profile());
         // Install the skewed partitions.
@@ -74,7 +82,12 @@ fn main() {
                 PrivacyLevel::Public,
                 &format!("skew{w}"),
             );
-            parts.push(FedPartition { lo, hi, worker: w, id });
+            parts.push(FedPartition {
+                lo,
+                hi,
+                worker: w,
+                id,
+            });
         }
         let fed = FedMatrix::from_parts(
             Arc::clone(&ctx),
@@ -126,7 +139,11 @@ fn main() {
         let min_recall = (0..5)
             .map(|c| {
                 let total: f64 = (0..5).map(|p| conf.get(c, p)).sum();
-                if total > 0.0 { conf.get(c, c) / total } else { 1.0 }
+                if total > 0.0 {
+                    conf.get(c, c) / total
+                } else {
+                    1.0
+                }
             })
             .fold(f64::INFINITY, f64::min);
         table.row(&[

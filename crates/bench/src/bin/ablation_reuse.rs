@@ -31,7 +31,11 @@ fn main() {
     // Identical across runs, so a lineage cache can serve it entirely.
     let pipeline = |fed: &exdra_core::fed::FedMatrix| {
         let t = Tensor::Fed(fed.clone());
-        let mu = t.agg(AggOp::Mean, AggDir::Col).expect("mean").to_local().expect("local");
+        let mu = t
+            .agg(AggOp::Mean, AggDir::Col)
+            .expect("mean")
+            .to_local()
+            .expect("local");
         let centered = t.binary(BinaryOp::Sub, &Tensor::Local(mu)).expect("center");
         let _gram = centered.tsmm().expect("gram");
     };
@@ -71,11 +75,7 @@ fn main() {
             }
         }
     }
-    table.row(&[
-        "total".into(),
-        secs(totals[0]),
-        secs(totals[1]),
-    ]);
+    table.row(&["total".into(), secs(totals[0]), secs(totals[1])]);
     table.print();
     println!(
         "\nworker cache hits with reuse ON: {hits_on} | speedup on repeated runs: {:.1}x",

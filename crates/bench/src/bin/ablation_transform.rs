@@ -23,7 +23,12 @@ use rand::{Rng, SeedableRng};
 
 /// Per-site distinct category sets with heavy overlap (recipes shared
 /// across plants) plus site-specific custom recipes — the Figure 3 regime.
-fn site_distincts(sites: usize, shared: usize, unique_per_site: usize, seed: u64) -> Vec<Vec<String>> {
+fn site_distincts(
+    sites: usize,
+    shared: usize,
+    unique_per_site: usize,
+    seed: u64,
+) -> Vec<Vec<String>> {
     let mut rng = StdRng::seed_from_u64(seed);
     (0..sites)
         .map(|s| {
@@ -77,10 +82,7 @@ fn main() {
             // Request + response for the misclassified categories.
             let fp: Vec<String> = site
                 .iter()
-                .filter(|c| {
-                    unresolved
-                        .contains(&exdra_transform::hashing::fnv1a(c.as_bytes()))
-                })
+                .filter(|c| unresolved.contains(&exdra_transform::hashing::fnv1a(c.as_bytes())))
                 .cloned()
                 .collect();
             bloom_bytes += 8 * unresolved.len() + string_bytes(&fp);

@@ -140,19 +140,16 @@ fn main() {
         ),
     ];
 
-    let mut table = Table::new(
-        "Figure 5: end-to-end runtime (mean of reps)",
-        &{
-            let mut h = vec!["algorithm", "Local"];
-            for setting in ["LAN", "WAN"] {
-                for w in &cfg.workers {
-                    h.push(Box::leak(format!("{setting} w={w}").into_boxed_str()));
-                }
+    let mut table = Table::new("Figure 5: end-to-end runtime (mean of reps)", &{
+        let mut h = vec!["algorithm", "Local"];
+        for setting in ["LAN", "WAN"] {
+            for w in &cfg.workers {
+                h.push(Box::leak(format!("{setting} w={w}").into_boxed_str()));
             }
-            h.push("LowerBound");
-            h
-        },
-    );
+        }
+        h.push("LowerBound");
+        h
+    });
 
     for (name, run) in &algos {
         let mut cells = vec![name.to_string()];

@@ -35,7 +35,14 @@ fn main() {
 
     let mut table = Table::new(
         "Figure 6: communication settings (3 workers)",
-        &["algorithm", "Fed LAN", "Fed WAN", "Fed WAN+SSL", "WAN/LAN", "SSL overhead"],
+        &[
+            "algorithm",
+            "Fed LAN",
+            "Fed WAN",
+            "Fed WAN+SSL",
+            "WAN/LAN",
+            "SSL overhead",
+        ],
     );
 
     type RunFn<'a> = Box<dyn Fn(&Tensor) + 'a>;

@@ -38,7 +38,13 @@ fn main() {
 
     let mut table = Table::new(
         "Figure 7: generic system vs specialized baselines",
-        &["algorithm", "baseline*", "ExDRa Local", "ExDRa Fed LAN", "Local/baseline"],
+        &[
+            "algorithm",
+            "baseline*",
+            "ExDRa Local",
+            "ExDRa Fed LAN",
+            "Local/baseline",
+        ],
     );
 
     // --- K-Means vs direct Lloyd (sklearn stand-in) ----------------------
@@ -132,8 +138,15 @@ fn main() {
         let (t_base, _) = time_reps(cfg.reps, || {
             let mut n = net.clone();
             let mut sgd = Sgd::new(ps.lr, ps.momentum, false);
-            train_local(&mut n, &x_img, &y_img_1h, ps.epochs, ps.batch_size, &mut sgd)
-                .expect("baseline");
+            train_local(
+                &mut n,
+                &x_img,
+                &y_img_1h,
+                ps.epochs,
+                ps.batch_size,
+                &mut sgd,
+            )
+            .expect("baseline");
         });
         let (t_local, _) = time_reps(cfg.reps, || {
             pslocal::train(&net, &[(x_img.clone(), y_img_1h.clone())], &ps).expect("sys");

@@ -42,14 +42,8 @@ fn site_data(rows_per_site: usize, cont_cols: usize, sites: usize) -> (Vec<Frame
     let mut frames = Vec::new();
     let mut y: Option<DenseMatrix> = None;
     for s in 0..sites {
-        let (f, t) = synth::paper_production_frame(
-            rows_per_site,
-            2,
-            8,
-            cont_cols,
-            0.01,
-            1000 + s as u64,
-        );
+        let (f, t) =
+            synth::paper_production_frame(rows_per_site, 2, 8, cont_cols, 0.01, 1000 + s as u64);
         frames.push(f);
         y = Some(match y {
             None => t,
@@ -66,8 +60,7 @@ fn run_fed_pipeline(
     train_ffn: bool,
     workers: &[std::sync::Arc<exdra_core::worker::Worker>],
 ) {
-    let fed_frame =
-        FedFrame::from_site_frames(ctx, frames, PrivacyLevel::Public).expect("frame");
+    let fed_frame = FedFrame::from_site_frames(ctx, frames, PrivacyLevel::Public).expect("frame");
     let spec = TransformSpec::auto(&frames[0]);
     let (encoded, _meta) = fed_frame.transform_encode(&spec).expect("encode");
     let x = preprocess(Tensor::Fed(encoded)).expect("preprocess");
@@ -79,8 +72,8 @@ fn run_fed_pipeline(
     let y_train = split.y_train.expect("labels");
     if train_ffn {
         let y1h = y_train.map(|v| if v >= 0.0 { 1.0 } else { 0.0 });
-        let y1h = exdra_matrix::kernels::reorg::cbind(&y1h, &y1h.map(|v| 1.0 - v))
-            .expect("one-hot");
+        let y1h =
+            exdra_matrix::kernels::reorg::cbind(&y1h, &y1h.map(|v| 1.0 - v)).expect("one-hot");
         let net = Network::ffn(split.x_train.cols(), &[64], 2, 7);
         psfed::train_federated(
             &split.x_train,
@@ -125,19 +118,14 @@ fn run_local_pipeline(frames: &[Frame], y: &DenseMatrix, train_ffn: bool) {
     let y_train = exdra_matrix::kernels::reorg::index(&ys, 0, n_train, 0, 1).expect("split");
     if train_ffn {
         let y1h = y_train.map(|v| if v >= 0.0 { 1.0 } else { 0.0 });
-        let y1h = exdra_matrix::kernels::reorg::cbind(&y1h, &y1h.map(|v| 1.0 - v))
-            .expect("one-hot");
+        let y1h =
+            exdra_matrix::kernels::reorg::cbind(&y1h, &y1h.map(|v| 1.0 - v)).expect("one-hot");
         let net = Network::ffn(x_train.cols(), &[64], 2, 7);
         let mut sgd = exdra_ml::nn::Sgd::new(0.05, 0.9, true);
         let mut n = net.clone();
         exdra_ml::nn::train_local(&mut n, &x_train, &y1h, 3, 512, &mut sgd).expect("ffn");
     } else {
-        lm::lm(
-            &Tensor::Local(x_train),
-            &y_train,
-            &lm::LmParams::default(),
-        )
-        .expect("lm");
+        lm::lm(&Tensor::Local(x_train), &y_train, &lm::LmParams::default()).expect("lm");
     }
 }
 

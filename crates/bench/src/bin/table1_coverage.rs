@@ -9,8 +9,8 @@
 
 use exdra_bench::*;
 use exdra_core::fed::FedMatrix;
-use exdra_core::protocol::Request;
 use exdra_core::instruction::Instruction;
+use exdra_core::protocol::Request;
 use exdra_core::{PrivacyLevel, Tensor};
 use exdra_matrix::kernels::aggregates::{self, AggDir, AggOp};
 use exdra_matrix::kernels::elementwise::{self, BinaryOp, UnaryOp};
@@ -51,12 +51,20 @@ fn main() {
 
     // --- Matmult ---------------------------------------------------------
     {
-        let got = t.matmul(&Tensor::Local(v.clone())).unwrap().to_local().unwrap();
+        let got = t
+            .matmul(&Tensor::Local(v.clone()))
+            .unwrap()
+            .to_local()
+            .unwrap();
         let want = matmul::matmul(&x, &v).unwrap();
         // Column-partitioned matvec via the transposed handle.
         let tcol = Tensor::Fed(fed.transpose().unwrap());
         let vr = rand_matrix(rows, 1, -1.0, 1.0, 3);
-        let got_c = tcol.matmul(&Tensor::Local(vr.clone())).unwrap().to_local().unwrap();
+        let got_c = tcol
+            .matmul(&Tensor::Local(vr.clone()))
+            .unwrap()
+            .to_local()
+            .unwrap();
         let want_c = matmul::matmul(&reorg::transpose(&x), &vr).unwrap();
         add(
             "Matmult",
@@ -69,12 +77,24 @@ fn main() {
     {
         let got = t.tsmm().unwrap();
         let want = matmul::tsmm(&x, true).unwrap();
-        add("Matmult", "tsmm", check(&got, &want), "-", got.max_abs_diff(&want));
+        add(
+            "Matmult",
+            "tsmm",
+            check(&got, &want),
+            "-",
+            got.max_abs_diff(&want),
+        );
     }
     {
         let got = t.mmchain(&v, None).unwrap();
         let want = matmul::mmchain(&x, &v, None).unwrap();
-        add("Matmult", "mmchain", check(&got, &want), "-", got.max_abs_diff(&want));
+        add(
+            "Matmult",
+            "mmchain",
+            check(&got, &want),
+            "-",
+            got.max_abs_diff(&want),
+        );
     }
 
     // --- Aggregates ------------------------------------------------------
@@ -99,7 +119,13 @@ fn main() {
     {
         let got = t.row_index_max().unwrap().to_local().unwrap();
         let want = aggregates::row_index_max(&x).unwrap();
-        add("Aggregates", "rowIndexMax", check(&got, &want), "-", got.max_abs_diff(&want));
+        add(
+            "Aggregates",
+            "rowIndexMax",
+            check(&got, &want),
+            "-",
+            got.max_abs_diff(&want),
+        );
     }
 
     // --- Unary -----------------------------------------------------------
@@ -118,16 +144,36 @@ fn main() {
         UnaryOp::Sigmoid,
     ] {
         // sqrt of negatives -> NaN == NaN mismatch; use abs() first.
-        let base = if op == UnaryOp::Sqrt { t.unary(UnaryOp::Abs).unwrap() } else { t.clone() };
-        let base_l = if op == UnaryOp::Sqrt { x.map(f64::abs) } else { x.clone() };
+        let base = if op == UnaryOp::Sqrt {
+            t.unary(UnaryOp::Abs).unwrap()
+        } else {
+            t.clone()
+        };
+        let base_l = if op == UnaryOp::Sqrt {
+            x.map(f64::abs)
+        } else {
+            x.clone()
+        };
         let got = base.unary(op).unwrap().to_local().unwrap();
         let want = elementwise::unary(&base_l, op);
-        add("Unary", op.name(), check(&got, &want), "-", got.max_abs_diff(&want));
+        add(
+            "Unary",
+            op.name(),
+            check(&got, &want),
+            "-",
+            got.max_abs_diff(&want),
+        );
     }
     {
         let got = t.softmax().unwrap().to_local().unwrap();
         let want = elementwise::softmax(&x);
-        add("Unary", "softmax", check(&got, &want), "-", got.max_abs_diff(&want));
+        add(
+            "Unary",
+            "softmax",
+            check(&got, &want),
+            "-",
+            got.max_abs_diff(&want),
+        );
     }
 
     // --- Binary ----------------------------------------------------------
@@ -164,7 +210,13 @@ fn main() {
             .to_local()
             .unwrap();
         let want = elementwise::binary(&ll, op, &rv).unwrap();
-        add("Binary", op.name(), check(&got, &want), "-", got.max_abs_diff(&want));
+        add(
+            "Binary",
+            op.name(),
+            check(&got, &want),
+            "-",
+            got.max_abs_diff(&want),
+        );
     }
     {
         // cov/cm on a federated column vector via EXEC_INST at one worker
@@ -226,7 +278,13 @@ fn main() {
             other => panic!("{other:?}"),
         };
         let want = exdra_matrix::kernels::ternary::ctable(&a, &b, None, None).unwrap();
-        add("Ternary", "ctable (EXEC_INST)", check(&got, &want), "-", got.max_abs_diff(&want));
+        add(
+            "Ternary",
+            "ctable (EXEC_INST)",
+            check(&got, &want),
+            "-",
+            got.max_abs_diff(&want),
+        );
     }
     {
         let p0 = &fed.parts()[0];
@@ -239,11 +297,28 @@ fn main() {
             .call(
                 p0.worker,
                 &[
-                    Request::Put { id: ids[0], data: w.clone().into(), privacy: PrivacyLevel::Public },
-                    Request::Put { id: ids[1], data: u.clone().into(), privacy: PrivacyLevel::Public },
-                    Request::Put { id: ids[2], data: vq.clone().into(), privacy: PrivacyLevel::Public },
+                    Request::Put {
+                        id: ids[0],
+                        data: w.clone().into(),
+                        privacy: PrivacyLevel::Public,
+                    },
+                    Request::Put {
+                        id: ids[1],
+                        data: u.clone().into(),
+                        privacy: PrivacyLevel::Public,
+                    },
+                    Request::Put {
+                        id: ids[2],
+                        data: vq.clone().into(),
+                        privacy: PrivacyLevel::Public,
+                    },
                     Request::ExecInst {
-                        inst: Instruction::WSigmoid { w: ids[0], u: ids[1], v: ids[2], out: ids[3] },
+                        inst: Instruction::WSigmoid {
+                            w: ids[0],
+                            u: ids[1],
+                            v: ids[2],
+                            out: ids[3],
+                        },
                     },
                     Request::Get { id: ids[3] },
                 ],
@@ -254,14 +329,26 @@ fn main() {
             other => panic!("{other:?}"),
         };
         let want = exdra_matrix::kernels::quaternary::wsigmoid(&w, &u, &vq).unwrap();
-        add("Quaternary", "wsigmoid (EXEC_INST)", check(&got, &want), "-", got.max_abs_diff(&want));
+        add(
+            "Quaternary",
+            "wsigmoid (EXEC_INST)",
+            check(&got, &want),
+            "-",
+            got.max_abs_diff(&want),
+        );
     }
 
     // --- Transform / Reorg -----------------------------------------------
     {
         let got = t.t().unwrap().to_local().unwrap();
         let want = reorg::transpose(&x);
-        add("Transform/Reorg", "t", check(&got, &want), "ok", got.max_abs_diff(&want));
+        add(
+            "Transform/Reorg",
+            "t",
+            check(&got, &want),
+            "ok",
+            got.max_abs_diff(&want),
+        );
     }
     {
         let fed2 = FedMatrix::scatter_rows(&ctx, &x, PrivacyLevel::Public).unwrap();
@@ -271,23 +358,47 @@ fn main() {
             .to_local()
             .unwrap();
         let want = reorg::rbind(&x, &x).unwrap();
-        add("Transform/Reorg", "rbind", check(&got, &want), "-", got.max_abs_diff(&want));
+        add(
+            "Transform/Reorg",
+            "rbind",
+            check(&got, &want),
+            "-",
+            got.max_abs_diff(&want),
+        );
     }
     {
         let sq = t.unary(UnaryOp::Square).unwrap();
         let got = t.cbind(&sq).unwrap().to_local().unwrap();
         let want = reorg::cbind(&x, &x.map(|v| v * v)).unwrap();
-        add("Transform/Reorg", "cbind", check(&got, &want), "-", got.max_abs_diff(&want));
+        add(
+            "Transform/Reorg",
+            "cbind",
+            check(&got, &want),
+            "-",
+            got.max_abs_diff(&want),
+        );
     }
     {
         let got = t.index(100, 450, 3, 17).unwrap().to_local().unwrap();
         let want = reorg::index(&x, 100, 450, 3, 17).unwrap();
-        add("Transform/Reorg", "X[:,:]", check(&got, &want), "-", got.max_abs_diff(&want));
+        add(
+            "Transform/Reorg",
+            "X[:,:]",
+            check(&got, &want),
+            "-",
+            got.max_abs_diff(&want),
+        );
     }
     {
         let got = t.replace(0.0, -1.0).unwrap().to_local().unwrap();
         let want = reorg::replace(&x, 0.0, -1.0);
-        add("Transform/Reorg", "replace", check(&got, &want), "-", got.max_abs_diff(&want));
+        add(
+            "Transform/Reorg",
+            "replace",
+            check(&got, &want),
+            "-",
+            got.max_abs_diff(&want),
+        );
     }
     {
         // Federated transformencode is verified in the core test suite;
@@ -306,12 +417,9 @@ fn main() {
                 .unwrap()
             })
             .collect();
-        let ff = exdra_core::fed::prep::FedFrame::from_site_frames(
-            &ctx,
-            &frames,
-            PrivacyLevel::Public,
-        )
-        .unwrap();
+        let ff =
+            exdra_core::fed::prep::FedFrame::from_site_frames(&ctx, &frames, PrivacyLevel::Public)
+                .unwrap();
         let spec = exdra_transform::TransformSpec::auto(&frames[0]);
         let (enc, meta) = ff.transform_encode(&spec).unwrap();
         let mut all = frames[0].clone();
@@ -321,7 +429,13 @@ fn main() {
         let (want, _) = exdra_transform::transform_encode(&all, &spec).unwrap();
         let got = enc.consolidate().unwrap();
         let ok = check(&got, &want) && meta.out_cols() == 7;
-        add("Transform/Reorg", "tfencode/tfapply", ok, "-", got.max_abs_diff(&want));
+        add(
+            "Transform/Reorg",
+            "tfencode/tfapply",
+            ok,
+            "-",
+            got.max_abs_diff(&want),
+        );
     }
     {
         // tfdecode: local decode of the federated-encoded matrix.
@@ -335,9 +449,8 @@ fn main() {
         let spec = exdra_transform::TransformSpec::auto(&frame);
         let (enc, meta) = exdra_transform::transform_encode(&frame, &spec).unwrap();
         let dec = exdra_transform::decode(&enc, &meta).unwrap();
-        let ok = (0..30).all(|r| {
-            dec.column(0).unwrap().token(r) == frame.column(0).unwrap().token(r)
-        });
+        let ok =
+            (0..30).all(|r| dec.column(0).unwrap().token(r) == frame.column(0).unwrap().token(r));
         add("Transform/Reorg", "tfdecode", ok, "-", 0.0);
     }
     {

@@ -169,7 +169,12 @@ pub fn scatter(
         let id = ctx.fresh_id();
         let slice = exdra_matrix::kernels::reorg::index(x, lo, hi, 0, x.cols()).expect("slice");
         worker.install_matrix(id, slice, PrivacyLevel::Public, &format!("bench-{w}-{id}"));
-        parts.push(FedPartition { lo, hi, worker: w, id });
+        parts.push(FedPartition {
+            lo,
+            hi,
+            worker: w,
+            id,
+        });
         lo = hi;
     }
     exdra_core::fed::FedMatrix::from_parts(
@@ -366,8 +371,9 @@ mod tests {
 
     #[test]
     fn time_reps_returns_mean_and_min() {
-        let (mean, min) =
-            time_reps(3, || std::thread::sleep(std::time::Duration::from_millis(2)));
+        let (mean, min) = time_reps(3, || {
+            std::thread::sleep(std::time::Duration::from_millis(2))
+        });
         assert!(min >= 0.002);
         assert!(mean >= min);
     }

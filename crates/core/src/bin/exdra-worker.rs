@@ -51,9 +51,7 @@ fn parse_args() -> Result<Args, String> {
             "--data-dir" => args.data_dir = value()?.into(),
             "--key" => args.key = Some(ChannelKey::from_passphrase(&value()?)),
             "--cache-mb" => {
-                args.cache_mb = value()?
-                    .parse()
-                    .map_err(|e| format!("--cache-mb: {e}"))?
+                args.cache_mb = value()?.parse().map_err(|e| format!("--cache-mb: {e}"))?
             }
             "--no-reuse" => args.reuse = false,
             "--compact-secs" => {

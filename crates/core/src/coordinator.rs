@@ -186,8 +186,9 @@ impl FedContext {
         let workers = channels
             .into_iter()
             .map(|ch| WorkerConn {
-                channel: Mutex::new(Box::new(InstrumentedChannel::new(ch, Arc::clone(&stats)))
-                    as Box<dyn Channel>),
+                channel: Mutex::new(
+                    Box::new(InstrumentedChannel::new(ch, Arc::clone(&stats))) as Box<dyn Channel>
+                ),
                 endpoint: None,
             })
             .collect::<Vec<_>>();
@@ -223,9 +224,10 @@ impl FedContext {
             .workers
             .get(worker)
             .ok_or_else(|| RuntimeError::Invalid(format!("no worker {worker}")))?;
-        let ep = conn.endpoint.as_ref().ok_or_else(|| {
-            RuntimeError::Unsupported("reconnect needs a TCP endpoint".into())
-        })?;
+        let ep = conn
+            .endpoint
+            .as_ref()
+            .ok_or_else(|| RuntimeError::Unsupported("reconnect needs a TCP endpoint".into()))?;
         let cfg = self.fault.lock().channel_config;
         let fresh = ep.connect_with(Arc::clone(&self.stats), &cfg)?;
         *conn.channel.lock() = fresh;
@@ -448,7 +450,11 @@ pub fn expect_data(r: &Response, worker: usize) -> Result<DataValue> {
         Response::Data(v) => Ok(v.clone()),
         Response::Ok | Response::Alive { .. } => Err(RuntimeError::Protocol(format!(
             "worker {worker}: expected data, got {}",
-            if matches!(r, Response::Ok) { "Ok" } else { "Alive" }
+            if matches!(r, Response::Ok) {
+                "Ok"
+            } else {
+                "Alive"
+            }
         ))),
         Response::Error(msg) => Err(worker_error(worker, msg)),
     }

@@ -30,7 +30,11 @@ use crate::value::DataValue;
 
 /// Executes one instruction against the symbol table, with optional
 /// lineage-based reuse.
-pub fn execute(inst: &Instruction, table: &SymbolTable, cache: Option<&LineageCache>) -> Result<()> {
+pub fn execute(
+    inst: &Instruction,
+    table: &SymbolTable,
+    cache: Option<&LineageCache>,
+) -> Result<()> {
     if let Instruction::Rmvar { ids } = inst {
         table.remove(ids);
         return Ok(());
@@ -357,7 +361,11 @@ mod tests {
         let b = rand_matrix(3, 2, -1.0, 1.0, 2);
         let t = table_with(&[(1, a.clone()), (2, b.clone())]);
         execute(
-            &Instruction::MatMul { lhs: 1, rhs: 2, out: 3 },
+            &Instruction::MatMul {
+                lhs: 1,
+                rhs: 2,
+                out: 3,
+            },
             &t,
             None,
         )
@@ -370,12 +378,7 @@ mod tests {
     #[test]
     fn unknown_input_reports_symbol() {
         let t = SymbolTable::new();
-        let err = execute(
-            &Instruction::Transpose { x: 9, out: 10 },
-            &t,
-            None,
-        )
-        .unwrap_err();
+        let err = execute(&Instruction::Transpose { x: 9, out: 10 }, &t, None).unwrap_err();
         assert!(matches!(err, RuntimeError::UnknownSymbol(9)));
     }
 
@@ -508,7 +511,10 @@ mod tests {
         .unwrap();
         let e = t.get(2).unwrap();
         assert_eq!(e.meta.privacy, PrivacyLevel::Private);
-        assert!(!crate::privacy::may_release(e.meta.privacy, e.meta.releasable));
+        assert!(!crate::privacy::may_release(
+            e.meta.privacy,
+            e.meta.releasable
+        ));
     }
 
     #[test]

@@ -148,20 +148,12 @@ impl IncrementalColStats {
         // then retire the replaced pre-append symbol explicitly.
         self.fed.disown();
         ctx.enqueue_garbage(worker, old.id);
-        self.fed = FedMatrix::from_parts(
-            ctx,
-            PartitionScheme::Row,
-            rows,
-            cols,
-            parts,
-            privacy,
-            true,
-        )?;
+        self.fed =
+            FedMatrix::from_parts(ctx, PartitionScheme::Row, rows, cols, parts, privacy, true)?;
 
         // Incremental statistics update from the new block only.
         let bs = exdra_matrix::kernels::aggregates::aggregate(new_rows, AggOp::Sum, AggDir::Col)?;
-        let bq =
-            exdra_matrix::kernels::aggregates::aggregate(new_rows, AggOp::SumSq, AggDir::Col)?;
+        let bq = exdra_matrix::kernels::aggregates::aggregate(new_rows, AggOp::SumSq, AggDir::Col)?;
         let bmin = exdra_matrix::kernels::aggregates::aggregate(new_rows, AggOp::Min, AggDir::Col)?;
         let bmax = exdra_matrix::kernels::aggregates::aggregate(new_rows, AggOp::Max, AggDir::Col)?;
         self.col_sums = self.col_sums.zip(&bs, "+", |a, b| a + b)?;
@@ -270,9 +262,15 @@ mod tests {
         let mu = stats.col_means();
         let sd = stats.col_vars().map(f64::sqrt);
         let normalized = Tensor::Fed(stats.fed().clone())
-            .binary(exdra_matrix::kernels::elementwise::BinaryOp::Sub, &Tensor::Local(mu))
+            .binary(
+                exdra_matrix::kernels::elementwise::BinaryOp::Sub,
+                &Tensor::Local(mu),
+            )
             .unwrap()
-            .binary(exdra_matrix::kernels::elementwise::BinaryOp::Div, &Tensor::Local(sd))
+            .binary(
+                exdra_matrix::kernels::elementwise::BinaryOp::Div,
+                &Tensor::Local(sd),
+            )
             .unwrap();
         let mu2 = normalized
             .agg(AggOp::Mean, AggDir::Col)

@@ -213,7 +213,12 @@ impl FedMatrix {
                 data: DataValue::from(slice),
                 privacy,
             }]);
-            parts.push(FedPartition { lo, hi, worker: w, id });
+            parts.push(FedPartition {
+                lo,
+                hi,
+                worker: w,
+                id,
+            });
             lo = hi;
         }
         let responses = ctx.call_all(batches)?;
@@ -262,7 +267,12 @@ impl FedMatrix {
                 data: DataValue::from(slice),
                 privacy,
             }]);
-            parts.push(FedPartition { lo, hi, worker: w, id });
+            parts.push(FedPartition {
+                lo,
+                hi,
+                worker: w,
+                id,
+            });
             lo = hi;
         }
         let responses = ctx.call_all(batches)?;
@@ -379,7 +389,11 @@ impl FedMatrix {
                 }
             })
             .collect();
-        format!("{dims} {{ {} }} [{}]", ranges.join("; "), self.privacy.name())
+        format!(
+            "{dims} {{ {} }} [{}]",
+            ranges.join("; "),
+            self.privacy.name()
+        )
     }
 
     /// Allocates an output federation map with the same ranges/workers and
@@ -557,16 +571,10 @@ mod tests {
         let (ctx, _workers) = mem_federation(2);
         let x = rand_matrix(50, 3, 0.0, 1.0, 12);
         let fed = FedMatrix::scatter_rows(&ctx, &x, PrivacyLevel::Private).unwrap();
-        assert!(matches!(
-            fed.consolidate(),
-            Err(RuntimeError::Privacy(_))
-        ));
-        let fed2 = FedMatrix::scatter_rows(
-            &ctx,
-            &x,
-            PrivacyLevel::PrivateAggregate { min_group: 5 },
-        )
-        .unwrap();
+        assert!(matches!(fed.consolidate(), Err(RuntimeError::Privacy(_))));
+        let fed2 =
+            FedMatrix::scatter_rows(&ctx, &x, PrivacyLevel::PrivateAggregate { min_group: 5 })
+                .unwrap();
         assert!(matches!(fed2.consolidate(), Err(RuntimeError::Privacy(_))));
     }
 
@@ -575,8 +583,18 @@ mod tests {
         let (ctx, _workers) = mem_federation(2);
         // Gap in coverage.
         let bad = vec![
-            FedPartition { lo: 0, hi: 10, worker: 0, id: 1 },
-            FedPartition { lo: 20, hi: 30, worker: 1, id: 2 },
+            FedPartition {
+                lo: 0,
+                hi: 10,
+                worker: 0,
+                id: 1,
+            },
+            FedPartition {
+                lo: 20,
+                hi: 30,
+                worker: 1,
+                id: 2,
+            },
         ];
         assert!(FedMatrix::from_parts(
             Arc::clone(&ctx),
@@ -589,7 +607,12 @@ mod tests {
         )
         .is_err());
         // Worker out of range.
-        let bad = vec![FedPartition { lo: 0, hi: 30, worker: 5, id: 1 }];
+        let bad = vec![FedPartition {
+            lo: 0,
+            hi: 30,
+            worker: 5,
+            id: 1,
+        }];
         assert!(FedMatrix::from_parts(
             Arc::clone(&ctx),
             PartitionScheme::Row,
@@ -629,12 +652,9 @@ mod tests {
     fn describe_mentions_ranges_and_privacy() {
         let (ctx, _workers) = mem_federation(2);
         let x = rand_matrix(10, 4, 0.0, 1.0, 15);
-        let fed = FedMatrix::scatter_rows(
-            &ctx,
-            &x,
-            PrivacyLevel::PrivateAggregate { min_group: 3 },
-        )
-        .unwrap();
+        let fed =
+            FedMatrix::scatter_rows(&ctx, &x, PrivacyLevel::PrivateAggregate { min_group: 3 })
+                .unwrap();
         let d = fed.describe();
         assert!(d.contains("10x4"));
         assert!(d.contains("[0:5,]"));

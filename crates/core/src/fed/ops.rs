@@ -54,11 +54,13 @@ impl FedMatrix {
     /// products summed at the coordinator (local output).
     pub fn matmul_rhs_local(&self, rhs: &DenseMatrix) -> Result<crate::tensor::Tensor> {
         if self.cols() != rhs.rows() {
-            return Err(RuntimeError::Matrix(exdra_matrix::MatrixError::DimensionMismatch {
-                op: "fed_matmul",
-                lhs: self.shape(),
-                rhs: rhs.shape(),
-            }));
+            return Err(RuntimeError::Matrix(
+                exdra_matrix::MatrixError::DimensionMismatch {
+                    op: "fed_matmul",
+                    lhs: self.shape(),
+                    rhs: rhs.shape(),
+                },
+            ));
         }
         match self.scheme() {
             PartitionScheme::Row => {
@@ -99,8 +101,8 @@ impl FedMatrix {
                 let results = self.per_part(|p| {
                     let slice_id = self.ctx().fresh_id();
                     let out_id = self.ctx().fresh_id();
-                    let slice = reorg::index(rhs, p.lo, p.hi, 0, rhs.cols())
-                        .expect("validated range");
+                    let slice =
+                        reorg::index(rhs, p.lo, p.hi, 0, rhs.cols()).expect("validated range");
                     vec![
                         Request::Put {
                             id: slice_id,
@@ -144,11 +146,13 @@ impl FedMatrix {
     /// Col scheme: broadcast `lhs`, output federated with the same col map.
     pub fn matmul_lhs_local(&self, lhs: &DenseMatrix) -> Result<crate::tensor::Tensor> {
         if lhs.cols() != self.rows() {
-            return Err(RuntimeError::Matrix(exdra_matrix::MatrixError::DimensionMismatch {
-                op: "fed_matmul",
-                lhs: lhs.shape(),
-                rhs: self.shape(),
-            }));
+            return Err(RuntimeError::Matrix(
+                exdra_matrix::MatrixError::DimensionMismatch {
+                    op: "fed_matmul",
+                    lhs: lhs.shape(),
+                    rhs: self.shape(),
+                },
+            ));
         }
         match self.scheme() {
             PartitionScheme::Row => {
@@ -156,8 +160,8 @@ impl FedMatrix {
                 let results = self.per_part(|p| {
                     let slice_id = self.ctx().fresh_id();
                     let out_id = self.ctx().fresh_id();
-                    let slice = reorg::index(lhs, 0, lhs.rows(), p.lo, p.hi)
-                        .expect("validated range");
+                    let slice =
+                        reorg::index(lhs, 0, lhs.rows(), p.lo, p.hi).expect("validated range");
                     vec![
                         Request::Put {
                             id: slice_id,
@@ -270,11 +274,13 @@ impl FedMatrix {
             ));
         }
         if v.rows() != self.cols() || v.cols() != 1 {
-            return Err(RuntimeError::Matrix(exdra_matrix::MatrixError::DimensionMismatch {
-                op: "fed_mmchain",
-                lhs: self.shape(),
-                rhs: v.shape(),
-            }));
+            return Err(RuntimeError::Matrix(
+                exdra_matrix::MatrixError::DimensionMismatch {
+                    op: "fed_mmchain",
+                    lhs: self.shape(),
+                    rhs: v.shape(),
+                },
+            ));
         }
         if let Some(w) = w {
             if w.rows() != self.rows() || w.cols() != 1 {
@@ -460,11 +466,13 @@ impl FedMatrix {
                 && other.rows() == 1
                 && other.cols() == self.cols());
         if !shapes_ok {
-            return Err(RuntimeError::Matrix(exdra_matrix::MatrixError::DimensionMismatch {
-                op: "fed_binary",
-                lhs: self.shape(),
-                rhs: other.shape(),
-            }));
+            return Err(RuntimeError::Matrix(
+                exdra_matrix::MatrixError::DimensionMismatch {
+                    op: "fed_binary",
+                    lhs: self.shape(),
+                    rhs: other.shape(),
+                },
+            ));
         }
         let other_parts: Vec<FedPartition> = other.parts().to_vec();
         let (parts, _) = self.fresh_like(self.rows(), self.cols());
@@ -671,7 +679,9 @@ impl FedMatrix {
             AggOp::Mean => sums.map(|v| v / n),
             AggOp::Var | AggOp::Sd => {
                 let sq = sq_acc.expect("sumsq collected");
-                let var = sq.zip(&sums, "var", |sq, s| ((sq - s * s / n) / (n - 1.0)).max(0.0))?;
+                let var = sq.zip(&sums, "var", |sq, s| {
+                    ((sq - s * s / n) / (n - 1.0)).max(0.0)
+                })?;
                 if op == AggOp::Var {
                     var
                 } else {
@@ -832,11 +842,13 @@ impl FedMatrix {
             ));
         }
         if self.cols() != other.cols() {
-            return Err(RuntimeError::Matrix(exdra_matrix::MatrixError::DimensionMismatch {
-                op: "fed_rbind",
-                lhs: self.shape(),
-                rhs: other.shape(),
-            }));
+            return Err(RuntimeError::Matrix(
+                exdra_matrix::MatrixError::DimensionMismatch {
+                    op: "fed_rbind",
+                    lhs: self.shape(),
+                    rhs: other.shape(),
+                },
+            ));
         }
         let mut parts = self.parts().to_vec();
         for p in other.parts() {
@@ -913,10 +925,7 @@ mod tests {
     use exdra_matrix::kernels::matmul;
     use exdra_matrix::rng::rand_matrix;
 
-    fn fed_of(
-        n_workers: usize,
-        x: &DenseMatrix,
-    ) -> (std::sync::Arc<crate::FedContext>, FedMatrix) {
+    fn fed_of(n_workers: usize, x: &DenseMatrix) -> (std::sync::Arc<crate::FedContext>, FedMatrix) {
         let (ctx, _workers) = mem_federation(n_workers);
         let fed = FedMatrix::scatter_rows(&ctx, x, PrivacyLevel::Public).unwrap();
         (ctx, fed)
@@ -983,7 +992,14 @@ mod tests {
     fn fed_aggregates_match_local() {
         let x = rand_matrix(66, 5, -2.0, 2.0, 110);
         let (_ctx, fed) = fed_of(3, &x);
-        for op in [AggOp::Sum, AggOp::Min, AggOp::Max, AggOp::Mean, AggOp::Var, AggOp::Sd] {
+        for op in [
+            AggOp::Sum,
+            AggOp::Min,
+            AggOp::Max,
+            AggOp::Mean,
+            AggOp::Var,
+            AggOp::Sd,
+        ] {
             for dir in [AggDir::Full, AggDir::Col] {
                 let got = fed.agg(op, dir).unwrap().to_local().unwrap();
                 let want = aggregates::aggregate(&x, op, dir).unwrap();
@@ -1064,7 +1080,7 @@ mod tests {
     fn fed_indexing_slices_partitions() {
         let x = rand_matrix(60, 8, -1.0, 1.0, 117);
         let (_ctx, fed) = fed_of(3, &x); // parts of 20 rows each
-        // Range spanning two partitions.
+                                         // Range spanning two partitions.
         let got = fed.index(10, 35, 2, 6).unwrap();
         assert_eq!(got.shape(), (25, 4));
         assert_eq!(got.parts().len(), 2);
@@ -1128,25 +1144,23 @@ mod tests {
         // 3 rows per worker with min_group 5: colSums partials not releasable.
         let (ctx, _workers) = mem_federation(2);
         let x = rand_matrix(6, 3, 0.0, 1.0, 122);
-        let fed = FedMatrix::scatter_rows(
-            &ctx,
-            &x,
-            PrivacyLevel::PrivateAggregate { min_group: 5 },
-        )
-        .unwrap();
+        let fed =
+            FedMatrix::scatter_rows(&ctx, &x, PrivacyLevel::PrivateAggregate { min_group: 5 })
+                .unwrap();
         assert!(matches!(
             fed.agg(AggOp::Sum, AggDir::Col),
             Err(RuntimeError::Privacy(_))
         ));
         // With enough rows per partition, the same op succeeds.
         let y = rand_matrix(20, 3, 0.0, 1.0, 123);
-        let fed = FedMatrix::scatter_rows(
-            &ctx,
-            &y,
-            PrivacyLevel::PrivateAggregate { min_group: 5 },
-        )
-        .unwrap();
-        let got = fed.agg(AggOp::Sum, AggDir::Col).unwrap().to_local().unwrap();
+        let fed =
+            FedMatrix::scatter_rows(&ctx, &y, PrivacyLevel::PrivateAggregate { min_group: 5 })
+                .unwrap();
+        let got = fed
+            .agg(AggOp::Sum, AggDir::Col)
+            .unwrap()
+            .to_local()
+            .unwrap();
         let want = aggregates::aggregate(&y, AggOp::Sum, AggDir::Col).unwrap();
         assert!(got.max_abs_diff(&want) < 1e-10);
     }

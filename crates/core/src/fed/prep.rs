@@ -156,16 +156,14 @@ impl FedFrame {
     /// yielding a federated encoded matrix plus the local metadata frame.
     pub fn transform_encode(&self, spec: &TransformSpec) -> Result<(FedMatrix, TransformMeta)> {
         // Pass 1: partial metadata per site.
-        let results = self
-            .inner
-            .per_part(|p| {
-                vec![Request::ExecUdf {
-                    udf: Udf::EncodeBuildPartial {
-                        frame: p.id,
-                        spec: spec.clone(),
-                    },
-                }]
-            })?;
+        let results = self.inner.per_part(|p| {
+            vec![Request::ExecUdf {
+                udf: Udf::EncodeBuildPartial {
+                    frame: p.id,
+                    spec: spec.clone(),
+                },
+            }]
+        })?;
         let mut partials = Vec::with_capacity(results.len());
         for (p, rs) in self.parts().iter().zip(&results) {
             match expect_data(&rs[0], p.worker)? {
@@ -507,9 +505,9 @@ mod tests {
 /// federated linear algebra — masks, column aggregates, and broadcast
 /// arithmetic — with no raw data movement).
 pub fn impute_mean(x: &crate::tensor::Tensor) -> Result<crate::tensor::Tensor> {
+    use crate::tensor::Tensor;
     use exdra_matrix::kernels::aggregates::{AggDir, AggOp};
     use exdra_matrix::kernels::elementwise::{BinaryOp, UnaryOp};
-    use crate::tensor::Tensor;
     let n = x.rows() as f64;
     // mask = isNA(X); x0 = replace(X, NaN -> 0)
     let mask = x.unary(UnaryOp::IsNa)?;
@@ -618,7 +616,10 @@ mod impute_tests {
         let filled = impute_mean(&Tensor::Fed(fed)).unwrap();
         let got = filled.to_local().unwrap();
         // Local reference.
-        let want = impute_mean(&Tensor::Local(x.clone())).unwrap().to_local().unwrap();
+        let want = impute_mean(&Tensor::Local(x.clone()))
+            .unwrap()
+            .to_local()
+            .unwrap();
         assert!(got.max_abs_diff(&want) < 1e-10);
         // No NaNs remain; imputed cells hold their column's observed mean.
         assert!(got.values().iter().all(|v| !v.is_nan()));
@@ -663,8 +664,16 @@ mod impute_tests {
         let back = repaired.consolidate().unwrap();
         let col = back.column_by_name("c").unwrap();
         assert_eq!(col.missing_count(), 0);
-        assert_eq!(col.token(3).as_deref(), Some("X"), "site-1 NULL -> global mode");
-        assert_eq!(col.token(9).as_deref(), Some("X"), "site-2 NULL -> global mode");
+        assert_eq!(
+            col.token(3).as_deref(),
+            Some("X"),
+            "site-1 NULL -> global mode"
+        );
+        assert_eq!(
+            col.token(9).as_deref(),
+            Some("X"),
+            "site-2 NULL -> global mode"
+        );
         // Non-missing cells untouched.
         assert_eq!(col.token(0).as_deref(), Some("Z"));
     }
@@ -691,11 +700,7 @@ mod impute_tests {
     #[test]
     fn impute_mode_unknown_column() {
         let (ctx, _w) = mem_federation(1);
-        let f = Frame::new(vec![(
-            "c".into(),
-            FrameColumn::Str(vec![Some("a".into())]),
-        )])
-        .unwrap();
+        let f = Frame::new(vec![("c".into(), FrameColumn::Str(vec![Some("a".into())]))]).unwrap();
         let fed = FedFrame::from_site_frames(&ctx, &[f], PrivacyLevel::Public).unwrap();
         assert!(fed.impute_mode("nope").is_err());
     }

@@ -373,7 +373,10 @@ impl Instruction {
                 ids.extend(select.iter());
                 ids
             }
-            Replace { x, .. } | Index { x, .. } | Diag { x, .. } | Order { x, .. }
+            Replace { x, .. }
+            | Index { x, .. }
+            | Diag { x, .. }
+            | Order { x, .. }
             | Reshape { x, .. } => vec![*x],
             IndexAssign { x, y, .. } => vec![*x, *y],
             GatherRows { x, idx, .. } => vec![*x, *idx],
@@ -525,8 +528,7 @@ fn tag_of<T: PartialEq>(table: &[T], v: &T, what: &'static str) -> u8 {
     table
         .iter()
         .position(|t| t == v)
-        .unwrap_or_else(|| panic!("{what} missing from tag table"))
-        as u8
+        .unwrap_or_else(|| panic!("{what} missing from tag table")) as u8
 }
 
 fn from_tag<T: Copy>(table: &[T], tag: u8, what: &str) -> DecodeResult<T> {
@@ -978,37 +980,156 @@ mod tests {
     fn all_samples() -> Vec<Instruction> {
         use Instruction::*;
         vec![
-            MatMul { lhs: 1, rhs: 2, out: 3 },
-            Tsmm { x: 1, left: true, out: 2 },
-            MmChain { x: 1, v: 2, w: Some(3), out: 4 },
-            MmChain { x: 1, v: 2, w: None, out: 4 },
-            Unary { x: 1, op: UnaryOp::Sigmoid, out: 2 },
+            MatMul {
+                lhs: 1,
+                rhs: 2,
+                out: 3,
+            },
+            Tsmm {
+                x: 1,
+                left: true,
+                out: 2,
+            },
+            MmChain {
+                x: 1,
+                v: 2,
+                w: Some(3),
+                out: 4,
+            },
+            MmChain {
+                x: 1,
+                v: 2,
+                w: None,
+                out: 4,
+            },
+            Unary {
+                x: 1,
+                op: UnaryOp::Sigmoid,
+                out: 2,
+            },
             Softmax { x: 1, out: 2 },
-            Binary { lhs: 1, rhs: 2, op: BinaryOp::LogBase, out: 3 },
-            Scalar { x: 1, op: BinaryOp::Pow, value: 2.5, swap: true, out: 2 },
-            Agg { x: 1, op: AggOp::Var, dir: AggDir::Col, out: 2 },
+            Binary {
+                lhs: 1,
+                rhs: 2,
+                op: BinaryOp::LogBase,
+                out: 3,
+            },
+            Scalar {
+                x: 1,
+                op: BinaryOp::Pow,
+                value: 2.5,
+                swap: true,
+                out: 2,
+            },
+            Agg {
+                x: 1,
+                op: AggOp::Var,
+                dir: AggDir::Col,
+                out: 2,
+            },
             RowIndexMax { x: 1, out: 2 },
             RowIndexMin { x: 1, out: 2 },
-            CTable { a: 1, b: 2, w: Some(3), dims: Some((4, 5)), out: 6 },
-            IfElse { cond: 1, then_v: 2, else_v: 3, out: 4 },
-            Axpy { x: 1, s: -0.5, y: 2, sub: true, out: 3 },
-            WsLoss { x: 1, w: 2, u: 3, v: 4, out: 5 },
-            WSigmoid { w: 1, u: 2, v: 3, out: 4 },
-            WDivMm { w: 1, u: 2, v: 3, out: 4 },
-            WCeMm { w: 1, u: 2, v: 3, eps: 1e-12, out: 4 },
+            CTable {
+                a: 1,
+                b: 2,
+                w: Some(3),
+                dims: Some((4, 5)),
+                out: 6,
+            },
+            IfElse {
+                cond: 1,
+                then_v: 2,
+                else_v: 3,
+                out: 4,
+            },
+            Axpy {
+                x: 1,
+                s: -0.5,
+                y: 2,
+                sub: true,
+                out: 3,
+            },
+            WsLoss {
+                x: 1,
+                w: 2,
+                u: 3,
+                v: 4,
+                out: 5,
+            },
+            WSigmoid {
+                w: 1,
+                u: 2,
+                v: 3,
+                out: 4,
+            },
+            WDivMm {
+                w: 1,
+                u: 2,
+                v: 3,
+                out: 4,
+            },
+            WCeMm {
+                w: 1,
+                u: 2,
+                v: 3,
+                eps: 1e-12,
+                out: 4,
+            },
             Transpose { x: 1, out: 2 },
             Rbind { a: 1, b: 2, out: 3 },
             Cbind { a: 1, b: 2, out: 3 },
-            RemoveEmpty { x: 1, rows: false, select: Some(2), out: 3 },
-            Replace { x: 1, pattern: f64::NAN, replacement: 0.0, out: 2 },
-            Index { x: 1, row_lo: 0, row_hi: 10, col_lo: 2, col_hi: 5, out: 2 },
-            IndexAssign { x: 1, row_lo: 3, col_lo: 4, y: 2, out: 5 },
+            RemoveEmpty {
+                x: 1,
+                rows: false,
+                select: Some(2),
+                out: 3,
+            },
+            Replace {
+                x: 1,
+                pattern: f64::NAN,
+                replacement: 0.0,
+                out: 2,
+            },
+            Index {
+                x: 1,
+                row_lo: 0,
+                row_hi: 10,
+                col_lo: 2,
+                col_hi: 5,
+                out: 2,
+            },
+            IndexAssign {
+                x: 1,
+                row_lo: 3,
+                col_lo: 4,
+                y: 2,
+                out: 5,
+            },
             Diag { x: 1, out: 2 },
-            Order { x: 1, by: 0, decreasing: true, index_return: false, out: 2 },
-            GatherRows { x: 1, idx: 2, out: 3 },
-            Reshape { x: 1, rows: 4, cols: 6, out: 2 },
+            Order {
+                x: 1,
+                by: 0,
+                decreasing: true,
+                index_return: false,
+                out: 2,
+            },
+            GatherRows {
+                x: 1,
+                idx: 2,
+                out: 3,
+            },
+            Reshape {
+                x: 1,
+                rows: 4,
+                cols: 6,
+                out: 2,
+            },
             Cov { a: 1, b: 2, out: 3 },
-            CentralMoment { a: 1, order: 3, out: 2 },
+            CentralMoment {
+                a: 1,
+                order: 3,
+                out: 2,
+            },
             Rmvar { ids: vec![1, 2, 3] },
         ]
     }

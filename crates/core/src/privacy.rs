@@ -91,7 +91,12 @@ pub fn may_release(level: PrivacyLevel, releasable: bool) -> bool {
 
 /// Adds Laplace noise with scale `sensitivity / epsilon` to every cell —
 /// the classic ε-differential-privacy mechanism for released aggregates.
-pub fn laplace_mechanism(m: &DenseMatrix, sensitivity: f64, epsilon: f64, seed: u64) -> DenseMatrix {
+pub fn laplace_mechanism(
+    m: &DenseMatrix,
+    sensitivity: f64,
+    epsilon: f64,
+    seed: u64,
+) -> DenseMatrix {
     let scale = sensitivity / epsilon;
     let mut rng = StdRng::seed_from_u64(seed);
     let mut out = m.clone();
@@ -113,7 +118,10 @@ mod tests {
         assert_eq!(PrivacyLevel::Public.max(pa), pa);
         assert_eq!(pa.max(pb), pb);
         assert_eq!(pa.max(PrivacyLevel::Private), PrivacyLevel::Private);
-        assert_eq!(PrivacyLevel::Public.max(PrivacyLevel::Public), PrivacyLevel::Public);
+        assert_eq!(
+            PrivacyLevel::Public.max(PrivacyLevel::Public),
+            PrivacyLevel::Public
+        );
     }
 
     #[test]

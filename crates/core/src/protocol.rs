@@ -326,10 +326,7 @@ mod tests {
             Response::Ok,
             Response::Data(DataValue::Scalar(5.0)),
             Response::Error("privacy violation".into()),
-            Response::Alive {
-                epoch: 3,
-                load: 17,
-            },
+            Response::Alive { epoch: 3, load: 17 },
         ];
         assert_eq!(Vec::<Response>::from_bytes(&rs.to_bytes()).unwrap(), rs);
     }

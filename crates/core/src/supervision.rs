@@ -250,7 +250,10 @@ mod tests {
             seen_suspect |= last[1] == HealthState::Suspect;
         }
         assert_eq!(last, vec![HealthState::Healthy, HealthState::Dead]);
-        assert!(seen_suspect, "worker 1 passed through Suspect on the way down");
+        assert!(
+            seen_suspect,
+            "worker 1 passed through Suspect on the way down"
+        );
     }
 
     #[test]
@@ -284,6 +287,9 @@ mod tests {
         }));
         assert!(sup.recover(0).unwrap());
         assert_eq!(sup.detector().state(0), HealthState::Healthy);
-        assert!(replacement.table().contains(42), "replay re-installed state");
+        assert!(
+            replacement.table().contains(42),
+            "replay re-installed state"
+        );
     }
 }

@@ -52,7 +52,14 @@ impl SymbolTable {
 
     /// Binds `id` to a value with explicit metadata, replacing any previous
     /// binding.
-    pub fn bind(&self, id: u64, value: Arc<DataValue>, privacy: PrivacyLevel, releasable: bool, lineage: u64) {
+    pub fn bind(
+        &self,
+        id: u64,
+        value: Arc<DataValue>,
+        privacy: PrivacyLevel,
+        releasable: bool,
+        lineage: u64,
+    ) {
         let entry = Entry {
             value,
             meta: EntryMeta {
@@ -114,11 +121,7 @@ impl SymbolTable {
 
     /// Total approximate bytes held.
     pub fn total_bytes(&self) -> usize {
-        self.map
-            .read()
-            .values()
-            .map(|e| e.value.size_bytes())
-            .sum()
+        self.map.read().values().map(|e| e.value.size_bytes()).sum()
     }
 
     /// Replaces the value of an existing binding in place, keeping its
@@ -136,9 +139,7 @@ impl SymbolTable {
     pub fn compaction_candidates(&self) -> Vec<(u64, usize, std::time::Duration)> {
         let map = self.map.read();
         map.iter()
-            .filter(|(_, e)| {
-                matches!(&*e.value, DataValue::Matrix(exdra_matrix::Matrix::Dense(_)))
-            })
+            .filter(|(_, e)| matches!(&*e.value, DataValue::Matrix(exdra_matrix::Matrix::Dense(_))))
             .map(|(id, e)| (*id, e.value.size_bytes(), e.meta.last_access.elapsed()))
             .collect()
     }

@@ -83,9 +83,7 @@ impl Tensor {
     /// in the coordinator, or a privacy exception is thrown", §4.2).
     pub fn matmul(&self, rhs: &Tensor) -> Result<Tensor> {
         match (self, rhs) {
-            (Tensor::Local(a), Tensor::Local(b)) => {
-                Ok(Tensor::Local(matmul::matmul(a, b)?))
-            }
+            (Tensor::Local(a), Tensor::Local(b)) => Ok(Tensor::Local(matmul::matmul(a, b)?)),
             (Tensor::Fed(a), Tensor::Local(b)) => a.matmul_rhs_local(b),
             (Tensor::Local(a), Tensor::Fed(b)) => b.matmul_lhs_local(a),
             (Tensor::Fed(a), Tensor::Fed(b)) => {
@@ -185,9 +183,7 @@ impl Tensor {
                             let inv = f.scalar_op(BinaryOp::Pow, -1.0, false)?;
                             Ok(Tensor::Fed(inv.scalar_op(BinaryOp::Mul, value, false)?))
                         }
-                        _ if op.is_commutative() => {
-                            Ok(Tensor::Fed(f.scalar_op(op, value, false)?))
-                        }
+                        _ if op.is_commutative() => Ok(Tensor::Fed(f.scalar_op(op, value, false)?)),
                         _ => Err(RuntimeError::Unsupported(format!(
                             "swapped scalar {} on federated data",
                             op.name()

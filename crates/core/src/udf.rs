@@ -158,7 +158,11 @@ impl Wire for Udf {
                 meta.encode(buf);
                 out.encode(buf);
             }
-            Udf::FrameSelect { frame, columns, out } => {
+            Udf::FrameSelect {
+                frame,
+                columns,
+                out,
+            } => {
                 buf.put_u8(2);
                 frame.encode(buf);
                 columns.encode(buf);

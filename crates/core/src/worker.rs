@@ -276,7 +276,8 @@ impl Worker {
                 );
                 // Raw reads are releasable only when public.
                 let releasable = privacy == PrivacyLevel::Public;
-                self.table.bind(id, Arc::new(value), privacy, releasable, lin);
+                self.table
+                    .bind(id, Arc::new(value), privacy, releasable, lin);
                 Ok(Response::Ok)
             }
             Request::Put { id, data, privacy } => {
@@ -289,7 +290,8 @@ impl Worker {
                     pgroup,
                 );
                 let releasable = privacy == PrivacyLevel::Public;
-                self.table.bind(id, Arc::new(data), privacy, releasable, lin);
+                self.table
+                    .bind(id, Arc::new(data), privacy, releasable, lin);
                 Ok(Response::Ok)
             }
             Request::Get { id } => {
@@ -368,7 +370,11 @@ impl Worker {
                 );
                 Ok(Response::Ok)
             }
-            Udf::FrameSelect { frame, columns, out } => {
+            Udf::FrameSelect {
+                frame,
+                columns,
+                out,
+            } => {
                 let fe = self.table.get(frame)?;
                 let f = fe.value.as_frame()?;
                 let names: Vec<&str> = columns.iter().map(String::as_str).collect();
@@ -501,7 +507,10 @@ impl Worker {
                     .map(|(t, n)| (Some(t), Some(n as f64)))
                     .unzip();
                 let out = Frame::new(vec![
-                    ("token".into(), exdra_matrix::frame::FrameColumn::Str(tokens)),
+                    (
+                        "token".into(),
+                        exdra_matrix::frame::FrameColumn::Str(tokens),
+                    ),
                     ("count".into(), exdra_matrix::frame::FrameColumn::F64(ns)),
                 ])?;
                 // Category counts are the same aggregate-sized metadata the
@@ -564,9 +573,7 @@ impl Worker {
                 DataValue::Scalar(self.cache.hits() as f64),
                 DataValue::Scalar(self.cache.misses() as f64),
                 DataValue::Scalar(self.cache.entries() as f64),
-                DataValue::Scalar(
-                    self.compressed_count.load(Ordering::Relaxed) as f64,
-                ),
+                DataValue::Scalar(self.compressed_count.load(Ordering::Relaxed) as f64),
             ]))),
             Udf::Registered {
                 name,
@@ -617,7 +624,9 @@ impl Worker {
             if bytes < min_bytes || idle < min_idle {
                 continue;
             }
-            let Ok(entry) = self.table.get(id) else { continue };
+            let Ok(entry) = self.table.get(id) else {
+                continue;
+            };
             if let DataValue::Matrix(Matrix::Dense(d)) = &*entry.value {
                 let compressed = CompressedMatrix::compress(d);
                 // Only keep the compressed form when it actually pays off.
@@ -629,8 +638,7 @@ impl Worker {
                 }
             }
         }
-        self.compressed_count
-            .fetch_add(n as u64, Ordering::Relaxed);
+        self.compressed_count.fetch_add(n as u64, Ordering::Relaxed);
         n
     }
 
@@ -649,13 +657,7 @@ impl Worker {
 
     /// Loads a matrix directly into the symbol table (see
     /// [`Worker::install_frame`]).
-    pub fn install_matrix(
-        &self,
-        id: u64,
-        m: DenseMatrix,
-        privacy: PrivacyLevel,
-        source_tag: &str,
-    ) {
+    pub fn install_matrix(&self, id: u64, m: DenseMatrix, privacy: PrivacyLevel, source_tag: &str) {
         let lin = lineage::seed(&format!("matrix:{source_tag}"));
         self.table.bind(
             id,
@@ -963,7 +965,12 @@ mod tests {
     #[test]
     fn replicate_multiplies_rows() {
         let w = worker();
-        w.install_matrix(1, rand_matrix(10, 2, 0.0, 1.0, 6), PrivacyLevel::Public, "x");
+        w.install_matrix(
+            1,
+            rand_matrix(10, 2, 0.0, 1.0, 6),
+            PrivacyLevel::Public,
+            "x",
+        );
         let rs = w.handle_batch(vec![Request::ExecUdf {
             udf: Udf::Replicate {
                 x: 1,

@@ -114,11 +114,7 @@ pub fn recommend(
                     support += 1;
                 }
             }
-            let predicted_score = if wtotal > 1e-12 {
-                wsum / wtotal
-            } else {
-                prior
-            };
+            let predicted_score = if wtotal > 1e-12 { wsum / wtotal } else { prior };
             Recommendation {
                 pipeline_id: p.id,
                 predicted_score,

@@ -141,7 +141,10 @@ pub struct Run {
 impl Run {
     /// Looks up a metric by name.
     pub fn metric(&self, name: &str) -> Option<f64> {
-        self.metrics.iter().find(|(n, _)| n == name).map(|(_, v)| *v)
+        self.metrics
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| *v)
     }
 }
 
@@ -218,7 +221,12 @@ impl ExperimentDb {
 
     /// Pipeline by ID.
     pub fn pipeline(&self, id: u64) -> Option<Pipeline> {
-        self.inner.read().pipelines.iter().find(|p| p.id == id).cloned()
+        self.inner
+            .read()
+            .pipelines
+            .iter()
+            .find(|p| p.id == id)
+            .cloned()
     }
 
     /// All versions of a pipeline name, ascending.
@@ -299,8 +307,15 @@ impl ExperimentDb {
         writeln!(out, "next_id {}", inner.next_id).unwrap();
         for p in &inner.pipelines {
             let steps: Vec<String> = p.steps.iter().map(|s| s.name.clone()).collect();
-            writeln!(out, "P\t{}\t{}\t{}\t{}", p.id, esc(&p.name), p.version, steps.join("|"))
-                .unwrap();
+            writeln!(
+                out,
+                "P\t{}\t{}\t{}\t{}",
+                p.id,
+                esc(&p.name),
+                p.version,
+                steps.join("|")
+            )
+            .unwrap();
         }
         for r in &inner.runs {
             let params: Vec<String> = r
@@ -321,7 +336,11 @@ impl ExperimentDb {
                 params.join("|"),
                 r.dataset.to_line(),
                 metrics.join("|"),
-                r.lineage.iter().map(|l| esc(l)).collect::<Vec<_>>().join("|"),
+                r.lineage
+                    .iter()
+                    .map(|l| esc(l))
+                    .collect::<Vec<_>>()
+                    .join("|"),
             )
             .unwrap();
         }
@@ -333,10 +352,12 @@ impl ExperimentDb {
         let text = std::fs::read_to_string(path)?;
         let mut inner = DbInner::default();
         for (i, line) in text.lines().enumerate() {
-            let bad = || std::io::Error::new(
-                std::io::ErrorKind::InvalidData,
-                format!("expdb parse error at line {}", i + 1),
-            );
+            let bad = || {
+                std::io::Error::new(
+                    std::io::ErrorKind::InvalidData,
+                    format!("expdb parse error at line {}", i + 1),
+                )
+            };
             if i == 0 {
                 if line != "exdra-expdb v1" {
                     return Err(bad());
@@ -388,20 +409,25 @@ impl ExperimentDb {
 }
 
 fn esc(s: &str) -> String {
-    s.replace('\\', "\\\\").replace('\t', "\\t").replace('|', "\\p").replace('=', "\\e").replace('\n', "\\n")
+    s.replace('\\', "\\\\")
+        .replace('\t', "\\t")
+        .replace('|', "\\p")
+        .replace('=', "\\e")
+        .replace('\n', "\\n")
 }
 
 fn unesc(s: &str) -> String {
-    s.replace("\\n", "\n").replace("\\e", "=").replace("\\p", "|").replace("\\t", "\t").replace("\\\\", "\\")
+    s.replace("\\n", "\n")
+        .replace("\\e", "=")
+        .replace("\\p", "|")
+        .replace("\\t", "\t")
+        .replace("\\\\", "\\")
 }
 
 fn parse_kv(s: &str) -> Vec<(String, String)> {
     s.split('|')
         .filter(|kv| !kv.is_empty())
-        .filter_map(|kv| {
-            kv.split_once('=')
-                .map(|(k, v)| (unesc(k), unesc(v)))
-        })
+        .filter_map(|kv| kv.split_once('=').map(|(k, v)| (unesc(k), unesc(v))))
         .collect()
 }
 
@@ -433,13 +459,28 @@ mod tests {
 
     #[test]
     fn step_categorization_matches_paper_types() {
-        assert_eq!(OperatorType::categorize("transformencode"), OperatorType::Transformer);
-        assert_eq!(OperatorType::categorize("impute_mice"), OperatorType::Imputer);
+        assert_eq!(
+            OperatorType::categorize("transformencode"),
+            OperatorType::Transformer
+        );
+        assert_eq!(
+            OperatorType::categorize("impute_mice"),
+            OperatorType::Imputer
+        );
         assert_eq!(OperatorType::categorize("normalize"), OperatorType::Scaler);
-        assert_eq!(OperatorType::categorize("train_test_split"), OperatorType::Sampler);
-        assert_eq!(OperatorType::categorize("feature_select"), OperatorType::Selector);
+        assert_eq!(
+            OperatorType::categorize("train_test_split"),
+            OperatorType::Sampler
+        );
+        assert_eq!(
+            OperatorType::categorize("feature_select"),
+            OperatorType::Selector
+        );
         assert_eq!(OperatorType::categorize("lm"), OperatorType::Estimator);
-        assert_eq!(OperatorType::categorize("vote_ensemble"), OperatorType::Ensemble);
+        assert_eq!(
+            OperatorType::categorize("vote_ensemble"),
+            OperatorType::Ensemble
+        );
     }
 
     #[test]
@@ -447,7 +488,13 @@ mod tests {
         let db = ExperimentDb::new();
         let p1 = db.register_pipeline("a", &["lm"]);
         let p2 = db.register_pipeline("b", &["l2svm"]);
-        db.track_run(p1, &[("lr", "0.1")], meta(), &[("accuracy", 0.8)], &["src:x.csv"]);
+        db.track_run(
+            p1,
+            &[("lr", "0.1")],
+            meta(),
+            &[("accuracy", 0.8)],
+            &["src:x.csv"],
+        );
         db.track_run(p1, &[("lr", "0.2")], meta(), &[("accuracy", 0.9)], &[]);
         db.track_run(p2, &[], meta(), &[("accuracy", 0.85)], &[]);
         assert!(db.track_run(999, &[], meta(), &[], &[]).is_none());

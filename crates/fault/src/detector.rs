@@ -245,9 +245,7 @@ impl FailureDetector {
         self.workers
             .iter()
             .enumerate()
-            .filter(|(_, w)| {
-                matches!(w.lock().state, HealthState::Healthy | HealthState::Suspect)
-            })
+            .filter(|(_, w)| matches!(w.lock().state, HealthState::Healthy | HealthState::Suspect))
             .map(|(i, _)| i)
             .collect()
     }

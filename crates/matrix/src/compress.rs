@@ -139,22 +139,14 @@ impl ColumnGroup {
                 for &c in codes {
                     counts[c as usize] += 1;
                 }
-                counts
-                    .iter()
-                    .zip(dict)
-                    .map(|(&n, &d)| n as f64 * d)
-                    .sum()
+                counts.iter().zip(dict).map(|(&n, &d)| n as f64 * d).sum()
             }
             ColumnGroup::Ddc16 { dict, codes } => {
                 let mut counts = vec![0usize; dict.len()];
                 for &c in codes {
                     counts[c as usize] += 1;
                 }
-                counts
-                    .iter()
-                    .zip(dict)
-                    .map(|(&n, &d)| n as f64 * d)
-                    .sum()
+                counts.iter().zip(dict).map(|(&n, &d)| n as f64 * d).sum()
             }
             ColumnGroup::Rle { runs } => runs.iter().map(|&(v, len)| v * len as f64).sum(),
             ColumnGroup::Uc { values } => {
@@ -428,9 +420,12 @@ mod tests {
     fn compressed_aggregates_match_dense() {
         let d = mixed_matrix(64);
         let c = CompressedMatrix::compress(&d);
-        let want =
-            crate::kernels::aggregates::aggregate(&d, crate::kernels::aggregates::AggOp::Sum, crate::kernels::aggregates::AggDir::Col)
-                .unwrap();
+        let want = crate::kernels::aggregates::aggregate(
+            &d,
+            crate::kernels::aggregates::AggOp::Sum,
+            crate::kernels::aggregates::AggDir::Col,
+        )
+        .unwrap();
         assert!(c.col_sums().max_abs_diff(&want) < 1e-10);
         assert!((c.sum() - d.values().iter().sum::<f64>()).abs() < 1e-10);
     }

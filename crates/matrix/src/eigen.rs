@@ -82,7 +82,11 @@ pub fn eigen_symmetric(a: &DenseMatrix, max_sweeps: usize) -> Result<EigenDecomp
     // Extract and sort by descending eigenvalue.
     let mut order: Vec<usize> = (0..n).collect();
     let diag: Vec<f64> = (0..n).map(|i| m.get(i, i)).collect();
-    order.sort_by(|&x, &y| diag[y].partial_cmp(&diag[x]).unwrap_or(std::cmp::Ordering::Equal));
+    order.sort_by(|&x, &y| {
+        diag[y]
+            .partial_cmp(&diag[x])
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
     let values: Vec<f64> = order.iter().map(|&i| diag[i]).collect();
     let mut vectors = DenseMatrix::zeros(n, n);
     for (new_c, &old_c) in order.iter().enumerate() {

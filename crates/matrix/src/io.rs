@@ -145,7 +145,11 @@ pub fn read_frame_csv(path: &Path, schema: &[ValueType]) -> Result<Frame> {
     if names.len() != schema.len() {
         return Err(MatrixError::Parse {
             line: 1,
-            msg: format!("header has {} columns, schema has {}", names.len(), schema.len()),
+            msg: format!(
+                "header has {} columns, schema has {}",
+                names.len(),
+                schema.len()
+            ),
         });
     }
     let mut cols: Vec<FrameColumn> = schema
@@ -427,8 +431,14 @@ mod tests {
                 "cat".into(),
                 FrameColumn::Str(vec![Some("X".into()), None, Some("Z".into())]),
             ),
-            ("val".into(), FrameColumn::F64(vec![Some(1.5), Some(2.0), None])),
-            ("n".into(), FrameColumn::I64(vec![Some(1), Some(2), Some(3)])),
+            (
+                "val".into(),
+                FrameColumn::F64(vec![Some(1.5), Some(2.0), None]),
+            ),
+            (
+                "n".into(),
+                FrameColumn::I64(vec![Some(1), Some(2), Some(3)]),
+            ),
         ])
         .unwrap();
         let p = tmp("f.csv");
@@ -445,7 +455,15 @@ mod tests {
         let p = tmp("infer.csv");
         std::fs::write(&p, "a,b,c,d\n1,1.5,X,true\n2,NA,Y,false\n3,2.5,Z,true\n").unwrap();
         let s = infer_schema(&p, 100).unwrap();
-        assert_eq!(s, vec![ValueType::I64, ValueType::F64, ValueType::Str, ValueType::Bool]);
+        assert_eq!(
+            s,
+            vec![
+                ValueType::I64,
+                ValueType::F64,
+                ValueType::Str,
+                ValueType::Bool
+            ]
+        );
     }
 
     #[test]

@@ -205,10 +205,22 @@ mod tests {
     #[test]
     fn full_aggregates() {
         let x = sample();
-        assert_eq!(aggregate(&x, AggOp::Sum, AggDir::Full).unwrap().get(0, 0), 21.0);
-        assert_eq!(aggregate(&x, AggOp::Min, AggDir::Full).unwrap().get(0, 0), 1.0);
-        assert_eq!(aggregate(&x, AggOp::Max, AggDir::Full).unwrap().get(0, 0), 6.0);
-        assert_eq!(aggregate(&x, AggOp::Mean, AggDir::Full).unwrap().get(0, 0), 3.5);
+        assert_eq!(
+            aggregate(&x, AggOp::Sum, AggDir::Full).unwrap().get(0, 0),
+            21.0
+        );
+        assert_eq!(
+            aggregate(&x, AggOp::Min, AggDir::Full).unwrap().get(0, 0),
+            1.0
+        );
+        assert_eq!(
+            aggregate(&x, AggOp::Max, AggDir::Full).unwrap().get(0, 0),
+            6.0
+        );
+        assert_eq!(
+            aggregate(&x, AggOp::Mean, AggDir::Full).unwrap().get(0, 0),
+            3.5
+        );
         assert!((aggregate(&x, AggOp::Var, AggDir::Full).unwrap().get(0, 0) - 3.5).abs() < 1e-12);
     }
 
@@ -256,7 +268,10 @@ mod tests {
     fn empty_min_rejected_empty_sum_zero() {
         let x = DenseMatrix::zeros(0, 3);
         assert!(aggregate(&x, AggOp::Min, AggDir::Full).is_err());
-        assert_eq!(aggregate(&x, AggOp::Sum, AggDir::Full).unwrap().get(0, 0), 0.0);
+        assert_eq!(
+            aggregate(&x, AggOp::Sum, AggDir::Full).unwrap().get(0, 0),
+            0.0
+        );
     }
 
     #[test]

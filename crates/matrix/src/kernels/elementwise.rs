@@ -351,7 +351,11 @@ pub fn cov(a: &DenseMatrix, b: &DenseMatrix) -> Result<f64> {
     if a.len() != b.len() || a.len() < 2 {
         return Err(MatrixError::InvalidArgument {
             op: "cov",
-            msg: format!("need equal-length vectors of >=2 cells, got {} and {}", a.len(), b.len()),
+            msg: format!(
+                "need equal-length vectors of >=2 cells, got {} and {}",
+                a.len(),
+                b.len()
+            ),
         });
     }
     let n = a.len() as f64;

@@ -8,7 +8,12 @@
 use crate::dense::DenseMatrix;
 use crate::error::{MatrixError, Result};
 
-fn check_factors(w: &DenseMatrix, u: &DenseMatrix, v: &DenseMatrix, op: &'static str) -> Result<()> {
+fn check_factors(
+    w: &DenseMatrix,
+    u: &DenseMatrix,
+    v: &DenseMatrix,
+    op: &'static str,
+) -> Result<()> {
     if u.rows() != w.rows() || v.rows() != w.cols() || u.cols() != v.cols() {
         return Err(MatrixError::DimensionMismatch {
             op,

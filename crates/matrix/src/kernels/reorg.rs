@@ -215,7 +215,11 @@ pub fn diag(x: &DenseMatrix) -> Result<DenseMatrix> {
     } else {
         Err(MatrixError::InvalidArgument {
             op: "diag",
-            msg: format!("need vector or square matrix, got {}x{}", x.rows(), x.cols()),
+            msg: format!(
+                "need vector or square matrix, got {}x{}",
+                x.rows(),
+                x.cols()
+            ),
         })
     }
 }
@@ -223,7 +227,12 @@ pub fn diag(x: &DenseMatrix) -> Result<DenseMatrix> {
 /// `order`: sorts rows of `x` by column `by` (0-based), ascending or
 /// descending. When `index_return` is true, returns the 1-based permutation
 /// instead of the reordered data. The sort is stable.
-pub fn order(x: &DenseMatrix, by: usize, decreasing: bool, index_return: bool) -> Result<DenseMatrix> {
+pub fn order(
+    x: &DenseMatrix,
+    by: usize,
+    decreasing: bool,
+    index_return: bool,
+) -> Result<DenseMatrix> {
     if by >= x.cols() {
         return Err(MatrixError::IndexOutOfBounds {
             op: "order",

@@ -125,9 +125,7 @@ impl Matrix {
         let out = match (self, rhs) {
             (Matrix::Sparse(s), Matrix::Dense(d)) => s.matmul_dense(d)?,
             (Matrix::Sparse(s), r) => s.matmul_dense(&r.to_dense())?,
-            (l, r) => {
-                crate::kernels::matmul::matmul(&l.to_dense_ref(), &r.to_dense_ref())?
-            }
+            (l, r) => crate::kernels::matmul::matmul(&l.to_dense_ref(), &r.to_dense_ref())?,
         };
         Ok(Matrix::Dense(out))
     }
@@ -174,7 +172,9 @@ mod tests {
         let a = sprand_matrix(12, 8, -1.0, 1.0, 0.2, 3);
         let b = rand_matrix(8, 5, -1.0, 1.0, 4);
         let want = crate::kernels::matmul::matmul(&a, &b).unwrap();
-        let got = Matrix::from_dense_auto(a).matmul(&Matrix::Dense(b)).unwrap();
+        let got = Matrix::from_dense_auto(a)
+            .matmul(&Matrix::Dense(b))
+            .unwrap();
         assert!(got.to_dense().max_abs_diff(&want) < 1e-12);
     }
 

@@ -212,7 +212,9 @@ impl SparseMatrix {
     pub fn row_sums(&self) -> DenseMatrix {
         let mut out = DenseMatrix::zeros(self.rows, 1);
         for r in 0..self.rows {
-            let s: f64 = self.values[self.row_ptr[r]..self.row_ptr[r + 1]].iter().sum();
+            let s: f64 = self.values[self.row_ptr[r]..self.row_ptr[r + 1]]
+                .iter()
+                .sum();
             out.set(r, 0, s);
         }
         out
@@ -318,9 +320,7 @@ mod tests {
         // column out of range
         assert!(SparseMatrix::from_parts(1, 2, vec![0, 1], vec![5], vec![1.0]).is_err());
         // duplicate column in a row
-        assert!(
-            SparseMatrix::from_parts(1, 3, vec![0, 2], vec![1, 1], vec![1.0, 2.0]).is_err()
-        );
+        assert!(SparseMatrix::from_parts(1, 3, vec![0, 2], vec![1, 1], vec![1.0, 2.0]).is_err());
         // valid
         assert!(SparseMatrix::from_parts(1, 3, vec![0, 2], vec![0, 2], vec![1.0, 2.0]).is_ok());
     }

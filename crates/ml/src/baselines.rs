@@ -176,7 +176,10 @@ mod tests {
         let (comps, vals) = pca_direct(&x, 3).unwrap();
         let sys = crate::pca::pca(&Tensor::Local(x), 3).unwrap();
         assert!(
-            comps.map(f64::abs).max_abs_diff(&sys.components.map(f64::abs)) < 1e-8
+            comps
+                .map(f64::abs)
+                .max_abs_diff(&sys.components.map(f64::abs))
+                < 1e-8
         );
         for (a, b) in vals.iter().zip(&sys.eigenvalues) {
             assert!((a - b).abs() < 1e-8);

@@ -121,7 +121,9 @@ pub fn gmm(x: &Tensor, params: &GmmParams) -> Result<GmmModel> {
         )?;
         let shifted = ld.binary(BinaryOp::Sub, &row_max)?;
         let sum_exp = shifted.unary(UnaryOp::Exp)?.row_sums()?;
-        let log_sum = sum_exp.unary(UnaryOp::Log)?.binary(BinaryOp::Add, &row_max)?;
+        let log_sum = sum_exp
+            .unary(UnaryOp::Log)?
+            .binary(BinaryOp::Add, &row_max)?;
         let ll = log_sum.mean()?;
 
         // M-step (all aggregates): Nk = colSums(P); mu = t(P)X / Nk;
@@ -161,9 +163,7 @@ pub fn score_tensor(x: &Tensor, model: &GmmModel) -> Result<Tensor> {
     )?;
     let shifted = ld.binary(BinaryOp::Sub, &row_max)?;
     let sum_exp = shifted.unary(UnaryOp::Exp)?.row_sums()?;
-    sum_exp
-        .unary(UnaryOp::Log)?
-        .binary(BinaryOp::Add, &row_max)
+    sum_exp.unary(UnaryOp::Log)?.binary(BinaryOp::Add, &row_max)
 }
 
 /// Per-row scores consolidated locally (privacy-checked for federated
@@ -228,7 +228,10 @@ mod tests {
             .unwrap();
             lls.push(m.log_likelihood);
         }
-        assert!(lls[1] >= lls[0] - 1e-9 && lls[2] >= lls[1] - 1e-9, "{lls:?}");
+        assert!(
+            lls[1] >= lls[0] - 1e-9 && lls[2] >= lls[1] - 1e-9,
+            "{lls:?}"
+        );
     }
 
     #[test]
@@ -293,9 +296,10 @@ pub fn gmm_task_parallel(x: &Tensor, configs: &[GmmParams]) -> Result<Vec<GmmMod
             handles.push(scope.spawn(move || gmm(&x, params)));
         }
         for (slot, h) in results.iter_mut().zip(handles) {
-            *slot = Some(h.join().unwrap_or_else(|_| {
-                Err(RuntimeError::Network("gmm task panicked".into()))
-            }));
+            *slot = Some(
+                h.join()
+                    .unwrap_or_else(|_| Err(RuntimeError::Network("gmm task panicked".into()))),
+            );
         }
     });
     results

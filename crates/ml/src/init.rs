@@ -80,9 +80,7 @@ mod tests {
         assert_eq!(c.shape(), (3, 4));
         // Each init point is an actual data row.
         for i in 0..3 {
-            let found = (0..50).any(|r| {
-                (0..4).all(|j| (x.get(r, j) - c.get(i, j)).abs() < 1e-15)
-            });
+            let found = (0..50).any(|r| (0..4).all(|j| (x.get(r, j) - c.get(i, j)).abs() < 1e-15));
             assert!(found, "init point {i} is not a data row");
         }
     }
@@ -91,12 +89,9 @@ mod tests {
     fn private_data_falls_back_to_moments() {
         let (ctx, _workers) = mem_federation(2);
         let x = rand_matrix(60, 3, 0.0, 1.0, 3);
-        let fed = FedMatrix::scatter_rows(
-            &ctx,
-            &x,
-            PrivacyLevel::PrivateAggregate { min_group: 10 },
-        )
-        .unwrap();
+        let fed =
+            FedMatrix::scatter_rows(&ctx, &x, PrivacyLevel::PrivateAggregate { min_group: 10 })
+                .unwrap();
         let c = rows_or_moments(&Tensor::Fed(fed), 4, 4).unwrap();
         assert_eq!(c.shape(), (4, 3));
         // Points are near the data distribution (mean 0.5, sd ~0.29).

@@ -63,11 +63,8 @@ fn lloyd_step(x: &Tensor, c: &DenseMatrix, x2_sum: f64) -> Result<(DenseMatrix, 
     let k = c.rows();
     // D = -2 * (X %*% t(C)) + t(rowSums(C ^ 2))
     let ct = transpose(c);
-    let c2 = exdra_matrix::kernels::aggregates::aggregate(
-        &c.map(|v| v * v),
-        AggOp::Sum,
-        AggDir::Row,
-    )?;
+    let c2 =
+        exdra_matrix::kernels::aggregates::aggregate(&c.map(|v| v * v), AggOp::Sum, AggDir::Row)?;
     let c2t = transpose(&c2);
     let xc = x.matmul(&Tensor::Local(ct))?;
     let d = xc

@@ -47,7 +47,11 @@ pub struct L2SvmModel {
 }
 
 fn dot(a: &DenseMatrix, b: &DenseMatrix) -> f64 {
-    a.values().iter().zip(b.values()).map(|(&x, &y)| x * y).sum()
+    a.values()
+        .iter()
+        .zip(b.values())
+        .map(|(&x, &y)| x * y)
+        .sum()
 }
 
 /// Trains L2SVM on (possibly federated) features with local ±1 labels.

@@ -76,7 +76,12 @@ pub fn lm_cg(x: &Tensor, y: &DenseMatrix, params: &LmParams) -> Result<LmModel> 
         for (qv, pv) in q.values_mut().iter_mut().zip(p.values()) {
             *qv += params.lambda * pv;
         }
-        let pq: f64 = p.values().iter().zip(q.values()).map(|(&a, &b)| a * b).sum();
+        let pq: f64 = p
+            .values()
+            .iter()
+            .zip(q.values())
+            .map(|(&a, &b)| a * b)
+            .sum();
         let alpha = norm_r2 / pq;
         for ((wv, pv), _) in w.values_mut().iter_mut().zip(p.values()).zip(0..d) {
             *wv += alpha * pv;
@@ -224,8 +229,6 @@ mod tests {
             iterations: 0,
             residual: f64::NAN,
         };
-        assert!(
-            loss_local(&x, &y, &model).unwrap() < loss_local(&x, &y, &zero).unwrap() / 2.0
-        );
+        assert!(loss_local(&x, &y, &model).unwrap() < loss_local(&x, &y, &zero).unwrap() / 2.0);
     }
 }

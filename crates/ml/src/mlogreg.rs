@@ -113,7 +113,12 @@ pub fn mlogreg(
                 for (hv, dv) in hd.values_mut().iter_mut().zip(dir.values()) {
                     *hv = *hv / n as f64 + params.lambda * dv;
                 }
-                let dh: f64 = dir.values().iter().zip(hd.values()).map(|(&a, &b)| a * b).sum();
+                let dh: f64 = dir
+                    .values()
+                    .iter()
+                    .zip(hd.values())
+                    .map(|(&a, &b)| a * b)
+                    .sum();
                 let alpha = rr / dh.max(1e-300);
                 for (sv, dv) in s.values_mut().iter_mut().zip(dir.values()) {
                     *sv += alpha * dv;

@@ -142,7 +142,13 @@ impl Network {
 
     /// Builds a small LeNet-style CNN over `side x side` single-channel
     /// images: conv(k=5) -> ReLU -> maxpool(2) -> dense -> ReLU -> logits.
-    pub fn cnn(side: usize, conv_channels: usize, hidden: usize, classes: usize, seed: u64) -> Network {
+    pub fn cnn(
+        side: usize,
+        conv_channels: usize,
+        hidden: usize,
+        classes: usize,
+        seed: u64,
+    ) -> Network {
         let k = 5usize;
         let oh = out_dim(side, k, 1);
         let pooled = out_dim(oh, 2, 2);
@@ -150,7 +156,8 @@ impl Network {
         Network {
             layers: vec![
                 Layer::Conv2d {
-                    filters: he_init(k * k, conv_channels, seed).reshape(conv_channels, k * k)
+                    filters: he_init(k * k, conv_channels, seed)
+                        .reshape(conv_channels, k * k)
                         .expect("reshape"),
                     bias: DenseMatrix::zeros(1, conv_channels),
                     in_shape: (1, side, side),
@@ -240,7 +247,11 @@ impl Network {
     /// Full forward + backward pass with softmax cross-entropy loss over
     /// one-hot targets. Returns `(mean loss, gradients)` with gradients
     /// aligned to [`Network::params`].
-    pub fn loss_grad(&self, x: &DenseMatrix, y_onehot: &DenseMatrix) -> Result<(f64, Vec<DenseMatrix>)> {
+    pub fn loss_grad(
+        &self,
+        x: &DenseMatrix,
+        y_onehot: &DenseMatrix,
+    ) -> Result<(f64, Vec<DenseMatrix>)> {
         let n = x.rows() as f64;
         let (logits, caches) = self.forward_cached(x, true)?;
         if logits.shape() != y_onehot.shape() {
@@ -323,7 +334,11 @@ fn layer_forward(layer: &Layer, x: &DenseMatrix, keep: bool) -> Result<(DenseMat
             Ok((
                 out,
                 Cache::Dense {
-                    input: if keep { x.clone() } else { DenseMatrix::zeros(0, 0) },
+                    input: if keep {
+                        x.clone()
+                    } else {
+                        DenseMatrix::zeros(0, 0)
+                    },
                 },
             ))
         }
@@ -332,7 +347,11 @@ fn layer_forward(layer: &Layer, x: &DenseMatrix, keep: bool) -> Result<(DenseMat
             Ok((
                 out,
                 Cache::ReLU {
-                    input: if keep { x.clone() } else { DenseMatrix::zeros(0, 0) },
+                    input: if keep {
+                        x.clone()
+                    } else {
+                        DenseMatrix::zeros(0, 0)
+                    },
                 },
             ))
         }
@@ -366,7 +385,12 @@ fn layer_forward(layer: &Layer, x: &DenseMatrix, keep: bool) -> Result<(DenseMat
                     patches_cache.push(patches);
                 }
             }
-            Ok((out, Cache::Conv { patches: patches_cache }))
+            Ok((
+                out,
+                Cache::Conv {
+                    patches: patches_cache,
+                },
+            ))
         }
         Layer::MaxPool { in_shape, size } => {
             let (c, h, w) = *in_shape;
@@ -385,8 +409,7 @@ fn layer_forward(layer: &Layer, x: &DenseMatrix, keep: bool) -> Result<(DenseMat
                             let mut best_idx = 0usize;
                             for dy in 0..*size {
                                 for dx in 0..*size {
-                                    let idx =
-                                        ch * h * w + (oy * size + dy) * w + (ox * size + dx);
+                                    let idx = ch * h * w + (oy * size + dy) * w + (ox * size + dx);
                                     if row[idx] > best {
                                         best = row[idx];
                                         best_idx = idx;
@@ -475,20 +498,17 @@ fn layer_backward(
                 }
                 // dPatches = dmapᵀ (l x oc) * filters (oc x ckk); col2im.
                 let dpatches = matmul(&transpose(&dmap), filters)?;
-                col2im(
-                    &dpatches,
-                    din.row_mut(s),
-                    c_in,
-                    h,
-                    w,
-                    kh,
-                    kw,
-                    *stride,
-                );
+                col2im(&dpatches, din.row_mut(s), c_in, h, w, kh, kw, *stride);
             }
             Ok((din, vec![dfilters, dbias]))
         }
-        (Layer::MaxPool { in_shape, .. }, Cache::Pool { argmax, in_features }) => {
+        (
+            Layer::MaxPool { in_shape, .. },
+            Cache::Pool {
+                argmax,
+                in_features,
+            },
+        ) => {
             let _ = in_shape;
             let mut din = DenseMatrix::zeros(dout.rows(), *in_features);
             for s in 0..dout.rows() {
@@ -676,10 +696,7 @@ mod tests {
     fn dense_gradient_matches_finite_differences() {
         let net = Network::ffn(4, &[5], 3, 2);
         let x = exdra_matrix::rng::rand_matrix(6, 4, -1.0, 1.0, 3);
-        let y = synth::one_hot(
-            &DenseMatrix::col_vector(&[1., 2., 3., 1., 2., 3.]),
-            3,
-        );
+        let y = synth::one_hot(&DenseMatrix::col_vector(&[1., 2., 3., 1., 2., 3.]), 3);
         check_gradients(net, &x, &y, 1e-5, 2e-4);
     }
 
@@ -760,7 +777,10 @@ mod tests {
         let losses = train_local(&mut net, &x, &y1h, 8, 32, &mut sgd).unwrap();
         assert!(losses.last().unwrap() < &losses[0], "losses {losses:?}");
         let pred = net.predict(&x).unwrap();
-        assert!(accuracy(&pred, &y).unwrap() > 0.8, "cnn should fit train data");
+        assert!(
+            accuracy(&pred, &y).unwrap() > 0.8,
+            "cnn should fit train data"
+        );
     }
 
     #[test]

@@ -102,7 +102,10 @@ mod tests {
         let b = fed_model.components.map(f64::abs);
         assert!(a.max_abs_diff(&b) < 1e-7, "diff {}", a.max_abs_diff(&b));
         // Projections agree up to sign per column.
-        let pl = transform(&Tensor::Local(x), &local).unwrap().to_local().unwrap();
+        let pl = transform(&Tensor::Local(x), &local)
+            .unwrap()
+            .to_local()
+            .unwrap();
         let pf = transform(&Tensor::Fed(fed), &fed_model)
             .unwrap()
             .to_local()
@@ -114,7 +117,10 @@ mod tests {
     fn projection_shape_and_centering() {
         let x = planted(200, 4, 63);
         let model = pca(&Tensor::Local(x.clone()), 2).unwrap();
-        let p = transform(&Tensor::Local(x), &model).unwrap().to_local().unwrap();
+        let p = transform(&Tensor::Local(x), &model)
+            .unwrap()
+            .to_local()
+            .unwrap();
         assert_eq!(p.shape(), (200, 2));
         // Projected data is centered.
         for c in 0..2 {

@@ -20,7 +20,11 @@ pub fn r2(pred: &DenseMatrix, truth: &DenseMatrix) -> Result<f64> {
     check(pred, truth, "r2")?;
     let n = truth.len() as f64;
     let mean = truth.values().iter().sum::<f64>() / n;
-    let ss_tot: f64 = truth.values().iter().map(|&t| (t - mean) * (t - mean)).sum();
+    let ss_tot: f64 = truth
+        .values()
+        .iter()
+        .map(|&t| (t - mean) * (t - mean))
+        .sum();
     let ss_res: f64 = pred
         .values()
         .iter()

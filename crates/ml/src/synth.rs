@@ -9,7 +9,12 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 /// Regression data: `y = X beta + noise`. Returns `(X, y, beta)`.
-pub fn regression(n: usize, d: usize, noise: f64, seed: u64) -> (DenseMatrix, DenseMatrix, DenseMatrix) {
+pub fn regression(
+    n: usize,
+    d: usize,
+    noise: f64,
+    seed: u64,
+) -> (DenseMatrix, DenseMatrix, DenseMatrix) {
     let x = rand_matrix(n, d, -1.0, 1.0, seed);
     let beta = rand_matrix(d, 1, -2.0, 2.0, seed.wrapping_add(1));
     let eps = randn_matrix(n, 1, seed.wrapping_add(2));
@@ -40,7 +45,13 @@ pub fn two_class(n: usize, d: usize, flip: f64, seed: u64) -> (DenseMatrix, Dens
 
 /// Multi-class classification with labels `1..=k` from Gaussian blobs.
 /// Returns `(X, y)`.
-pub fn multi_class(n: usize, d: usize, k: usize, spread: f64, seed: u64) -> (DenseMatrix, DenseMatrix) {
+pub fn multi_class(
+    n: usize,
+    d: usize,
+    k: usize,
+    spread: f64,
+    seed: u64,
+) -> (DenseMatrix, DenseMatrix) {
     let centers = rand_matrix(k, d, -5.0, 5.0, seed);
     let noise = randn_matrix(n, d, seed.wrapping_add(1));
     let mut rng = StdRng::seed_from_u64(seed.wrapping_add(2));

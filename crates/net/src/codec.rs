@@ -414,10 +414,7 @@ mod tests {
     #[test]
     fn frame_roundtrip() {
         let f = Frame::new(vec![
-            (
-                "a".into(),
-                FrameColumn::Str(vec![Some("x".into()), None]),
-            ),
+            ("a".into(), FrameColumn::Str(vec![Some("x".into()), None])),
             ("b".into(), FrameColumn::F64(vec![None, Some(2.5)])),
             ("c".into(), FrameColumn::Bool(vec![Some(true), Some(false)])),
             ("d".into(), FrameColumn::I64(vec![Some(-1), Some(9)])),

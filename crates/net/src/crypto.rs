@@ -107,7 +107,9 @@ fn tag(key: &[u8; 32], nonce: &[u8; 12], ciphertext: &[u8]) -> [u8; 16] {
     ];
     let mix = |s: &mut [u64; 2], v: u64| {
         s[0] = (s[0] ^ v).wrapping_mul(0x9E3779B97F4A7C15).rotate_left(31);
-        s[1] = s[1].wrapping_add(s[0] ^ v.rotate_left(17)).wrapping_mul(0xBF58476D1CE4E5B9);
+        s[1] = s[1]
+            .wrapping_add(s[0] ^ v.rotate_left(17))
+            .wrapping_mul(0xBF58476D1CE4E5B9);
     };
     for chunk in ciphertext.chunks(8) {
         let mut b = [0u8; 8];

@@ -443,9 +443,7 @@ mod tests {
         let mut ea = EncryptedChannel::new(a, key, true);
         ea.send(b"visible-secret-data").unwrap();
         let raw = b.recv().unwrap();
-        assert!(!raw
-            .windows(b"visible".len())
-            .any(|w| w == b"visible"));
+        assert!(!raw.windows(b"visible".len()).any(|w| w == b"visible"));
     }
 
     #[test]

@@ -325,9 +325,7 @@ pub fn train(
                             let rs = match ctx.call(worker, &[Request::ExecUdf { udf }]) {
                                 Ok(rs) => rs,
                                 Err(e) => match cfg.aggregation {
-                                    AggregationMode::Quorum { .. }
-                                        if quorum_tolerable(&e) =>
-                                    {
+                                    AggregationMode::Quorum { .. } if quorum_tolerable(&e) => {
                                         // This partition drops out of the
                                         // run; quorum is checked at join.
                                         let mut d = dropped.lock();
@@ -458,12 +456,9 @@ mod tests {
         let net = Network::ffn(6, &[16], 3, 204);
         let (ctx, workers) = mem_federation(3);
         let _ = ctx;
-        let fed = FedMatrix::scatter_rows(
-            &ctx,
-            &x,
-            PrivacyLevel::PrivateAggregate { min_group: 10 },
-        )
-        .unwrap();
+        let fed =
+            FedMatrix::scatter_rows(&ctx, &x, PrivacyLevel::PrivateAggregate { min_group: 10 })
+                .unwrap();
         let run = train_federated(
             &fed,
             &y1h,
@@ -534,8 +529,18 @@ mod tests {
             300,
             4,
             vec![
-                exdra_core::fed::FedPartition { lo: 0, hi: 20, worker: 0, id: id0 },
-                exdra_core::fed::FedPartition { lo: 20, hi: 300, worker: 1, id: id1 },
+                exdra_core::fed::FedPartition {
+                    lo: 0,
+                    hi: 20,
+                    worker: 0,
+                    id: id0,
+                },
+                exdra_core::fed::FedPartition {
+                    lo: 20,
+                    hi: 300,
+                    worker: 1,
+                    id: id1,
+                },
             ],
             PrivacyLevel::Public,
             false,

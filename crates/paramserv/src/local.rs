@@ -61,11 +61,7 @@ fn worker_epoch(
 
 /// Runs the local multi-threaded parameter server over `parts` disjoint
 /// `(X, y_onehot)` partitions.
-pub fn train(
-    net: &Network,
-    parts: &[(DenseMatrix, DenseMatrix)],
-    cfg: &PsConfig,
-) -> Result<PsRun> {
+pub fn train(net: &Network, parts: &[(DenseMatrix, DenseMatrix)], cfg: &PsConfig) -> Result<PsRun> {
     assert!(!parts.is_empty(), "at least one worker partition");
     let total_rows: usize = parts.iter().map(|(x, _)| x.rows()).sum();
     let weights: Vec<f64> = parts
@@ -115,9 +111,7 @@ pub fn train(
                     scope.spawn(move || {
                         for epoch in 0..cfg.epochs {
                             let snapshot = model.lock().clone();
-                            if let Ok((delta, l)) =
-                                worker_epoch(net, &snapshot, x, y, cfg, epoch)
-                            {
+                            if let Ok((delta, l)) = worker_epoch(net, &snapshot, x, y, cfg, epoch) {
                                 let mut m = model.lock();
                                 axpy_model(&mut m, &delta, weight);
                                 losses.lock()[epoch] += weight * l;
@@ -152,10 +146,7 @@ pub fn partition(
     let (xs, ys) = match shuffle_seed {
         Some(seed) => {
             let perm = exdra_matrix::rng::rand_permutation(x.rows(), seed);
-            (
-                reorg::gather_rows(x, &perm)?,
-                reorg::gather_rows(y, &perm)?,
-            )
+            (reorg::gather_rows(x, &perm)?, reorg::gather_rows(y, &perm)?)
         }
         None => (x.clone(), y.clone()),
     };

@@ -179,7 +179,9 @@ mod tests {
             }],
         );
         let sink = tmp_sink("bounded", &["s0", "s1", "s2"]);
-        let emitted = nes.run_bounded(&mut source, &mut query, &sink, 100).unwrap();
+        let emitted = nes
+            .run_bounded(&mut source, &mut query, &sink, 100)
+            .unwrap();
         assert_eq!(emitted, 10);
         let snap = sink.snapshot().unwrap();
         assert_eq!(snap.shape(), (10, 4));
@@ -217,7 +219,9 @@ mod tests {
             }],
         );
         let sink = tmp_sink("filtered", &["s0"]);
-        let emitted = nes.run_bounded(&mut source, &mut query, &sink, 500).unwrap();
+        let emitted = nes
+            .run_bounded(&mut source, &mut query, &sink, 500)
+            .unwrap();
         assert!(emitted > 30 && emitted < 250, "emitted {emitted}");
         let snap = sink.snapshot_features().unwrap();
         assert!(snap.values().iter().all(|&v| v > 3.0));

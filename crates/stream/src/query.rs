@@ -138,7 +138,14 @@ impl Query {
                             next.push(r);
                         }
                     }
-                    (Operator::Project { fields, scale, offset }, _) => {
+                    (
+                        Operator::Project {
+                            fields,
+                            scale,
+                            offset,
+                        },
+                        _,
+                    ) => {
                         let values = fields
                             .iter()
                             .enumerate()
@@ -146,10 +153,7 @@ impl Query {
                             .collect();
                         next.push(Record::new(r.timestamp, values));
                     }
-                    (
-                        Operator::TumblingWindow { size, agg },
-                        OpState::Window { buffer },
-                    ) => {
+                    (Operator::TumblingWindow { size, agg }, OpState::Window { buffer }) => {
                         buffer.push(r);
                         if buffer.len() >= *size {
                             next.push(aggregate_window(buffer, *agg));

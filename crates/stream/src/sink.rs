@@ -192,7 +192,8 @@ mod tests {
     fn append_and_snapshot() {
         let s = sink("basic", 10, 5);
         for t in 0..7u64 {
-            s.append(&Record::new(t, vec![t as f64, -(t as f64)])).unwrap();
+            s.append(&Record::new(t, vec![t as f64, -(t as f64)]))
+                .unwrap();
         }
         let snap = s.snapshot().unwrap();
         assert_eq!(snap.shape(), (7, 3));
@@ -240,7 +241,8 @@ mod tests {
                 let s = std::sync::Arc::clone(&s);
                 scope.spawn(move || {
                     for i in 0..50u64 {
-                        s.append(&Record::new(tid * 1000 + i, vec![1.0, 2.0])).unwrap();
+                        s.append(&Record::new(tid * 1000 + i, vec![1.0, 2.0]))
+                            .unwrap();
                     }
                 });
             }

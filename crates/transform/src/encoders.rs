@@ -373,7 +373,10 @@ pub fn apply(frame: &Frame, meta: &TransformMeta) -> Result<DenseMatrix> {
 }
 
 /// Convenience single-site `transformencode`: build, merge, and apply.
-pub fn transform_encode(frame: &Frame, spec: &TransformSpec) -> Result<(DenseMatrix, TransformMeta)> {
+pub fn transform_encode(
+    frame: &Frame,
+    spec: &TransformSpec,
+) -> Result<(DenseMatrix, TransformMeta)> {
     let partial = build_partial(frame, spec)?;
     let meta = merge_partials(std::slice::from_ref(&partial), spec)?;
     let encoded = apply(frame, &meta)?;
@@ -402,7 +405,9 @@ pub fn decode(encoded: &DenseMatrix, meta: &TransformMeta) -> Result<Frame> {
         let code_of = |r: usize| -> Option<usize> {
             if spec.one_hot {
                 let width = meta.out_width(ci);
-                (0..width).find(|&k| encoded.get(r, base + k) != 0.0).map(|k| k + 1)
+                (0..width)
+                    .find(|&k| encoded.get(r, base + k) != 0.0)
+                    .map(|k| k + 1)
             } else {
                 let v = encoded.get(r, base);
                 if v.is_nan() {
@@ -810,7 +815,13 @@ mod tests {
         };
         let f = Frame::new(vec![(
             "v".into(),
-            FrameColumn::F64(vec![Some(-5.0), Some(0.5), Some(3.99), Some(99.0), Some(4.0)]),
+            FrameColumn::F64(vec![
+                Some(-5.0),
+                Some(0.5),
+                Some(3.99),
+                Some(99.0),
+                Some(4.0),
+            ]),
         )])
         .unwrap();
         let m = apply(&f, &meta).unwrap();
@@ -905,10 +916,7 @@ mod tests {
         let spec = fig3_spec();
         let p1 = build_partial(&site1(), &spec).unwrap();
         let meta = merge_partials(std::slice::from_ref(&p1), &spec).unwrap();
-        assert_eq!(
-            TransformSpec::from_bytes(&spec.to_bytes()).unwrap(),
-            spec
-        );
+        assert_eq!(TransformSpec::from_bytes(&spec.to_bytes()).unwrap(), spec);
         assert_eq!(PartialMeta::from_bytes(&p1.to_bytes()).unwrap(), p1);
         assert_eq!(TransformMeta::from_bytes(&meta.to_bytes()).unwrap(), meta);
     }

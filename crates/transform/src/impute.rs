@@ -261,13 +261,22 @@ mod tests {
     #[test]
     fn fd_confidence_detects_dependency() {
         let a = FrameColumn::Str(
-            ["p", "p", "q", "q"].iter().map(|s| Some(s.to_string())).collect(),
+            ["p", "p", "q", "q"]
+                .iter()
+                .map(|s| Some(s.to_string()))
+                .collect(),
         );
         let perfect = FrameColumn::Str(
-            ["1", "1", "2", "2"].iter().map(|s| Some(s.to_string())).collect(),
+            ["1", "1", "2", "2"]
+                .iter()
+                .map(|s| Some(s.to_string()))
+                .collect(),
         );
         let broken = FrameColumn::Str(
-            ["1", "2", "1", "2"].iter().map(|s| Some(s.to_string())).collect(),
+            ["1", "2", "1", "2"]
+                .iter()
+                .map(|s| Some(s.to_string()))
+                .collect(),
         );
         assert_eq!(fd_confidence(&a, &perfect), 1.0);
         assert_eq!(fd_confidence(&a, &broken), 0.5);

@@ -31,8 +31,7 @@ fn main() -> exdra::core::Result<()> {
     let mut frames = Vec::new();
     let mut targets = Vec::new();
     for s in 0..sites {
-        let (frame, y) =
-            synth::paper_production_frame(2000, 2, 8, 12, 0.02, 100 + s as u64);
+        let (frame, y) = synth::paper_production_frame(2000, 2, 8, 12, 0.02, 100 + s as u64);
         frames.push(frame);
         targets.push(y);
     }

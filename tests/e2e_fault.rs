@@ -106,10 +106,8 @@ fn paramserv_quorum_converges_with_one_of_three_workers_dead() {
     }
     let labels = psfed::scatter_labels(&fed, &y1h).unwrap();
     let sizes: Vec<usize> = fed.parts().iter().map(|p| p.len()).collect();
-    let plan = exdra::paramserv::balance::plan(
-        &sizes,
-        exdra::paramserv::balance::BalanceStrategy::None,
-    );
+    let plan =
+        exdra::paramserv::balance::plan(&sizes, exdra::paramserv::balance::BalanceStrategy::None);
     let data_ids = psfed::apply_balance(&fed, &labels, &plan).unwrap();
     // Worker 2 dies before training; quorum (≥ 1/2 of weight) tolerates it.
     workers[2].shutdown();
@@ -151,10 +149,8 @@ fn paramserv_quorum_fails_when_too_many_workers_die() {
     }
     let labels = psfed::scatter_labels(&fed, &y1h).unwrap();
     let sizes: Vec<usize> = fed.parts().iter().map(|p| p.len()).collect();
-    let plan = exdra::paramserv::balance::plan(
-        &sizes,
-        exdra::paramserv::balance::BalanceStrategy::None,
-    );
+    let plan =
+        exdra::paramserv::balance::plan(&sizes, exdra::paramserv::balance::BalanceStrategy::None);
     let data_ids = psfed::apply_balance(&fed, &labels, &plan).unwrap();
     workers[1].shutdown();
     workers[2].shutdown();
@@ -180,10 +176,8 @@ fn seeded_fault_plan_full_recovery_arc() {
     let mem = worker.serve_mem();
     // Deterministic plan: transport dies after 3 sends.
     let plan = FaultPlan::kill_after(0xfa17, 3);
-    let faulty: Box<dyn Channel> = Box::new(FaultyChannel::new(
-        Box::new(mem) as Box<dyn Channel>,
-        plan,
-    ));
+    let faulty: Box<dyn Channel> =
+        Box::new(FaultyChannel::new(Box::new(mem) as Box<dyn Channel>, plan));
     let ctx = FedContext::from_channels(vec![faulty]).unwrap();
     ctx.set_fault_policy(fast_policy());
 

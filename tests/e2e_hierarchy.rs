@@ -20,8 +20,7 @@ fn worker_as_subcoordinator() {
     // Leaf tier: two workers holding the mid-tier site's distributed data.
     let (leaf_ctx, _leaf_workers) = tcp_federation(2);
     let site_data = rand_matrix(200, 8, -1.0, 1.0, 1);
-    let sub_fed =
-        FedMatrix::scatter_rows(&leaf_ctx, &site_data, PrivacyLevel::Public).unwrap();
+    let sub_fed = FedMatrix::scatter_rows(&leaf_ctx, &site_data, PrivacyLevel::Public).unwrap();
 
     // Mid tier: one worker that exposes its (sub-federated) data through
     // registered UDFs which internally run federated sub-operations.
@@ -72,8 +71,8 @@ fn worker_as_subcoordinator() {
         Response::Data(v) => v.to_dense().unwrap(),
         other => panic!("unexpected {other:?}"),
     };
-    let want = exdra::matrix::kernels::aggregates::aggregate(&site_data, AggOp::Sum, AggDir::Col)
-        .unwrap();
+    let want =
+        exdra::matrix::kernels::aggregates::aggregate(&site_data, AggOp::Sum, AggDir::Col).unwrap();
     assert!(got.max_abs_diff(&want) < 1e-10);
 
     // Matrix-vector through both tiers.
@@ -126,9 +125,7 @@ fn hierarchy_preserves_leaf_privacy() {
         let sub = sub_fed.clone();
         top_workers[0].register_udf(
             "hier.mean",
-            Arc::new(move |_s, _a| {
-                Ok(Some(DataValue::Scalar(Tensor::Fed(sub.clone()).mean()?)))
-            }),
+            Arc::new(move |_s, _a| Ok(Some(DataValue::Scalar(Tensor::Fed(sub.clone()).mean()?)))),
         );
     }
     let rs = top_ctx
@@ -164,8 +161,7 @@ fn hierarchy_preserves_leaf_privacy() {
     match &rs[0] {
         Response::Data(v) => {
             let got = v.as_scalar().unwrap();
-            let want =
-                site_data.values().iter().sum::<f64>() / site_data.len() as f64;
+            let want = site_data.values().iter().sum::<f64>() / site_data.len() as f64;
             assert!((got - want).abs() < 1e-10);
         }
         other => panic!("aggregate should pass: {other:?}"),

@@ -16,8 +16,8 @@ use exdra::Session;
 fn p2_pipeline_end_to_end() {
     let sites = 3usize;
     let (ctx, _workers) = tcp_federation(sites);
-    let sds = Session::with_context(ctx)
-        .with_privacy(PrivacyLevel::PrivateAggregate { min_group: 25 });
+    let sds =
+        Session::with_context(ctx).with_privacy(PrivacyLevel::PrivateAggregate { min_group: 25 });
 
     // Raw per-site frames + aligned targets.
     let mut frames = Vec::new();
@@ -87,7 +87,9 @@ fn p2_pipeline_end_to_end() {
         .matmul(&Tensor::Local(model.weights.clone()))
         .unwrap();
     let y_test = split.y_test.as_ref().unwrap();
-    let residual = pred.binary(BinaryOp::Sub, &Tensor::Local(y_test.clone())).unwrap();
+    let residual = pred
+        .binary(BinaryOp::Sub, &Tensor::Local(y_test.clone()))
+        .unwrap();
     let ss_res = residual
         .unary(exdra::matrix::kernels::elementwise::UnaryOp::Square)
         .unwrap()
@@ -170,7 +172,8 @@ fn pipeline_recommendation_over_history() {
         missing_rate: 0.02,
     };
     db.track_run(p_lm, &[], small, &[("r2", 0.9)], &[]).unwrap();
-    db.track_run(p_ffn, &[], small, &[("r2", 0.7)], &[]).unwrap();
+    db.track_run(p_ffn, &[], small, &[("r2", 0.7)], &[])
+        .unwrap();
     db.track_run(p_ffn, &[], big, &[("r2", 0.95)], &[]).unwrap();
     let recs = exdra::expdb::recommend(&db, &small, "r2", 0.5);
     assert_eq!(recs[0].pipeline_id, p_lm, "LM is better on small data");

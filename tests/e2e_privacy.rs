@@ -15,12 +15,8 @@ use exdra::net::crypto::ChannelKey;
 fn raw_transfer_denied_aggregates_released() {
     let (ctx, _w) = tcp_federation(2);
     let x = rand_matrix(200, 30, 0.0, 1.0, 1);
-    let fed = FedMatrix::scatter_rows(
-        &ctx,
-        &x,
-        PrivacyLevel::PrivateAggregate { min_group: 20 },
-    )
-    .unwrap();
+    let fed = FedMatrix::scatter_rows(&ctx, &x, PrivacyLevel::PrivateAggregate { min_group: 20 })
+        .unwrap();
     // Raw consolidation: denied.
     assert!(matches!(fed.consolidate(), Err(RuntimeError::Privacy(_))));
     // Column means over 100-row partitions: released and correct.
@@ -29,8 +25,7 @@ fn raw_transfer_denied_aggregates_released() {
         .unwrap()
         .to_local()
         .unwrap();
-    let want =
-        exdra::matrix::kernels::aggregates::aggregate(&x, AggOp::Mean, AggDir::Col).unwrap();
+    let want = exdra::matrix::kernels::aggregates::aggregate(&x, AggOp::Mean, AggDir::Col).unwrap();
     assert!(mu.max_abs_diff(&want) < 1e-10);
 }
 
@@ -56,23 +51,15 @@ fn min_group_threshold_is_enforced_per_partition() {
     // per-partition partials even though the global count (30) exceeds it.
     let (ctx, _w) = tcp_federation(3);
     let x = rand_matrix(30, 4, 0.0, 1.0, 3);
-    let fed = FedMatrix::scatter_rows(
-        &ctx,
-        &x,
-        PrivacyLevel::PrivateAggregate { min_group: 15 },
-    )
-    .unwrap();
+    let fed = FedMatrix::scatter_rows(&ctx, &x, PrivacyLevel::PrivateAggregate { min_group: 15 })
+        .unwrap();
     assert!(matches!(
         Tensor::Fed(fed).agg(AggOp::Sum, AggDir::Col),
         Err(RuntimeError::Privacy(_))
     ));
     // With min_group 8 the same query passes.
-    let fed = FedMatrix::scatter_rows(
-        &ctx,
-        &x,
-        PrivacyLevel::PrivateAggregate { min_group: 8 },
-    )
-    .unwrap();
+    let fed =
+        FedMatrix::scatter_rows(&ctx, &x, PrivacyLevel::PrivateAggregate { min_group: 8 }).unwrap();
     assert!(Tensor::Fed(fed).agg(AggOp::Sum, AggDir::Col).is_ok());
 }
 
@@ -80,12 +67,8 @@ fn min_group_threshold_is_enforced_per_partition() {
 fn derived_federated_data_inherits_constraints() {
     let (ctx, _w) = tcp_federation(2);
     let x = rand_matrix(100, 12, 0.0, 1.0, 4);
-    let fed = FedMatrix::scatter_rows(
-        &ctx,
-        &x,
-        PrivacyLevel::PrivateAggregate { min_group: 10 },
-    )
-    .unwrap();
+    let fed = FedMatrix::scatter_rows(&ctx, &x, PrivacyLevel::PrivateAggregate { min_group: 10 })
+        .unwrap();
     // A derived element-wise result is still private raw data.
     let sq = Tensor::Fed(fed)
         .unary(exdra::matrix::kernels::elementwise::UnaryOp::Square)
@@ -99,12 +82,8 @@ fn derived_federated_data_inherits_constraints() {
 fn laplace_mechanism_on_released_aggregates() {
     let (ctx, _w) = tcp_federation(2);
     let x = rand_matrix(500, 6, 0.0, 1.0, 5);
-    let fed = FedMatrix::scatter_rows(
-        &ctx,
-        &x,
-        PrivacyLevel::PrivateAggregate { min_group: 50 },
-    )
-    .unwrap();
+    let fed = FedMatrix::scatter_rows(&ctx, &x, PrivacyLevel::PrivateAggregate { min_group: 50 })
+        .unwrap();
     let sums = Tensor::Fed(fed)
         .agg(AggOp::Sum, AggDir::Col)
         .unwrap()

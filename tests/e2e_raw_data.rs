@@ -92,10 +92,7 @@ fn raw_csv_to_federated_model() {
 fn schema_inference_handles_heterogeneous_columns() {
     use exdra::matrix::frame::{FrameColumn, ValueType};
     let frame = exdra::Frame::new(vec![
-        (
-            "id".into(),
-            FrameColumn::I64((0..50).map(Some).collect()),
-        ),
+        ("id".into(), FrameColumn::I64((0..50).map(Some).collect())),
         (
             "temp".into(),
             FrameColumn::F64((0..50).map(|i| Some(20.0 + i as f64 * 0.1)).collect()),
@@ -115,11 +112,19 @@ fn schema_inference_handles_heterogeneous_columns() {
     let schema = exdra::matrix::io::infer_schema(&path, 100).unwrap();
     assert_eq!(
         schema,
-        vec![ValueType::I64, ValueType::F64, ValueType::Str, ValueType::Bool]
+        vec![
+            ValueType::I64,
+            ValueType::F64,
+            ValueType::Str,
+            ValueType::Bool
+        ]
     );
     let back = exdra::matrix::io::read_frame_csv(&path, &schema).unwrap();
     assert_eq!(back.rows(), 50);
-    assert_eq!(back.column_by_name("state").unwrap().token(4).as_deref(), Some("s1"));
+    assert_eq!(
+        back.column_by_name("state").unwrap().token(4).as_deref(),
+        Some("s1")
+    );
 }
 
 #[test]

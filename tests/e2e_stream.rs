@@ -36,7 +36,9 @@ fn sink_snapshot_to_federated_training() {
         let fields: Vec<String> = (0..sensors).map(|i| format!("s{i}")).collect();
         let refs: Vec<&str> = fields.iter().map(String::as_str).collect();
         let sink = Arc::new(FileSink::create(&dir, Schema::new(&refs), 100, 10).unwrap());
-        let emitted = nes.run_bounded(&mut source, &mut query, &sink, 800).unwrap();
+        let emitted = nes
+            .run_bounded(&mut source, &mut query, &sink, 800)
+            .unwrap();
         assert_eq!(emitted, 200);
         // Persist the snapshot as the worker's training file (the paper's
         // "consistent in-memory snapshot" read by each training session).
@@ -92,12 +94,17 @@ fn retention_bounds_training_window() {
     let mut source = SensorSource::new(SensorConfig::signals(2, 5));
     let mut query = Query::new("raw", vec![]);
     let sink = FileSink::create(&dir, Schema::new(&["a", "b"]), 50, 2).unwrap();
-    nes.run_bounded(&mut source, &mut query, &sink, 500).unwrap();
+    nes.run_bounded(&mut source, &mut query, &sink, 500)
+        .unwrap();
     // 500 records in segments of 50, retention 2 segments -> <= 100 rows.
     let snap = sink.snapshot().unwrap();
     assert!(snap.rows() <= 100);
     // The retained rows are the most recent ones.
-    assert!(snap.get(0, 0) >= 400.0, "oldest retained ts {}", snap.get(0, 0));
+    assert!(
+        snap.get(0, 0) >= 400.0,
+        "oldest retained ts {}",
+        snap.get(0, 0)
+    );
 }
 
 #[test]

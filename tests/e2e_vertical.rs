@@ -51,7 +51,10 @@ fn vertical_lhs_matmul_stays_federated() {
     let wt = rand_matrix(1, 50, -1.0, 1.0, 5);
     let (_ctx, fed) = vertical(3, &x);
     let got = Tensor::Local(wt.clone()).matmul(&Tensor::Fed(fed)).unwrap();
-    assert!(got.is_fed(), "per-feature results stay at the feature sites");
+    assert!(
+        got.is_fed(),
+        "per-feature results stay at the feature sites"
+    );
     let want = matmul(&wt, &x).unwrap();
     assert!(got.to_local().unwrap().max_abs_diff(&want) < 1e-10);
 }

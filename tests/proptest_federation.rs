@@ -33,7 +33,10 @@ fn arb_cuts(rows: usize) -> impl Strategy<Value = Vec<usize>> {
 }
 
 /// Scatters `x` with the given cut points over a fresh in-memory federation.
-fn fed_with_cuts(x: &DenseMatrix, cuts: &[usize]) -> (std::sync::Arc<exdra::FedContext>, FedMatrix) {
+fn fed_with_cuts(
+    x: &DenseMatrix,
+    cuts: &[usize],
+) -> (std::sync::Arc<exdra::FedContext>, FedMatrix) {
     let n = cuts.len() - 1;
     let (ctx, workers) = mem_federation(n);
     let mut parts = Vec::new();
@@ -42,7 +45,12 @@ fn fed_with_cuts(x: &DenseMatrix, cuts: &[usize]) -> (std::sync::Arc<exdra::FedC
         let id = ctx.fresh_id();
         let slice = exdra::matrix::kernels::reorg::index(x, lo, hi, 0, x.cols()).unwrap();
         workers[w].install_matrix(id, slice, PrivacyLevel::Public, &format!("prop{w}"));
-        parts.push(FedPartition { lo, hi, worker: w, id });
+        parts.push(FedPartition {
+            lo,
+            hi,
+            worker: w,
+            id,
+        });
     }
     let fed = FedMatrix::from_parts(
         std::sync::Arc::clone(&ctx),

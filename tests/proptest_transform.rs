@@ -14,10 +14,7 @@ use proptest::prelude::*;
 /// one numeric column, of proptest-chosen size and content.
 fn arb_frame(max_rows: usize) -> impl Strategy<Value = Frame> {
     (2..=max_rows).prop_flat_map(|rows| {
-        let cats = proptest::collection::vec(
-            proptest::option::weighted(0.9, 0u8..6),
-            rows,
-        );
+        let cats = proptest::collection::vec(proptest::option::weighted(0.9, 0u8..6), rows);
         let nums = proptest::collection::vec(-50.0f64..50.0, rows);
         (cats, nums).prop_map(|(cats, nums)| {
             Frame::new(vec![
