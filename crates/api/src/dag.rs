@@ -271,6 +271,17 @@ impl Lazy {
         eval_node(&self.node, &mut memo)
     }
 
+    /// Lineage hash of the whole plan: opcodes, literal parameters, and
+    /// source identities (local data by content sample, federated data by
+    /// partition symbol IDs). Two structurally identical plans over the
+    /// same sources hash equal even when rebuilt from scratch, which is
+    /// what lets a coordinator-side [`exdra_core::lineage::LineageCache`]
+    /// memoize consolidated results across repeated `compute()` calls.
+    pub fn lineage_hash(&self) -> u64 {
+        let mut memo: HashMap<*const Node, u64> = HashMap::new();
+        lineage_of(&self.node, &mut memo)
+    }
+
     /// Evaluates the DAG and consolidates the result locally (federated
     /// results are transferred, subject to privacy constraints) — the
     /// `compute()` of the paper's Python API.
@@ -347,6 +358,87 @@ fn eval_node(node: &Arc<Node>, memo: &mut HashMap<*const Node, Tensor>) -> Resul
     };
     memo.insert(key, result.clone());
     Ok(result)
+}
+
+fn lineage_of(node: &Arc<Node>, memo: &mut HashMap<*const Node, u64>) -> u64 {
+    use exdra_core::lineage::{mix, seed};
+    let key = Arc::as_ptr(node);
+    if let Some(&h) = memo.get(&key) {
+        return h;
+    }
+    use Node::*;
+    let h = match &**node {
+        SourceLocal(m) => {
+            let mut h = mix(mix(seed("src.local"), m.rows() as u64), m.cols() as u64);
+            // Sample head/tail like `lineage::of_bytes` so huge sources
+            // stay cheap to fingerprint.
+            let v = m.values();
+            if v.len() <= 512 {
+                for x in v {
+                    h = mix(h, x.to_bits());
+                }
+            } else {
+                for x in &v[..256] {
+                    h = mix(h, x.to_bits());
+                }
+                for x in &v[v.len() - 256..] {
+                    h = mix(h, x.to_bits());
+                }
+                h = mix(h, v.len() as u64);
+            }
+            h
+        }
+        SourceFed(f) => {
+            let mut h = mix(mix(seed("src.fed"), f.rows() as u64), f.cols() as u64);
+            for p in f.parts() {
+                h = mix(
+                    mix(mix(mix(h, p.lo as u64), p.hi as u64), p.worker as u64),
+                    p.id,
+                );
+            }
+            h
+        }
+        MatMul(a, b) => mix(mix(seed("ba+*"), lineage_of(a, memo)), lineage_of(b, memo)),
+        TMatMul(a, b) => mix(
+            mix(seed("t-ba+*"), lineage_of(a, memo)),
+            lineage_of(b, memo),
+        ),
+        Tsmm(a) => mix(seed("tsmm"), lineage_of(a, memo)),
+        Binary(op, a, b) => mix(
+            mix(seed(op.name()), lineage_of(a, memo)),
+            lineage_of(b, memo),
+        ),
+        Scalar(op, v, swap, a) => mix(
+            mix(
+                mix(mix(seed("scalar"), seed(op.name())), v.to_bits()),
+                *swap as u64,
+            ),
+            lineage_of(a, memo),
+        ),
+        Unary(op, a) => mix(mix(seed("unary"), seed(op.name())), lineage_of(a, memo)),
+        Softmax(a) => mix(seed("softmax"), lineage_of(a, memo)),
+        Agg(op, dir, a) => mix(
+            mix(mix(seed("agg"), seed(op.name())), *dir as u64),
+            lineage_of(a, memo),
+        ),
+        RowIndexMax(a) => mix(seed("rowIndexMax"), lineage_of(a, memo)),
+        Transpose(a) => mix(seed("t"), lineage_of(a, memo)),
+        Index(rl, ru, cl, cu, a) => mix(
+            mix(
+                mix(mix(mix(seed("ix"), *rl as u64), *ru as u64), *cl as u64),
+                *cu as u64,
+            ),
+            lineage_of(a, memo),
+        ),
+        Rbind(a, b) => mix(mix(seed("rbind"), lineage_of(a, memo)), lineage_of(b, memo)),
+        Cbind(a, b) => mix(mix(seed("cbind"), lineage_of(a, memo)), lineage_of(b, memo)),
+        Replace(p, r, a) => mix(
+            mix(mix(seed("replace"), p.to_bits()), r.to_bits()),
+            lineage_of(a, memo),
+        ),
+    };
+    memo.insert(key, h);
+    h
 }
 
 fn explain_node(

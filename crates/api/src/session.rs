@@ -11,9 +11,12 @@ use std::sync::Arc;
 use exdra_core::coordinator::WorkerEndpoint;
 use exdra_core::fed::prep::FedFrame;
 use exdra_core::fed::FedMatrix;
+use exdra_core::lineage::{CacheScope, CachedEntry, LineageCache};
 use exdra_core::protocol::ReadFormat;
+use exdra_core::value::DataValue;
 use exdra_core::{FedContext, PrivacyLevel, Result, RuntimeError};
 use exdra_matrix::{DenseMatrix, Frame};
+use exdra_obs::{NetTotals, RunReport};
 
 use crate::dag::Lazy;
 
@@ -21,6 +24,7 @@ use crate::dag::Lazy;
 pub struct Session {
     ctx: Option<Arc<FedContext>>,
     privacy: PrivacyLevel,
+    plan_cache: Option<Arc<LineageCache>>,
 }
 
 impl Session {
@@ -29,6 +33,7 @@ impl Session {
         Self {
             ctx: None,
             privacy: PrivacyLevel::Public,
+            plan_cache: None,
         }
     }
 
@@ -41,6 +46,7 @@ impl Session {
         Ok(Self {
             ctx: Some(FedContext::connect(&endpoints)?),
             privacy: PrivacyLevel::Public,
+            plan_cache: None,
         })
     }
 
@@ -50,6 +56,7 @@ impl Session {
         Self {
             ctx: Some(ctx),
             privacy: PrivacyLevel::Public,
+            plan_cache: None,
         }
     }
 
@@ -58,6 +65,80 @@ impl Session {
     pub fn with_privacy(mut self, privacy: PrivacyLevel) -> Self {
         self.privacy = privacy;
         self
+    }
+
+    /// Turns on the global tracing/metrics layer for the process (spans,
+    /// counters, and histograms start recording; see [`Session::profile`]).
+    pub fn with_tracing(self) -> Self {
+        exdra_obs::set_enabled(true);
+        self
+    }
+
+    /// Attaches a coordinator-side plan cache with the given byte budget:
+    /// [`Session::compute`] then memoizes consolidated results keyed by
+    /// the plan's [`Lazy::lineage_hash`], so re-running an identical
+    /// exploratory pipeline skips the federation entirely. Reuse is
+    /// counted under `lineage.coordinator.*` metrics, distinct from the
+    /// workers' instruction-level `lineage.worker.*` streams.
+    pub fn with_plan_cache(mut self, byte_budget: usize) -> Self {
+        self.plan_cache = Some(Arc::new(LineageCache::new_scoped(
+            byte_budget,
+            true,
+            CacheScope::Coordinator,
+        )));
+        self
+    }
+
+    /// The coordinator-side plan cache, if one was attached.
+    pub fn plan_cache(&self) -> Option<&Arc<LineageCache>> {
+        self.plan_cache.as_ref()
+    }
+
+    /// Computes a plan like [`Lazy::compute`], additionally memoizing the
+    /// consolidated result in the session's plan cache (when attached via
+    /// [`Session::with_plan_cache`]). Cache entries are only written after
+    /// a successful compute, so privacy enforcement is unaffected: a plan
+    /// whose consolidation is rejected never lands in the cache.
+    pub fn compute(&self, plan: &Lazy) -> Result<DenseMatrix> {
+        let Some(cache) = &self.plan_cache else {
+            return plan.compute();
+        };
+        let key = plan.lineage_hash();
+        if let Some(hit) = cache.probe(key) {
+            return Ok(hit.value.as_matrix()?.to_dense());
+        }
+        let result = plan.compute()?;
+        cache.insert(
+            key,
+            CachedEntry {
+                value: Arc::new(DataValue::from(result.clone())),
+                privacy: PrivacyLevel::Public,
+                releasable: true,
+            },
+        );
+        Ok(result)
+    }
+
+    /// Snapshot of everything the observability layer saw so far: the
+    /// global metrics registry rolled up into per-worker breakdowns and
+    /// top-N instruction profiles, plus (for connected sessions) the
+    /// context's transport-level `NetStats` totals for cross-checking
+    /// span-derived network time against transport-measured time.
+    pub fn profile(&self) -> RunReport {
+        let mut report = RunReport::from_global();
+        if let Some(ctx) = &self.ctx {
+            let s = ctx.stats().snapshot();
+            report.net = Some(NetTotals {
+                bytes_sent: s.bytes_sent,
+                bytes_received: s.bytes_received,
+                messages_sent: s.messages_sent,
+                messages_received: s.messages_received,
+                network_nanos: s.network_nanos,
+                retries: s.retries,
+                heartbeats: s.heartbeats,
+            });
+        }
+        report
     }
 
     /// The federated context, if connected.
@@ -158,6 +239,46 @@ mod tests {
         let features = sds.federated(&x).unwrap();
         let model = features.l2svm(&y).unwrap();
         assert_eq!(model.weights.rows(), 4);
+    }
+
+    #[test]
+    fn plan_cache_reuses_identical_plans() {
+        let (ctx, _workers) = mem_federation(2);
+        let sds = Session::with_context(ctx).with_plan_cache(1 << 20);
+        let m = rand_matrix(40, 4, -1.0, 1.0, 7);
+        let fed = sds.federated(&m).unwrap();
+
+        // Two structurally identical plans, built independently.
+        let p1 = fed.tsmm().unwrap();
+        let p2 = fed.tsmm().unwrap();
+        assert_eq!(p1.lineage_hash(), p2.lineage_hash());
+
+        let a = sds.compute(&p1).unwrap();
+        let b = sds.compute(&p2).unwrap();
+        assert!(a.max_abs_diff(&b) < 1e-15);
+        let cache = sds.plan_cache().unwrap();
+        assert_eq!(cache.hits(), 1, "second compute served from plan cache");
+        assert_eq!(cache.misses(), 1);
+
+        // A different plan misses.
+        let p3 = fed.sum();
+        assert_ne!(p3.lineage_hash(), p1.lineage_hash());
+        sds.compute(&p3).unwrap();
+        assert_eq!(cache.misses(), 2);
+    }
+
+    #[test]
+    fn profile_reports_transport_totals() {
+        let (ctx, _workers) = mem_federation(2);
+        let sds = Session::with_context(ctx);
+        let m = rand_matrix(30, 3, 0.0, 1.0, 9);
+        let fed = sds.federated(&m).unwrap();
+        fed.sum().compute_scalar().unwrap();
+        let report = sds.profile();
+        let net = report.net.expect("connected session reports net totals");
+        assert!(net.messages_sent > 0);
+        assert!(net.bytes_sent > 0);
+        assert!(Session::local().profile().net.is_none());
     }
 
     #[test]

@@ -18,6 +18,7 @@ use exdra_matrix::kernels::matmul;
 use exdra_matrix::rng::rand_matrix;
 
 fn main() {
+    obs_init();
     let cfg = BenchConfig::from_args();
     println!(
         "Ablation A2 (compression) | X: {}x{} (one-hot heavy)",
@@ -126,6 +127,7 @@ fn main() {
         .expect("sum over compressed");
     println!("federated sum over compacted partitions: {s:.3} (verified non-NaN)");
     assert!(s.is_finite());
+    write_metrics_sidecar("ablation_compress");
 }
 
 /// Times `reps` runs of a result-producing closure, returning the last

@@ -23,6 +23,7 @@ use exdra_paramserv::balance::BalanceStrategy;
 use exdra_paramserv::{fed as psfed, PsConfig};
 
 fn main() {
+    obs_init();
     let cfg = BenchConfig::from_args();
     let n = (cfg.rows / 10).clamp(2_000, 50_000);
     let d = 5usize;
@@ -159,4 +160,5 @@ fn main() {
          partition dominate or under-weights it; replication with adjusted\n\
          weights balances iteration counts while keeping unbiased updates."
     );
+    write_metrics_sidecar("ablation_imbalance");
 }

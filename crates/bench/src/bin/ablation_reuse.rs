@@ -18,6 +18,7 @@ use exdra_matrix::kernels::aggregates::{AggDir, AggOp};
 use exdra_matrix::kernels::elementwise::BinaryOp;
 
 fn main() {
+    obs_init();
     let cfg = BenchConfig::from_args();
     let workers = 3usize;
     let runs = 8usize;
@@ -81,6 +82,7 @@ fn main() {
         "\nworker cache hits with reuse ON: {hits_on} | speedup on repeated runs: {:.1}x",
         totals[1] / totals[0]
     );
+    write_metrics_sidecar("ablation_reuse");
 }
 
 /// Small extension trait so the binary can fill a column after the fact.

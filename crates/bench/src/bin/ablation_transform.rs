@@ -47,6 +47,7 @@ fn string_bytes(items: &[String]) -> usize {
 }
 
 fn main() {
+    obs_init();
     let cfg = BenchConfig::from_args();
     let sites = 4usize;
     let shared = (cfg.rows / 50).clamp(200, 20_000);
@@ -135,4 +136,5 @@ fn main() {
     );
     assert!(bloom_complete, "bloom consolidation lost categories");
     assert!(bloom_bytes < full_bytes, "bloom must reduce transfer here");
+    write_metrics_sidecar("ablation_transform");
 }

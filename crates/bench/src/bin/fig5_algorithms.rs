@@ -40,6 +40,7 @@ fn ps_config(epochs: usize, batch: usize) -> PsConfig {
 }
 
 fn main() {
+    obs_init();
     let cfg = BenchConfig::from_args();
     println!(
         "Figure 5 | X: {}x{} | workers {:?} | reps {} | WAN {}ms rtt / {} MB/s",
@@ -219,4 +220,5 @@ fn main() {
          shape is Local vs Fed-LAN overhead/improvement, scaling with\n\
          workers, and the larger-but-moderate Fed-WAN overhead."
     );
+    write_metrics_sidecar("fig5_algorithms");
 }

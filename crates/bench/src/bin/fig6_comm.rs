@@ -16,6 +16,7 @@ use exdra_paramserv::balance::BalanceStrategy;
 use exdra_paramserv::{fed as psfed, PsConfig};
 
 fn main() {
+    obs_init();
     let cfg = BenchConfig::from_args();
     let workers = 3usize;
     println!(
@@ -87,10 +88,13 @@ fn main() {
         for setting in [NetSetting::Lan, NetSetting::Wan, NetSetting::WanEncrypted] {
             let (ctx, _w) = federation(workers, setting, cfg.wan_profile());
             let fed = scatter(&ctx, &_w, &x);
-            ctx.stats().reset();
+            // Delta-of-snapshots accounting: charge this setting only for
+            // the traffic of the measured window, not setup/scatter.
+            let before = ctx.stats().snapshot();
             let (t, _) = time_reps(cfg.reps, || run(&Tensor::Fed(fed.clone())));
+            let moved = ctx.stats().snapshot().delta(&before);
             times.push(t);
-            bytes.push(ctx.stats().bytes_sent() + ctx.stats().bytes_received());
+            bytes.push(moved.bytes_sent + moved.bytes_received);
         }
         let mut table_row = vec![name.to_string()];
         table_row.extend(times.iter().map(|t| secs(*t)));
@@ -133,4 +137,5 @@ fn main() {
         "\nPaper reference: LM ~2x WAN and ~10% SSL, K-Means 4-8x WAN and\n\
          ~15% SSL, FFN moderate on both (compute-heavy, per-epoch sync)."
     );
+    write_metrics_sidecar("fig6_comm");
 }

@@ -19,6 +19,7 @@ use exdra_paramserv::balance::BalanceStrategy;
 use exdra_paramserv::{fed as psfed, local as pslocal, PsConfig};
 
 fn main() {
+    obs_init();
     let cfg = BenchConfig::from_args();
     let workers = 3usize;
     println!(
@@ -171,4 +172,5 @@ fn main() {
          DESIGN.md §4). Paper reference: K-Means 1.6x slower, PCA 2x faster,\n\
          FFN 25% faster, CNN 2x slower — mixed results within ~2x."
     );
+    write_metrics_sidecar("fig7_systems");
 }

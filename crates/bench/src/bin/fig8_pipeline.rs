@@ -130,6 +130,7 @@ fn run_local_pipeline(frames: &[Frame], y: &DenseMatrix, train_ffn: bool) {
 }
 
 fn main() {
+    obs_init();
     let cfg = BenchConfig::from_args();
     // Continuous signal count so the encoded width approximates cfg.cols
     // (2 categorical columns with domain <= 8 add <= 16 one-hot columns).
@@ -168,4 +169,5 @@ fn main() {
         "\nPaper reference: good improvements over Local as workers grow;\n\
          P2_FFN scales better than P2_LM (larger compute per worker)."
     );
+    write_metrics_sidecar("fig8_pipeline");
 }

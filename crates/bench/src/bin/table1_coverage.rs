@@ -26,6 +26,7 @@ fn check(got: &DenseMatrix, want: &DenseMatrix) -> bool {
 }
 
 fn main() {
+    obs_init();
     let rows = 600usize;
     let cols = 24usize;
     let x = rand_matrix(rows, cols, -2.0, 2.0, 1);
@@ -460,4 +461,5 @@ fn main() {
     table.print();
     println!("\nAll listed instructions executed over the six-request protocol");
     println!("(READ/PUT/GET/EXEC_INST/EXEC_UDF/CLEAR) against standing workers.");
+    write_metrics_sidecar("table1_coverage");
 }

@@ -189,6 +189,29 @@ pub fn scatter(
     .expect("federation map")
 }
 
+/// Turns on the global tracing/metrics layer for this bench process, so
+/// the binary can drop a machine-readable metrics sidecar (see
+/// [`write_metrics_sidecar`]) next to its printed tables. Call first
+/// thing in `main`, before any federation is set up.
+pub fn obs_init() {
+    exdra_obs::set_enabled(true);
+}
+
+/// Writes `results/<bin>.metrics.json` — the [`exdra_obs::RunReport`] of
+/// everything this process recorded — and prints the path. Failures are
+/// reported but never abort the run; a bench binary's tables are worth
+/// printing even on a read-only filesystem.
+pub fn write_metrics_sidecar(bin: &str) {
+    let report = exdra_obs::RunReport::from_global();
+    let dir = std::path::Path::new("results");
+    let path = dir.join(format!("{bin}.metrics.json"));
+    let res = std::fs::create_dir_all(dir).and_then(|_| std::fs::write(&path, report.to_json()));
+    match res {
+        Ok(()) => println!("\nmetrics sidecar: {}", path.display()),
+        Err(e) => eprintln!("warning: failed to write {}: {e}", path.display()),
+    }
+}
+
 /// Times a closure in seconds.
 pub fn time<T>(f: impl FnOnce() -> T) -> (T, f64) {
     let t0 = Instant::now();

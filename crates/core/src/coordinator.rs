@@ -13,7 +13,7 @@
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use parking_lot::Mutex;
 
@@ -25,9 +25,10 @@ use exdra_net::stats::NetStats;
 use exdra_net::transport::{
     Channel, ChannelConfig, EncryptedChannel, InstrumentedChannel, ShapedChannel, TcpChannel,
 };
+use exdra_obs::SpanKind;
 
 use crate::error::{Result, RuntimeError};
-use crate::protocol::{Request, Response};
+use crate::protocol::{Request, Response, RpcEnvelope, RpcReply};
 use crate::value::DataValue;
 
 /// Retry/deadline configuration applied to every coordinator→worker RPC.
@@ -302,15 +303,38 @@ impl FedContext {
         }
         let prepended = !full.is_empty();
         full.extend_from_slice(batch);
-        let bytes = full.to_bytes();
+
+        // Observability: one span per RPC, its context stamped onto the
+        // envelope so worker-side spans join the same trace. Everything
+        // (clock reads, metric-name formatting) is gated on the single
+        // `enabled` flag; disabled runs take the exact pre-obs path.
+        let obs_on = exdra_obs::enabled();
+        let mut span = exdra_obs::span(SpanKind::Rpc, "rpc.call");
+        if span.is_active() {
+            span.attr("worker", worker);
+            span.attr("requests", full.len());
+            span.attr("kinds", request_kinds(&full));
+        }
+        let envelope = RpcEnvelope {
+            trace: span.context().into(),
+            requests: full,
+        };
+
+        let t_enc = obs_on.then(Instant::now);
+        let bytes = envelope.to_bytes();
+        let mut serde_nanos = t_enc.map_or(0, |t| t.elapsed().as_nanos() as u64);
+
         let policy = self.fault_policy();
         let deadline = Deadline::after(policy.rpc_deadline);
+        let mut net_nanos = 0u64;
+        let mut retries = 0u64;
         let frame = policy
             .retry
             .run(
                 deadline,
                 |attempt| {
                     if attempt > 0 {
+                        retries += 1;
                         self.stats.record_retry();
                         // A failed attempt may have left a half-written
                         // frame on the wire: re-establish the channel
@@ -320,19 +344,52 @@ impl FedContext {
                         }
                     }
                     let mut ch = conn.channel.lock();
-                    ch.send(&bytes)?;
-                    ch.recv()
+                    let t_net = obs_on.then(Instant::now);
+                    let r = ch.send(&bytes).and_then(|()| ch.recv());
+                    if let Some(t) = t_net {
+                        net_nanos += t.elapsed().as_nanos() as u64;
+                    }
+                    r
                 },
                 classify_io,
             )
             .map_err(|e| rpc_failure(worker, &e))?;
-        let mut responses = Vec::<Response>::from_bytes(&frame)?;
-        if responses.len() != full.len() {
+
+        let t_dec = obs_on.then(Instant::now);
+        let reply = RpcReply::from_bytes(&frame)?;
+        if let Some(t) = t_dec {
+            serde_nanos += t.elapsed().as_nanos() as u64;
+        }
+        let RpcReply {
+            mut responses,
+            footer,
+        } = reply;
+        if responses.len() != envelope.requests.len() {
             return Err(RuntimeError::Protocol(format!(
                 "worker {worker}: {} responses for {} requests",
                 responses.len(),
-                full.len()
+                envelope.requests.len()
             )));
+        }
+        if span.is_active() {
+            span.attr("bytes_sent", bytes.len());
+            span.attr("bytes_recv", frame.len());
+            span.attr("net_nanos", net_nanos);
+            span.attr("exec_nanos", footer.exec_nanos);
+            span.attr("serde_nanos", serde_nanos);
+            span.attr("retries", retries);
+        }
+        if obs_on {
+            record_rpc_metrics(RpcMetrics {
+                worker,
+                requests: envelope.requests.len() as u64,
+                bytes_sent: bytes.len() as u64,
+                bytes_recv: frame.len() as u64,
+                net_nanos,
+                exec_nanos: footer.exec_nanos,
+                serde_nanos,
+                retries,
+            });
         }
         if prepended {
             responses.remove(0); // the rmvar ack (rmvar cannot fail)
@@ -350,14 +407,23 @@ impl FedContext {
             .get(worker)
             .ok_or_else(|| RuntimeError::Invalid(format!("no worker {worker}")))?;
         self.stats.record_heartbeat();
+        let mut span = exdra_obs::span(SpanKind::Rpc, "rpc.heartbeat");
+        if span.is_active() {
+            span.attr("worker", worker);
+            exdra_obs::global().inc("rpc.heartbeats");
+        }
+        let envelope = RpcEnvelope {
+            trace: span.context().into(),
+            requests: vec![Request::Heartbeat],
+        };
         let frame = {
             let mut ch = conn.channel.lock();
-            ch.send(&vec![Request::Heartbeat].to_bytes())
+            ch.send(&envelope.to_bytes())
                 .and_then(|()| ch.recv())
                 .map_err(|e| rpc_failure(worker, &e))?
         };
-        let responses = Vec::<Response>::from_bytes(&frame)?;
-        match responses.as_slice() {
+        let reply = RpcReply::from_bytes(&frame)?;
+        match reply.responses.as_slice() {
             [Response::Alive { epoch, load }] => Ok((*epoch, *load)),
             other => Err(RuntimeError::Protocol(format!(
                 "worker {worker}: heartbeat answered with {other:?}"
@@ -398,6 +464,9 @@ impl FedContext {
                 self.workers.len()
             )));
         }
+        // Per-worker RPC threads inherit the caller's span context so
+        // their `rpc.call` spans parent into the surrounding trace.
+        let parent = exdra_obs::current();
         let mut results: Vec<Result<Vec<Response>>> = Vec::with_capacity(batches.len());
         std::thread::scope(|scope| {
             let handles: Vec<_> = batches
@@ -405,6 +474,7 @@ impl FedContext {
                 .enumerate()
                 .map(|(w, batch)| {
                     scope.spawn(move || {
+                        let _trace = exdra_obs::propagate(parent);
                         if batch.is_empty() {
                             Ok(Vec::new())
                         } else {
@@ -434,6 +504,60 @@ impl FedContext {
         }
         Ok(())
     }
+}
+
+/// Comma-joined request-kind summary for span attributes, with runs of
+/// equal kinds collapsed (`PUT x128` instead of 128 entries).
+fn request_kinds(batch: &[Request]) -> String {
+    let mut out = String::new();
+    let mut i = 0;
+    while i < batch.len() {
+        let kind = batch[i].kind();
+        let mut run = 1;
+        while i + run < batch.len() && batch[i + run].kind() == kind {
+            run += 1;
+        }
+        if !out.is_empty() {
+            out.push(',');
+        }
+        out.push_str(kind);
+        if run > 1 {
+            out.push_str(&format!(" x{run}"));
+        }
+        i += run;
+    }
+    out
+}
+
+struct RpcMetrics {
+    worker: usize,
+    requests: u64,
+    bytes_sent: u64,
+    bytes_recv: u64,
+    net_nanos: u64,
+    exec_nanos: u64,
+    serde_nanos: u64,
+    retries: u64,
+}
+
+/// Feeds one finished RPC into the global metrics registry under the
+/// naming conventions `exdra_obs::report` understands. Only called when
+/// observability is enabled (metric-name formatting allocates).
+fn record_rpc_metrics(m: RpcMetrics) {
+    let reg = exdra_obs::global();
+    reg.inc("rpc.calls");
+    reg.add("rpc.requests", m.requests);
+    reg.add("rpc.retries", m.retries);
+    reg.record("rpc.latency", m.net_nanos);
+    let w = m.worker;
+    reg.inc(&format!("worker.{w}.rpcs"));
+    reg.add(&format!("worker.{w}.requests"), m.requests);
+    reg.add(&format!("worker.{w}.bytes_sent"), m.bytes_sent);
+    reg.add(&format!("worker.{w}.bytes_recv"), m.bytes_recv);
+    reg.add(&format!("worker.{w}.net_nanos"), m.net_nanos);
+    reg.add(&format!("worker.{w}.exec_nanos"), m.exec_nanos);
+    reg.add(&format!("worker.{w}.serde_nanos"), m.serde_nanos);
+    reg.add(&format!("worker.{w}.retries"), m.retries);
 }
 
 /// Interprets a response as success, mapping worker errors.

@@ -43,11 +43,27 @@ pub fn execute(
         .output()
         .expect("non-rmvar instructions bind an output");
 
+    // One span per executed instruction, parenting under the worker's
+    // batch span (same thread). The per-opcode latency histogram feeds
+    // the "top instructions" section of the run report.
+    let obs_on = exdra_obs::enabled();
+    let mut span = exdra_obs::span(exdra_obs::SpanKind::Instruction, inst.name());
+    let t_inst = obs_on.then(std::time::Instant::now);
+
     // Resolve inputs in declaration order.
     let input_ids = inst.inputs();
     let mut inputs = Vec::with_capacity(input_ids.len());
     for id in &input_ids {
         inputs.push((*id, table.get(*id)?));
+    }
+    if span.is_active() {
+        for (i, (_, e)) in inputs.iter().enumerate().take(2) {
+            if let DataValue::Matrix(m) = &*e.value {
+                let (r, c) = m.shape();
+                span.attr(if i == 0 { "in0_rows" } else { "in1_rows" }, r);
+                span.attr(if i == 0 { "in0_cols" } else { "in1_cols" }, c);
+            }
+        }
     }
 
     // Lineage of the output.
@@ -61,9 +77,14 @@ pub fn execute(
     if let Some(cache) = cache {
         if let Some(hit) = cache.probe(h) {
             table.bind(out_id, hit.value, hit.privacy, hit.releasable, h);
+            span.attr("reuse", true);
+            if let Some(t) = t_inst {
+                record_inst_nanos(inst.name(), t.elapsed().as_nanos() as u64);
+            }
             return Ok(());
         }
     }
+    span.attr("reuse", false);
 
     // Privacy propagation.
     let dims = |id: u64| -> (usize, usize) {
@@ -96,6 +117,13 @@ pub fn execute(
     }
 
     let value = compute(inst, &inputs)?;
+    if span.is_active() {
+        if let DataValue::Matrix(m) = &value {
+            let (r, c) = m.shape();
+            span.attr("out_rows", r);
+            span.attr("out_cols", c);
+        }
+    }
     let value = Arc::new(value);
     if let Some(cache) = cache {
         cache.insert(
@@ -108,7 +136,19 @@ pub fn execute(
         );
     }
     table.bind(out_id, value, privacy, releasable, h);
+    if let Some(t) = t_inst {
+        record_inst_nanos(inst.name(), t.elapsed().as_nanos() as u64);
+    }
     Ok(())
+}
+
+/// Feeds one instruction execution into the per-opcode latency
+/// histogram (`inst.<opcode>`). Only called when observability is on.
+fn record_inst_nanos(name: &str, nanos: u64) {
+    let mut metric = String::with_capacity(5 + name.len());
+    metric.push_str("inst.");
+    metric.push_str(name);
+    exdra_obs::global().record(&metric, nanos);
 }
 
 /// True when every output cell of `inst` combines at least `k` cells of

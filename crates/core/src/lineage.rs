@@ -60,14 +60,44 @@ pub struct CachedEntry {
     pub releasable: bool,
 }
 
+/// Which side of the federation a [`LineageCache`] serves. A reuse hit
+/// at the coordinator (whole-DAG memoization across `compute()` calls)
+/// means something different from a hit inside a worker's instruction
+/// stream, so the two are counted under distinct metric names
+/// (`lineage.coordinator.*` vs `lineage.worker.*`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheScope {
+    /// Cache embedded in a standing worker (instruction-level reuse).
+    Worker,
+    /// Coordinator-side cache (plan-level reuse across pipeline runs).
+    Coordinator,
+}
+
+impl CacheScope {
+    /// The metric-name segment for this scope.
+    pub fn name(&self) -> &'static str {
+        match self {
+            CacheScope::Worker => "worker",
+            CacheScope::Coordinator => "coordinator",
+        }
+    }
+}
+
 /// A bounded lineage-keyed reuse cache with FIFO eviction.
 #[derive(Debug)]
 pub struct LineageCache {
     inner: Mutex<CacheInner>,
     hits: AtomicU64,
     misses: AtomicU64,
+    evictions: AtomicU64,
     enabled: bool,
     byte_budget: usize,
+    scope: CacheScope,
+    /// Global-registry counters for this scope, resolved once at
+    /// construction so the per-probe cost is a plain atomic add.
+    m_hits: Arc<exdra_obs::Counter>,
+    m_misses: Arc<exdra_obs::Counter>,
+    m_evictions: Arc<exdra_obs::Counter>,
 }
 
 #[derive(Debug, Default)]
@@ -78,35 +108,59 @@ struct CacheInner {
 }
 
 impl LineageCache {
-    /// Creates a cache with the given byte budget; `enabled = false` makes
-    /// every probe a miss (the reuse-off ablation).
+    /// Creates a worker-scoped cache with the given byte budget;
+    /// `enabled = false` makes every probe a miss (the reuse-off
+    /// ablation).
     pub fn new(byte_budget: usize, enabled: bool) -> Self {
+        Self::new_scoped(byte_budget, enabled, CacheScope::Worker)
+    }
+
+    /// Creates a cache counting under the given [`CacheScope`].
+    pub fn new_scoped(byte_budget: usize, enabled: bool, scope: CacheScope) -> Self {
+        let reg = exdra_obs::global();
+        let prefix = scope.name();
         Self {
             inner: Mutex::new(CacheInner::default()),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
             enabled,
             byte_budget,
+            scope,
+            m_hits: reg.counter(&format!("lineage.{prefix}.hits")),
+            m_misses: reg.counter(&format!("lineage.{prefix}.misses")),
+            m_evictions: reg.counter(&format!("lineage.{prefix}.evictions")),
         }
+    }
+
+    /// The side of the federation this cache counts for.
+    pub fn scope(&self) -> CacheScope {
+        self.scope
     }
 
     /// Probes the cache.
     pub fn probe(&self, lineage: u64) -> Option<CachedEntry> {
         if !self.enabled {
-            self.misses.fetch_add(1, Ordering::Relaxed);
+            self.record_miss();
             return None;
         }
         let inner = self.inner.lock();
         match inner.map.get(&lineage) {
             Some(e) => {
                 self.hits.fetch_add(1, Ordering::Relaxed);
+                self.m_hits.inc();
                 Some(e.clone())
             }
             None => {
-                self.misses.fetch_add(1, Ordering::Relaxed);
+                self.record_miss();
                 None
             }
         }
+    }
+
+    fn record_miss(&self) {
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        self.m_misses.inc();
     }
 
     /// Inserts an output value, evicting FIFO when over budget. Values
@@ -123,11 +177,13 @@ impl LineageCache {
         if inner.map.contains_key(&lineage) {
             return;
         }
+        let mut evicted = 0u64;
         while inner.bytes + bytes > self.byte_budget {
             match inner.order.pop_front() {
                 Some(old) => {
                     if let Some(e) = inner.map.remove(&old) {
                         inner.bytes -= e.value.size_bytes();
+                        evicted += 1;
                     }
                 }
                 None => break,
@@ -136,6 +192,10 @@ impl LineageCache {
         inner.map.insert(lineage, entry);
         inner.order.push_back(lineage);
         inner.bytes += bytes;
+        if evicted > 0 {
+            self.evictions.fetch_add(evicted, Ordering::Relaxed);
+            self.m_evictions.add(evicted);
+        }
     }
 
     /// Cache hits so far.
@@ -148,6 +208,11 @@ impl LineageCache {
         self.misses.load(Ordering::Relaxed)
     }
 
+    /// Entries evicted (FIFO, over-budget) so far.
+    pub fn evictions(&self) -> u64 {
+        self.evictions.load(Ordering::Relaxed)
+    }
+
     /// Number of cached entries.
     pub fn entries(&self) -> usize {
         self.inner.lock().map.len()
@@ -158,7 +223,8 @@ impl LineageCache {
         self.inner.lock().bytes
     }
 
-    /// Drops all entries and counters.
+    /// Drops all entries and local counters (the scope-wide counters in
+    /// the global metrics registry are cumulative across clears).
     pub fn clear(&self) {
         let mut inner = self.inner.lock();
         inner.map.clear();
@@ -166,6 +232,7 @@ impl LineageCache {
         inner.bytes = 0;
         self.hits.store(0, Ordering::Relaxed);
         self.misses.store(0, Ordering::Relaxed);
+        self.evictions.store(0, Ordering::Relaxed);
     }
 }
 
@@ -221,16 +288,41 @@ mod tests {
     }
 
     #[test]
-    fn eviction_respects_budget() {
+    fn eviction_respects_budget_and_counts() {
         let c = LineageCache::new(24, true); // room for 3 scalars
         for i in 0..5 {
             c.insert(i, entry(i as f64));
         }
         assert!(c.bytes() <= 24);
         assert!(c.entries() <= 3);
-        // Oldest entries were evicted.
+        // Oldest entries were evicted, and the evictions were counted.
         assert!(c.probe(0).is_none());
         assert!(c.probe(4).is_some());
+        assert_eq!(c.evictions(), 2);
+        c.clear();
+        assert_eq!(c.evictions(), 0);
+    }
+
+    #[test]
+    fn scopes_count_into_distinct_registry_metrics() {
+        let reg = exdra_obs::global();
+        let w0 = reg.counter("lineage.worker.hits").get();
+        let c0 = reg.counter("lineage.coordinator.hits").get();
+        let worker = LineageCache::new(1024, true);
+        let coord = LineageCache::new_scoped(1024, true, CacheScope::Coordinator);
+        assert_eq!(worker.scope(), CacheScope::Worker);
+        assert_eq!(coord.scope(), CacheScope::Coordinator);
+        worker.insert(1, entry(1.0));
+        coord.insert(1, entry(1.0));
+        worker.probe(1);
+        coord.probe(1);
+        coord.probe(1);
+        // Distinct global metric streams: a coordinator-side reuse is
+        // never mistaken for a worker hit. (Other tests in this binary
+        // also probe worker-scoped caches concurrently, so the worker
+        // stream is only checked for monotonicity.)
+        assert!(reg.counter("lineage.worker.hits").get() > w0);
+        assert_eq!(reg.counter("lineage.coordinator.hits").get() - c0, 2);
     }
 
     #[test]

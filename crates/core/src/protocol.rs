@@ -280,6 +280,141 @@ impl Wire for Response {
     }
 }
 
+/// Trace context propagated with every RPC (tentpole of the
+/// observability layer): the coordinator stamps its current span onto
+/// the envelope so worker-side spans parent into the same trace even
+/// across process boundaries. All-zero means "no active trace" and
+/// costs 16 bytes on the wire.
+///
+/// This mirrors `exdra_obs::TraceContext`; the protocol keeps its own
+/// copy so `exdra-net`'s `Wire` trait can be implemented here without
+/// an orphan impl.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TraceContext {
+    /// Trace the RPC belongs to (0 = none).
+    pub trace_id: u64,
+    /// Coordinator-side span that issued the RPC (0 = none).
+    pub parent_span: u64,
+}
+
+impl TraceContext {
+    /// The empty context (tracing disabled or no active span).
+    pub const NONE: TraceContext = TraceContext {
+        trace_id: 0,
+        parent_span: 0,
+    };
+}
+
+impl From<exdra_obs::TraceContext> for TraceContext {
+    fn from(c: exdra_obs::TraceContext) -> Self {
+        TraceContext {
+            trace_id: c.trace_id,
+            parent_span: c.span_id,
+        }
+    }
+}
+
+impl From<TraceContext> for exdra_obs::TraceContext {
+    fn from(c: TraceContext) -> Self {
+        exdra_obs::TraceContext {
+            trace_id: c.trace_id,
+            span_id: c.parent_span,
+        }
+    }
+}
+
+impl Wire for TraceContext {
+    fn encode(&self, buf: &mut impl BufMut) {
+        self.trace_id.encode(buf);
+        self.parent_span.encode(buf);
+    }
+    fn decode(buf: &mut impl Buf) -> DecodeResult<Self> {
+        Ok(TraceContext {
+            trace_id: u64::decode(buf)?,
+            parent_span: u64::decode(buf)?,
+        })
+    }
+}
+
+/// What actually travels coordinator→worker per RPC: the request batch
+/// plus the propagated trace context.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RpcEnvelope {
+    /// Propagated coordinator span (possibly [`TraceContext::NONE`]).
+    pub trace: TraceContext,
+    /// The request batch; one response comes back per request.
+    pub requests: Vec<Request>,
+}
+
+impl Wire for RpcEnvelope {
+    fn encode(&self, buf: &mut impl BufMut) {
+        self.trace.encode(buf);
+        self.requests.encode(buf);
+    }
+    fn decode(buf: &mut impl Buf) -> DecodeResult<Self> {
+        Ok(RpcEnvelope {
+            trace: TraceContext::decode(buf)?,
+            requests: Vec::<Request>::decode(buf)?,
+        })
+    }
+}
+
+/// Worker-side accounting for one executed batch, returned in the
+/// [`RpcReply`] footer so the coordinator can split round-trip time
+/// into network wait vs. remote compute without clock synchronization.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct BatchFooter {
+    /// Total wall time the worker spent executing the batch (nanos).
+    pub exec_nanos: u64,
+    /// Per-request execution time, same order as the batch (empty when
+    /// the worker doesn't track per-request timing).
+    pub request_nanos: Vec<u64>,
+    /// Lineage-cache hits during this batch (worker side).
+    pub cache_hits: u64,
+    /// Lineage-cache misses during this batch (worker side).
+    pub cache_misses: u64,
+}
+
+impl Wire for BatchFooter {
+    fn encode(&self, buf: &mut impl BufMut) {
+        self.exec_nanos.encode(buf);
+        self.request_nanos.encode(buf);
+        self.cache_hits.encode(buf);
+        self.cache_misses.encode(buf);
+    }
+    fn decode(buf: &mut impl Buf) -> DecodeResult<Self> {
+        Ok(BatchFooter {
+            exec_nanos: u64::decode(buf)?,
+            request_nanos: Vec::<u64>::decode(buf)?,
+            cache_hits: u64::decode(buf)?,
+            cache_misses: u64::decode(buf)?,
+        })
+    }
+}
+
+/// What travels worker→coordinator per RPC: one response per request
+/// plus the per-batch timing footer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RpcReply {
+    /// One response per request (short on worker-side batch abort).
+    pub responses: Vec<Response>,
+    /// Worker-side timing/accounting for the batch.
+    pub footer: BatchFooter,
+}
+
+impl Wire for RpcReply {
+    fn encode(&self, buf: &mut impl BufMut) {
+        self.responses.encode(buf);
+        self.footer.encode(buf);
+    }
+    fn decode(buf: &mut impl Buf) -> DecodeResult<Self> {
+        Ok(RpcReply {
+            responses: Vec::<Response>::decode(buf)?,
+            footer: BatchFooter::decode(buf)?,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -329,6 +464,49 @@ mod tests {
             Response::Alive { epoch: 3, load: 17 },
         ];
         assert_eq!(Vec::<Response>::from_bytes(&rs.to_bytes()).unwrap(), rs);
+    }
+
+    #[test]
+    fn envelope_and_reply_roundtrip() {
+        let env = RpcEnvelope {
+            trace: TraceContext {
+                trace_id: 42,
+                parent_span: 7,
+            },
+            requests: vec![Request::Get { id: 2 }, Request::Clear],
+        };
+        let back = RpcEnvelope::from_bytes(&env.to_bytes()).unwrap();
+        assert_eq!(back, env);
+
+        let none = RpcEnvelope {
+            trace: TraceContext::NONE,
+            requests: vec![Request::Heartbeat],
+        };
+        assert_eq!(RpcEnvelope::from_bytes(&none.to_bytes()).unwrap(), none);
+
+        let reply = RpcReply {
+            responses: vec![Response::Ok, Response::Data(DataValue::Scalar(1.5))],
+            footer: BatchFooter {
+                exec_nanos: 123_456,
+                request_nanos: vec![100_000, 23_456],
+                cache_hits: 1,
+                cache_misses: 3,
+            },
+        };
+        assert_eq!(RpcReply::from_bytes(&reply.to_bytes()).unwrap(), reply);
+    }
+
+    #[test]
+    fn trace_context_converts_to_and_from_obs() {
+        let wire = TraceContext {
+            trace_id: 9,
+            parent_span: 4,
+        };
+        let obs: exdra_obs::TraceContext = wire.into();
+        assert_eq!(obs.trace_id, 9);
+        assert_eq!(obs.span_id, 4);
+        assert_eq!(TraceContext::from(obs), wire);
+        assert!(exdra_obs::TraceContext::from(TraceContext::NONE).is_none());
     }
 
     #[test]

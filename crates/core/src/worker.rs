@@ -11,7 +11,7 @@ use std::collections::HashMap;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use parking_lot::RwLock;
 
@@ -27,7 +27,9 @@ use crate::error::{Result, RuntimeError};
 use crate::exec;
 use crate::lineage::{self, LineageCache};
 use crate::privacy::{may_release, PrivacyLevel};
-use crate::protocol::{ReadFormat, Request, Response};
+use crate::protocol::{
+    BatchFooter, ReadFormat, Request, Response, RpcEnvelope, RpcReply, TraceContext,
+};
 use crate::symbol::SymbolTable;
 use crate::udf::Udf;
 use crate::value::DataValue;
@@ -150,11 +152,17 @@ impl Worker {
             if self.shutdown.load(Ordering::SeqCst) {
                 return;
             }
-            let responses = match Vec::<Request>::from_bytes(&frame) {
-                Ok(batch) => self.handle_batch(batch),
-                Err(e) => vec![Response::Error(format!("malformed request batch: {e}"))],
+            let reply = match RpcEnvelope::from_bytes(&frame) {
+                Ok(env) => {
+                    let (responses, footer) = self.handle_batch_traced(env.trace, env.requests);
+                    RpcReply { responses, footer }
+                }
+                Err(e) => RpcReply {
+                    responses: vec![Response::Error(format!("malformed request batch: {e}"))],
+                    footer: BatchFooter::default(),
+                },
             };
-            if channel.send(&responses.to_bytes()).is_err() {
+            if channel.send(&reply.to_bytes()).is_err() {
                 return;
             }
         }
@@ -217,6 +225,30 @@ impl Worker {
     /// Handles a request sequence; execution stops at the first failure and
     /// the remaining requests report a skip error.
     pub fn handle_batch(self: &Arc<Self>, batch: Vec<Request>) -> Vec<Response> {
+        self.handle_batch_traced(TraceContext::NONE, batch).0
+    }
+
+    /// Like [`Worker::handle_batch`], but parents worker-side spans under
+    /// the propagated coordinator context and returns the per-batch
+    /// timing/accounting footer that travels back in the [`RpcReply`].
+    pub fn handle_batch_traced(
+        self: &Arc<Self>,
+        trace: TraceContext,
+        batch: Vec<Request>,
+    ) -> (Vec<Response>, BatchFooter) {
+        let obs_on = exdra_obs::enabled();
+        let mut span =
+            exdra_obs::span_child_of(exdra_obs::SpanKind::Worker, "worker.batch", trace.into());
+        if span.is_active() {
+            span.attr("requests", batch.len());
+        }
+        let hits0 = self.cache.hits();
+        let misses0 = self.cache.misses();
+        let t_batch = obs_on.then(Instant::now);
+        let mut footer = BatchFooter::default();
+        if obs_on {
+            footer.request_nanos.reserve(batch.len());
+        }
         let mut responses = Vec::with_capacity(batch.len());
         let mut failed = false;
         for req in batch {
@@ -224,8 +256,12 @@ impl Worker {
             // must not be confused by data-path errors.
             if failed && !matches!(req, Request::Heartbeat) {
                 responses.push(Response::Error("skipped: earlier request failed".into()));
+                if obs_on {
+                    footer.request_nanos.push(0);
+                }
                 continue;
             }
+            let t_req = obs_on.then(Instant::now);
             let resp = match self.handle_one(req) {
                 Ok(r) => r,
                 Err(e) => {
@@ -233,9 +269,22 @@ impl Worker {
                     Response::Error(e.to_string())
                 }
             };
+            if let Some(t) = t_req {
+                footer.request_nanos.push(t.elapsed().as_nanos() as u64);
+            }
             responses.push(resp);
         }
-        responses
+        if let Some(t) = t_batch {
+            footer.exec_nanos = t.elapsed().as_nanos() as u64;
+        }
+        footer.cache_hits = self.cache.hits().saturating_sub(hits0);
+        footer.cache_misses = self.cache.misses().saturating_sub(misses0);
+        if span.is_active() {
+            span.attr("exec_nanos", footer.exec_nanos);
+            span.attr("cache_hits", footer.cache_hits);
+            span.attr("cache_misses", footer.cache_misses);
+        }
+        (responses, footer)
     }
 
     fn handle_one(self: &Arc<Self>, req: Request) -> Result<Response> {

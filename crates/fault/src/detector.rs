@@ -143,6 +143,24 @@ impl FailureDetector {
         self.workers[w].lock().state
     }
 
+    /// Counts a state transition into the global metrics registry
+    /// (`fault.transitions.<state>`), so failure-detection activity shows
+    /// up in run profiles next to the heartbeat/retry counters that
+    /// `NetStats` tracks. No-op when observability is disabled or the
+    /// state did not change.
+    fn note_transition(old: HealthState, new: HealthState) {
+        if old == new || !exdra_obs::enabled() {
+            return;
+        }
+        let metric = match new {
+            HealthState::Healthy => "fault.transitions.healthy",
+            HealthState::Suspect => "fault.transitions.suspect",
+            HealthState::Dead => "fault.transitions.dead",
+            HealthState::Recovering => "fault.transitions.recovering",
+        };
+        exdra_obs::global().inc(metric);
+    }
+
     /// Copy of worker `w`'s full health record.
     pub fn health(&self, w: usize) -> WorkerHealth {
         self.workers[w].lock().clone()
@@ -156,6 +174,7 @@ impl FailureDetector {
     /// ([`FailureDetector::mark_recovered`]) revives it.
     pub fn record_success(&self, w: usize, epoch: u64, load: u32) -> HeartbeatOutcome {
         let mut h = self.workers[w].lock();
+        let old_state = h.state;
         h.consecutive_misses = 0;
         h.beats += 1;
         h.load = load;
@@ -177,6 +196,7 @@ impl FailureDetector {
         {
             h.state = HealthState::Dead;
         }
+        Self::note_transition(old_state, h.state);
         outcome
     }
 
@@ -184,6 +204,7 @@ impl FailureDetector {
     /// after applying the thresholds.
     pub fn record_miss(&self, w: usize) -> HealthState {
         let mut h = self.workers[w].lock();
+        let old_state = h.state;
         h.consecutive_misses = h.consecutive_misses.saturating_add(1);
         h.state = match h.state {
             HealthState::Healthy | HealthState::Suspect => {
@@ -200,6 +221,7 @@ impl FailureDetector {
             HealthState::Recovering => HealthState::Dead,
             HealthState::Dead => HealthState::Dead,
         };
+        Self::note_transition(old_state, h.state);
         h.state
     }
 
@@ -210,6 +232,7 @@ impl FailureDetector {
         let mut h = self.workers[w].lock();
         if h.state == HealthState::Dead {
             h.state = HealthState::Recovering;
+            Self::note_transition(HealthState::Dead, h.state);
             true
         } else {
             false
@@ -222,6 +245,7 @@ impl FailureDetector {
         if h.state == HealthState::Recovering {
             h.state = HealthState::Healthy;
             h.consecutive_misses = 0;
+            Self::note_transition(HealthState::Recovering, h.state);
         }
     }
 
@@ -230,7 +254,9 @@ impl FailureDetector {
     pub fn mark_dead(&self, w: usize) {
         let mut h = self.workers[w].lock();
         if !matches!(h.state, HealthState::Recovering) {
+            let old_state = h.state;
             h.state = HealthState::Dead;
+            Self::note_transition(old_state, h.state);
         }
     }
 

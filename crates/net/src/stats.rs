@@ -68,6 +68,13 @@ impl NetStats {
         self.network_nanos.load(Ordering::Relaxed) as f64 / 1e9
     }
 
+    /// Total nanoseconds spent blocked in the network layer (exact
+    /// integer form of [`NetStats::network_seconds`], for comparison
+    /// against span durations).
+    pub fn network_nanos(&self) -> u64 {
+        self.network_nanos.load(Ordering::Relaxed)
+    }
+
     /// Records one RPC retry (an attempt beyond the first).
     pub fn record_retry(&self) {
         self.retries.fetch_add(1, Ordering::Relaxed);
@@ -98,6 +105,7 @@ impl NetStats {
             messages_sent: self.messages_sent(),
             messages_received: self.messages_received(),
             network_seconds: self.network_seconds(),
+            network_nanos: self.network_nanos(),
             retries: self.retries(),
             heartbeats: self.heartbeats(),
         }
@@ -133,10 +141,34 @@ pub struct NetStatsSnapshot {
     pub messages_received: u64,
     /// Seconds spent blocked in the network layer.
     pub network_seconds: f64,
+    /// Nanoseconds spent blocked in the network layer.
+    pub network_nanos: u64,
     /// RPC attempts beyond the first.
     pub retries: u64,
     /// Heartbeat probes issued.
     pub heartbeats: u64,
+}
+
+impl NetStatsSnapshot {
+    /// Counter deltas since an `earlier` snapshot of the same
+    /// [`NetStats`], for per-phase accounting (bench repetitions,
+    /// profiler windows) without resetting shared process-lifetime
+    /// totals. Saturates at zero if `earlier` was taken after `self`
+    /// or the counters were reset in between.
+    pub fn delta(&self, earlier: &NetStatsSnapshot) -> NetStatsSnapshot {
+        NetStatsSnapshot {
+            bytes_sent: self.bytes_sent.saturating_sub(earlier.bytes_sent),
+            bytes_received: self.bytes_received.saturating_sub(earlier.bytes_received),
+            messages_sent: self.messages_sent.saturating_sub(earlier.messages_sent),
+            messages_received: self
+                .messages_received
+                .saturating_sub(earlier.messages_received),
+            network_seconds: (self.network_seconds - earlier.network_seconds).max(0.0),
+            network_nanos: self.network_nanos.saturating_sub(earlier.network_nanos),
+            retries: self.retries.saturating_sub(earlier.retries),
+            heartbeats: self.heartbeats.saturating_sub(earlier.heartbeats),
+        }
+    }
 }
 
 impl std::fmt::Display for NetStatsSnapshot {
@@ -198,6 +230,31 @@ mod tests {
         s.record_send(1, 1);
         assert_eq!(snap.messages_sent, 1);
         assert_eq!(s.summary(), s.snapshot().to_string());
+    }
+
+    #[test]
+    fn snapshot_delta_isolates_a_phase() {
+        let s = NetStats::shared();
+        s.record_send(100, 1_000);
+        s.record_heartbeat();
+        let before = s.snapshot();
+        s.record_send(50, 2_000);
+        s.record_recv(25, 500);
+        s.record_retry();
+        let phase = s.snapshot().delta(&before);
+        assert_eq!(phase.bytes_sent, 50);
+        assert_eq!(phase.messages_sent, 1);
+        assert_eq!(phase.bytes_received, 25);
+        assert_eq!(phase.messages_received, 1);
+        assert_eq!(phase.network_nanos, 2_500);
+        assert_eq!(phase.retries, 1);
+        assert_eq!(phase.heartbeats, 0);
+        // A reset between snapshots saturates rather than underflows.
+        let late = s.snapshot();
+        s.reset();
+        let after_reset = s.snapshot().delta(&late);
+        assert_eq!(after_reset.bytes_sent, 0);
+        assert!(after_reset.network_seconds >= 0.0);
     }
 
     #[test]

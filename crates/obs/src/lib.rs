@@ -1,0 +1,43 @@
+//! Observability layer for the ExDRa runtime.
+//!
+//! Two independent facilities, both process-global and thread-safe:
+//!
+//! * **Tracing** ([`trace`]): structured spans with ids, parent ids, a
+//!   [`SpanKind`], wall-clock duration, and key/value attributes. Spans
+//!   are recorded into a per-thread buffer and flushed into a global
+//!   collector when the thread's span stack unwinds to its root (or the
+//!   buffer grows large), so the hot path never takes the collector
+//!   lock per span. When tracing is disabled — the default — the facade
+//!   is a true no-op: no clock reads, no allocation (verified by
+//!   `tests/noop_alloc.rs`).
+//! * **Metrics** ([`metrics`]): a registry of named monotonic counters
+//!   and log-scale latency histograms with p50/p95/p99 summaries,
+//!   exportable as Prometheus-style text and JSON ([`export`]).
+//!
+//! [`report::RunReport`] assembles both into a human-readable per-run
+//! breakdown (compute/network/serde split per worker, top-N slowest
+//! instructions) and a JSON document the bench harness writes as a
+//! sidecar next to its results.
+//!
+//! Trace contexts are plain `u64` pairs so the RPC layer can propagate
+//! them over the wire without this crate knowing about the protocol.
+
+pub mod export;
+pub mod metrics;
+pub mod report;
+pub mod trace;
+
+pub use metrics::{global, Counter, Histogram, HistogramSummary, MetricsSnapshot, Registry};
+pub use report::{InstrProfile, NetTotals, RunReport, WorkerBreakdown};
+pub use trace::{
+    clear, current, enabled, propagate, set_enabled, span, span_child_of, take_spans, AttrValue,
+    PropagationGuard, SpanGuard, SpanKind, SpanRecord, TraceContext,
+};
+
+/// Resets all global observability state (spans, metrics, id counters).
+/// Meant for tests and between bench phases; leaves enabled/disabled
+/// state untouched.
+pub fn reset() {
+    trace::clear();
+    metrics::global().reset();
+}

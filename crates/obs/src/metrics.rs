@@ -1,0 +1,314 @@
+//! Metrics registry: named monotonic counters and log-scale latency
+//! histograms with quantile summaries.
+//!
+//! Handles ([`Counter`], [`Histogram`]) are `Arc`s resolved once by
+//! name; per-event cost after that is a single atomic RMW. Hot paths
+//! that cannot amortize the name lookup should gate registry access on
+//! [`crate::trace::enabled`].
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
+
+use parking_lot::RwLock;
+
+/// A monotonic counter.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    #[inline]
+    pub fn add(&self, v: u64) {
+        self.0.fetch_add(v, Ordering::Relaxed);
+    }
+
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+
+    fn reset(&self) {
+        self.0.store(0, Ordering::Relaxed);
+    }
+}
+
+/// Number of log2 buckets: bucket `i` holds values `v` with
+/// `bit_width(v) == i`, i.e. `[2^(i-1), 2^i)` (bucket 0 holds `0`).
+const BUCKETS: usize = 65;
+
+/// A log-scale histogram of `u64` samples (typically nanoseconds).
+/// Bucket boundaries are powers of two, so relative error of quantile
+/// estimates is at most 2x and in practice ~±25% (we report the
+/// geometric midpoint of the winning bucket, refined by linear
+/// interpolation of rank within the bucket).
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self {
+            buckets: [(); BUCKETS].map(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+}
+
+impl Histogram {
+    #[inline]
+    pub fn record(&self, v: u64) {
+        let idx = (64 - v.leading_zeros()) as usize;
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// Approximate value at quantile `q` in `[0, 1]`.
+    pub fn quantile(&self, q: f64) -> f64 {
+        let counts: Vec<u64> = self
+            .buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect();
+        let total: u64 = counts.iter().sum();
+        if total == 0 {
+            return 0.0;
+        }
+        let rank = (q.clamp(0.0, 1.0) * total as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, &c) in counts.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            if seen + c >= rank {
+                if i == 0 {
+                    return 0.0;
+                }
+                // Bucket i covers [2^(i-1), 2^i); interpolate linearly
+                // by rank position within the bucket.
+                let lo = (1u128 << (i - 1)) as f64;
+                let hi = if i >= 64 {
+                    u64::MAX as f64
+                } else {
+                    (1u128 << i) as f64
+                };
+                let frac = (rank - seen) as f64 / c as f64;
+                let est = lo + (hi - lo) * frac;
+                return est.min(self.max.load(Ordering::Relaxed) as f64);
+            }
+            seen += c;
+        }
+        self.max.load(Ordering::Relaxed) as f64
+    }
+
+    pub fn summary(&self) -> HistogramSummary {
+        HistogramSummary {
+            count: self.count(),
+            sum: self.sum(),
+            max: self.max.load(Ordering::Relaxed),
+            p50: self.quantile(0.50),
+            p95: self.quantile(0.95),
+            p99: self.quantile(0.99),
+        }
+    }
+
+    fn reset(&self) {
+        for b in &self.buckets {
+            b.store(0, Ordering::Relaxed);
+        }
+        self.count.store(0, Ordering::Relaxed);
+        self.sum.store(0, Ordering::Relaxed);
+        self.max.store(0, Ordering::Relaxed);
+    }
+}
+
+/// Point-in-time summary of one histogram.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HistogramSummary {
+    pub count: u64,
+    pub sum: u64,
+    pub max: u64,
+    pub p50: f64,
+    pub p95: f64,
+    pub p99: f64,
+}
+
+impl HistogramSummary {
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+}
+
+/// Point-in-time snapshot of a whole registry.
+#[derive(Debug, Clone, Default)]
+pub struct MetricsSnapshot {
+    pub counters: BTreeMap<String, u64>,
+    pub histograms: BTreeMap<String, HistogramSummary>,
+}
+
+impl MetricsSnapshot {
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+}
+
+/// A named-metric registry. Metric names are dot-separated
+/// (`rpc.calls`, `worker.0.net_nanos`, `inst.fed_matmul`); exporters
+/// sanitize them per format.
+#[derive(Debug, Default)]
+pub struct Registry {
+    counters: RwLock<BTreeMap<String, Arc<Counter>>>,
+    histograms: RwLock<BTreeMap<String, Arc<Histogram>>>,
+}
+
+impl Registry {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Get-or-create the counter `name`.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        if let Some(c) = self.counters.read().get(name) {
+            return Arc::clone(c);
+        }
+        Arc::clone(self.counters.write().entry(name.to_string()).or_default())
+    }
+
+    /// Get-or-create the histogram `name`.
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        if let Some(h) = self.histograms.read().get(name) {
+            return Arc::clone(h);
+        }
+        Arc::clone(self.histograms.write().entry(name.to_string()).or_default())
+    }
+
+    /// Convenience: `counter(name).add(v)`.
+    pub fn add(&self, name: &str, v: u64) {
+        self.counter(name).add(v);
+    }
+
+    /// Convenience: `counter(name).inc()`.
+    pub fn inc(&self, name: &str) {
+        self.counter(name).inc();
+    }
+
+    /// Convenience: `histogram(name).record(v)`.
+    pub fn record(&self, name: &str, v: u64) {
+        self.histogram(name).record(v);
+    }
+
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            counters: self
+                .counters
+                .read()
+                .iter()
+                .map(|(k, v)| (k.clone(), v.get()))
+                .collect(),
+            histograms: self
+                .histograms
+                .read()
+                .iter()
+                .map(|(k, v)| (k.clone(), v.summary()))
+                .collect(),
+        }
+    }
+
+    /// Zeroes every metric without dropping the (possibly shared)
+    /// handles: callers holding `Arc<Counter>`s keep counting into the
+    /// same cells after a reset.
+    pub fn reset(&self) {
+        for c in self.counters.read().values() {
+            c.reset();
+        }
+        for h in self.histograms.read().values() {
+            h.reset();
+        }
+    }
+}
+
+/// The process-global registry used by the instrumented runtime.
+pub fn global() -> &'static Registry {
+    static GLOBAL: OnceLock<Registry> = OnceLock::new();
+    GLOBAL.get_or_init(Registry::new)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_reset_in_place() {
+        let r = Registry::new();
+        let c = r.counter("a.b");
+        c.inc();
+        c.add(4);
+        assert_eq!(r.counter("a.b").get(), 5);
+        r.reset();
+        // The original handle still works post-reset.
+        c.inc();
+        assert_eq!(r.snapshot().counter("a.b"), 1);
+    }
+
+    #[test]
+    fn histogram_quantiles_are_log_scale_accurate() {
+        let h = Histogram::default();
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        let s = h.summary();
+        assert_eq!(s.count, 1000);
+        assert_eq!(s.sum, 500500);
+        assert_eq!(s.max, 1000);
+        // Log-bucket estimates: within 2x of the true quantile.
+        assert!(s.p50 > 250.0 && s.p50 < 1000.0, "p50={}", s.p50);
+        assert!(s.p95 > 475.0 && s.p95 <= 1000.0, "p95={}", s.p95);
+        assert!(s.p99 >= s.p95 && s.p99 <= 1000.0, "p99={}", s.p99);
+    }
+
+    #[test]
+    fn histogram_handles_zero_and_huge_values() {
+        let h = Histogram::default();
+        h.record(0);
+        h.record(u64::MAX);
+        let s = h.summary();
+        assert_eq!(s.count, 2);
+        assert_eq!(s.max, u64::MAX);
+        assert_eq!(h.quantile(0.0), 0.0);
+    }
+
+    #[test]
+    fn snapshot_is_sorted_and_complete() {
+        let r = Registry::new();
+        r.add("z", 1);
+        r.add("a", 2);
+        r.record("lat", 100);
+        let snap = r.snapshot();
+        let names: Vec<&String> = snap.counters.keys().collect();
+        assert_eq!(names, ["a", "z"]);
+        assert_eq!(snap.histograms["lat"].count, 1);
+    }
+}

@@ -13,6 +13,7 @@
 //! partitions never do.
 
 use std::sync::Arc;
+use std::time::Instant;
 
 use parking_lot::Mutex;
 
@@ -242,9 +243,30 @@ pub fn train(
         out: None,
     };
 
+    let obs_on = exdra_obs::enabled();
+    let mut train_span = exdra_obs::span(exdra_obs::SpanKind::ParamServ, "ps.train");
+    if train_span.is_active() {
+        train_span.attr(
+            "mode",
+            match cfg.update_type {
+                UpdateType::Bsp => "bsp",
+                UpdateType::Asp => "asp",
+            },
+        );
+        train_span.attr("epochs", cfg.epochs);
+        train_span.attr("partitions", data_ids.len());
+    }
+
     match cfg.update_type {
         UpdateType::Bsp => {
             for epoch in 0..cfg.epochs {
+                let mut epoch_span = exdra_obs::span(exdra_obs::SpanKind::ParamServ, "ps.epoch");
+                epoch_span.attr("epoch", epoch);
+                let skipped_before = skipped_updates;
+
+                // Push phase: snapshot the model and build the per-worker
+                // epoch UDF batches (model serialization cost).
+                let t_push = obs_on.then(Instant::now);
                 let snapshot = model.lock().clone();
                 // One server thread per worker (via parallel call_all).
                 let mut batches = vec![Vec::new(); ctx.num_workers()];
@@ -257,10 +279,22 @@ pub fn train(
                     slots.push((worker, batches[worker].len()));
                     batches[worker].push(Request::ExecUdf { udf });
                 }
+                if let Some(t) = t_push {
+                    exdra_obs::global().record("ps.push", t.elapsed().as_nanos() as u64);
+                }
+
+                // Pull phase: one round trip of gradient computation
+                // across all workers.
+                let t_round = obs_on.then(Instant::now);
                 let results = ctx.call_all_tolerant(batches)?;
-                // Collect the round's contributions; under quorum, a
-                // tolerable worker failure skips its partitions instead
-                // of aborting the epoch.
+                if let Some(t) = t_round {
+                    exdra_obs::global().record("ps.round", t.elapsed().as_nanos() as u64);
+                }
+
+                // Aggregate phase; under quorum, a tolerable worker
+                // failure skips its partitions instead of aborting the
+                // epoch.
+                let t_agg = obs_on.then(Instant::now);
                 let mut round: Vec<(Vec<DenseMatrix>, f64, f64)> = Vec::new();
                 let mut contributed = 0.0;
                 for (&(worker, idx), w) in slots.iter().zip(weights) {
@@ -301,12 +335,29 @@ pub fn train(
                 }
                 *model.lock() = new_model;
                 epoch_losses.push(loss);
+                if let Some(t) = t_agg {
+                    exdra_obs::global().record("ps.aggregate", t.elapsed().as_nanos() as u64);
+                }
+                if obs_on {
+                    let reg = exdra_obs::global();
+                    reg.inc("ps.epochs");
+                    reg.add(
+                        "ps.skipped_updates",
+                        (skipped_updates - skipped_before) as u64,
+                    );
+                }
+                if epoch_span.is_active() {
+                    epoch_span.attr("loss", loss);
+                    epoch_span.attr("skipped", skipped_updates - skipped_before);
+                    epoch_span.attr("contributed_weight", contributed);
+                }
             }
         }
         UpdateType::Asp => {
             let losses = Arc::new(Mutex::new(vec![0.0f64; cfg.epochs]));
             // (skipped contributions, weight of partitions that gave up)
             let dropped = Arc::new(Mutex::new((0usize, 0.0f64)));
+            let parent = train_span.context();
             std::thread::scope(|scope| -> Result<()> {
                 let mut handles = Vec::new();
                 for (i, &(worker, x_id, y_id)) in data_ids.iter().enumerate() {
@@ -316,6 +367,10 @@ pub fn train(
                     let weight = weights[i];
                     let ctx = Arc::clone(ctx);
                     handles.push(scope.spawn(move || -> Result<()> {
+                        let _trace = exdra_obs::propagate(parent);
+                        let mut part_span =
+                            exdra_obs::span(exdra_obs::SpanKind::ParamServ, "ps.partition");
+                        part_span.attr("worker", worker);
                         for epoch in 0..cfg.epochs {
                             let snapshot = model.lock().clone();
                             let mut udf = make_udf(&snapshot, epoch);
@@ -353,6 +408,11 @@ pub fn train(
             })?;
             let (skips, lost_weight) = *dropped.lock();
             skipped_updates = skips;
+            if obs_on {
+                let reg = exdra_obs::global();
+                reg.add("ps.epochs", cfg.epochs as u64);
+                reg.add("ps.skipped_updates", skipped_updates as u64);
+            }
             if let AggregationMode::Quorum { min_weight } = cfg.aggregation {
                 let surviving = 1.0 - lost_weight;
                 if surviving < min_weight {

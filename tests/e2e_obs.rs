@@ -1,0 +1,270 @@
+//! End-to-end observability: trace-context propagation across the RPC
+//! boundary (in-memory and TCP), well-formed span trees, metrics counters
+//! that agree with the actual request traffic — also under injected
+//! faults — and span-derived network time cross-checked against the
+//! transport-level `NetStats` accounting.
+//!
+//! The tracing flag, metrics registry, and span collector are process
+//! globals, so every test in this binary serializes on one gate and
+//! resets the observability layer while holding it.
+
+use std::collections::HashSet;
+use std::sync::{Mutex, MutexGuard};
+
+use exdra::core::coordinator::FaultPolicy;
+use exdra::core::fed::FedMatrix;
+use exdra::core::protocol::Request;
+use exdra::core::testutil::{mem_federation, tcp_federation};
+use exdra::core::{DataValue, FedContext, PrivacyLevel, Tensor};
+use exdra::fault::{FaultPlan, FaultyChannel, RetryPolicy};
+use exdra::matrix::rng::rand_matrix;
+use exdra::net::transport::Channel;
+use exdra::obs::{SpanKind, SpanRecord};
+
+static GATE: Mutex<()> = Mutex::new(());
+
+/// Claims the global observability layer for one test: waits out any
+/// concurrently running obs test, clears spans + metrics, enables tracing.
+fn obs_test() -> MutexGuard<'static, ()> {
+    let g = GATE.lock().unwrap_or_else(|e| e.into_inner());
+    exdra::obs::reset();
+    exdra::obs::set_enabled(true);
+    g
+}
+
+/// Every span naming a parent must find that parent in the collected set,
+/// in the same trace — no orphans, no cross-trace edges.
+fn assert_well_formed_forest(spans: &[SpanRecord]) {
+    let by_id: std::collections::HashMap<u64, &SpanRecord> =
+        spans.iter().map(|s| (s.span_id, s)).collect();
+    let ids: HashSet<u64> = spans.iter().map(|s| s.span_id).collect();
+    assert_eq!(ids.len(), spans.len(), "span ids are unique");
+    for s in spans {
+        if s.parent_id != 0 {
+            let parent = by_id
+                .get(&s.parent_id)
+                .unwrap_or_else(|| panic!("span {} ({}) has unknown parent", s.span_id, s.name));
+            assert_eq!(
+                parent.trace_id, s.trace_id,
+                "child {} crossed traces from its parent {}",
+                s.name, parent.name
+            );
+        }
+        assert_ne!(s.trace_id, 0, "recorded span {} carries a trace id", s.name);
+    }
+}
+
+#[test]
+fn trace_ids_propagate_coordinator_to_worker_mem_and_tcp() {
+    for tcp in [false, true] {
+        let _g = obs_test();
+        let (ctx, _workers) = if tcp {
+            tcp_federation(2)
+        } else {
+            mem_federation(2)
+        };
+        let x = rand_matrix(40, 4, -1.0, 1.0, 5);
+        let fed = FedMatrix::scatter_rows(&ctx, &x, PrivacyLevel::Public).unwrap();
+        let s = Tensor::Fed(fed).sum().unwrap();
+        assert!(s.is_finite());
+        exdra::obs::set_enabled(false);
+        let spans = exdra::obs::take_spans();
+        assert_well_formed_forest(&spans);
+
+        let rpcs: Vec<&SpanRecord> = spans.iter().filter(|s| s.name == "rpc.call").collect();
+        let batches: Vec<&SpanRecord> = spans.iter().filter(|s| s.name == "worker.batch").collect();
+        assert!(
+            !rpcs.is_empty(),
+            "coordinator recorded rpc spans (tcp={tcp})"
+        );
+        assert_eq!(
+            rpcs.len(),
+            batches.len(),
+            "every rpc.call produced exactly one worker.batch (tcp={tcp})"
+        );
+        // The propagated context stitches worker spans under the exact
+        // coordinator span that carried their envelope.
+        for b in &batches {
+            let parent = rpcs
+                .iter()
+                .find(|r| r.span_id == b.parent_id)
+                .expect("worker.batch is parented by an rpc.call across the wire");
+            assert_eq!(parent.trace_id, b.trace_id);
+        }
+        // Instructions executed inside the batch nest one level deeper.
+        let insts: Vec<&SpanRecord> = spans
+            .iter()
+            .filter(|s| matches!(s.kind, SpanKind::Instruction))
+            .collect();
+        assert!(
+            !insts.is_empty(),
+            "the sum executed instructions (tcp={tcp})"
+        );
+        for i in &insts {
+            let parent = batches
+                .iter()
+                .find(|b| b.span_id == i.parent_id)
+                .expect("instruction span is parented by a worker.batch");
+            assert_eq!(parent.trace_id, i.trace_id);
+        }
+    }
+}
+
+#[test]
+fn metrics_counters_match_issued_request_counts() {
+    let _g = obs_test();
+    let (ctx, _workers) = mem_federation(2);
+    // Hand-issued puts: no federated values go out of scope here, so no
+    // garbage-collection rmvar piggybacks onto the envelopes and the
+    // request math is exact.
+    for i in 0..7u64 {
+        ctx.call(
+            0,
+            &[Request::Put {
+                id: 1000 + i,
+                data: DataValue::Scalar(i as f64),
+                privacy: PrivacyLevel::Public,
+            }],
+        )
+        .unwrap();
+    }
+    ctx.call(1, &[Request::Get { id: 9999 }, Request::Get { id: 9998 }])
+        .ok(); // failed gets still count as served requests
+    ctx.heartbeat(0).unwrap();
+    exdra::obs::set_enabled(false);
+
+    let m = exdra::obs::global().snapshot();
+    assert_eq!(m.counter("rpc.calls"), 8);
+    assert_eq!(m.counter("rpc.requests"), 9);
+    assert_eq!(m.counter("rpc.heartbeats"), 1);
+    assert_eq!(m.counter("worker.0.rpcs"), 7);
+    assert_eq!(m.counter("worker.0.requests"), 7);
+    assert_eq!(m.counter("worker.1.rpcs"), 1);
+    assert_eq!(m.counter("worker.1.requests"), 2);
+    assert_eq!(m.counter("rpc.retries"), 0);
+    let lat = m
+        .histograms
+        .get("rpc.latency")
+        .expect("rpc latency histogram recorded");
+    assert_eq!(lat.count, 8);
+
+    let spans = exdra::obs::take_spans();
+    assert_well_formed_forest(&spans);
+    assert_eq!(
+        spans.iter().filter(|s| s.name == "rpc.call").count() as u64,
+        m.counter("rpc.calls"),
+        "one rpc.call span per counted call"
+    );
+    assert_eq!(
+        spans.iter().filter(|s| s.name == "rpc.heartbeat").count(),
+        1
+    );
+}
+
+#[test]
+fn counters_and_spans_stay_consistent_under_injected_drops() {
+    let _g = obs_test();
+    // Lossy-but-alive TCP link, exactly the fault-tolerance e2e setup:
+    // drops surface as read timeouts and are absorbed by retries.
+    use exdra::net::transport::{ChannelConfig, TcpChannel};
+    let worker = exdra::core::worker::Worker::new(exdra::core::worker::WorkerConfig::default());
+    let addr = worker.serve_tcp("127.0.0.1:0").unwrap();
+    let cfg = ChannelConfig::all(std::time::Duration::from_millis(100));
+    let tcp = TcpChannel::connect_with(addr, &cfg).unwrap();
+    let faulty: Box<dyn Channel> = Box::new(FaultyChannel::new(
+        Box::new(tcp) as Box<dyn Channel>,
+        FaultPlan::dropping(0xd10, 0.3),
+    ));
+    let ctx = FedContext::from_channels(vec![faulty]).unwrap();
+    ctx.set_fault_policy(FaultPolicy {
+        retry: RetryPolicy::new(
+            std::time::Duration::from_millis(1),
+            std::time::Duration::from_millis(10),
+            8,
+        ),
+        rpc_deadline: std::time::Duration::from_secs(30),
+        ..FaultPolicy::default()
+    });
+    for i in 0..20u64 {
+        ctx.call(
+            0,
+            &[Request::Put {
+                id: i,
+                data: DataValue::Scalar(i as f64),
+                privacy: PrivacyLevel::Public,
+            }],
+        )
+        .expect("retries absorb injected drops");
+    }
+    exdra::obs::set_enabled(false);
+
+    let m = exdra::obs::global().snapshot();
+    assert_eq!(m.counter("rpc.calls"), 20);
+    assert_eq!(m.counter("rpc.requests"), 20);
+    assert!(m.counter("rpc.retries") > 0, "seeded plan dropped frames");
+    // The metrics registry and the transport-level NetStats count the
+    // same retry events through independent code paths.
+    assert_eq!(m.counter("rpc.retries"), ctx.stats().retries());
+    assert_eq!(m.counter("worker.0.retries"), ctx.stats().retries());
+    assert_eq!(m.counter("worker.0.rpcs"), 20);
+
+    let spans = exdra::obs::take_spans();
+    assert_well_formed_forest(&spans);
+    assert_eq!(spans.iter().filter(|s| s.name == "rpc.call").count(), 20);
+}
+
+#[test]
+fn span_network_time_agrees_with_netstats_over_tcp() {
+    let _g = obs_test();
+    let (ctx, _workers) = tcp_federation(2);
+    // Enough traffic for timing noise to average out.
+    let x = rand_matrix(2000, 32, -1.0, 1.0, 17);
+    let fed = FedMatrix::scatter_rows(&ctx, &x, PrivacyLevel::Public).unwrap();
+    for _ in 0..5 {
+        let s = Tensor::Fed(fed.clone()).sum().unwrap();
+        assert!(s.is_finite());
+    }
+    exdra::obs::set_enabled(false);
+
+    let m = exdra::obs::global().snapshot();
+    let span_net: u64 = (0..2)
+        .map(|w| m.counter(&format!("worker.{w}.net_nanos")))
+        .sum();
+    let stats_net = ctx.stats().network_nanos();
+    assert!(stats_net > 0 && span_net > 0);
+    // The coordinator's per-RPC timer brackets the same send+recv window
+    // the instrumented channel measures; the acceptance bound is ±20%.
+    let ratio = span_net as f64 / stats_net as f64;
+    assert!(
+        (0.8..=1.2).contains(&ratio),
+        "span-derived network time diverged from NetStats: \
+         spans {span_net}ns vs transport {stats_net}ns (ratio {ratio:.3})"
+    );
+}
+
+#[test]
+fn disabled_layer_records_nothing() {
+    let _g = obs_test();
+    exdra::obs::set_enabled(false);
+    exdra::obs::reset();
+    let (ctx, _workers) = mem_federation(1);
+    ctx.call(
+        0,
+        &[Request::Put {
+            id: 1,
+            data: DataValue::Scalar(1.0),
+            privacy: PrivacyLevel::Public,
+        }],
+    )
+    .unwrap();
+    ctx.heartbeat(0).unwrap();
+    assert!(
+        exdra::obs::take_spans().is_empty(),
+        "no spans when disabled"
+    );
+    let m = exdra::obs::global().snapshot();
+    assert_eq!(m.counter("rpc.calls"), 0);
+    assert_eq!(m.counter("rpc.heartbeats"), 0);
+    // Transport accounting is orthogonal and still works.
+    assert_eq!(ctx.stats().heartbeats(), 1);
+}
