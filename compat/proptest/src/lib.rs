@@ -1,7 +1,7 @@
 //! Offline stand-in for the `proptest` crate.
 //!
 //! Implements the subset of proptest's API this workspace's property tests
-//! use: the [`proptest!`] macro over [`Strategy`] values with
+//! use: the [`proptest!`] macro over [`strategy::Strategy`] values with
 //! `prop_map`/`prop_flat_map` combinators, range and collection
 //! strategies, and `prop_assert*` macros. Each test body runs for
 //! `ProptestConfig::cases` seeded cases; the per-case seed is derived

@@ -23,4 +23,4 @@ pub mod dag;
 pub mod session;
 
 pub use dag::Lazy;
-pub use session::Session;
+pub use session::{Session, SessionBuilder};

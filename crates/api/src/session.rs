@@ -5,6 +5,29 @@
 //! workers, in which case `federated(...)`/`read_federated_csv(...)`
 //! produce lazily-evaluated federated matrices — the
 //! `Federated(sds, [node1, node2], ...)` constructor of paper §3.2.
+//!
+//! Sessions are configured through the typed [`SessionBuilder`]:
+//!
+//! ```no_run
+//! use exdra_api::session::Session;
+//! use exdra_core::supervision::SupervisionPolicy;
+//! use exdra_core::PrivacyLevel;
+//!
+//! let sds = Session::builder()
+//!     .connect(&["site-a:8001".into(), "site-b:8001".into()])
+//!     .privacy(PrivacyLevel::PrivateAggregate { min_group: 10 })
+//!     .tracing(true)
+//!     .plan_cache_bytes(64 << 20)
+//!     .supervision(SupervisionPolicy::default())
+//!     .build()
+//!     .unwrap();
+//! ```
+//!
+//! Connected sessions built this way are **self-healing**: the builder
+//! starts a background [`Supervisor`] that heartbeats the workers,
+//! checkpoints their variable environments, and — when a worker dies —
+//! restores its state onto the re-established channel, so an
+//! exploratory computation survives worker restarts.
 
 use std::sync::Arc;
 
@@ -13,73 +36,206 @@ use exdra_core::fed::prep::FedFrame;
 use exdra_core::fed::FedMatrix;
 use exdra_core::lineage::{CacheScope, CachedEntry, LineageCache};
 use exdra_core::protocol::ReadFormat;
+use exdra_core::supervision::{HealthState, SupervisionPolicy, Supervisor};
 use exdra_core::value::DataValue;
-use exdra_core::{FedContext, PrivacyLevel, Result, RuntimeError};
+use exdra_core::{FedContext, FedError, PrivacyLevel, Result};
 use exdra_matrix::{DenseMatrix, Frame};
 use exdra_obs::{NetTotals, RunReport};
 
 use crate::dag::Lazy;
+
+/// How many times [`Session::compute`] re-attempts a plan after a worker
+/// death while background recovery brings the worker back.
+const RECOVERY_ATTEMPTS: usize = 5;
+
+/// Where a [`SessionBuilder`] gets its runtime from.
+enum Target {
+    Local,
+    Context(Arc<FedContext>),
+    Connect(Vec<String>),
+}
+
+/// Typed, fluent configuration for a [`Session`].
+///
+/// Obtained via [`Session::builder`]. All knobs are optional; `build()`
+/// on the default builder yields a plain local session.
+pub struct SessionBuilder {
+    target: Target,
+    privacy: PrivacyLevel,
+    tracing: bool,
+    plan_cache_bytes: Option<usize>,
+    supervision: Option<SupervisionPolicy>,
+}
+
+impl Default for SessionBuilder {
+    fn default() -> Self {
+        Self {
+            target: Target::Local,
+            privacy: PrivacyLevel::Public,
+            tracing: false,
+            plan_cache_bytes: None,
+            supervision: Some(SupervisionPolicy::default()),
+        }
+    }
+}
+
+impl SessionBuilder {
+    /// Connects the session to standing federated workers by address.
+    pub fn connect(mut self, addresses: &[String]) -> Self {
+        self.target = Target::Connect(addresses.to_vec());
+        self
+    }
+
+    /// Runs the session over an existing context (in-process
+    /// federations, custom transports).
+    pub fn context(mut self, ctx: Arc<FedContext>) -> Self {
+        self.target = Target::Context(ctx);
+        self
+    }
+
+    /// Privacy constraint attached to federated data created by this
+    /// session (default: [`PrivacyLevel::Public`]).
+    pub fn privacy(mut self, privacy: PrivacyLevel) -> Self {
+        self.privacy = privacy;
+        self
+    }
+
+    /// Turns the global tracing/metrics layer on or off for the process
+    /// (spans, counters, and histograms; see [`Session::profile`]).
+    pub fn tracing(mut self, on: bool) -> Self {
+        self.tracing = on;
+        self
+    }
+
+    /// Attaches a coordinator-side plan cache with the given byte
+    /// budget: [`Session::compute`] then memoizes consolidated results
+    /// keyed by the plan's [`Lazy::lineage_hash`].
+    pub fn plan_cache_bytes(mut self, byte_budget: usize) -> Self {
+        self.plan_cache_bytes = Some(byte_budget);
+        self
+    }
+
+    /// Supervision policy for connected sessions: failure detection,
+    /// checkpoint cadence, and straggler speculation. Accepts a
+    /// [`SupervisionPolicy`] or the legacy
+    /// [`exdra_core::supervision::SupervisorConfig`]. The default is
+    /// `SupervisionPolicy::default()` (supervision on, 1s checkpoints).
+    pub fn supervision(mut self, policy: impl Into<SupervisionPolicy>) -> Self {
+        self.supervision = Some(policy.into());
+        self
+    }
+
+    /// Disables background supervision entirely (no heartbeat thread,
+    /// no checkpoints, no automatic recovery).
+    pub fn no_supervision(mut self) -> Self {
+        self.supervision = None;
+        self
+    }
+
+    /// Builds the session, connecting to workers if needed and starting
+    /// the background supervisor for connected sessions (unless
+    /// [`SessionBuilder::no_supervision`] was called).
+    pub fn build(self) -> Result<Session> {
+        if self.tracing {
+            exdra_obs::set_enabled(true);
+        }
+        let ctx = match self.target {
+            Target::Local => None,
+            Target::Context(ctx) => Some(ctx),
+            Target::Connect(addresses) => {
+                let endpoints: Vec<WorkerEndpoint> = addresses
+                    .iter()
+                    .map(|a| WorkerEndpoint::tcp(a.clone()))
+                    .collect();
+                Some(FedContext::connect(&endpoints)?)
+            }
+        };
+        let (supervisor, sup_handle) = match (&ctx, self.supervision) {
+            (Some(ctx), Some(policy)) => {
+                let sup = Supervisor::new(Arc::clone(ctx), policy);
+                let handle = sup.run();
+                (Some(sup), Some(handle))
+            }
+            _ => (None, None),
+        };
+        Ok(Session {
+            ctx,
+            privacy: self.privacy,
+            plan_cache: self.plan_cache_bytes.map(|bytes| {
+                Arc::new(LineageCache::new_scoped(
+                    bytes,
+                    true,
+                    CacheScope::Coordinator,
+                ))
+            }),
+            supervisor,
+            sup_handle,
+        })
+    }
+}
 
 /// A user session against a (possibly federated) runtime.
 pub struct Session {
     ctx: Option<Arc<FedContext>>,
     privacy: PrivacyLevel,
     plan_cache: Option<Arc<LineageCache>>,
+    supervisor: Option<Arc<Supervisor>>,
+    sup_handle: Option<std::thread::JoinHandle<()>>,
 }
 
 impl Session {
+    /// Starts configuring a session. See [`SessionBuilder`].
+    pub fn builder() -> SessionBuilder {
+        SessionBuilder::default()
+    }
+
     /// Local session: no federated workers.
     pub fn local() -> Self {
-        Self {
+        Session {
             ctx: None,
             privacy: PrivacyLevel::Public,
             plan_cache: None,
+            supervisor: None,
+            sup_handle: None,
         }
     }
 
-    /// Connects to standing federated workers by address.
+    /// Connects to standing federated workers by address, with default
+    /// supervision. Shorthand for `Session::builder().connect(..).build()`.
     pub fn connect(addresses: &[String]) -> Result<Self> {
-        let endpoints: Vec<WorkerEndpoint> = addresses
-            .iter()
-            .map(|a| WorkerEndpoint::tcp(a.clone()))
-            .collect();
-        Ok(Self {
-            ctx: Some(FedContext::connect(&endpoints)?),
-            privacy: PrivacyLevel::Public,
-            plan_cache: None,
-        })
+        Session::builder().connect(addresses).build()
     }
 
     /// Session over an existing context (in-process federations, custom
     /// transports).
+    #[deprecated(since = "0.1.0", note = "use Session::builder().context(ctx).build()")]
     pub fn with_context(ctx: Arc<FedContext>) -> Self {
-        Self {
-            ctx: Some(ctx),
-            privacy: PrivacyLevel::Public,
-            plan_cache: None,
-        }
+        // Legacy path: no background supervisor, matching the behavior
+        // this constructor had before the builder existed.
+        Session::builder()
+            .context(ctx)
+            .no_supervision()
+            .build()
+            .expect("building from an existing context cannot fail")
     }
 
     /// Sets the privacy constraint attached to federated data created by
     /// this session.
+    #[deprecated(since = "0.1.0", note = "use Session::builder().privacy(..)")]
     pub fn with_privacy(mut self, privacy: PrivacyLevel) -> Self {
         self.privacy = privacy;
         self
     }
 
-    /// Turns on the global tracing/metrics layer for the process (spans,
-    /// counters, and histograms start recording; see [`Session::profile`]).
+    /// Turns on the global tracing/metrics layer for the process.
+    #[deprecated(since = "0.1.0", note = "use Session::builder().tracing(true)")]
     pub fn with_tracing(self) -> Self {
         exdra_obs::set_enabled(true);
         self
     }
 
-    /// Attaches a coordinator-side plan cache with the given byte budget:
-    /// [`Session::compute`] then memoizes consolidated results keyed by
-    /// the plan's [`Lazy::lineage_hash`], so re-running an identical
-    /// exploratory pipeline skips the federation entirely. Reuse is
-    /// counted under `lineage.coordinator.*` metrics, distinct from the
-    /// workers' instruction-level `lineage.worker.*` streams.
+    /// Attaches a coordinator-side plan cache with the given byte budget.
+    #[deprecated(since = "0.1.0", note = "use Session::builder().plan_cache_bytes(..)")]
     pub fn with_plan_cache(mut self, byte_budget: usize) -> Self {
         self.plan_cache = Some(Arc::new(LineageCache::new_scoped(
             byte_budget,
@@ -94,12 +250,50 @@ impl Session {
         self.plan_cache.as_ref()
     }
 
+    /// The background supervisor, if this is a supervised connected
+    /// session.
+    pub fn supervisor(&self) -> Option<&Arc<Supervisor>> {
+        self.supervisor.as_ref()
+    }
+
     /// Computes a plan like [`Lazy::compute`], additionally memoizing the
     /// consolidated result in the session's plan cache (when attached via
-    /// [`Session::with_plan_cache`]). Cache entries are only written after
-    /// a successful compute, so privacy enforcement is unaffected: a plan
-    /// whose consolidation is rejected never lands in the cache.
+    /// [`SessionBuilder::plan_cache_bytes`]). Cache entries are only
+    /// written after a successful compute, so privacy enforcement is
+    /// unaffected: a plan whose consolidation is rejected never lands in
+    /// the cache.
+    ///
+    /// On a supervised session, a plan that fails because a worker died
+    /// reports the death to the supervisor (which recovers the worker on
+    /// a background thread — channel re-establishment and state
+    /// restoration never run on this call path) and re-attempts the plan
+    /// once the worker is back, up to a bounded number of rounds.
     pub fn compute(&self, plan: &Lazy) -> Result<DenseMatrix> {
+        let mut attempts = 0;
+        loop {
+            match self.compute_once(plan) {
+                Err(FedError::WorkerDead { worker, msg }) => {
+                    let Some(sup) = &self.supervisor else {
+                        return Err(FedError::WorkerDead { worker, msg });
+                    };
+                    if attempts >= RECOVERY_ATTEMPTS {
+                        return Err(FedError::WorkerDead { worker, msg });
+                    }
+                    attempts += 1;
+                    sup.notify_worker_dead(worker);
+                    sup.wait_recoveries();
+                    if sup.detector().state(worker) != HealthState::Healthy {
+                        // The replacement isn't up yet; give it a beat
+                        // before the next recovery round.
+                        std::thread::sleep(sup.policy().heartbeat_interval);
+                    }
+                }
+                other => return other,
+            }
+        }
+    }
+
+    fn compute_once(&self, plan: &Lazy) -> Result<DenseMatrix> {
         let Some(cache) = &self.plan_cache else {
             return plan.compute();
         };
@@ -136,6 +330,7 @@ impl Session {
                 network_nanos: s.network_nanos,
                 retries: s.retries,
                 heartbeats: s.heartbeats,
+                recoveries: s.recoveries,
             });
         }
         report
@@ -149,7 +344,7 @@ impl Session {
     fn require_ctx(&self) -> Result<&Arc<FedContext>> {
         self.ctx
             .as_ref()
-            .ok_or_else(|| RuntimeError::Invalid("session is not connected to workers".into()))
+            .ok_or_else(|| FedError::Invalid("session is not connected to workers".into()))
     }
 
     /// Wraps a local matrix.
@@ -203,6 +398,17 @@ impl Session {
     }
 }
 
+impl Drop for Session {
+    fn drop(&mut self) {
+        if let Some(sup) = &self.supervisor {
+            sup.stop();
+        }
+        if let Some(handle) = self.sup_handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -221,7 +427,8 @@ mod tests {
     #[test]
     fn federated_session_matches_local() {
         let (ctx, _workers) = mem_federation(3);
-        let sds = Session::with_context(ctx);
+        let sds = Session::builder().context(ctx).build().unwrap();
+        assert!(sds.supervisor().is_some(), "builder starts supervision");
         let m = rand_matrix(60, 5, -1.0, 1.0, 3);
         let fed = sds.federated(&m).unwrap();
         let local = Session::local().matrix(m);
@@ -234,7 +441,7 @@ mod tests {
     fn paper_snippet_shape() {
         // features = Federated(sds, ...); model = features.l2svm(labels)
         let (ctx, _workers) = mem_federation(2);
-        let sds = Session::with_context(ctx);
+        let sds = Session::builder().context(ctx).build().unwrap();
         let (x, y) = exdra_ml::synth::two_class(100, 4, 0.05, 4);
         let features = sds.federated(&x).unwrap();
         let model = features.l2svm(&y).unwrap();
@@ -244,7 +451,12 @@ mod tests {
     #[test]
     fn plan_cache_reuses_identical_plans() {
         let (ctx, _workers) = mem_federation(2);
-        let sds = Session::with_context(ctx).with_plan_cache(1 << 20);
+        let sds = Session::builder()
+            .context(ctx)
+            .plan_cache_bytes(1 << 20)
+            .no_supervision()
+            .build()
+            .unwrap();
         let m = rand_matrix(40, 4, -1.0, 1.0, 7);
         let fed = sds.federated(&m).unwrap();
 
@@ -270,7 +482,11 @@ mod tests {
     #[test]
     fn profile_reports_transport_totals() {
         let (ctx, _workers) = mem_federation(2);
-        let sds = Session::with_context(ctx);
+        let sds = Session::builder()
+            .context(ctx)
+            .no_supervision()
+            .build()
+            .unwrap();
         let m = rand_matrix(30, 3, 0.0, 1.0, 9);
         let fed = sds.federated(&m).unwrap();
         fed.sum().compute_scalar().unwrap();
@@ -284,10 +500,88 @@ mod tests {
     #[test]
     fn privacy_flows_into_created_data() {
         let (ctx, _workers) = mem_federation(2);
-        let sds = Session::with_context(ctx).with_privacy(PrivacyLevel::Private);
+        let sds = Session::builder()
+            .context(ctx)
+            .privacy(PrivacyLevel::Private)
+            .no_supervision()
+            .build()
+            .unwrap();
         let m = rand_matrix(20, 3, 0.0, 1.0, 5);
         let fed = sds.federated(&m).unwrap();
         // Consolidation of private data must fail.
-        assert!(matches!(fed.compute(), Err(RuntimeError::Privacy(_))));
+        assert!(matches!(fed.compute(), Err(FedError::Privacy(_))));
+    }
+
+    #[test]
+    fn supervised_compute_survives_worker_death() {
+        use exdra_core::supervision::Channel;
+        use exdra_core::worker::{Worker, WorkerConfig};
+
+        let workers: Vec<Arc<Worker>> = (0..2)
+            .map(|_| Worker::new(WorkerConfig::default()))
+            .collect();
+        let channels: Vec<Box<dyn Channel>> = workers
+            .iter()
+            .map(|w| Box::new(w.serve_mem()) as Box<dyn Channel>)
+            .collect();
+        let ctx = FedContext::from_channels(channels).unwrap();
+        let policy = SupervisionPolicy {
+            heartbeat_interval: std::time::Duration::from_millis(30),
+            checkpoint_interval: Some(std::time::Duration::from_millis(40)),
+            ..SupervisionPolicy::default()
+        };
+        let sds = Session::builder()
+            .context(Arc::clone(&ctx))
+            .supervision(policy)
+            .build()
+            .unwrap();
+        let m = rand_matrix(40, 4, -1.0, 1.0, 11);
+        let fed = sds.federated(&m).unwrap();
+        let plan = fed.tsmm().unwrap();
+        let expected = sds.compute(&plan).unwrap();
+
+        // Wait for a checkpoint of the scattered partitions to land.
+        let sup = sds.supervisor().unwrap();
+        for _ in 0..100 {
+            if sup.checkpoint_store().has(0) {
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(10));
+        }
+        assert!(
+            sup.checkpoint_store().has(0),
+            "background checkpoint landed"
+        );
+
+        // Kill worker 0 and hand the supervisor a replacement factory.
+        let replacement = Worker::new(WorkerConfig::default());
+        let r2 = Arc::clone(&replacement);
+        sup.set_reconnector(Box::new(move |_w| {
+            Some(Box::new(r2.serve_mem()) as Box<dyn Channel>)
+        }));
+        workers[0].shutdown();
+
+        // The next compute hits the dead worker, reports it, waits out
+        // the background restore, and completes with identical results.
+        let after = sds.compute(&plan).unwrap();
+        assert_eq!(
+            expected.values(),
+            after.values(),
+            "recovered computation is bitwise identical"
+        );
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_constructors_still_work() {
+        let (ctx, _workers) = mem_federation(2);
+        let sds = Session::with_context(ctx).with_privacy(PrivacyLevel::Private);
+        assert!(
+            sds.supervisor().is_none(),
+            "legacy path starts no supervisor"
+        );
+        let m = rand_matrix(10, 2, 0.0, 1.0, 13);
+        let fed = sds.federated(&m).unwrap();
+        assert!(matches!(fed.compute(), Err(FedError::Privacy(_))));
     }
 }

@@ -232,6 +232,7 @@ impl FedContext {
         let cfg = self.fault.lock().channel_config;
         let fresh = ep.connect_with(Arc::clone(&self.stats), &cfg)?;
         *conn.channel.lock() = fresh;
+        self.stats.record_recovery();
         Ok(())
     }
 
@@ -244,6 +245,7 @@ impl FedContext {
             .get(worker)
             .ok_or_else(|| RuntimeError::Invalid(format!("no worker {worker}")))?;
         *conn.channel.lock() = Box::new(InstrumentedChannel::new(channel, Arc::clone(&self.stats)));
+        self.stats.record_recovery();
         Ok(())
     }
 
@@ -457,6 +459,20 @@ impl FedContext {
         &self,
         batches: Vec<Vec<Request>>,
     ) -> Result<Vec<Result<Vec<Response>>>> {
+        self.call_all_observed(batches, None)
+    }
+
+    /// Like [`FedContext::call_all_tolerant`], additionally recording
+    /// each worker's successful round-trip wall time into a
+    /// [`LatencyTracker`](exdra_fault::straggler::LatencyTracker) — the
+    /// per-worker latency history that drives
+    /// straggler-speculation deadlines and replica choice in the
+    /// supervisor and quorum decisions in the parameter server.
+    pub fn call_all_observed(
+        &self,
+        batches: Vec<Vec<Request>>,
+        latency: Option<&exdra_fault::straggler::LatencyTracker>,
+    ) -> Result<Vec<Result<Vec<Response>>>> {
         if batches.len() != self.workers.len() {
             return Err(RuntimeError::Invalid(format!(
                 "{} batches for {} workers",
@@ -478,7 +494,14 @@ impl FedContext {
                         if batch.is_empty() {
                             Ok(Vec::new())
                         } else {
-                            self.call(w, batch)
+                            let t0 = Instant::now();
+                            let r = self.call(w, batch);
+                            if r.is_ok() {
+                                if let Some(tracker) = latency {
+                                    tracker.record(w, t0.elapsed());
+                                }
+                            }
+                            r
                         }
                     })
                 })
@@ -563,7 +586,9 @@ fn record_rpc_metrics(m: RpcMetrics) {
 /// Interprets a response as success, mapping worker errors.
 pub fn expect_ok(r: &Response, worker: usize) -> Result<()> {
     match r {
-        Response::Ok | Response::Data(_) | Response::Alive { .. } => Ok(()),
+        Response::Ok | Response::Data(_) | Response::Alive { .. } | Response::Checkpoint(_) => {
+            Ok(())
+        }
         Response::Error(msg) => Err(worker_error(worker, msg)),
     }
 }
@@ -572,14 +597,16 @@ pub fn expect_ok(r: &Response, worker: usize) -> Result<()> {
 pub fn expect_data(r: &Response, worker: usize) -> Result<DataValue> {
     match r {
         Response::Data(v) => Ok(v.clone()),
-        Response::Ok | Response::Alive { .. } => Err(RuntimeError::Protocol(format!(
-            "worker {worker}: expected data, got {}",
-            if matches!(r, Response::Ok) {
-                "Ok"
-            } else {
-                "Alive"
-            }
-        ))),
+        Response::Ok | Response::Alive { .. } | Response::Checkpoint(_) => {
+            Err(RuntimeError::Protocol(format!(
+                "worker {worker}: expected data, got {}",
+                match r {
+                    Response::Ok => "Ok",
+                    Response::Checkpoint(_) => "Checkpoint",
+                    _ => "Alive",
+                }
+            )))
+        }
         Response::Error(msg) => Err(worker_error(worker, msg)),
     }
 }

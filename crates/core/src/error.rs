@@ -1,14 +1,25 @@
-//! Runtime error type.
+//! Unified runtime error type.
+//!
+//! [`FedError`] is the single error currency of the federated runtime:
+//! local kernel failures, privacy violations, transport/codec faults
+//! from `exdra-net`, and the supervision/retry taxonomy of `exdra-fault`
+//! all convert into it via `From`, and it converts *out* into
+//! `exdra_fault::ErrorClass` so the retry layer can classify any
+//! runtime error without string matching.
 
 use exdra_matrix::MatrixError;
 use std::fmt;
 
 /// Result alias for runtime operations.
-pub type Result<T> = std::result::Result<T, RuntimeError>;
+pub type Result<T> = std::result::Result<T, FedError>;
+
+/// Former name of [`FedError`]; kept so downstream code migrates at its
+/// own pace.
+pub type RuntimeError = FedError;
 
 /// Errors raised by the federated runtime.
 #[derive(Debug, Clone, PartialEq)]
-pub enum RuntimeError {
+pub enum FedError {
     /// A local kernel failed (dimension mismatch, numerical issue, ...).
     Matrix(MatrixError),
     /// A privacy constraint forbids the requested transfer or consolidation.
@@ -30,7 +41,8 @@ pub enum RuntimeError {
     /// A worker was declared dead: its channel collapsed and the retry
     /// budget was exhausted, or the failure detector crossed the
     /// consecutive-miss threshold. Recovery requires supervisor
-    /// intervention (reconnect + state replay), not another retry.
+    /// intervention (reconnect + checkpoint restore or state replay),
+    /// not another retry.
     WorkerDead {
         /// Index of the dead worker.
         worker: usize,
@@ -55,54 +67,105 @@ pub enum RuntimeError {
     Invalid(String),
 }
 
-impl fmt::Display for RuntimeError {
+impl fmt::Display for FedError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            RuntimeError::Matrix(e) => write!(f, "{e}"),
-            RuntimeError::Privacy(msg) => write!(f, "privacy violation: {msg}"),
-            RuntimeError::Network(msg) => write!(f, "network error: {msg}"),
-            RuntimeError::Timeout { worker, msg } => {
+            FedError::Matrix(e) => write!(f, "{e}"),
+            FedError::Privacy(msg) => write!(f, "privacy violation: {msg}"),
+            FedError::Network(msg) => write!(f, "network error: {msg}"),
+            FedError::Timeout { worker, msg } => {
                 write!(f, "worker {worker} timed out: {msg}")
             }
-            RuntimeError::WorkerDead { worker, msg } => {
+            FedError::WorkerDead { worker, msg } => {
                 write!(f, "worker {worker} dead: {msg}")
             }
-            RuntimeError::Protocol(msg) => write!(f, "protocol error: {msg}"),
-            RuntimeError::Worker { worker, msg } => write!(f, "worker {worker}: {msg}"),
-            RuntimeError::UnknownSymbol(id) => write!(f, "unknown symbol id {id}"),
-            RuntimeError::Unsupported(msg) => write!(f, "unsupported: {msg}"),
-            RuntimeError::Invalid(msg) => write!(f, "invalid argument: {msg}"),
+            FedError::Protocol(msg) => write!(f, "protocol error: {msg}"),
+            FedError::Worker { worker, msg } => write!(f, "worker {worker}: {msg}"),
+            FedError::UnknownSymbol(id) => write!(f, "unknown symbol id {id}"),
+            FedError::Unsupported(msg) => write!(f, "unsupported: {msg}"),
+            FedError::Invalid(msg) => write!(f, "invalid argument: {msg}"),
         }
     }
 }
 
-impl RuntimeError {
+impl FedError {
     /// Whether the fault layer classifies this error as transient
-    /// (worth retrying) or fatal. Mirrors `exdra_fault::ErrorClass`.
+    /// (worth retrying) or fatal. Equivalent to
+    /// `ErrorClass::from(self) == ErrorClass::Transient`.
     pub fn is_transient(&self) -> bool {
-        matches!(
-            self,
-            RuntimeError::Network(_) | RuntimeError::Timeout { .. }
-        )
+        matches!(self, FedError::Network(_) | FedError::Timeout { .. })
     }
 }
 
-impl std::error::Error for RuntimeError {}
+impl std::error::Error for FedError {}
 
-impl From<MatrixError> for RuntimeError {
+impl From<MatrixError> for FedError {
     fn from(e: MatrixError) -> Self {
-        RuntimeError::Matrix(e)
+        FedError::Matrix(e)
     }
 }
 
-impl From<std::io::Error> for RuntimeError {
+impl From<std::io::Error> for FedError {
     fn from(e: std::io::Error) -> Self {
-        RuntimeError::Network(e.to_string())
+        FedError::Network(e.to_string())
     }
 }
 
-impl From<exdra_net::codec::DecodeError> for RuntimeError {
+impl From<exdra_net::codec::DecodeError> for FedError {
     fn from(e: exdra_net::codec::DecodeError) -> Self {
-        RuntimeError::Protocol(e.to_string())
+        FedError::Protocol(e.to_string())
+    }
+}
+
+impl From<&FedError> for exdra_fault::ErrorClass {
+    fn from(e: &FedError) -> Self {
+        if e.is_transient() {
+            exdra_fault::ErrorClass::Transient
+        } else {
+            exdra_fault::ErrorClass::Fatal
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use exdra_fault::ErrorClass;
+
+    #[test]
+    fn fed_error_classifies_into_fault_taxonomy() {
+        let transient = FedError::Network("connection reset".into());
+        assert_eq!(ErrorClass::from(&transient), ErrorClass::Transient);
+        let timeout = FedError::Timeout {
+            worker: 1,
+            msg: "exec".into(),
+        };
+        assert_eq!(ErrorClass::from(&timeout), ErrorClass::Transient);
+        let fatal = FedError::Privacy("private consolidation".into());
+        assert_eq!(ErrorClass::from(&fatal), ErrorClass::Fatal);
+        let dead = FedError::WorkerDead {
+            worker: 0,
+            msg: "gone".into(),
+        };
+        assert_eq!(ErrorClass::from(&dead), ErrorClass::Fatal);
+    }
+
+    #[test]
+    fn transport_and_codec_errors_convert() {
+        let io = std::io::Error::new(std::io::ErrorKind::ConnectionReset, "rst");
+        let e: FedError = io.into();
+        assert!(matches!(e, FedError::Network(_)));
+        assert!(e.is_transient());
+
+        let de = exdra_net::codec::DecodeError("truncated frame".into());
+        let e: FedError = de.into();
+        assert!(matches!(e, FedError::Protocol(_)));
+        assert!(!e.is_transient());
+    }
+
+    #[test]
+    fn runtime_error_alias_still_works() {
+        let e: RuntimeError = FedError::Invalid("x".into());
+        assert_eq!(e, FedError::Invalid("x".into()));
     }
 }

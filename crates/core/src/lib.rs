@@ -14,14 +14,17 @@
 //! * [`coordinator`] — worker connections and parallel RPC (every RPC runs
 //!   under a retry policy with backoff and deadlines),
 //! * [`supervision`] — the heartbeat-driven supervisor: failure detection,
-//!   channel re-establishment, and initialization replay for restarted
-//!   workers,
+//!   periodic checkpointing, checkpoint-restore (or initialization-replay)
+//!   recovery of restarted workers, and speculative straggler re-execution,
+//! * [`checkpoint`] — the coordinator-side store of incremental,
+//!   epoch-guarded worker checkpoints,
 //! * [`fed`] — federation maps and [`fed::FedMatrix`]: federated linear
 //!   algebra and federated data preparation,
 //! * [`tensor`] — the locality-agnostic [`tensor::Tensor`] handle ML
 //!   algorithms are written against,
 //! * [`privacy`] / [`lineage`] — constraints and reuse infrastructure.
 
+pub mod checkpoint;
 pub mod coordinator;
 pub mod error;
 pub mod exec;
@@ -39,7 +42,7 @@ pub mod value;
 pub mod worker;
 
 pub use coordinator::FedContext;
-pub use error::{Result, RuntimeError};
+pub use error::{FedError, Result, RuntimeError};
 pub use fed::{FedMatrix, PartitionScheme};
 pub use privacy::PrivacyLevel;
 pub use tensor::Tensor;

@@ -96,6 +96,80 @@ impl Wire for PrivacyLevel {
     }
 }
 
+/// One symbol-table binding inside a checkpoint: the value together
+/// with the metadata needed to rebind it losslessly on a replacement
+/// worker. Privacy constraints travel with the data and are reinstalled
+/// verbatim — a checkpoint is runtime-internal state transfer, not a
+/// release, so the coordinator stores entries opaquely and only ever
+/// sends them back via [`Request::Restore`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct CheckpointEntry {
+    /// Symbol ID (coordinator-owned ID space, unique across workers).
+    pub id: u64,
+    /// The stored value.
+    pub value: DataValue,
+    /// Privacy constraint of the stored value.
+    pub privacy: PrivacyLevel,
+    /// Whether the value may be released under its constraint.
+    pub releasable: bool,
+    /// Lineage hash of the producing (sub-)plan, tagging the checkpoint
+    /// entry with *what computation* it materializes.
+    pub lineage: u64,
+}
+
+impl Wire for CheckpointEntry {
+    fn encode(&self, buf: &mut impl BufMut) {
+        self.id.encode(buf);
+        self.value.encode(buf);
+        self.privacy.encode(buf);
+        buf.put_u8(self.releasable as u8);
+        self.lineage.encode(buf);
+    }
+    fn decode(buf: &mut impl Buf) -> DecodeResult<Self> {
+        Ok(CheckpointEntry {
+            id: u64::decode(buf)?,
+            value: DataValue::decode(buf)?,
+            privacy: PrivacyLevel::decode(buf)?,
+            releasable: u8::decode(buf)? != 0,
+            lineage: u64::decode(buf)?,
+        })
+    }
+}
+
+/// An incremental checkpoint: every binding mutated after the requested
+/// sequence number plus the IDs removed since, stamped with the table's
+/// current mutation sequence and the worker's registration epoch (an
+/// epoch change mid-stream means the worker restarted and the
+/// coordinator must restart from a full snapshot, `since_seq = 0`).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct CheckpointDelta {
+    /// Table mutation sequence the delta is current up to.
+    pub seq: u64,
+    /// Registration epoch of the worker that produced the delta.
+    pub epoch: u64,
+    /// Bindings created or updated after the requested sequence.
+    pub entries: Vec<CheckpointEntry>,
+    /// IDs removed after the requested sequence.
+    pub removed: Vec<u64>,
+}
+
+impl Wire for CheckpointDelta {
+    fn encode(&self, buf: &mut impl BufMut) {
+        self.seq.encode(buf);
+        self.epoch.encode(buf);
+        self.entries.encode(buf);
+        self.removed.encode(buf);
+    }
+    fn decode(buf: &mut impl Buf) -> DecodeResult<Self> {
+        Ok(CheckpointDelta {
+            seq: u64::decode(buf)?,
+            epoch: u64::decode(buf)?,
+            entries: Vec::<CheckpointEntry>::decode(buf)?,
+            removed: Vec::<u64>::decode(buf)?,
+        })
+    }
+}
+
 /// One federated request (paper §4.1).
 #[derive(Debug, Clone, PartialEq)]
 pub enum Request {
@@ -141,6 +215,23 @@ pub enum Request {
     /// [`Response::Alive`]; never touches the symbol table, so a worker
     /// answers it even while data-path requests are queued.
     Heartbeat,
+    /// `CHECKPOINT(since_seq)`: the worker serializes every symbol-table
+    /// binding mutated after `since_seq` (0 = full snapshot) into a
+    /// [`CheckpointDelta`], answered with [`Response::Checkpoint`]. The
+    /// supervisor issues these periodically; deltas ride the normal RPC
+    /// envelope, so channel encryption and shaping apply unchanged.
+    Checkpoint {
+        /// Mutation sequence of the last delta the caller already holds.
+        since_seq: u64,
+    },
+    /// `RESTORE(entries)`: rebinds checkpointed entries into the symbol
+    /// table, exactly as they were captured (value, privacy constraint,
+    /// releasability, lineage). Sent to a replacement worker during
+    /// recovery, or to a live replica before a speculative re-issue.
+    Restore {
+        /// The bindings to reinstall.
+        entries: Vec<CheckpointEntry>,
+    },
 }
 
 impl Request {
@@ -154,6 +245,8 @@ impl Request {
             Request::ExecUdf { .. } => "EXEC_UDF",
             Request::Clear => "CLEAR",
             Request::Heartbeat => "HEARTBEAT",
+            Request::Checkpoint { .. } => "CHECKPOINT",
+            Request::Restore { .. } => "RESTORE",
         }
     }
 }
@@ -193,6 +286,14 @@ impl Wire for Request {
             }
             Request::Clear => buf.put_u8(5),
             Request::Heartbeat => buf.put_u8(6),
+            Request::Checkpoint { since_seq } => {
+                buf.put_u8(7);
+                since_seq.encode(buf);
+            }
+            Request::Restore { entries } => {
+                buf.put_u8(8);
+                entries.encode(buf);
+            }
         }
     }
 
@@ -220,6 +321,12 @@ impl Wire for Request {
             }),
             5 => Ok(Request::Clear),
             6 => Ok(Request::Heartbeat),
+            7 => Ok(Request::Checkpoint {
+                since_seq: u64::decode(buf)?,
+            }),
+            8 => Ok(Request::Restore {
+                entries: Vec::<CheckpointEntry>::decode(buf)?,
+            }),
             t => Err(DecodeError(format!("invalid Request tag {t}"))),
         }
     }
@@ -244,6 +351,8 @@ pub enum Response {
         /// load signal for straggler decisions).
         load: u32,
     },
+    /// Answer to [`Request::Checkpoint`]: the incremental delta.
+    Checkpoint(CheckpointDelta),
 }
 
 impl Wire for Response {
@@ -263,6 +372,10 @@ impl Wire for Response {
                 epoch.encode(buf);
                 load.encode(buf);
             }
+            Response::Checkpoint(delta) => {
+                buf.put_u8(4);
+                delta.encode(buf);
+            }
         }
     }
 
@@ -275,6 +388,7 @@ impl Wire for Response {
                 epoch: u64::decode(buf)?,
                 load: u32::decode(buf)?,
             }),
+            4 => Ok(Response::Checkpoint(CheckpointDelta::decode(buf)?)),
             t => Err(DecodeError(format!("invalid Response tag {t}"))),
         }
     }
@@ -507,6 +621,53 @@ mod tests {
         assert_eq!(obs.span_id, 4);
         assert_eq!(TraceContext::from(obs), wire);
         assert!(exdra_obs::TraceContext::from(TraceContext::NONE).is_none());
+    }
+
+    #[test]
+    fn checkpoint_messages_roundtrip() {
+        let delta = CheckpointDelta {
+            seq: 17,
+            epoch: 3,
+            entries: vec![
+                CheckpointEntry {
+                    id: 5,
+                    value: DataValue::from(rand_matrix(3, 2, -1.0, 1.0, 7)),
+                    privacy: PrivacyLevel::PrivateAggregate { min_group: 10 },
+                    releasable: false,
+                    lineage: 0xfeed,
+                },
+                CheckpointEntry {
+                    id: 6,
+                    value: DataValue::Scalar(2.5),
+                    privacy: PrivacyLevel::Public,
+                    releasable: true,
+                    lineage: 1,
+                },
+            ],
+            removed: vec![1, 4],
+        };
+        let reqs = vec![
+            Request::Checkpoint { since_seq: 9 },
+            Request::Restore {
+                entries: delta.entries.clone(),
+            },
+        ];
+        let back = Vec::<Request>::from_bytes(&reqs.to_bytes()).unwrap();
+        assert_eq!(back, reqs);
+        assert_eq!(back[0].kind(), "CHECKPOINT");
+        assert_eq!(back[1].kind(), "RESTORE");
+
+        let resp = Response::Checkpoint(delta.clone());
+        assert_eq!(Response::from_bytes(&resp.to_bytes()).unwrap(), resp);
+
+        // Empty deltas (nothing changed since the last sweep) stay cheap
+        // and round-trip too.
+        let empty = Response::Checkpoint(CheckpointDelta {
+            seq: 17,
+            epoch: 3,
+            ..CheckpointDelta::default()
+        });
+        assert_eq!(Response::from_bytes(&empty.to_bytes()).unwrap(), empty);
     }
 
     #[test]

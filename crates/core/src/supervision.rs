@@ -1,35 +1,55 @@
-//! Heartbeat-driven worker supervision.
+//! Heartbeat-driven worker supervision with checkpoint-based recovery
+//! and speculative straggler re-execution.
 //!
 //! The [`Supervisor`] is the protocol-aware layer over the generic
 //! primitives in `exdra-fault`: it probes every worker with
 //! `Request::Heartbeat`, feeds the outcomes into a
 //! [`FailureDetector`] (walking unresponsive workers through
-//! `Healthy → Suspect → Dead`), and — once a worker process is back —
-//! drives the recovery arc: re-establish the channel, verify liveness,
-//! replay the registered federated-data initialization (a restarted
-//! worker's symbol table is empty), and only then return the worker to
-//! the `Healthy` pool.
+//! `Healthy → Suspect → Dead`), periodically pulls incremental
+//! [`CheckpointDelta`](crate::protocol::CheckpointDelta)s of every
+//! healthy worker's variable environment
+//! into a coordinator-side [`CheckpointStore`], and — once a worker
+//! process is back — drives the recovery arc: re-establish the channel,
+//! verify liveness, **restore the latest checkpoint** onto the
+//! replacement (falling back to the registered initialization-replay
+//! closures when no checkpoint exists), and only then return the worker
+//! to the `Healthy` pool.
 //!
-//! Recovery replay is expressed as registered closures
-//! ([`Supervisor::on_recovery`]) because only the application knows which
-//! `READ`s/`PUT`s/UDF registrations constitute a worker's initial state;
-//! federated handles stay valid across recovery because the coordinator
-//! owns the ID space.
+//! Recovery runs off the compute path: an RPC that discovers a dead
+//! worker calls [`Supervisor::notify_worker_dead`], which marks the
+//! worker and hands the channel re-establishment + restore to a
+//! background thread, so recovery latency is never billed to the
+//! triggering request.
+//!
+//! Stragglers: [`Supervisor::call_with_speculation`] races a primary RPC
+//! against a latency-histogram-derived deadline
+//! ([`exdra_fault::straggler::LatencyTracker`]); past the deadline it
+//! restores the straggler's checkpoint onto the fastest live replica,
+//! re-issues the batch there, and keeps whichever reply lands first.
 
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
-use std::time::Duration;
+use std::sync::{mpsc, Arc};
+use std::time::{Duration, Instant};
 
 use parking_lot::Mutex;
 
 use exdra_fault::detector::{DetectorConfig, FailureDetector, HeartbeatOutcome};
-use exdra_fault::HealthState;
-use exdra_net::transport::Channel;
+/// Re-exported so higher layers (API, parameter server) can consult
+/// worker health and configure speculation without depending on
+/// `exdra-fault` or `exdra-net` directly.
+pub use exdra_fault::straggler::{LatencyTracker, SpeculationPolicy};
+pub use exdra_fault::HealthState;
+pub use exdra_net::transport::Channel;
+use exdra_obs::SpanKind;
 
+use crate::checkpoint::{ApplyOutcome, CheckpointStore};
 use crate::coordinator::FedContext;
-use crate::error::{Result, RuntimeError};
+use crate::error::{FedError, Result};
+use crate::protocol::{Request, Response};
 
-/// Supervisor tuning knobs.
+/// Legacy supervisor tuning knobs (pre-checkpointing). Still accepted by
+/// [`Supervisor::new`]; converts into a [`SupervisionPolicy`] with
+/// checkpointing and speculation disabled.
 #[derive(Debug, Clone, Copy)]
 pub struct SupervisorConfig {
     /// Miss thresholds of the failure detector.
@@ -47,6 +67,47 @@ impl Default for SupervisorConfig {
     }
 }
 
+/// Full supervision policy: failure detection, background cadences,
+/// checkpointing, and straggler speculation. This is the user-facing
+/// knob bundle `Session::builder().supervision(..)` accepts.
+#[derive(Debug, Clone, Copy)]
+pub struct SupervisionPolicy {
+    /// Miss thresholds of the failure detector.
+    pub detector: DetectorConfig,
+    /// Background heartbeat/sweep period (for [`Supervisor::run`]).
+    pub heartbeat_interval: Duration,
+    /// How often the background loop checkpoints every healthy worker's
+    /// variable environment; `None` disables checkpointing (recovery
+    /// then falls back to initialization replay).
+    pub checkpoint_interval: Option<Duration>,
+    /// Straggler speculation policy; `None` disables speculative
+    /// re-execution ([`Supervisor::call_with_speculation`] then behaves
+    /// like a plain call that records latencies).
+    pub speculation: Option<SpeculationPolicy>,
+}
+
+impl Default for SupervisionPolicy {
+    fn default() -> Self {
+        Self {
+            detector: DetectorConfig::default(),
+            heartbeat_interval: Duration::from_millis(500),
+            checkpoint_interval: Some(Duration::from_secs(1)),
+            speculation: None,
+        }
+    }
+}
+
+impl From<SupervisorConfig> for SupervisionPolicy {
+    fn from(c: SupervisorConfig) -> Self {
+        Self {
+            detector: c.detector,
+            heartbeat_interval: c.interval,
+            checkpoint_interval: None,
+            speculation: None,
+        }
+    }
+}
+
 /// Replays one worker's initialization after its process restarted.
 /// Receives the worker index and the context to issue requests through.
 pub type ReplayFn = dyn Fn(usize, &FedContext) -> Result<()> + Send + Sync;
@@ -55,26 +116,41 @@ pub type ReplayFn = dyn Fn(usize, &FedContext) -> Result<()> + Send + Sync;
 /// reconnectable endpoints (in-memory federations). `None` = still down.
 pub type ReconnectFn = dyn Fn(usize) -> Option<Box<dyn Channel>> + Send + Sync;
 
-/// Coordinator-side supervisor: heartbeats, failure detection, recovery.
+/// Coordinator-side supervisor: heartbeats, failure detection,
+/// checkpointing, recovery, and straggler speculation.
 pub struct Supervisor {
     ctx: Arc<FedContext>,
     detector: Arc<FailureDetector>,
-    config: SupervisorConfig,
+    policy: SupervisionPolicy,
+    store: Arc<CheckpointStore>,
+    latency: Arc<LatencyTracker>,
     replay: Mutex<Vec<Arc<ReplayFn>>>,
     reconnector: Mutex<Option<Box<ReconnectFn>>>,
+    /// Live background-recovery threads (pruned on inspection).
+    recoveries: Mutex<Vec<std::thread::JoinHandle<()>>>,
     shutdown: AtomicBool,
 }
 
 impl Supervisor {
-    /// Supervisor over all workers of `ctx`.
-    pub fn new(ctx: Arc<FedContext>, config: SupervisorConfig) -> Arc<Self> {
-        let detector = Arc::new(FailureDetector::new(ctx.num_workers(), config.detector));
+    /// Supervisor over all workers of `ctx`. Accepts either the full
+    /// [`SupervisionPolicy`] or the legacy [`SupervisorConfig`].
+    pub fn new(ctx: Arc<FedContext>, config: impl Into<SupervisionPolicy>) -> Arc<Self> {
+        let policy: SupervisionPolicy = config.into();
+        let n = ctx.num_workers();
+        let detector = Arc::new(FailureDetector::new(n, policy.detector));
+        let latency = Arc::new(LatencyTracker::new(
+            n,
+            policy.speculation.unwrap_or_default(),
+        ));
         Arc::new(Self {
             ctx,
             detector,
-            config,
+            policy,
+            store: Arc::new(CheckpointStore::new(n)),
+            latency,
             replay: Mutex::new(Vec::new()),
             reconnector: Mutex::new(None),
+            recoveries: Mutex::new(Vec::new()),
             shutdown: AtomicBool::new(false),
         })
     }
@@ -90,8 +166,23 @@ impl Supervisor {
         &self.ctx
     }
 
+    /// The coordinator-side checkpoint store.
+    pub fn checkpoint_store(&self) -> &Arc<CheckpointStore> {
+        &self.store
+    }
+
+    /// The per-worker latency histories driving speculation deadlines.
+    pub fn latency_tracker(&self) -> &Arc<LatencyTracker> {
+        &self.latency
+    }
+
+    /// The active policy.
+    pub fn policy(&self) -> SupervisionPolicy {
+        self.policy
+    }
+
     /// Registers an initialization-replay step, run (in registration
-    /// order) for every recovering worker.
+    /// order) for every recovering worker that has no checkpoint.
     pub fn on_recovery(&self, f: Arc<ReplayFn>) {
         self.replay.lock().push(f);
     }
@@ -122,23 +213,164 @@ impl Supervisor {
         self.detector.snapshot()
     }
 
+    /// Checkpoints every healthy worker's variable environment once:
+    /// asks each for an incremental delta relative to what the store
+    /// already holds and folds it in. Returns the workers checkpointed
+    /// this pass. Unreachable workers are skipped silently — the
+    /// heartbeat path owns failure detection.
+    pub fn checkpoint_once(&self) -> Vec<usize> {
+        let mut done = Vec::new();
+        for w in 0..self.detector.len() {
+            if self.detector.state(w) != HealthState::Healthy {
+                continue;
+            }
+            if self.checkpoint_worker(w).is_ok() {
+                done.push(w);
+            }
+        }
+        done
+    }
+
+    /// Pulls one checkpoint delta from `worker` and folds it into the
+    /// store, re-requesting a full snapshot on an epoch change.
+    pub fn checkpoint_worker(&self, worker: usize) -> Result<()> {
+        let epoch = self.detector.health(worker).epoch;
+        let since = self.store.next_since(worker, epoch);
+        let delta = self.fetch_delta(worker, since)?;
+        let (applied_since, delta) = match self.store.apply(worker, since, delta) {
+            ApplyOutcome::Applied => return Ok(()),
+            ApplyOutcome::EpochMismatch => {
+                // The worker restarted between heartbeat and checkpoint:
+                // its sequence space is foreign; take a full snapshot.
+                let full = self.fetch_delta(worker, 0)?;
+                (0u64, full)
+            }
+        };
+        match self.store.apply(worker, applied_since, delta) {
+            ApplyOutcome::Applied => Ok(()),
+            ApplyOutcome::EpochMismatch => Err(FedError::Protocol(format!(
+                "worker {worker}: full checkpoint rejected"
+            ))),
+        }
+    }
+
+    /// One CHECKPOINT RPC, with `recovery.checkpoint` span and
+    /// checkpoint size/age metrics.
+    fn fetch_delta(&self, worker: usize, since: u64) -> Result<crate::protocol::CheckpointDelta> {
+        let obs_on = exdra_obs::enabled();
+        let mut span = exdra_obs::span(SpanKind::Recovery, "recovery.checkpoint");
+        if span.is_active() {
+            span.attr("worker", worker);
+            span.attr("since_seq", since);
+        }
+        let responses = self
+            .ctx
+            .call(worker, &[Request::Checkpoint { since_seq: since }])?;
+        let delta = match responses.into_iter().next() {
+            Some(Response::Checkpoint(d)) => d,
+            Some(Response::Error(msg)) => {
+                return Err(FedError::Worker {
+                    worker,
+                    msg: format!("checkpoint failed: {msg}"),
+                })
+            }
+            other => {
+                return Err(FedError::Protocol(format!(
+                    "worker {worker}: checkpoint answered with {other:?}"
+                )))
+            }
+        };
+        let bytes: usize = delta.entries.iter().map(|e| e.value.size_bytes()).sum();
+        if span.is_active() {
+            span.attr("entries", delta.entries.len());
+            span.attr("removed", delta.removed.len());
+            span.attr("bytes", bytes);
+            span.attr("seq", delta.seq);
+        }
+        if obs_on {
+            let reg = exdra_obs::global();
+            reg.inc("checkpoint.deltas");
+            if since == 0 {
+                reg.inc("checkpoint.full_snapshots");
+            }
+            reg.add("checkpoint.entries", delta.entries.len() as u64);
+            reg.add("checkpoint.bytes", bytes as u64);
+            reg.record("checkpoint.delta_bytes", bytes as u64);
+            if let Some(age) = self.store.age(worker) {
+                reg.record("checkpoint.age_nanos", age.as_nanos() as u64);
+            }
+        }
+        Ok(delta)
+    }
+
+    /// Marks `worker` dead in the detector and schedules its recovery on
+    /// a background thread, returning immediately. This is the
+    /// compute-path entry point: an RPC that ran into a dead worker
+    /// reports it here and propagates its own error without waiting for
+    /// channel re-establishment or state restoration.
+    pub fn notify_worker_dead(self: &Arc<Self>, worker: usize) {
+        if worker >= self.detector.len() {
+            return;
+        }
+        self.detector.mark_dead(worker);
+        self.spawn_recovery(worker);
+    }
+
+    /// Spawns the recovery arc for `worker` on a detached background
+    /// thread (no-op when the worker is not `Dead`, e.g. a second caller
+    /// raced us — `begin_recovery` arbitrates).
+    pub fn spawn_recovery(self: &Arc<Self>, worker: usize) {
+        let sup = Arc::clone(self);
+        let handle = std::thread::Builder::new()
+            .name(format!("exdra-recovery-{worker}"))
+            .spawn(move || {
+                let _ = sup.recover(worker);
+            })
+            .expect("spawn recovery thread");
+        let mut recoveries = self.recoveries.lock();
+        recoveries.retain(|h| !h.is_finished());
+        recoveries.push(handle);
+    }
+
+    /// Blocks until every background recovery spawned so far has
+    /// finished (tests and orderly shutdown).
+    pub fn wait_recoveries(&self) {
+        let handles: Vec<_> = std::mem::take(&mut *self.recoveries.lock());
+        for h in handles {
+            let _ = h.join();
+        }
+    }
+
     /// Attempts the full recovery arc for one `Dead` worker:
     /// `begin_recovery` (Dead → Recovering), channel re-establishment,
-    /// liveness verification, initialization replay, `mark_recovered`
+    /// liveness verification, checkpoint restore (or initialization
+    /// replay when no checkpoint exists), `mark_recovered`
     /// (Recovering → Healthy). Returns `Ok(false)` when the worker was
     /// not dead; an `Err` leaves the worker `Dead` for the next sweep.
     pub fn recover(&self, worker: usize) -> Result<bool> {
         if !self.detector.begin_recovery(worker) {
             return Ok(false);
         }
+        let obs_on = exdra_obs::enabled();
+        let t0 = obs_on.then(Instant::now);
         match self.try_recover(worker) {
             Ok(()) => {
                 self.detector.mark_recovered(worker);
+                if obs_on {
+                    let reg = exdra_obs::global();
+                    reg.inc("recovery.recovered");
+                    if let Some(t) = t0 {
+                        reg.record("recovery.latency", t.elapsed().as_nanos() as u64);
+                    }
+                }
                 Ok(true)
             }
             Err(e) => {
                 // Recovering → Dead: the next sweep starts over.
                 self.detector.record_miss(worker);
+                if obs_on {
+                    exdra_obs::global().inc("recovery.failed_attempts");
+                }
                 Err(e)
             }
         }
@@ -150,7 +382,7 @@ impl Supervisor {
         match replacement {
             Some(ch) => self.ctx.replace_channel(worker, ch)?,
             None => self.ctx.reconnect(worker).map_err(|e| match e {
-                RuntimeError::Unsupported(_) => RuntimeError::WorkerDead {
+                FedError::Unsupported(_) => FedError::WorkerDead {
                     worker,
                     msg: "no endpoint and no reconnector produced a channel".into(),
                 },
@@ -161,7 +393,62 @@ impl Supervisor {
         //    worker's new epoch.
         let (epoch, load) = self.ctx.heartbeat(worker)?;
         let _restarted: HeartbeatOutcome = self.detector.record_success(worker, epoch, load);
-        // 3. Initialization replay: rebuild the worker's symbol table.
+        // 3. State restoration: latest checkpoint when one exists,
+        //    otherwise the registered initialization replay.
+        match self.store.snapshot(worker) {
+            Some(entries) => self.restore_from_checkpoint(worker, entries),
+            None => self.replay_initialization(worker),
+        }
+    }
+
+    /// Ships `worker`'s materialized checkpoint back via RESTORE.
+    fn restore_from_checkpoint(
+        &self,
+        worker: usize,
+        entries: Vec<crate::protocol::CheckpointEntry>,
+    ) -> Result<()> {
+        let obs_on = exdra_obs::enabled();
+        let mut span = exdra_obs::span(SpanKind::Recovery, "recovery.restore");
+        let bytes: usize = entries.iter().map(|e| e.value.size_bytes()).sum();
+        if span.is_active() {
+            span.attr("worker", worker);
+            span.attr("entries", entries.len());
+            span.attr("bytes", bytes);
+        }
+        if obs_on {
+            let reg = exdra_obs::global();
+            reg.inc("recovery.restores");
+            reg.add("recovery.restored_entries", entries.len() as u64);
+            reg.add("recovery.restored_bytes", bytes as u64);
+            if let Some(age) = self.store.age(worker) {
+                reg.record("recovery.checkpoint_age_nanos", age.as_nanos() as u64);
+            }
+        }
+        let n = entries.len();
+        let responses = self.ctx.call(worker, &[Request::Restore { entries }])?;
+        match responses.first() {
+            Some(Response::Ok) => {}
+            other => {
+                return Err(FedError::Protocol(format!(
+                    "worker {worker}: restore of {n} entries answered with {other:?}"
+                )))
+            }
+        }
+        // The replacement's sequence space starts fresh: rebase the
+        // checkpoint stream with one full re-snapshot on the next sweep.
+        self.store.invalidate(worker);
+        Ok(())
+    }
+
+    /// Runs the registered initialization-replay closures (the PR 1
+    /// recovery path, kept as the fallback for never-checkpointed
+    /// federations).
+    fn replay_initialization(&self, worker: usize) -> Result<()> {
+        let mut span = exdra_obs::span(SpanKind::Recovery, "recovery.replay");
+        if span.is_active() {
+            span.attr("worker", worker);
+            exdra_obs::global().inc("recovery.replays");
+        }
         let steps: Vec<Arc<ReplayFn>> = self.replay.lock().clone();
         for f in steps {
             f(worker, &self.ctx)?;
@@ -169,8 +456,10 @@ impl Supervisor {
         Ok(())
     }
 
-    /// One supervision sweep: heartbeat everyone, then attempt recovery of
-    /// every dead worker. Returns the workers recovered this sweep.
+    /// One supervision sweep: heartbeat everyone, then attempt recovery
+    /// of every dead worker (synchronously — sweeps already run on the
+    /// supervisor's background thread, off the compute path). Returns
+    /// the workers recovered this sweep.
     pub fn sweep(&self) -> Vec<usize> {
         let states = self.heartbeat_once();
         let mut recovered = Vec::new();
@@ -182,27 +471,182 @@ impl Supervisor {
         recovered
     }
 
-    /// Runs [`Supervisor::sweep`] every `config.interval` on a background
-    /// thread until [`Supervisor::stop`].
+    /// Issues `batch` to `worker` with straggler speculation: the
+    /// primary RPC runs on a helper thread; if it outlives the
+    /// latency-histogram-derived deadline and a checkpoint of the
+    /// worker exists, the batch is re-issued to the fastest live
+    /// replica (primed with the straggler's checkpoint via RESTORE) and
+    /// whichever reply lands first wins. Completed primary calls feed
+    /// the latency history either way.
+    ///
+    /// Speculation suits result-returning batches whose outputs are
+    /// consumed within the batch (aggregate + GET): partition placement
+    /// metadata still names the primary, so batches that *create*
+    /// long-lived partitions should go through plain `call`.
+    pub fn call_with_speculation(
+        self: &Arc<Self>,
+        worker: usize,
+        batch: &[Request],
+    ) -> Result<Vec<Response>> {
+        let deadline = self
+            .policy
+            .speculation
+            .and_then(|_| self.latency.deadline(worker));
+
+        let (tx, rx) = mpsc::channel::<(bool, Result<Vec<Response>>)>();
+        {
+            let sup = Arc::clone(self);
+            let tx = tx.clone();
+            let batch = batch.to_vec();
+            std::thread::Builder::new()
+                .name(format!("exdra-primary-{worker}"))
+                .spawn(move || {
+                    let t0 = Instant::now();
+                    let r = sup.ctx.call(worker, &batch);
+                    if r.is_ok() {
+                        sup.latency.record(worker, t0.elapsed());
+                    }
+                    let _ = tx.send((true, r));
+                })
+                .expect("spawn primary rpc thread");
+        }
+
+        let Some(deadline) = deadline else {
+            // No history yet (or speculation disabled): plain blocking
+            // call through the helper thread.
+            return rx.recv().expect("primary rpc thread sends").1;
+        };
+        match rx.recv_timeout(deadline) {
+            Ok((_, r)) => r,
+            Err(mpsc::RecvTimeoutError::Timeout) => self.speculate(worker, batch, tx, rx),
+            Err(mpsc::RecvTimeoutError::Disconnected) => {
+                Err(FedError::Network("primary rpc thread vanished".into()))
+            }
+        }
+    }
+
+    /// Past-deadline half of [`Supervisor::call_with_speculation`]:
+    /// launches the replica attempt and keeps the first successful
+    /// reply from either side.
+    fn speculate(
+        self: &Arc<Self>,
+        worker: usize,
+        batch: &[Request],
+        tx: mpsc::Sender<(bool, Result<Vec<Response>>)>,
+        rx: mpsc::Receiver<(bool, Result<Vec<Response>>)>,
+    ) -> Result<Vec<Response>> {
+        let obs_on = exdra_obs::enabled();
+        // A replica needs the straggler's state to execute its batch.
+        let snapshot = self.store.snapshot(worker);
+        let replica = self.pick_replica(worker);
+        let (Some(entries), Some(replica)) = (snapshot, replica) else {
+            // Nothing to speculate with: wait out the primary.
+            return rx.recv().expect("primary rpc thread sends").1;
+        };
+        let mut span = exdra_obs::span(SpanKind::Recovery, "recovery.speculate");
+        if span.is_active() {
+            span.attr("worker", worker);
+            span.attr("replica", replica);
+            span.attr("entries", entries.len());
+        }
+        if obs_on {
+            exdra_obs::global().inc("speculation.launched");
+        }
+        {
+            let sup = Arc::clone(self);
+            let ids: Vec<u64> = entries.iter().map(|e| e.id).collect();
+            let mut full = Vec::with_capacity(batch.len() + 1);
+            full.push(Request::Restore { entries });
+            full.extend_from_slice(batch);
+            std::thread::Builder::new()
+                .name(format!("exdra-speculate-{replica}"))
+                .spawn(move || {
+                    let r = sup.ctx.call(replica, &full).map(|mut responses| {
+                        responses.remove(0); // the restore ack
+                        responses
+                    });
+                    // The replica's copies of the straggler's symbols are
+                    // scratch state: queue them for amortized rmvar.
+                    sup.ctx.garbage().lock()[replica].extend(ids);
+                    let _ = tx.send((false, r));
+                })
+                .expect("spawn speculative rpc thread");
+        }
+        // First successful reply wins; a lone failure waits for the
+        // other side before giving up.
+        let (first_primary, first) = rx.recv().expect("one rpc thread sends");
+        let (winner_primary, result) = match first {
+            Ok(r) => (first_primary, Ok(r)),
+            Err(e) => match rx.recv() {
+                Ok((second_primary, Ok(r))) => (second_primary, Ok(r)),
+                _ => (first_primary, Err(e)),
+            },
+        };
+        if result.is_ok() {
+            if span.is_active() {
+                span.attr("winner", if winner_primary { "primary" } else { "replica" });
+            }
+            if obs_on {
+                exdra_obs::global().inc(if winner_primary {
+                    "speculation.won_primary"
+                } else {
+                    "speculation.won_replica"
+                });
+            }
+        }
+        result
+    }
+
+    /// The fastest live replica other than `worker` by observed p95.
+    fn pick_replica(&self, worker: usize) -> Option<usize> {
+        let candidates: Vec<usize> = self
+            .detector
+            .live_workers()
+            .into_iter()
+            .filter(|&w| w != worker)
+            .collect();
+        self.latency.fastest(&candidates)
+    }
+
+    /// Runs [`Supervisor::sweep`] every `heartbeat_interval` — and
+    /// [`Supervisor::checkpoint_once`] every `checkpoint_interval` — on
+    /// a background thread until [`Supervisor::stop`].
     pub fn run(self: &Arc<Self>) -> std::thread::JoinHandle<()> {
         let sup = Arc::clone(self);
         std::thread::Builder::new()
             .name("exdra-supervisor".into())
             .spawn(move || {
-                while !sup.shutdown.load(Ordering::SeqCst) {
-                    std::thread::sleep(sup.config.interval);
+                // Sleep in short slices so stop() returns promptly even
+                // with long heartbeat intervals.
+                const SLICE: Duration = Duration::from_millis(25);
+                let mut next_sweep = Instant::now() + sup.policy.heartbeat_interval;
+                let mut last_checkpoint = Instant::now();
+                loop {
+                    std::thread::sleep(SLICE.min(sup.policy.heartbeat_interval));
                     if sup.shutdown.load(Ordering::SeqCst) {
                         return;
                     }
+                    if Instant::now() < next_sweep {
+                        continue;
+                    }
+                    next_sweep = Instant::now() + sup.policy.heartbeat_interval;
                     let _ = sup.sweep();
+                    if let Some(every) = sup.policy.checkpoint_interval {
+                        if last_checkpoint.elapsed() >= every {
+                            let _ = sup.checkpoint_once();
+                            last_checkpoint = Instant::now();
+                        }
+                    }
                 }
             })
             .expect("spawn supervisor thread")
     }
 
-    /// Stops the background supervision loop after its current sweep.
+    /// Stops the background supervision loop after its current sweep and
+    /// waits for in-flight background recoveries.
     pub fn stop(&self) {
         self.shutdown.store(true, Ordering::SeqCst);
+        self.wait_recoveries();
     }
 }
 
@@ -213,6 +657,7 @@ mod tests {
     use crate::protocol::Request;
     use crate::value::DataValue;
     use crate::worker::{Worker, WorkerConfig};
+    use exdra_fault::inject::{FaultPlan, FaultyChannel};
     use exdra_net::transport::Channel;
 
     fn mem_setup(n: usize) -> (Arc<FedContext>, Vec<Arc<Worker>>) {
@@ -226,9 +671,22 @@ mod tests {
         (FedContext::from_channels(channels).unwrap(), workers)
     }
 
+    fn put(ctx: &FedContext, worker: usize, id: u64, v: f64, privacy: PrivacyLevel) {
+        ctx.call(
+            worker,
+            &[Request::Put {
+                id,
+                data: DataValue::Scalar(v),
+                privacy,
+            }],
+        )
+        .unwrap();
+    }
+
     #[test]
     fn heartbeats_keep_workers_healthy() {
         let (ctx, _workers) = mem_setup(2);
+        // The legacy config still constructs a supervisor.
         let sup = Supervisor::new(ctx, SupervisorConfig::default());
         for _ in 0..3 {
             let states = sup.heartbeat_once();
@@ -240,7 +698,7 @@ mod tests {
     #[test]
     fn missed_heartbeats_walk_to_dead() {
         let (ctx, workers) = mem_setup(2);
-        let sup = Supervisor::new(ctx, SupervisorConfig::default());
+        let sup = Supervisor::new(ctx, SupervisionPolicy::default());
         workers[1].shutdown();
         // Default thresholds: suspect at 2 misses, dead at 4.
         let mut seen_suspect = false;
@@ -257,9 +715,9 @@ mod tests {
     }
 
     #[test]
-    fn recovery_replays_initialization() {
+    fn recovery_replays_initialization_without_checkpoint() {
         let (ctx, workers) = mem_setup(1);
-        let sup = Supervisor::new(Arc::clone(&ctx), SupervisorConfig::default());
+        let sup = Supervisor::new(Arc::clone(&ctx), SupervisionPolicy::default());
         // The application's initialization: symbol 42 must exist.
         sup.on_recovery(Arc::new(|w, ctx| {
             ctx.call(
@@ -272,14 +730,14 @@ mod tests {
             )
             .map(|_| ())
         }));
-        // Kill the worker; detector learns via misses.
+        // Kill the worker; detector learns via misses. No checkpoint was
+        // ever taken, so recovery must fall back to replay.
         workers[0].shutdown();
         drop(workers);
         for _ in 0..4 {
             sup.heartbeat_once();
         }
         assert_eq!(sup.detector().state(0), HealthState::Dead);
-        // Restart: a fresh worker with an empty table takes over.
         let replacement = Worker::new(WorkerConfig::default());
         let r2 = Arc::clone(&replacement);
         sup.set_reconnector(Box::new(move |_w| {
@@ -291,5 +749,154 @@ mod tests {
             replacement.table().contains(42),
             "replay re-installed state"
         );
+    }
+
+    #[test]
+    fn recovery_restores_from_checkpoint() {
+        let (ctx, workers) = mem_setup(1);
+        let sup = Supervisor::new(Arc::clone(&ctx), SupervisionPolicy::default());
+        sup.heartbeat_once(); // record the worker's epoch
+        put(&ctx, 0, 7, 7.5, PrivacyLevel::Private);
+        put(&ctx, 0, 8, 8.5, PrivacyLevel::Public);
+        assert_eq!(sup.checkpoint_once(), vec![0]);
+        assert_eq!(sup.checkpoint_store().entry_count(0), 2);
+
+        // Incremental: one more binding, next delta ships only it.
+        put(&ctx, 0, 9, 9.5, PrivacyLevel::Public);
+        sup.checkpoint_worker(0).unwrap();
+        assert_eq!(sup.checkpoint_store().entry_count(0), 3);
+
+        workers[0].shutdown();
+        drop(workers);
+        for _ in 0..4 {
+            sup.heartbeat_once();
+        }
+        assert_eq!(sup.detector().state(0), HealthState::Dead);
+
+        let replacement = Worker::new(WorkerConfig::default());
+        let r2 = Arc::clone(&replacement);
+        sup.set_reconnector(Box::new(move |_w| {
+            Some(Box::new(r2.serve_mem()) as Box<dyn Channel>)
+        }));
+        assert!(sup.recover(0).unwrap());
+        assert_eq!(sup.detector().state(0), HealthState::Healthy);
+        // The replacement holds the checkpointed state, constraints intact.
+        let table = replacement.table();
+        for id in [7, 8, 9] {
+            assert!(table.contains(id), "restored symbol {id}");
+        }
+        assert_eq!(table.get(7).unwrap().meta.privacy, PrivacyLevel::Private);
+        // Restore rebased the stream: next checkpoint is a full snapshot.
+        assert!(!sup.checkpoint_store().has(0));
+        sup.heartbeat_once(); // learn the replacement's epoch
+        sup.checkpoint_worker(0).unwrap();
+        assert_eq!(sup.checkpoint_store().entry_count(0), 3);
+    }
+
+    #[test]
+    fn notify_worker_dead_recovers_in_background() {
+        let (ctx, workers) = mem_setup(1);
+        let sup = Supervisor::new(Arc::clone(&ctx), SupervisionPolicy::default());
+        sup.heartbeat_once();
+        put(&ctx, 0, 11, 1.1, PrivacyLevel::Public);
+        sup.checkpoint_once();
+
+        let replacement = Worker::new(WorkerConfig::default());
+        let r2 = Arc::clone(&replacement);
+        sup.set_reconnector(Box::new(move |_w| {
+            Some(Box::new(r2.serve_mem()) as Box<dyn Channel>)
+        }));
+        workers[0].shutdown();
+        drop(workers);
+        // Compute path reports the death and returns immediately; the
+        // restore happens on the background recovery thread.
+        sup.notify_worker_dead(0);
+        sup.wait_recoveries();
+        assert_eq!(sup.detector().state(0), HealthState::Healthy);
+        assert!(replacement.table().contains(11));
+    }
+
+    #[test]
+    fn checkpoint_survives_worker_restart_between_sweeps() {
+        let (ctx, _workers) = mem_setup(1);
+        let sup = Supervisor::new(Arc::clone(&ctx), SupervisionPolicy::default());
+        sup.heartbeat_once();
+        put(&ctx, 0, 1, 1.0, PrivacyLevel::Public);
+        sup.checkpoint_worker(0).unwrap();
+        assert_eq!(sup.checkpoint_store().entry_count(0), 1);
+
+        // The worker silently restarts (new epoch, fresh sequence space)
+        // without the detector noticing: the incremental delta comes back
+        // epoch-stamped and the sweep falls back to a full snapshot.
+        let replacement = Worker::new(WorkerConfig::default());
+        replacement.table().bind(
+            5,
+            std::sync::Arc::new(DataValue::Scalar(5.0)),
+            PrivacyLevel::Public,
+            true,
+            0,
+        );
+        ctx.replace_channel(0, Box::new(replacement.serve_mem()))
+            .unwrap();
+        sup.checkpoint_worker(0).unwrap();
+        let snap = sup.checkpoint_store().snapshot(0).unwrap();
+        assert_eq!(snap.len(), 1);
+        assert_eq!(snap[0].id, 5, "store rebased onto the restarted worker");
+    }
+
+    #[test]
+    fn speculation_replica_wins_past_deadline() {
+        // Worker 0 sits behind an injected 150ms delay; worker 1 is fast.
+        let slow = Worker::new(WorkerConfig::default());
+        let fast = Worker::new(WorkerConfig::default());
+        let channels: Vec<Box<dyn Channel>> = vec![
+            Box::new(FaultyChannel::new(
+                slow.serve_mem(),
+                FaultPlan::none(3).with_delay(1.0, Duration::from_millis(150)),
+            )),
+            Box::new(fast.serve_mem()),
+        ];
+        let ctx = FedContext::from_channels(channels).unwrap();
+        let policy = SupervisionPolicy {
+            speculation: Some(SpeculationPolicy {
+                multiplier: 1.0,
+                min_samples: 1,
+                min_deadline: Duration::from_millis(5),
+                max_deadline: Duration::from_millis(40),
+            }),
+            ..SupervisionPolicy::default()
+        };
+        let sup = Supervisor::new(Arc::clone(&ctx), policy);
+        sup.heartbeat_once();
+        put(&ctx, 0, 21, 2.1, PrivacyLevel::Public);
+        sup.checkpoint_worker(0).unwrap();
+        // Prime the latency history so a deadline exists.
+        sup.latency_tracker().record(0, Duration::from_millis(2));
+
+        let responses = sup
+            .call_with_speculation(0, &[Request::Get { id: 21 }])
+            .unwrap();
+        assert_eq!(responses.len(), 1);
+        match &responses[0] {
+            crate::protocol::Response::Data(DataValue::Scalar(v)) => assert_eq!(*v, 2.1),
+            other => panic!("expected data, got {other:?}"),
+        }
+        // The replica executed with restored scratch state, now queued
+        // for amortized cleanup.
+        assert!(ctx.garbage().lock()[1].contains(&21));
+    }
+
+    #[test]
+    fn speculation_without_history_is_a_plain_call() {
+        let (ctx, _workers) = mem_setup(1);
+        let sup = Supervisor::new(Arc::clone(&ctx), SupervisionPolicy::default());
+        put(&ctx, 0, 31, 3.1, PrivacyLevel::Public);
+        let responses = sup
+            .call_with_speculation(0, &[Request::Get { id: 31 }])
+            .unwrap();
+        match &responses[0] {
+            crate::protocol::Response::Data(DataValue::Scalar(v)) => assert_eq!(*v, 3.1),
+            other => panic!("expected data, got {other:?}"),
+        }
     }
 }

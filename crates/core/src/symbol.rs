@@ -6,10 +6,11 @@
 //! repeated sub-plans can be reused.
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
-use parking_lot::RwLock;
+use parking_lot::{Mutex, RwLock};
 
 use crate::error::{Result, RuntimeError};
 use crate::privacy::PrivacyLevel;
@@ -27,6 +28,10 @@ pub struct EntryMeta {
     pub lineage: u64,
     /// Last read/write time (drives background compaction).
     pub last_access: Instant,
+    /// Table mutation sequence at which this binding was (re)written
+    /// (drives incremental checkpoints: a `CHECKPOINT(since)` request
+    /// collects entries with `seq > since`).
+    pub seq: u64,
 }
 
 /// A stored value plus its metadata.
@@ -39,9 +44,23 @@ pub struct Entry {
 }
 
 /// A concurrent symbol table keyed by variable ID.
+///
+/// Every mutation (bind, remove, clear) bumps a table-global sequence
+/// number; bindings are stamped with the sequence that wrote them and
+/// removals are logged, so [`SymbolTable::delta_since`] can serve
+/// incremental checkpoints without scanning values that didn't change.
+/// All sequence updates happen under the map's write lock, so a reader
+/// holding the read lock sees a sequence number consistent with the map
+/// contents.
 #[derive(Debug, Default)]
 pub struct SymbolTable {
     map: RwLock<HashMap<u64, Entry>>,
+    /// Monotonic mutation counter (mutated only under `map`'s write lock).
+    seq: AtomicU64,
+    /// `(seq, id)` log of removals awaiting checkpoint pickup; pruned by
+    /// [`SymbolTable::prune_removals`] once a checkpoint consumer has
+    /// acknowledged them (lock order: `map` before `removals`).
+    removals: Mutex<Vec<(u64, u64)>>,
 }
 
 impl SymbolTable {
@@ -60,6 +79,8 @@ impl SymbolTable {
         releasable: bool,
         lineage: u64,
     ) {
+        let mut map = self.map.write();
+        let seq = self.seq.fetch_add(1, Ordering::Relaxed) + 1;
         let entry = Entry {
             value,
             meta: EntryMeta {
@@ -67,9 +88,10 @@ impl SymbolTable {
                 releasable,
                 lineage,
                 last_access: Instant::now(),
+                seq,
             },
         };
-        self.map.write().insert(id, entry);
+        map.insert(id, entry);
     }
 
     /// Convenience bind for public data.
@@ -99,14 +121,25 @@ impl SymbolTable {
     /// Removes bindings (`rmvar`); missing IDs are ignored.
     pub fn remove(&self, ids: &[u64]) {
         let mut map = self.map.write();
+        let mut removals = self.removals.lock();
         for id in ids {
-            map.remove(id);
+            if map.remove(id).is_some() {
+                let seq = self.seq.fetch_add(1, Ordering::Relaxed) + 1;
+                removals.push((seq, *id));
+            }
         }
     }
 
-    /// Drops everything (`CLEAR`).
+    /// Drops everything (`CLEAR`). Every dropped ID lands in the removal
+    /// log so incremental checkpoint consumers learn about the wipe.
     pub fn clear(&self) {
-        self.map.write().clear();
+        let mut map = self.map.write();
+        let mut removals = self.removals.lock();
+        for id in map.keys() {
+            let seq = self.seq.fetch_add(1, Ordering::Relaxed) + 1;
+            removals.push((seq, *id));
+        }
+        map.clear();
     }
 
     /// Number of bound variables.
@@ -132,6 +165,41 @@ impl SymbolTable {
         let entry = map.get_mut(&id).ok_or(RuntimeError::UnknownSymbol(id))?;
         entry.value = value;
         Ok(())
+    }
+
+    /// The current mutation sequence (0 for an untouched table).
+    pub fn current_seq(&self) -> u64 {
+        self.seq.load(Ordering::Relaxed)
+    }
+
+    /// Everything that changed after `since`: the current sequence, the
+    /// bindings written after `since`, and the IDs removed after `since`.
+    /// `since = 0` yields a full snapshot. The map read lock is held
+    /// across the collection, so the result is a consistent cut.
+    pub fn delta_since(&self, since: u64) -> (u64, Vec<(u64, Entry)>, Vec<u64>) {
+        let map = self.map.read();
+        let removals = self.removals.lock();
+        let seq = self.seq.load(Ordering::Relaxed);
+        let entries: Vec<(u64, Entry)> = map
+            .iter()
+            .filter(|(_, e)| e.meta.seq > since)
+            .map(|(id, e)| (*id, e.clone()))
+            .collect();
+        let removed: Vec<u64> = removals
+            .iter()
+            .filter(|(s, _)| *s > since)
+            .map(|(_, id)| *id)
+            .collect();
+        (seq, entries, removed)
+    }
+
+    /// Drops removal-log records with sequence ≤ `upto`. Called after a
+    /// checkpoint consumer has taken a delta for `since = upto`: older
+    /// removals can never be requested again by a monotonically
+    /// advancing consumer (there is one checkpoint stream per worker —
+    /// its coordinator's supervisor).
+    pub fn prune_removals(&self, upto: u64) {
+        self.removals.lock().retain(|(s, _)| *s > upto);
     }
 
     /// Snapshot of `(id, bytes, idle, is_dense_matrix)` for the compaction
@@ -196,6 +264,69 @@ mod tests {
         let e = t.get(7).unwrap();
         assert_eq!(e.meta.privacy, PrivacyLevel::Private);
         assert_eq!(e.meta.lineage, 123);
+    }
+
+    #[test]
+    fn delta_since_tracks_binds_and_removes() {
+        let t = SymbolTable::new();
+        assert_eq!(t.current_seq(), 0);
+        t.bind_public(1, DataValue::Scalar(1.0));
+        t.bind_public(2, DataValue::Scalar(2.0));
+        let (seq, entries, removed) = t.delta_since(0);
+        assert_eq!(seq, 2);
+        assert_eq!(entries.len(), 2);
+        assert!(removed.is_empty());
+
+        // Nothing changed: the next delta is empty.
+        let (seq2, entries2, removed2) = t.delta_since(seq);
+        assert_eq!(seq2, seq);
+        assert!(entries2.is_empty() && removed2.is_empty());
+
+        // A rebind and a removal both show up after `seq`.
+        t.bind_public(1, DataValue::Scalar(1.5));
+        t.remove(&[2, 99]); // missing IDs don't log removals
+        let (seq3, entries3, removed3) = t.delta_since(seq);
+        assert!(seq3 > seq);
+        assert_eq!(entries3.len(), 1);
+        assert_eq!(entries3[0].0, 1);
+        assert_eq!(removed3, vec![2]);
+
+        // Pruning forgets acknowledged removals but keeps newer ones.
+        t.prune_removals(seq3);
+        t.remove(&[1]);
+        let (_, _, removed4) = t.delta_since(seq3);
+        assert_eq!(removed4, vec![1]);
+        let (_, _, removed_old) = t.delta_since(0);
+        assert_eq!(removed_old, vec![1], "pruned records are gone");
+    }
+
+    #[test]
+    fn clear_logs_all_ids_as_removed() {
+        let t = SymbolTable::new();
+        t.bind_public(1, DataValue::Scalar(1.0));
+        t.bind_public(2, DataValue::Scalar(2.0));
+        let (seq, _, _) = t.delta_since(0);
+        t.clear();
+        let (seq2, entries, mut removed) = t.delta_since(seq);
+        removed.sort_unstable();
+        assert!(seq2 > seq);
+        assert!(entries.is_empty());
+        assert_eq!(removed, vec![1, 2]);
+    }
+
+    #[test]
+    fn replace_value_keeps_checkpoint_seq() {
+        // Background compression swaps the physical representation of the
+        // same logical value; incremental checkpoints may keep shipping
+        // the original form, so the sequence must not advance.
+        let t = SymbolTable::new();
+        t.bind_public(1, DataValue::from(DenseMatrix::zeros(4, 4)));
+        let before = t.current_seq();
+        t.replace_value(1, Arc::new(DataValue::from(DenseMatrix::zeros(4, 4))))
+            .unwrap();
+        assert_eq!(t.current_seq(), before);
+        let (_, entries, _) = t.delta_since(before);
+        assert!(entries.is_empty());
     }
 
     #[test]

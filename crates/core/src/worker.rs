@@ -28,7 +28,8 @@ use crate::exec;
 use crate::lineage::{self, LineageCache};
 use crate::privacy::{may_release, PrivacyLevel};
 use crate::protocol::{
-    BatchFooter, ReadFormat, Request, Response, RpcEnvelope, RpcReply, TraceContext,
+    BatchFooter, CheckpointDelta, CheckpointEntry, ReadFormat, Request, Response, RpcEnvelope,
+    RpcReply, TraceContext,
 };
 use crate::symbol::SymbolTable;
 use crate::udf::Udf;
@@ -288,7 +289,9 @@ impl Worker {
     }
 
     fn handle_one(self: &Arc<Self>, req: Request) -> Result<Response> {
-        if !matches!(req, Request::Heartbeat) {
+        // Heartbeats and checkpoints are supervision traffic: they must
+        // not skew the data-path load signal straggler decisions key on.
+        if !matches!(req, Request::Heartbeat | Request::Checkpoint { .. }) {
             self.load.fetch_add(1, Ordering::Relaxed);
         }
         match req {
@@ -296,6 +299,35 @@ impl Worker {
                 epoch: self.epoch,
                 load: self.load.load(Ordering::Relaxed),
             }),
+            Request::Checkpoint { since_seq } => {
+                let (seq, entries, removed) = self.table.delta_since(since_seq);
+                let entries = entries
+                    .into_iter()
+                    .map(|(id, e)| CheckpointEntry {
+                        id,
+                        value: (*e.value).clone(),
+                        privacy: e.meta.privacy,
+                        releasable: e.meta.releasable,
+                        lineage: e.meta.lineage,
+                    })
+                    .collect();
+                // The requester now holds everything up to `since_seq`;
+                // older removal records can never be asked for again.
+                self.table.prune_removals(since_seq);
+                Ok(Response::Checkpoint(CheckpointDelta {
+                    seq,
+                    epoch: self.epoch,
+                    entries,
+                    removed,
+                }))
+            }
+            Request::Restore { entries } => {
+                for e in entries {
+                    self.table
+                        .bind(e.id, Arc::new(e.value), e.privacy, e.releasable, e.lineage);
+                }
+                Ok(Response::Ok)
+            }
             Request::Read {
                 id,
                 fname,
@@ -843,6 +875,82 @@ mod tests {
         assert!(matches!(&rs[0], Response::Error(_)));
         assert!(matches!(&rs[1], Response::Error(msg) if msg.contains("skipped")));
         assert!(matches!(rs[2], Response::Alive { .. }));
+    }
+
+    #[test]
+    fn checkpoint_restore_moves_state_between_workers() {
+        let w = worker();
+        let m = rand_matrix(6, 4, -1.0, 1.0, 11);
+        w.handle_batch(vec![
+            Request::Put {
+                id: 1,
+                data: DataValue::from(m.clone()),
+                privacy: PrivacyLevel::Private,
+            },
+            Request::Put {
+                id: 2,
+                data: DataValue::Scalar(7.0),
+                privacy: PrivacyLevel::Public,
+            },
+        ]);
+        // Full snapshot.
+        let rs = w.handle_batch(vec![Request::Checkpoint { since_seq: 0 }]);
+        let delta = match &rs[0] {
+            Response::Checkpoint(d) => d.clone(),
+            other => panic!("unexpected {other:?}"),
+        };
+        assert_eq!(delta.epoch, w.epoch());
+        assert_eq!(delta.entries.len(), 2);
+        assert!(delta.removed.is_empty());
+
+        // Incremental: only post-snapshot mutations appear.
+        w.handle_batch(vec![Request::Put {
+            id: 3,
+            data: DataValue::Scalar(1.0),
+            privacy: PrivacyLevel::Public,
+        }]);
+        let rs = w.handle_batch(vec![Request::Checkpoint {
+            since_seq: delta.seq,
+        }]);
+        let inc = match &rs[0] {
+            Response::Checkpoint(d) => d.clone(),
+            other => panic!("unexpected {other:?}"),
+        };
+        assert_eq!(inc.entries.len(), 1);
+        assert_eq!(inc.entries[0].id, 3);
+
+        // Restore onto a fresh worker reproduces values AND metadata:
+        // the private matrix stays private on the replacement.
+        let fresh = worker();
+        let rs = fresh.handle_batch(vec![
+            Request::Restore {
+                entries: delta.entries.clone(),
+            },
+            Request::Restore {
+                entries: inc.entries.clone(),
+            },
+        ]);
+        assert_eq!(rs, vec![Response::Ok, Response::Ok]);
+        assert_eq!(fresh.table().len(), 3);
+        let e = fresh.table().get(1).unwrap();
+        assert_eq!(e.meta.privacy, PrivacyLevel::Private);
+        assert!(!e.meta.releasable);
+        assert!(
+            e.value.to_dense().unwrap().max_abs_diff(&m) == 0.0,
+            "bitwise"
+        );
+        let orig = w.table().get(1).unwrap();
+        assert_eq!(e.meta.lineage, orig.meta.lineage, "lineage tag preserved");
+        // GET of the restored private partition is still denied.
+        let rs = fresh.handle_batch(vec![Request::Get { id: 1 }]);
+        assert!(matches!(&rs[0], Response::Error(msg) if msg.contains("privacy")));
+    }
+
+    #[test]
+    fn checkpoint_does_not_count_as_load() {
+        let w = worker();
+        w.handle_batch(vec![Request::Checkpoint { since_seq: 0 }]);
+        assert_eq!(w.load(), 0);
     }
 
     #[test]

@@ -17,7 +17,11 @@
 //! * [`inject`] — deterministic, seeded fault injection:
 //!   [`inject::FaultPlan`] (drop / delay / duplicate / kill-after-N
 //!   messages) applied by [`inject::FaultyChannel`] around any transport
-//!   channel, composing with the WAN simulation in `exdra-net::sim`.
+//!   channel, composing with the WAN simulation in `exdra-net::sim`,
+//! * [`straggler`] — per-worker latency histories
+//!   ([`straggler::LatencyTracker`]) that derive speculation deadlines
+//!   from observed latency quantiles, driving the supervisor's
+//!   speculative re-execution of straggler partition requests.
 //!
 //! The protocol-aware supervisor that uses these primitives (heartbeat
 //! RPCs, channel re-establishment, re-registration replay) lives in
@@ -27,7 +31,9 @@
 pub mod detector;
 pub mod inject;
 pub mod retry;
+pub mod straggler;
 
 pub use detector::{FailureDetector, HealthState, WorkerHealth};
 pub use inject::{FaultPlan, FaultyChannel};
 pub use retry::{Deadline, ErrorClass, RetryPolicy};
+pub use straggler::{LatencyTracker, SpeculationPolicy};

@@ -1,0 +1,208 @@
+//! Straggler detection: latency-histogram-derived speculation deadlines.
+//!
+//! A federated computation is as slow as its slowest partition (the
+//! paper's parallel-RPC model makes every consolidation a barrier), so a
+//! single overloaded or WAN-degraded worker stalls the whole exploratory
+//! loop. The classic mitigation (MapReduce backup tasks, Spark
+//! speculative execution) is to re-issue a request to a replica once the
+//! primary's response time exceeds what its own history predicts, and
+//! keep whichever reply lands first.
+//!
+//! [`LatencyTracker`] holds one log-scale latency [`Histogram`] per
+//! worker; [`LatencyTracker::deadline`] turns the history into a
+//! speculation deadline (`multiplier × p95`, clamped) once enough samples
+//! exist. The protocol-aware racing itself lives in
+//! `exdra-core::supervision` — this module is transport-agnostic
+//! bookkeeping, usable from PS rounds and plain RPC paths alike.
+
+use std::time::Duration;
+
+use exdra_obs::Histogram;
+
+/// When and how aggressively to speculate on stragglers.
+#[derive(Debug, Clone, Copy)]
+pub struct SpeculationPolicy {
+    /// Deadline = `multiplier × p95` of the worker's observed latency.
+    pub multiplier: f64,
+    /// Minimum samples per worker before any deadline is derived
+    /// (cold histograms would speculate on noise).
+    pub min_samples: u64,
+    /// Lower clamp on derived deadlines (don't speculate on
+    /// micro-latency jitter).
+    pub min_deadline: Duration,
+    /// Upper clamp on derived deadlines (bound the wait even when the
+    /// history is already slow).
+    pub max_deadline: Duration,
+}
+
+impl Default for SpeculationPolicy {
+    fn default() -> Self {
+        Self {
+            multiplier: 3.0,
+            min_samples: 8,
+            min_deadline: Duration::from_millis(10),
+            max_deadline: Duration::from_secs(10),
+        }
+    }
+}
+
+/// Per-worker latency history and deadline derivation.
+#[derive(Debug)]
+pub struct LatencyTracker {
+    histograms: Vec<Histogram>,
+    policy: SpeculationPolicy,
+}
+
+impl LatencyTracker {
+    /// Tracker for `n` workers under `policy`.
+    pub fn new(n: usize, policy: SpeculationPolicy) -> Self {
+        Self {
+            histograms: (0..n).map(|_| Histogram::default()).collect(),
+            policy,
+        }
+    }
+
+    /// Number of tracked workers.
+    pub fn len(&self) -> usize {
+        self.histograms.len()
+    }
+
+    /// True when no workers are tracked.
+    pub fn is_empty(&self) -> bool {
+        self.histograms.is_empty()
+    }
+
+    /// The active policy.
+    pub fn policy(&self) -> SpeculationPolicy {
+        self.policy
+    }
+
+    /// Records one completed request's latency for `worker`.
+    /// Out-of-range workers are ignored (federations never shrink, but
+    /// racing recovery may briefly observe a stale index).
+    pub fn record(&self, worker: usize, latency: Duration) {
+        if let Some(h) = self.histograms.get(worker) {
+            h.record(latency.as_nanos() as u64);
+        }
+    }
+
+    /// Samples recorded for `worker` so far.
+    pub fn samples(&self, worker: usize) -> u64 {
+        self.histograms.get(worker).map_or(0, |h| h.count())
+    }
+
+    /// The speculation deadline for `worker`: `multiplier × p95` of its
+    /// history, clamped to `[min_deadline, max_deadline]`. `None` until
+    /// `min_samples` observations exist — no history, no speculation.
+    pub fn deadline(&self, worker: usize) -> Option<Duration> {
+        let h = self.histograms.get(worker)?;
+        if h.count() < self.policy.min_samples {
+            return None;
+        }
+        let p95 = h.quantile(0.95);
+        let nanos = (p95 * self.policy.multiplier).max(0.0);
+        let d = Duration::from_nanos(nanos as u64);
+        Some(d.clamp(self.policy.min_deadline, self.policy.max_deadline))
+    }
+
+    /// The worker with the smallest observed p95 among `candidates`
+    /// (ties break to the lower index); workers with no samples rank as
+    /// fastest, so unobserved replicas get a chance. `None` when
+    /// `candidates` is empty.
+    pub fn fastest(&self, candidates: &[usize]) -> Option<usize> {
+        candidates
+            .iter()
+            .copied()
+            .filter(|&w| w < self.histograms.len())
+            .min_by(|&a, &b| {
+                let pa = self.p95(a);
+                let pb = self.p95(b);
+                pa.partial_cmp(&pb).unwrap_or(std::cmp::Ordering::Equal)
+            })
+    }
+
+    fn p95(&self, worker: usize) -> f64 {
+        let h = &self.histograms[worker];
+        if h.count() == 0 {
+            0.0
+        } else {
+            h.quantile(0.95)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fast_policy() -> SpeculationPolicy {
+        SpeculationPolicy {
+            multiplier: 2.0,
+            min_samples: 4,
+            min_deadline: Duration::from_nanos(1),
+            max_deadline: Duration::from_secs(60),
+        }
+    }
+
+    #[test]
+    fn no_deadline_before_min_samples() {
+        let t = LatencyTracker::new(2, fast_policy());
+        assert_eq!(t.deadline(0), None);
+        for _ in 0..3 {
+            t.record(0, Duration::from_millis(10));
+        }
+        assert_eq!(t.deadline(0), None, "3 < min_samples");
+        t.record(0, Duration::from_millis(10));
+        assert!(t.deadline(0).is_some());
+        assert_eq!(t.deadline(1), None, "other worker untouched");
+    }
+
+    #[test]
+    fn deadline_tracks_history_scale() {
+        let t = LatencyTracker::new(1, fast_policy());
+        for _ in 0..32 {
+            t.record(0, Duration::from_millis(10));
+        }
+        let d = t.deadline(0).unwrap();
+        // 2 × p95 of a ~10ms history: within the 2x bucket resolution of
+        // the log histogram, well under 100ms and over 5ms.
+        assert!(d >= Duration::from_millis(5), "{d:?}");
+        assert!(d <= Duration::from_millis(100), "{d:?}");
+    }
+
+    #[test]
+    fn deadline_clamped_to_policy_bounds() {
+        let policy = SpeculationPolicy {
+            multiplier: 1000.0,
+            min_samples: 1,
+            min_deadline: Duration::from_millis(5),
+            max_deadline: Duration::from_millis(50),
+        };
+        let t = LatencyTracker::new(1, policy);
+        t.record(0, Duration::from_secs(1));
+        assert_eq!(t.deadline(0).unwrap(), Duration::from_millis(50));
+    }
+
+    #[test]
+    fn fastest_prefers_low_latency_and_unobserved() {
+        let t = LatencyTracker::new(3, fast_policy());
+        for _ in 0..8 {
+            t.record(0, Duration::from_millis(100));
+            t.record(1, Duration::from_millis(1));
+        }
+        assert_eq!(t.fastest(&[0, 1]), Some(1));
+        // Worker 2 has no history and ranks fastest.
+        assert_eq!(t.fastest(&[0, 2]), Some(2));
+        assert_eq!(t.fastest(&[]), None);
+        // Out-of-range candidates are ignored.
+        assert_eq!(t.fastest(&[7]), None);
+    }
+
+    #[test]
+    fn record_out_of_range_is_ignored() {
+        let t = LatencyTracker::new(1, fast_policy());
+        t.record(5, Duration::from_millis(1));
+        assert_eq!(t.samples(5), 0);
+        assert_eq!(t.samples(0), 0);
+    }
+}

@@ -21,6 +21,9 @@ pub struct NetStats {
     retries: AtomicU64,
     /// Heartbeat probes issued (fault-tolerance layer).
     heartbeats: AtomicU64,
+    /// Channel re-establishments after a worker failure (supervision
+    /// layer: reconnects and replacement channels).
+    recoveries: AtomicU64,
 }
 
 impl NetStats {
@@ -95,6 +98,16 @@ impl NetStats {
         self.heartbeats.load(Ordering::Relaxed)
     }
 
+    /// Records one channel re-establishment after a worker failure.
+    pub fn record_recovery(&self) {
+        self.recoveries.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Total channel re-establishments.
+    pub fn recoveries(&self) -> u64 {
+        self.recoveries.load(Ordering::Relaxed)
+    }
+
     /// Consistent-enough point-in-time copy of all counters (each counter
     /// is read atomically; the set is not a single atomic snapshot, which
     /// is fine for reporting).
@@ -108,6 +121,7 @@ impl NetStats {
             network_nanos: self.network_nanos(),
             retries: self.retries(),
             heartbeats: self.heartbeats(),
+            recoveries: self.recoveries(),
         }
     }
 
@@ -120,6 +134,7 @@ impl NetStats {
         self.network_nanos.store(0, Ordering::Relaxed);
         self.retries.store(0, Ordering::Relaxed);
         self.heartbeats.store(0, Ordering::Relaxed);
+        self.recoveries.store(0, Ordering::Relaxed);
     }
 
     /// One-line human-readable summary.
@@ -147,6 +162,8 @@ pub struct NetStatsSnapshot {
     pub retries: u64,
     /// Heartbeat probes issued.
     pub heartbeats: u64,
+    /// Channel re-establishments after worker failures.
+    pub recoveries: u64,
 }
 
 impl NetStatsSnapshot {
@@ -167,6 +184,7 @@ impl NetStatsSnapshot {
             network_nanos: self.network_nanos.saturating_sub(earlier.network_nanos),
             retries: self.retries.saturating_sub(earlier.retries),
             heartbeats: self.heartbeats.saturating_sub(earlier.heartbeats),
+            recoveries: self.recoveries.saturating_sub(earlier.recoveries),
         }
     }
 }
@@ -176,14 +194,15 @@ impl std::fmt::Display for NetStatsSnapshot {
         write!(
             f,
             "sent {} msgs / {:.2} MB, recv {} msgs / {:.2} MB, {:.3}s in network, \
-             {} retries, {} heartbeats",
+             {} retries, {} heartbeats, {} recoveries",
             self.messages_sent,
             self.bytes_sent as f64 / 1e6,
             self.messages_received,
             self.bytes_received as f64 / 1e6,
             self.network_seconds,
             self.retries,
-            self.heartbeats
+            self.heartbeats,
+            self.recoveries
         )
     }
 }
@@ -201,17 +220,20 @@ mod tests {
         s.record_retry();
         s.record_heartbeat();
         s.record_heartbeat();
+        s.record_recovery();
         assert_eq!(s.bytes_sent(), 150);
         assert_eq!(s.messages_sent(), 2);
         assert_eq!(s.bytes_received(), 10);
         assert!((s.network_seconds() - 0.0016).abs() < 1e-9);
         assert_eq!(s.retries(), 1);
         assert_eq!(s.heartbeats(), 2);
+        assert_eq!(s.recoveries(), 1);
         s.reset();
         assert_eq!(s.bytes_sent(), 0);
         assert_eq!(s.messages_received(), 0);
         assert_eq!(s.retries(), 0);
         assert_eq!(s.heartbeats(), 0);
+        assert_eq!(s.recoveries(), 0);
     }
 
     #[test]

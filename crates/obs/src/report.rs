@@ -17,6 +17,9 @@
 //! | `inst.{opcode}` (histogram) | worker-side per-instruction latency |
 //! | `lineage.{worker,coordinator}.{hits,misses,evictions}` | reuse-cache traffic by cache scope |
 //! | `ps.epochs` / `ps.skipped_updates`, `ps.round` / `ps.aggregate` (histograms) | parameter-server rounds |
+//! | `recovery.{recovered,failed_attempts,restores,replays,restored_entries,restored_bytes}` | supervisor recovery arcs |
+//! | `checkpoint.{deltas,full_snapshots,entries,bytes}` | background checkpoint stream |
+//! | `speculation.{launched,won_replica,won_primary}` | straggler re-execution races |
 
 use std::fmt;
 
@@ -38,6 +41,7 @@ pub struct NetTotals {
     pub network_nanos: u64,
     pub retries: u64,
     pub heartbeats: u64,
+    pub recoveries: u64,
 }
 
 /// One worker's share of the run, reconstructed from `worker.{w}.*`
@@ -67,6 +71,45 @@ impl WorkerBreakdown {
     }
 }
 
+/// Self-healing activity of the run, reconstructed from the
+/// `recovery.*` / `checkpoint.*` / `speculation.*` counters the
+/// supervisor emits. Present only when any of them fired.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RecoverySummary {
+    /// Workers brought back to `Healthy` by the supervisor.
+    pub recovered: u64,
+    /// Recovery arcs that failed and left the worker dead.
+    pub failed_attempts: u64,
+    /// Recoveries that restored state from a checkpoint.
+    pub restores: u64,
+    /// Recoveries that fell back to initialization replay.
+    pub replays: u64,
+    /// Symbol-table entries shipped back via `RESTORE`.
+    pub restored_entries: u64,
+    /// Payload bytes shipped back via `RESTORE`.
+    pub restored_bytes: u64,
+    /// Checkpoint deltas pulled from workers.
+    pub checkpoint_deltas: u64,
+    /// Deltas that were full snapshots (`since_seq = 0`).
+    pub full_snapshots: u64,
+    /// Entries carried across all deltas.
+    pub checkpoint_entries: u64,
+    /// Payload bytes carried across all deltas.
+    pub checkpoint_bytes: u64,
+    /// Speculative replica executions launched past a deadline.
+    pub speculation_launched: u64,
+    /// Races won by the replica.
+    pub speculation_won_replica: u64,
+    /// Races won by the (straggling) primary after all.
+    pub speculation_won_primary: u64,
+}
+
+impl RecoverySummary {
+    fn is_empty(&self) -> bool {
+        *self == Self::default()
+    }
+}
+
 /// Aggregate latency profile of one instruction opcode.
 #[derive(Debug, Clone, PartialEq)]
 pub struct InstrProfile {
@@ -88,6 +131,8 @@ pub struct RunReport {
     pub spans_recorded: usize,
     /// Transport totals, if the caller has a `NetStats` to contribute.
     pub net: Option<NetTotals>,
+    /// Supervisor activity (checkpoints, restores, speculation), when any.
+    pub recovery: Option<RecoverySummary>,
 }
 
 impl RunReport {
@@ -101,12 +146,14 @@ impl RunReport {
         let metrics = reg.snapshot();
         let workers = extract_workers(&metrics);
         let top_instructions = extract_instructions(&metrics);
+        let recovery = extract_recovery(&metrics);
         RunReport {
             metrics,
             workers,
             top_instructions,
             spans_recorded: 0,
             net: None,
+            recovery,
         }
     }
 
@@ -155,14 +202,40 @@ impl RunReport {
             Some(n) => out.push_str(&format!(
                 "{{\"bytes_sent\":{},\"bytes_received\":{},\"messages_sent\":{},\
                  \"messages_received\":{},\"network_nanos\":{},\"retries\":{},\
-                 \"heartbeats\":{}}}",
+                 \"heartbeats\":{},\"recoveries\":{}}}",
                 n.bytes_sent,
                 n.bytes_received,
                 n.messages_sent,
                 n.messages_received,
                 n.network_nanos,
                 n.retries,
-                n.heartbeats
+                n.heartbeats,
+                n.recoveries
+            )),
+            None => out.push_str("null"),
+        }
+        out.push_str(",\"recovery\":");
+        match &self.recovery {
+            Some(r) => out.push_str(&format!(
+                "{{\"recovered\":{},\"failed_attempts\":{},\"restores\":{},\
+                 \"replays\":{},\"restored_entries\":{},\"restored_bytes\":{},\
+                 \"checkpoint_deltas\":{},\"full_snapshots\":{},\
+                 \"checkpoint_entries\":{},\"checkpoint_bytes\":{},\
+                 \"speculation_launched\":{},\"speculation_won_replica\":{},\
+                 \"speculation_won_primary\":{}}}",
+                r.recovered,
+                r.failed_attempts,
+                r.restores,
+                r.replays,
+                r.restored_entries,
+                r.restored_bytes,
+                r.checkpoint_deltas,
+                r.full_snapshots,
+                r.checkpoint_entries,
+                r.checkpoint_bytes,
+                r.speculation_launched,
+                r.speculation_won_replica,
+                r.speculation_won_primary
             )),
             None => out.push_str("null"),
         }
@@ -212,6 +285,26 @@ fn extract_workers(snap: &MetricsSnapshot) -> Vec<WorkerBreakdown> {
     workers
 }
 
+fn extract_recovery(snap: &MetricsSnapshot) -> Option<RecoverySummary> {
+    let c = |name: &str| snap.counter(name);
+    let summary = RecoverySummary {
+        recovered: c("recovery.recovered"),
+        failed_attempts: c("recovery.failed_attempts"),
+        restores: c("recovery.restores"),
+        replays: c("recovery.replays"),
+        restored_entries: c("recovery.restored_entries"),
+        restored_bytes: c("recovery.restored_bytes"),
+        checkpoint_deltas: c("checkpoint.deltas"),
+        full_snapshots: c("checkpoint.full_snapshots"),
+        checkpoint_entries: c("checkpoint.entries"),
+        checkpoint_bytes: c("checkpoint.bytes"),
+        speculation_launched: c("speculation.launched"),
+        speculation_won_replica: c("speculation.won_replica"),
+        speculation_won_primary: c("speculation.won_primary"),
+    };
+    (!summary.is_empty()).then_some(summary)
+}
+
 fn extract_instructions(snap: &MetricsSnapshot) -> Vec<InstrProfile> {
     let mut out: Vec<InstrProfile> = snap
         .histograms
@@ -247,13 +340,14 @@ impl fmt::Display for RunReport {
             writeln!(
                 f,
                 "transport: {:.2} MiB out / {:.2} MiB in, {} msgs out, \
-                 {:.1} ms on the wire, {} retries, {} heartbeats",
+                 {:.1} ms on the wire, {} retries, {} heartbeats, {} recoveries",
                 mib(n.bytes_sent),
                 mib(n.bytes_received),
                 n.messages_sent,
                 ms(n.network_nanos),
                 n.retries,
-                n.heartbeats
+                n.heartbeats,
+                n.recoveries
             )?;
         }
         writeln!(f, "spans recorded: {}", self.spans_recorded)?;
@@ -300,6 +394,31 @@ impl fmt::Display for RunReport {
                     p.p95_nanos / 1e3
                 )?;
             }
+        }
+        if let Some(r) = &self.recovery {
+            writeln!(
+                f,
+                "self-healing: {} recovered ({} restores / {} replays, \
+                 {} entries, {:.2} MiB), {} failed attempts",
+                r.recovered,
+                r.restores,
+                r.replays,
+                r.restored_entries,
+                mib(r.restored_bytes),
+                r.failed_attempts
+            )?;
+            writeln!(
+                f,
+                "checkpoints: {} deltas ({} full), {} entries, {:.2} MiB; \
+                 speculation: {} launched, {} replica wins, {} primary wins",
+                r.checkpoint_deltas,
+                r.full_snapshots,
+                r.checkpoint_entries,
+                mib(r.checkpoint_bytes),
+                r.speculation_launched,
+                r.speculation_won_replica,
+                r.speculation_won_primary
+            )?;
         }
         let hits = self.metrics.counter("lineage.worker.hits")
             + self.metrics.counter("lineage.coordinator.hits");
@@ -370,6 +489,46 @@ mod tests {
     }
 
     #[test]
+    fn recovery_summary_extracted_only_when_active() {
+        let quiet = RunReport::from_registry(&seeded_registry());
+        assert!(quiet.recovery.is_none(), "no recovery counters, no section");
+
+        let reg = seeded_registry();
+        reg.inc("recovery.recovered");
+        reg.inc("recovery.restores");
+        reg.add("recovery.restored_entries", 7);
+        reg.add("checkpoint.deltas", 3);
+        reg.inc("checkpoint.full_snapshots");
+        reg.add("checkpoint.bytes", 4096);
+        reg.inc("speculation.launched");
+        reg.inc("speculation.won_replica");
+        let report = RunReport::from_registry(&reg);
+        let r = report.recovery.expect("recovery section present");
+        assert_eq!(r.recovered, 1);
+        assert_eq!(r.restores, 1);
+        assert_eq!(r.replays, 0);
+        assert_eq!(r.restored_entries, 7);
+        assert_eq!(r.checkpoint_deltas, 3);
+        assert_eq!(r.full_snapshots, 1);
+        assert_eq!(r.speculation_won_replica, 1);
+
+        let text = format!("{report}");
+        assert!(text.contains("self-healing: 1 recovered"));
+        assert!(text.contains("speculation: 1 launched"));
+
+        let doc = Json::parse(&report.to_json()).expect("report json parses");
+        assert_eq!(
+            doc.get("recovery")
+                .and_then(|r| r.get("checkpoint_deltas"))
+                .and_then(Json::as_f64),
+            Some(3.0)
+        );
+        // A quiet report serializes the section as null.
+        let quiet_doc = Json::parse(&quiet.to_json()).unwrap();
+        assert!(matches!(quiet_doc.get("recovery"), Some(Json::Null)));
+    }
+
+    #[test]
     fn json_sidecar_parses_and_carries_worker_split() {
         let mut report = RunReport::from_registry(&seeded_registry());
         report.net = Some(NetTotals {
@@ -380,6 +539,7 @@ mod tests {
             network_nanos: 500,
             retries: 1,
             heartbeats: 0,
+            recoveries: 1,
         });
         report.spans_recorded = 12;
         let doc = Json::parse(&report.to_json()).expect("report json parses");

@@ -93,6 +93,9 @@ pub enum SpanKind {
     ParamServ,
     /// Session / API-level operation.
     Session,
+    /// Supervision/recovery operation: checkpoint sweeps, state
+    /// restoration onto replacement workers, speculative re-execution.
+    Recovery,
     /// Anything else.
     Other,
 }
@@ -105,6 +108,7 @@ impl SpanKind {
             SpanKind::Instruction => "instruction",
             SpanKind::ParamServ => "paramserv",
             SpanKind::Session => "session",
+            SpanKind::Recovery => "recovery",
             SpanKind::Other => "other",
         }
     }

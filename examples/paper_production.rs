@@ -25,8 +25,10 @@ fn main() -> exdra::core::Result<()> {
     // --- raw data at three sites (97 signals in the real plant; scaled) --
     let sites = 3;
     let (ctx, _workers) = tcp_federation(sites);
-    let sds = Session::with_context(ctx.clone())
-        .with_privacy(PrivacyLevel::PrivateAggregate { min_group: 25 });
+    let sds = Session::builder()
+        .context(ctx.clone())
+        .privacy(PrivacyLevel::PrivateAggregate { min_group: 25 })
+        .build()?;
 
     let mut frames = Vec::new();
     let mut targets = Vec::new();

@@ -18,8 +18,10 @@ fn main() -> exdra::core::Result<()> {
     // 2. Create a session and a federated feature matrix. The privacy
     //    constraint says: raw rows must never leave a site, only
     //    aggregates over at least 10 observations may.
-    let sds = Session::with_context(ctx.clone())
-        .with_privacy(PrivacyLevel::PrivateAggregate { min_group: 10 });
+    let sds = Session::builder()
+        .context(ctx.clone())
+        .privacy(PrivacyLevel::PrivateAggregate { min_group: 10 })
+        .build()?;
     let (x, y) = synth::two_class(3000, 20, 0.05, 42);
     let features = sds.federated(&x)?;
 

@@ -23,8 +23,10 @@ fn main() -> exdra::core::Result<()> {
         std::process::exit(2);
     }
     println!("connecting to {} standing workers: {addrs:?}", addrs.len());
-    let sds =
-        Session::connect(&addrs)?.with_privacy(PrivacyLevel::PrivateAggregate { min_group: 10 });
+    let sds = Session::builder()
+        .connect(&addrs)
+        .privacy(PrivacyLevel::PrivateAggregate { min_group: 10 })
+        .build()?;
 
     // READ the per-site raw partitions on demand (the files never move).
     let rows_per_site = 500usize;

@@ -25,6 +25,7 @@ pub use exdra_paramserv as paramserv;
 pub use exdra_stream as stream;
 pub use exdra_transform as transform;
 
-pub use exdra_api::{Lazy, Session};
-pub use exdra_core::{DataValue, FedContext, FedMatrix, PrivacyLevel, Tensor};
+pub use exdra_api::{Lazy, Session, SessionBuilder};
+pub use exdra_core::supervision::{SupervisionPolicy, Supervisor};
+pub use exdra_core::{DataValue, FedContext, FedError, FedMatrix, PrivacyLevel, Tensor};
 pub use exdra_matrix::{DenseMatrix, Frame, Matrix};

@@ -36,7 +36,7 @@ fn read_on_demand_from_worker_files() {
         },
         WorkerEndpoint::tcp,
     );
-    let sds = Session::with_context(ctx);
+    let sds = Session::builder().context(ctx).build().unwrap();
     let fed = sds
         .read_federated_csv(&[("x.csv".into(), 40), ("x.csv".into(), 50)], 6)
         .unwrap();
@@ -49,7 +49,7 @@ fn read_on_demand_from_worker_files() {
 #[test]
 fn read_rejects_missing_files() {
     let (ctx, _workers) = tcp_federation(2);
-    let sds = Session::with_context(ctx);
+    let sds = Session::builder().context(ctx).build().unwrap();
     let err = sds
         .read_federated_csv(&[("nope.csv".into(), 10), ("nope.csv".into(), 10)], 3)
         .map(|_| ())
@@ -60,7 +60,7 @@ fn read_rejects_missing_files() {
 #[test]
 fn explain_shows_federated_plan_once_per_source() {
     let (ctx, _workers) = tcp_federation(3);
-    let sds = Session::with_context(ctx);
+    let sds = Session::builder().context(ctx).build().unwrap();
     let x = rand_matrix(60, 4, 0.0, 1.0, 2);
     let fed = sds.federated(&x).unwrap();
     // Normalization plan reusing the source twice.
@@ -92,7 +92,7 @@ fn explain_shows_federated_plan_once_per_source() {
 #[test]
 fn dag_chains_through_federated_and_local_stages() {
     let (ctx, _workers) = tcp_federation(2);
-    let sds = Session::with_context(ctx);
+    let sds = Session::builder().context(ctx).build().unwrap();
     let x = rand_matrix(50, 5, -1.0, 1.0, 3);
     let w = rand_matrix(5, 2, -1.0, 1.0, 4);
     let fed = sds.federated(&x).unwrap();
@@ -107,7 +107,7 @@ fn dag_chains_through_federated_and_local_stages() {
 #[test]
 fn kmeans_builtin_through_session() {
     let (ctx, _workers) = tcp_federation(2);
-    let sds = Session::with_context(ctx);
+    let sds = Session::builder().context(ctx).build().unwrap();
     let (x, _) = exdra::ml::synth::blobs(200, 3, 3, 0.3, 5);
     let fed = sds.federated(&x).unwrap();
     let model = fed.kmeans(3).unwrap();
@@ -118,7 +118,7 @@ fn kmeans_builtin_through_session() {
 #[test]
 fn worker_clear_resets_session_state() {
     let (ctx, workers) = tcp_federation(2);
-    let sds = Session::with_context(ctx.clone());
+    let sds = Session::builder().context(ctx.clone()).build().unwrap();
     let x = rand_matrix(20, 3, 0.0, 1.0, 6);
     let fed = sds.federated(&x).unwrap();
     assert!(fed.sum().compute_scalar().is_ok());

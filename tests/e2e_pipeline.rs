@@ -16,8 +16,11 @@ use exdra::Session;
 fn p2_pipeline_end_to_end() {
     let sites = 3usize;
     let (ctx, _workers) = tcp_federation(sites);
-    let sds =
-        Session::with_context(ctx).with_privacy(PrivacyLevel::PrivateAggregate { min_group: 25 });
+    let sds = Session::builder()
+        .context(ctx)
+        .privacy(PrivacyLevel::PrivateAggregate { min_group: 25 })
+        .build()
+        .unwrap();
 
     // Raw per-site frames + aligned targets.
     let mut frames = Vec::new();
@@ -132,7 +135,7 @@ fn p2_pipeline_federated_matches_centralized() {
     // encoding").
     let sites = 2usize;
     let (ctx, _workers) = tcp_federation(sites);
-    let sds = Session::with_context(ctx);
+    let sds = Session::builder().context(ctx).build().unwrap();
     let frames: Vec<_> = (0..sites)
         .map(|s| synth::paper_production_frame(300, 1, 5, 6, 0.0, 80 + s as u64).0)
         .collect();

@@ -1,0 +1,451 @@
+//! End-to-end self-healing scenarios: a real TCP worker killed mid-run is
+//! restored from its background checkpoint onto a replacement channel with
+//! bitwise-identical results, stragglers are beaten by speculative
+//! re-execution on a checkpoint-restored replica, and checkpoint
+//! round-trips preserve every [`DataValue`] variant (property-tested).
+//!
+//! The tracing flag, metrics registry, and span collector are process
+//! globals, so the observability-asserting tests serialize on one gate
+//! and reset the layer while holding it (same pattern as `e2e_obs.rs`).
+
+use std::sync::{Arc, Mutex, MutexGuard};
+use std::time::Duration;
+
+use exdra::core::protocol::{Request, Response};
+use exdra::core::supervision::{SpeculationPolicy, Supervisor};
+use exdra::core::testutil::{mem_federation, tcp_federation};
+use exdra::core::worker::{Worker, WorkerConfig};
+use exdra::core::DataValue;
+use exdra::fault::{FaultPlan, FaultyChannel};
+use exdra::matrix::compress::CompressedMatrix;
+use exdra::matrix::frame::FrameColumn;
+use exdra::matrix::rng::rand_matrix;
+use exdra::matrix::sparse::SparseMatrix;
+use exdra::net::codec::Wire;
+use exdra::net::transport::{Channel, TcpChannel};
+use exdra::obs::{RunReport, SpanKind};
+use exdra::transform::encoders::PartialColumnMeta;
+use exdra::transform::{ColumnMeta, ColumnSpec, EncodeKind, PartialMeta, TransformMeta};
+use exdra::{DenseMatrix, Frame, Matrix, PrivacyLevel, Session, SupervisionPolicy};
+use proptest::prelude::*;
+use proptest::strategy::BoxedStrategy;
+
+static GATE: Mutex<()> = Mutex::new(());
+
+/// Claims the global observability layer for one test: waits out any
+/// concurrently running obs test, clears spans + metrics, enables tracing.
+fn obs_test() -> MutexGuard<'static, ()> {
+    let g = GATE.lock().unwrap_or_else(|e| e.into_inner());
+    exdra::obs::reset();
+    exdra::obs::set_enabled(true);
+    g
+}
+
+/// The tentpole acceptance arc over the production transport: a session
+/// with background supervision scatters data over real loopback TCP, one
+/// worker process dies mid-run, and the next computation completes with
+/// bitwise-identical results because the supervisor restored the dead
+/// worker's variable environment from its latest checkpoint onto a
+/// replacement TCP channel. The run profile records the recovery.
+#[test]
+fn tcp_worker_killed_mid_run_recovers_from_checkpoint() {
+    let _g = obs_test();
+    let (ctx, workers) = tcp_federation(2);
+    let policy = SupervisionPolicy {
+        heartbeat_interval: Duration::from_millis(30),
+        checkpoint_interval: Some(Duration::from_millis(40)),
+        ..SupervisionPolicy::default()
+    };
+    let sds = Session::builder()
+        .context(Arc::clone(&ctx))
+        .supervision(policy)
+        .build()
+        .unwrap();
+
+    let m = rand_matrix(60, 5, -1.0, 1.0, 17);
+    let fed = sds.federated(&m).unwrap();
+    let plan = fed.tsmm().unwrap();
+    let expected = sds.compute(&plan).unwrap();
+
+    // Wait for a background checkpoint of the scattered partitions.
+    let sup = sds.supervisor().unwrap();
+    for _ in 0..200 {
+        if sup.checkpoint_store().has(0) {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    assert!(
+        sup.checkpoint_store().has(0),
+        "background checkpoint landed"
+    );
+
+    // Stand in for a restarted worker process: a fresh, empty worker
+    // behind a fresh loopback TCP socket; the reconnector dials it.
+    let replacement = Worker::new(WorkerConfig::default());
+    let addr = replacement.serve_tcp("127.0.0.1:0").unwrap();
+    sup.set_reconnector(Box::new(move |_w| {
+        TcpChannel::connect(addr)
+            .ok()
+            .map(|c| Box::new(c) as Box<dyn Channel>)
+    }));
+
+    // Kill worker 0 mid-run, then recompute the same plan.
+    workers[0].shutdown();
+    let after = sds.compute(&plan).unwrap();
+    assert_eq!(
+        expected.values(),
+        after.values(),
+        "recovered computation is bitwise identical"
+    );
+
+    // The replacement worker really holds the restored partition, and the
+    // transport layer counted the channel re-establishment.
+    assert!(
+        !replacement.table().is_empty(),
+        "checkpointed state restored onto the replacement worker"
+    );
+    assert!(ctx.stats().recoveries() >= 1, "NetStats counted recovery");
+    assert!(
+        replacement.epoch() > workers[0].epoch(),
+        "restart = new epoch"
+    );
+
+    // The run profile shows the self-healing work: recovery.restore spans
+    // and checkpoint/recovery metrics.
+    exdra::obs::set_enabled(false);
+    let spans = exdra::obs::take_spans();
+    let restore: Vec<_> = spans
+        .iter()
+        .filter(|s| s.name == "recovery.restore")
+        .collect();
+    assert!(!restore.is_empty(), "recovery.restore span recorded");
+    assert!(
+        restore.iter().all(|s| s.kind == SpanKind::Recovery),
+        "restore spans carry the recovery kind"
+    );
+    assert!(
+        spans.iter().any(|s| s.name == "recovery.checkpoint"),
+        "background checkpoint spans recorded"
+    );
+
+    let report = RunReport::from_global();
+    let rec = report
+        .recovery
+        .expect("RunReport surfaces a recovery summary");
+    assert!(rec.recovered >= 1, "one worker recovered: {rec:?}");
+    assert!(rec.restores >= 1, "restored from checkpoint: {rec:?}");
+    assert!(rec.restored_entries >= 1, "entries shipped back: {rec:?}");
+    assert!(rec.checkpoint_deltas >= 1, "checkpoints taken: {rec:?}");
+    assert!(
+        rec.checkpoint_bytes >= 1,
+        "checkpoint bytes counted: {rec:?}"
+    );
+    let json = report.to_json();
+    assert!(json.contains("\"recovery\""), "recovery summary in JSON");
+}
+
+/// Satellite acceptance: under an injected straggler fault plan, a request
+/// past the latency-derived deadline is speculatively re-issued to a live
+/// replica (primed with the straggler's checkpoint) and the computation
+/// keeps the first reply — correct results, and the profile records the
+/// speculation.
+#[test]
+fn speculative_reexecution_beats_injected_straggler() {
+    let _g = obs_test();
+    // Worker 0 sits behind an injected 150ms delay; worker 1 is fast.
+    let slow = Worker::new(WorkerConfig::default());
+    let fast = Worker::new(WorkerConfig::default());
+    let channels: Vec<Box<dyn Channel>> = vec![
+        Box::new(FaultyChannel::new(
+            Box::new(slow.serve_mem()) as Box<dyn Channel>,
+            FaultPlan::none(0x57a6).with_delay(1.0, Duration::from_millis(150)),
+        )),
+        Box::new(fast.serve_mem()),
+    ];
+    let ctx = exdra::FedContext::from_channels(channels).unwrap();
+    let policy = SupervisionPolicy {
+        speculation: Some(SpeculationPolicy {
+            multiplier: 1.0,
+            min_samples: 1,
+            min_deadline: Duration::from_millis(5),
+            max_deadline: Duration::from_millis(40),
+        }),
+        ..SupervisionPolicy::default()
+    };
+    let sup = Supervisor::new(Arc::clone(&ctx), policy);
+    sup.heartbeat_once();
+
+    // Seed the straggler with data and checkpoint it so a replica can be
+    // primed; prime the latency history so a deadline exists.
+    for id in 40..43u64 {
+        ctx.call(
+            0,
+            &[Request::Put {
+                id,
+                data: DataValue::Scalar(id as f64 / 10.0),
+                privacy: PrivacyLevel::Public,
+            }],
+        )
+        .unwrap();
+    }
+    sup.checkpoint_worker(0).unwrap();
+    sup.latency_tracker().record(0, Duration::from_millis(2));
+
+    // Every call past the deadline is answered by the replica, correctly.
+    for id in 40..43u64 {
+        let responses = sup
+            .call_with_speculation(0, &[Request::Get { id }])
+            .unwrap();
+        match &responses[0] {
+            Response::Data(DataValue::Scalar(v)) => assert_eq!(*v, id as f64 / 10.0),
+            other => panic!("expected restored scalar, got {other:?}"),
+        }
+    }
+
+    exdra::obs::set_enabled(false);
+    let spans = exdra::obs::take_spans();
+    assert!(
+        spans.iter().any(|s| s.name == "recovery.speculate"),
+        "speculation spans recorded"
+    );
+    let report = RunReport::from_global();
+    let rec = report
+        .recovery
+        .expect("speculation shows up in the summary");
+    assert!(
+        rec.speculation_launched >= 1,
+        "speculation launched: {rec:?}"
+    );
+    assert!(rec.speculation_won_replica >= 1, "replica won: {rec:?}");
+}
+
+/// An arbitrary dense matrix of proptest-chosen shape and content.
+fn arb_dense(max_dim: usize) -> BoxedStrategy<DenseMatrix> {
+    (1..=max_dim, 1..=max_dim)
+        .prop_flat_map(|(r, c)| {
+            proptest::collection::vec(-100.0f64..100.0, r * c)
+                .prop_map(move |data| DenseMatrix::new(r, c, data).unwrap())
+        })
+        .boxed()
+}
+
+/// An arbitrary CSR sparse matrix (~20% nonzeros, including all-zero).
+fn arb_sparse(max_dim: usize) -> BoxedStrategy<SparseMatrix> {
+    (1..=max_dim, 1..=max_dim)
+        .prop_flat_map(|(r, c)| {
+            proptest::collection::vec((0.0f64..1.0, -5.0f64..5.0), r * c).prop_map(move |cells| {
+                let data: Vec<f64> = cells
+                    .into_iter()
+                    .map(|(keep, v)| if keep < 0.2 { v } else { 0.0 })
+                    .collect();
+                SparseMatrix::from_dense(&DenseMatrix::new(r, c, data).unwrap())
+            })
+        })
+        .boxed()
+}
+
+/// An arbitrary raw frame exercising all four column types with missing
+/// cells in the categorical and integer columns.
+fn arb_frame(max_rows: usize) -> BoxedStrategy<Frame> {
+    (1..=max_rows)
+        .prop_flat_map(|rows| {
+            let cats = proptest::collection::vec(proptest::option::weighted(0.85, 0u8..5), rows);
+            let nums = proptest::collection::vec(-50.0f64..50.0, rows);
+            let ints =
+                proptest::collection::vec(proptest::option::weighted(0.9, -1000i64..1000), rows);
+            let bools = proptest::collection::vec(0..2u8, rows);
+            (cats, nums, ints, bools).prop_map(|(cats, nums, ints, bools)| {
+                Frame::new(vec![
+                    (
+                        "cat".into(),
+                        FrameColumn::Str(
+                            cats.into_iter()
+                                .map(|c| c.map(|v| format!("c{v}")))
+                                .collect(),
+                        ),
+                    ),
+                    (
+                        "num".into(),
+                        FrameColumn::F64(nums.into_iter().map(Some).collect()),
+                    ),
+                    ("cnt".into(), FrameColumn::I64(ints)),
+                    (
+                        "flag".into(),
+                        FrameColumn::Bool(bools.into_iter().map(|b| Some(b == 1)).collect()),
+                    ),
+                ])
+                .unwrap()
+            })
+        })
+        .boxed()
+}
+
+/// Consolidated transform metadata covering all four [`ColumnMeta`] kinds.
+fn arb_transform_meta() -> BoxedStrategy<DataValue> {
+    (1..5usize, 2..6usize)
+        .prop_map(|(ncodes, bins)| {
+            DataValue::TransformMeta(TransformMeta {
+                columns: vec![
+                    (
+                        ColumnSpec {
+                            name: "cat".into(),
+                            kind: EncodeKind::Recode,
+                            one_hot: true,
+                        },
+                        ColumnMeta::Recode {
+                            codes: (0..ncodes).map(|i| format!("c{i}")).collect(),
+                        },
+                    ),
+                    (
+                        ColumnSpec {
+                            name: "num".into(),
+                            kind: EncodeKind::Bin { num_bins: bins },
+                            one_hot: false,
+                        },
+                        ColumnMeta::Bin {
+                            min: -1.0,
+                            max: 1.0,
+                            num_bins: bins,
+                        },
+                    ),
+                    (
+                        ColumnSpec {
+                            name: "raw".into(),
+                            kind: EncodeKind::PassThrough,
+                            one_hot: false,
+                        },
+                        ColumnMeta::PassThrough,
+                    ),
+                    (
+                        ColumnSpec {
+                            name: "h".into(),
+                            kind: EncodeKind::Hash { num_features: 16 },
+                            one_hot: false,
+                        },
+                        ColumnMeta::Hash { num_features: 16 },
+                    ),
+                ],
+            })
+        })
+        .boxed()
+}
+
+/// Site-local transform metadata covering all four [`PartialColumnMeta`]
+/// kinds.
+fn arb_partial_meta() -> BoxedStrategy<DataValue> {
+    (1..40usize, -10.0f64..0.0, 0.0f64..10.0, 1..4usize)
+        .prop_map(|(rows, min, max, ndistinct)| {
+            DataValue::PartialMeta(PartialMeta {
+                columns: vec![
+                    PartialColumnMeta::PassThrough,
+                    PartialColumnMeta::Recode {
+                        distincts: (0..ndistinct).map(|i| format!("d{i}")).collect(),
+                    },
+                    PartialColumnMeta::Bin { min, max },
+                    PartialColumnMeta::Hash,
+                ],
+                rows,
+            })
+        })
+        .boxed()
+}
+
+/// Any [`DataValue`] variant: dense / CSR-sparse / compressed matrices,
+/// frames, scalars, both transform-metadata kinds, and nested lists.
+fn arb_value() -> BoxedStrategy<DataValue> {
+    (0..8u8)
+        .prop_flat_map(|variant| match variant {
+            0 => arb_dense(6)
+                .prop_map(|d| DataValue::Matrix(Matrix::Dense(d)))
+                .boxed(),
+            1 => arb_sparse(8)
+                .prop_map(|s| DataValue::Matrix(Matrix::Sparse(s)))
+                .boxed(),
+            2 => arb_dense(5)
+                .prop_map(|d| DataValue::Matrix(Matrix::Compressed(CompressedMatrix::compress(&d))))
+                .boxed(),
+            3 => arb_frame(12).prop_map(DataValue::Frame).boxed(),
+            4 => (-1e6f64..1e6).prop_map(DataValue::Scalar).boxed(),
+            5 => arb_transform_meta(),
+            6 => arb_partial_meta(),
+            _ => (
+                arb_dense(3),
+                proptest::collection::vec(-10.0f64..10.0, 1..4),
+            )
+                .prop_map(|(d, vs)| {
+                    let mut items: Vec<DataValue> = vs.into_iter().map(DataValue::Scalar).collect();
+                    items.push(DataValue::Matrix(Matrix::Dense(d)));
+                    DataValue::List(items)
+                })
+                .boxed(),
+        })
+        .boxed()
+}
+
+/// Compressed intermediates are a worker-local storage optimization and
+/// travel decompressed (see the `Matrix` wire codec), so a checkpointed
+/// compressed matrix is restored as the numerically identical dense form.
+fn wire_canonical(v: &DataValue) -> DataValue {
+    match v {
+        DataValue::Matrix(Matrix::Compressed(c)) => {
+            DataValue::Matrix(Matrix::Dense(c.decompress()))
+        }
+        DataValue::List(items) => DataValue::List(items.iter().map(wire_canonical).collect()),
+        other => other.clone(),
+    }
+}
+
+/// Any privacy constraint.
+fn arb_privacy() -> BoxedStrategy<PrivacyLevel> {
+    (0..3u8, 2..20usize)
+        .prop_map(|(v, min_group)| match v {
+            0 => PrivacyLevel::Public,
+            1 => PrivacyLevel::Private,
+            _ => PrivacyLevel::PrivateAggregate { min_group },
+        })
+        .boxed()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// CHECKPOINT → (wire) → RESTORE is the identity on the variable
+    /// environment for every value variant and privacy constraint: the
+    /// restored entry on a second worker matches the original value,
+    /// privacy level, releasability, and lineage tag bit-for-bit.
+    #[test]
+    fn checkpoint_round_trip_preserves_every_value_variant(
+        value in arb_value(),
+        privacy in arb_privacy(),
+        releasable in 0..2u8,
+        lineage in any::<u64>(),
+    ) {
+        let (ctx, workers) = mem_federation(2);
+        let releasable = releasable == 1;
+        workers[0]
+            .table()
+            .bind(41, Arc::new(value.clone()), privacy, releasable, lineage);
+
+        // Take a full checkpoint over the real protocol.
+        let rs = ctx.call(0, &[Request::Checkpoint { since_seq: 0 }]).unwrap();
+        let delta = match rs.into_iter().next().unwrap() {
+            Response::Checkpoint(d) => d,
+            other => panic!("expected checkpoint delta, got {other:?}"),
+        };
+        prop_assert_eq!(delta.entries.len(), 1);
+
+        // The RESTORE request survives an explicit wire round-trip.
+        let bytes = vec![Request::Restore { entries: delta.entries.clone() }].to_bytes();
+        let decoded = Vec::<Request>::from_bytes(&bytes).unwrap();
+        prop_assert_eq!(decoded.len(), 1);
+
+        // Restore onto the second (empty) worker and compare the binding.
+        ctx.call(1, &[Request::Restore { entries: delta.entries }]).unwrap();
+        let entry = workers[1].table().get(41).unwrap();
+        prop_assert!(*entry.value == wire_canonical(&value), "restored value differs");
+        prop_assert_eq!(entry.meta.privacy, privacy);
+        prop_assert_eq!(entry.meta.releasable, releasable);
+        prop_assert_eq!(entry.meta.lineage, lineage);
+    }
+}
