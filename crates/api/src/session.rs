@@ -65,6 +65,7 @@ pub struct SessionBuilder {
     tracing: bool,
     plan_cache_bytes: Option<usize>,
     supervision: Option<SupervisionPolicy>,
+    threads: Option<usize>,
 }
 
 impl Default for SessionBuilder {
@@ -75,6 +76,7 @@ impl Default for SessionBuilder {
             tracing: false,
             plan_cache_bytes: None,
             supervision: Some(SupervisionPolicy::default()),
+            threads: None,
         }
     }
 }
@@ -132,12 +134,27 @@ impl SessionBuilder {
         self
     }
 
+    /// Pins the intra-operator compute pool to `n` threads (clamped to a
+    /// minimum of 1; `1` means exact serial execution). This is a
+    /// **process-global** setting applied at `build()` — it overrides the
+    /// `EXDRA_THREADS` environment variable and the auto-detected core
+    /// count, and affects kernels run outside this session too. Results
+    /// are bitwise identical at every thread count; see the
+    /// "Threading & reproducibility" section of the README.
+    pub fn threads(mut self, n: usize) -> Self {
+        self.threads = Some(n.max(1));
+        self
+    }
+
     /// Builds the session, connecting to workers if needed and starting
     /// the background supervisor for connected sessions (unless
     /// [`SessionBuilder::no_supervision`] was called).
     pub fn build(self) -> Result<Session> {
         if self.tracing {
             exdra_obs::set_enabled(true);
+        }
+        if let Some(n) = self.threads {
+            exdra_par::set_threads(n);
         }
         let ctx = match self.target {
             Target::Local => None,
@@ -414,6 +431,29 @@ mod tests {
     use super::*;
     use exdra_core::testutil::mem_federation;
     use exdra_matrix::rng::rand_matrix;
+
+    #[test]
+    fn threads_knob_pins_the_pool() {
+        let sds = Session::builder().threads(2).build().unwrap();
+        assert_eq!(exdra_par::threads(), 2);
+        // `threads(0)` clamps to 1 (exact serial execution).
+        let _ = Session::builder().threads(0).build().unwrap();
+        assert_eq!(exdra_par::threads(), 1);
+        // Results are identical across widths by the determinism contract.
+        let m = rand_matrix(40, 17, -1.0, 1.0, 42);
+        let serial = {
+            let x = sds.matrix(m.clone());
+            x.matmul(&sds.matrix(m.clone()).t()).compute().unwrap()
+        };
+        exdra_par::set_threads(4);
+        let par = {
+            let x = sds.matrix(m.clone());
+            x.matmul(&sds.matrix(m.clone()).t()).compute().unwrap()
+        };
+        assert_eq!(serial.values(), par.values());
+        // Clear the process-global override for other tests.
+        exdra_par::set_threads(0);
+    }
 
     #[test]
     fn local_session_computes() {

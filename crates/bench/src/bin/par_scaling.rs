@@ -1,0 +1,128 @@
+//! Intra-operator scaling sweep: the hot kernels parallelized by
+//! `exdra-par` (matmul, tsmm, mmchain, sparse-dense matmul) timed at
+//! thread counts {1, 2, 4, max}, asserting bitwise-identical outputs at
+//! every width (DESIGN.md §4f determinism contract).
+//!
+//!     cargo run --release -p exdra-bench --bin par_scaling
+//!
+//! Writes `results/par_scaling.json` plus the usual metrics sidecar.
+//! Speedups are only meaningful on a multi-core host; the JSON records
+//! `host_cpus` so single-core CI runs are recognizable as such.
+
+use exdra_bench::{obs_init, secs, time_reps, write_metrics_sidecar, BenchConfig, Table};
+use exdra_matrix::kernels::matmul::{matmul, mmchain, tsmm};
+use exdra_matrix::rng::{rand_matrix, sprand_matrix};
+use exdra_matrix::sparse::SparseMatrix;
+use exdra_matrix::DenseMatrix;
+
+fn bits(m: &DenseMatrix) -> Vec<u64> {
+    m.values().iter().map(|v| v.to_bits()).collect()
+}
+
+fn main() {
+    obs_init();
+    let cfg = BenchConfig::from_args();
+    // 2000 at the default --rows 50000 (the acceptance 2k x 2k matmul),
+    // 400 under --quick.
+    let dim = (cfg.rows / 25).clamp(256, 2048);
+
+    exdra_par::set_threads(0);
+    let hw = exdra_par::threads();
+    let mut counts = vec![1usize, 2, 4, hw];
+    counts.sort_unstable();
+    counts.dedup();
+
+    let a = rand_matrix(dim, dim, -1.0, 1.0, 1);
+    let b = rand_matrix(dim, dim, -1.0, 1.0, 2);
+    let xt = rand_matrix(2 * dim, dim / 2, -1.0, 1.0, 3);
+    let xc = rand_matrix(cfg.rows, cfg.cols, -1.0, 1.0, 4);
+    let v = rand_matrix(cfg.cols, 1, -1.0, 1.0, 5);
+    let sp = SparseMatrix::from_dense(&sprand_matrix(dim, dim, -1.0, 1.0, 0.02, 6));
+    let rhs = rand_matrix(dim, 64, -1.0, 1.0, 7);
+
+    type Kernel<'a> = (&'a str, String, Box<dyn Fn() -> DenseMatrix + 'a>);
+    let kernels: Vec<Kernel> = vec![
+        (
+            "matmul",
+            format!("{dim}x{dim} * {dim}x{dim}"),
+            Box::new(|| matmul(&a, &b).expect("shapes")),
+        ),
+        (
+            "tsmm",
+            format!("t(X)*X, X {}x{}", 2 * dim, dim / 2),
+            Box::new(|| tsmm(&xt, true).expect("shapes")),
+        ),
+        (
+            "mmchain",
+            format!("t(X)*(X*v), X {}x{}", cfg.rows, cfg.cols),
+            Box::new(|| mmchain(&xc, &v, None).expect("shapes")),
+        ),
+        (
+            "sparse-mm",
+            format!("{dim}x{dim} @2% * {dim}x64"),
+            Box::new(|| sp.matmul_dense(&rhs).expect("shapes")),
+        ),
+    ];
+
+    let headers: Vec<String> = std::iter::once("kernel (dims)".to_string())
+        .chain(counts.iter().map(|t| format!("t={t}")))
+        .chain(std::iter::once(format!(
+            "speedup@{}",
+            counts[counts.len() - 1]
+        )))
+        .collect();
+    let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
+    let mut table = Table::new(
+        "Intra-operator scaling (mean secs, bitwise-identical)",
+        &header_refs,
+    );
+
+    let mut json_kernels = Vec::new();
+    for (name, dims, run) in &kernels {
+        exdra_par::set_threads(1);
+        let baseline = bits(&run());
+        let mut means = Vec::with_capacity(counts.len());
+        for &t in &counts {
+            exdra_par::set_threads(t);
+            let got = bits(&run());
+            assert_eq!(
+                got, baseline,
+                "{name}: output at {t} threads differs bitwise from serial"
+            );
+            let (mean, _min) = time_reps(cfg.reps, run);
+            means.push(mean);
+        }
+        let speedup = means[0] / means[means.len() - 1].max(1e-12);
+        let mut row: Vec<String> = vec![format!("{name} ({dims})")];
+        row.extend(means.iter().map(|&m| secs(m)));
+        row.push(format!("{speedup:.2}x"));
+        table.row(&row);
+        let times: Vec<String> = counts
+            .iter()
+            .zip(&means)
+            .map(|(t, m)| format!("\"{t}\": {m:.6}"))
+            .collect();
+        json_kernels.push(format!(
+            "    {{\"kernel\": \"{name}\", \"dims\": \"{dims}\", \"mean_secs\": {{{}}}, \
+             \"speedup_vs_serial\": {speedup:.3}, \"bitwise_identical\": true}}",
+            times.join(", ")
+        ));
+    }
+    exdra_par::set_threads(0);
+    table.print();
+
+    let threads_list: Vec<String> = counts.iter().map(usize::to_string).collect();
+    let json = format!(
+        "{{\n  \"host_cpus\": {hw},\n  \"threads\": [{}],\n  \"reps\": {},\n  \"kernels\": [\n{}\n  ]\n}}\n",
+        threads_list.join(", "),
+        cfg.reps,
+        json_kernels.join(",\n")
+    );
+    let dir = std::path::Path::new("results");
+    let path = dir.join("par_scaling.json");
+    match std::fs::create_dir_all(dir).and_then(|_| std::fs::write(&path, json)) {
+        Ok(()) => println!("\nresults: {}", path.display()),
+        Err(e) => eprintln!("warning: failed to write {}: {e}", path.display()),
+    }
+    write_metrics_sidecar("par_scaling");
+}

@@ -129,9 +129,21 @@ impl CheckpointStore {
     /// irrelevant because bindings are independent.
     pub fn snapshot(&self, worker: usize) -> Option<Vec<CheckpointEntry>> {
         let guard = self.workers.get(worker)?.lock();
-        guard
-            .as_ref()
-            .map(|cp| cp.entries.values().cloned().collect())
+        let cp = guard.as_ref()?;
+        // Entry clones are memcpy-heavy (multi-MB matrix payloads), so
+        // fan blocks of entries out across the pool; `map_chunks`
+        // preserves block order (restore order is irrelevant anyway —
+        // see `restore_from`).
+        let refs: Vec<&CheckpointEntry> = cp.entries.values().collect();
+        let chunk = exdra_par::chunk_len(refs.len(), 8);
+        Some(
+            exdra_par::map_chunks(refs.len(), chunk, |_, range| {
+                refs[range].iter().map(|e| (*e).clone()).collect::<Vec<_>>()
+            })
+            .into_iter()
+            .flatten()
+            .collect(),
+        )
     }
 
     /// Number of entries in `worker`'s snapshot.

@@ -11,6 +11,7 @@
 //! * **lineage tracing + reuse** — outputs are bound with a lineage hash
 //!   and repeated sub-plans are served from the [`LineageCache`].
 
+use std::cell::Cell;
 use std::sync::Arc;
 
 use exdra_matrix::kernels::aggregates::{self, AggDir};
@@ -116,7 +117,15 @@ pub fn execute(
         }
     }
 
+    // Reset the thread's parallel-region stats so the delta after
+    // compute() is attributable to this instruction alone.
+    if obs_on {
+        let _ = exdra_par::take_region_stats();
+    }
     let value = compute(inst, &inputs)?;
+    if obs_on {
+        record_inst_parallelism(inst.name(), &mut span, exdra_par::take_region_stats());
+    }
     if span.is_active() {
         if let DataValue::Matrix(m) = &value {
             let (r, c) = m.shape();
@@ -140,6 +149,62 @@ pub fn execute(
         record_inst_nanos(inst.name(), t.elapsed().as_nanos() as u64);
     }
     Ok(())
+}
+
+thread_local! {
+    /// Batch-scope rollup of (regions, chunks, max threads) across the
+    /// instructions this thread executed, for the `worker.batch` span —
+    /// the fine-grained `exdra_par` thread-local is consumed per
+    /// instruction by [`record_inst_parallelism`].
+    static BATCH_PAR: Cell<(u64, u64, u64)> = const { Cell::new((0, 0, 0)) };
+}
+
+/// Returns and resets this thread's batch-scope parallelism rollup.
+pub(crate) fn take_batch_parallelism() -> (u64, u64, u64) {
+    BATCH_PAR.with(|c| c.replace((0, 0, 0)))
+}
+
+/// Attaches the pool activity observed during one instruction to its
+/// span (`par.*` attrs) and the per-opcode `par.inst.<opcode>.*`
+/// counters consumed by `RunReport`'s parallelism section. Only called
+/// when observability is on.
+fn record_inst_parallelism(
+    name: &str,
+    span: &mut exdra_obs::SpanGuard,
+    stats: exdra_par::RegionStats,
+) {
+    if stats.total_regions() == 0 {
+        return;
+    }
+    BATCH_PAR.with(|c| {
+        let (r, ch, t) = c.get();
+        c.set((
+            r + stats.regions,
+            ch + stats.chunks,
+            t.max(stats.max_threads),
+        ));
+    });
+    if span.is_active() {
+        span.attr("par.regions", stats.regions);
+        span.attr("par.chunks", stats.chunks);
+        span.attr("par.threads", stats.max_threads);
+    }
+    let g = exdra_obs::global();
+    let mut metric = String::with_capacity(16 + name.len());
+    metric.push_str("par.inst.");
+    metric.push_str(name);
+    let base = metric.len();
+    metric.push_str(".calls");
+    g.inc(&metric);
+    metric.truncate(base);
+    metric.push_str(".regions");
+    g.add(&metric, stats.regions);
+    metric.truncate(base);
+    metric.push_str(".chunks");
+    g.add(&metric, stats.chunks);
+    metric.truncate(base);
+    metric.push_str(".threads");
+    g.add(&metric, stats.threads_engaged);
 }
 
 /// Feeds one instruction execution into the per-opcode latency

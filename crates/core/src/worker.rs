@@ -245,6 +245,9 @@ impl Worker {
         }
         let hits0 = self.cache.hits();
         let misses0 = self.cache.misses();
+        if obs_on {
+            let _ = crate::exec::take_batch_parallelism();
+        }
         let t_batch = obs_on.then(Instant::now);
         let mut footer = BatchFooter::default();
         if obs_on {
@@ -284,6 +287,14 @@ impl Worker {
             span.attr("exec_nanos", footer.exec_nanos);
             span.attr("cache_hits", footer.cache_hits);
             span.attr("cache_misses", footer.cache_misses);
+        }
+        if obs_on {
+            let (regions, chunks, threads) = crate::exec::take_batch_parallelism();
+            if regions > 0 && span.is_active() {
+                span.attr("par.regions", regions);
+                span.attr("par.chunks", chunks);
+                span.attr("par.threads", threads);
+            }
         }
         (responses, footer)
     }
@@ -700,7 +711,8 @@ impl Worker {
     /// Compresses dense matrix entries of at least `min_bytes` that have
     /// been idle for `min_idle`. Returns the number of compacted entries.
     pub fn compact(&self, min_bytes: usize, min_idle: Duration) -> usize {
-        let mut n = 0usize;
+        // Phase 1: snapshot eligible dense entries (cheap Arc clones).
+        let mut work: Vec<(u64, Arc<DataValue>)> = Vec::new();
         for (id, bytes, idle) in self.table.compaction_candidates() {
             if bytes < min_bytes || idle < min_idle {
                 continue;
@@ -708,15 +720,29 @@ impl Worker {
             let Ok(entry) = self.table.get(id) else {
                 continue;
             };
-            if let DataValue::Matrix(Matrix::Dense(d)) = &*entry.value {
-                let compressed = CompressedMatrix::compress(d);
-                // Only keep the compressed form when it actually pays off.
-                if compressed.size_bytes() < d.size_bytes() {
-                    let value = DataValue::Matrix(Matrix::Compressed(compressed));
-                    if self.table.replace_value(id, Arc::new(value)).is_ok() {
-                        n += 1;
-                    }
-                }
+            if matches!(&*entry.value, DataValue::Matrix(Matrix::Dense(_))) {
+                work.push((id, entry.value));
+            }
+        }
+        // Phase 2: compress entries in parallel — each entry is
+        // independent, and the column-parallel compress inside degrades
+        // to serial when nested under this region, so the pool is never
+        // oversubscribed. Chunk size 1: entries are few and heavy.
+        let encoded = exdra_par::map_chunks(work.len(), 1, |i, _| {
+            let (id, value) = &work[i];
+            let DataValue::Matrix(Matrix::Dense(d)) = &**value else {
+                return None;
+            };
+            let compressed = CompressedMatrix::compress(d);
+            // Only keep the compressed form when it actually pays off.
+            (compressed.size_bytes() < d.size_bytes()).then_some((*id, compressed))
+        });
+        // Phase 3: swap the winners into the table serially.
+        let mut n = 0usize;
+        for (id, compressed) in encoded.into_iter().flatten() {
+            let value = DataValue::Matrix(Matrix::Compressed(compressed));
+            if self.table.replace_value(id, Arc::new(value)).is_ok() {
+                n += 1;
             }
         }
         self.compressed_count.fetch_add(n as u64, Ordering::Relaxed);

@@ -179,11 +179,23 @@ impl CompressedMatrix {
     /// scheme with the smallest encoded size.
     pub fn compress(d: &DenseMatrix) -> Self {
         let (rows, cols) = d.shape();
-        let mut groups = Vec::with_capacity(cols);
-        for c in 0..cols {
-            let col: Vec<f64> = (0..rows).map(|r| d.get(r, c)).collect();
-            groups.push(Self::encode_column(col));
-        }
+        // Columns encode independently: gather + encode fan out in column
+        // blocks over the `exdra_par` pool, and `map_chunks` returns the
+        // blocks in column order, so the group layout matches the serial
+        // sweep exactly.
+        let min_cols = (crate::kernels::PAR_MIN_WORK / rows.max(1)).max(1);
+        let chunk = exdra_par::chunk_len(cols, min_cols);
+        let groups = exdra_par::map_chunks(cols, chunk, |_, range| {
+            range
+                .map(|c| {
+                    let col: Vec<f64> = (0..rows).map(|r| d.get(r, c)).collect();
+                    Self::encode_column(col)
+                })
+                .collect::<Vec<_>>()
+        })
+        .into_iter()
+        .flatten()
+        .collect();
         Self { rows, groups }
     }
 

@@ -109,43 +109,60 @@ pub fn aggregate(x: &DenseMatrix, op: AggOp, dir: AggDir) -> Result<DenseMatrix>
             ))
         }
         AggDir::Row => {
+            // One output cell per row: fan row blocks out across the pool;
+            // each row reduces left-to-right exactly as the serial loop.
             let mut out = DenseMatrix::zeros(r, 1);
-            for i in 0..r {
-                let mut sum = 0.0;
-                let mut sumsq = 0.0;
-                let mut min = f64::INFINITY;
-                let mut max = f64::NEG_INFINITY;
-                for &v in x.row(i) {
-                    sum += v;
-                    sumsq += v * v;
-                    min = min.min(v);
-                    max = max.max(v);
+            let xv = x.values();
+            let rows_per_chunk = exdra_par::chunk_len(r, super::par_floor(4 * c));
+            exdra_par::par_chunks_mut(out.values_mut(), rows_per_chunk, |_, i0, chunk| {
+                for (d, o) in chunk.iter_mut().enumerate() {
+                    let mut sum = 0.0;
+                    let mut sumsq = 0.0;
+                    let mut min = f64::INFINITY;
+                    let mut max = f64::NEG_INFINITY;
+                    for &v in &xv[(i0 + d) * c..(i0 + d + 1) * c] {
+                        sum += v;
+                        sumsq += v * v;
+                        min = min.min(v);
+                        max = max.max(v);
+                    }
+                    *o = finish(op, sum, sumsq, min, max, c as f64);
                 }
-                out.set(i, 0, finish(op, sum, sumsq, min, max, c as f64));
-            }
+            });
             Ok(out)
         }
         AggDir::Col => {
-            let mut sum = vec![0.0; c];
-            let mut sumsq = vec![0.0; c];
-            let mut min = vec![f64::INFINITY; c];
-            let mut max = vec![f64::NEG_INFINITY; c];
-            for i in 0..r {
-                for (j, &v) in x.row(i).iter().enumerate() {
-                    sum[j] += v;
-                    sumsq[j] += v * v;
-                    if v < min[j] {
-                        min[j] = v;
-                    }
-                    if v > max[j] {
-                        max[j] = v;
+            // Disjoint column blocks: each block scans rows top-to-bottom
+            // keeping per-column running stats, so every column reduces in
+            // the same i-ascending order as the serial sweep — identical
+            // bits at any thread count.
+            let mut out = DenseMatrix::zeros(1, c);
+            let xv = x.values();
+            let cols_per_chunk = exdra_par::chunk_len(c, super::par_floor(4 * r));
+            exdra_par::par_chunks_mut(out.values_mut(), cols_per_chunk, |_, j0, ochunk| {
+                let width = ochunk.len();
+                let mut sum = vec![0.0; width];
+                let mut sumsq = vec![0.0; width];
+                let mut min = vec![f64::INFINITY; width];
+                let mut max = vec![f64::NEG_INFINITY; width];
+                for i in 0..r {
+                    let seg = &xv[i * c + j0..i * c + j0 + width];
+                    for (jj, &v) in seg.iter().enumerate() {
+                        sum[jj] += v;
+                        sumsq[jj] += v * v;
+                        if v < min[jj] {
+                            min[jj] = v;
+                        }
+                        if v > max[jj] {
+                            max[jj] = v;
+                        }
                     }
                 }
-            }
-            let data: Vec<f64> = (0..c)
-                .map(|j| finish(op, sum[j], sumsq[j], min[j], max[j], r as f64))
-                .collect();
-            DenseMatrix::new(1, c, data)
+                for (jj, o) in ochunk.iter_mut().enumerate() {
+                    *o = finish(op, sum[jj], sumsq[jj], min[jj], max[jj], r as f64);
+                }
+            });
+            Ok(out)
         }
     }
 }

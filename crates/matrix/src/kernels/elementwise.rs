@@ -2,8 +2,24 @@
 //! including row/column-vector broadcasting as used by the federated plans
 //! (e.g. `X - colMeans(X)` broadcasts a `1 x c` vector over rows).
 
+use super::PAR_MIN_WORK;
 use crate::dense::DenseMatrix;
 use crate::error::{MatrixError, Result};
+
+/// Cell-parallel map: fills a fresh matrix from `x`'s cells through `f`
+/// over disjoint output chunks. Each cell depends on exactly one input
+/// cell, so the result is bitwise identical at any thread count.
+fn map_cells(x: &DenseMatrix, f: impl Fn(f64) -> f64 + Sync) -> DenseMatrix {
+    let mut out = DenseMatrix::zeros(x.rows(), x.cols());
+    let xv = x.values();
+    let chunk = exdra_par::chunk_len(xv.len(), PAR_MIN_WORK);
+    exdra_par::par_chunks_mut(out.values_mut(), chunk, |_, c0, part| {
+        for (d, o) in part.iter_mut().enumerate() {
+            *o = f(xv[c0 + d]);
+        }
+    });
+    out
+}
 
 /// Unary element-wise operations of Table 1.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -117,29 +133,38 @@ impl UnaryOp {
 
 /// Applies a unary operation cell-wise.
 pub fn unary(x: &DenseMatrix, op: UnaryOp) -> DenseMatrix {
-    x.map(|v| op.apply(v))
+    map_cells(x, |v| op.apply(v))
 }
 
 /// Row-wise softmax: `exp(x - rowMax) / rowSum(exp(..))`, numerically stable.
 ///
-/// Listed in Table 1's unary row; operates per row as in SystemDS.
+/// Listed in Table 1's unary row; operates per row as in SystemDS. Rows are
+/// independent, so they fan out in row-aligned blocks.
 pub fn softmax(x: &DenseMatrix) -> DenseMatrix {
-    let mut out = DenseMatrix::zeros(x.rows(), x.cols());
-    for r in 0..x.rows() {
-        let row = x.row(r);
-        let mx = row.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
-        let orow = out.row_mut(r);
-        let mut sum = 0.0;
-        for (o, &v) in orow.iter_mut().zip(row) {
-            *o = (v - mx).exp();
-            sum += *o;
-        }
-        if sum > 0.0 {
-            for o in orow.iter_mut() {
-                *o /= sum;
+    let (rows, cols) = x.shape();
+    let mut out = DenseMatrix::zeros(rows, cols);
+    if rows == 0 || cols == 0 {
+        return out;
+    }
+    let xv = x.values();
+    let rows_per_chunk = exdra_par::chunk_len(rows, super::par_floor(3 * cols));
+    exdra_par::par_chunks_mut(out.values_mut(), rows_per_chunk * cols, |_, cell0, part| {
+        let r0 = cell0 / cols;
+        for (dr, orow) in part.chunks_mut(cols).enumerate() {
+            let row = &xv[(r0 + dr) * cols..(r0 + dr + 1) * cols];
+            let mx = row.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+            let mut sum = 0.0;
+            for (o, &v) in orow.iter_mut().zip(row) {
+                *o = (v - mx).exp();
+                sum += *o;
+            }
+            if sum > 0.0 {
+                for o in orow.iter_mut() {
+                    *o /= sum;
+                }
             }
         }
-    }
+    });
     out
 }
 
@@ -293,43 +318,60 @@ pub fn binary(lhs: &DenseMatrix, op: BinaryOp, rhs: &DenseMatrix) -> Result<Dens
         lhs: lhs.shape(),
         rhs: rhs.shape(),
     })?;
-    let mut out = DenseMatrix::zeros(lhs.rows(), lhs.cols());
+    let (rows, cols) = lhs.shape();
+    let mut out = DenseMatrix::zeros(rows, cols);
+    if rows == 0 || cols == 0 {
+        return Ok(out);
+    }
+    let lv = lhs.values();
+    // Each arm fans disjoint output chunks (cell-aligned for cell-wise
+    // arms, row-aligned when a vector broadcasts along rows/columns) out
+    // across the pool; every cell reads fixed inputs, so bits are
+    // identical at any thread count.
     match bc {
         Broadcast::None => {
-            for ((o, &a), &b) in out
-                .values_mut()
-                .iter_mut()
-                .zip(lhs.values())
-                .zip(rhs.values())
-            {
-                *o = op.apply(a, b);
-            }
+            let bv = rhs.values();
+            let chunk = exdra_par::chunk_len(lv.len(), PAR_MIN_WORK);
+            exdra_par::par_chunks_mut(out.values_mut(), chunk, |_, c0, part| {
+                for (d, o) in part.iter_mut().enumerate() {
+                    *o = op.apply(lv[c0 + d], bv[c0 + d]);
+                }
+            });
         }
         Broadcast::Scalar => {
             let b = rhs.values()[0];
-            for (o, &a) in out.values_mut().iter_mut().zip(lhs.values()) {
-                *o = op.apply(a, b);
-            }
+            let chunk = exdra_par::chunk_len(lv.len(), PAR_MIN_WORK);
+            exdra_par::par_chunks_mut(out.values_mut(), chunk, |_, c0, part| {
+                for (d, o) in part.iter_mut().enumerate() {
+                    *o = op.apply(lv[c0 + d], b);
+                }
+            });
         }
         Broadcast::RowVector => {
             let bv = rhs.values();
-            for r in 0..lhs.rows() {
-                let lrow = lhs.row(r);
-                let orow = out.row_mut(r);
-                for ((o, &a), &b) in orow.iter_mut().zip(lrow).zip(bv) {
-                    *o = op.apply(a, b);
+            let rows_per_chunk = exdra_par::chunk_len(rows, super::par_floor(cols));
+            exdra_par::par_chunks_mut(out.values_mut(), rows_per_chunk * cols, |_, c0, part| {
+                for (dr, orow) in part.chunks_mut(cols).enumerate() {
+                    let lrow = &lv[(c0 / cols + dr) * cols..][..cols];
+                    for ((o, &a), &b) in orow.iter_mut().zip(lrow).zip(bv) {
+                        *o = op.apply(a, b);
+                    }
                 }
-            }
+            });
         }
         Broadcast::ColVector => {
-            for r in 0..lhs.rows() {
-                let b = rhs.get(r, 0);
-                let lrow = lhs.row(r);
-                let orow = out.row_mut(r);
-                for (o, &a) in orow.iter_mut().zip(lrow) {
-                    *o = op.apply(a, b);
+            let bv = rhs.values();
+            let rows_per_chunk = exdra_par::chunk_len(rows, super::par_floor(cols));
+            exdra_par::par_chunks_mut(out.values_mut(), rows_per_chunk * cols, |_, c0, part| {
+                for (dr, orow) in part.chunks_mut(cols).enumerate() {
+                    let r = c0 / cols + dr;
+                    let b = bv[r];
+                    let lrow = &lv[r * cols..(r + 1) * cols];
+                    for (o, &a) in orow.iter_mut().zip(lrow) {
+                        *o = op.apply(a, b);
+                    }
                 }
-            }
+            });
         }
     }
     Ok(out)
@@ -339,9 +381,9 @@ pub fn binary(lhs: &DenseMatrix, op: BinaryOp, rhs: &DenseMatrix) -> Result<Dens
 /// instead of `matrix op scalar` (needed for non-commutative ops like `1-X`).
 pub fn scalar(lhs: &DenseMatrix, op: BinaryOp, s: f64, swap: bool) -> DenseMatrix {
     if swap {
-        lhs.map(|v| op.apply(s, v))
+        map_cells(lhs, |v| op.apply(s, v))
     } else {
-        lhs.map(|v| op.apply(v, s))
+        map_cells(lhs, |v| op.apply(v, s))
     }
 }
 

@@ -5,6 +5,7 @@
 // iterator zips over 3+ arrays obscure the access pattern.
 #![allow(clippy::needless_range_loop)]
 
+use super::par_floor;
 use crate::dense::DenseMatrix;
 use crate::error::{MatrixError, Result};
 
@@ -15,7 +16,10 @@ const TILE: usize = 64;
 ///
 /// Uses an i-k-j loop order with tiling over `k` so the inner loop streams
 /// both the `rhs` row and the output row — the standard dense layout-friendly
-/// schedule for row-major data.
+/// schedule for row-major data. Output rows are split into disjoint blocks
+/// fanned out across the `exdra_par` pool; every output cell accumulates in
+/// k-ascending order regardless of the split, so the result is bitwise
+/// identical at any thread count.
 pub fn matmul(lhs: &DenseMatrix, rhs: &DenseMatrix) -> Result<DenseMatrix> {
     if lhs.cols() != rhs.rows() {
         return Err(MatrixError::DimensionMismatch {
@@ -27,39 +31,49 @@ pub fn matmul(lhs: &DenseMatrix, rhs: &DenseMatrix) -> Result<DenseMatrix> {
     let (m, k) = lhs.shape();
     let n = rhs.cols();
     let mut out = DenseMatrix::zeros(m, n);
-    // Fast path: matrix-vector.
-    if n == 1 {
-        let rv = rhs.values();
-        for i in 0..m {
-            let row = lhs.row(i);
-            let mut acc = 0.0;
-            for (a, b) in row.iter().zip(rv) {
-                acc += a * b;
-            }
-            out.set(i, 0, acc);
-        }
+    if m == 0 || n == 0 {
         return Ok(out);
     }
-    for kb in (0..k).step_by(TILE) {
-        let kend = (kb + TILE).min(k);
-        for i in 0..m {
-            let lrow = lhs.row(i);
-            // Split borrows: copy the output row pointer once per (i, kb).
-            let orow_start = i * n;
-            let out_vals = out.values_mut();
-            for kk in kb..kend {
-                let a = lrow[kk];
-                if a == 0.0 {
-                    continue;
+    let lv = lhs.values();
+    let rv = rhs.values();
+    // Fast path: matrix-vector. One dot product per output cell, written
+    // straight through disjoint `values_mut()` chunks.
+    if n == 1 {
+        let rows_per_chunk = exdra_par::chunk_len(m, par_floor(k));
+        exdra_par::par_chunks_mut(out.values_mut(), rows_per_chunk, |_, row0, chunk| {
+            for (d, o) in chunk.iter_mut().enumerate() {
+                let lrow = &lv[(row0 + d) * k..(row0 + d + 1) * k];
+                let mut acc = 0.0;
+                for (a, b) in lrow.iter().zip(rv) {
+                    acc += a * b;
                 }
-                let rrow = rhs.row(kk);
-                let orow = &mut out_vals[orow_start..orow_start + n];
-                for (o, &b) in orow.iter_mut().zip(rrow) {
-                    *o += a * b;
+                *o = acc;
+            }
+        });
+        return Ok(out);
+    }
+    let rows_per_chunk = exdra_par::chunk_len(m, par_floor(k * n));
+    exdra_par::par_chunks_mut(out.values_mut(), rows_per_chunk * n, |_, cell0, ochunk| {
+        let i0 = cell0 / n;
+        let rows = ochunk.len() / n;
+        for kb in (0..k).step_by(TILE) {
+            let kend = (kb + TILE).min(k);
+            for di in 0..rows {
+                let lrow = &lv[(i0 + di) * k..(i0 + di + 1) * k];
+                let orow = &mut ochunk[di * n..(di + 1) * n];
+                for kk in kb..kend {
+                    let a = lrow[kk];
+                    if a == 0.0 {
+                        continue;
+                    }
+                    let rrow = &rv[kk * n..(kk + 1) * n];
+                    for (o, &b) in orow.iter_mut().zip(rrow) {
+                        *o += a * b;
+                    }
                 }
             }
         }
-    }
+    });
     Ok(out)
 }
 
@@ -69,20 +83,33 @@ pub fn tsmm(x: &DenseMatrix, left: bool) -> Result<DenseMatrix> {
     if left {
         let (m, n) = x.shape();
         let mut out = DenseMatrix::zeros(n, n);
-        for r in 0..m {
-            let row = x.row(r);
-            for i in 0..n {
-                let a = row[i];
-                if a == 0.0 {
-                    continue;
-                }
-                let orow_start = i * n;
-                let out_vals = out.values_mut();
-                for j in i..n {
-                    out_vals[orow_start + j] += a * row[j];
+        if n == 0 {
+            return Ok(out);
+        }
+        let xv = x.values();
+        // Output rows of the upper triangle are disjoint, so fan them out
+        // in blocks; each cell still accumulates in r-ascending order with
+        // the same zero-skip, keeping bits identical to the serial r-i-j
+        // schedule. Upper rows carry more columns, but the pool's shared
+        // queue lets early-finishing threads steal the cheap tail chunks.
+        let rows_per_chunk = exdra_par::chunk_len(n, par_floor(m * (n / 2 + 1)));
+        exdra_par::par_chunks_mut(out.values_mut(), rows_per_chunk * n, |_, cell0, ochunk| {
+            let i0 = cell0 / n;
+            let rows = ochunk.len() / n;
+            for r in 0..m {
+                let row = &xv[r * n..(r + 1) * n];
+                for di in 0..rows {
+                    let a = row[i0 + di];
+                    if a == 0.0 {
+                        continue;
+                    }
+                    let orow = &mut ochunk[di * n..(di + 1) * n];
+                    for j in (i0 + di)..n {
+                        orow[j] += a * row[j];
+                    }
                 }
             }
-        }
+        });
         // Mirror the upper triangle.
         for i in 0..n {
             for j in (i + 1)..n {
@@ -121,23 +148,48 @@ pub fn mmchain(x: &DenseMatrix, v: &DenseMatrix, w: Option<&DenseMatrix>) -> Res
     }
     let (m, n) = x.shape();
     let vv = v.values();
+    let xv = x.values();
+    let wv = w.map(|w| w.values());
     let mut out = DenseMatrix::zeros(n, 1);
-    let out_vals = out.values_mut();
-    for i in 0..m {
-        let row = x.row(i);
-        let mut q = 0.0;
-        for (a, b) in row.iter().zip(vv) {
-            q += a * b;
-        }
-        if let Some(w) = w {
-            q *= w.values()[i];
-        }
-        if q != 0.0 {
-            for (o, &a) in out_vals.iter_mut().zip(row) {
-                *o += q * a;
+    if m == 0 || n == 0 {
+        return Ok(out);
+    }
+    // Phase 1: q = (X v) ⊙ w — one dot product per row, row-disjoint.
+    let mut q = vec![0.0; m];
+    exdra_par::par_chunks_mut(
+        &mut q,
+        exdra_par::chunk_len(m, par_floor(n)),
+        |_, i0, chunk| {
+            for (d, qi) in chunk.iter_mut().enumerate() {
+                let row = &xv[(i0 + d) * n..(i0 + d + 1) * n];
+                let mut acc = 0.0;
+                for (a, b) in row.iter().zip(vv) {
+                    acc += a * b;
+                }
+                if let Some(wv) = wv {
+                    acc *= wv[i0 + d];
+                }
+                *qi = acc;
+            }
+        },
+    );
+    // Phase 2: out = Xᵀ q over disjoint column blocks of the output;
+    // each out[j] accumulates i-ascending with the same q≠0 skip as the
+    // fused serial loop, so bits match at any split.
+    let q = &q;
+    let cols_per_chunk = exdra_par::chunk_len(n, par_floor(m));
+    exdra_par::par_chunks_mut(out.values_mut(), cols_per_chunk, |_, j0, ochunk| {
+        let width = ochunk.len();
+        for (i, &qi) in q.iter().enumerate() {
+            if qi == 0.0 {
+                continue;
+            }
+            let seg = &xv[i * n + j0..i * n + j0 + width];
+            for (o, &a) in ochunk.iter_mut().zip(seg) {
+                *o += qi * a;
             }
         }
-    }
+    });
     Ok(out)
 }
 

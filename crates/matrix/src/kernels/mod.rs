@@ -18,3 +18,14 @@ pub mod matmul;
 pub mod quaternary;
 pub mod reorg;
 pub mod ternary;
+
+/// Minimum per-chunk work (in multiply-add units) before a kernel fans
+/// out across the [`exdra_par`] pool: below this, spawn/steal overhead
+/// dominates and the kernels stay single-chunk (= exactly serial).
+pub(crate) const PAR_MIN_WORK: usize = 1 << 15;
+
+/// Smallest chunk size (in items) for a kernel whose per-item cost is
+/// `cost_per_item` multiply-adds, derived from [`PAR_MIN_WORK`].
+pub(crate) fn par_floor(cost_per_item: usize) -> usize {
+    (PAR_MIN_WORK / cost_per_item.max(1)).max(1)
+}

@@ -59,17 +59,28 @@ pub fn wsloss(x: &DenseMatrix, w: &DenseMatrix, u: &DenseMatrix, v: &DenseMatrix
 /// non-zero weights; the output is dense but zero where `W` is zero.
 pub fn wsigmoid(w: &DenseMatrix, u: &DenseMatrix, v: &DenseMatrix) -> Result<DenseMatrix> {
     check_factors(w, u, v, "wsigmoid")?;
-    let mut out = DenseMatrix::zeros(w.rows(), w.cols());
-    for i in 0..w.rows() {
-        let urow = u.row(i);
-        for j in 0..w.cols() {
-            let wij = w.get(i, j);
-            if wij != 0.0 {
-                let s = 1.0 / (1.0 + (-dot(urow, v.row(j))).exp());
-                out.set(i, j, wij * s);
+    let (rows, cols) = w.shape();
+    let mut out = DenseMatrix::zeros(rows, cols);
+    if rows == 0 || cols == 0 {
+        return Ok(out);
+    }
+    // Output rows are disjoint; each costs ~nnz(W row) * k dot-product
+    // work, so fan row blocks out across the pool.
+    let wv = w.values();
+    let rows_per_chunk = exdra_par::chunk_len(rows, super::par_floor(cols * u.cols().max(1)));
+    exdra_par::par_chunks_mut(out.values_mut(), rows_per_chunk * cols, |_, cell0, part| {
+        let i0 = cell0 / cols;
+        for (di, orow) in part.chunks_mut(cols).enumerate() {
+            let urow = u.row(i0 + di);
+            let wrow = &wv[(i0 + di) * cols..(i0 + di + 1) * cols];
+            for (j, (o, &wij)) in orow.iter_mut().zip(wrow).enumerate() {
+                if wij != 0.0 {
+                    let s = 1.0 / (1.0 + (-dot(urow, v.row(j))).exp());
+                    *o = wij * s;
+                }
             }
         }
-    }
+    });
     Ok(out)
 }
 

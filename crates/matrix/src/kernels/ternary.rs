@@ -87,25 +87,49 @@ pub fn ifelse(
             });
         }
     }
-    let mut out = DenseMatrix::zeros(cond.rows(), cond.cols());
-    for r in 0..cond.rows() {
-        for c in 0..cond.cols() {
-            let v = if cond.get(r, c) != 0.0 {
+    let (rows, cols) = cond.shape();
+    let mut out = DenseMatrix::zeros(rows, cols);
+    if cols == 0 {
+        return Ok(out);
+    }
+    // Cell-wise select over disjoint output chunks.
+    let cv = cond.values();
+    let chunk = exdra_par::chunk_len(cv.len(), super::PAR_MIN_WORK);
+    exdra_par::par_chunks_mut(out.values_mut(), chunk, |_, c0, part| {
+        for (d, o) in part.iter_mut().enumerate() {
+            let idx = c0 + d;
+            let (r, c) = (idx / cols, idx % cols);
+            *o = if cv[idx] != 0.0 {
                 pick(then_m, r, c)
             } else {
                 pick(else_m, r, c)
             };
-            out.set(r, c, v);
         }
-    }
+    });
     Ok(out)
 }
 
 /// Fused `X + s*Y` (`+*` when `sub=false`) or `X - s*Y` (`-*` when
 /// `sub=true`); avoids materializing the scaled intermediate.
 pub fn axpy(x: &DenseMatrix, s: f64, y: &DenseMatrix, sub: bool) -> Result<DenseMatrix> {
+    if x.shape() != y.shape() {
+        return Err(MatrixError::DimensionMismatch {
+            op: if sub { "-*" } else { "+*" },
+            lhs: x.shape(),
+            rhs: y.shape(),
+        });
+    }
     let factor = if sub { -s } else { s };
-    x.zip(y, if sub { "-*" } else { "+*" }, |a, b| a + factor * b)
+    let mut out = DenseMatrix::zeros(x.rows(), x.cols());
+    let xv = x.values();
+    let yv = y.values();
+    let chunk = exdra_par::chunk_len(xv.len(), super::PAR_MIN_WORK);
+    exdra_par::par_chunks_mut(out.values_mut(), chunk, |_, c0, part| {
+        for (d, o) in part.iter_mut().enumerate() {
+            *o = xv[c0 + d] + factor * yv[c0 + d];
+        }
+    });
+    Ok(out)
 }
 
 #[cfg(test)]

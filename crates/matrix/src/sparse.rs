@@ -167,17 +167,29 @@ impl SparseMatrix {
         }
         let n = rhs.cols();
         let mut out = DenseMatrix::zeros(self.rows, n);
-        for r in 0..self.rows {
-            // Accumulate scaled rhs rows into the output row.
-            let out_row: &mut [f64] = out.row_mut(r);
-            for k in self.row_ptr[r]..self.row_ptr[r + 1] {
-                let v = self.values[k];
-                let rr = rhs.row(self.col_idx[k] as usize);
-                for (o, &x) in out_row.iter_mut().zip(rr) {
-                    *o += v * x;
+        if self.rows == 0 || n == 0 {
+            return Ok(out);
+        }
+        // Output rows are disjoint, so fan row blocks out across the pool;
+        // each row accumulates its stored entries in CSR order exactly as
+        // the serial loop does. Chunks are sized for the *average* row
+        // cost; skewed rows rebalance through the shared steal queue.
+        let avg_row_work = (self.nnz() * n / self.rows).max(1);
+        let rows_per_chunk =
+            exdra_par::chunk_len(self.rows, crate::kernels::par_floor(avg_row_work));
+        exdra_par::par_chunks_mut(out.values_mut(), rows_per_chunk * n, |_, cell0, ochunk| {
+            let r0 = cell0 / n;
+            for (dr, out_row) in ochunk.chunks_mut(n).enumerate() {
+                let r = r0 + dr;
+                for k in self.row_ptr[r]..self.row_ptr[r + 1] {
+                    let v = self.values[k];
+                    let rr = rhs.row(self.col_idx[k] as usize);
+                    for (o, &x) in out_row.iter_mut().zip(rr) {
+                        *o += v * x;
+                    }
                 }
             }
-        }
+        });
         Ok(out)
     }
 

@@ -201,11 +201,31 @@ impl<A: Wire, B: Wire> Wire for (A, B) {
     }
 }
 
+/// Cell count above which dense payloads (de)serialize through the
+/// `exdra_par` pool (64k f64 = 512 KiB on the wire).
+const PAR_DENSE_CELLS: usize = 1 << 16;
+
 impl Wire for DenseMatrix {
     fn encode(&self, buf: &mut impl BufMut) {
         self.rows().encode(buf);
         self.cols().encode(buf);
-        for &v in self.values() {
+        let values = self.values();
+        if values.len() >= PAR_DENSE_CELLS {
+            // Large payload: byte-convert in parallel chunks into a
+            // staging buffer, then append in one shot. Chunks are
+            // disjoint 8-byte-aligned slices, so the wire bytes are
+            // identical to the serial loop below.
+            let mut raw = vec![0u8; values.len() * 8];
+            let chunk = exdra_par::chunk_len(values.len(), PAR_DENSE_CELLS / 8);
+            exdra_par::par_chunks_mut(&mut raw, chunk * 8, |_, off, part| {
+                for (d, bytes) in part.chunks_exact_mut(8).enumerate() {
+                    bytes.copy_from_slice(&values[off / 8 + d].to_le_bytes());
+                }
+            });
+            buf.put_slice(&raw);
+            return;
+        }
+        for &v in values {
             buf.put_f64_le(v);
         }
     }
@@ -217,8 +237,20 @@ impl Wire for DenseMatrix {
             .ok_or_else(|| DecodeError("matrix size overflow".into()))?;
         need(buf, n * 8, "dense payload")?;
         let mut data = vec![0.0f64; n];
-        for v in &mut data {
-            *v = buf.get_f64_le();
+        if n >= PAR_DENSE_CELLS {
+            let mut raw = vec![0u8; n * 8];
+            buf.copy_to_slice(&mut raw);
+            let chunk = exdra_par::chunk_len(n, PAR_DENSE_CELLS / 8);
+            exdra_par::par_chunks_mut(&mut data, chunk, |_, off, part| {
+                for (d, v) in part.iter_mut().enumerate() {
+                    let at = (off + d) * 8;
+                    *v = f64::from_le_bytes(raw[at..at + 8].try_into().unwrap());
+                }
+            });
+        } else {
+            for v in &mut data {
+                *v = buf.get_f64_le();
+            }
         }
         DenseMatrix::new(rows, cols, data).map_err(|e| DecodeError(e.to_string()))
     }

@@ -20,6 +20,8 @@
 //! | `recovery.{recovered,failed_attempts,restores,replays,restored_entries,restored_bytes}` | supervisor recovery arcs |
 //! | `checkpoint.{deltas,full_snapshots,entries,bytes}` | background checkpoint stream |
 //! | `speculation.{launched,won_replica,won_primary}` | straggler re-execution races |
+//! | `par.{regions,serial_regions,chunks,steals}`, `par.threads_used` (histogram) | compute-pool activity |
+//! | `par.inst.{opcode}.{calls,regions,chunks,threads}` | per-opcode intra-operator parallelism |
 
 use std::fmt;
 
@@ -110,6 +112,63 @@ impl RecoverySummary {
     }
 }
 
+/// Intra-operator data-parallelism activity of the run, reconstructed
+/// from the `par.*` counters the `exdra-par` pool and the instruction
+/// executor emit. Present only when at least one region executed.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ParallelismSummary {
+    /// Regions that fanned work out across threads.
+    pub regions: u64,
+    /// Regions that ran serially (width 1, single chunk, or nested).
+    pub serial_regions: u64,
+    /// Chunks executed across all parallel regions.
+    pub chunks: u64,
+    /// Chunks executed on spawned (non-caller) threads.
+    pub steals: u64,
+    /// Largest width engaged by any region.
+    pub threads_used_max: u64,
+    /// Mean width across parallel regions.
+    pub threads_used_mean: f64,
+    /// Per-opcode rollup, sorted by chunk volume.
+    pub per_instruction: Vec<InstrParallelism>,
+}
+
+/// One opcode's share of the pool activity.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct InstrParallelism {
+    pub name: String,
+    /// Instruction executions that touched the pool at all.
+    pub calls: u64,
+    /// Parallel regions those executions opened.
+    pub regions: u64,
+    /// Chunks executed across those regions.
+    pub chunks: u64,
+    /// Sum over regions of the width engaged.
+    pub threads_engaged: u64,
+}
+
+impl InstrParallelism {
+    /// Mean pool width engaged per parallel region (1.0 when every
+    /// region degraded to serial).
+    pub fn mean_threads(&self) -> f64 {
+        if self.regions == 0 {
+            1.0
+        } else {
+            self.threads_engaged as f64 / self.regions as f64
+        }
+    }
+
+    /// Fraction of `pool_width` this opcode kept busy — the
+    /// parallel-efficiency figure `Session::profile()` prints.
+    pub fn efficiency(&self, pool_width: u64) -> f64 {
+        if pool_width == 0 {
+            1.0
+        } else {
+            (self.mean_threads() / pool_width as f64).min(1.0)
+        }
+    }
+}
+
 /// Aggregate latency profile of one instruction opcode.
 #[derive(Debug, Clone, PartialEq)]
 pub struct InstrProfile {
@@ -133,6 +192,8 @@ pub struct RunReport {
     pub net: Option<NetTotals>,
     /// Supervisor activity (checkpoints, restores, speculation), when any.
     pub recovery: Option<RecoverySummary>,
+    /// Compute-pool activity (chunks, steals, per-opcode width), when any.
+    pub parallelism: Option<ParallelismSummary>,
 }
 
 impl RunReport {
@@ -147,6 +208,7 @@ impl RunReport {
         let workers = extract_workers(&metrics);
         let top_instructions = extract_instructions(&metrics);
         let recovery = extract_recovery(&metrics);
+        let parallelism = extract_parallelism(&metrics);
         RunReport {
             metrics,
             workers,
@@ -154,6 +216,7 @@ impl RunReport {
             spans_recorded: 0,
             net: None,
             recovery,
+            parallelism,
         }
     }
 
@@ -239,6 +302,40 @@ impl RunReport {
             )),
             None => out.push_str("null"),
         }
+        out.push_str(",\"parallelism\":");
+        match &self.parallelism {
+            Some(p) => {
+                out.push_str(&format!(
+                    "{{\"regions\":{},\"serial_regions\":{},\"chunks\":{},\
+                     \"steals\":{},\"threads_used_max\":{},\"threads_used_mean\":{},\
+                     \"per_instruction\":[",
+                    p.regions,
+                    p.serial_regions,
+                    p.chunks,
+                    p.steals,
+                    p.threads_used_max,
+                    json_f64(p.threads_used_mean)
+                ));
+                for (i, ip) in p.per_instruction.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push_str("{\"name\":");
+                    json_escape_into(&mut out, &ip.name);
+                    out.push_str(&format!(
+                        ",\"calls\":{},\"regions\":{},\"chunks\":{},\
+                         \"threads_engaged\":{},\"mean_threads\":{}}}",
+                        ip.calls,
+                        ip.regions,
+                        ip.chunks,
+                        ip.threads_engaged,
+                        json_f64(ip.mean_threads())
+                    ));
+                }
+                out.push_str("]}");
+            }
+            None => out.push_str("null"),
+        }
         out.push_str(&format!(
             ",\"spans_recorded\":{},\"metrics\":",
             self.spans_recorded
@@ -303,6 +400,55 @@ fn extract_recovery(snap: &MetricsSnapshot) -> Option<RecoverySummary> {
         speculation_won_primary: c("speculation.won_primary"),
     };
     (!summary.is_empty()).then_some(summary)
+}
+
+fn extract_parallelism(snap: &MetricsSnapshot) -> Option<ParallelismSummary> {
+    let c = |name: &str| snap.counter(name);
+    let regions = c("par.regions");
+    let serial_regions = c("par.serial_regions");
+    if regions + serial_regions == 0 {
+        return None;
+    }
+    let (threads_used_max, threads_used_mean) = snap
+        .histograms
+        .get("par.threads_used")
+        .map_or((0, 0.0), |h| (h.max, h.mean()));
+    let mut per: Vec<InstrParallelism> = Vec::new();
+    for (name, &value) in &snap.counters {
+        let Some(rest) = name.strip_prefix("par.inst.") else {
+            continue;
+        };
+        let Some((op, field)) = rest.rsplit_once('.') else {
+            continue;
+        };
+        let entry = match per.iter_mut().find(|p| p.name == op) {
+            Some(e) => e,
+            None => {
+                per.push(InstrParallelism {
+                    name: op.to_string(),
+                    ..Default::default()
+                });
+                per.last_mut().unwrap()
+            }
+        };
+        match field {
+            "calls" => entry.calls = value,
+            "regions" => entry.regions = value,
+            "chunks" => entry.chunks = value,
+            "threads" => entry.threads_engaged = value,
+            _ => {}
+        }
+    }
+    per.sort_by(|a, b| b.chunks.cmp(&a.chunks).then(a.name.cmp(&b.name)));
+    Some(ParallelismSummary {
+        regions,
+        serial_regions,
+        chunks: c("par.chunks"),
+        steals: c("par.steals"),
+        threads_used_max,
+        threads_used_mean,
+        per_instruction: per,
+    })
 }
 
 fn extract_instructions(snap: &MetricsSnapshot) -> Vec<InstrProfile> {
@@ -420,6 +566,35 @@ impl fmt::Display for RunReport {
                 r.speculation_won_primary
             )?;
         }
+        if let Some(p) = &self.parallelism {
+            writeln!(
+                f,
+                "parallelism: {} parallel regions ({} serial), {} chunks \
+                 ({} stolen), mean {:.1} / max {} threads per region",
+                p.regions,
+                p.serial_regions,
+                p.chunks,
+                p.steals,
+                p.threads_used_mean,
+                p.threads_used_max
+            )?;
+            if !p.per_instruction.is_empty() {
+                writeln!(f, "parallel efficiency by opcode:")?;
+                for ip in &p.per_instruction {
+                    writeln!(
+                        f,
+                        "  {:<24} {:>6} calls {:>7} regions {:>8} chunks \
+                         {:>6.1} avg threads ({:>3.0}% of pool)",
+                        ip.name,
+                        ip.calls,
+                        ip.regions,
+                        ip.chunks,
+                        ip.mean_threads(),
+                        100.0 * ip.efficiency(p.threads_used_max.max(1))
+                    )?;
+                }
+            }
+        }
         let hits = self.metrics.counter("lineage.worker.hits")
             + self.metrics.counter("lineage.coordinator.hits");
         let misses = self.metrics.counter("lineage.worker.misses")
@@ -526,6 +701,64 @@ mod tests {
         // A quiet report serializes the section as null.
         let quiet_doc = Json::parse(&quiet.to_json()).unwrap();
         assert!(matches!(quiet_doc.get("recovery"), Some(Json::Null)));
+    }
+
+    #[test]
+    fn parallelism_summary_extracted_only_when_active() {
+        let quiet = RunReport::from_registry(&seeded_registry());
+        assert!(quiet.parallelism.is_none(), "no pool counters, no section");
+        let quiet_doc = Json::parse(&quiet.to_json()).unwrap();
+        assert!(matches!(quiet_doc.get("parallelism"), Some(Json::Null)));
+
+        let reg = seeded_registry();
+        reg.add("par.regions", 4);
+        reg.add("par.serial_regions", 2);
+        reg.add("par.chunks", 32);
+        reg.add("par.steals", 20);
+        for _ in 0..4 {
+            reg.record("par.threads_used", 4);
+        }
+        reg.add("par.inst.fed_matmul.calls", 2);
+        reg.add("par.inst.fed_matmul.regions", 4);
+        reg.add("par.inst.fed_matmul.chunks", 32);
+        reg.add("par.inst.fed_matmul.threads", 16);
+        let report = RunReport::from_registry(&reg);
+        let p = report.parallelism.as_ref().expect("parallelism section");
+        assert_eq!(p.regions, 4);
+        assert_eq!(p.serial_regions, 2);
+        assert_eq!(p.chunks, 32);
+        assert_eq!(p.steals, 20);
+        assert_eq!(p.threads_used_max, 4);
+        assert_eq!(p.per_instruction.len(), 1);
+        let ip = &p.per_instruction[0];
+        assert_eq!(ip.name, "fed_matmul");
+        assert_eq!(ip.calls, 2);
+        assert!((ip.mean_threads() - 4.0).abs() < 1e-12);
+        assert!((ip.efficiency(4) - 1.0).abs() < 1e-12);
+
+        let text = format!("{report}");
+        assert!(text.contains("parallelism: 4 parallel regions (2 serial)"));
+        assert!(text.contains("parallel efficiency by opcode:"));
+        assert!(text.contains("fed_matmul"));
+
+        let doc = Json::parse(&report.to_json()).expect("report json parses");
+        assert_eq!(
+            doc.get("parallelism")
+                .and_then(|p| p.get("chunks"))
+                .and_then(Json::as_f64),
+            Some(32.0)
+        );
+        assert_eq!(
+            doc.get("parallelism")
+                .and_then(|p| p.get("per_instruction"))
+                .and_then(|a| match a {
+                    Json::Arr(v) => v.first(),
+                    _ => None,
+                })
+                .and_then(|e| e.get("mean_threads"))
+                .and_then(Json::as_f64),
+            Some(4.0)
+        );
     }
 
     #[test]
