@@ -66,6 +66,7 @@ pub struct SessionBuilder {
     plan_cache_bytes: Option<usize>,
     supervision: Option<SupervisionPolicy>,
     threads: Option<usize>,
+    rpc_window: Option<usize>,
 }
 
 impl Default for SessionBuilder {
@@ -77,6 +78,7 @@ impl Default for SessionBuilder {
             plan_cache_bytes: None,
             supervision: Some(SupervisionPolicy::default()),
             threads: None,
+            rpc_window: None,
         }
     }
 }
@@ -146,6 +148,22 @@ impl SessionBuilder {
         self
     }
 
+    /// Sliding window of in-flight RPC requests per worker connection
+    /// (clamped to a minimum of 1). The default of 1 is the classic
+    /// lock-step protocol — one request on the wire at a time, byte-
+    /// for-byte identical to previous releases. Raising the window lets
+    /// the coordinator stream a batch's requests ahead of the replies,
+    /// hiding WAN round-trip latency: an N-request batch costs roughly
+    /// `1 + N/window` round trips instead of `N`. Replies are matched to
+    /// requests by correlation ID, and the worker still serializes
+    /// requests that touch the same variable, so results are bitwise
+    /// identical at every window size. `exdra_net::transport::DEFAULT_WINDOW`
+    /// (8) is a good starting point; see DESIGN.md §4g.
+    pub fn rpc_window(mut self, n: usize) -> Self {
+        self.rpc_window = Some(n.max(1));
+        self
+    }
+
     /// Builds the session, connecting to workers if needed and starting
     /// the background supervisor for connected sessions (unless
     /// [`SessionBuilder::no_supervision`] was called).
@@ -167,6 +185,9 @@ impl SessionBuilder {
                 Some(FedContext::connect(&endpoints)?)
             }
         };
+        if let (Some(ctx), Some(n)) = (&ctx, self.rpc_window) {
+            ctx.set_rpc_window(n);
+        }
         let (supervisor, sup_handle) = match (&ctx, self.supervision) {
             (Some(ctx), Some(policy)) => {
                 let sup = Supervisor::new(Arc::clone(ctx), policy);
@@ -348,6 +369,8 @@ impl Session {
                 retries: s.retries,
                 heartbeats: s.heartbeats,
                 recoveries: s.recoveries,
+                pipelined_messages: s.pipelined_messages,
+                max_inflight: s.max_inflight,
             });
         }
         report
@@ -535,6 +558,35 @@ mod tests {
         assert!(net.messages_sent > 0);
         assert!(net.bytes_sent > 0);
         assert!(Session::local().profile().net.is_none());
+    }
+
+    #[test]
+    fn rpc_window_knob_reaches_the_context() {
+        let (ctx, _workers) = mem_federation(2);
+        let sds = Session::builder()
+            .context(Arc::clone(&ctx))
+            .rpc_window(8)
+            .no_supervision()
+            .build()
+            .unwrap();
+        assert_eq!(ctx.rpc_window(), 8);
+        // Pipelined and lock-step sessions produce identical results.
+        let m = rand_matrix(50, 4, -1.0, 1.0, 21);
+        let fed = sds.federated(&m).unwrap();
+        let piped = fed.tsmm().unwrap().compute().unwrap();
+        ctx.set_rpc_window(1);
+        let fed2 = sds.federated(&m).unwrap();
+        let lockstep = fed2.tsmm().unwrap().compute().unwrap();
+        assert_eq!(piped.values(), lockstep.values());
+        // `rpc_window(0)` clamps to lock-step rather than deadlocking.
+        let (ctx2, _w2) = mem_federation(1);
+        let _ = Session::builder()
+            .context(Arc::clone(&ctx2))
+            .rpc_window(0)
+            .no_supervision()
+            .build()
+            .unwrap();
+        assert_eq!(ctx2.rpc_window(), 1);
     }
 
     #[test]

@@ -1,0 +1,148 @@
+//! Pipelined-RPC latency hiding: a 16-request batch streamed through
+//! sliding windows {1, 2, 4, 8, 16} over a WAN-shaped channel, measuring
+//! round trips as transport-blocked time over one-way latency. Lock-step
+//! (window 1) pays ~one round trip per request; window `w` pays
+//! ~`ceil(N/w)`, so the batch drops from ~16 RTTs to ~(1 + 16/window).
+//!
+//!     cargo run --release -p exdra-bench --bin rpc_pipeline
+//!
+//! Writes `results/rpc_pipeline.json` plus the usual metrics sidecar and
+//! asserts window 8 measures at least 2x fewer round trips than window 1
+//! with bitwise-identical responses.
+
+use exdra_bench::{obs_init, write_metrics_sidecar, BenchConfig, Table};
+use exdra_core::protocol::{Request, Response};
+use exdra_core::value::DataValue;
+use exdra_core::worker::{Worker, WorkerConfig};
+use exdra_core::{FedContext, PrivacyLevel};
+use exdra_net::transport::ShapedChannel;
+use exdra_net::Channel;
+
+/// Requests per streamed batch (the acceptance batch size).
+const BATCH: u64 = 16;
+
+/// Speed factor applied to the paper WAN profile so the sweep stays
+/// under a second (one-way latency 20 ms -> 5 ms); ratios between
+/// windows are latency-scale invariant.
+const WAN_SCALE: f64 = 0.25;
+
+fn scalar_bits(responses: &[Response]) -> Vec<u64> {
+    responses
+        .iter()
+        .map(|r| match r {
+            Response::Data(DataValue::Scalar(v)) => v.to_bits(),
+            other => panic!("expected scalar response, got {other:?}"),
+        })
+        .collect()
+}
+
+fn main() {
+    obs_init();
+    let cfg = BenchConfig::from_args();
+    let profile = cfg.wan_profile().scaled(WAN_SCALE);
+    let one_way = profile.latency().as_nanos().max(1) as f64;
+
+    // One in-process worker behind a WAN-shaped in-memory channel; the
+    // coordinator's `from_channels` adds the instrumentation that feeds
+    // `NetStatsSnapshot`.
+    let worker = Worker::new(WorkerConfig::default());
+    let shaped = Box::new(ShapedChannel::new(worker.serve_mem(), profile)) as Box<dyn Channel>;
+    let ctx = FedContext::from_channels(vec![shaped]).expect("federation");
+
+    // Install the values the batch reads via the legacy single-envelope
+    // call, so the sweep's `max_inflight` watermark is untouched by setup.
+    let puts: Vec<Request> = (0..BATCH)
+        .map(|i| Request::Put {
+            id: i + 1,
+            data: DataValue::Scalar(i as f64 * 1.5 - 3.0),
+            privacy: PrivacyLevel::Public,
+        })
+        .collect();
+    ctx.call(0, &puts).expect("puts");
+
+    let gets: Vec<Request> = (0..BATCH).map(|i| Request::Get { id: i + 1 }).collect();
+    let windows = [1usize, 2, 4, 8, 16];
+    let reps = cfg.reps.max(1);
+
+    let mut table = Table::new(
+        &format!(
+            "Pipelined RPC: {BATCH}-request batch, one-way {:.1} ms (mean of {reps})",
+            one_way / 1e6
+        ),
+        &[
+            "window",
+            "wall ms",
+            "net ms",
+            "round trips",
+            "max in flight",
+        ],
+    );
+    let mut baseline_bits: Option<Vec<u64>> = None;
+    let mut round_trips = Vec::with_capacity(windows.len());
+    let mut json_rows = Vec::new();
+    for &w in &windows {
+        let mut wall_ms = 0.0;
+        let mut net_ms = 0.0;
+        let mut trips = 0.0;
+        let mut max_inflight = 0u64;
+        for _ in 0..reps {
+            let before = ctx.stats().snapshot();
+            let t0 = std::time::Instant::now();
+            let responses = ctx.call_streamed(0, &gets, w).expect("streamed batch");
+            wall_ms += t0.elapsed().as_secs_f64() * 1e3 / reps as f64;
+            let delta = ctx.stats().snapshot().delta(&before);
+            net_ms += delta.network_nanos as f64 / 1e6 / reps as f64;
+            trips += delta.network_nanos as f64 / one_way / reps as f64;
+            max_inflight = max_inflight.max(delta.max_inflight);
+
+            let bits = scalar_bits(&responses);
+            match &baseline_bits {
+                None => baseline_bits = Some(bits),
+                Some(base) => assert_eq!(
+                    &bits, base,
+                    "window {w}: responses differ bitwise from lock-step"
+                ),
+            }
+        }
+        table.row(&[
+            w.to_string(),
+            format!("{wall_ms:.1}"),
+            format!("{net_ms:.1}"),
+            format!("{trips:.1}"),
+            max_inflight.to_string(),
+        ]);
+        round_trips.push(trips);
+        json_rows.push(format!(
+            "    {{\"window\": {w}, \"wall_ms\": {wall_ms:.3}, \"net_ms\": {net_ms:.3}, \
+             \"round_trips\": {trips:.2}, \"max_inflight\": {max_inflight}}}"
+        ));
+    }
+    table.print();
+
+    let rt1 = round_trips[0];
+    let rt8 = round_trips[windows.iter().position(|&w| w == 8).unwrap()];
+    let shrink = rt1 / rt8.max(1e-9);
+    println!("\nround trips: {rt1:.1} at window 1 -> {rt8:.1} at window 8 ({shrink:.1}x fewer)");
+    assert!(
+        rt8 * 2.0 <= rt1,
+        "window 8 must measure at least 2x fewer round trips than lock-step \
+         ({rt8:.2} vs {rt1:.2})"
+    );
+
+    let json = format!(
+        "{{\n  \"batch\": {BATCH},\n  \"one_way_ms\": {:.3},\n  \"reps\": {reps},\n  \
+         \"shrink_w8_vs_w1\": {shrink:.3},\n  \"bitwise_identical\": true,\n  \
+         \"windows\": [\n{}\n  ]\n}}\n",
+        one_way / 1e6,
+        json_rows.join(",\n")
+    );
+    let dir = std::path::Path::new("results");
+    let path = dir.join("rpc_pipeline.json");
+    match std::fs::create_dir_all(dir).and_then(|_| std::fs::write(&path, json)) {
+        Ok(()) => println!("results: {}", path.display()),
+        Err(e) => eprintln!("warning: failed to write {}: {e}", path.display()),
+    }
+    write_metrics_sidecar("rpc_pipeline");
+    drop(ctx);
+    worker.shutdown();
+}

@@ -25,6 +25,7 @@ struct Args {
     cache_mb: usize,
     reuse: bool,
     compact_secs: Option<u64>,
+    pipelined: bool,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -35,6 +36,7 @@ fn parse_args() -> Result<Args, String> {
         cache_mb: 256,
         reuse: true,
         compact_secs: None,
+        pipelined: true,
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0usize;
@@ -54,6 +56,7 @@ fn parse_args() -> Result<Args, String> {
                 args.cache_mb = value()?.parse().map_err(|e| format!("--cache-mb: {e}"))?
             }
             "--no-reuse" => args.reuse = false,
+            "--no-pipeline" => args.pipelined = false,
             "--compact-secs" => {
                 args.compact_secs = Some(
                     value()?
@@ -69,6 +72,7 @@ fn parse_args() -> Result<Args, String> {
                      --key PASSPHRASE    enable encrypted channels\n\
                      --cache-mb N        lineage reuse cache budget (default 256)\n\
                      --no-reuse          disable lineage-based reuse\n\
+                     --no-pipeline       serve connections strictly lock-step\n\
                      --compact-secs N    background compression sweep period"
                 );
                 std::process::exit(0);
@@ -96,6 +100,7 @@ fn main() {
         compact_idle: Duration::from_secs(30),
         compact_period: args.compact_secs.map(Duration::from_secs),
         channel_key: args.key,
+        pipelined: args.pipelined,
     });
     let addr = match worker.serve_tcp(&args.listen) {
         Ok(a) => a,

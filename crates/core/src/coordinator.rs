@@ -11,6 +11,7 @@
 //! capped by a per-RPC deadline; exhausting the budget yields the typed
 //! [`RuntimeError::WorkerDead`] so callers fail fast instead of hanging.
 
+use std::collections::HashSet;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -20,6 +21,7 @@ use parking_lot::Mutex;
 use exdra_fault::retry::{classify_io, Deadline, RetryPolicy};
 use exdra_net::codec::Wire;
 use exdra_net::crypto::ChannelKey;
+use exdra_net::framing::{tag_request, untag_reply};
 use exdra_net::sim::NetProfile;
 use exdra_net::stats::NetStats;
 use exdra_net::transport::{
@@ -399,6 +401,175 @@ impl FedContext {
         Ok(responses)
     }
 
+    /// The active RPC pipelining window (see
+    /// [`ChannelConfig::rpc_window`]).
+    pub fn rpc_window(&self) -> usize {
+        self.fault.lock().channel_config.rpc_window
+    }
+
+    /// Sets the RPC pipelining window for subsequent batched calls
+    /// (clamped to at least 1; 1 = legacy lock-step).
+    pub fn set_rpc_window(&self, n: usize) {
+        self.fault.lock().channel_config.rpc_window = n.max(1);
+    }
+
+    /// Streams one request sequence to one worker through a sliding
+    /// window of `window` correlation-tagged in-flight requests, matching
+    /// out-of-order replies back by correlation id. Returns responses in
+    /// the batch's submission order.
+    ///
+    /// Unlike [`FedContext::call`], each request travels (and executes)
+    /// as its own envelope: a failing request yields its own
+    /// `Response::Error` without marking later independent requests as
+    /// skipped. The worker still serializes requests whose symbol
+    /// footprints conflict, so per-variable ordering matches the
+    /// lock-step path exactly.
+    ///
+    /// Fault behavior matches [`FedContext::call`]: the whole stream runs
+    /// under the context's [`FaultPolicy`] — on a transient transport
+    /// failure the coordinator reconnects (when it knows the endpoint)
+    /// and re-streams the batch; exhausting the budget drains the window
+    /// into the typed failure ([`RuntimeError::WorkerDead`] for
+    /// connection collapse), so supervision and checkpoint recovery fire
+    /// exactly as they would for a lock-step RPC. Re-streams always start
+    /// on a fresh connection, so stale replies from a failed attempt can
+    /// never alias into the new window.
+    pub fn call_streamed(
+        &self,
+        worker: usize,
+        batch: &[Request],
+        window: usize,
+    ) -> Result<Vec<Response>> {
+        let window = window.max(1);
+        let conn = self
+            .workers
+            .get(worker)
+            .ok_or_else(|| RuntimeError::Invalid(format!("no worker {worker}")))?;
+        let garbage = self.take_garbage_ids(worker);
+
+        let obs_on = exdra_obs::enabled();
+        let mut span = exdra_obs::span(SpanKind::Rpc, "rpc.stream");
+        if span.is_active() {
+            span.attr("worker", worker);
+            span.attr("requests", batch.len());
+            span.attr("window", window);
+            span.attr("kinds", request_kinds(batch));
+        }
+        let trace = span.context().into();
+
+        // One frame per request; pending garbage rides as its own leading
+        // envelope whose reply is stripped below.
+        let skip = usize::from(!garbage.is_empty());
+        let mut frames: Vec<Vec<u8>> = Vec::with_capacity(batch.len() + skip);
+        if !garbage.is_empty() {
+            frames.push(
+                RpcEnvelope {
+                    trace,
+                    requests: vec![Request::ExecInst {
+                        inst: crate::instruction::Instruction::Rmvar { ids: garbage },
+                    }],
+                }
+                .to_bytes(),
+            );
+        }
+        let t_enc = obs_on.then(Instant::now);
+        for req in batch {
+            frames.push(
+                RpcEnvelope {
+                    trace,
+                    requests: vec![req.clone()],
+                }
+                .to_bytes(),
+            );
+        }
+        let mut serde_nanos = t_enc.map_or(0, |t| t.elapsed().as_nanos() as u64);
+        let bytes_sent: u64 = frames.iter().map(|f| f.len() as u64 + 16).sum();
+
+        let policy = self.fault_policy();
+        let deadline = Deadline::after(policy.rpc_deadline);
+        let mut net_nanos = 0u64;
+        let mut retries = 0u64;
+        let stream = policy
+            .retry
+            .run(
+                deadline,
+                |attempt| {
+                    if attempt > 0 {
+                        retries += 1;
+                        self.stats.record_retry();
+                        if conn.endpoint.is_some() {
+                            let _ = self.reconnect(worker);
+                        }
+                    }
+                    let mut ch = conn.channel.lock();
+                    let t_net = obs_on.then(Instant::now);
+                    let r = stream_window(&mut ch, &frames, window, &self.stats);
+                    if let Some(t) = t_net {
+                        net_nanos += t.elapsed().as_nanos() as u64;
+                    }
+                    r
+                },
+                classify_io,
+            )
+            .map_err(|e| rpc_failure(worker, &e))?;
+        let StreamOutcome {
+            mut replies,
+            out_of_order,
+            max_inflight,
+        } = stream;
+
+        let t_dec = obs_on.then(Instant::now);
+        let mut exec_nanos = 0u64;
+        let mut bytes_recv = 0u64;
+        let mut responses = Vec::with_capacity(batch.len());
+        for (i, frame) in replies.drain(..).enumerate() {
+            bytes_recv += frame.len() as u64;
+            let reply = RpcReply::from_bytes(&frame)?;
+            exec_nanos += reply.footer.exec_nanos;
+            let n = reply.responses.len();
+            if n != 1 {
+                return Err(RuntimeError::Protocol(format!(
+                    "worker {worker}: {n} responses for 1 streamed request"
+                )));
+            }
+            if i >= skip {
+                responses.extend(reply.responses);
+            }
+        }
+        if let Some(t) = t_dec {
+            serde_nanos += t.elapsed().as_nanos() as u64;
+        }
+        if span.is_active() {
+            span.attr("bytes_sent", bytes_sent);
+            span.attr("bytes_recv", bytes_recv);
+            span.attr("net_nanos", net_nanos);
+            span.attr("exec_nanos", exec_nanos);
+            span.attr("serde_nanos", serde_nanos);
+            span.attr("retries", retries);
+            span.attr("out_of_order", out_of_order);
+            span.attr("max_inflight", max_inflight);
+        }
+        if obs_on {
+            record_rpc_metrics(RpcMetrics {
+                worker,
+                requests: frames.len() as u64,
+                bytes_sent,
+                bytes_recv,
+                net_nanos,
+                exec_nanos,
+                serde_nanos,
+                retries,
+            });
+            let reg = exdra_obs::global();
+            reg.inc("pipeline.streams");
+            reg.add("pipeline.requests", frames.len() as u64);
+            reg.add("pipeline.ooo", out_of_order);
+            reg.record("rpc.window", window as u64);
+            reg.record("net.inflight", max_inflight);
+        }
+        Ok(responses)
+    }
+
     /// Sends one liveness probe to one worker and returns its
     /// `(epoch, load)`. Deliberately NOT retried: a missed heartbeat IS
     /// the failure-detection signal, so this is a single attempt against
@@ -483,6 +654,11 @@ impl FedContext {
         // Per-worker RPC threads inherit the caller's span context so
         // their `rpc.call` spans parent into the surrounding trace.
         let parent = exdra_obs::current();
+        // Multi-request batches stream through the pipelining window when
+        // one is configured; single requests (and window 1) take the
+        // legacy lock-step path, byte-for-byte the pre-pipelining wire
+        // protocol.
+        let window = self.rpc_window();
         let mut results: Vec<Result<Vec<Response>>> = Vec::with_capacity(batches.len());
         std::thread::scope(|scope| {
             let handles: Vec<_> = batches
@@ -495,7 +671,11 @@ impl FedContext {
                             Ok(Vec::new())
                         } else {
                             let t0 = Instant::now();
-                            let r = self.call(w, batch);
+                            let r = if window > 1 && batch.len() > 1 {
+                                self.call_streamed(w, batch, window)
+                            } else {
+                                self.call(w, batch)
+                            };
                             if r.is_ok() {
                                 if let Some(tracker) = latency {
                                     tracker.record(w, t0.elapsed());
@@ -527,6 +707,62 @@ impl FedContext {
         }
         Ok(())
     }
+}
+
+/// Result of one successful window-streaming attempt.
+struct StreamOutcome {
+    /// One raw reply frame per request, in submission order.
+    replies: Vec<Vec<u8>>,
+    /// Replies that arrived ahead of an earlier outstanding request.
+    out_of_order: u64,
+    /// High-water mark of concurrently in-flight requests.
+    max_inflight: u64,
+}
+
+/// Drives one sliding-window exchange over a locked channel: sends the
+/// frames correlation-tagged (corr = index + 1), keeps up to `window` in
+/// flight, and routes replies by correlation id. Replies with unknown or
+/// duplicate ids are discarded (stale duplicates from a lossy link).
+fn stream_window(
+    ch: &mut Box<dyn Channel>,
+    frames: &[Vec<u8>],
+    window: usize,
+    stats: &NetStats,
+) -> std::io::Result<StreamOutcome> {
+    let mut replies: Vec<Option<Vec<u8>>> = vec![None; frames.len()];
+    let mut pending: HashSet<u64> = HashSet::new();
+    let mut next = 0usize;
+    let mut out_of_order = 0u64;
+    let mut max_inflight = 0u64;
+    while next < frames.len() || !pending.is_empty() {
+        if next < frames.len() && pending.len() < window {
+            let corr = next as u64 + 1;
+            ch.send(&tag_request(corr, &frames[next]))?;
+            pending.insert(corr);
+            next += 1;
+            let inflight = pending.len() as u64;
+            max_inflight = max_inflight.max(inflight);
+            stats.record_pipelined(inflight);
+            continue;
+        }
+        let frame = ch.recv()?;
+        let (corr, body) = untag_reply(&frame)?;
+        if !pending.remove(&corr) {
+            continue;
+        }
+        if pending.iter().any(|&p| p < corr) {
+            out_of_order += 1;
+        }
+        replies[corr as usize - 1] = Some(body.to_vec());
+    }
+    Ok(StreamOutcome {
+        replies: replies
+            .into_iter()
+            .map(|r| r.expect("window drained with every correlation answered"))
+            .collect(),
+        out_of_order,
+        max_inflight,
+    })
 }
 
 /// Comma-joined request-kind summary for span attributes, with runs of
@@ -726,6 +962,59 @@ mod tests {
         .unwrap();
         assert!(ctx.stats().bytes_sent() > 8000);
         assert_eq!(ctx.stats().messages_sent(), 1);
+    }
+
+    #[test]
+    fn call_streamed_matches_lockstep_results() {
+        let (ctx, _workers) = mem_context(1);
+        let mut batch = Vec::new();
+        for i in 0..8u64 {
+            batch.push(Request::Put {
+                id: i + 1,
+                data: DataValue::Scalar(i as f64),
+                privacy: PrivacyLevel::Public,
+            });
+        }
+        for i in 0..8u64 {
+            batch.push(Request::Get { id: i + 1 });
+        }
+        let streamed = ctx.call_streamed(0, &batch, 4).unwrap();
+        assert_eq!(streamed.len(), 16);
+        for (i, r) in streamed[8..].iter().enumerate() {
+            match r {
+                Response::Data(DataValue::Scalar(v)) => assert_eq!(*v, i as f64),
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+        assert!(ctx.stats().pipelined_messages() >= 16);
+        assert!(ctx.stats().max_inflight() >= 2, "window actually opened");
+    }
+
+    #[test]
+    fn call_all_uses_window_when_configured() {
+        let (ctx, workers) = mem_context(2);
+        assert_eq!(ctx.rpc_window(), 1, "legacy lock-step by default");
+        ctx.set_rpc_window(8);
+        assert_eq!(ctx.rpc_window(), 8);
+        ctx.set_rpc_window(0);
+        assert_eq!(ctx.rpc_window(), 1, "window clamps to at least 1");
+        ctx.set_rpc_window(8);
+        let batch: Vec<Request> = (0..6u64)
+            .map(|i| Request::Put {
+                id: i + 1,
+                data: DataValue::Scalar(i as f64),
+                privacy: PrivacyLevel::Public,
+            })
+            .collect();
+        let rs = ctx.call_all(vec![batch.clone(), batch]).unwrap();
+        assert!(rs.iter().all(|r| r.len() == 6));
+        for w in &workers {
+            assert_eq!(w.table().len(), 6);
+        }
+        assert!(
+            ctx.stats().pipelined_messages() >= 12,
+            "both workers streamed"
+        );
     }
 
     #[test]

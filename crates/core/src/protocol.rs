@@ -234,7 +234,78 @@ pub enum Request {
     },
 }
 
+/// Symbol-table footprint of one request: which variables it reads and
+/// writes. The pipelined worker loop uses this to decide which decoded-
+/// ahead requests may execute concurrently — two requests conflict when
+/// either is [`Touched::Global`] or their read/write sets intersect on a
+/// write, which preserves per-variable ordering exactly as the serial
+/// loop would.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Touched {
+    /// Touches nothing (safe to overtake and be overtaken by anything).
+    Nothing,
+    /// Reads and writes specific symbol ids.
+    Ids {
+        /// Symbol ids the request reads.
+        reads: Vec<u64>,
+        /// Symbol ids the request writes (created, replaced, or removed).
+        writes: Vec<u64>,
+    },
+    /// Touches (or may touch) the whole symbol table.
+    Global,
+}
+
+impl Touched {
+    /// True when `self` and `other` must stay in submission order.
+    pub fn conflicts_with(&self, other: &Touched) -> bool {
+        match (self, other) {
+            (Touched::Nothing, _) | (_, Touched::Nothing) => false,
+            (Touched::Global, _) | (_, Touched::Global) => true,
+            (
+                Touched::Ids { reads, writes },
+                Touched::Ids {
+                    reads: o_reads,
+                    writes: o_writes,
+                },
+            ) => {
+                let hits = |xs: &[u64], ys: &[u64]| xs.iter().any(|x| ys.contains(x));
+                // write-write, write-read, and read-write order; two pure
+                // reads of the same symbol commute.
+                hits(writes, o_writes) || hits(writes, o_reads) || hits(reads, o_writes)
+            }
+        }
+    }
+}
+
 impl Request {
+    /// The request's symbol-table footprint (see [`Touched`]).
+    pub fn touched(&self) -> Touched {
+        match self {
+            Request::Read { id, .. } | Request::Put { id, .. } => Touched::Ids {
+                reads: vec![],
+                writes: vec![*id],
+            },
+            Request::Get { id } => Touched::Ids {
+                reads: vec![*id],
+                writes: vec![],
+            },
+            Request::ExecInst { inst } => Touched::Ids {
+                reads: inst.inputs(),
+                writes: inst.output().into_iter().collect(),
+            },
+            // UDFs have no declared footprint; checkpoints read the whole
+            // table; CLEAR drops it. All must stay strictly ordered.
+            Request::ExecUdf { .. } | Request::Clear | Request::Checkpoint { .. } => {
+                Touched::Global
+            }
+            Request::Restore { entries } => Touched::Ids {
+                reads: vec![],
+                writes: entries.iter().map(|e| e.id).collect(),
+            },
+            Request::Heartbeat => Touched::Nothing,
+        }
+    }
+
     /// Request-type name (for tracing).
     pub fn kind(&self) -> &'static str {
         match self {
@@ -462,7 +533,16 @@ pub struct RpcEnvelope {
 
 impl Wire for RpcEnvelope {
     fn encode(&self, buf: &mut impl BufMut) {
-        self.trace.encode(buf);
+        // The first eight bytes of an encoded envelope are the trace id.
+        // Correlation-tagged frames (exdra_net::framing) are recognized by
+        // a leading PIPELINE_MAGIC = u64::MAX, so the legacy framing must
+        // never start with that value: clamp the (random) trace id below
+        // it to keep the two framings distinguishable per message.
+        let mut trace = self.trace;
+        if trace.trace_id == u64::MAX {
+            trace.trace_id = u64::MAX - 1;
+        }
+        trace.encode(buf);
         self.requests.encode(buf);
     }
     fn decode(buf: &mut impl Buf) -> DecodeResult<Self> {
@@ -668,6 +748,80 @@ mod tests {
             ..CheckpointDelta::default()
         });
         assert_eq!(Response::from_bytes(&empty.to_bytes()).unwrap(), empty);
+    }
+
+    #[test]
+    fn envelope_trace_id_never_collides_with_pipeline_magic() {
+        let env = RpcEnvelope {
+            trace: TraceContext {
+                trace_id: u64::MAX,
+                parent_span: 1,
+            },
+            requests: vec![Request::Heartbeat],
+        };
+        let bytes = env.to_bytes();
+        let head = u64::from_le_bytes(bytes[..8].try_into().unwrap());
+        assert_eq!(head, u64::MAX - 1, "trace id clamps below the magic");
+        assert!(
+            exdra_net::framing::untag_request(&bytes).is_none(),
+            "a legacy envelope must never sniff as a tagged request"
+        );
+        // Ordinary trace ids pass through untouched.
+        let normal = RpcEnvelope {
+            trace: TraceContext {
+                trace_id: 42,
+                parent_span: 1,
+            },
+            requests: vec![Request::Heartbeat],
+        };
+        assert_eq!(RpcEnvelope::from_bytes(&normal.to_bytes()).unwrap(), normal);
+    }
+
+    #[test]
+    fn touched_footprints_and_conflicts() {
+        let get2 = Request::Get { id: 2 }.touched();
+        let get3 = Request::Get { id: 3 }.touched();
+        let put2 = Request::Put {
+            id: 2,
+            data: DataValue::Scalar(1.0),
+            privacy: PrivacyLevel::Public,
+        }
+        .touched();
+        let mm = Request::ExecInst {
+            inst: Instruction::MatMul {
+                lhs: 2,
+                rhs: 3,
+                out: 4,
+            },
+        }
+        .touched();
+        assert!(!get2.conflicts_with(&get3), "disjoint reads commute");
+        assert!(!get2.conflicts_with(&get2), "reads of one symbol commute");
+        assert!(put2.conflicts_with(&get2), "write orders against read");
+        assert!(put2.conflicts_with(&put2), "writes order against writes");
+        assert!(mm.conflicts_with(&put2), "matmul reads what put writes");
+        assert!(!mm.conflicts_with(&get3), "reads of shared input commute");
+        let hb = Request::Heartbeat.touched();
+        assert_eq!(hb, Touched::Nothing);
+        assert!(!hb.conflicts_with(&Request::Clear.touched()));
+        assert!(Request::Clear.touched().conflicts_with(&get2));
+        assert!(Request::ExecUdf {
+            udf: Udf::CacheStats
+        }
+        .touched()
+        .conflicts_with(&mm));
+        let restore = Request::Restore {
+            entries: vec![CheckpointEntry {
+                id: 2,
+                value: DataValue::Scalar(0.0),
+                privacy: PrivacyLevel::Public,
+                releasable: true,
+                lineage: 0,
+            }],
+        }
+        .touched();
+        assert!(restore.conflicts_with(&get2));
+        assert!(!restore.conflicts_with(&get3));
     }
 
     #[test]

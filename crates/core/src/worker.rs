@@ -8,12 +8,13 @@
 //! compaction of cached intermediates (§4.4).
 
 use std::collections::HashMap;
+use std::io;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use parking_lot::RwLock;
+use parking_lot::{Mutex, RwLock};
 
 use exdra_matrix::compress::CompressedMatrix;
 use exdra_matrix::frame::Frame;
@@ -21,7 +22,8 @@ use exdra_matrix::io as mio;
 use exdra_matrix::kernels::reorg;
 use exdra_matrix::{DenseMatrix, Matrix};
 use exdra_net::codec::Wire;
-use exdra_net::transport::{Channel, MemChannel, TcpServer};
+use exdra_net::framing::{tag_reply, untag_request};
+use exdra_net::transport::{Channel, MemChannel, RecvHalf, SendHalf, SplitResult, TcpServer};
 
 use crate::error::{Result, RuntimeError};
 use crate::exec;
@@ -29,7 +31,7 @@ use crate::lineage::{self, LineageCache};
 use crate::privacy::{may_release, PrivacyLevel};
 use crate::protocol::{
     BatchFooter, CheckpointDelta, CheckpointEntry, ReadFormat, Request, Response, RpcEnvelope,
-    RpcReply, TraceContext,
+    RpcReply, Touched, TraceContext,
 };
 use crate::symbol::SymbolTable;
 use crate::udf::Udf;
@@ -58,6 +60,12 @@ pub struct WorkerConfig {
     /// encrypted (the worker-side counterpart of the coordinator's
     /// encrypted endpoints).
     pub channel_key: Option<exdra_net::crypto::ChannelKey>,
+    /// Whether connections decode ahead and answer correlation-tagged
+    /// requests as they complete (out of order where symbol footprints
+    /// permit). Legacy untagged traffic behaves identically either way,
+    /// so this is on by default; disable to force the serial lock-step
+    /// loop even for tagged traffic.
+    pub pipelined: bool,
 }
 
 impl Default for WorkerConfig {
@@ -69,6 +77,7 @@ impl Default for WorkerConfig {
             compact_idle: Duration::from_secs(30),
             compact_period: None,
             channel_key: None,
+            pipelined: true,
         }
     }
 }
@@ -144,7 +153,27 @@ impl Worker {
     /// Serves one connection until the peer closes it or
     /// [`Worker::shutdown`] is requested (the connection is dropped
     /// without a response, so the peer observes a transport failure).
-    pub fn serve_connection(self: &Arc<Self>, mut channel: Box<dyn Channel>) {
+    ///
+    /// When [`WorkerConfig::pipelined`] is set and the channel splits,
+    /// the worker decodes ahead: correlation-tagged batches execute on
+    /// job threads and reply as they complete, serialized only where
+    /// their symbol footprints ([`Request::touched`]) conflict. Untagged
+    /// (legacy) frames always run strictly in order, byte-for-byte as
+    /// before pipelining existed.
+    pub fn serve_connection(self: &Arc<Self>, channel: Box<dyn Channel>) {
+        if self.config.pipelined {
+            match channel.split() {
+                SplitResult::Split(tx, rx) => self.serve_split(tx, rx),
+                SplitResult::Whole(w) => self.serve_lockstep(w),
+            }
+        } else {
+            self.serve_lockstep(channel)
+        }
+    }
+
+    /// Serial serving loop: one frame in, one reply out. Understands
+    /// tagged frames (echoing the correlation id back) but never reorders.
+    fn serve_lockstep(self: &Arc<Self>, mut channel: Box<dyn Channel>) {
         loop {
             let frame = match channel.recv() {
                 Ok(f) => f,
@@ -153,19 +182,117 @@ impl Worker {
             if self.shutdown.load(Ordering::SeqCst) {
                 return;
             }
-            let reply = match RpcEnvelope::from_bytes(&frame) {
-                Ok(env) => {
-                    let (responses, footer) = self.handle_batch_traced(env.trace, env.requests);
-                    RpcReply { responses, footer }
-                }
-                Err(e) => RpcReply {
-                    responses: vec![Response::Error(format!("malformed request batch: {e}"))],
-                    footer: BatchFooter::default(),
-                },
+            let (corr, body) = match untag_request(&frame) {
+                Some((c, b)) => (Some(c), b.to_vec()),
+                None => (None, frame),
             };
-            if channel.send(&reply.to_bytes()).is_err() {
+            let reply = self.execute_frame(&body);
+            let bytes = reply.to_bytes();
+            let out = match corr {
+                Some(c) => tag_reply(c, &bytes),
+                None => bytes,
+            };
+            if channel.send(&out).is_err() {
                 return;
             }
+        }
+    }
+
+    /// Decode-ahead serving loop over split channel halves.
+    ///
+    /// Each tagged batch is checked against the in-flight jobs: any
+    /// predecessor whose symbol footprint conflicts is joined first, so
+    /// reads and writes of the same symbol observe exactly the order the
+    /// coordinator submitted them, while disjoint batches (and footprint-
+    /// free heartbeats) overtake freely. Replies go out under a shared
+    /// send-half mutex, tagged with their correlation id.
+    fn serve_split(self: &Arc<Self>, tx: Box<dyn SendHalf>, mut rx: Box<dyn RecvHalf>) {
+        struct Job {
+            touched: Touched,
+            handle: std::thread::JoinHandle<()>,
+        }
+        let tx = Arc::new(Mutex::new(tx));
+        let send_failed = Arc::new(AtomicBool::new(false));
+        let mut jobs: Vec<Job> = Vec::new();
+        while let Ok(frame) = rx.recv() {
+            if self.shutdown.load(Ordering::SeqCst) || send_failed.load(Ordering::SeqCst) {
+                break;
+            }
+            match untag_request(&frame) {
+                Some((corr, body)) => {
+                    let env = match RpcEnvelope::from_bytes(body) {
+                        Ok(env) => env,
+                        Err(e) => {
+                            let reply = RpcReply {
+                                responses: vec![Response::Error(format!(
+                                    "malformed request batch: {e}"
+                                ))],
+                                footer: BatchFooter::default(),
+                            };
+                            if send_tagged(&tx, corr, &reply).is_err() {
+                                break;
+                            }
+                            continue;
+                        }
+                    };
+                    let touched = batch_touched(&env.requests);
+                    // Reap finished jobs and wait out conflicting ones.
+                    // Joining conflicts at submission time serializes
+                    // exactly the dependent pairs: by spawn time, every
+                    // conflicting predecessor has fully executed.
+                    let mut i = 0;
+                    while i < jobs.len() {
+                        if jobs[i].handle.is_finished() || touched.conflicts_with(&jobs[i].touched)
+                        {
+                            let job = jobs.remove(i);
+                            let _ = job.handle.join();
+                        } else {
+                            i += 1;
+                        }
+                    }
+                    let worker = Arc::clone(self);
+                    let tx_job = Arc::clone(&tx);
+                    let failed = Arc::clone(&send_failed);
+                    let handle = std::thread::spawn(move || {
+                        let (responses, footer) =
+                            worker.handle_batch_traced(env.trace, env.requests);
+                        let reply = RpcReply { responses, footer };
+                        if send_tagged(&tx_job, corr, &reply).is_err() {
+                            failed.store(true, Ordering::SeqCst);
+                        }
+                    });
+                    jobs.push(Job { touched, handle });
+                }
+                None => {
+                    // Legacy frame: the pre-pipelining contract is strict
+                    // ordering against everything on the connection.
+                    for job in jobs.drain(..) {
+                        let _ = job.handle.join();
+                    }
+                    let reply = self.execute_frame(&frame);
+                    if tx.lock().send(&reply.to_bytes()).is_err() {
+                        break;
+                    }
+                }
+            }
+        }
+        for job in jobs.drain(..) {
+            let _ = job.handle.join();
+        }
+    }
+
+    /// Decodes and executes one envelope body, mapping decode failures to
+    /// an error reply.
+    fn execute_frame(self: &Arc<Self>, body: &[u8]) -> RpcReply {
+        match RpcEnvelope::from_bytes(body) {
+            Ok(env) => {
+                let (responses, footer) = self.handle_batch_traced(env.trace, env.requests);
+                RpcReply { responses, footer }
+            }
+            Err(e) => RpcReply {
+                responses: vec![Response::Error(format!("malformed request batch: {e}"))],
+                footer: BatchFooter::default(),
+            },
         }
     }
 
@@ -776,13 +903,149 @@ impl Worker {
     }
 }
 
+/// Sends one correlation-tagged reply under the shared send-half lock.
+fn send_tagged(tx: &Mutex<Box<dyn SendHalf>>, corr: u64, reply: &RpcReply) -> io::Result<()> {
+    tx.lock().send(&tag_reply(corr, &reply.to_bytes()))
+}
+
+/// The combined symbol footprint of a whole request batch: `Global` if
+/// any request is global, otherwise the union of the per-request sets.
+fn batch_touched(requests: &[Request]) -> Touched {
+    let mut reads = Vec::new();
+    let mut writes = Vec::new();
+    for req in requests {
+        match req.touched() {
+            Touched::Nothing => {}
+            Touched::Global => return Touched::Global,
+            Touched::Ids {
+                reads: r,
+                writes: w,
+            } => {
+                reads.extend(r);
+                writes.extend(w);
+            }
+        }
+    }
+    if reads.is_empty() && writes.is_empty() {
+        Touched::Nothing
+    } else {
+        Touched::Ids { reads, writes }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use exdra_matrix::rng::rand_matrix;
+    use exdra_net::framing::{tag_request, untag_reply};
 
     fn worker() -> Arc<Worker> {
         Worker::new(WorkerConfig::default())
+    }
+
+    fn envelope(requests: Vec<Request>) -> Vec<u8> {
+        RpcEnvelope {
+            trace: TraceContext::NONE,
+            requests,
+        }
+        .to_bytes()
+    }
+
+    #[test]
+    fn pipelined_connection_answers_heartbeat_while_busy() {
+        let w = worker();
+        w.register_udf(
+            "sleep",
+            Arc::new(|_, _| {
+                std::thread::sleep(Duration::from_millis(200));
+                Ok(None)
+            }),
+        );
+        let mut coord = w.serve_mem();
+        let slow = envelope(vec![Request::ExecUdf {
+            udf: Udf::Registered {
+                name: "sleep".into(),
+                args: vec![],
+                arg_ids: vec![],
+                out: None,
+            },
+        }]);
+        let probe = envelope(vec![Request::Heartbeat]);
+        coord.send(&tag_request(1, &slow)).unwrap();
+        coord.send(&tag_request(2, &probe)).unwrap();
+        let first = coord.recv().unwrap();
+        let (corr, body) = untag_reply(&first).unwrap();
+        assert_eq!(corr, 2, "footprint-free heartbeat overtakes the UDF");
+        let reply = RpcReply::from_bytes(body).unwrap();
+        assert!(matches!(reply.responses[0], Response::Alive { .. }));
+        let (corr, _) = untag_reply(&coord.recv().unwrap()).unwrap();
+        assert_eq!(corr, 1);
+        w.shutdown();
+    }
+
+    #[test]
+    fn pipelined_connection_serializes_conflicting_writes() {
+        let w = worker();
+        let mut coord = w.serve_mem();
+        // Three tagged writes to the same symbol plus a final read: the
+        // read conflicts with every write, so after its reply the symbol
+        // must hold the *last* submitted value.
+        for (corr, v) in [(1u64, 10.0), (2, 20.0), (3, 30.0)] {
+            let env = envelope(vec![Request::Put {
+                id: 7,
+                data: DataValue::Scalar(v),
+                privacy: PrivacyLevel::Public,
+            }]);
+            coord.send(&tag_request(corr, &env)).unwrap();
+        }
+        coord
+            .send(&tag_request(4, &envelope(vec![Request::Get { id: 7 }])))
+            .unwrap();
+        let mut got = HashMap::new();
+        for _ in 0..4 {
+            let frame = coord.recv().unwrap();
+            let (corr, body) = untag_reply(&frame).unwrap();
+            got.insert(corr, RpcReply::from_bytes(body).unwrap());
+        }
+        assert!(matches!(got[&1].responses[0], Response::Ok));
+        match &got[&4].responses[0] {
+            Response::Data(DataValue::Scalar(v)) => assert_eq!(*v, 30.0),
+            other => panic!("unexpected {other:?}"),
+        }
+        w.shutdown();
+    }
+
+    #[test]
+    fn pipelined_connection_serves_mixed_tagged_and_legacy_frames() {
+        let w = worker();
+        let mut coord = w.serve_mem();
+        coord
+            .send(&tag_request(
+                9,
+                &envelope(vec![Request::Put {
+                    id: 1,
+                    data: DataValue::Scalar(5.0),
+                    privacy: PrivacyLevel::Public,
+                }]),
+            ))
+            .unwrap();
+        // An untagged legacy frame on the same connection: joins all
+        // in-flight jobs, then answers untagged — the pre-pipelining
+        // byte format exactly.
+        coord.send(&envelope(vec![Request::Get { id: 1 }])).unwrap();
+        let (corr, _) = untag_reply(&coord.recv().unwrap()).unwrap();
+        assert_eq!(corr, 9, "tagged reply first: legacy frame waits for it");
+        let legacy = coord.recv().unwrap();
+        assert!(
+            untag_request(&legacy).is_none(),
+            "legacy reply carries no tag"
+        );
+        let reply = RpcReply::from_bytes(&legacy).unwrap();
+        match &reply.responses[0] {
+            Response::Data(DataValue::Scalar(v)) => assert_eq!(*v, 5.0),
+            other => panic!("unexpected {other:?}"),
+        }
+        w.shutdown();
     }
 
     #[test]

@@ -9,9 +9,11 @@
 //! `Instrumented(Faulty(Shaped(Tcp)))` simulates a flaky WAN link.
 
 use std::io;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 use std::time::Duration;
 
-use exdra_net::transport::Channel;
+use exdra_net::transport::{Channel, RecvHalf, SendHalf, SplitResult};
 
 use crate::retry::splitmix64;
 
@@ -90,12 +92,16 @@ impl FaultPlan {
 }
 
 /// Channel wrapper that applies a [`FaultPlan`] to the send path.
+///
+/// The kill flag is shared between split halves, so a kill fired on the
+/// send path also poisons a receive half running on another thread —
+/// matching a real dead socket, where both directions fail.
 pub struct FaultyChannel<C: Channel> {
     inner: C,
     plan: FaultPlan,
     rng: u64,
     sent: u64,
-    killed: bool,
+    killed: Arc<AtomicBool>,
 }
 
 impl<C: Channel> FaultyChannel<C> {
@@ -107,7 +113,7 @@ impl<C: Channel> FaultyChannel<C> {
             rng: plan.seed,
             sent: 0,
             // kill_after == Some(0) means the link is dead on arrival.
-            killed: matches!(plan.kill_after, Some(0)),
+            killed: Arc::new(AtomicBool::new(matches!(plan.kill_after, Some(0)))),
         }
     }
 
@@ -118,58 +124,147 @@ impl<C: Channel> FaultyChannel<C> {
 
     /// True once the kill threshold has fired.
     pub fn is_killed(&self) -> bool {
-        self.killed
+        self.killed.load(Ordering::SeqCst)
     }
 
     /// Unwraps the inner channel.
     pub fn into_inner(self) -> C {
         self.inner
     }
-
-    fn draw_unit(&mut self) -> f64 {
-        (splitmix64(&mut self.rng) >> 11) as f64 / (1u64 << 53) as f64
-    }
 }
 
-impl<C: Channel> Channel for FaultyChannel<C> {
-    fn send(&mut self, payload: &[u8]) -> io::Result<()> {
-        if self.killed {
-            return Err(io::Error::new(
-                io::ErrorKind::BrokenPipe,
-                "fault injection: link killed",
-            ));
+fn killed_send_err() -> io::Error {
+    io::Error::new(io::ErrorKind::BrokenPipe, "fault injection: link killed")
+}
+
+fn killed_recv_err() -> io::Error {
+    io::Error::new(
+        io::ErrorKind::ConnectionReset,
+        "fault injection: link killed",
+    )
+}
+
+/// Send-path fault logic shared between the whole channel and its split
+/// send half. Returns `Ok(true)` when the message should be forwarded,
+/// `Ok(false)` when it is silently dropped.
+fn apply_send_faults(
+    plan: &FaultPlan,
+    rng: &mut u64,
+    sent: &mut u64,
+    killed: &AtomicBool,
+) -> io::Result<SendFate> {
+    if killed.load(Ordering::SeqCst) {
+        return Err(killed_send_err());
+    }
+    *sent += 1;
+    if let Some(n) = plan.kill_after {
+        if *sent > n {
+            killed.store(true, Ordering::SeqCst);
+            return Err(killed_send_err());
         }
-        self.sent += 1;
-        if let Some(n) = self.plan.kill_after {
-            if self.sent > n {
-                self.killed = true;
-                return Err(io::Error::new(
-                    io::ErrorKind::BrokenPipe,
-                    "fault injection: link killed",
-                ));
+    }
+    let mut draw = || (splitmix64(rng) >> 11) as f64 / (1u64 << 53) as f64;
+    if plan.drop_prob > 0.0 && draw() < plan.drop_prob {
+        // Silently lose the message: the peer never sees it, the
+        // caller sees success — exactly what a lossy link does.
+        return Ok(SendFate::Drop);
+    }
+    if plan.delay_prob > 0.0 && draw() < plan.delay_prob {
+        std::thread::sleep(plan.delay);
+    }
+    let duplicate = plan.duplicate_prob > 0.0 && draw() < plan.duplicate_prob;
+    Ok(if duplicate {
+        SendFate::SendTwice
+    } else {
+        SendFate::Send
+    })
+}
+
+enum SendFate {
+    Drop,
+    Send,
+    SendTwice,
+}
+
+impl<C: Channel + 'static> Channel for FaultyChannel<C> {
+    fn send(&mut self, payload: &[u8]) -> io::Result<()> {
+        match apply_send_faults(&self.plan, &mut self.rng, &mut self.sent, &self.killed)? {
+            SendFate::Drop => Ok(()),
+            SendFate::Send => self.inner.send(payload),
+            SendFate::SendTwice => {
+                self.inner.send(payload)?;
+                self.inner.send(payload)
             }
         }
-        if self.plan.drop_prob > 0.0 && self.draw_unit() < self.plan.drop_prob {
-            // Silently lose the message: the peer never sees it, the
-            // caller sees success — exactly what a lossy link does.
-            return Ok(());
-        }
-        if self.plan.delay_prob > 0.0 && self.draw_unit() < self.plan.delay_prob {
-            std::thread::sleep(self.plan.delay);
-        }
-        self.inner.send(payload)?;
-        if self.plan.duplicate_prob > 0.0 && self.draw_unit() < self.plan.duplicate_prob {
-            self.inner.send(payload)?;
-        }
-        Ok(())
     }
 
     fn recv(&mut self) -> io::Result<Vec<u8>> {
-        if self.killed {
-            return Err(io::Error::new(
-                io::ErrorKind::ConnectionReset,
-                "fault injection: link killed",
-            ));
+        if self.is_killed() {
+            return Err(killed_recv_err());
+        }
+        self.inner.recv()
+    }
+
+    fn split(self: Box<Self>) -> SplitResult {
+        let Self {
+            inner,
+            plan,
+            rng,
+            sent,
+            killed,
+        } = *self;
+        match Box::new(inner).split() {
+            SplitResult::Split(s, r) => SplitResult::Split(
+                Box::new(FaultySendHalf {
+                    inner: s,
+                    plan,
+                    rng,
+                    sent,
+                    killed: Arc::clone(&killed),
+                }),
+                Box::new(FaultyRecvHalf { inner: r, killed }),
+            ),
+            SplitResult::Whole(w) => SplitResult::Whole(Box::new(FaultyChannel {
+                inner: w,
+                plan,
+                rng,
+                sent,
+                killed,
+            })),
+        }
+    }
+}
+
+struct FaultySendHalf {
+    inner: Box<dyn SendHalf>,
+    plan: FaultPlan,
+    rng: u64,
+    sent: u64,
+    killed: Arc<AtomicBool>,
+}
+
+impl SendHalf for FaultySendHalf {
+    fn send(&mut self, payload: &[u8]) -> io::Result<()> {
+        match apply_send_faults(&self.plan, &mut self.rng, &mut self.sent, &self.killed)? {
+            SendFate::Drop => Ok(()),
+            SendFate::Send => self.inner.send(payload),
+            SendFate::SendTwice => {
+                self.inner.send(payload)?;
+                self.inner.send(payload)
+            }
+        }
+    }
+}
+
+struct FaultyRecvHalf {
+    inner: Box<dyn RecvHalf>,
+    killed: Arc<AtomicBool>,
+}
+
+impl RecvHalf for FaultyRecvHalf {
+    fn recv(&mut self) -> io::Result<Vec<u8>> {
+        if self.killed.load(Ordering::SeqCst) {
+            return Err(killed_recv_err());
         }
         self.inner.recv()
     }
@@ -242,6 +337,23 @@ mod tests {
         assert_eq!(b.recv().unwrap(), b"dup");
         assert_eq!(b.recv().unwrap(), b"dup");
         assert!(b.recv().is_err());
+    }
+
+    #[test]
+    fn split_halves_share_the_kill_flag() {
+        let (a, mut b) = mem_pair();
+        let fa = FaultyChannel::new(a, FaultPlan::kill_after(5, 1));
+        let (mut s, mut r) = match (Box::new(fa) as Box<dyn Channel>).split() {
+            exdra_net::SplitResult::Split(s, r) => (s, r),
+            exdra_net::SplitResult::Whole(_) => panic!("faulty(mem) must split"),
+        };
+        s.send(b"ok").unwrap();
+        assert_eq!(b.recv().unwrap(), b"ok");
+        // The second send trips the kill; the receive half (which could be
+        // on another thread) must observe the same death.
+        assert!(s.send(b"boom").is_err());
+        let err = r.recv().unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::ConnectionReset);
     }
 
     #[test]

@@ -3,6 +3,24 @@
 //! Every message on the wire is `[u32 length LE][payload]`. A maximum frame
 //! size guards against corrupt prefixes. The same framing is used by plain,
 //! encrypted, and shaped channels.
+//!
+//! ## Correlation tagging
+//!
+//! Pipelined RPC multiplexes several in-flight requests over one
+//! connection, so replies need a way back to their originating request.
+//! A *tagged* request payload is
+//!
+//! ```text
+//! [PIPELINE_MAGIC u64 LE][correlation id u64 LE][envelope bytes]
+//! ```
+//!
+//! and the matching reply is `[correlation id u64 LE][reply bytes]`. The
+//! magic is `u64::MAX`, a value the legacy (untagged) protocol never puts
+//! in its first eight bytes — an `RpcEnvelope` starts with its trace id,
+//! which the coordinator clamps below `u64::MAX` — so a receiver can
+//! sniff each frame and serve tagged and untagged traffic on the same
+//! connection. Untagged frames are byte-for-byte the pre-pipelining
+//! protocol, which keeps window=1 wire-compatible with older peers.
 
 use std::io::{self, Read, Write};
 
@@ -10,11 +28,21 @@ use std::io::{self, Read, Write};
 /// corruption or protocol mismatch.
 pub const MAX_FRAME: u32 = 256 * 1024 * 1024;
 
-/// Writes one length-prefixed frame.
-pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> io::Result<()> {
+/// First eight bytes of a correlation-tagged request payload. Legacy
+/// envelopes start with a trace id that is always clamped below this
+/// value, so the two framings are distinguishable per message.
+pub const PIPELINE_MAGIC: u64 = u64::MAX;
+
+/// Upper bound on a single `read` pre-allocation. A corrupt-but-in-range
+/// length prefix therefore cannot make us allocate 256 MiB up front; the
+/// payload buffer grows chunk by chunk as bytes actually arrive.
+const READ_CHUNK: usize = 4 * 1024 * 1024;
+
+/// Writes one length-prefixed frame, enforcing `max_frame`.
+pub fn write_frame_limited(w: &mut impl Write, payload: &[u8], max_frame: u32) -> io::Result<()> {
     let len = u32::try_from(payload.len())
         .map_err(|_| io::Error::new(io::ErrorKind::InvalidInput, "frame too large"))?;
-    if len > MAX_FRAME {
+    if len > max_frame {
         return Err(io::Error::new(
             io::ErrorKind::InvalidInput,
             "frame too large",
@@ -25,20 +53,82 @@ pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> io::Result<()> {
     w.flush()
 }
 
-/// Reads one length-prefixed frame.
-pub fn read_frame(r: &mut impl Read) -> io::Result<Vec<u8>> {
+/// Writes one length-prefixed frame.
+pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> io::Result<()> {
+    write_frame_limited(w, payload, MAX_FRAME)
+}
+
+/// Reads one length-prefixed frame, enforcing `max_frame`.
+pub fn read_frame_limited(r: &mut impl Read, max_frame: u32) -> io::Result<Vec<u8>> {
     let mut len_bytes = [0u8; 4];
     r.read_exact(&mut len_bytes)?;
     let len = u32::from_le_bytes(len_bytes);
-    if len > MAX_FRAME {
+    if len > max_frame {
         return Err(io::Error::new(
             io::ErrorKind::InvalidData,
             format!("frame length {len} exceeds maximum"),
         ));
     }
-    let mut payload = vec![0u8; len as usize];
-    r.read_exact(&mut payload)?;
+    let len = len as usize;
+    let mut payload = Vec::with_capacity(len.min(READ_CHUNK));
+    let mut remaining = len;
+    while remaining > 0 {
+        let chunk = remaining.min(READ_CHUNK);
+        let start = payload.len();
+        payload.resize(start + chunk, 0);
+        r.read_exact(&mut payload[start..])?;
+        remaining -= chunk;
+    }
     Ok(payload)
+}
+
+/// Reads one length-prefixed frame.
+pub fn read_frame(r: &mut impl Read) -> io::Result<Vec<u8>> {
+    read_frame_limited(r, MAX_FRAME)
+}
+
+/// Builds a correlation-tagged request payload:
+/// `[PIPELINE_MAGIC][corr][body]`.
+pub fn tag_request(corr: u64, body: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(16 + body.len());
+    out.extend_from_slice(&PIPELINE_MAGIC.to_le_bytes());
+    out.extend_from_slice(&corr.to_le_bytes());
+    out.extend_from_slice(body);
+    out
+}
+
+/// Splits a tagged request payload into `(corr, body)`. Returns `None`
+/// for legacy (untagged) payloads, which do not start with the magic.
+pub fn untag_request(payload: &[u8]) -> Option<(u64, &[u8])> {
+    if payload.len() < 16 {
+        return None;
+    }
+    let magic = u64::from_le_bytes(payload[..8].try_into().expect("8 bytes"));
+    if magic != PIPELINE_MAGIC {
+        return None;
+    }
+    let corr = u64::from_le_bytes(payload[8..16].try_into().expect("8 bytes"));
+    Some((corr, &payload[16..]))
+}
+
+/// Builds a correlated reply payload: `[corr][body]`.
+pub fn tag_reply(corr: u64, body: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(8 + body.len());
+    out.extend_from_slice(&corr.to_le_bytes());
+    out.extend_from_slice(body);
+    out
+}
+
+/// Splits a correlated reply payload into `(corr, body)`.
+pub fn untag_reply(payload: &[u8]) -> io::Result<(u64, &[u8])> {
+    if payload.len() < 8 {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "correlated reply shorter than its correlation id",
+        ));
+    }
+    let corr = u64::from_le_bytes(payload[..8].try_into().expect("8 bytes"));
+    Ok((corr, &payload[8..]))
 }
 
 #[cfg(test)]
@@ -59,11 +149,56 @@ mod tests {
     }
 
     #[test]
+    fn roundtrip_at_size_boundaries() {
+        // Payload sizes 0 and 1 through the public API; max-1, max, and
+        // max+1 against an explicit limit so the boundary semantics are
+        // tested exactly without allocating 256 MiB.
+        for payload in [vec![], vec![0xabu8]] {
+            let mut buf = Vec::new();
+            write_frame(&mut buf, &payload).unwrap();
+            assert_eq!(buf.len(), 4 + payload.len());
+            assert_eq!(read_frame(&mut Cursor::new(buf)).unwrap(), payload);
+        }
+        let max = 64u32;
+        for len in [max - 1, max] {
+            let payload = vec![0x5au8; len as usize];
+            let mut buf = Vec::new();
+            write_frame_limited(&mut buf, &payload, max).unwrap();
+            let got = read_frame_limited(&mut Cursor::new(buf), max).unwrap();
+            assert_eq!(got, payload, "len {len}");
+        }
+        // One past the limit: rejected on write and on read.
+        let over = vec![0u8; (max + 1) as usize];
+        let mut buf = Vec::new();
+        let err = write_frame_limited(&mut buf, &over, max).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidInput);
+        let mut raw = (max + 1).to_le_bytes().to_vec();
+        raw.extend_from_slice(&over);
+        let err = read_frame_limited(&mut Cursor::new(raw), max).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn max_frame_prefix_accepted_but_truncation_detected() {
+        // A MAX_FRAME-length prefix passes the size check (it is within
+        // bounds) and the chunked reader then hits honest EOF instead of
+        // allocating the full 256 MiB up front.
+        let mut raw = MAX_FRAME.to_le_bytes().to_vec();
+        raw.extend_from_slice(&[1, 2, 3]);
+        let err = read_frame(&mut Cursor::new(raw)).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof);
+    }
+
+    #[test]
     fn oversized_prefix_rejected() {
         let mut buf = Vec::new();
         buf.extend_from_slice(&u32::MAX.to_le_bytes());
         let mut c = Cursor::new(buf);
-        assert!(read_frame(&mut c).is_err());
+        let err = read_frame(&mut c).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        let mut just_over = Vec::new();
+        just_over.extend_from_slice(&(MAX_FRAME + 1).to_le_bytes());
+        assert!(read_frame(&mut Cursor::new(just_over)).is_err());
     }
 
     #[test]
@@ -73,5 +208,38 @@ mod tests {
         buf.extend_from_slice(b"abc");
         let mut c = Cursor::new(buf);
         assert!(read_frame(&mut c).is_err());
+    }
+
+    #[test]
+    fn truncated_prefix_errors() {
+        for cut in 0..4 {
+            let buf = vec![0u8; cut];
+            assert!(read_frame(&mut Cursor::new(buf)).is_err(), "cut {cut}");
+        }
+    }
+
+    #[test]
+    fn request_tag_roundtrip_and_sniffing() {
+        let tagged = tag_request(42, b"envelope");
+        assert_eq!(untag_request(&tagged), Some((42, &b"envelope"[..])));
+        // A legacy envelope (starts with a sub-MAX trace id) is not
+        // mistaken for a tagged request.
+        let mut legacy = 7u64.to_le_bytes().to_vec();
+        legacy.extend_from_slice(&1u64.to_le_bytes());
+        legacy.extend_from_slice(b"rest");
+        assert_eq!(untag_request(&legacy), None);
+        // Too-short payloads are never tagged.
+        assert_eq!(untag_request(&PIPELINE_MAGIC.to_le_bytes()), None);
+        assert_eq!(untag_request(b""), None);
+    }
+
+    #[test]
+    fn reply_tag_roundtrip() {
+        let tagged = tag_reply(9, b"reply");
+        let (corr, body) = untag_reply(&tagged).unwrap();
+        assert_eq!(corr, 9);
+        assert_eq!(body, b"reply");
+        assert_eq!(untag_reply(&tag_reply(0, b"")).unwrap(), (0, &b""[..]));
+        assert!(untag_reply(&[1, 2, 3]).is_err());
     }
 }

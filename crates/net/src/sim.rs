@@ -3,14 +3,18 @@
 //! The paper's WAN experiments run the coordinator in Copenhagen and
 //! workers in Graz: "round-trip latency of about 35-60 ms, and data
 //! transfer bandwidth of about 1.4-2 MB/s". We reproduce those two effects
-//! — latency per message and transfer time per byte — by shaping the send
-//! path of a channel. Sleeps are real wall-clock time so end-to-end
-//! runtimes reflect the same costs the paper measures; a `scale` factor
-//! lets the harness shrink them proportionally for fast runs.
+//! — latency per message and transfer time per byte — by shaping the
+//! *receive* path of a channel: a pump thread timestamps each message's
+//! real arrival and withholds it until link transfer plus one-way latency
+//! have elapsed, so pipelined messages overlap their latencies exactly as
+//! they would on a real link. Sleeps are real wall-clock time so
+//! end-to-end runtimes reflect the same costs the paper measures; a
+//! `scale` factor lets the harness shrink them proportionally for fast
+//! runs.
 
 use std::time::Duration;
 
-/// Link profile applied to each message on the send path.
+/// Link profile applied to each message as it crosses the channel.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct NetProfile {
     /// One-way latency added per message, in milliseconds.
@@ -66,15 +70,27 @@ impl NetProfile {
         self.one_way_latency_ms == 0.0 && self.bandwidth_bytes_per_sec.is_infinite()
     }
 
-    /// The simulated delay for sending one message of `bytes`.
-    pub fn delay_for(&self, bytes: usize) -> Duration {
-        let latency = self.one_way_latency_ms / 1e3;
-        let transfer = if self.bandwidth_bytes_per_sec.is_finite() {
-            bytes as f64 / self.bandwidth_bytes_per_sec
+    /// The one-way propagation latency as a [`Duration`].
+    pub fn latency(&self) -> Duration {
+        Duration::from_secs_f64(self.one_way_latency_ms / 1e3)
+    }
+
+    /// The link-occupancy (serialization) time for `bytes` at the
+    /// profile's bandwidth. This is the component that stays serial when
+    /// messages are pipelined: concurrent messages share the link, so
+    /// their transfer times add while their latencies overlap.
+    pub fn transfer_time(&self, bytes: usize) -> Duration {
+        if self.bandwidth_bytes_per_sec.is_finite() {
+            Duration::from_secs_f64(bytes as f64 / self.bandwidth_bytes_per_sec)
         } else {
-            0.0
-        };
-        Duration::from_secs_f64(latency + transfer)
+            Duration::ZERO
+        }
+    }
+
+    /// The simulated delay for sending one message of `bytes` over an
+    /// otherwise idle link: propagation latency plus transfer time.
+    pub fn delay_for(&self, bytes: usize) -> Duration {
+        self.latency() + self.transfer_time(bytes)
     }
 
     /// Sleeps for the simulated delay of one `bytes`-sized message.
@@ -119,6 +135,28 @@ mod tests {
         let ratio_small = p.delay_for(64).as_secs_f64() / s.delay_for(64).as_secs_f64();
         // Nanosecond rounding in Duration loosens the small-message ratio.
         assert!((ratio_small - 10.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn delay_math_decomposes_into_latency_and_transfer() {
+        let p = NetProfile::wan();
+        assert_eq!(p.latency(), Duration::from_millis(20));
+        // 170 KB at 1.7 MB/s = 100 ms of link occupancy.
+        let t = p.transfer_time(170_000);
+        assert!((t.as_secs_f64() - 0.1).abs() < 1e-9, "{t:?}");
+        assert_eq!(p.delay_for(170_000), p.latency() + t);
+        // Zero-byte messages still pay propagation latency.
+        assert_eq!(p.delay_for(0), p.latency());
+        // Unshaped profiles pay nothing at all.
+        assert_eq!(NetProfile::lan().latency(), Duration::ZERO);
+        assert_eq!(NetProfile::lan().transfer_time(1 << 30), Duration::ZERO);
+        // Latency-only profiles are byte-size independent.
+        let lat_only = NetProfile {
+            one_way_latency_ms: 5.0,
+            bandwidth_bytes_per_sec: f64::INFINITY,
+        };
+        assert_eq!(lat_only.delay_for(0), lat_only.delay_for(1 << 20));
+        assert!(!lat_only.is_unshaped());
     }
 
     #[test]

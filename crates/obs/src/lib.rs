@@ -28,7 +28,9 @@ pub mod report;
 pub mod trace;
 
 pub use metrics::{global, Counter, Histogram, HistogramSummary, MetricsSnapshot, Registry};
-pub use report::{InstrProfile, NetTotals, RecoverySummary, RunReport, WorkerBreakdown};
+pub use report::{
+    InstrProfile, NetTotals, PipelineSummary, RecoverySummary, RunReport, WorkerBreakdown,
+};
 pub use trace::{
     clear, current, enabled, propagate, set_enabled, span, span_child_of, take_spans, AttrValue,
     PropagationGuard, SpanGuard, SpanKind, SpanRecord, TraceContext,

@@ -172,7 +172,7 @@ fn record_region(chunks: usize, engaged: usize, steals: u64, parallel: bool) {
     }
 }
 
-/// Chunk length targeting ~[`CHUNKS_PER_THREAD`] chunks per pool thread,
+/// Chunk length targeting ~`CHUNKS_PER_THREAD` chunks per pool thread,
 /// but never below `min_chunk` items (callers derive `min_chunk` from the
 /// per-item cost so tiny inputs stay single-chunk and serial).
 pub fn chunk_len(total: usize, min_chunk: usize) -> usize {

@@ -1,0 +1,210 @@
+//! Pipelined-RPC conformance properties: correlation-ID routing survives
+//! arbitrary reply reorderings and request drops, and the window=1
+//! configuration stays byte-for-byte compatible with the legacy lock-step
+//! protocol.
+
+use std::collections::HashSet;
+use std::io;
+use std::sync::{Arc, Mutex};
+
+use exdra::core::protocol::{Request, RpcEnvelope};
+use exdra::core::worker::{Worker, WorkerConfig};
+use exdra::core::{DataValue, FedContext, PrivacyLevel};
+use exdra::fault::{FaultPlan, FaultyChannel};
+use exdra::net::codec::Wire;
+use exdra::net::framing::{tag_reply, untag_request};
+use exdra::net::transport::{mem_pair, Channel, MemChannel, PipelinedChannel, SplitResult};
+use proptest::prelude::*;
+
+/// Distinct, non-empty payload for request index `i`.
+fn payload(i: usize) -> Vec<u8> {
+    let mut p = vec![0xC0; i % 7 + 1];
+    p.extend_from_slice(&(i as u64).to_le_bytes());
+    p
+}
+
+/// The reply the test peers send for a request body.
+fn echo(body: &[u8]) -> Vec<u8> {
+    let mut r = body.to_vec();
+    r.push(0xAB);
+    r
+}
+
+/// Sorts `0..n` by the given keys — an arbitrary permutation under
+/// proptest's control.
+fn permutation(n: usize, keys: &[u64]) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by_key(|&i| keys.get(i).copied().unwrap_or(i as u64));
+    order
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// However the peer permutes its correlated replies, each reply is
+    /// routed to the request that originated it — in whatever order the
+    /// caller collects them.
+    #[test]
+    fn replies_route_to_their_requests_under_any_reordering(
+        n in 1usize..20,
+        keys in proptest::collection::vec(any::<u64>(), 20),
+    ) {
+        let (a, b) = mem_pair();
+        let mut ch = PipelinedChannel::with_window(a, n);
+        let corrs: Vec<u64> = (0..n)
+            .map(|i| ch.send_request(&payload(i)).unwrap())
+            .collect();
+
+        let mut peer = b;
+        let mut frames = Vec::with_capacity(n);
+        for _ in 0..n {
+            let f = peer.recv().unwrap();
+            let (corr, body) = untag_request(&f).expect("tagged request frame");
+            frames.push((corr, body.to_vec()));
+        }
+        for &idx in &permutation(n, &keys) {
+            let (corr, body) = &frames[idx];
+            peer.send(&tag_reply(*corr, &echo(body))).unwrap();
+        }
+
+        // Collect in reverse request order — different from both the send
+        // order and the peer's reply order.
+        for (i, corr) in corrs.iter().enumerate().rev() {
+            prop_assert_eq!(ch.recv_for(*corr).unwrap(), echo(&payload(i)));
+        }
+        prop_assert_eq!(ch.in_flight(), 0);
+    }
+
+    /// With a lossy, duplicating link under the requests, every reply that
+    /// does arrive still lands at its originating request; dropped requests
+    /// simply stay in flight (the retry layer's business), and duplicated
+    /// requests produce duplicate replies that are discarded — no hangs,
+    /// no misrouting.
+    #[test]
+    fn lossy_links_never_misroute(
+        n in 1usize..16,
+        seed in any::<u64>(),
+        drop_p in 0.0f64..0.9,
+        dup_p in 0.0f64..0.5,
+    ) {
+        let plan = FaultPlan::dropping(seed, drop_p).with_duplicate(dup_p);
+
+        // The fault stream is seeded and payload-independent: a probe run
+        // of the same plan reveals exactly which sends will survive.
+        let (a, b) = mem_pair();
+        let mut probe = FaultyChannel::new(a, plan);
+        for i in 0..n {
+            probe.send(&[i as u8]).unwrap();
+        }
+        drop(probe);
+        let mut probe_peer = b;
+        let mut delivered = Vec::new();
+        while let Ok(m) = probe_peer.recv() {
+            delivered.push(m[0] as usize);
+        }
+
+        let (a, b) = mem_pair();
+        let mut ch = PipelinedChannel::with_window(FaultyChannel::new(a, plan), n);
+        let corrs: Vec<u64> = (0..n)
+            .map(|i| ch.send_request(&payload(i)).unwrap())
+            .collect();
+
+        // The peer replies (immediately) to exactly what arrived,
+        // duplicates included, then goes away.
+        let mut peer = b;
+        for _ in 0..delivered.len() {
+            let f = peer.recv().unwrap();
+            let (corr, body) = untag_request(&f).expect("tagged request frame");
+            peer.send(&tag_reply(corr, &echo(body))).unwrap();
+        }
+
+        let survivors: HashSet<usize> = delivered.iter().copied().collect();
+        for &i in survivors.iter() {
+            prop_assert_eq!(ch.recv_for(corrs[i]).unwrap(), echo(&payload(i)));
+        }
+        // Dropped requests remain pending; nothing was misrouted to them.
+        prop_assert_eq!(ch.in_flight(), n - survivors.len());
+    }
+}
+
+/// Coordinator-side channel that logs every frame it puts on the wire.
+struct RecordingChannel {
+    inner: MemChannel,
+    log: Arc<Mutex<Vec<Vec<u8>>>>,
+}
+
+impl Channel for RecordingChannel {
+    fn send(&mut self, payload: &[u8]) -> io::Result<()> {
+        self.log.lock().unwrap().push(payload.to_vec());
+        self.inner.send(payload)
+    }
+
+    fn recv(&mut self) -> io::Result<Vec<u8>> {
+        self.inner.recv()
+    }
+
+    fn split(self: Box<Self>) -> SplitResult {
+        SplitResult::Whole(self)
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// At window 1 the coordinator speaks the legacy protocol byte for
+    /// byte: one untagged envelope per batch, no correlation header. The
+    /// streamed path produces identical responses from tagged
+    /// single-request envelopes carrying the same batch in order.
+    #[test]
+    fn window_one_is_byte_identical_to_legacy_lockstep(
+        ids in proptest::collection::vec(1u64..40, 1..8),
+    ) {
+        let worker = Worker::new(WorkerConfig::default());
+        let log = Arc::new(Mutex::new(Vec::new()));
+        let rec = RecordingChannel {
+            inner: worker.serve_mem(),
+            log: Arc::clone(&log),
+        };
+        let ctx = FedContext::from_channels(vec![Box::new(rec)]).unwrap();
+
+        // Repeated ids are allowed: conflicting puts/gets must still
+        // serialize identically on both paths.
+        let mut batch = Vec::new();
+        for &id in &ids {
+            batch.push(Request::Put {
+                id,
+                data: DataValue::Scalar(id as f64 * 0.5 - 3.0),
+                privacy: PrivacyLevel::Public,
+            });
+            batch.push(Request::Get { id });
+        }
+
+        prop_assert_eq!(ctx.rpc_window(), 1, "lock-step is the default");
+        let legacy = ctx.call(0, &batch).unwrap();
+        {
+            let frames = log.lock().unwrap();
+            prop_assert_eq!(frames.len(), 1, "legacy batch is one envelope");
+            prop_assert!(
+                untag_request(&frames[0]).is_none(),
+                "no correlation header on the legacy wire"
+            );
+            let env = RpcEnvelope::from_bytes(&frames[0]).unwrap();
+            prop_assert_eq!(&env.requests, &batch);
+        }
+
+        log.lock().unwrap().clear();
+        let streamed = ctx.call_streamed(0, &batch, 8).unwrap();
+        prop_assert_eq!(&streamed, &legacy, "streamed responses identical");
+        {
+            let frames = log.lock().unwrap();
+            prop_assert_eq!(frames.len(), batch.len(), "one frame per request");
+            for (frame, want) in frames.iter().zip(&batch) {
+                let (_, body) = untag_request(frame).expect("streamed frames tagged");
+                let env = RpcEnvelope::from_bytes(body).unwrap();
+                prop_assert_eq!(env.requests.len(), 1);
+                prop_assert_eq!(&env.requests[0], want);
+            }
+        }
+        worker.shutdown();
+    }
+}
