@@ -30,7 +30,9 @@
 //! exploratory computation survives worker restarts.
 
 use std::sync::Arc;
+use std::time::Duration;
 
+use exdra_coord::{AttachedClient, Tenant};
 use exdra_core::coordinator::WorkerEndpoint;
 use exdra_core::fed::prep::FedFrame;
 use exdra_core::fed::FedMatrix;
@@ -48,11 +50,19 @@ use crate::dag::Lazy;
 /// death while background recovery brings the worker back.
 const RECOVERY_ATTEMPTS: usize = 5;
 
+/// How long [`Session::compute`] waits for a remote coordinator to
+/// report a recovered worker serviceable again.
+const ATTACH_RECOVERY_TIMEOUT: Duration = Duration::from_secs(10);
+
 /// Where a [`SessionBuilder`] gets its runtime from.
 enum Target {
     Local,
     Context(Arc<FedContext>),
     Connect(Vec<String>),
+    /// An admitted multi-tenant session (in-process coordinator service).
+    Tenant(Arc<Tenant>),
+    /// Attach to a remote coordinator service over TCP.
+    Attach(String),
 }
 
 /// Typed, fluent configuration for a [`Session`].
@@ -97,6 +107,28 @@ impl SessionBuilder {
         self
     }
 
+    /// Runs the session as an admitted tenant of an in-process
+    /// [`exdra_coord::CoordService`]. The session reuses the tenant's
+    /// namespaced, fairness-gated context, shares the service's
+    /// cross-session plan cache (a per-session
+    /// [`SessionBuilder::plan_cache_bytes`] is ignored), and delegates
+    /// worker recovery to the service's supervisor — per-session
+    /// [`SessionBuilder::supervision`] settings are ignored too.
+    pub fn tenant(mut self, tenant: Arc<Tenant>) -> Self {
+        self.target = Target::Tenant(tenant);
+        self
+    }
+
+    /// Attaches the session to a *remote* coordinator service at `addr`
+    /// (an [`exdra_coord::CoordServer`]). RPC travels multiplexed over
+    /// one socket, plan-cache probes hit the server's shared cache, and
+    /// recovery is delegated to the server; per-session supervision
+    /// settings are ignored.
+    pub fn attach(mut self, addr: &str) -> Self {
+        self.target = Target::Attach(addr.to_string());
+        self
+    }
+
     /// Privacy constraint attached to federated data created by this
     /// session (default: [`PrivacyLevel::Public`]).
     pub fn privacy(mut self, privacy: PrivacyLevel) -> Self {
@@ -136,20 +168,22 @@ impl SessionBuilder {
         self
     }
 
-    /// Pins the intra-operator compute pool to `n` threads (clamped to a
-    /// minimum of 1; `1` means exact serial execution). This is a
-    /// **process-global** setting applied at `build()` — it overrides the
-    /// `EXDRA_THREADS` environment variable and the auto-detected core
-    /// count, and affects kernels run outside this session too. Results
-    /// are bitwise identical at every thread count; see the
-    /// "Threading & reproducibility" section of the README.
+    /// Pins the intra-operator compute pool to `n` threads (`1` means
+    /// exact serial execution; `0` is rejected by `build()` with a typed
+    /// [`FedError::Config`]). This is a **process-global** setting
+    /// applied at `build()` — it overrides the `EXDRA_THREADS`
+    /// environment variable and the auto-detected core count, and
+    /// affects kernels run outside this session too. Results are
+    /// bitwise identical at every thread count; see the "Threading &
+    /// reproducibility" section of the README.
     pub fn threads(mut self, n: usize) -> Self {
-        self.threads = Some(n.max(1));
+        self.threads = Some(n);
         self
     }
 
     /// Sliding window of in-flight RPC requests per worker connection
-    /// (clamped to a minimum of 1). The default of 1 is the classic
+    /// (`0` is rejected by `build()` with a typed [`FedError::Config`] —
+    /// a zero window could never admit a request). The default of 1 is the classic
     /// lock-step protocol — one request on the wire at a time, byte-
     /// for-byte identical to previous releases. Raising the window lets
     /// the coordinator stream a batch's requests ahead of the replies,
@@ -160,7 +194,7 @@ impl SessionBuilder {
     /// identical at every window size. `exdra_net::transport::DEFAULT_WINDOW`
     /// (8) is a good starting point; see DESIGN.md §4g.
     pub fn rpc_window(mut self, n: usize) -> Self {
-        self.rpc_window = Some(n.max(1));
+        self.rpc_window = Some(n);
         self
     }
 
@@ -168,12 +202,28 @@ impl SessionBuilder {
     /// the background supervisor for connected sessions (unless
     /// [`SessionBuilder::no_supervision`] was called).
     pub fn build(self) -> Result<Session> {
+        if self.threads == Some(0) {
+            return Err(FedError::Config(
+                "threads(0): the compute pool needs at least one thread \
+                 (use threads(1) for exact serial execution)"
+                    .into(),
+            ));
+        }
+        if self.rpc_window == Some(0) {
+            return Err(FedError::Config(
+                "rpc_window(0): a zero-size window can never admit a request \
+                 (use rpc_window(1) for the lock-step protocol)"
+                    .into(),
+            ));
+        }
         if self.tracing {
             exdra_obs::set_enabled(true);
         }
         if let Some(n) = self.threads {
             exdra_par::set_threads(n);
         }
+        let mut tenant = None;
+        let mut attached = None;
         let ctx = match self.target {
             Target::Local => None,
             Target::Context(ctx) => Some(ctx),
@@ -184,30 +234,54 @@ impl SessionBuilder {
                     .collect();
                 Some(FedContext::connect(&endpoints)?)
             }
+            Target::Tenant(t) => {
+                let ctx = Arc::clone(t.context());
+                tenant = Some(t);
+                Some(ctx)
+            }
+            Target::Attach(addr) => {
+                let client = AttachedClient::connect(&addr)?;
+                let ctx = FedContext::from_channels(client.tunnels())?;
+                ctx.set_namespace(client.namespace());
+                attached = Some(client);
+                Some(ctx)
+            }
         };
         if let (Some(ctx), Some(n)) = (&ctx, self.rpc_window) {
             ctx.set_rpc_window(n);
         }
+        // Coordinated sessions (tenant or attached) are supervised by
+        // the service, which owns the fleet's single checkpoint stream;
+        // starting a second supervisor here would duplicate it.
+        let coordinated = tenant.is_some() || attached.is_some();
         let (supervisor, sup_handle) = match (&ctx, self.supervision) {
-            (Some(ctx), Some(policy)) => {
+            (Some(ctx), Some(policy)) if !coordinated => {
                 let sup = Supervisor::new(Arc::clone(ctx), policy);
                 let handle = sup.run();
                 (Some(sup), Some(handle))
             }
             _ => (None, None),
         };
-        Ok(Session {
-            ctx,
-            privacy: self.privacy,
-            plan_cache: self.plan_cache_bytes.map(|bytes| {
+        let plan_cache = match &tenant {
+            // Tenants always share the service's cross-session cache.
+            Some(t) => Some(Arc::clone(t.service().plan_cache())),
+            None if attached.is_some() => None, // remote cache, over the socket
+            None => self.plan_cache_bytes.map(|bytes| {
                 Arc::new(LineageCache::new_scoped(
                     bytes,
                     true,
                     CacheScope::Coordinator,
                 ))
             }),
+        };
+        Ok(Session {
+            ctx,
+            privacy: self.privacy,
+            plan_cache,
             supervisor,
             sup_handle,
+            tenant,
+            attached,
         })
     }
 }
@@ -219,6 +293,10 @@ pub struct Session {
     plan_cache: Option<Arc<LineageCache>>,
     supervisor: Option<Arc<Supervisor>>,
     sup_handle: Option<std::thread::JoinHandle<()>>,
+    /// Set for sessions admitted by an in-process coordinator service.
+    tenant: Option<Arc<Tenant>>,
+    /// Set for sessions attached to a remote coordinator over TCP.
+    attached: Option<Arc<AttachedClient>>,
 }
 
 impl Session {
@@ -235,6 +313,8 @@ impl Session {
             plan_cache: None,
             supervisor: None,
             sup_handle: None,
+            tenant: None,
+            attached: None,
         }
     }
 
@@ -242,6 +322,20 @@ impl Session {
     /// supervision. Shorthand for `Session::builder().connect(..).build()`.
     pub fn connect(addresses: &[String]) -> Result<Self> {
         Session::builder().connect(addresses).build()
+    }
+
+    /// Attaches to a remote coordinator service. Shorthand for
+    /// `Session::builder().attach(addr).build()`; returns the typed
+    /// [`FedError::SessionRejected`] when the coordinator is at
+    /// capacity.
+    pub fn attach(addr: &str) -> Result<Self> {
+        Session::builder().attach(addr).build()
+    }
+
+    /// Session over an admitted coordinator tenant. Shorthand for
+    /// `Session::builder().tenant(tenant).build()`.
+    pub fn from_tenant(tenant: Arc<Tenant>) -> Result<Self> {
+        Session::builder().tenant(tenant).build()
     }
 
     /// Session over an existing context (in-process federations, custom
@@ -294,6 +388,18 @@ impl Session {
         self.supervisor.as_ref()
     }
 
+    /// The coordinator tenant, if this session was admitted by an
+    /// in-process [`exdra_coord::CoordService`].
+    pub fn tenant(&self) -> Option<&Arc<Tenant>> {
+        self.tenant.as_ref()
+    }
+
+    /// The attach client, if this session is attached to a remote
+    /// coordinator.
+    pub fn attached(&self) -> Option<&Arc<AttachedClient>> {
+        self.attached.as_ref()
+    }
+
     /// Computes a plan like [`Lazy::compute`], additionally memoizing the
     /// consolidated result in the session's plan cache (when attached via
     /// [`SessionBuilder::plan_cache_bytes`]). Cache entries are only
@@ -311,19 +417,30 @@ impl Session {
         loop {
             match self.compute_once(plan) {
                 Err(FedError::WorkerDead { worker, msg }) => {
-                    let Some(sup) = &self.supervisor else {
-                        return Err(FedError::WorkerDead { worker, msg });
-                    };
                     if attempts >= RECOVERY_ATTEMPTS {
                         return Err(FedError::WorkerDead { worker, msg });
                     }
                     attempts += 1;
-                    sup.notify_worker_dead(worker);
-                    sup.wait_recoveries();
-                    if sup.detector().state(worker) != HealthState::Healthy {
-                        // The replacement isn't up yet; give it a beat
-                        // before the next recovery round.
-                        std::thread::sleep(sup.policy().heartbeat_interval);
+                    if let Some(tenant) = &self.tenant {
+                        // The service's supervisor restores every
+                        // namespace; this session then repairs its own
+                        // channel to the replacement worker.
+                        let _ = tenant.recover_worker(worker);
+                        tenant.await_healthy(worker, ATTACH_RECOVERY_TIMEOUT);
+                    } else if let Some(client) = &self.attached {
+                        // Recovery runs entirely server-side; wait for
+                        // the WorkerUp notice before re-attempting.
+                        let _ = client.recover(worker, ATTACH_RECOVERY_TIMEOUT);
+                    } else if let Some(sup) = &self.supervisor {
+                        sup.notify_worker_dead(worker);
+                        sup.wait_recoveries();
+                        if sup.detector().state(worker) != HealthState::Healthy {
+                            // The replacement isn't up yet; give it a beat
+                            // before the next recovery round.
+                            std::thread::sleep(sup.policy().heartbeat_interval);
+                        }
+                    } else {
+                        return Err(FedError::WorkerDead { worker, msg });
                     }
                 }
                 other => return other,
@@ -332,12 +449,36 @@ impl Session {
     }
 
     fn compute_once(&self, plan: &Lazy) -> Result<DenseMatrix> {
+        // Attached sessions probe the server's shared cache over the
+        // attach socket; a lost connection degrades to plain compute.
+        if let Some(client) = &self.attached {
+            let key = plan.lineage_hash();
+            if let Some(hit) = client.cache_probe(key).ok().flatten() {
+                return Ok(hit.value.as_matrix()?.to_dense());
+            }
+            let result = plan.compute()?;
+            let _ = client.cache_put(
+                key,
+                &CachedEntry {
+                    value: Arc::new(DataValue::from(result.clone())),
+                    privacy: PrivacyLevel::Public,
+                    releasable: true,
+                },
+            );
+            return Ok(result);
+        }
         let Some(cache) = &self.plan_cache else {
             return plan.compute();
         };
         let key = plan.lineage_hash();
         if let Some(hit) = cache.probe(key) {
+            if let Some(t) = &self.tenant {
+                t.stats().record_probe(true);
+            }
             return Ok(hit.value.as_matrix()?.to_dense());
+        }
+        if let Some(t) = &self.tenant {
+            t.stats().record_probe(false);
         }
         let result = plan.compute()?;
         cache.insert(
@@ -459,9 +600,19 @@ mod tests {
     fn threads_knob_pins_the_pool() {
         let sds = Session::builder().threads(2).build().unwrap();
         assert_eq!(exdra_par::threads(), 2);
-        // `threads(0)` clamps to 1 (exact serial execution).
-        let _ = Session::builder().threads(0).build().unwrap();
-        assert_eq!(exdra_par::threads(), 1);
+        // `threads(0)` is a typed configuration error, not a silent clamp.
+        let err = Session::builder()
+            .threads(0)
+            .build()
+            .map(|_| ())
+            .unwrap_err();
+        assert!(
+            matches!(err, FedError::Config(_)),
+            "expected FedError::Config, got {err:?}"
+        );
+        assert!(err.to_string().contains("invalid configuration"));
+        // A rejected build leaves the process-global pool untouched.
+        assert_eq!(exdra_par::threads(), 2);
         // Results are identical across widths by the determinism contract.
         let m = rand_matrix(40, 17, -1.0, 1.0, 42);
         let serial = {
@@ -578,14 +729,21 @@ mod tests {
         let fed2 = sds.federated(&m).unwrap();
         let lockstep = fed2.tsmm().unwrap().compute().unwrap();
         assert_eq!(piped.values(), lockstep.values());
-        // `rpc_window(0)` clamps to lock-step rather than deadlocking.
+        // `rpc_window(0)` is a typed configuration error: a zero-size
+        // window could never admit a request.
         let (ctx2, _w2) = mem_federation(1);
-        let _ = Session::builder()
+        let err = Session::builder()
             .context(Arc::clone(&ctx2))
             .rpc_window(0)
             .no_supervision()
             .build()
-            .unwrap();
+            .map(|_| ())
+            .unwrap_err();
+        assert!(
+            matches!(err, FedError::Config(_)),
+            "expected FedError::Config, got {err:?}"
+        );
+        // The rejected build never touched the context's window.
         assert_eq!(ctx2.rpc_window(), 1);
     }
 
@@ -661,6 +819,112 @@ mod tests {
             after.values(),
             "recovered computation is bitwise identical"
         );
+    }
+
+    /// Coordinator service over an in-process mem-worker fleet.
+    fn mem_service(
+        n: usize,
+    ) -> (
+        Arc<exdra_coord::CoordService>,
+        Vec<Arc<exdra_core::worker::Worker>>,
+    ) {
+        use exdra_core::worker::{Worker, WorkerConfig};
+        let workers: Vec<Arc<Worker>> = (0..n)
+            .map(|_| Worker::new(WorkerConfig::default()))
+            .collect();
+        let fleet = workers.clone();
+        let factory: exdra_coord::ChannelFactory = Arc::new(move |w: usize| {
+            Ok(Box::new(fleet[w].serve_mem()) as Box<dyn exdra_core::supervision::Channel>)
+        });
+        let service = exdra_coord::CoordService::start(
+            exdra_coord::FleetSource::Factory {
+                n_workers: n,
+                factory,
+            },
+            exdra_coord::CoordConfig::default(),
+        )
+        .unwrap();
+        (service, workers)
+    }
+
+    #[test]
+    fn tenant_sessions_share_the_plan_cache() {
+        let (service, _workers) = mem_service(2);
+        let s1 = Session::from_tenant(service.open_session().unwrap()).unwrap();
+        let s2 = Session::from_tenant(service.open_session().unwrap()).unwrap();
+        assert_ne!(
+            s1.tenant().unwrap().namespace(),
+            s2.tenant().unwrap().namespace()
+        );
+
+        // Local sources hash by content, so the same plan built in two
+        // different sessions shares one cache entry.
+        let m = rand_matrix(30, 4, -1.0, 1.0, 17);
+        let p1 = s1.matrix(m.clone()).matmul(&s1.matrix(m.clone()).t());
+        let p2 = s2.matrix(m.clone()).matmul(&s2.matrix(m.clone()).t());
+        assert_eq!(p1.lineage_hash(), p2.lineage_hash());
+        let a = s1.compute(&p1).unwrap();
+        let b = s2.compute(&p2).unwrap();
+        assert_eq!(a.values(), b.values());
+        let (t1, t2) = (s1.tenant().unwrap().stats(), s2.tenant().unwrap().stats());
+        assert_eq!(
+            t1.cache_misses.load(std::sync::atomic::Ordering::Relaxed),
+            1
+        );
+        assert_eq!(t2.cache_hits.load(std::sync::atomic::Ordering::Relaxed), 1);
+        service.stop();
+    }
+
+    #[test]
+    fn tenant_namespaces_are_isolated() {
+        let (service, _workers) = mem_service(2);
+        let s1 = Session::from_tenant(service.open_session().unwrap()).unwrap();
+        let s2 = Session::from_tenant(service.open_session().unwrap()).unwrap();
+        let m1 = rand_matrix(40, 3, -1.0, 1.0, 5);
+        let m2 = rand_matrix(40, 3, -1.0, 1.0, 6);
+        let f1 = s1.federated(&m1).unwrap();
+        let f2 = s2.federated(&m2).unwrap();
+        let e1 = Session::local()
+            .matrix(m1)
+            .tsmm()
+            .unwrap()
+            .compute()
+            .unwrap();
+        let e2 = Session::local()
+            .matrix(m2)
+            .tsmm()
+            .unwrap()
+            .compute()
+            .unwrap();
+        // Closing session 1 reaps only its namespace: session 2's
+        // federated state survives on the shared workers.
+        let r1 = f1.tsmm().unwrap().compute().unwrap();
+        drop(s1);
+        let r2 = f2.tsmm().unwrap().compute().unwrap();
+        assert!(r1.max_abs_diff(&e1) < 1e-10);
+        assert!(r2.max_abs_diff(&e2) < 1e-10);
+        service.stop();
+    }
+
+    #[test]
+    fn attached_session_computes_over_tcp() {
+        let (service, _workers) = mem_service(2);
+        let server = exdra_coord::CoordServer::serve(Arc::clone(&service), "127.0.0.1:0").unwrap();
+        let addr = server.addr().to_string();
+        let sds = Session::attach(&addr).unwrap();
+        let m = rand_matrix(50, 4, -1.0, 1.0, 23);
+        let fed = sds.federated(&m).unwrap();
+        let got = fed.tsmm().unwrap().compute().unwrap();
+        let want = Session::local()
+            .matrix(m)
+            .tsmm()
+            .unwrap()
+            .compute()
+            .unwrap();
+        assert!(got.max_abs_diff(&want) < 1e-10);
+        drop(sds);
+        server.stop();
+        service.stop();
     }
 
     #[test]

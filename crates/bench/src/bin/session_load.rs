@@ -1,0 +1,298 @@
+//! Multi-tenant session load: eight synthetic sessions admitted by one
+//! [`CoordService`] over a shared two-worker fleet, each running a mix
+//! of private federated plans (fresh lineage every iteration, so every
+//! request really crosses the fleet) and one shared local-source plan
+//! (content-hashed lineage, so all tenants resolve it through the
+//! shared cross-session plan cache). Reports per-session and aggregate
+//! p50/p99 compute latency, the shared-cache hit rate, and a fairness
+//! check: a light tenant's p99 while one saturating tenant floods its
+//! credit budget, bounded against the same tenant's solo p99.
+//!
+//!     cargo run --release -p exdra-bench --bin session_load -- --quick
+//!
+//! Writes `results/session_load.json` plus the usual metrics sidecar,
+//! and asserts zero cross-tenant conflicts (every concurrent result is
+//! bitwise identical to a serial isolated run of the same plans).
+
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use exdra_api::Session;
+use exdra_bench::{obs_init, write_metrics_sidecar, BenchConfig, Table};
+use exdra_coord::{CoordConfig, CoordService, FleetSource};
+use exdra_core::worker::{Worker, WorkerConfig};
+use exdra_matrix::kernels::elementwise::BinaryOp;
+use exdra_matrix::rng::rand_matrix;
+use exdra_matrix::DenseMatrix;
+
+/// Concurrent sessions (the acceptance fleet shape: 8 over 2 workers).
+const SESSIONS: usize = 8;
+const WORKERS: usize = 2;
+
+/// Iterations of the plan mix per session.
+const ITERS_PER_REP: usize = 8;
+
+/// The fairness acceptance bound: the light tenant's p99 under a
+/// saturating co-tenant must stay within this factor of its solo p99.
+/// Generous on purpose — CI machines are noisy — while still failing
+/// hard if fairness collapses (an ungated scheduler starves the light
+/// tenant by orders of magnitude, not by a factor of a few).
+const FAIRNESS_BOUND: f64 = 50.0;
+
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted.len() as f64 - 1.0) * p).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+fn sorted_ms(mut lat: Vec<f64>) -> Vec<f64> {
+    lat.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    lat
+}
+
+/// The per-iteration private plan: fresh lineage every iteration (the
+/// scalar constant feeds the lineage hash), so it always executes on
+/// the workers instead of replaying from the plan cache.
+fn private_plan(
+    sds: &Session,
+    fed: &exdra_api::Lazy,
+    iter: usize,
+) -> exdra_core::error::Result<DenseMatrix> {
+    let plan = fed
+        .scalar(BinaryOp::Mul, 1.0 + iter as f64, false)
+        .col_sums()?;
+    sds.compute(&plan)
+}
+
+fn mem_service(fleet: &[Arc<Worker>], config: CoordConfig) -> Arc<CoordService> {
+    let slots: Vec<Arc<Worker>> = fleet.to_vec();
+    CoordService::start(
+        FleetSource::Factory {
+            n_workers: slots.len(),
+            factory: Arc::new(move |w| {
+                Ok(Box::new(slots[w].serve_mem()) as Box<dyn exdra_net::transport::Channel>)
+            }),
+        },
+        config,
+    )
+    .expect("start coordinator service")
+}
+
+fn main() {
+    obs_init();
+    let cfg = BenchConfig::from_args();
+    let iters = ITERS_PER_REP * cfg.reps.max(1);
+    let rows = (cfg.rows / SESSIONS).max(256);
+    let cols = cfg.cols.clamp(8, 256);
+
+    let fleet: Vec<Arc<Worker>> = (0..WORKERS)
+        .map(|_| Worker::new(WorkerConfig::default()))
+        .collect();
+    let service = mem_service(&fleet, CoordConfig::default());
+
+    // Serial isolated baselines: the same plans, one session at a time,
+    // on a dedicated federation. Bitwise equality against these is the
+    // zero-cross-tenant-conflicts criterion.
+    let shared_m = rand_matrix(rows.min(2048), cols, -1.0, 1.0, 7);
+    let baselines: Vec<(Vec<DenseMatrix>, DenseMatrix)> = (0..SESSIONS)
+        .map(|i| {
+            let (ctx, _w) = exdra_core::testutil::mem_federation(WORKERS);
+            let sds = Session::builder()
+                .context(ctx)
+                .no_supervision()
+                .build()
+                .expect("baseline session");
+            let m = rand_matrix(rows, cols, -1.0, 1.0, i as u64);
+            let fed = sds.federated(&m).expect("baseline scatter");
+            let private: Vec<DenseMatrix> = (0..iters)
+                .map(|it| private_plan(&sds, &fed, it).expect("baseline plan"))
+                .collect();
+            let shared = sds
+                .compute(&sds.matrix(shared_m.clone()).col_sums().expect("plan"))
+                .expect("baseline shared plan");
+            (private, shared)
+        })
+        .collect();
+
+    // Phase 1: all sessions concurrently over the shared fleet.
+    let conflicts = Arc::new(AtomicUsize::new(0));
+    let t_wall = Instant::now();
+    let handles: Vec<_> = (0..SESSIONS)
+        .map(|i| {
+            let service = Arc::clone(&service);
+            let conflicts = Arc::clone(&conflicts);
+            let shared_m = shared_m.clone();
+            let (want_private, want_shared) = baselines[i].clone();
+            std::thread::spawn(move || {
+                let tenant = service.open_session().expect("admitted");
+                let stats = Arc::clone(tenant.stats());
+                let sds = Session::from_tenant(tenant).expect("tenant session");
+                let m = rand_matrix(rows, cols, -1.0, 1.0, i as u64);
+                let fed = sds.federated(&m).expect("scatter");
+                let mut lat = Vec::with_capacity(iters + 1);
+                for (it, want) in want_private.iter().enumerate() {
+                    let t0 = Instant::now();
+                    let got = private_plan(&sds, &fed, it).expect("private plan");
+                    lat.push(t0.elapsed().as_secs_f64() * 1e3);
+                    if got.values() != want.values() {
+                        conflicts.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+                // The shared plan: identical content in every session,
+                // so all but the very first compute resolve through the
+                // shared cross-session cache.
+                let t0 = Instant::now();
+                let got = sds
+                    .compute(&sds.matrix(shared_m).col_sums().expect("plan"))
+                    .expect("shared plan");
+                lat.push(t0.elapsed().as_secs_f64() * 1e3);
+                if got.values() != want_shared.values() {
+                    conflicts.fetch_add(1, Ordering::Relaxed);
+                }
+                let hits = stats.cache_hits.load(Ordering::Relaxed);
+                let misses = stats.cache_misses.load(Ordering::Relaxed);
+                (lat, hits, misses)
+            })
+        })
+        .collect();
+    let per_session: Vec<(Vec<f64>, u64, u64)> = handles
+        .into_iter()
+        .map(|h| h.join().expect("session thread"))
+        .collect();
+    let wall_s = t_wall.elapsed().as_secs_f64();
+
+    let conflicts = conflicts.load(Ordering::Relaxed);
+    let cache_hits = service.plan_cache().hits();
+    let cache_misses = service.plan_cache().misses();
+    let hit_rate = cache_hits as f64 / (cache_hits + cache_misses).max(1) as f64;
+
+    let mut table = Table::new(
+        &format!(
+            "Session load: {SESSIONS} sessions x {} computes over {WORKERS} workers \
+             ({rows}x{cols} each, wall {wall_s:.2}s)",
+            iters + 1
+        ),
+        &["session", "p50 ms", "p99 ms", "cache hits", "cache misses"],
+    );
+    let mut all: Vec<f64> = Vec::new();
+    let mut json_sessions = Vec::new();
+    for (i, (lat, hits, misses)) in per_session.iter().enumerate() {
+        all.extend_from_slice(lat);
+        let s = sorted_ms(lat.clone());
+        let (p50, p99) = (percentile(&s, 0.50), percentile(&s, 0.99));
+        table.row(&[
+            i.to_string(),
+            format!("{p50:.2}"),
+            format!("{p99:.2}"),
+            hits.to_string(),
+            misses.to_string(),
+        ]);
+        json_sessions.push(format!(
+            "    {{\"session\": {i}, \"p50_ms\": {p50:.3}, \"p99_ms\": {p99:.3}, \
+             \"cache_hits\": {hits}, \"cache_misses\": {misses}}}"
+        ));
+    }
+    let all = sorted_ms(all);
+    let (p50, p99) = (percentile(&all, 0.50), percentile(&all, 0.99));
+    table.print();
+    println!(
+        "\naggregate: p50 {p50:.2} ms, p99 {p99:.2} ms; shared cache {cache_hits} hits / \
+         {cache_misses} misses ({:.0}% hit rate); cross-tenant conflicts: {conflicts}",
+        hit_rate * 100.0
+    );
+    assert_eq!(
+        conflicts, 0,
+        "every concurrent result must be bitwise identical to its serial isolated run"
+    );
+    assert!(
+        cache_hits >= 1,
+        "the shared plan must produce at least one cross-session cache hit"
+    );
+
+    // Phase 2: fairness. The light tenant's small plans first run solo,
+    // then against one saturating co-tenant; the fair scheduler must
+    // keep the loaded p99 within FAIRNESS_BOUND of solo.
+    let light_m = rand_matrix(512.min(rows), cols.min(16), -1.0, 1.0, 99);
+    let light_lat = |sds: &Session, fed: &exdra_api::Lazy, n: usize, base: usize| {
+        let mut lat = Vec::with_capacity(n);
+        for it in 0..n {
+            let t0 = Instant::now();
+            private_plan(sds, fed, base + it).expect("light plan");
+            lat.push(t0.elapsed().as_secs_f64() * 1e3);
+        }
+        sorted_ms(lat)
+    };
+    let fair_iters = (iters * 2).max(16);
+
+    let light = Session::from_tenant(service.open_session().expect("light")).expect("light");
+    let light_fed = light.federated(&light_m).expect("light scatter");
+    let solo = light_lat(&light, &light_fed, fair_iters, 0);
+    let solo_p99 = percentile(&solo, 0.99);
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let heavy_service = Arc::clone(&service);
+    let heavy_rows = rows;
+    let stop2 = Arc::clone(&stop);
+    let heavy = std::thread::spawn(move || {
+        let sds = Session::from_tenant(heavy_service.open_session().expect("heavy"))
+            .expect("heavy session");
+        let m = rand_matrix(heavy_rows, cols, -1.0, 1.0, 1234);
+        let fed = sds.federated(&m).expect("heavy scatter");
+        let mut it = 0usize;
+        while !stop2.load(Ordering::Relaxed) {
+            private_plan(&sds, &fed, it).expect("heavy plan");
+            it += 1;
+        }
+        it
+    });
+    // Let the flood reach a steady state before measuring.
+    std::thread::sleep(std::time::Duration::from_millis(50));
+    let loaded = light_lat(&light, &light_fed, fair_iters, fair_iters);
+    let loaded_p99 = percentile(&loaded, 0.99);
+    stop.store(true, Ordering::Relaxed);
+    let heavy_iters = heavy.join().expect("heavy thread");
+    let ratio = loaded_p99 / solo_p99.max(1e-6);
+    println!(
+        "fairness: light-tenant p99 {solo_p99:.2} ms solo -> {loaded_p99:.2} ms under a \
+         saturating co-tenant ({heavy_iters} heavy computes): {ratio:.1}x (bound {FAIRNESS_BOUND}x)"
+    );
+    assert!(
+        ratio <= FAIRNESS_BOUND,
+        "fair scheduling must bound the light tenant's p99 ({ratio:.1}x > {FAIRNESS_BOUND}x)"
+    );
+
+    let fairness = service.scheduler().config();
+    let json = format!(
+        "{{\n  \"sessions\": {SESSIONS},\n  \"workers\": {WORKERS},\n  \
+         \"rows_per_session\": {rows},\n  \"cols\": {cols},\n  \
+         \"computes_per_session\": {},\n  \"wall_seconds\": {wall_s:.3},\n  \
+         \"latency_ms\": {{\"p50\": {p50:.3}, \"p99\": {p99:.3}}},\n  \
+         \"shared_cache\": {{\"hits\": {cache_hits}, \"misses\": {cache_misses}, \
+         \"hit_rate\": {hit_rate:.4}}},\n  \"cross_tenant_conflicts\": {conflicts},\n  \
+         \"fairness\": {{\"per_tenant_inflight\": {}, \"global_inflight\": {}, \
+         \"solo_p99_ms\": {solo_p99:.3}, \"loaded_p99_ms\": {loaded_p99:.3}, \
+         \"ratio\": {ratio:.3}, \"bound\": {FAIRNESS_BOUND:.1}}},\n  \
+         \"per_session\": [\n{}\n  ]\n}}\n",
+        iters + 1,
+        fairness.per_tenant_inflight,
+        fairness.global_inflight,
+        json_sessions.join(",\n")
+    );
+    let dir = std::path::Path::new("results");
+    let path = dir.join("session_load.json");
+    match std::fs::create_dir_all(dir).and_then(|_| std::fs::write(&path, json)) {
+        Ok(()) => println!("results: {}", path.display()),
+        Err(e) => eprintln!("warning: failed to write {}: {e}", path.display()),
+    }
+    write_metrics_sidecar("session_load");
+
+    drop(light);
+    service.stop();
+    drop(service);
+    for w in fleet {
+        w.shutdown();
+    }
+}

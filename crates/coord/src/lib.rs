@@ -1,0 +1,44 @@
+//! Multi-tenant coordinator service: many concurrent sessions sharing
+//! one federated worker fleet.
+//!
+//! ExDRa frames exploratory data science as *many analysts* iterating
+//! against shared federated raw data (paper §2), but a plain
+//! [`exdra_core::FedContext`] dedicates the whole fleet to one session.
+//! This crate turns the coordinator into a long-lived service:
+//!
+//! * **Namespace isolation** — every admitted session receives a symbol
+//!   namespace and allocates IDs from `(ns << NS_SHIFT) | 1` upward, so
+//!   concurrent sessions draw from disjoint ID ranges. The workers'
+//!   existing `Touched` read/write conflict model then guarantees two
+//!   sessions can never alias each other's state; teardown is a single
+//!   `CLEAR_NS` broadcast.
+//! * **Shared plan cache** — one byte-budgeted, lineage-keyed
+//!   [`exdra_core::lineage::LineageCache`] spans all sessions, so a plan
+//!   one analyst already computed is a cache hit for the next; hits and
+//!   misses are attributed per session.
+//! * **Fair scheduling + admission control** — a per-session credit
+//!   budget over the pipelined RPC windows ([`FairScheduler`]) keeps one
+//!   heavy session from starving others, and a bounded admission queue
+//!   rejects overload with the typed
+//!   [`exdra_core::FedError::SessionRejected`].
+//! * **Shared supervision** — exactly one supervisor owns the fleet's
+//!   heartbeat/checkpoint streams; a replacement worker is restored from
+//!   checkpoints spanning *every* namespace, then each session repairs
+//!   its own connection.
+//!
+//! Sessions attach in process via [`CoordService::open_session`] or over
+//! TCP via [`CoordServer`] + [`AttachedClient`] (the `Session::attach`
+//! path in `exdra-api`).
+
+#![warn(missing_docs)]
+
+mod client;
+mod scheduler;
+mod server;
+mod service;
+mod wire;
+
+pub use client::{AttachedClient, TunnelChannel};
+pub use scheduler::{FairScheduler, FairnessConfig, TenantGate};
+pub use server::CoordServer;
+pub use service::{ChannelFactory, CoordConfig, CoordService, FleetSource, Tenant, TenantStats};

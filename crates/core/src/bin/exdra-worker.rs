@@ -26,6 +26,7 @@ struct Args {
     reuse: bool,
     compact_secs: Option<u64>,
     pipelined: bool,
+    http: Option<String>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -37,6 +38,7 @@ fn parse_args() -> Result<Args, String> {
         reuse: true,
         compact_secs: None,
         pipelined: true,
+        http: None,
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0usize;
@@ -57,6 +59,7 @@ fn parse_args() -> Result<Args, String> {
             }
             "--no-reuse" => args.reuse = false,
             "--no-pipeline" => args.pipelined = false,
+            "--http" => args.http = Some(value()?),
             "--compact-secs" => {
                 args.compact_secs = Some(
                     value()?
@@ -73,7 +76,8 @@ fn parse_args() -> Result<Args, String> {
                      --cache-mb N        lineage reuse cache budget (default 256)\n\
                      --no-reuse          disable lineage-based reuse\n\
                      --no-pipeline       serve connections strictly lock-step\n\
-                     --compact-secs N    background compression sweep period"
+                     --compact-secs N    background compression sweep period\n\
+                     --http ADDR         /healthz + /metrics observability endpoint"
                 );
                 std::process::exit(0);
             }
@@ -115,6 +119,15 @@ fn main() {
         if encrypted { "encrypted" } else { "plaintext" },
         if args.reuse { "on" } else { "off" },
     );
+    if let Some(http_addr) = &args.http {
+        match worker.serve_http(http_addr) {
+            Ok(a) => println!("exdra-worker observability on http://{a} (/healthz, /metrics)"),
+            Err(e) => {
+                eprintln!("exdra-worker: cannot bind --http {http_addr}: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
     // Standing server: serve until the process is terminated.
     loop {
         std::thread::sleep(Duration::from_secs(3600));

@@ -134,6 +134,48 @@ struct WorkerConn {
     endpoint: Option<WorkerEndpoint>,
 }
 
+/// Flow-control hook consulted around every data-path RPC.
+///
+/// A multi-tenant coordinator installs one gate per session so a fair
+/// scheduler can bound each tenant's in-flight requests against the
+/// shared fleet; the embedded single-tenant path leaves it unset and pays
+/// nothing. Heartbeats bypass the gate — liveness probes must never
+/// queue behind data traffic.
+pub trait RpcGate: Send + Sync {
+    /// Blocks until the caller may put `requests` more requests in flight
+    /// to `worker`.
+    fn acquire(&self, worker: usize, requests: u64);
+    /// Returns credit taken by a matching [`RpcGate::acquire`].
+    fn release(&self, worker: usize, requests: u64);
+}
+
+/// RAII credit: releases on drop so a panicking or failing RPC cannot
+/// leak scheduler credit.
+struct GateGuard {
+    gate: Arc<dyn RpcGate>,
+    worker: usize,
+    requests: u64,
+}
+
+impl GateGuard {
+    fn acquire(gate: Option<Arc<dyn RpcGate>>, worker: usize, requests: u64) -> Option<Self> {
+        gate.map(|gate| {
+            gate.acquire(worker, requests);
+            GateGuard {
+                gate,
+                worker,
+                requests,
+            }
+        })
+    }
+}
+
+impl Drop for GateGuard {
+    fn drop(&mut self) {
+        self.gate.release(self.worker, self.requests);
+    }
+}
+
 /// Connections to all federated workers plus ID allocation and network
 /// accounting. Shared by every federated object of one session.
 pub struct FedContext {
@@ -145,6 +187,11 @@ pub struct FedContext {
     garbage: Mutex<Vec<Vec<u64>>>,
     /// Retry/deadline policy applied to every RPC.
     fault: Mutex<FaultPolicy>,
+    /// Session namespace whose ID range `fresh_id` allocates from
+    /// (0 = the embedded single-tenant default).
+    namespace: AtomicU64,
+    /// Optional per-session flow-control gate (multi-tenant fairness).
+    rpc_gate: Mutex<Option<Arc<dyn RpcGate>>>,
 }
 
 impl std::fmt::Debug for FedContext {
@@ -176,6 +223,8 @@ impl FedContext {
             stats,
             garbage: Mutex::new(vec![Vec::new(); n]),
             fault: Mutex::new(FaultPolicy::default()),
+            namespace: AtomicU64::new(0),
+            rpc_gate: Mutex::new(None),
         }))
     }
 
@@ -202,6 +251,8 @@ impl FedContext {
             stats,
             garbage: Mutex::new(vec![Vec::new(); n]),
             fault: Mutex::new(FaultPolicy::default()),
+            namespace: AtomicU64::new(0),
+            rpc_gate: Mutex::new(None),
         }))
     }
 
@@ -262,9 +313,41 @@ impl FedContext {
     }
 
     /// Allocates a fresh symbol ID (unique per session; the coordinator
-    /// owns the ID space of all worker symbol tables).
+    /// owns the ID space of all worker symbol tables). Under a session
+    /// namespace (see [`FedContext::set_namespace`]) IDs come from that
+    /// namespace's disjoint range.
     pub fn fresh_id(&self) -> u64 {
         self.next_id.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Moves this context into session namespace `ns`: every subsequent
+    /// [`FedContext::fresh_id`] allocates from `(ns << NS_SHIFT) | 1`
+    /// upward (see [`crate::symbol::NS_SHIFT`]), so contexts in distinct
+    /// namespaces draw from disjoint ID ranges and can share one worker
+    /// fleet without ever aliasing each other's symbols.
+    ///
+    /// Call before allocating any IDs; a multi-tenant coordinator does
+    /// this once at session admission.
+    pub fn set_namespace(&self, ns: u64) {
+        self.namespace.store(ns, Ordering::Relaxed);
+        self.next_id
+            .store((ns << crate::symbol::NS_SHIFT) | 1, Ordering::Relaxed);
+    }
+
+    /// The session namespace this context allocates IDs from (0 for the
+    /// embedded single-tenant default).
+    pub fn namespace(&self) -> u64 {
+        self.namespace.load(Ordering::Relaxed)
+    }
+
+    /// Installs (or clears) the per-session flow-control gate consulted
+    /// around every data-path RPC (see [`RpcGate`]).
+    pub fn set_rpc_gate(&self, gate: Option<Arc<dyn RpcGate>>) {
+        *self.rpc_gate.lock() = gate;
+    }
+
+    fn gate(&self) -> Option<Arc<dyn RpcGate>> {
+        self.rpc_gate.lock().clone()
     }
 
     /// Opens an additional connection to one worker (e.g. one per
@@ -328,6 +411,7 @@ impl FedContext {
         let bytes = envelope.to_bytes();
         let mut serde_nanos = t_enc.map_or(0, |t| t.elapsed().as_nanos() as u64);
 
+        let _credit = GateGuard::acquire(self.gate(), worker, envelope.requests.len() as u64);
         let policy = self.fault_policy();
         let deadline = Deadline::after(policy.rpc_deadline);
         let mut net_nanos = 0u64;
@@ -485,6 +569,7 @@ impl FedContext {
         let mut serde_nanos = t_enc.map_or(0, |t| t.elapsed().as_nanos() as u64);
         let bytes_sent: u64 = frames.iter().map(|f| f.len() as u64 + 16).sum();
 
+        let _credit = GateGuard::acquire(self.gate(), worker, frames.len() as u64);
         let policy = self.fault_policy();
         let deadline = Deadline::after(policy.rpc_deadline);
         let mut net_nanos = 0u64;

@@ -65,6 +65,19 @@ pub enum FedError {
     Unsupported(String),
     /// Invalid user input (bad federation ranges, empty worker list, ...).
     Invalid(String),
+    /// A configuration knob was set to a degenerate value (e.g.
+    /// `rpc_window(0)`); surfaced at build time instead of silently
+    /// clamping.
+    Config(String),
+    /// A coordinator service refused to admit a new session because its
+    /// admission queue is full. Callers can retry later or attach to a
+    /// less loaded coordinator.
+    SessionRejected {
+        /// Sessions currently admitted.
+        active: usize,
+        /// Admission limit of the service.
+        max: usize,
+    },
 }
 
 impl fmt::Display for FedError {
@@ -84,6 +97,11 @@ impl fmt::Display for FedError {
             FedError::UnknownSymbol(id) => write!(f, "unknown symbol id {id}"),
             FedError::Unsupported(msg) => write!(f, "unsupported: {msg}"),
             FedError::Invalid(msg) => write!(f, "invalid argument: {msg}"),
+            FedError::Config(msg) => write!(f, "invalid configuration: {msg}"),
+            FedError::SessionRejected { active, max } => write!(
+                f,
+                "session rejected: coordinator at capacity ({active}/{max} sessions)"
+            ),
         }
     }
 }

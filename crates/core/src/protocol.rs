@@ -232,6 +232,14 @@ pub enum Request {
         /// The bindings to reinstall.
         entries: Vec<CheckpointEntry>,
     },
+    /// `CLEAR_NS(ns)`: drops every symbol whose ID lives in session
+    /// namespace `ns` (see [`crate::symbol::NS_SHIFT`]). A multi-tenant
+    /// coordinator sends this on session close so a departed tenant's
+    /// state is reaped without touching other tenants' bindings.
+    ClearNamespace {
+        /// The namespace to reap.
+        ns: u64,
+    },
 }
 
 /// Symbol-table footprint of one request: which variables it reads and
@@ -289,15 +297,27 @@ impl Request {
                 reads: vec![*id],
                 writes: vec![],
             },
+            // Rmvar binds no output, but it destroys its operands: the ids
+            // must count as writes or the footprint is empty and the
+            // dispatcher may hoist the removal past an earlier GET of the
+            // same symbol.
+            Request::ExecInst {
+                inst: Instruction::Rmvar { ids },
+            } => Touched::Ids {
+                reads: vec![],
+                writes: ids.clone(),
+            },
             Request::ExecInst { inst } => Touched::Ids {
                 reads: inst.inputs(),
                 writes: inst.output().into_iter().collect(),
             },
             // UDFs have no declared footprint; checkpoints read the whole
-            // table; CLEAR drops it. All must stay strictly ordered.
-            Request::ExecUdf { .. } | Request::Clear | Request::Checkpoint { .. } => {
-                Touched::Global
-            }
+            // table; CLEAR drops it; CLEAR_NS sweeps an unenumerated ID
+            // range. All must stay strictly ordered.
+            Request::ExecUdf { .. }
+            | Request::Clear
+            | Request::Checkpoint { .. }
+            | Request::ClearNamespace { .. } => Touched::Global,
             Request::Restore { entries } => Touched::Ids {
                 reads: vec![],
                 writes: entries.iter().map(|e| e.id).collect(),
@@ -318,6 +338,7 @@ impl Request {
             Request::Heartbeat => "HEARTBEAT",
             Request::Checkpoint { .. } => "CHECKPOINT",
             Request::Restore { .. } => "RESTORE",
+            Request::ClearNamespace { .. } => "CLEAR_NS",
         }
     }
 }
@@ -365,6 +386,10 @@ impl Wire for Request {
                 buf.put_u8(8);
                 entries.encode(buf);
             }
+            Request::ClearNamespace { ns } => {
+                buf.put_u8(9);
+                ns.encode(buf);
+            }
         }
     }
 
@@ -397,6 +422,9 @@ impl Wire for Request {
             }),
             8 => Ok(Request::Restore {
                 entries: Vec::<CheckpointEntry>::decode(buf)?,
+            }),
+            9 => Ok(Request::ClearNamespace {
+                ns: u64::decode(buf)?,
             }),
             t => Err(DecodeError(format!("invalid Request tag {t}"))),
         }
@@ -801,6 +829,22 @@ mod tests {
         assert!(put2.conflicts_with(&put2), "writes order against writes");
         assert!(mm.conflicts_with(&put2), "matmul reads what put writes");
         assert!(!mm.conflicts_with(&get3), "reads of shared input commute");
+        let rm4 = Request::ExecInst {
+            inst: Instruction::Rmvar { ids: vec![4] },
+        }
+        .touched();
+        assert!(
+            rm4.conflicts_with(&Request::Get { id: 4 }.touched()),
+            "rmvar orders against a GET of the symbol it drops"
+        );
+        assert!(
+            rm4.conflicts_with(&mm),
+            "rmvar orders against the exec that binds the symbol"
+        );
+        assert!(
+            !rm4.conflicts_with(&get3),
+            "rmvar commutes with unrelated reads"
+        );
         let hb = Request::Heartbeat.touched();
         assert_eq!(hb, Touched::Nothing);
         assert!(!hb.conflicts_with(&Request::Clear.touched()));

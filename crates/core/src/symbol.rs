@@ -16,6 +16,21 @@ use crate::error::{Result, RuntimeError};
 use crate::privacy::PrivacyLevel;
 use crate::value::DataValue;
 
+/// Bit position where a session namespace starts inside a symbol ID.
+///
+/// A multi-tenant coordinator hands every session a namespace `ns` and
+/// allocates that session's IDs from `(ns << NS_SHIFT) | 1` upward, so
+/// concurrent sessions draw from disjoint ID ranges: their `Touched`
+/// read/write sets can never intersect and no session can alias another
+/// session's state. 40 low bits leave room for a trillion symbols per
+/// session and 2^24 concurrent namespaces.
+pub const NS_SHIFT: u32 = 40;
+
+/// Extracts the session namespace from a symbol ID.
+pub fn namespace_of(id: u64) -> u64 {
+    id >> NS_SHIFT
+}
+
 /// Metadata attached to a symbol-table entry.
 #[derive(Debug, Clone)]
 pub struct EntryMeta {
@@ -128,6 +143,32 @@ impl SymbolTable {
                 removals.push((seq, *id));
             }
         }
+    }
+
+    /// Removes every binding whose ID lives in session namespace `ns`
+    /// (see [`NS_SHIFT`]), returning how many were dropped. Removals go
+    /// through the removal log so incremental checkpoints observe the
+    /// teardown like any other `rmvar`.
+    pub fn remove_namespace(&self, ns: u64) -> usize {
+        let ids: Vec<u64> = {
+            let map = self.map.read();
+            map.keys()
+                .copied()
+                .filter(|id| namespace_of(*id) == ns)
+                .collect()
+        };
+        self.remove(&ids);
+        ids.len()
+    }
+
+    /// Number of live bindings in session namespace `ns` (tests and the
+    /// coordinator's teardown assertions).
+    pub fn namespace_len(&self, ns: u64) -> usize {
+        self.map
+            .read()
+            .keys()
+            .filter(|id| namespace_of(**id) == ns)
+            .count()
     }
 
     /// Drops everything (`CLEAR`). Every dropped ID lands in the removal

@@ -327,6 +327,77 @@ impl Worker {
         Ok(local)
     }
 
+    /// Serves a minimal HTTP/1.0 observability endpoint on `addr` and
+    /// returns the bound address. Two routes:
+    ///
+    /// - `GET /healthz` — `200 OK` with the worker's registration epoch
+    ///   and request load (a scrape-friendly liveness probe);
+    /// - `GET /metrics` — the process-global `exdra-obs` registry in
+    ///   Prometheus text exposition format.
+    ///
+    /// The endpoint shares the worker's shutdown flag and is deliberately
+    /// tiny: one thread, one request per connection, no keep-alive — it
+    /// serves probes and scrapers, not application traffic.
+    pub fn serve_http(self: &Arc<Self>, addr: &str) -> Result<std::net::SocketAddr> {
+        let listener = std::net::TcpListener::bind(addr)
+            .map_err(|e| RuntimeError::Network(format!("bind {addr}: {e}")))?;
+        let local = listener
+            .local_addr()
+            .map_err(|e| RuntimeError::Network(e.to_string()))?;
+        let worker = Arc::clone(self);
+        std::thread::Builder::new()
+            .name("exdra-worker-http".into())
+            .spawn(move || {
+                for stream in listener.incoming() {
+                    if worker.shutdown.load(Ordering::SeqCst) {
+                        return;
+                    }
+                    let Ok(mut stream) = stream else { return };
+                    let w = Arc::clone(&worker);
+                    std::thread::spawn(move || {
+                        let _ = w.serve_http_once(&mut stream);
+                    });
+                }
+            })
+            .expect("spawn worker http thread");
+        Ok(local)
+    }
+
+    fn serve_http_once(&self, stream: &mut std::net::TcpStream) -> io::Result<()> {
+        use std::io::{BufRead, BufReader, Write};
+        stream.set_read_timeout(Some(Duration::from_secs(5)))?;
+        let mut line = String::new();
+        BufReader::new(&mut *stream).read_line(&mut line)?;
+        let path = line.split_whitespace().nth(1).unwrap_or("");
+        let (status, content_type, body) = match path {
+            "/healthz" => (
+                "200 OK",
+                "text/plain; charset=utf-8",
+                format!(
+                    "ok epoch={} load={}\n",
+                    self.epoch,
+                    self.load.load(Ordering::Relaxed)
+                ),
+            ),
+            "/metrics" => (
+                "200 OK",
+                "text/plain; version=0.0.4",
+                exdra_obs::export::to_prometheus(&exdra_obs::global().snapshot()),
+            ),
+            _ => (
+                "404 Not Found",
+                "text/plain; charset=utf-8",
+                "not found\n".into(),
+            ),
+        };
+        write!(
+            stream,
+            "HTTP/1.0 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+            body.len()
+        )?;
+        stream.flush()
+    }
+
     /// Serves an in-memory channel pair on a background thread and returns
     /// the coordinator-side endpoint (deterministic test transport).
     pub fn serve_mem(self: &Arc<Self>) -> MemChannel {
@@ -532,6 +603,13 @@ impl Worker {
             Request::Clear => {
                 self.table.clear();
                 self.cache.clear();
+                Ok(Response::Ok)
+            }
+            Request::ClearNamespace { ns } => {
+                // Tenant teardown: reap one session's ID range, leaving
+                // every other namespace (and the reuse cache, which is
+                // keyed by lineage, not symbol ID) untouched.
+                self.table.remove_namespace(ns);
                 Ok(Response::Ok)
             }
         }
@@ -1431,5 +1509,45 @@ mod tests {
         assert_eq!(out.rows(), 30);
         assert_eq!(out.row(0), out.row(10));
         assert_eq!(out.row(0), out.row(20));
+    }
+
+    /// One HTTP/1.0 GET against the worker's observability endpoint,
+    /// returning (status line, body).
+    fn http_get(addr: std::net::SocketAddr, path: &str) -> (String, String) {
+        use std::io::{Read, Write};
+        let mut s = std::net::TcpStream::connect(addr).unwrap();
+        write!(s, "GET {path} HTTP/1.0\r\n\r\n").unwrap();
+        let mut raw = String::new();
+        s.read_to_string(&mut raw).unwrap();
+        let status = raw.lines().next().unwrap_or("").to_string();
+        let body = raw
+            .split_once("\r\n\r\n")
+            .map(|(_, b)| b.to_string())
+            .unwrap_or_default();
+        (status, body)
+    }
+
+    #[test]
+    fn http_endpoint_serves_healthz_and_metrics() {
+        let w = worker();
+        let addr = w.serve_http("127.0.0.1:0").unwrap();
+
+        let (status, body) = http_get(addr, "/healthz");
+        assert!(status.contains("200"), "{status}");
+        assert!(body.starts_with("ok epoch="), "{body}");
+        assert!(body.contains("load="), "{body}");
+
+        // Generate some observed activity, then scrape it.
+        exdra_obs::set_enabled(true);
+        w.install_matrix(1, rand_matrix(4, 2, 0.0, 1.0, 1), PrivacyLevel::Public, "x");
+        let (status, body) = http_get(addr, "/metrics");
+        assert!(status.contains("200"), "{status}");
+        assert!(
+            body.contains("# TYPE") || body.is_empty() || body.contains("exdra"),
+            "prometheus exposition expected, got: {body:.60}"
+        );
+
+        let (status, _) = http_get(addr, "/nope");
+        assert!(status.contains("404"), "{status}");
     }
 }

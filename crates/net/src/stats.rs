@@ -327,6 +327,76 @@ mod tests {
     }
 
     #[test]
+    fn delta_under_two_concurrent_sessions_never_underflows() {
+        // Two sessions share one channel's `NetStats` (the multi-tenant
+        // coordinator's attach socket): both record traffic while a
+        // third thread takes rolling snapshots and diffs consecutive
+        // pairs. Every delta must be non-negative (no underflow) and
+        // consecutive snapshots monotone, even though snapshot() is not
+        // a single atomic read across counters.
+        let s = NetStats::shared();
+        let live = Arc::new(std::sync::atomic::AtomicUsize::new(2));
+        let sessions: Vec<_> = (0..2)
+            .map(|i| {
+                let s = Arc::clone(&s);
+                let live = Arc::clone(&live);
+                std::thread::spawn(move || {
+                    for _ in 0..20_000 {
+                        s.record_send(10 + i, 100);
+                        s.record_recv(5, 50);
+                        s.record_pipelined(i + 1);
+                        if i == 0 {
+                            s.record_retry();
+                        } else {
+                            s.record_heartbeat();
+                        }
+                    }
+                    live.fetch_sub(1, Ordering::SeqCst);
+                })
+            })
+            .collect();
+        let mut prev = s.snapshot();
+        while live.load(Ordering::SeqCst) > 0 {
+            let now = s.snapshot();
+            // Monotonicity: each counter only grows while both sessions
+            // are live (no reset in this window).
+            assert!(now.bytes_sent >= prev.bytes_sent);
+            assert!(now.bytes_received >= prev.bytes_received);
+            assert!(now.messages_sent >= prev.messages_sent);
+            assert!(now.messages_received >= prev.messages_received);
+            assert!(now.network_nanos >= prev.network_nanos);
+            assert!(now.retries >= prev.retries);
+            assert!(now.heartbeats >= prev.heartbeats);
+            assert!(now.pipelined_messages >= prev.pipelined_messages);
+            assert!(now.max_inflight >= prev.max_inflight);
+            let d = now.delta(&prev);
+            // Deltas are exact differences here — saturating_sub never
+            // had to clamp — and internally consistent.
+            assert_eq!(d.bytes_sent, now.bytes_sent - prev.bytes_sent);
+            assert_eq!(d.messages_sent, now.messages_sent - prev.messages_sent);
+            assert!(d.network_seconds >= 0.0);
+            assert_eq!(d.max_inflight, now.max_inflight, "watermark carried");
+            // Deltas over swapped arguments saturate to zero instead of
+            // wrapping (the underflow guard the coordinator relies on).
+            let swapped = prev.delta(&now);
+            assert_eq!(swapped.bytes_sent, 0);
+            assert_eq!(swapped.messages_received, 0);
+            assert_eq!(swapped.network_nanos, 0);
+            prev = now;
+        }
+        for h in sessions {
+            h.join().unwrap();
+        }
+        let fin = s.snapshot();
+        assert!(fin.retries > 0, "session 0 traffic observed");
+        assert!(fin.heartbeats > 0, "session 1 traffic observed");
+        assert_eq!(
+            fin.messages_sent, fin.messages_received,
+            "both sessions pair each send with one recv"
+        );
+    }
+
+    #[test]
     fn concurrent_updates_race_free() {
         let s = NetStats::shared();
         let handles: Vec<_> = (0..8)

@@ -14,6 +14,7 @@
 //! DESIGN.md for the system inventory.
 
 pub use exdra_api as api;
+pub use exdra_coord as coord;
 pub use exdra_core as core;
 pub use exdra_expdb as expdb;
 pub use exdra_fault as fault;
