@@ -42,7 +42,7 @@ use exdra_core::supervision::{HealthState, SupervisionPolicy, Supervisor};
 use exdra_core::value::DataValue;
 use exdra_core::{FedContext, FedError, PrivacyLevel, Result};
 use exdra_matrix::{DenseMatrix, Frame};
-use exdra_obs::{NetTotals, RunReport};
+use exdra_obs::{Explain, NetTotals, RunReport};
 
 use crate::dag::Lazy;
 
@@ -73,6 +73,9 @@ pub struct SessionBuilder {
     target: Target,
     privacy: PrivacyLevel,
     tracing: bool,
+    flight_recorder: bool,
+    incidents_dir: Option<String>,
+    slow_query: Option<Duration>,
     plan_cache_bytes: Option<usize>,
     supervision: Option<SupervisionPolicy>,
     threads: Option<usize>,
@@ -85,6 +88,9 @@ impl Default for SessionBuilder {
             target: Target::Local,
             privacy: PrivacyLevel::Public,
             tracing: false,
+            flight_recorder: false,
+            incidents_dir: None,
+            slow_query: None,
             plan_cache_bytes: None,
             supervision: Some(SupervisionPolicy::default()),
             threads: None,
@@ -140,6 +146,34 @@ impl SessionBuilder {
     /// (spans, counters, and histograms; see [`Session::profile`]).
     pub fn tracing(mut self, on: bool) -> Self {
         self.tracing = on;
+        self
+    }
+
+    /// Turns the process-global flight recorder on or off: a bounded
+    /// in-memory ring of recent spans and events that dumps a
+    /// timestamped JSON incident bundle when an anomaly fires (worker
+    /// death, deadline miss, session rejection, slow query). Recording
+    /// is near-free on the happy path; bundles land under
+    /// `results/incidents/` unless redirected with
+    /// [`SessionBuilder::incidents_dir`].
+    pub fn flight_recorder(mut self, on: bool) -> Self {
+        self.flight_recorder = on;
+        self
+    }
+
+    /// Directory the flight recorder writes incident bundles to
+    /// (process-global; default `results/incidents`).
+    pub fn incidents_dir(mut self, dir: &str) -> Self {
+        self.incidents_dir = Some(dir.to_string());
+        self
+    }
+
+    /// Slow-query threshold: a [`Session::compute`] call whose wall time
+    /// exceeds `threshold` files a `slow_query` incident with the flight
+    /// recorder (a no-op unless [`SessionBuilder::flight_recorder`] is
+    /// on), capturing the spans and events leading up to it.
+    pub fn slow_query(mut self, threshold: Duration) -> Self {
+        self.slow_query = Some(threshold);
         self
     }
 
@@ -219,6 +253,12 @@ impl SessionBuilder {
         if self.tracing {
             exdra_obs::set_enabled(true);
         }
+        if self.flight_recorder {
+            exdra_obs::recorder::set_enabled(true);
+        }
+        if let Some(dir) = &self.incidents_dir {
+            exdra_obs::recorder::set_output_dir(dir);
+        }
         if let Some(n) = self.threads {
             exdra_par::set_threads(n);
         }
@@ -282,6 +322,7 @@ impl SessionBuilder {
             sup_handle,
             tenant,
             attached,
+            slow_query: self.slow_query,
         })
     }
 }
@@ -297,6 +338,9 @@ pub struct Session {
     tenant: Option<Arc<Tenant>>,
     /// Set for sessions attached to a remote coordinator over TCP.
     attached: Option<Arc<AttachedClient>>,
+    /// Wall-time threshold above which a compute files a `slow_query`
+    /// incident with the flight recorder.
+    slow_query: Option<Duration>,
 }
 
 impl Session {
@@ -315,6 +359,7 @@ impl Session {
             sup_handle: None,
             tenant: None,
             attached: None,
+            slow_query: None,
         }
     }
 
@@ -413,6 +458,26 @@ impl Session {
     /// restoration never run on this call path) and re-attempts the plan
     /// once the worker is back, up to a bounded number of rounds.
     pub fn compute(&self, plan: &Lazy) -> Result<DenseMatrix> {
+        let t_start = self.slow_query.map(|_| std::time::Instant::now());
+        let result = self.compute_with_recovery(plan);
+        if let (Some(t), Some(threshold)) = (t_start, self.slow_query) {
+            let wall = t.elapsed();
+            if wall > threshold {
+                exdra_obs::recorder::incident(
+                    "slow_query",
+                    &format!(
+                        "plan {:#018x} took {}ms (threshold {}ms)",
+                        plan.lineage_hash(),
+                        wall.as_millis(),
+                        threshold.as_millis()
+                    ),
+                );
+            }
+        }
+        result
+    }
+
+    fn compute_with_recovery(&self, plan: &Lazy) -> Result<DenseMatrix> {
         let mut attempts = 0;
         loop {
             match self.compute_once(plan) {
@@ -449,6 +514,14 @@ impl Session {
     }
 
     fn compute_once(&self, plan: &Lazy) -> Result<DenseMatrix> {
+        // One span per attempt covering the whole cache-probe + compute
+        // path, so a `session.explain` root attributes essentially all
+        // of its wall time to direct children (see `explain_analyze`).
+        let _span = exdra_obs::span(exdra_obs::SpanKind::Session, "session.compute");
+        self.compute_once_inner(plan)
+    }
+
+    fn compute_once_inner(&self, plan: &Lazy) -> Result<DenseMatrix> {
         // Attached sessions probe the server's shared cache over the
         // attach socket; a lost connection degrades to plain compute.
         if let Some(client) = &self.attached {
@@ -490,6 +563,41 @@ impl Session {
             },
         );
         Ok(result)
+    }
+
+    /// `EXPLAIN ANALYZE` for a plan: computes it like
+    /// [`Session::compute`] while tracing the run under a
+    /// `session.explain` root span, then attributes the wall time across
+    /// compute, network, serialization, queueing, and recovery, extracts
+    /// the critical path, and rolls up per-opcode and per-worker costs.
+    ///
+    /// Tracing is force-enabled for the duration of the call and
+    /// restored afterwards, so this works on sessions built without
+    /// [`SessionBuilder::tracing`]. The per-opcode/per-worker cost
+    /// profile is also persisted to `results/cost_profile.json`
+    /// (best-effort; failures to write are ignored).
+    ///
+    /// Returns the computed result alongside the [`Explain`] report —
+    /// print the report with `{}` for the classic indented plan view.
+    pub fn explain_analyze(&self, plan: &Lazy) -> Result<(DenseMatrix, Explain)> {
+        let was_on = exdra_obs::enabled();
+        exdra_obs::set_enabled(true);
+        let (result, root_id) = {
+            let root = exdra_obs::span(exdra_obs::SpanKind::Session, "session.explain");
+            let root_id = root.context().span_id;
+            (self.compute(plan), root_id)
+        }; // root closes here, before the snapshot below
+        let spans = exdra_obs::snapshot_spans();
+        if !was_on {
+            exdra_obs::set_enabled(false);
+        }
+        let result = result?;
+        let explain = exdra_obs::analyze(&spans, root_id).ok_or_else(|| {
+            FedError::Invalid("explain_analyze: no trace recorded for this run".into())
+        })?;
+        let _ = std::fs::create_dir_all("results");
+        let _ = std::fs::write("results/cost_profile.json", explain.cost_profile_json());
+        Ok((result, explain))
     }
 
     /// Snapshot of everything the observability layer saw so far: the
@@ -845,6 +953,34 @@ mod tests {
         )
         .unwrap();
         (service, workers)
+    }
+
+    #[test]
+    fn explain_analyze_attributes_wall_time() {
+        let (ctx, _workers) = mem_federation(2);
+        let sds = Session::builder()
+            .context(ctx)
+            .no_supervision()
+            .build()
+            .unwrap();
+        let m = rand_matrix(60, 5, -1.0, 1.0, 31);
+        let fed = sds.federated(&m).unwrap();
+        let plan = fed.tsmm().unwrap();
+        let (result, ex) = sds.explain_analyze(&plan).unwrap();
+        let expected = Session::local()
+            .matrix(m)
+            .tsmm()
+            .unwrap()
+            .compute()
+            .unwrap();
+        assert!(result.max_abs_diff(&expected) < 1e-10);
+        assert!(
+            ex.attribution() >= 0.95,
+            "explain attributed only {:.1}% of wall time",
+            ex.attribution() * 100.0
+        );
+        assert!(!ex.critical_path.is_empty());
+        assert!(ex.to_json().contains("wall_nanos"));
     }
 
     #[test]

@@ -128,6 +128,7 @@ fn main() {
             let (want_private, want_shared) = baselines[i].clone();
             std::thread::spawn(move || {
                 let tenant = service.open_session().expect("admitted");
+                let ns = tenant.namespace();
                 let stats = Arc::clone(tenant.stats());
                 let sds = Session::from_tenant(tenant).expect("tenant session");
                 let m = rand_matrix(rows, cols, -1.0, 1.0, i as u64);
@@ -154,15 +155,18 @@ fn main() {
                 }
                 let hits = stats.cache_hits.load(Ordering::Relaxed);
                 let misses = stats.cache_misses.load(Ordering::Relaxed);
-                (lat, hits, misses)
+                (ns, lat, hits, misses)
             })
         })
         .collect();
-    let per_session: Vec<(Vec<f64>, u64, u64)> = handles
+    let per_session: Vec<(u64, Vec<f64>, u64, u64)> = handles
         .into_iter()
         .map(|h| h.join().expect("session thread"))
         .collect();
     let wall_s = t_wall.elapsed().as_secs_f64();
+    // Per-tenant queue-wait histograms as they stand after phase 1 (the
+    // scheduler samples only acquisitions that actually blocked).
+    let phase1_hists = exdra_obs::global().snapshot().histograms;
 
     let conflicts = conflicts.load(Ordering::Relaxed);
     let cache_hits = service.plan_cache().hits();
@@ -175,23 +179,39 @@ fn main() {
              ({rows}x{cols} each, wall {wall_s:.2}s)",
             iters + 1
         ),
-        &["session", "p50 ms", "p99 ms", "cache hits", "cache misses"],
+        &[
+            "session",
+            "p50 ms",
+            "p99 ms",
+            "q-waits",
+            "q-wait p99 ms",
+            "cache hits",
+            "cache misses",
+        ],
     );
     let mut all: Vec<f64> = Vec::new();
     let mut json_sessions = Vec::new();
-    for (i, (lat, hits, misses)) in per_session.iter().enumerate() {
+    for (i, (ns, lat, hits, misses)) in per_session.iter().enumerate() {
         all.extend_from_slice(lat);
         let s = sorted_ms(lat.clone());
         let (p50, p99) = (percentile(&s, 0.50), percentile(&s, 0.99));
+        let qw = phase1_hists.get(&format!("tenant.{ns}.queue_wait_nanos"));
+        let (qw_count, qw_p50_ms, qw_p99_ms) = qw
+            .map(|h| (h.count, h.p50 / 1e6, h.p99 / 1e6))
+            .unwrap_or((0, 0.0, 0.0));
         table.row(&[
             i.to_string(),
             format!("{p50:.2}"),
             format!("{p99:.2}"),
+            qw_count.to_string(),
+            format!("{qw_p99_ms:.2}"),
             hits.to_string(),
             misses.to_string(),
         ]);
         json_sessions.push(format!(
-            "    {{\"session\": {i}, \"p50_ms\": {p50:.3}, \"p99_ms\": {p99:.3}, \
+            "    {{\"session\": {i}, \"ns\": {ns}, \"p50_ms\": {p50:.3}, \"p99_ms\": {p99:.3}, \
+             \"queue_waits\": {qw_count}, \"queue_wait_p50_ms\": {qw_p50_ms:.3}, \
+             \"queue_wait_p99_ms\": {qw_p99_ms:.3}, \
              \"cache_hits\": {hits}, \"cache_misses\": {misses}}}"
         ));
     }
@@ -264,6 +284,25 @@ fn main() {
         "fair scheduling must bound the light tenant's p99 ({ratio:.1}x > {FAIRNESS_BOUND}x)"
     );
 
+    // Phase 3: flight-recorder happy-path cost. The same light plan mix
+    // with the recorder off, then enabled-but-idle (no incidents fire,
+    // so the only cost is teeing finished spans into the ring).
+    // Reported, not asserted: the acceptance bound (<=2%) is checked
+    // offline because single-core CI jitter dwarfs the effect.
+    exdra_obs::recorder::set_enabled(false);
+    let rec_off = light_lat(&light, &light_fed, fair_iters, 2 * fair_iters);
+    exdra_obs::recorder::set_enabled(true);
+    let rec_on = light_lat(&light, &light_fed, fair_iters, 3 * fair_iters);
+    exdra_obs::recorder::set_enabled(false);
+    let rec_off_p50 = percentile(&rec_off, 0.50);
+    let rec_on_p50 = percentile(&rec_on, 0.50);
+    let rec_overhead = rec_on_p50 / rec_off_p50.max(1e-6) - 1.0;
+    println!(
+        "flight recorder enabled-but-idle: p50 {rec_off_p50:.2} ms off -> {rec_on_p50:.2} ms on \
+         ({:+.1}%)",
+        rec_overhead * 100.0
+    );
+
     let fairness = service.scheduler().config();
     let json = format!(
         "{{\n  \"sessions\": {SESSIONS},\n  \"workers\": {WORKERS},\n  \
@@ -275,6 +314,8 @@ fn main() {
          \"fairness\": {{\"per_tenant_inflight\": {}, \"global_inflight\": {}, \
          \"solo_p99_ms\": {solo_p99:.3}, \"loaded_p99_ms\": {loaded_p99:.3}, \
          \"ratio\": {ratio:.3}, \"bound\": {FAIRNESS_BOUND:.1}}},\n  \
+         \"flight_recorder\": {{\"off_p50_ms\": {rec_off_p50:.3}, \
+         \"on_p50_ms\": {rec_on_p50:.3}, \"overhead\": {rec_overhead:.4}}},\n  \
          \"per_session\": [\n{}\n  ]\n}}\n",
         iters + 1,
         fairness.per_tenant_inflight,

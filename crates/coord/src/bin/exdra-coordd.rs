@@ -1,0 +1,191 @@
+//! The multi-tenant coordinator as a deployable daemon: one shared
+//! worker fleet, many attached sessions, and an operator-facing HTTP
+//! ops endpoint.
+//!
+//! ```text
+//! exdra-coordd --workers host:8001,host:8002 \
+//!              [--attach 127.0.0.1:8101] [--ops 127.0.0.1:8102] \
+//!              [--max-sessions 64] [--incidents-dir results/incidents]
+//! ```
+//!
+//! Clients attach with `Session::attach("host:8101")`. `--mem-workers N`
+//! stands up an in-process fleet instead of TCP workers — useful for
+//! smoke tests and local exploration without separate worker processes.
+
+use std::sync::Arc;
+
+use exdra_coord::{CoordConfig, CoordServer, CoordService, FleetSource, OpsServer};
+use exdra_core::coordinator::WorkerEndpoint;
+use exdra_core::error::Result;
+use exdra_core::worker::{Worker, WorkerConfig};
+use exdra_net::transport::Channel;
+
+struct Args {
+    workers: Vec<String>,
+    mem_workers: usize,
+    attach: String,
+    ops: Option<String>,
+    max_sessions: usize,
+    incidents_dir: Option<String>,
+    metrics: bool,
+}
+
+fn parse_args() -> std::result::Result<Args, String> {
+    let mut args = Args {
+        workers: Vec::new(),
+        mem_workers: 0,
+        attach: "127.0.0.1:8101".into(),
+        ops: None,
+        max_sessions: 64,
+        incidents_dir: None,
+        metrics: true,
+    };
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0usize;
+    while i < argv.len() {
+        let flag = argv[i].clone();
+        let mut value = || -> std::result::Result<String, String> {
+            i += 1;
+            argv.get(i)
+                .cloned()
+                .ok_or_else(|| format!("missing value for {flag}"))
+        };
+        match flag.as_str() {
+            "--workers" => {
+                args.workers = value()?
+                    .split(',')
+                    .filter(|s| !s.is_empty())
+                    .map(str::to_string)
+                    .collect()
+            }
+            "--mem-workers" => {
+                args.mem_workers = value()?
+                    .parse()
+                    .map_err(|e| format!("--mem-workers: {e}"))?
+            }
+            "--attach" => args.attach = value()?,
+            "--ops" => args.ops = Some(value()?),
+            "--max-sessions" => {
+                args.max_sessions = value()?
+                    .parse()
+                    .map_err(|e| format!("--max-sessions: {e}"))?
+            }
+            "--incidents-dir" => args.incidents_dir = Some(value()?),
+            "--no-metrics" => args.metrics = false,
+            "--help" | "-h" => {
+                println!(
+                    "exdra-coordd: multi-tenant coordinator service\n\n\
+                     --workers A,B,..    TCP worker endpoints of the fleet\n\
+                     --mem-workers N     in-process fleet instead (smoke/local)\n\
+                     --attach ADDR       session attach endpoint (default 127.0.0.1:8101)\n\
+                     --ops ADDR          HTTP ops endpoint (/healthz /metrics /sessions /incidents)\n\
+                     --max-sessions N    admission limit (default 64)\n\
+                     --incidents-dir D   flight-recorder bundle directory\n\
+                     --no-metrics        leave runtime instrumentation disabled"
+                );
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown flag {other} (see --help)")),
+        }
+        i += 1;
+    }
+    if args.workers.is_empty() && args.mem_workers == 0 {
+        return Err("need --workers or --mem-workers (see --help)".into());
+    }
+    if !args.workers.is_empty() && args.mem_workers > 0 {
+        return Err("--workers and --mem-workers are mutually exclusive".into());
+    }
+    Ok(args)
+}
+
+fn fleet_source(args: &Args) -> FleetSource {
+    if args.mem_workers > 0 {
+        let fleet: Arc<Vec<Arc<Worker>>> = Arc::new(
+            (0..args.mem_workers)
+                .map(|_| Worker::new(WorkerConfig::default()))
+                .collect(),
+        );
+        let n_workers = fleet.len();
+        FleetSource::Factory {
+            n_workers,
+            factory: Arc::new(move |w| -> Result<Box<dyn Channel>> {
+                Ok(Box::new(fleet[w].serve_mem()))
+            }),
+        }
+    } else {
+        FleetSource::Tcp(
+            args.workers
+                .iter()
+                .map(|addr| WorkerEndpoint::tcp(addr.clone()))
+                .collect(),
+        )
+    }
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("exdra-coordd: {e}");
+            std::process::exit(2);
+        }
+    };
+    if args.metrics {
+        // The ops endpoint exports the process-global registry and the
+        // flight recorder's incident log; both record only when their
+        // enabled flags are on.
+        exdra_obs::set_enabled(true);
+        exdra_obs::recorder::set_enabled(true);
+    }
+    if let Some(dir) = &args.incidents_dir {
+        exdra_obs::recorder::set_output_dir(dir);
+    }
+    let config = CoordConfig {
+        max_sessions: args.max_sessions,
+        ..CoordConfig::default()
+    };
+    let service = match CoordService::start(fleet_source(&args), config) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("exdra-coordd: cannot start service: {e}");
+            std::process::exit(1);
+        }
+    };
+    let server = match CoordServer::serve(Arc::clone(&service), &args.attach) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("exdra-coordd: cannot bind --attach {}: {e}", args.attach);
+            std::process::exit(1);
+        }
+    };
+    if args.metrics {
+        // Startup marker: guarantees the registry is non-empty from the
+        // first /metrics scrape, before any RPC traffic flows.
+        exdra_obs::global().inc("coordd.starts");
+    }
+    println!(
+        "exdra-coordd attach endpoint on {} ({} workers, max {} sessions)",
+        server.addr(),
+        service.num_workers(),
+        args.max_sessions
+    );
+    let _ops = args.ops.as_ref().map(|addr| {
+        match OpsServer::serve(Arc::clone(&service), addr) {
+            Ok(o) => {
+                println!(
+                    "exdra-coordd ops endpoint on http://{} (/healthz /metrics /sessions /incidents)",
+                    o.addr()
+                );
+                o
+            }
+            Err(e) => {
+                eprintln!("exdra-coordd: cannot bind --ops {addr}: {e}");
+                std::process::exit(1);
+            }
+        }
+    });
+    // Standing server: serve until the process is terminated.
+    loop {
+        std::thread::sleep(std::time::Duration::from_secs(3600));
+    }
+}

@@ -29,16 +29,25 @@
 //! Sessions attach in process via [`CoordService::open_session`] or over
 //! TCP via [`CoordServer`] + [`AttachedClient`] (the `Session::attach`
 //! path in `exdra-api`).
+//!
+//! The service also exposes an operator-facing HTTP endpoint
+//! ([`OpsServer`]): `/healthz`, `/metrics` (Prometheus, including
+//! per-tenant `tenant.<ns>.*` series), `/sessions` (live session
+//! table), and `/incidents` (flight-recorder bundles).
 
 #![warn(missing_docs)]
 
 mod client;
+mod ops;
 mod scheduler;
 mod server;
 mod service;
 mod wire;
 
 pub use client::{AttachedClient, TunnelChannel};
+pub use ops::{sessions_json, OpsServer};
 pub use scheduler::{FairScheduler, FairnessConfig, TenantGate};
 pub use server::CoordServer;
-pub use service::{ChannelFactory, CoordConfig, CoordService, FleetSource, Tenant, TenantStats};
+pub use service::{
+    ChannelFactory, CoordConfig, CoordService, FleetSource, SessionInfo, Tenant, TenantStats,
+};

@@ -1,0 +1,191 @@
+//! HTTP ops endpoint of a [`CoordService`]: the operator-facing view of
+//! a running multi-tenant coordinator.
+//!
+//! Four routes, all read-only:
+//!
+//! - `GET /healthz` — liveness probe with active-session and fleet
+//!   counts;
+//! - `GET /metrics` — the process-global `exdra-obs` registry in
+//!   Prometheus text exposition format (per-tenant `tenant.<ns>.*`
+//!   latency/queue-wait/credit-wait series included);
+//! - `GET /sessions` — the live session table as JSON: namespace, kind
+//!   (in-process tenant vs remote attach), admission time, and
+//!   per-session shared-cache attribution;
+//! - `GET /incidents` — recent flight-recorder incidents (kind, detail,
+//!   time, bundle path) as JSON.
+//!
+//! Like the worker's endpoint, this is deliberately tiny: one accept
+//! thread, one request per connection, no keep-alive — it serves probes
+//! and scrapers, not application traffic.
+
+use std::io;
+use std::net::SocketAddr;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use exdra_core::error::{FedError, Result};
+use exdra_obs::export::json_escape_into;
+
+use crate::service::{CoordService, SessionInfo};
+
+/// A running ops endpoint (see module docs). Stops when dropped.
+pub struct OpsServer {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+}
+
+impl OpsServer {
+    /// Binds `addr` (port 0 for ephemeral) and starts serving the ops
+    /// routes for `service` on a background thread.
+    pub fn serve(service: Arc<CoordService>, addr: &str) -> Result<OpsServer> {
+        let listener = std::net::TcpListener::bind(addr)
+            .map_err(|e| FedError::Network(format!("bind {addr}: {e}")))?;
+        let local = listener
+            .local_addr()
+            .map_err(|e| FedError::Network(e.to_string()))?;
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let accept_shutdown = Arc::clone(&shutdown);
+        std::thread::Builder::new()
+            .name("exdra-coord-ops".into())
+            .spawn(move || {
+                for stream in listener.incoming() {
+                    if accept_shutdown.load(Ordering::SeqCst) {
+                        return;
+                    }
+                    let Ok(mut stream) = stream else { return };
+                    let service = Arc::clone(&service);
+                    std::thread::spawn(move || {
+                        let _ = serve_once(&service, &mut stream);
+                    });
+                }
+            })
+            .expect("spawn coord ops thread");
+        Ok(OpsServer {
+            addr: local,
+            shutdown,
+        })
+    }
+
+    /// The bound address of the endpoint.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops accepting requests. Idempotent; called on drop.
+    pub fn stop(&self) {
+        if self.shutdown.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        // Unblock the accept loop with a throwaway connection.
+        let _ = std::net::TcpStream::connect(self.addr);
+    }
+}
+
+impl Drop for OpsServer {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+/// Renders the live session table as a JSON array.
+pub fn sessions_json(sessions: &[SessionInfo]) -> String {
+    let mut out = String::from("[");
+    for (i, s) in sessions.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!("{{\"ns\":{},\"kind\":", s.ns));
+        json_escape_into(&mut out, s.kind);
+        out.push_str(&format!(
+            ",\"opened_unix_ms\":{},\"cache_hits\":{},\"cache_misses\":{}}}",
+            s.opened_unix_ms,
+            s.stats.cache_hits.load(Ordering::Relaxed),
+            s.stats.cache_misses.load(Ordering::Relaxed)
+        ));
+    }
+    out.push(']');
+    out
+}
+
+fn serve_once(service: &Arc<CoordService>, stream: &mut std::net::TcpStream) -> io::Result<()> {
+    use std::io::{BufRead, BufReader, Write};
+    stream.set_read_timeout(Some(Duration::from_secs(5)))?;
+    let mut line = String::new();
+    BufReader::new(&mut *stream).read_line(&mut line)?;
+    let path = line.split_whitespace().nth(1).unwrap_or("");
+    let (status, content_type, body) = match path {
+        "/healthz" => (
+            "200 OK",
+            "text/plain; charset=utf-8",
+            format!(
+                "ok sessions={} workers={} inflight={}\n",
+                service.active_sessions(),
+                service.num_workers(),
+                service.scheduler().inflight()
+            ),
+        ),
+        "/metrics" => (
+            "200 OK",
+            "text/plain; version=0.0.4",
+            exdra_obs::export::to_prometheus(&exdra_obs::global().snapshot()),
+        ),
+        "/sessions" => (
+            "200 OK",
+            "application/json",
+            sessions_json(&service.sessions()),
+        ),
+        "/incidents" => (
+            "200 OK",
+            "application/json",
+            exdra_obs::recorder::incidents_json(),
+        ),
+        _ => (
+            "404 Not Found",
+            "text/plain; charset=utf-8",
+            "not found\n".into(),
+        ),
+    };
+    write!(
+        stream,
+        "HTTP/1.0 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    )?;
+    stream.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use exdra_obs::export::Json;
+
+    #[test]
+    fn sessions_json_renders_and_parses() {
+        let stats = Arc::new(crate::service::TenantStats::default());
+        stats.record_probe(true);
+        stats.record_probe(false);
+        let rows = vec![
+            SessionInfo {
+                ns: 1,
+                kind: "tenant",
+                opened_unix_ms: 42,
+                stats: Arc::clone(&stats),
+            },
+            SessionInfo {
+                ns: 2,
+                kind: "remote",
+                opened_unix_ms: 43,
+                stats,
+            },
+        ];
+        let doc = Json::parse(&sessions_json(&rows)).expect("valid json");
+        let Json::Arr(items) = doc else {
+            panic!("array expected")
+        };
+        assert_eq!(items.len(), 2);
+        assert_eq!(items[0].get("ns").and_then(Json::as_f64), Some(1.0));
+        assert_eq!(items[1].get("kind").and_then(Json::as_str), Some("remote"));
+        assert_eq!(items[0].get("cache_hits").and_then(Json::as_f64), Some(1.0));
+        assert!(Json::parse(&sessions_json(&[])).is_ok());
+    }
+}

@@ -103,6 +103,11 @@ impl FairScheduler {
             return;
         }
         self.waits.fetch_add(1, Ordering::Relaxed);
+        // Per-tenant queue-wait attribution: only blocked acquisitions
+        // are sampled (the uncontended fast path above stays
+        // allocation-free), so the histogram answers "when this tenant
+        // waited, how long?".
+        let t_wait = exdra_obs::enabled().then(std::time::Instant::now);
         let ticket = st.next_ticket;
         st.next_ticket += 1;
         st.waiting.push_back(Waiter {
@@ -124,6 +129,12 @@ impl FairScheduler {
                 st.take(tenant, requests);
                 // Capacity may remain for the next admissible waiter.
                 self.cond.notify_all();
+                if let Some(t) = t_wait {
+                    let nanos = t.elapsed().as_nanos() as u64;
+                    let reg = exdra_obs::global();
+                    reg.record("coord.queue_wait", nanos);
+                    reg.record(&format!("tenant.{tenant}.queue_wait_nanos"), nanos);
+                }
                 return;
             }
             st = self.cond.wait(st).expect("scheduler lock");

@@ -232,7 +232,38 @@ fn serve_client(service: Arc<CoordService>, channel: Box<dyn Channel>) {
                 let Some(link) = links.get(worker as usize) else {
                     break;
                 };
+                let obs_on = exdra_obs::enabled();
+                // One span per forwarded frame, parented under the
+                // remote client's rpc span (its context leads every
+                // envelope, visible through the correlation tag), so
+                // stitched traces show the coordinator hop between
+                // `rpc.call` and `worker.batch`.
+                let mut fwd = if obs_on {
+                    exdra_net::framing::peek_trace(&payload).map(|(trace_id, span_id)| {
+                        let mut s = exdra_obs::span_child_of(
+                            exdra_obs::SpanKind::Other,
+                            "coord.forward",
+                            exdra_obs::TraceContext { trace_id, span_id },
+                        );
+                        s.attr("ns", ns);
+                        s.attr("worker", worker);
+                        s.attr("bytes", payload.len());
+                        s
+                    })
+                } else {
+                    None
+                };
+                let t_credit = obs_on.then(std::time::Instant::now);
                 service.scheduler().acquire(ns, 1);
+                if let Some(t) = t_credit {
+                    let wait = t.elapsed().as_nanos() as u64;
+                    let reg = exdra_obs::global();
+                    reg.record("coord.credit_wait", wait);
+                    reg.record(&format!("tenant.{ns}.credit_wait_nanos"), wait);
+                    if let Some(s) = fwd.as_mut() {
+                        s.attr("credit_wait_nanos", wait);
+                    }
+                }
                 link.outstanding.fetch_add(1, Ordering::SeqCst);
                 let failed = {
                     let mut tx = link.tx.lock();

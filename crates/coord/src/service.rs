@@ -1,9 +1,10 @@
 //! The coordinator service: session admission, namespace allocation,
 //! the shared plan cache, and fleet-wide supervision.
 
+use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, SystemTime, UNIX_EPOCH};
 
 use parking_lot::Mutex;
 // Admission queueing needs a condition variable, which the vendored
@@ -98,6 +99,26 @@ impl TenantStats {
     }
 }
 
+/// One row of the live session table (the `/sessions` ops endpoint).
+#[derive(Debug, Clone)]
+pub struct SessionInfo {
+    /// The session's symbol namespace.
+    pub ns: u64,
+    /// `"tenant"` for in-process sessions, `"remote"` for TCP attaches.
+    pub kind: &'static str,
+    /// Wall-clock admission time, milliseconds since the unix epoch.
+    pub opened_unix_ms: u64,
+    /// The session's live counters (shared with the session itself).
+    pub stats: Arc<TenantStats>,
+}
+
+fn unix_ms() -> u64 {
+    SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| d.as_millis() as u64)
+        .unwrap_or(0)
+}
+
 #[derive(Default)]
 struct AdmitState {
     active: usize,
@@ -131,6 +152,8 @@ pub struct CoordService {
     /// Serializes worker recovery across tenants so one restart is
     /// restored once, not once per session that noticed.
     recovery: Mutex<()>,
+    /// Live session table keyed by namespace (the `/sessions` endpoint).
+    sessions: Mutex<BTreeMap<u64, SessionInfo>>,
     shutdown: AtomicBool,
 }
 
@@ -169,6 +192,7 @@ impl CoordService {
             next_ns: AtomicU64::new(1), // 0 = service/legacy namespace
             factory: Mutex::new(factory),
             recovery: Mutex::new(()),
+            sessions: Mutex::new(BTreeMap::new()),
             shutdown: AtomicBool::new(false),
         });
         if service.factory.lock().is_some() {
@@ -228,6 +252,15 @@ impl CoordService {
         }
         if st.waiting >= self.config.admission_queue {
             obs::global().inc("coord.sessions.rejected");
+            if obs::recorder::enabled() {
+                obs::recorder::incident(
+                    "session_rejected",
+                    &format!(
+                        "admission queue full: {} active / {} max, {} waiting",
+                        st.active, self.config.max_sessions, st.waiting
+                    ),
+                );
+            }
             return Err(FedError::SessionRejected {
                 active: st.active,
                 max: self.config.max_sessions,
@@ -299,13 +332,35 @@ impl CoordService {
         ctx.set_rpc_window(self.config.rpc_window);
         ctx.set_rpc_gate(Some(TenantGate::new(Arc::clone(&self.scheduler), ns)));
         obs::global().inc("coord.sessions.admitted");
+        let stats = Arc::new(TenantStats::default());
+        self.register_session(ns, "tenant", &stats);
         Ok(Arc::new(Tenant {
             ns,
             ctx,
-            stats: Arc::new(TenantStats::default()),
+            stats,
             service: Arc::clone(self),
             closed: AtomicBool::new(false),
         }))
+    }
+
+    fn register_session(&self, ns: u64, kind: &'static str, stats: &Arc<TenantStats>) {
+        self.sessions.lock().insert(
+            ns,
+            SessionInfo {
+                ns,
+                kind,
+                opened_unix_ms: unix_ms(),
+                stats: Arc::clone(stats),
+            },
+        );
+        if obs::recorder::enabled() {
+            obs::recorder::event("coord", format!("session ns={ns} admitted ({kind})"));
+        }
+    }
+
+    /// A snapshot of the live session table, namespace-ordered.
+    pub fn sessions(&self) -> Vec<SessionInfo> {
+        self.sessions.lock().values().cloned().collect()
     }
 
     /// Allocates a namespace + per-worker channels for a *remote*
@@ -326,7 +381,9 @@ impl CoordService {
             }
         };
         obs::global().inc("coord.sessions.admitted");
-        Ok((ns, channels, Arc::new(TenantStats::default())))
+        let stats = Arc::new(TenantStats::default());
+        self.register_session(ns, "remote", &stats);
+        Ok((ns, channels, stats))
     }
 
     /// Rebuilds one worker channel for a remote session (after the
@@ -343,8 +400,12 @@ impl CoordService {
             let _ = self.ctx.call(w, &[Request::ClearNamespace { ns }]);
         }
         self.scheduler.forget_tenant(ns);
+        self.sessions.lock().remove(&ns);
         self.release_slot();
         obs::global().inc("coord.sessions.closed");
+        if obs::recorder::enabled() {
+            obs::recorder::event("coord", format!("session ns={ns} closed"));
+        }
     }
 
     /// Service-level worker recovery: exactly one tenant drives the

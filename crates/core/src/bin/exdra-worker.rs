@@ -27,6 +27,7 @@ struct Args {
     compact_secs: Option<u64>,
     pipelined: bool,
     http: Option<String>,
+    metrics: bool,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -39,6 +40,7 @@ fn parse_args() -> Result<Args, String> {
         compact_secs: None,
         pipelined: true,
         http: None,
+        metrics: true,
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0usize;
@@ -60,6 +62,7 @@ fn parse_args() -> Result<Args, String> {
             "--no-reuse" => args.reuse = false,
             "--no-pipeline" => args.pipelined = false,
             "--http" => args.http = Some(value()?),
+            "--no-metrics" => args.metrics = false,
             "--compact-secs" => {
                 args.compact_secs = Some(
                     value()?
@@ -77,7 +80,9 @@ fn parse_args() -> Result<Args, String> {
                      --no-reuse          disable lineage-based reuse\n\
                      --no-pipeline       serve connections strictly lock-step\n\
                      --compact-secs N    background compression sweep period\n\
-                     --http ADDR         /healthz + /metrics observability endpoint"
+                     --http ADDR         /healthz + /metrics observability endpoint\n\
+                     --no-metrics        leave runtime instrumentation disabled\n\
+                     \x20                   (with --http, /metrics exports only zeros)"
                 );
                 std::process::exit(0);
             }
@@ -120,6 +125,12 @@ fn main() {
         if args.reuse { "on" } else { "off" },
     );
     if let Some(http_addr) = &args.http {
+        // The endpoint exports the process-global registry, but every
+        // recording site (rpc.*, pipeline.*, par.*, inst.*) gates on the
+        // obs enabled flag — flip it on so /metrics actually fills up.
+        if args.metrics {
+            exdra_obs::set_enabled(true);
+        }
         match worker.serve_http(http_addr) {
             Ok(a) => println!("exdra-worker observability on http://{a} (/healthz, /metrics)"),
             Err(e) => {

@@ -411,7 +411,9 @@ impl FedContext {
         let bytes = envelope.to_bytes();
         let mut serde_nanos = t_enc.map_or(0, |t| t.elapsed().as_nanos() as u64);
 
+        let t_gate = obs_on.then(Instant::now);
         let _credit = GateGuard::acquire(self.gate(), worker, envelope.requests.len() as u64);
+        let gate_wait_nanos = t_gate.map_or(0, |t| t.elapsed().as_nanos() as u64);
         let policy = self.fault_policy();
         let deadline = Deadline::after(policy.rpc_deadline);
         let mut net_nanos = 0u64;
@@ -465,9 +467,11 @@ impl FedContext {
             span.attr("net_nanos", net_nanos);
             span.attr("exec_nanos", footer.exec_nanos);
             span.attr("serde_nanos", serde_nanos);
+            span.attr("gate_wait_nanos", gate_wait_nanos);
             span.attr("retries", retries);
         }
         if obs_on {
+            exdra_obs::global().record("rpc.gate_wait", gate_wait_nanos);
             record_rpc_metrics(RpcMetrics {
                 worker,
                 requests: envelope.requests.len() as u64,
@@ -569,7 +573,9 @@ impl FedContext {
         let mut serde_nanos = t_enc.map_or(0, |t| t.elapsed().as_nanos() as u64);
         let bytes_sent: u64 = frames.iter().map(|f| f.len() as u64 + 16).sum();
 
+        let t_gate = obs_on.then(Instant::now);
         let _credit = GateGuard::acquire(self.gate(), worker, frames.len() as u64);
+        let gate_wait_nanos = t_gate.map_or(0, |t| t.elapsed().as_nanos() as u64);
         let policy = self.fault_policy();
         let deadline = Deadline::after(policy.rpc_deadline);
         let mut net_nanos = 0u64;
@@ -630,11 +636,13 @@ impl FedContext {
             span.attr("net_nanos", net_nanos);
             span.attr("exec_nanos", exec_nanos);
             span.attr("serde_nanos", serde_nanos);
+            span.attr("gate_wait_nanos", gate_wait_nanos);
             span.attr("retries", retries);
             span.attr("out_of_order", out_of_order);
             span.attr("max_inflight", max_inflight);
         }
         if obs_on {
+            exdra_obs::global().record("rpc.gate_wait", gate_wait_nanos);
             record_rpc_metrics(RpcMetrics {
                 worker,
                 requests: frames.len() as u64,

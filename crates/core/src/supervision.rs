@@ -312,6 +312,12 @@ impl Supervisor {
         if worker >= self.detector.len() {
             return;
         }
+        if exdra_obs::recorder::enabled() {
+            exdra_obs::recorder::event(
+                "supervision",
+                format!("worker {worker} reported dead by compute path"),
+            );
+        }
         self.detector.mark_dead(worker);
         self.spawn_recovery(worker);
     }
@@ -351,6 +357,16 @@ impl Supervisor {
         if !self.detector.begin_recovery(worker) {
             return Ok(false);
         }
+        // `begin_recovery` succeeding means the worker really was Dead
+        // and this caller won the arbitration — the single choke point
+        // where every detected death passes exactly once, so the flight
+        // recorder dumps its forensic bundle here.
+        if exdra_obs::recorder::enabled() {
+            exdra_obs::recorder::incident(
+                "worker_death",
+                &format!("worker {worker} found dead; recovery starting"),
+            );
+        }
         let obs_on = exdra_obs::enabled();
         let t0 = obs_on.then(Instant::now);
         match self.try_recover(worker) {
@@ -363,6 +379,9 @@ impl Supervisor {
                         reg.record("recovery.latency", t.elapsed().as_nanos() as u64);
                     }
                 }
+                if exdra_obs::recorder::enabled() {
+                    exdra_obs::recorder::event("supervision", format!("worker {worker} recovered"));
+                }
                 Ok(true)
             }
             Err(e) => {
@@ -370,6 +389,12 @@ impl Supervisor {
                 self.detector.record_miss(worker);
                 if obs_on {
                     exdra_obs::global().inc("recovery.failed_attempts");
+                }
+                if exdra_obs::recorder::enabled() {
+                    exdra_obs::recorder::event(
+                        "supervision",
+                        format!("worker {worker} recovery attempt failed: {e}"),
+                    );
                 }
                 Err(e)
             }
@@ -551,6 +576,12 @@ impl Supervisor {
         }
         if obs_on {
             exdra_obs::global().inc("speculation.launched");
+        }
+        if exdra_obs::recorder::enabled() {
+            exdra_obs::recorder::incident(
+                "deadline_miss",
+                &format!("worker {worker} missed its straggler deadline; speculating on replica {replica}"),
+            );
         }
         {
             let sup = Arc::clone(self);

@@ -250,6 +250,17 @@ impl Worker {
                             i += 1;
                         }
                     }
+                    // Worker-side pipelining accounting: how many tagged
+                    // frames this server executed decode-ahead and how
+                    // deep its in-flight job window ran. Named apart
+                    // from the coordinator-side `pipeline.streams/..`
+                    // series so in-process federations don't double
+                    // count.
+                    if exdra_obs::enabled() {
+                        let reg = exdra_obs::global();
+                        reg.inc("pipeline.served_requests");
+                        reg.record("pipeline.served_inflight", jobs.len() as u64 + 1);
+                    }
                     let worker = Arc::clone(self);
                     let tx_job = Arc::clone(&tx);
                     let failed = Arc::clone(&send_failed);

@@ -111,6 +111,28 @@ pub fn untag_request(payload: &[u8]) -> Option<(u64, &[u8])> {
     Some((corr, &payload[16..]))
 }
 
+/// Reads the `(trace_id, parent_span_id)` an `RpcEnvelope`-shaped
+/// request payload leads with, seeing through an optional correlation
+/// tag. Returns `None` for payloads too short to carry a trace header
+/// or whose trace id is `0` ("no context"). Lets an intermediary (the
+/// coordinator front door) attribute a forwarded frame to its trace
+/// without decoding the envelope.
+pub fn peek_trace(payload: &[u8]) -> Option<(u64, u64)> {
+    let body = match untag_request(payload) {
+        Some((_, body)) => body,
+        None => payload,
+    };
+    if body.len() < 16 {
+        return None;
+    }
+    let trace_id = u64::from_le_bytes(body[..8].try_into().expect("8 bytes"));
+    if trace_id == 0 || trace_id == PIPELINE_MAGIC {
+        return None;
+    }
+    let parent = u64::from_le_bytes(body[8..16].try_into().expect("8 bytes"));
+    Some((trace_id, parent))
+}
+
 /// Builds a correlated reply payload: `[corr][body]`.
 pub fn tag_reply(corr: u64, body: &[u8]) -> Vec<u8> {
     let mut out = Vec::with_capacity(8 + body.len());
@@ -231,6 +253,22 @@ mod tests {
         // Too-short payloads are never tagged.
         assert_eq!(untag_request(&PIPELINE_MAGIC.to_le_bytes()), None);
         assert_eq!(untag_request(b""), None);
+    }
+
+    #[test]
+    fn peek_trace_sees_through_tagging() {
+        // Envelope-shaped body: trace id 7, parent span 9, then payload.
+        let mut body = 7u64.to_le_bytes().to_vec();
+        body.extend_from_slice(&9u64.to_le_bytes());
+        body.extend_from_slice(b"rest");
+        assert_eq!(peek_trace(&body), Some((7, 9)));
+        assert_eq!(peek_trace(&tag_request(3, &body)), Some((7, 9)));
+        // No context (trace id 0), too short, or empty: nothing to peek.
+        let mut none = 0u64.to_le_bytes().to_vec();
+        none.extend_from_slice(&9u64.to_le_bytes());
+        assert_eq!(peek_trace(&none), None);
+        assert_eq!(peek_trace(b"short"), None);
+        assert_eq!(peek_trace(&tag_request(3, b"")), None);
     }
 
     #[test]

@@ -6,6 +6,7 @@ use std::collections::BTreeMap;
 use std::fmt::Write as _;
 
 use crate::metrics::MetricsSnapshot;
+use crate::trace::{AttrValue, SpanRecord};
 
 /// Prometheus metric names allow `[a-zA-Z0-9_:]`; dots become
 /// underscores and everything gets an `exdra_` namespace prefix.
@@ -105,6 +106,48 @@ pub fn to_json(snap: &MetricsSnapshot) -> String {
     }
     out.push_str("}}");
     out
+}
+
+/// Writes one span record as a JSON object into `out`:
+/// `{"trace_id":..,"span_id":..,"parent_id":..,"kind":"rpc","name":..,
+/// "start_unix_nanos":..,"duration_nanos":..,"attrs":{..}}`.
+pub fn span_json_into(out: &mut String, rec: &SpanRecord) {
+    let _ = write!(
+        out,
+        "{{\"trace_id\":{},\"span_id\":{},\"parent_id\":{},\"kind\":\"{}\",\"name\":",
+        rec.trace_id,
+        rec.span_id,
+        rec.parent_id,
+        rec.kind.name()
+    );
+    json_escape_into(out, rec.name);
+    let _ = write!(
+        out,
+        ",\"start_unix_nanos\":{},\"duration_nanos\":{},\"attrs\":{{",
+        rec.start_unix_nanos, rec.duration_nanos
+    );
+    for (i, (key, value)) in rec.attrs.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        json_escape_into(out, key);
+        out.push(':');
+        match value {
+            AttrValue::U64(v) => {
+                let _ = write!(out, "{v}");
+            }
+            AttrValue::I64(v) => {
+                let _ = write!(out, "{v}");
+            }
+            AttrValue::F64(v) => out.push_str(&json_f64(*v)),
+            AttrValue::Bool(v) => {
+                let _ = write!(out, "{v}");
+            }
+            AttrValue::Static(s) => json_escape_into(out, s),
+            AttrValue::Str(s) => json_escape_into(out, s),
+        }
+    }
+    out.push_str("}}");
 }
 
 /// A parsed JSON value — just enough structure for tests and the bench

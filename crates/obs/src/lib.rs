@@ -14,6 +14,15 @@
 //!   and log-scale latency histograms with p50/p95/p99 summaries,
 //!   exportable as Prometheus-style text and JSON ([`export`]).
 //!
+//! On top of those sit the operations plane:
+//!
+//! * **Flight recorder** ([`recorder`]): a bounded ring of recent spans
+//!   and events that dumps a JSON incident bundle when an anomaly
+//!   fires (worker death, session rejection, deadline miss, ...).
+//! * **EXPLAIN ANALYZE** ([`analyze()`]): critical-path analysis over one
+//!   computation's span forest — wall-time breakdown, dominant
+//!   worker/opcode, and per-opcode/per-worker cost profiles.
+//!
 //! [`report::RunReport`] assembles both into a human-readable per-run
 //! breakdown (compute/network/serde split per worker, top-N slowest
 //! instructions) and a JSON document the bench harness writes as a
@@ -22,23 +31,27 @@
 //! Trace contexts are plain `u64` pairs so the RPC layer can propagate
 //! them over the wire without this crate knowing about the protocol.
 
+pub mod analyze;
 pub mod export;
 pub mod metrics;
+pub mod recorder;
 pub mod report;
 pub mod trace;
 
+pub use analyze::{analyze, CriticalStep, Explain, OpcodeCost, WorkerCost};
 pub use metrics::{global, Counter, Histogram, HistogramSummary, MetricsSnapshot, Registry};
 pub use report::{
     InstrProfile, NetTotals, PipelineSummary, RecoverySummary, RunReport, WorkerBreakdown,
 };
 pub use trace::{
-    clear, current, enabled, propagate, set_enabled, span, span_child_of, take_spans, AttrValue,
-    PropagationGuard, SpanGuard, SpanKind, SpanRecord, TraceContext,
+    clear, current, enabled, propagate, set_enabled, snapshot_spans, span, span_child_of,
+    take_spans, AttrValue, PropagationGuard, SpanGuard, SpanKind, SpanRecord, TraceContext,
 };
 
 /// Resets all global observability state (spans, metrics, id counters).
 /// Meant for tests and between bench phases; leaves enabled/disabled
-/// state untouched.
+/// state untouched. The flight recorder's rings are deliberately NOT
+/// cleared — they are forensic history (see [`recorder::reset`]).
 pub fn reset() {
     trace::clear();
     metrics::global().reset();

@@ -264,6 +264,12 @@ fn flush_buffer(buffer: &mut Vec<SpanRecord>) {
     if buffer.is_empty() {
         return;
     }
+    // Tee into the flight recorder's ring before taking the collector
+    // lock (the two locks are never held together). Amortized over a
+    // whole buffer, so the per-span happy path stays lock-free.
+    if crate::recorder::enabled() {
+        crate::recorder::observe_spans(buffer);
+    }
     let mut collector = COLLECTOR.lock();
     if collector.len() + buffer.len() > COLLECTOR_CAP {
         let overflow = (collector.len() + buffer.len())
@@ -377,6 +383,15 @@ impl Drop for PropagationGuard {
 pub fn take_spans() -> Vec<SpanRecord> {
     BUFFER.with(|b| flush_buffer(&mut b.borrow_mut()));
     std::mem::take(&mut *COLLECTOR.lock())
+}
+
+/// Copies all collected spans (flushing the calling thread's buffer
+/// first) without draining the collector — unlike [`take_spans`], other
+/// concurrent sessions keep their spans. Spans buffered on *other*
+/// threads still inside a root span are not included.
+pub fn snapshot_spans() -> Vec<SpanRecord> {
+    BUFFER.with(|b| flush_buffer(&mut b.borrow_mut()));
+    COLLECTOR.lock().clone()
 }
 
 /// Number of spans currently collected (including the calling thread's

@@ -460,6 +460,176 @@ fn tcp_attach_survives_worker_kill_via_server_side_recovery() {
     service.stop();
 }
 
+/// Satellite acceptance: a real TCP worker killed mid-run leaves a
+/// forensic record. The flight recorder dumps a `worker_death` incident
+/// bundle that parses as JSON and contains the dead worker's last spans
+/// (the rpc traffic that talked to it and the batches it executed),
+/// while the computation itself completes through server-side recovery.
+#[test]
+fn tcp_worker_kill_dumps_incident_bundle() {
+    use exdra::net::transport::{Channel, TcpChannel};
+    use exdra::obs::export::Json;
+
+    // Unique bundle directory: the recorder is process-global and other
+    // tests in this binary kill worker 0 concurrently, so this test
+    // kills worker 1 and filters incidents by detail.
+    let dir = std::env::temp_dir().join(format!(
+        "exdra-incidents-{}-{}",
+        std::process::id(),
+        std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .expect("clock")
+            .as_nanos()
+    ));
+    exdra::obs::recorder::set_output_dir(&dir);
+    exdra::obs::recorder::set_enabled(true);
+    exdra::obs::set_enabled(true);
+
+    // A real TCP fleet: every slot serves loopback TCP and the factory
+    // dials whatever worker currently owns the slot, so recovery after
+    // a kill reconnects to the replacement.
+    type TcpSlots = Arc<std::sync::Mutex<Vec<(Arc<Worker>, std::net::SocketAddr)>>>;
+    let slots: TcpSlots = Arc::new(std::sync::Mutex::new(
+        (0..N_WORKERS)
+            .map(|_| {
+                let w = Worker::new(WorkerConfig::default());
+                let addr = w.serve_tcp("127.0.0.1:0").expect("serve tcp");
+                (w, addr)
+            })
+            .collect(),
+    ));
+    let dial = Arc::clone(&slots);
+    let factory: ChannelFactory = Arc::new(move |w: usize| {
+        let addr = dial.lock().expect("slots")[w].1;
+        TcpChannel::connect(addr)
+            .map(|c| Box::new(c) as Box<dyn Channel>)
+            .map_err(|e| FedError::Network(e.to_string()))
+    });
+    let service = CoordService::start(
+        FleetSource::Factory {
+            n_workers: N_WORKERS,
+            factory,
+        },
+        CoordConfig {
+            supervision: fast_supervision(),
+            ..CoordConfig::default()
+        },
+    )
+    .expect("start coordinator service");
+
+    let tenant = service.open_session().expect("admitted");
+    let ns = tenant.namespace();
+    let sds = Session::from_tenant(tenant).expect("tenant session");
+    let m = rand_matrix(60, 5, -1.0, 1.0, 91);
+    let fed = sds.federated(&m).expect("scatter");
+    let before = sds
+        .compute(&fed.tsmm().expect("plan"))
+        .expect("compute before kill");
+
+    let expect_cs = {
+        let (ctx, _w) = exdra::core::testutil::mem_federation(N_WORKERS);
+        let s = Session::builder()
+            .context(ctx)
+            .no_supervision()
+            .build()
+            .expect("baseline session");
+        let f = s.federated(&m).expect("baseline scatter");
+        s.compute(&f.col_sums().expect("baseline plan"))
+            .expect("baseline compute")
+    };
+
+    // Wait until worker 1's checkpoint covers this namespace, then kill
+    // it behind the service's back and stand in a replacement on a
+    // fresh loopback socket.
+    let checkpointed = || {
+        service
+            .supervisor()
+            .checkpoint_store()
+            .snapshot(1)
+            .is_some_and(|entries| entries.iter().any(|e| e.id >> NS_SHIFT == ns))
+    };
+    for _ in 0..300 {
+        if checkpointed() {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    assert!(checkpointed(), "checkpoint covers the tenant namespace");
+    let (doomed, _old_addr) = {
+        let fresh = Worker::new(WorkerConfig::default());
+        let addr = fresh.serve_tcp("127.0.0.1:0").expect("serve tcp");
+        std::mem::replace(&mut slots.lock().expect("slots")[1], (fresh, addr))
+    };
+    doomed.shutdown();
+
+    // A fresh-lineage plan trips over the dead worker; recovery restores
+    // it server-side and the result matches the serial baseline.
+    let after_cs = sds
+        .compute(&fed.col_sums().expect("plan"))
+        .expect("compute after worker kill");
+    assert_eq!(expect_cs.values(), after_cs.values());
+    let again = sds.compute(&fed.tsmm().expect("plan")).expect("recompute");
+    assert_eq!(before.values(), again.values());
+
+    // The recorder dumped a worker_death bundle for worker 1.
+    let find = || {
+        exdra::obs::recorder::recent_incidents()
+            .into_iter()
+            .find(|i| {
+                i.kind == "worker_death" && i.detail.contains("worker 1") && !i.path.is_empty()
+            })
+    };
+    let mut found = None;
+    for _ in 0..500 {
+        if let Some(i) = find() {
+            found = Some(i);
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    let inc = found.expect("worker_death incident dumped a bundle");
+    assert!(
+        std::path::Path::new(&inc.path).starts_with(&dir),
+        "bundle landed in the configured directory: {}",
+        inc.path
+    );
+    let text = std::fs::read_to_string(&inc.path).expect("bundle readable");
+    let doc = Json::parse(&text).expect("bundle parses as JSON");
+    assert_eq!(doc.get("kind").and_then(Json::as_str), Some("worker_death"));
+    assert!(doc
+        .get("detail")
+        .and_then(Json::as_str)
+        .is_some_and(|d| d.contains("worker 1")));
+    let Some(Json::Arr(spans)) = doc.get("spans") else {
+        panic!("bundle carries a spans array");
+    };
+    assert!(!spans.is_empty(), "bundle preserves the pre-death spans");
+    // The dead worker's last spans: rpc traffic addressed to worker 1
+    // and the batches the fleet executed for this tenant.
+    assert!(
+        spans.iter().any(|s| {
+            s.get("name").and_then(Json::as_str) == Some("rpc.call")
+                && s.get("attrs")
+                    .and_then(|a| a.get("worker"))
+                    .and_then(Json::as_f64)
+                    == Some(1.0)
+        }),
+        "bundle contains rpc spans addressed to the dead worker"
+    );
+    assert!(
+        spans
+            .iter()
+            .any(|s| s.get("name").and_then(Json::as_str) == Some("worker.batch")),
+        "bundle contains the executed worker batches"
+    );
+
+    exdra::obs::recorder::set_enabled(false);
+    exdra::obs::set_enabled(false);
+    drop(sds);
+    service.stop();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 #[test]
 fn shared_plan_cache_spans_in_process_and_tcp_sessions() {
     let fleet = Fleet::new(N_WORKERS);

@@ -111,6 +111,152 @@ fn trace_ids_propagate_coordinator_to_worker_mem_and_tcp() {
 }
 
 #[test]
+fn remote_attach_stitches_spans_like_in_process() {
+    use exdra::core::worker::{Worker, WorkerConfig};
+    use std::sync::Arc;
+
+    let _g = obs_test();
+    // In-process fleet behind a real TCP attach front door. The service
+    // supervisor is quieted down so every RPC in the collected forest
+    // comes from the attached client.
+    let workers: Vec<Arc<Worker>> = (0..2)
+        .map(|_| Worker::new(WorkerConfig::default()))
+        .collect();
+    let fleet = workers.clone();
+    let factory: exdra::coord::ChannelFactory = Arc::new(move |w: usize| {
+        Ok(Box::new(fleet[w].serve_mem()) as Box<dyn exdra::net::transport::Channel>)
+    });
+    let service = exdra::coord::CoordService::start(
+        exdra::coord::FleetSource::Factory {
+            n_workers: 2,
+            factory,
+        },
+        exdra::coord::CoordConfig {
+            supervision: exdra::SupervisionPolicy {
+                heartbeat_interval: std::time::Duration::from_secs(60),
+                checkpoint_interval: None,
+                ..exdra::SupervisionPolicy::default()
+            },
+            ..exdra::coord::CoordConfig::default()
+        },
+    )
+    .unwrap();
+    let server = exdra::coord::CoordServer::serve(Arc::clone(&service), "127.0.0.1:0").unwrap();
+
+    let sds = exdra::Session::attach(&server.addr().to_string()).unwrap();
+    let m = rand_matrix(60, 5, -1.0, 1.0, 41);
+    let fed = sds.federated(&m).unwrap();
+    let plan = fed.tsmm().unwrap();
+    let got = sds.compute(&plan).unwrap();
+    let want = exdra::Session::local()
+        .matrix(m)
+        .tsmm()
+        .unwrap()
+        .compute()
+        .unwrap();
+    assert!(got.max_abs_diff(&want) < 1e-10);
+    drop(sds);
+    server.stop();
+    service.stop();
+    exdra::obs::set_enabled(false);
+
+    let spans = exdra::obs::take_spans();
+    assert_well_formed_forest(&spans);
+
+    // The client's rpc spans stitch to worker.batch spans exactly like
+    // an in-process from_tenant session: every batch is parented by the
+    // rpc span whose envelope carried it, in the same trace.
+    let rpcs: Vec<&SpanRecord> = spans
+        .iter()
+        .filter(|s| s.name == "rpc.call" || s.name == "rpc.stream")
+        .collect();
+    let batches: Vec<&SpanRecord> = spans.iter().filter(|s| s.name == "worker.batch").collect();
+    assert!(!rpcs.is_empty(), "attached session recorded rpc spans");
+    assert!(!batches.is_empty(), "fleet recorded worker.batch spans");
+    for b in &batches {
+        let parent = rpcs
+            .iter()
+            .find(|r| r.span_id == b.parent_id)
+            .expect("worker.batch is parented by a client rpc span across two hops");
+        assert_eq!(parent.trace_id, b.trace_id);
+    }
+    // The coordinator hop itself shows up in the same forest: one
+    // coord.forward span per forwarded frame, a sibling of the batch
+    // under the same rpc span.
+    let fwds: Vec<&SpanRecord> = spans.iter().filter(|s| s.name == "coord.forward").collect();
+    assert!(
+        !fwds.is_empty(),
+        "the coordinator recorded its forwarding hop"
+    );
+    for f in &fwds {
+        let parent = rpcs
+            .iter()
+            .find(|r| r.span_id == f.parent_id)
+            .expect("coord.forward is parented by the client rpc span it forwarded");
+        assert_eq!(parent.trace_id, f.trace_id);
+    }
+}
+
+#[test]
+fn explain_analyze_attributes_lm_wall_time() {
+    let _g = obs_test();
+    // explain_analyze force-enables tracing itself; start from off to
+    // prove the restore works on an untraced session.
+    exdra::obs::set_enabled(false);
+    let (ctx, _workers) = mem_federation(2);
+    let sds = exdra::Session::builder()
+        .context(ctx)
+        .no_supervision()
+        .build()
+        .unwrap();
+    // The lmDS normal-equations core (paper fig. 5): X^T X | X^T y over
+    // a row-partitioned federated X.
+    let x = rand_matrix(400, 8, -1.0, 1.0, 29);
+    let y = rand_matrix(400, 1, -1.0, 1.0, 30);
+    let fx = sds.federated(&x).unwrap();
+    let plan = fx
+        .tsmm()
+        .unwrap()
+        .cbind(&fx.t_matmul(&sds.matrix(y.clone())));
+    let (result, ex) = sds.explain_analyze(&plan).unwrap();
+
+    let local = exdra::Session::local().matrix(x);
+    let want = local
+        .tsmm()
+        .unwrap()
+        .cbind(&local.t_matmul(&exdra::Session::local().matrix(y)))
+        .compute()
+        .unwrap();
+    assert!(result.max_abs_diff(&want) < 1e-10);
+
+    assert!(
+        ex.attribution() >= 0.95,
+        "explain attributed only {:.1}% of wall time",
+        ex.attribution() * 100.0
+    );
+    assert!(ex.wall_nanos > 0);
+    assert!(!ex.critical_path.is_empty(), "critical path extracted");
+    assert!(
+        !ex.per_opcode.is_empty(),
+        "instruction spans rolled up into per-opcode costs"
+    );
+    assert!(ex.dominant_opcode().is_some());
+    assert!(
+        !ex.per_worker.is_empty(),
+        "rpc spans rolled up into per-worker costs"
+    );
+    // The rendered report and persisted profile are well-formed.
+    let rendered = format!("{ex}");
+    assert!(rendered.contains("EXPLAIN ANALYZE"));
+    assert!(exdra::obs::export::Json::parse(&ex.to_json()).is_ok());
+    assert!(exdra::obs::export::Json::parse(&ex.cost_profile_json()).is_ok());
+    assert!(
+        !exdra::obs::enabled(),
+        "explain_analyze restored the tracing flag"
+    );
+}
+
+#[test]
 fn metrics_counters_match_issued_request_counts() {
     let _g = obs_test();
     let (ctx, _workers) = mem_federation(2);
