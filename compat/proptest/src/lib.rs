@@ -147,6 +147,19 @@ pub mod strategy {
     impl_tuple_strategy!(A, B, C, D);
     impl_tuple_strategy!(A, B, C, D, E);
 
+    /// Uniform choice among boxed alternatives — built by
+    /// [`crate::prop_oneof!`].
+    pub struct OneOf<T>(pub Vec<BoxedStrategy<T>>);
+
+    impl<T> Strategy for OneOf<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut StdRng) -> T {
+            assert!(!self.0.is_empty(), "prop_oneof! needs at least one arm");
+            let i = (0..self.0.len()).sample_single(rng);
+            self.0[i].generate(rng)
+        }
+    }
+
     /// Full-domain strategy returned by [`any`].
     pub struct Any<T>(std::marker::PhantomData<T>);
 
@@ -363,9 +376,22 @@ pub mod prelude {
     pub use crate::prop_assert_eq;
     pub use crate::prop_assert_ne;
     pub use crate::prop_assume;
+    pub use crate::prop_oneof;
     pub use crate::proptest;
     pub use crate::strategy::{any, Just, Strategy};
     pub use crate::test_runner::ProptestConfig;
+}
+
+/// Picks uniformly among the listed strategies (all yielding one common
+/// value type). Unlike upstream proptest, weighted arms (`N => strat`)
+/// are not supported — list an arm multiple times to bias instead.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::strategy::OneOf(vec![
+            $($crate::strategy::Strategy::boxed($strategy)),+
+        ])
+    };
 }
 
 /// Skips the current generated case when the assumption fails. The case

@@ -4,8 +4,9 @@
 //! [`Lazy::compute`], which performs a depth-first traversal "for ordering
 //! according to data dependencies" (paper §3.2), evaluates each node once
 //! (shared sub-DAGs are memoized), and consolidates the final result.
-//! [`Lazy::explain`] renders the same traversal as a numbered script — the
-//! generated-DML view of the plan.
+//! [`crate::plan::Plan::from_lazy`] lowers the same DAG into the explicit
+//! plan IR the optimizer rewrites; [`crate::Session::explain`] renders the
+//! numbered-script (generated-DML) view before and after optimization.
 
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -53,7 +54,7 @@ pub(crate) enum Node {
 }
 
 impl Node {
-    fn children(&self) -> Vec<&Arc<Node>> {
+    pub(crate) fn children(&self) -> Vec<&Arc<Node>> {
         use Node::*;
         match self {
             SourceLocal(_) | SourceFed(_) => vec![],
@@ -71,44 +72,6 @@ impl Node {
             MatMul(a, b) | TMatMul(a, b) | Binary(_, a, b) | Rbind(a, b) | Cbind(a, b) => {
                 vec![a, b]
             }
-        }
-    }
-
-    fn opcode(&self) -> String {
-        use Node::*;
-        match self {
-            SourceLocal(m) => format!("matrix({}x{})", m.rows(), m.cols()),
-            SourceFed(f) => format!(
-                "federated({}x{}, {} partitions, {})",
-                f.rows(),
-                f.cols(),
-                f.parts().len(),
-                f.privacy().name()
-            ),
-            MatMul(..) => "ba+*".into(),
-            TMatMul(..) => "t-ba+*".into(),
-            Tsmm(_) => "tsmm".into(),
-            Binary(op, ..) => op.name().into(),
-            Scalar(op, v, swap, _) => {
-                if *swap {
-                    format!("{v} {} _", op.name())
-                } else {
-                    format!("_ {} {v}", op.name())
-                }
-            }
-            Unary(op, _) => op.name().into(),
-            Softmax(_) => "softmax".into(),
-            Agg(op, dir, _) => match dir {
-                AggDir::Full => op.name().into(),
-                AggDir::Row => format!("row{}", op.name()),
-                AggDir::Col => format!("col{}", op.name()),
-            },
-            RowIndexMax(_) => "rowIndexMax".into(),
-            Transpose(_) => "t".into(),
-            Index(rl, ru, cl, cu, _) => format!("[{rl}:{ru},{cl}:{cu}]"),
-            Rbind(..) => "rbind".into(),
-            Cbind(..) => "cbind".into(),
-            Replace(p, r, _) => format!("replace({p}->{r})"),
         }
     }
 }
@@ -294,15 +257,6 @@ impl Lazy {
         self.compute()?.as_scalar().map_err(RuntimeError::Matrix)
     }
 
-    /// Renders the depth-first-generated script (the paper's "DML script"
-    /// view of the plan), one numbered assignment per DAG node.
-    pub fn explain(&self) -> String {
-        let mut lines = Vec::new();
-        let mut ids: HashMap<*const Node, usize> = HashMap::new();
-        explain_node(&self.node, &mut ids, &mut lines);
-        lines.join("\n")
-    }
-
     // --- higher-level builtins (materialize inputs, then train) ---------
 
     /// Trains linear regression on this expression with local labels.
@@ -441,32 +395,6 @@ fn lineage_of(node: &Arc<Node>, memo: &mut HashMap<*const Node, u64>) -> u64 {
     h
 }
 
-fn explain_node(
-    node: &Arc<Node>,
-    ids: &mut HashMap<*const Node, usize>,
-    lines: &mut Vec<String>,
-) -> usize {
-    let key = Arc::as_ptr(node);
-    if let Some(&id) = ids.get(&key) {
-        return id;
-    }
-    let child_ids: Vec<usize> = node
-        .children()
-        .into_iter()
-        .map(|c| explain_node(c, ids, lines))
-        .collect();
-    let id = ids.len() + 1;
-    ids.insert(key, id);
-    let refs: Vec<String> = child_ids.iter().map(|c| format!("X{c}")).collect();
-    let line = if refs.is_empty() {
-        format!("X{id} = {}", node.opcode())
-    } else {
-        format!("X{id} = {}({})", node.opcode(), refs.join(", "))
-    };
-    lines.push(line);
-    id
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -505,21 +433,6 @@ mod tests {
         let g = exdra_matrix::kernels::matmul::tsmm(&x, true).unwrap();
         let want = g.zip(&g, "+", |a, b| a + b).unwrap();
         assert!(got.max_abs_diff(&want) < 1e-12);
-    }
-
-    #[test]
-    fn explain_renders_numbered_script() {
-        let a = Lazy::from_local(rand_matrix(5, 2, 0.0, 1.0, 5));
-        let plan = a.t().matmul(&a).scalar(BinaryOp::Mul, 2.0, false);
-        let script = plan.explain();
-        let lines: Vec<&str> = script.lines().collect();
-        assert_eq!(lines.len(), 4, "{script}");
-        assert!(lines[0].starts_with("X1 = matrix(5x2)"));
-        assert!(lines[1].contains("t(X1)"));
-        assert!(lines[2].contains("ba+*(X2, X1)"));
-        assert!(lines[3].contains("_ * 2"));
-        // Shared source appears once.
-        assert_eq!(script.matches("matrix(5x2)").count(), 1);
     }
 
     #[test]

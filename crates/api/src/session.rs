@@ -45,6 +45,8 @@ use exdra_matrix::{DenseMatrix, Frame};
 use exdra_obs::{Explain, NetTotals, RunReport};
 
 use crate::dag::Lazy;
+use crate::optimizer::Optimizer;
+use crate::plan::Plan;
 
 /// How many times [`Session::compute`] re-attempts a plan after a worker
 /// death while background recovery brings the worker back.
@@ -80,6 +82,7 @@ pub struct SessionBuilder {
     supervision: Option<SupervisionPolicy>,
     threads: Option<usize>,
     rpc_window: Option<usize>,
+    optimizer: Option<Optimizer>,
 }
 
 impl Default for SessionBuilder {
@@ -95,6 +98,7 @@ impl Default for SessionBuilder {
             supervision: Some(SupervisionPolicy::default()),
             threads: None,
             rpc_window: None,
+            optimizer: None,
         }
     }
 }
@@ -232,6 +236,19 @@ impl SessionBuilder {
         self
     }
 
+    /// Replaces the session's plan [`Optimizer`]. The default is
+    /// [`Optimizer::new`] — the full `cse`/`fuse-ops`/`fold-ew`/
+    /// `placement` pipeline with the profile-guided cost model. Pass
+    /// [`Optimizer::disabled`] to execute plans exactly as written (the
+    /// A/B baseline for benches), or an optimizer extended with custom
+    /// [`crate::OptimizerRule`]s via [`Optimizer::with_rule`]. Every
+    /// built-in rewrite preserves bitwise-identical results at every
+    /// thread count and RPC window.
+    pub fn optimizer(mut self, optimizer: Optimizer) -> Self {
+        self.optimizer = Some(optimizer);
+        self
+    }
+
     /// Builds the session, connecting to workers if needed and starting
     /// the background supervisor for connected sessions (unless
     /// [`SessionBuilder::no_supervision`] was called).
@@ -323,6 +340,7 @@ impl SessionBuilder {
             tenant,
             attached,
             slow_query: self.slow_query,
+            optimizer: Arc::new(self.optimizer.unwrap_or_default()),
         })
     }
 }
@@ -341,6 +359,8 @@ pub struct Session {
     /// Wall-time threshold above which a compute files a `slow_query`
     /// incident with the flight recorder.
     slow_query: Option<Duration>,
+    /// The logical-plan optimizer every compute routes through.
+    optimizer: Arc<Optimizer>,
 }
 
 impl Session {
@@ -360,6 +380,7 @@ impl Session {
             tenant: None,
             attached: None,
             slow_query: None,
+            optimizer: Arc::new(Optimizer::new()),
         }
     }
 
@@ -381,45 +402,6 @@ impl Session {
     /// `Session::builder().tenant(tenant).build()`.
     pub fn from_tenant(tenant: Arc<Tenant>) -> Result<Self> {
         Session::builder().tenant(tenant).build()
-    }
-
-    /// Session over an existing context (in-process federations, custom
-    /// transports).
-    #[deprecated(since = "0.1.0", note = "use Session::builder().context(ctx).build()")]
-    pub fn with_context(ctx: Arc<FedContext>) -> Self {
-        // Legacy path: no background supervisor, matching the behavior
-        // this constructor had before the builder existed.
-        Session::builder()
-            .context(ctx)
-            .no_supervision()
-            .build()
-            .expect("building from an existing context cannot fail")
-    }
-
-    /// Sets the privacy constraint attached to federated data created by
-    /// this session.
-    #[deprecated(since = "0.1.0", note = "use Session::builder().privacy(..)")]
-    pub fn with_privacy(mut self, privacy: PrivacyLevel) -> Self {
-        self.privacy = privacy;
-        self
-    }
-
-    /// Turns on the global tracing/metrics layer for the process.
-    #[deprecated(since = "0.1.0", note = "use Session::builder().tracing(true)")]
-    pub fn with_tracing(self) -> Self {
-        exdra_obs::set_enabled(true);
-        self
-    }
-
-    /// Attaches a coordinator-side plan cache with the given byte budget.
-    #[deprecated(since = "0.1.0", note = "use Session::builder().plan_cache_bytes(..)")]
-    pub fn with_plan_cache(mut self, byte_budget: usize) -> Self {
-        self.plan_cache = Some(Arc::new(LineageCache::new_scoped(
-            byte_budget,
-            true,
-            CacheScope::Coordinator,
-        )));
-        self
     }
 
     /// The coordinator-side plan cache, if one was attached.
@@ -521,6 +503,15 @@ impl Session {
         self.compute_once_inner(plan)
     }
 
+    /// Lowers the DAG into the plan IR, runs the optimizer pipeline, and
+    /// executes the optimized plan — the single execution path under
+    /// every [`Session::compute`] variant. ([`Lazy::compute`] remains the
+    /// raw unoptimized path for A/B comparisons.)
+    fn execute_plan(&self, plan: &Lazy) -> Result<DenseMatrix> {
+        let (optimized, _fires) = self.optimizer.optimize(&Plan::from_lazy(plan));
+        optimized.compute()
+    }
+
     fn compute_once_inner(&self, plan: &Lazy) -> Result<DenseMatrix> {
         // Attached sessions probe the server's shared cache over the
         // attach socket; a lost connection degrades to plain compute.
@@ -529,7 +520,7 @@ impl Session {
             if let Some(hit) = client.cache_probe(key).ok().flatten() {
                 return Ok(hit.value.as_matrix()?.to_dense());
             }
-            let result = plan.compute()?;
+            let result = self.execute_plan(plan)?;
             let _ = client.cache_put(
                 key,
                 &CachedEntry {
@@ -541,7 +532,7 @@ impl Session {
             return Ok(result);
         }
         let Some(cache) = &self.plan_cache else {
-            return plan.compute();
+            return self.execute_plan(plan);
         };
         let key = plan.lineage_hash();
         if let Some(hit) = cache.probe(key) {
@@ -553,7 +544,7 @@ impl Session {
         if let Some(t) = &self.tenant {
             t.stats().record_probe(false);
         }
-        let result = plan.compute()?;
+        let result = self.execute_plan(plan)?;
         cache.insert(
             key,
             CachedEntry {
@@ -565,21 +556,41 @@ impl Session {
         Ok(result)
     }
 
-    /// `EXPLAIN ANALYZE` for a plan: computes it like
-    /// [`Session::compute`] while tracing the run under a
-    /// `session.explain` root span, then attributes the wall time across
-    /// compute, network, serialization, queueing, and recovery, extracts
-    /// the critical path, and rolls up per-opcode and per-worker costs.
+    /// `EXPLAIN` for a plan: lowers the DAG into the logical plan IR,
+    /// runs the session's [`Optimizer`] pipeline, and returns the
+    /// [`Explain`] report — the logical and optimized scripts, the
+    /// per-rule rewrite counts, and the cost model's estimate for both.
+    /// Nothing executes; print the report with `{}`.
+    pub fn explain(&self, plan: &Lazy) -> Explain {
+        let logical = Plan::from_lazy(plan);
+        let (optimized, rules) = self.optimizer.optimize(&logical);
+        let cost = self.optimizer.cost_model();
+        Explain {
+            estimated_logical: logical.estimate(cost),
+            estimated_optimized: optimized.estimate(cost),
+            logical: logical.render(),
+            optimized: optimized.render(),
+            rules,
+            analyzed: None,
+        }
+    }
+
+    /// `EXPLAIN ANALYZE` for a plan: [`Session::explain`] plus a run.
+    /// Computes the plan like [`Session::compute`] while tracing it
+    /// under a `session.explain` root span, then attributes the wall
+    /// time across compute, network, serialization, queueing, and
+    /// recovery, extracts the critical path, and rolls up per-opcode and
+    /// per-worker costs into the report's `analyzed` section — so the
+    /// one `Display` shows estimated and actual side by side.
     ///
     /// Tracing is force-enabled for the duration of the call and
     /// restored afterwards, so this works on sessions built without
     /// [`SessionBuilder::tracing`]. The per-opcode/per-worker cost
-    /// profile is also persisted to `results/cost_profile.json`
+    /// profile is also persisted to `results/cost_profile.json` — the
+    /// profile-guided input [`crate::ProfileCostModel`] draws on
     /// (best-effort; failures to write are ignored).
-    ///
-    /// Returns the computed result alongside the [`Explain`] report —
-    /// print the report with `{}` for the classic indented plan view.
     pub fn explain_analyze(&self, plan: &Lazy) -> Result<(DenseMatrix, Explain)> {
+        let mut explain = self.explain(plan);
         let was_on = exdra_obs::enabled();
         exdra_obs::set_enabled(true);
         let (result, root_id) = {
@@ -592,11 +603,12 @@ impl Session {
             exdra_obs::set_enabled(false);
         }
         let result = result?;
-        let explain = exdra_obs::analyze(&spans, root_id).ok_or_else(|| {
+        let analysis = exdra_obs::analyze(&spans, root_id).ok_or_else(|| {
             FedError::Invalid("explain_analyze: no trace recorded for this run".into())
         })?;
         let _ = std::fs::create_dir_all("results");
-        let _ = std::fs::write("results/cost_profile.json", explain.cost_profile_json());
+        let _ = std::fs::write("results/cost_profile.json", analysis.cost_profile_json());
+        explain.analyzed = Some(analysis);
         Ok((result, explain))
     }
 
@@ -974,13 +986,53 @@ mod tests {
             .compute()
             .unwrap();
         assert!(result.max_abs_diff(&expected) < 1e-10);
+        assert!(!ex.logical.is_empty() && !ex.optimized.is_empty());
+        let analysis = ex.analysis().expect("analyzed section filled");
         assert!(
-            ex.attribution() >= 0.95,
+            analysis.attribution() >= 0.95,
             "explain attributed only {:.1}% of wall time",
-            ex.attribution() * 100.0
+            analysis.attribution() * 100.0
         );
-        assert!(!ex.critical_path.is_empty());
+        assert!(!analysis.critical_path.is_empty());
         assert!(ex.to_json().contains("wall_nanos"));
+        let text = format!("{ex}");
+        assert!(text.contains("EXPLAIN") && text.contains("EXPLAIN ANALYZE"));
+    }
+
+    #[test]
+    fn explain_reports_plans_without_executing() {
+        let sds = Session::local();
+        let m = rand_matrix(20, 3, -1.0, 1.0, 41);
+        let lx = sds.matrix(m);
+        let ex = sds.explain(&lx.t().matmul(&lx));
+        assert!(ex.logical.contains("ba+*"), "{}", ex.logical);
+        assert!(ex.optimized.contains("tsmm"), "{}", ex.optimized);
+        assert!(ex.analysis().is_none(), "explain alone does not execute");
+    }
+
+    #[test]
+    fn disabled_optimizer_session_executes_plans_verbatim() {
+        let (ctx, _workers) = mem_federation(2);
+        let sds = Session::builder()
+            .context(Arc::clone(&ctx))
+            .no_supervision()
+            .optimizer(crate::Optimizer::disabled())
+            .build()
+            .unwrap();
+        let reference = Session::builder()
+            .context(ctx)
+            .no_supervision()
+            .build()
+            .unwrap();
+        let m = rand_matrix(40, 4, -1.0, 1.0, 42);
+        let plan = sds.federated(&m).unwrap().tsmm().unwrap();
+        let plan_opt = reference.federated(&m).unwrap().tsmm().unwrap();
+        let a = sds.compute(&plan).unwrap();
+        let b = reference.compute(&plan_opt).unwrap();
+        assert_eq!(a.values(), b.values(), "optimizer on/off bitwise identical");
+        let ex = sds.explain(&plan);
+        assert_eq!(ex.logical, ex.optimized);
+        assert!(ex.rules.is_empty());
     }
 
     #[test]
@@ -1061,19 +1113,5 @@ mod tests {
         drop(sds);
         server.stop();
         service.stop();
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_constructors_still_work() {
-        let (ctx, _workers) = mem_federation(2);
-        let sds = Session::with_context(ctx).with_privacy(PrivacyLevel::Private);
-        assert!(
-            sds.supervisor().is_none(),
-            "legacy path starts no supervisor"
-        );
-        let m = rand_matrix(10, 2, 0.0, 1.0, 13);
-        let fed = sds.federated(&m).unwrap();
-        assert!(matches!(fed.compute(), Err(FedError::Privacy(_))));
     }
 }

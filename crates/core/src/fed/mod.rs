@@ -12,6 +12,8 @@
 
 pub mod incremental;
 pub mod ops;
+
+pub use ops::ElemStep;
 pub mod prep;
 
 use std::sync::Arc;

@@ -23,6 +23,30 @@ use crate::value::DataValue;
 
 use super::{FedMatrix, FedPartition, PartitionScheme};
 
+/// One step of a fused element-wise chain: a matrix-scalar op, a unary
+/// map, or a value replacement. See [`FedMatrix::elementwise_chain`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ElemStep {
+    /// `x op value` (`swap` computes `value op x`).
+    Scalar {
+        /// Binary operator.
+        op: BinaryOp,
+        /// Literal scalar operand.
+        value: f64,
+        /// Scalar on the left.
+        swap: bool,
+    },
+    /// Element-wise unary map.
+    Unary(UnaryOp),
+    /// Value replacement (pattern may be NaN).
+    Replace {
+        /// Value to replace.
+        pattern: f64,
+        /// Replacement value.
+        replacement: f64,
+    },
+}
+
 impl FedMatrix {
     // --- broadcast helpers -------------------------------------------------
 
@@ -444,6 +468,138 @@ impl FedMatrix {
             };
             i += 1;
             vec![Request::ExecInst { inst }]
+        })?;
+        self.sibling(self.rows(), self.cols(), parts, self.privacy())
+    }
+
+    /// Executes a fused chain of element-wise steps in **one** request
+    /// round per partition instead of one round per step — the wire-level
+    /// payoff of scalar-chain folding in the plan optimizer.
+    ///
+    /// Each partition receives exactly the instruction sequence the
+    /// unfused per-step path would have issued (including the federated
+    /// rewrites for swapped non-commutative scalars: `s - X = -(X - s)`,
+    /// `s / X = s * X^-1`), so results are bitwise identical to applying
+    /// the steps one [`FedMatrix::scalar_op`]/[`FedMatrix::unary`]/
+    /// [`FedMatrix::replace`] call at a time.
+    pub fn elementwise_chain(&self, steps: &[ElemStep]) -> Result<FedMatrix> {
+        if steps.is_empty() {
+            return Err(RuntimeError::Invalid(
+                "elementwise_chain: empty step list".into(),
+            ));
+        }
+        // Validate up front (the per-partition closure is infallible),
+        // mirroring the unfused `Tensor::scalar_op` federated rewrite.
+        for s in steps {
+            if let ElemStep::Scalar { op, swap: true, .. } = s {
+                if !op.is_commutative() && !matches!(op, BinaryOp::Sub | BinaryOp::Div) {
+                    return Err(RuntimeError::Unsupported(format!(
+                        "swapped scalar {} on federated data",
+                        op.name()
+                    )));
+                }
+            }
+        }
+        let (parts, _) = self.fresh_like(self.rows(), self.cols());
+        let mut i = 0usize;
+        self.per_part(|p| {
+            let out = parts[i].id;
+            i += 1;
+            let mut insts: Vec<Instruction> = Vec::with_capacity(steps.len() + 1);
+            let mut temps: Vec<u64> = Vec::new();
+            let mut cur = p.id;
+            let last = steps.len() - 1;
+            for (k, step) in steps.iter().enumerate() {
+                let step_out = if k == last {
+                    out
+                } else {
+                    let t = self.ctx().fresh_id();
+                    temps.push(t);
+                    t
+                };
+                match *step {
+                    ElemStep::Scalar { op, value, swap } => {
+                        let swap_rewrite = swap && matches!(op, BinaryOp::Sub | BinaryOp::Div);
+                        if swap_rewrite {
+                            let t = self.ctx().fresh_id();
+                            temps.push(t);
+                            match op {
+                                BinaryOp::Sub => {
+                                    // s - X = -(X - s): two non-swapped scalars.
+                                    insts.push(Instruction::Scalar {
+                                        x: cur,
+                                        op: BinaryOp::Sub,
+                                        value,
+                                        swap: false,
+                                        out: t,
+                                    });
+                                    insts.push(Instruction::Scalar {
+                                        x: t,
+                                        op: BinaryOp::Mul,
+                                        value: -1.0,
+                                        swap: false,
+                                        out: step_out,
+                                    });
+                                }
+                                _ => {
+                                    // s / X = s * X^-1.
+                                    insts.push(Instruction::Scalar {
+                                        x: cur,
+                                        op: BinaryOp::Pow,
+                                        value: -1.0,
+                                        swap: false,
+                                        out: t,
+                                    });
+                                    insts.push(Instruction::Scalar {
+                                        x: t,
+                                        op: BinaryOp::Mul,
+                                        value,
+                                        swap: false,
+                                        out: step_out,
+                                    });
+                                }
+                            }
+                        } else {
+                            // Commutative swaps execute non-swapped, exactly
+                            // like the unfused path: `Tensor::scalar_op`
+                            // rewrites them to `swap: false` before they
+                            // reach a federated partition.
+                            insts.push(Instruction::Scalar {
+                                x: cur,
+                                op,
+                                value,
+                                swap: false,
+                                out: step_out,
+                            });
+                        }
+                    }
+                    ElemStep::Unary(op) => insts.push(Instruction::Unary {
+                        x: cur,
+                        op,
+                        out: step_out,
+                    }),
+                    ElemStep::Replace {
+                        pattern,
+                        replacement,
+                    } => insts.push(Instruction::Replace {
+                        x: cur,
+                        pattern,
+                        replacement,
+                        out: step_out,
+                    }),
+                }
+                cur = step_out;
+            }
+            let mut reqs: Vec<Request> = insts
+                .into_iter()
+                .map(|inst| Request::ExecInst { inst })
+                .collect();
+            if !temps.is_empty() {
+                reqs.push(Request::ExecInst {
+                    inst: Instruction::Rmvar { ids: temps.clone() },
+                });
+            }
+            reqs
         })?;
         self.sibling(self.rows(), self.cols(), parts, self.privacy())
     }

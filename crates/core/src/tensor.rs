@@ -196,6 +196,40 @@ impl Tensor {
         }
     }
 
+    /// Applies a fused chain of element-wise steps. Local inputs run the
+    /// per-step kernels sequentially (identical to applying each step
+    /// through [`Tensor::scalar_op`]/[`Tensor::unary`]/[`Tensor::replace`]);
+    /// federated inputs execute the whole chain in **one** request round
+    /// per partition via [`FedMatrix::elementwise_chain`], with bitwise
+    /// identical results either way.
+    pub fn elementwise_chain(&self, steps: &[crate::fed::ElemStep]) -> Result<Tensor> {
+        use crate::fed::ElemStep;
+        if steps.is_empty() {
+            return Err(RuntimeError::Invalid(
+                "elementwise_chain: empty step list".into(),
+            ));
+        }
+        match self {
+            Tensor::Local(m) => {
+                let mut cur = m.clone();
+                for step in steps {
+                    cur = match *step {
+                        ElemStep::Scalar { op, value, swap } => {
+                            elementwise::scalar(&cur, op, value, swap)
+                        }
+                        ElemStep::Unary(op) => elementwise::unary(&cur, op),
+                        ElemStep::Replace {
+                            pattern,
+                            replacement,
+                        } => reorg::replace(&cur, pattern, replacement),
+                    };
+                }
+                Ok(Tensor::Local(cur))
+            }
+            Tensor::Fed(f) => Ok(Tensor::Fed(f.elementwise_chain(steps)?)),
+        }
+    }
+
     /// Element-wise binary op with SystemDS broadcasting semantics.
     pub fn binary(&self, op: BinaryOp, rhs: &Tensor) -> Result<Tensor> {
         match (self, rhs) {

@@ -68,9 +68,10 @@ pub struct WorkerCost {
     pub net_nanos: u64,
 }
 
-/// The result of analyzing one computation's span forest.
+/// The ANALYZE half of an explain report: the result of analyzing
+/// one computation's span forest.
 #[derive(Debug, Clone, Default)]
-pub struct Explain {
+pub struct Analysis {
     /// Root span wall time.
     pub wall_nanos: u64,
     /// Part of the root interval covered by its direct children.
@@ -95,7 +96,7 @@ pub struct Explain {
     pub span_count: usize,
 }
 
-impl Explain {
+impl Analysis {
     /// Fraction of root wall time covered by direct-child spans, in
     /// `[0, 1]`. The EXPLAIN ANALYZE quality bar is ≥ 0.95.
     pub fn attribution(&self) -> f64 {
@@ -225,7 +226,7 @@ fn pct(part: u64, whole: u64) -> f64 {
     }
 }
 
-impl std::fmt::Display for Explain {
+impl std::fmt::Display for Analysis {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         writeln!(
             f,
@@ -322,7 +323,7 @@ fn covered_nanos(root: &SpanRecord, children: &[&SpanRecord]) -> u64 {
 /// Analyzes the spans of one computation. `spans` is a snapshot of the
 /// collector (other traces are ignored); `root_span_id` identifies the
 /// root session span. Returns `None` when the root is missing.
-pub fn analyze(spans: &[SpanRecord], root_span_id: u64) -> Option<Explain> {
+pub fn analyze(spans: &[SpanRecord], root_span_id: u64) -> Option<Analysis> {
     let root = spans.iter().find(|s| s.span_id == root_span_id)?;
     let trace_id = root.trace_id;
     // Children index over this trace only.
@@ -331,9 +332,9 @@ pub fn analyze(spans: &[SpanRecord], root_span_id: u64) -> Option<Explain> {
         children.entry(s.parent_id).or_default().push(s);
     }
 
-    let mut ex = Explain {
+    let mut ex = Analysis {
         wall_nanos: root.duration_nanos,
-        ..Explain::default()
+        ..Analysis::default()
     };
 
     // Walk the subtree under the root.

@@ -1,0 +1,233 @@
+//! The unified EXPLAIN surface.
+//!
+//! [`Explain`] is what `Session::explain` returns: the logical plan
+//! script as lowered from the lazy DAG, the optimized script after the
+//! rule pipeline ran (with the per-rule hit counts), and the cost
+//! model's [`PlanEstimate`] for both. After `explain_analyze` executes
+//! the plan, the report additionally carries the measured
+//! [`Analysis`] — one `Display` renders
+//! whichever sections are present, so EXPLAIN and EXPLAIN ANALYZE are
+//! one API rather than two.
+
+use std::fmt::Write as _;
+
+use crate::analyze::Analysis;
+use crate::export::{json_escape_into, json_f64};
+
+/// Estimated execution cost of one plan under a cost model.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct PlanEstimate {
+    /// Bytes crossing the coordinator/site boundary (both directions).
+    pub bytes_moved: u64,
+    /// Coordinator-to-site request rounds (batched RPCs count once).
+    pub round_trips: u64,
+    /// Estimated kernel time, site-parallelism already divided out.
+    pub compute_nanos: f64,
+    /// Estimated end-to-end time: compute + transfer + round-trip latency.
+    pub total_nanos: f64,
+}
+
+impl PlanEstimate {
+    /// Renders the estimate as a JSON object.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"bytes_moved\":{},\"round_trips\":{},\"compute_nanos\":{},\"total_nanos\":{}}}",
+            self.bytes_moved,
+            self.round_trips,
+            json_f64(self.compute_nanos),
+            json_f64(self.total_nanos)
+        )
+    }
+}
+
+impl std::fmt::Display for PlanEstimate {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} B moved, {} round trips, ~{:.2} ms total",
+            self.bytes_moved,
+            self.round_trips,
+            self.total_nanos / 1e6
+        )
+    }
+}
+
+/// One optimizer rule's outcome over a plan: how many rewrites it made.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RuleFire {
+    /// Rule name (`cse`, `fuse-ops`, ...).
+    pub rule: String,
+    /// Number of rewrites the rule performed (0 = did not fire).
+    pub hits: u64,
+}
+
+/// An explain report: logical vs optimized plan, estimated costs, and —
+/// after execution — the measured [`Analysis`]. See the module docs.
+#[derive(Debug, Clone, Default)]
+pub struct Explain {
+    /// The logical plan script as lowered from the lazy DAG.
+    pub logical: String,
+    /// The script after the optimizer rule pipeline.
+    pub optimized: String,
+    /// Per-rule rewrite counts, pipeline order.
+    pub rules: Vec<RuleFire>,
+    /// Cost estimate of the logical plan.
+    pub estimated_logical: PlanEstimate,
+    /// Cost estimate of the optimized plan.
+    pub estimated_optimized: PlanEstimate,
+    /// Measured breakdown, present after `explain_analyze` ran the plan.
+    pub analyzed: Option<Analysis>,
+}
+
+impl Explain {
+    /// The measured ANALYZE section, when the plan has been executed.
+    pub fn analysis(&self) -> Option<&Analysis> {
+        self.analyzed.as_ref()
+    }
+
+    /// Renders the full report as a JSON object (`analyzed` is `null`
+    /// until the plan has been executed).
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(2048);
+        out.push_str("{\"logical\":");
+        json_escape_into(&mut out, &self.logical);
+        out.push_str(",\"optimized\":");
+        json_escape_into(&mut out, &self.optimized);
+        out.push_str(",\"rules\":[");
+        for (i, r) in self.rules.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("{\"rule\":");
+            json_escape_into(&mut out, &r.rule);
+            let _ = write!(out, ",\"hits\":{}}}", r.hits);
+        }
+        out.push_str("],\"estimated_logical\":");
+        out.push_str(&self.estimated_logical.to_json());
+        out.push_str(",\"estimated_optimized\":");
+        out.push_str(&self.estimated_optimized.to_json());
+        out.push_str(",\"analyzed\":");
+        match &self.analyzed {
+            Some(a) => out.push_str(&a.to_json()),
+            None => out.push_str("null"),
+        }
+        out.push('}');
+        out
+    }
+}
+
+impl std::fmt::Display for Explain {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "EXPLAIN")?;
+        writeln!(f, "logical plan:")?;
+        for line in self.logical.lines() {
+            writeln!(f, "  {line}")?;
+        }
+        let fired: Vec<String> = self
+            .rules
+            .iter()
+            .filter(|r| r.hits > 0)
+            .map(|r| format!("{} x{}", r.rule, r.hits))
+            .collect();
+        if fired.is_empty() {
+            writeln!(f, "optimized plan (no rules fired):")?;
+        } else {
+            writeln!(f, "optimized plan ({}):", fired.join(", "))?;
+        }
+        for line in self.optimized.lines() {
+            writeln!(f, "  {line}")?;
+        }
+        writeln!(
+            f,
+            "estimated: {} -> {}",
+            self.estimated_logical, self.estimated_optimized
+        )?;
+        if let Some(a) = &self.analyzed {
+            write!(f, "{a}")?;
+            writeln!(
+                f,
+                "estimated {:.2} ms total vs actual {:.2} ms wall",
+                self.estimated_optimized.total_nanos / 1e6,
+                a.wall_nanos as f64 / 1e6
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::export::Json;
+
+    fn sample() -> Explain {
+        Explain {
+            logical: "X1 = matrix(2x2)\nX2 = tsmm(X1)".into(),
+            optimized: "X1 = matrix(2x2)\nX2 = tsmm(X1)".into(),
+            rules: vec![
+                RuleFire {
+                    rule: "cse".into(),
+                    hits: 2,
+                },
+                RuleFire {
+                    rule: "fuse-ops".into(),
+                    hits: 0,
+                },
+            ],
+            estimated_logical: PlanEstimate {
+                bytes_moved: 1024,
+                round_trips: 4,
+                compute_nanos: 1e6,
+                total_nanos: 5e6,
+            },
+            estimated_optimized: PlanEstimate {
+                bytes_moved: 512,
+                round_trips: 2,
+                compute_nanos: 1e6,
+                total_nanos: 3e6,
+            },
+            analyzed: None,
+        }
+    }
+
+    #[test]
+    fn display_shows_plans_rules_and_estimates() {
+        let text = format!("{}", sample());
+        assert!(text.starts_with("EXPLAIN\n"));
+        assert!(text.contains("logical plan:"));
+        assert!(text.contains("cse x2"));
+        assert!(!text.contains("fuse-ops x0"), "silent rules are omitted");
+        assert!(text.contains("1024 B moved, 4 round trips"));
+        assert!(!text.contains("EXPLAIN ANALYZE"), "no analysis section yet");
+    }
+
+    #[test]
+    fn display_appends_analysis_when_present() {
+        let mut ex = sample();
+        ex.analyzed = Some(Analysis {
+            wall_nanos: 7_000_000,
+            ..Analysis::default()
+        });
+        let text = format!("{ex}");
+        assert!(text.contains("EXPLAIN ANALYZE"));
+        assert!(text.contains("estimated 3.00 ms total vs actual 7.00 ms wall"));
+    }
+
+    #[test]
+    fn json_round_trips() {
+        let ex = sample();
+        let doc = Json::parse(&ex.to_json()).expect("parses");
+        assert!(doc
+            .get("logical")
+            .and_then(Json::as_str)
+            .unwrap()
+            .contains("tsmm"));
+        assert_eq!(
+            doc.get("estimated_optimized")
+                .and_then(|e| e.get("bytes_moved"))
+                .and_then(Json::as_f64),
+            Some(512.0)
+        );
+        assert!(doc.get("analyzed").is_some());
+    }
+}

@@ -21,7 +21,12 @@
 //!   fires (worker death, session rejection, deadline miss, ...).
 //! * **EXPLAIN ANALYZE** ([`analyze()`]): critical-path analysis over one
 //!   computation's span forest — wall-time breakdown, dominant
-//!   worker/opcode, and per-opcode/per-worker cost profiles.
+//!   worker/opcode, and per-opcode/per-worker cost profiles — yielding
+//!   an [`Analysis`].
+//! * **EXPLAIN reports** ([`explain`]): the unified [`Explain`] document
+//!   the API layer fills with logical/optimized plan scripts, cost
+//!   estimates ([`PlanEstimate`]), optimizer rule hits ([`RuleFire`]),
+//!   and — once the plan ran — the measured [`Analysis`].
 //!
 //! [`report::RunReport`] assembles both into a human-readable per-run
 //! breakdown (compute/network/serde split per worker, top-N slowest
@@ -32,13 +37,15 @@
 //! them over the wire without this crate knowing about the protocol.
 
 pub mod analyze;
+pub mod explain;
 pub mod export;
 pub mod metrics;
 pub mod recorder;
 pub mod report;
 pub mod trace;
 
-pub use analyze::{analyze, CriticalStep, Explain, OpcodeCost, WorkerCost};
+pub use analyze::{analyze, Analysis, CriticalStep, OpcodeCost, WorkerCost};
+pub use explain::{Explain, PlanEstimate, RuleFire};
 pub use metrics::{global, Counter, Histogram, HistogramSummary, MetricsSnapshot, Registry};
 pub use report::{
     InstrProfile, NetTotals, PipelineSummary, RecoverySummary, RunReport, WorkerBreakdown,

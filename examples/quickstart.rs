@@ -25,10 +25,11 @@ fn main() -> exdra::core::Result<()> {
     let (x, y) = synth::two_class(3000, 20, 0.05, 42);
     let features = sds.federated(&x)?;
 
-    // 3. Inspect the lazily-built plan for a normalization expression.
+    // 3. Inspect the lazily-built plan for a normalization expression:
+    //    logical and optimized scripts plus the cost model's estimate.
     let normalized = features.sub(&features.col_means()?)?;
-    println!("\ngenerated script for the normalization plan:");
-    println!("{}\n", normalized.explain());
+    println!("\nEXPLAIN for the normalization plan:");
+    println!("{}\n", sds.explain(&normalized));
 
     // 4. Train an L2SVM directly on the federated data. Only gradient-
     //    sized vectors cross the network.

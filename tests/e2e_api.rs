@@ -65,13 +65,23 @@ fn explain_shows_federated_plan_once_per_source() {
     let fed = sds.federated(&x).unwrap();
     // Normalization plan reusing the source twice.
     let plan = fed.sub(&fed.col_means().unwrap()).unwrap();
-    let script = plan.explain();
+    let explain = sds.explain(&plan);
+    let script = &explain.logical;
     assert_eq!(
         script.matches("federated(60x4, 3 partitions").count(),
         1,
         "shared source must appear once:\n{script}"
     );
     assert!(script.contains("colmean"));
+    assert_eq!(
+        explain
+            .optimized
+            .matches("federated(60x4, 3 partitions")
+            .count(),
+        1,
+        "optimization keeps the source shared:\n{}",
+        explain.optimized
+    );
     // The plan computes correctly too.
     let got = plan.compute().unwrap();
     let mu = exdra::matrix::kernels::aggregates::aggregate(

@@ -229,27 +229,31 @@ fn explain_analyze_attributes_lm_wall_time() {
         .unwrap();
     assert!(result.max_abs_diff(&want) < 1e-10);
 
+    // The unified report carries the plan sections and the analysis.
+    assert!(ex.logical.contains("tsmm"), "{}", ex.logical);
+    let an = ex.analysis().expect("analyzed section present after run");
     assert!(
-        ex.attribution() >= 0.95,
+        an.attribution() >= 0.95,
         "explain attributed only {:.1}% of wall time",
-        ex.attribution() * 100.0
+        an.attribution() * 100.0
     );
-    assert!(ex.wall_nanos > 0);
-    assert!(!ex.critical_path.is_empty(), "critical path extracted");
+    assert!(an.wall_nanos > 0);
+    assert!(!an.critical_path.is_empty(), "critical path extracted");
     assert!(
-        !ex.per_opcode.is_empty(),
+        !an.per_opcode.is_empty(),
         "instruction spans rolled up into per-opcode costs"
     );
-    assert!(ex.dominant_opcode().is_some());
+    assert!(an.dominant_opcode().is_some());
     assert!(
-        !ex.per_worker.is_empty(),
+        !an.per_worker.is_empty(),
         "rpc spans rolled up into per-worker costs"
     );
     // The rendered report and persisted profile are well-formed.
     let rendered = format!("{ex}");
-    assert!(rendered.contains("EXPLAIN ANALYZE"));
+    assert!(rendered.contains("EXPLAIN"), "{rendered}");
+    assert!(rendered.contains("EXPLAIN ANALYZE"), "{rendered}");
     assert!(exdra::obs::export::Json::parse(&ex.to_json()).is_ok());
-    assert!(exdra::obs::export::Json::parse(&ex.cost_profile_json()).is_ok());
+    assert!(exdra::obs::export::Json::parse(&an.cost_profile_json()).is_ok());
     assert!(
         !exdra::obs::enabled(),
         "explain_analyze restored the tracing flag"
