@@ -20,6 +20,15 @@ pub trait Buf {
     /// Advances the buffer by `cnt` bytes, discarding them.
     fn advance(&mut self, cnt: usize);
 
+    /// Returns the contiguous run of bytes at the front of the buffer
+    /// without consuming it — possibly shorter than [`Buf::remaining`]
+    /// (and empty by default). Zero-copy fast paths peek at this and
+    /// must fall back to [`Buf::copy_to_slice`] when it is too short,
+    /// matching upstream `bytes` semantics.
+    fn chunk(&self) -> &[u8] {
+        &[]
+    }
+
     /// True when at least one byte remains.
     fn has_remaining(&self) -> bool {
         self.remaining() > 0
@@ -81,6 +90,10 @@ impl Buf for &[u8] {
     fn advance(&mut self, cnt: usize) {
         assert!(cnt <= self.len(), "advance past end of buffer");
         *self = &self[cnt..];
+    }
+
+    fn chunk(&self) -> &[u8] {
+        self
     }
 }
 
@@ -152,6 +165,15 @@ mod tests {
         let mut buf: &[u8] = &[1, 2, 3, 4];
         buf.advance(2);
         assert_eq!(buf.get_u8(), 3);
+    }
+
+    #[test]
+    fn chunk_peeks_without_consuming() {
+        let mut buf: &[u8] = &[1, 2, 3];
+        assert_eq!(buf.chunk(), &[1, 2, 3]);
+        assert_eq!(buf.remaining(), 3, "chunk must not consume");
+        buf.advance(1);
+        assert_eq!(buf.chunk(), &[2, 3]);
     }
 
     #[test]

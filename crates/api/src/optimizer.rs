@@ -87,6 +87,17 @@ impl CostModel for ProfileCostModel {
                 return h.sum as f64 / h.count as f64;
             }
         }
+        // Compressed-domain opcodes ("c.<op>", from workers executing on
+        // column groups) fall back to the dense profile of the same op
+        // before the work-proportional guess — the dense mean is a sound
+        // upper bound since the compressed kernel touches fewer bytes.
+        if let Some(dense_op) = opcode.strip_prefix("c.") {
+            if let Some(h) = snap.histograms.get(&format!("inst.{dense_op}")) {
+                if h.count > 0 {
+                    return h.sum as f64 / h.count as f64;
+                }
+            }
+        }
         work as f64 * self.nanos_per_op
     }
 
@@ -583,6 +594,23 @@ mod tests {
 
     fn hits(fires: &[RuleFire], rule: &str) -> u64 {
         fires.iter().find(|f| f.rule == rule).map_or(0, |f| f.hits)
+    }
+
+    #[test]
+    fn compressed_opcodes_price_from_dense_profile() {
+        let g = exdra_obs::global();
+        g.record("inst.zzz_probe_op", 5_000);
+        g.record("inst.zzz_probe_op", 7_000);
+        let m = ProfileCostModel::default();
+        // "c.<op>" has no histogram of its own yet: the dense profile of
+        // the same opcode is used before the work-proportional guess.
+        assert_eq!(m.op_nanos("c.zzz_probe_op", 1, 1), 6_000.0);
+        // Once compressed samples exist they take precedence.
+        g.record("inst.c.zzz_probe_op", 1_000);
+        assert_eq!(m.op_nanos("c.zzz_probe_op", 1, 1), 1_000.0);
+        // Never-seen compressed opcode falls back to work scaling.
+        let unseen = m.op_nanos("c.zzz_never_seen", 1, 100);
+        assert_eq!(unseen, 100.0 * m.nanos_per_op);
     }
 
     #[test]

@@ -66,7 +66,7 @@ fn run_fed_pipeline(
     let x = preprocess(Tensor::Fed(encoded)).expect("preprocess");
     let x_fed = match x {
         Tensor::Fed(f) => f,
-        Tensor::Local(_) => unreachable!("stays federated"),
+        Tensor::Local(_) | Tensor::Compressed(_) => unreachable!("stays federated"),
     };
     let split = split_rows_per_partition(&x_fed, Some(y), 0.7, 7).expect("split");
     let y_train = split.y_train.expect("labels");

@@ -1,0 +1,354 @@
+//! Micro-kernel throughput sweep: blocked GEMM vs the unblocked tiled
+//! baseline, tsmm, mmchain, and compressed-domain operators, plus an
+//! end-to-end worker workload that must execute on compressed column
+//! groups without a single decompression (DESIGN.md §4k).
+//!
+//!     cargo run --release -p exdra-bench --bin kernel_bench
+//!
+//! Writes `results/kernels.json` (GFLOP/s and bytes/s per kernel and
+//! size) plus the usual metrics sidecar, whose `inst.c.*` histograms are
+//! exactly what `ProfileCostModel` consumes to price compressed
+//! execution. `--quick` shrinks the sweep for CI smoke runs.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use exdra_bench::{obs_init, secs, time_reps, write_metrics_sidecar, BenchConfig, Table};
+use exdra_core::instruction::Instruction;
+use exdra_core::protocol::{Request, Response};
+use exdra_core::worker::{Worker, WorkerConfig};
+use exdra_core::PrivacyLevel;
+use exdra_matrix::compress::CompressedMatrix;
+use exdra_matrix::kernels::aggregates::{aggregate, AggDir, AggOp};
+use exdra_matrix::kernels::elementwise::{scalar, BinaryOp};
+use exdra_matrix::kernels::matmul::{matmul, matmul_unblocked, mmchain, tsmm};
+use exdra_matrix::rng::rand_matrix;
+use exdra_matrix::DenseMatrix;
+
+fn gflops(flops: f64, secs: f64) -> f64 {
+    flops / secs.max(1e-12) / 1e9
+}
+
+/// Low-cardinality frame (categorical + constant + run + noise columns)
+/// on which DDC/RLE column groups actually form.
+fn compressible(rows: usize, cols: usize) -> DenseMatrix {
+    let noise = rand_matrix(rows, 1, -1.0, 1.0, 9);
+    let mut x = DenseMatrix::zeros(rows, cols);
+    for r in 0..rows {
+        for c in 0..cols {
+            let v = match c % 4 {
+                0 => (r % 7) as f64,
+                1 => 2.5,
+                2 => {
+                    if r < rows / 2 {
+                        -1.0
+                    } else {
+                        3.0
+                    }
+                }
+                _ => noise.get(r, 0) + c as f64,
+            };
+            x.set(r, c, v);
+        }
+    }
+    x
+}
+
+fn main() {
+    obs_init();
+    let cfg = BenchConfig::from_args();
+    let quick = cfg.rows <= 10_000;
+    exdra_par::set_threads(0);
+    let hw = exdra_par::threads();
+    let mut json = Vec::new();
+
+    // ---- blocked GEMM vs the unblocked tiled baseline -----------------
+    // Single-threaded ratio isolates the packing + register-tile win;
+    // the full-pool number shows end throughput.
+    let sizes: &[usize] = if quick {
+        &[96, 192, 256]
+    } else {
+        &[256, 512, 1024]
+    };
+    let mut table = Table::new(
+        "Blocked GEMM vs unblocked tiled baseline (square n^3)",
+        &[
+            "n",
+            "blocked t1",
+            "baseline t1",
+            "speedup",
+            "GF/s t1",
+            "GF/s pool",
+        ],
+    );
+    let mut gemm_rows = Vec::new();
+    let mut speedup_at_largest = 0.0;
+    for &n in sizes {
+        let a = rand_matrix(n, n, -1.0, 1.0, 1);
+        let b = rand_matrix(n, n, -1.0, 1.0, 2);
+        let flops = 2.0 * (n as f64).powi(3);
+        let (blocked_t1, _) = exdra_par::with_threads(1, || {
+            time_reps(cfg.reps, || matmul(&a, &b).expect("shapes"))
+        });
+        let (base_t1, _) = exdra_par::with_threads(1, || {
+            time_reps(cfg.reps, || matmul_unblocked(&a, &b).expect("shapes"))
+        });
+        let (pool_t, _) = time_reps(cfg.reps, || matmul(&a, &b).expect("shapes"));
+        let speedup = base_t1 / blocked_t1.max(1e-12);
+        speedup_at_largest = speedup;
+        table.row(&[
+            n.to_string(),
+            secs(blocked_t1),
+            secs(base_t1),
+            format!("{speedup:.2}x"),
+            format!("{:.2}", gflops(flops, blocked_t1)),
+            format!("{:.2}", gflops(flops, pool_t)),
+        ]);
+        gemm_rows.push(format!(
+            "    {{\"n\": {n}, \"blocked_gflops_t1\": {:.3}, \"unblocked_gflops_t1\": {:.3}, \
+             \"blocked_gflops_pool\": {:.3}, \"speedup_vs_unblocked\": {:.3}}}",
+            gflops(flops, blocked_t1),
+            gflops(flops, base_t1),
+            gflops(flops, pool_t),
+            speedup
+        ));
+    }
+    table.print();
+    if !quick {
+        assert!(
+            speedup_at_largest >= 1.5,
+            "blocked GEMM must beat the pre-blocking kernel by >=1.5x at {}^3 (got {speedup_at_largest:.2}x)",
+            sizes[sizes.len() - 1]
+        );
+    }
+
+    // ---- tsmm and mmchain ---------------------------------------------
+    let (tr, tc) = if quick { (4_000, 128) } else { (20_000, 256) };
+    let x = rand_matrix(tr, tc, -1.0, 1.0, 3);
+    let v = rand_matrix(tc, 1, -1.0, 1.0, 4);
+    let w = rand_matrix(tr, 1, 0.0, 1.0, 5);
+    let (tsmm_t, _) = time_reps(cfg.reps, || tsmm(&x, true).expect("shapes"));
+    let tsmm_flops = (tr as f64) * (tc as f64) * (tc as f64 + 1.0);
+    let (mm_t, _) = time_reps(cfg.reps, || mmchain(&x, &v, Some(&w)).expect("shapes"));
+    let mm_flops = 5.0 * (tr as f64) * (tc as f64);
+    let mut table = Table::new(
+        "Fused kernels (pool threads)",
+        &["kernel", "dims", "mean", "GF/s"],
+    );
+    table.row(&[
+        "tsmm".into(),
+        format!("t(X)*X, X {tr}x{tc}"),
+        secs(tsmm_t),
+        format!("{:.2}", gflops(tsmm_flops, tsmm_t)),
+    ]);
+    table.row(&[
+        "mmchain".into(),
+        format!("t(X)*(w.*(X*v)), X {tr}x{tc}"),
+        secs(mm_t),
+        format!("{:.2}", gflops(mm_flops, mm_t)),
+    ]);
+    table.print();
+    json.push(format!(
+        "  \"tsmm\": {{\"rows\": {tr}, \"cols\": {tc}, \"gflops\": {:.3}}}",
+        gflops(tsmm_flops, tsmm_t)
+    ));
+    json.push(format!(
+        "  \"mmchain\": {{\"rows\": {tr}, \"cols\": {tc}, \"gflops\": {:.3}}}",
+        gflops(mm_flops, mm_t)
+    ));
+
+    // ---- compressed-domain operators ----------------------------------
+    // Same op on the dense frame and on its column groups; bytes/s uses
+    // the bytes each representation actually touches, which is where
+    // compressed execution wins (the outputs are bitwise identical).
+    let (crows, ccols) = (cfg.rows.max(20_000), 8);
+    let d = compressible(crows, ccols);
+    let c = CompressedMatrix::compress(&d);
+    let dense_bytes = (d.len() * 8) as f64;
+    let comp_bytes = c.size_bytes() as f64;
+    let cv = rand_matrix(ccols, 1, -1.0, 1.0, 6);
+    let cw = rand_matrix(crows, 1, 0.0, 1.0, 7);
+    type Pair<'a> = (
+        &'a str,
+        Box<dyn Fn() -> DenseMatrix + 'a>,
+        Box<dyn Fn() -> DenseMatrix + 'a>,
+    );
+    let pairs: Vec<Pair> = vec![
+        (
+            "colSums",
+            Box::new(|| aggregate(&d, AggOp::Sum, AggDir::Col).expect("agg")),
+            Box::new(|| c.aggregate(AggOp::Sum, AggDir::Col).expect("agg")),
+        ),
+        (
+            "var(X)",
+            Box::new(|| aggregate(&d, AggOp::Var, AggDir::Full).expect("agg")),
+            Box::new(|| c.aggregate(AggOp::Var, AggDir::Full).expect("agg")),
+        ),
+        (
+            "X*v",
+            Box::new(|| matmul(&d, &cv).expect("shapes")),
+            Box::new(|| c.matvec(&cv).expect("shapes")),
+        ),
+        (
+            "t(X)*(w.*(X*v))",
+            Box::new(|| mmchain(&d, &cv, Some(&cw)).expect("shapes")),
+            Box::new(|| c.mmchain(&cv, Some(&cw)).expect("shapes")),
+        ),
+        (
+            "X*2",
+            Box::new(|| scalar(&d, BinaryOp::Mul, 2.0, false)),
+            Box::new(|| c.map_cells(|v| v * 2.0).decompress()),
+        ),
+    ];
+    let mut table = Table::new(
+        &format!(
+            "Compressed-domain ops, X {crows}x{ccols} (ratio {:.1}x)",
+            c.ratio()
+        ),
+        &[
+            "op",
+            "dense",
+            "compressed",
+            "speedup",
+            "dense GB/s",
+            "comp GB/s",
+        ],
+    );
+    let mut comp_rows = Vec::new();
+    for (name, dense_f, comp_f) in &pairs {
+        let want: Vec<u64> = dense_f().values().iter().map(|v| v.to_bits()).collect();
+        let got: Vec<u64> = comp_f().values().iter().map(|v| v.to_bits()).collect();
+        assert_eq!(got, want, "{name}: compressed result differs bitwise");
+        let (dt, _) = time_reps(cfg.reps, dense_f);
+        let (ct, _) = time_reps(cfg.reps, comp_f);
+        table.row(&[
+            (*name).into(),
+            secs(dt),
+            secs(ct),
+            format!("{:.2}x", dt / ct.max(1e-12)),
+            format!("{:.2}", dense_bytes / dt.max(1e-12) / 1e9),
+            format!("{:.2}", comp_bytes / ct.max(1e-12) / 1e9),
+        ]);
+        comp_rows.push(format!(
+            "    {{\"op\": \"{name}\", \"dense_secs\": {dt:.6}, \"compressed_secs\": {ct:.6}, \
+             \"dense_bytes_per_sec\": {:.0}, \"compressed_bytes_per_sec\": {:.0}, \
+             \"bitwise_identical\": true}}",
+            dense_bytes / dt.max(1e-12),
+            comp_bytes / ct.max(1e-12)
+        ));
+    }
+    table.print();
+
+    // ---- end-to-end: LM-style workload on a compacted worker ----------
+    // Install the frame, compact it to column groups, then run the ops a
+    // linear-model iteration issues against X. Every one of them must
+    // take the direct compressed path: `compress.exec.fallback` stays 0.
+    let w = Worker::new(WorkerConfig::default());
+    install(&w, 1, d.clone());
+    let n_compacted = w.compact(1024, Duration::ZERO);
+    assert_eq!(n_compacted, 1, "frame must compress under compaction");
+    install(&w, 2, cv.clone());
+    install(&w, 3, cw.clone());
+    let batch = vec![
+        Instruction::MmChain {
+            x: 1,
+            v: 2,
+            w: Some(3),
+            out: 10,
+        },
+        Instruction::MatMul {
+            lhs: 1,
+            rhs: 2,
+            out: 11,
+        },
+        Instruction::Agg {
+            x: 1,
+            op: AggOp::Sum,
+            dir: AggDir::Col,
+            out: 12,
+        },
+        Instruction::Scalar {
+            x: 1,
+            op: BinaryOp::Mul,
+            value: 0.5,
+            swap: false,
+            out: 13,
+        },
+        Instruction::Agg {
+            x: 13,
+            op: AggOp::SumSq,
+            dir: AggDir::Full,
+            out: 14,
+        },
+    ];
+    let responses = w.handle_batch(
+        batch
+            .into_iter()
+            .map(|inst| Request::ExecInst { inst })
+            .collect(),
+    );
+    assert!(
+        responses.iter().all(|r| *r == Response::Ok),
+        "workload failed: {responses:?}"
+    );
+    let snap = exdra_obs::global().snapshot();
+    let direct = snap
+        .counters
+        .get("compress.exec.direct")
+        .copied()
+        .unwrap_or(0);
+    let fallback = snap
+        .counters
+        .get("compress.exec.fallback")
+        .copied()
+        .unwrap_or(0);
+    let c_opcodes: Vec<String> = snap
+        .histograms
+        .keys()
+        .filter(|k| k.starts_with("inst.c."))
+        .cloned()
+        .collect();
+    assert!(
+        direct >= 5,
+        "expected 5 direct compressed executions, saw {direct}"
+    );
+    assert_eq!(fallback, 0, "workload must not decompress the frame");
+    assert!(!c_opcodes.is_empty(), "no inst.c.* histograms recorded");
+    println!(
+        "\nworkload: {direct} compressed-direct instructions, {fallback} fallbacks; \
+         histograms: {}",
+        c_opcodes.join(", ")
+    );
+
+    // ---- results ------------------------------------------------------
+    json.insert(0, format!("  \"gemm\": [\n{}\n  ]", gemm_rows.join(",\n")));
+    json.push(format!(
+        "  \"compressed\": {{\"rows\": {crows}, \"cols\": {ccols}, \"ratio\": {:.3}, \"ops\": [\n{}\n  ]}}",
+        c.ratio(),
+        comp_rows.join(",\n")
+    ));
+    json.push(format!(
+        "  \"workload\": {{\"direct\": {direct}, \"fallback\": {fallback}, \"compressed_opcodes\": [{}]}}",
+        c_opcodes
+            .iter()
+            .map(|k| format!("\"{k}\""))
+            .collect::<Vec<_>>()
+            .join(", ")
+    ));
+    let body = format!(
+        "{{\n  \"host_cpus\": {hw},\n  \"reps\": {},\n  \"quick\": {quick},\n{}\n}}\n",
+        cfg.reps,
+        json.join(",\n")
+    );
+    let dir = std::path::Path::new("results");
+    let path = dir.join("kernels.json");
+    match std::fs::create_dir_all(dir).and_then(|_| std::fs::write(&path, body)) {
+        Ok(()) => println!("results: {}", path.display()),
+        Err(e) => eprintln!("warning: failed to write {}: {e}", path.display()),
+    }
+    write_metrics_sidecar("kernel_bench");
+}
+
+fn install(w: &Arc<Worker>, id: u64, m: DenseMatrix) {
+    w.install_matrix(id, m, PrivacyLevel::Public, "kernel_bench");
+}

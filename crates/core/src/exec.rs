@@ -10,10 +10,17 @@
 //!   been aggregated over at least its `min_group` observations;
 //! * **lineage tracing + reuse** — outputs are bound with a lineage hash
 //!   and repeated sub-plans are served from the [`LineageCache`].
+//!
+//! Compressed inputs (from [`crate::worker`] compaction) execute directly
+//! on the column groups when the opcode supports it — element-wise ops,
+//! aggregates, matrix-vector products and mmchain — recorded under
+//! `inst.c.<opcode>` histograms and the `compress.exec.direct` counter.
+//! Everything else decompresses on demand (`compress.exec.fallback`).
 
 use std::cell::Cell;
 use std::sync::Arc;
 
+use exdra_matrix::compress::CompressedMatrix;
 use exdra_matrix::kernels::aggregates::{self, AggDir};
 use exdra_matrix::kernels::elementwise;
 use exdra_matrix::kernels::matmul;
@@ -80,7 +87,7 @@ pub fn execute(
             table.bind(out_id, hit.value, hit.privacy, hit.releasable, h);
             span.attr("reuse", true);
             if let Some(t) = t_inst {
-                record_inst_nanos(inst.name(), t.elapsed().as_nanos() as u64);
+                record_inst_nanos(inst.name(), t.elapsed().as_nanos() as u64, false);
             }
             return Ok(());
         }
@@ -122,9 +129,15 @@ pub fn execute(
     if obs_on {
         let _ = exdra_par::take_region_stats();
     }
+    COMPRESSED_DIRECT.with(|c| c.set(false));
     let value = compute(inst, &inputs)?;
+    let compressed_exec = COMPRESSED_DIRECT.with(|c| c.get());
     if obs_on {
         record_inst_parallelism(inst.name(), &mut span, exdra_par::take_region_stats());
+        if compressed_exec {
+            exdra_obs::global().inc("compress.exec.direct");
+            span.attr("compressed", true);
+        }
     }
     if span.is_active() {
         if let DataValue::Matrix(m) = &value {
@@ -146,7 +159,7 @@ pub fn execute(
     }
     table.bind(out_id, value, privacy, releasable, h);
     if let Some(t) = t_inst {
-        record_inst_nanos(inst.name(), t.elapsed().as_nanos() as u64);
+        record_inst_nanos(inst.name(), t.elapsed().as_nanos() as u64, compressed_exec);
     }
     Ok(())
 }
@@ -157,6 +170,17 @@ thread_local! {
     /// the fine-grained `exdra_par` thread-local is consumed per
     /// instruction by [`record_inst_parallelism`].
     static BATCH_PAR: Cell<(u64, u64, u64)> = const { Cell::new((0, 0, 0)) };
+
+    /// Set by [`compute`] when the instruction executed directly on a
+    /// compressed operand (no decompression). Routes the latency sample
+    /// into the `inst.c.<opcode>` histogram so the plan optimizer can
+    /// price compressed-domain execution separately from dense.
+    static COMPRESSED_DIRECT: Cell<bool> = const { Cell::new(false) };
+}
+
+/// Marks the current instruction as executed in the compressed domain.
+fn compressed_direct() {
+    COMPRESSED_DIRECT.with(|c| c.set(true));
 }
 
 /// Returns and resets this thread's batch-scope parallelism rollup.
@@ -208,10 +232,12 @@ fn record_inst_parallelism(
 }
 
 /// Feeds one instruction execution into the per-opcode latency
-/// histogram (`inst.<opcode>`). Only called when observability is on.
-fn record_inst_nanos(name: &str, nanos: u64) {
-    let mut metric = String::with_capacity(5 + name.len());
-    metric.push_str("inst.");
+/// histogram — `inst.<opcode>`, or `inst.c.<opcode>` when the kernel ran
+/// directly on compressed column groups. Only called when observability
+/// is on.
+fn record_inst_nanos(name: &str, nanos: u64, compressed: bool) {
+    let mut metric = String::with_capacity(7 + name.len());
+    metric.push_str(if compressed { "inst.c." } else { "inst." });
     metric.push_str(name);
     exdra_obs::global().record(&metric, nanos);
 }
@@ -312,7 +338,12 @@ fn mix_literals(inst: &Instruction, h: u64) -> u64 {
 fn dense(e: &Entry) -> Result<std::borrow::Cow<'_, DenseMatrix>> {
     match &*e.value {
         DataValue::Matrix(Matrix::Dense(d)) => Ok(std::borrow::Cow::Borrowed(d)),
-        other => Ok(std::borrow::Cow::Owned(other.to_dense()?)),
+        other => {
+            if exdra_obs::enabled() && matches!(other, DataValue::Matrix(Matrix::Compressed(_))) {
+                exdra_obs::global().inc("compress.exec.fallback");
+            }
+            Ok(std::borrow::Cow::Owned(other.to_dense()?))
+        }
     }
 }
 
@@ -328,12 +359,28 @@ fn compute(inst: &Instruction, inputs: &[(u64, Entry)]) -> Result<DataValue> {
             .1
     };
     let m = |id: u64| -> Result<std::borrow::Cow<'_, DenseMatrix>> { dense(by_id(id)) };
+    // Compressed view of an input, when the opcode has a direct
+    // column-group kernel (bitwise-identical to its dense counterpart).
+    let comp = |id: u64| -> Option<&CompressedMatrix> {
+        match &*by_id(id).value {
+            DataValue::Matrix(Matrix::Compressed(c)) => Some(c),
+            _ => None,
+        }
+    };
     Ok(match inst {
         MatMul { lhs, rhs, .. } => {
             // Keep the CSR fast path when the left operand is sparse.
             let l = by_id(*lhs);
             if let DataValue::Matrix(Matrix::Sparse(s)) = &*l.value {
                 DataValue::from(s.matmul_dense(&*m(*rhs)?)?)
+            } else if let Some(c) = comp(*lhs) {
+                let r = m(*rhs)?;
+                if r.cols() == 1 {
+                    compressed_direct();
+                    DataValue::from(c.matvec(&r)?)
+                } else {
+                    DataValue::from(matmul::matmul(&c.decompress(), &r)?)
+                }
             } else {
                 DataValue::from(matmul::matmul(&*m(*lhs)?, &*m(*rhs)?)?)
             }
@@ -341,17 +388,62 @@ fn compute(inst: &Instruction, inputs: &[(u64, Entry)]) -> Result<DataValue> {
         Tsmm { x, left, .. } => DataValue::from(matmul::tsmm(&*m(*x)?, *left)?),
         MmChain { x, v, w, .. } => {
             let wm = w.map(&m).transpose()?;
-            DataValue::from(matmul::mmchain(&*m(*x)?, &*m(*v)?, wm.as_deref())?)
+            if let Some(c) = comp(*x) {
+                compressed_direct();
+                DataValue::from(c.mmchain(&*m(*v)?, wm.as_deref())?)
+            } else {
+                DataValue::from(matmul::mmchain(&*m(*x)?, &*m(*v)?, wm.as_deref())?)
+            }
         }
-        Unary { x, op, .. } => DataValue::from(elementwise::unary(&*m(*x)?, *op)),
+        Unary { x, op, .. } => {
+            if let Some(c) = comp(*x) {
+                compressed_direct();
+                DataValue::from(Matrix::Compressed(c.map_cells(|v| op.apply(v))))
+            } else {
+                DataValue::from(elementwise::unary(&*m(*x)?, *op))
+            }
+        }
         Softmax { x, .. } => DataValue::from(elementwise::softmax(&*m(*x)?)),
         Binary { lhs, rhs, op, .. } => {
-            DataValue::from(elementwise::binary(&*m(*lhs)?, *op, &*m(*rhs)?)?)
+            // A 1x1 right operand broadcasts as a scalar, which keeps the
+            // left side compressed (dict-only transform).
+            let scalar_rhs = comp(*lhs).is_some()
+                && matches!(&*by_id(*rhs).value, DataValue::Matrix(mm) if mm.shape() == (1, 1));
+            if scalar_rhs {
+                let b = m(*rhs)?.get(0, 0);
+                let c = comp(*lhs).expect("checked above");
+                let op = *op;
+                compressed_direct();
+                DataValue::from(Matrix::Compressed(c.map_cells(move |v| op.apply(v, b))))
+            } else {
+                DataValue::from(elementwise::binary(&*m(*lhs)?, *op, &*m(*rhs)?)?)
+            }
         }
         Scalar {
             x, op, value, swap, ..
-        } => DataValue::from(elementwise::scalar(&*m(*x)?, *op, *value, *swap)),
-        Agg { x, op, dir, .. } => DataValue::from(aggregates::aggregate(&*m(*x)?, *op, *dir)?),
+        } => {
+            if let Some(c) = comp(*x) {
+                let (op, value, swap) = (*op, *value, *swap);
+                compressed_direct();
+                DataValue::from(Matrix::Compressed(c.map_cells(move |v| {
+                    if swap {
+                        op.apply(value, v)
+                    } else {
+                        op.apply(v, value)
+                    }
+                })))
+            } else {
+                DataValue::from(elementwise::scalar(&*m(*x)?, *op, *value, *swap))
+            }
+        }
+        Agg { x, op, dir, .. } => {
+            if let Some(c) = comp(*x) {
+                compressed_direct();
+                DataValue::from(c.aggregate(*op, *dir)?)
+            } else {
+                DataValue::from(aggregates::aggregate(&*m(*x)?, *op, *dir)?)
+            }
+        }
         RowIndexMax { x, .. } => DataValue::from(aggregates::row_index_max(&*m(*x)?)?),
         RowIndexMin { x, .. } => DataValue::from(aggregates::row_index_min(&*m(*x)?)?),
         CTable { a, b, w, dims, .. } => {
@@ -393,7 +485,26 @@ fn compute(inst: &Instruction, inputs: &[(u64, Entry)]) -> Result<DataValue> {
             pattern,
             replacement,
             ..
-        } => DataValue::from(reorg::replace(&*m(*x)?, *pattern, *replacement)),
+        } => {
+            if let Some(c) = comp(*x) {
+                let (pattern, replacement) = (*pattern, *replacement);
+                compressed_direct();
+                DataValue::from(Matrix::Compressed(c.map_cells(move |v| {
+                    let hit = if pattern.is_nan() {
+                        v.is_nan()
+                    } else {
+                        v == pattern
+                    };
+                    if hit {
+                        replacement
+                    } else {
+                        v
+                    }
+                })))
+            } else {
+                DataValue::from(reorg::replace(&*m(*x)?, *pattern, *replacement))
+            }
+        }
         Index {
             x,
             row_lo,
@@ -682,6 +793,76 @@ mod tests {
             t.value(3).unwrap().to_dense().unwrap().get(0, 0),
             2.0 * t.value(1).unwrap().to_dense().unwrap().get(0, 0)
         );
+    }
+
+    #[test]
+    fn compressed_inputs_execute_in_the_compressed_domain() {
+        // A compressible frame: categorical + constant + noisy columns.
+        let mut x = DenseMatrix::zeros(200, 3);
+        for r in 0..200 {
+            x.set(r, 0, (r % 4) as f64);
+            x.set(r, 1, 7.0);
+            x.set(r, 2, (r as f64 * 0.37).sin());
+        }
+        let c = CompressedMatrix::compress(&x);
+        let t = SymbolTable::new();
+        t.bind_public(1, DataValue::Matrix(Matrix::Compressed(c)));
+        t.bind_public(2, DataValue::from(x.clone()));
+
+        // Element-wise op keeps the compressed representation...
+        for (id, out) in [(1u64, 10u64), (2, 11)] {
+            execute(
+                &Instruction::Scalar {
+                    x: id,
+                    op: BinaryOp::Mul,
+                    value: 2.0,
+                    swap: false,
+                    out,
+                },
+                &t,
+                None,
+            )
+            .unwrap();
+        }
+        let cv = t.value(10).unwrap();
+        assert!(
+            matches!(&*cv, DataValue::Matrix(Matrix::Compressed(_))),
+            "element-wise output must stay compressed"
+        );
+        // ...and is bitwise identical to the dense execution.
+        let (cd, dd) = (
+            cv.to_dense().unwrap(),
+            t.value(11).unwrap().to_dense().unwrap(),
+        );
+        assert!(cd
+            .values()
+            .iter()
+            .zip(dd.values())
+            .all(|(a, b)| a.to_bits() == b.to_bits()));
+
+        // Aggregates reduce column groups directly, same bits as dense.
+        for (id, out) in [(1u64, 20u64), (2, 21)] {
+            execute(
+                &Instruction::Agg {
+                    x: id,
+                    op: AggOp::Var,
+                    dir: AggDir::Col,
+                    out,
+                },
+                &t,
+                None,
+            )
+            .unwrap();
+        }
+        let (ca, da) = (
+            t.value(20).unwrap().to_dense().unwrap(),
+            t.value(21).unwrap().to_dense().unwrap(),
+        );
+        assert!(ca
+            .values()
+            .iter()
+            .zip(da.values())
+            .all(|(a, b)| a.to_bits() == b.to_bits()));
     }
 
     #[test]

@@ -5,8 +5,14 @@
 //! paper's claim that "this built-in function script is agnostic of local,
 //! distributed, or federated input matrices" (Example 3). Local inputs run
 //! the in-memory kernels; federated inputs dispatch to the federated
-//! instructions of [`crate::fed::ops`].
+//! instructions of [`crate::fed::ops`]; compressed inputs execute
+//! directly on the DDC/RLE column groups where a compressed-domain
+//! kernel exists (element-wise ops, aggregates, matvec/`t_vecmat`,
+//! `mmchain` — DESIGN.md §4k) and transparently decompress otherwise.
+//! Every compressed-domain result is bitwise identical to the
+//! decompress-then-operate path.
 
+use exdra_matrix::compress::CompressedMatrix;
 use exdra_matrix::kernels::aggregates::{self, AggDir, AggOp};
 use exdra_matrix::kernels::elementwise::{self, BinaryOp, UnaryOp};
 use exdra_matrix::kernels::matmul;
@@ -16,13 +22,16 @@ use exdra_matrix::DenseMatrix;
 use crate::error::{Result, RuntimeError};
 use crate::fed::{FedMatrix, PartitionScheme};
 
-/// A matrix that is either local or federated.
+/// A matrix that is local, federated, or compressed-local.
 #[derive(Debug, Clone)]
 pub enum Tensor {
     /// In-memory matrix at the coordinator.
     Local(DenseMatrix),
     /// Federated matrix (raw data at the sites).
     Fed(FedMatrix),
+    /// Losslessly compressed in-memory matrix; supported ops execute
+    /// directly on the column groups, the rest decompress on demand.
+    Compressed(CompressedMatrix),
 }
 
 impl Tensor {
@@ -31,6 +40,7 @@ impl Tensor {
         match self {
             Tensor::Local(m) => m.rows(),
             Tensor::Fed(f) => f.rows(),
+            Tensor::Compressed(c) => c.rows(),
         }
     }
 
@@ -39,6 +49,7 @@ impl Tensor {
         match self {
             Tensor::Local(m) => m.cols(),
             Tensor::Fed(f) => f.cols(),
+            Tensor::Compressed(c) => c.cols(),
         }
     }
 
@@ -52,13 +63,22 @@ impl Tensor {
         matches!(self, Tensor::Fed(_))
     }
 
+    /// True for compressed tensors.
+    pub fn is_compressed(&self) -> bool {
+        matches!(self, Tensor::Compressed(_))
+    }
+
     /// Borrows the local matrix (error for federated tensors — use
-    /// [`Tensor::to_local`] for an explicit, privacy-checked transfer).
+    /// [`Tensor::to_local`] for an explicit, privacy-checked transfer —
+    /// and for compressed tensors, which have no dense buffer to borrow).
     pub fn as_local(&self) -> Result<&DenseMatrix> {
         match self {
             Tensor::Local(m) => Ok(m),
             Tensor::Fed(_) => Err(RuntimeError::Unsupported(
                 "tensor is federated; consolidate explicitly via to_local()".into(),
+            )),
+            Tensor::Compressed(_) => Err(RuntimeError::Unsupported(
+                "tensor is compressed; materialize explicitly via to_local()".into(),
             )),
         }
     }
@@ -69,7 +89,22 @@ impl Tensor {
         match self {
             Tensor::Local(m) => Ok(m.clone()),
             Tensor::Fed(f) => f.consolidate(),
+            Tensor::Compressed(c) => Ok(c.decompress()),
         }
+    }
+
+    /// Compresses a local tensor column by column (lossless); federated
+    /// and already-compressed tensors are returned unchanged.
+    pub fn compress(&self) -> Tensor {
+        match self {
+            Tensor::Local(m) => Tensor::Compressed(CompressedMatrix::compress(m)),
+            other => other.clone(),
+        }
+    }
+
+    /// Decompress-fallback for ops without a compressed-domain kernel.
+    fn decompressed(c: &CompressedMatrix) -> Tensor {
+        Tensor::Local(c.decompress())
     }
 
     /// The scalar value of a 1x1 tensor.
@@ -83,6 +118,13 @@ impl Tensor {
     /// in the coordinator, or a privacy exception is thrown", §4.2).
     pub fn matmul(&self, rhs: &Tensor) -> Result<Tensor> {
         match (self, rhs) {
+            // Compressed lhs times a vector runs directly on the column
+            // groups; other compressed operands decompress and retry.
+            (Tensor::Compressed(a), Tensor::Local(b)) if b.cols() == 1 => {
+                Ok(Tensor::Local(a.matvec(b)?))
+            }
+            (Tensor::Compressed(a), _) => Self::decompressed(a).matmul(rhs),
+            (_, Tensor::Compressed(b)) => self.matmul(&Self::decompressed(b)),
             (Tensor::Local(a), Tensor::Local(b)) => Ok(Tensor::Local(matmul::matmul(a, b)?)),
             (Tensor::Fed(a), Tensor::Local(b)) => a.matmul_rhs_local(b),
             (Tensor::Local(a), Tensor::Fed(b)) => b.matmul_lhs_local(a),
@@ -103,6 +145,14 @@ impl Tensor {
     /// federated (K-Means' `t(P) %*% X`, Example 3).
     pub fn t_matmul(&self, rhs: &Tensor) -> Result<Tensor> {
         match (self, rhs) {
+            // t(C) %*% v on a compressed lhs is the compressed t_vecmat
+            // (one r-ascending chain per column group), transposed back
+            // to the column-vector result shape.
+            (Tensor::Compressed(a), Tensor::Local(b)) if b.cols() == 1 => {
+                Ok(Tensor::Local(reorg::transpose(&a.t_vecmat(b)?)))
+            }
+            (Tensor::Compressed(a), _) => Self::decompressed(a).t_matmul(rhs),
+            (_, Tensor::Compressed(b)) => self.t_matmul(&Self::decompressed(b)),
             (Tensor::Fed(a), Tensor::Fed(b)) if a.aligned_with(b) => {
                 Ok(Tensor::Local(a.aligned_matmul_t(b)?))
             }
@@ -115,6 +165,7 @@ impl Tensor {
                 match a.matmul_lhs_local(&ty)? {
                     Tensor::Local(m) => Ok(Tensor::Local(reorg::transpose(&m))),
                     Tensor::Fed(f) => Ok(Tensor::Fed(f.transpose()?)),
+                    Tensor::Compressed(c) => Ok(Tensor::Local(reorg::transpose(&c.decompress()))),
                 }
             }
             (Tensor::Local(a), Tensor::Fed(b)) => {
@@ -138,6 +189,7 @@ impl Tensor {
         match self {
             Tensor::Local(x) => Ok(matmul::mmchain(x, v, w)?),
             Tensor::Fed(x) => x.mmchain(v, w),
+            Tensor::Compressed(x) => Ok(x.mmchain(v, w)?),
         }
     }
 
@@ -146,6 +198,7 @@ impl Tensor {
         match self {
             Tensor::Local(x) => Ok(matmul::tsmm(x, true)?),
             Tensor::Fed(x) => x.tsmm(),
+            Tensor::Compressed(x) => Ok(matmul::tsmm(&x.decompress(), true)?),
         }
     }
 
@@ -154,6 +207,7 @@ impl Tensor {
         match self {
             Tensor::Local(m) => Ok(Tensor::Local(elementwise::unary(m, op))),
             Tensor::Fed(f) => Ok(Tensor::Fed(f.unary(op)?)),
+            Tensor::Compressed(c) => Ok(Tensor::Compressed(c.map_cells(|v| op.apply(v)))),
         }
     }
 
@@ -162,6 +216,7 @@ impl Tensor {
         match self {
             Tensor::Local(m) => Ok(Tensor::Local(elementwise::softmax(m))),
             Tensor::Fed(f) => Ok(Tensor::Fed(f.softmax()?)),
+            Tensor::Compressed(c) => Self::decompressed(c).softmax(),
         }
     }
 
@@ -169,6 +224,18 @@ impl Tensor {
     pub fn scalar_op(&self, op: BinaryOp, value: f64, swap: bool) -> Result<Tensor> {
         match self {
             Tensor::Local(m) => Ok(Tensor::Local(elementwise::scalar(m, op, value, swap))),
+            Tensor::Compressed(c) => {
+                // O(distinct) per column: only the dictionary / run values
+                // are transformed, exactly `elementwise::scalar` per cell.
+                let f = move |v: f64| {
+                    if swap {
+                        op.apply(value, v)
+                    } else {
+                        op.apply(v, value)
+                    }
+                };
+                Ok(Tensor::Compressed(c.map_cells(f)))
+            }
             Tensor::Fed(f) => {
                 if swap {
                     // Compose from the non-swapped federated primitives.
@@ -227,12 +294,57 @@ impl Tensor {
                 Ok(Tensor::Local(cur))
             }
             Tensor::Fed(f) => Ok(Tensor::Fed(f.elementwise_chain(steps)?)),
+            Tensor::Compressed(c) => {
+                // The whole chain folds over each distinct value once —
+                // per cell this is exactly the sequential step application
+                // of the local path, so the result matches bit for bit
+                // (and stays compressed).
+                let steps = steps.to_vec();
+                Ok(Tensor::Compressed(c.map_cells(move |mut v| {
+                    for step in &steps {
+                        v = match *step {
+                            ElemStep::Scalar { op, value, swap } => {
+                                if swap {
+                                    op.apply(value, v)
+                                } else {
+                                    op.apply(v, value)
+                                }
+                            }
+                            ElemStep::Unary(op) => op.apply(v),
+                            ElemStep::Replace {
+                                pattern,
+                                replacement,
+                            } => {
+                                if pattern.is_nan() {
+                                    if v.is_nan() {
+                                        replacement
+                                    } else {
+                                        v
+                                    }
+                                } else if v == pattern {
+                                    replacement
+                                } else {
+                                    v
+                                }
+                            }
+                        };
+                    }
+                    v
+                })))
+            }
         }
     }
 
     /// Element-wise binary op with SystemDS broadcasting semantics.
     pub fn binary(&self, op: BinaryOp, rhs: &Tensor) -> Result<Tensor> {
         match (self, rhs) {
+            // Compressed lhs with a 1x1 rhs is the scalar-broadcast case
+            // and runs on the dictionaries; anything else decompresses.
+            (Tensor::Compressed(_), Tensor::Local(b)) if b.is_scalar() => {
+                self.scalar_op(op, b.get(0, 0), false)
+            }
+            (Tensor::Compressed(a), _) => Self::decompressed(a).binary(op, rhs),
+            (_, Tensor::Compressed(b)) => self.binary(op, &Self::decompressed(b)),
             (Tensor::Local(a), Tensor::Local(b)) => {
                 Ok(Tensor::Local(elementwise::binary(a, op, b)?))
             }
@@ -273,6 +385,7 @@ impl Tensor {
         match self {
             Tensor::Local(m) => Ok(Tensor::Local(aggregates::aggregate(m, op, dir)?)),
             Tensor::Fed(f) => f.agg(op, dir),
+            Tensor::Compressed(c) => Ok(Tensor::Local(c.aggregate(op, dir)?)),
         }
     }
 
@@ -311,6 +424,7 @@ impl Tensor {
         match self {
             Tensor::Local(m) => Ok(Tensor::Local(aggregates::row_index_max(m)?)),
             Tensor::Fed(f) => Ok(Tensor::Fed(f.row_index_max()?)),
+            Tensor::Compressed(c) => Self::decompressed(c).row_index_max(),
         }
     }
 
@@ -319,6 +433,7 @@ impl Tensor {
         match self {
             Tensor::Local(m) => Ok(Tensor::Local(reorg::transpose(m))),
             Tensor::Fed(f) => Ok(Tensor::Fed(f.transpose()?)),
+            Tensor::Compressed(c) => Self::decompressed(c).t(),
         }
     }
 
@@ -335,12 +450,15 @@ impl Tensor {
                 m, row_lo, row_hi, col_lo, col_hi,
             )?)),
             Tensor::Fed(f) => Ok(Tensor::Fed(f.index(row_lo, row_hi, col_lo, col_hi)?)),
+            Tensor::Compressed(c) => Self::decompressed(c).index(row_lo, row_hi, col_lo, col_hi),
         }
     }
 
     /// Vertical concatenation.
     pub fn rbind(&self, other: &Tensor) -> Result<Tensor> {
         match (self, other) {
+            (Tensor::Compressed(a), _) => Self::decompressed(a).rbind(other),
+            (_, Tensor::Compressed(b)) => self.rbind(&Self::decompressed(b)),
             (Tensor::Local(a), Tensor::Local(b)) => Ok(Tensor::Local(reorg::rbind(a, b)?)),
             (Tensor::Fed(a), Tensor::Fed(b)) => Ok(Tensor::Fed(a.rbind_fed(b)?)),
             _ => Err(RuntimeError::Unsupported(
@@ -352,6 +470,8 @@ impl Tensor {
     /// Horizontal concatenation (aligned for federated inputs).
     pub fn cbind(&self, other: &Tensor) -> Result<Tensor> {
         match (self, other) {
+            (Tensor::Compressed(a), _) => Self::decompressed(a).cbind(other),
+            (_, Tensor::Compressed(b)) => self.cbind(&Self::decompressed(b)),
             (Tensor::Local(a), Tensor::Local(b)) => Ok(Tensor::Local(reorg::cbind(a, b)?)),
             (Tensor::Fed(a), Tensor::Fed(b)) => Ok(Tensor::Fed(a.cbind_aligned(b)?)),
             _ => Err(RuntimeError::Unsupported(
@@ -365,6 +485,24 @@ impl Tensor {
         match self {
             Tensor::Local(m) => Ok(Tensor::Local(reorg::replace(m, pattern, replacement))),
             Tensor::Fed(f) => Ok(Tensor::Fed(f.replace(pattern, replacement)?)),
+            Tensor::Compressed(c) => {
+                // Same per-cell rule as `reorg::replace`, on the
+                // dictionaries only (result stays compressed).
+                let f = move |v: f64| {
+                    if pattern.is_nan() {
+                        if v.is_nan() {
+                            replacement
+                        } else {
+                            v
+                        }
+                    } else if v == pattern {
+                        replacement
+                    } else {
+                        v
+                    }
+                };
+                Ok(Tensor::Compressed(c.map_cells(f)))
+            }
         }
     }
 }
@@ -372,6 +510,12 @@ impl Tensor {
 impl From<DenseMatrix> for Tensor {
     fn from(m: DenseMatrix) -> Self {
         Tensor::Local(m)
+    }
+}
+
+impl From<CompressedMatrix> for Tensor {
+    fn from(c: CompressedMatrix) -> Self {
+        Tensor::Compressed(c)
     }
 }
 

@@ -10,12 +10,22 @@
 //! * **RLE** (run-length encoding) — `(value, run_length)` pairs,
 //! * **UC** (uncompressed) — fallback when neither pays off.
 //!
-//! A handful of linear-algebra ops execute *directly* on the compressed
-//! form (`matrix-vector`, `col_sums`, `sum`), which is what makes compressed
-//! caching attractive: repeated pipeline runs can reuse compacted
-//! intermediates without decompressing.
+//! The compressed form is an *execution* representation, not just
+//! storage (DESIGN.md §4k): scalar/element-wise ops, row/col/full
+//! aggregates, `matvec`/`t_vecmat`, and the fused `mmchain` all run
+//! directly on the column groups. Element-wise ops transform only the
+//! distinct values (dictionary entries / run values) in O(distinct)
+//! per column; the reduction ops walk the codes in exactly the same
+//! per-cell order as the corresponding dense kernel — no reassociation,
+//! no shortcut over run lengths — so every result is bitwise identical
+//! to decompress-then-operate. The wins are the 4-8x smaller memory
+//! traffic of 1-2 byte codes and the avoided decompress allocation,
+//! not a reduced op count.
 
 use crate::dense::DenseMatrix;
+use crate::error::{MatrixError, Result};
+use crate::kernels::aggregates::{finish, AggDir, AggOp};
+use crate::kernels::par_floor;
 
 /// One encoded column.
 #[derive(Debug, Clone, PartialEq)]
@@ -96,63 +106,149 @@ impl ColumnGroup {
         }
     }
 
-    /// Dot product of this column with a dense vector of row weights
-    /// (core of compressed matrix-vector multiplication).
-    fn dot(&self, weights: &[f64]) -> f64 {
+    /// Applies `f` to every *distinct* stored value, keeping the code /
+    /// run structure — the O(distinct) element-wise fast path. Bitwise
+    /// equivalent to decode-map-encode because decoding reads values
+    /// straight out of the dictionary (or run) that `f` transformed.
+    fn map_values(&self, f: &(impl Fn(f64) -> f64 + ?Sized)) -> ColumnGroup {
         match self {
-            ColumnGroup::Ddc8 { dict, codes } => {
-                // Accumulate weights per code, then one pass over the dict.
-                let mut acc = vec![0.0; dict.len()];
-                for (r, &code) in codes.iter().enumerate() {
-                    acc[code as usize] += weights[r];
-                }
-                acc.iter().zip(dict).map(|(&a, &d)| a * d).sum()
-            }
-            ColumnGroup::Ddc16 { dict, codes } => {
-                let mut acc = vec![0.0; dict.len()];
-                for (r, &code) in codes.iter().enumerate() {
-                    acc[code as usize] += weights[r];
-                }
-                acc.iter().zip(dict).map(|(&a, &d)| a * d).sum()
-            }
-            ColumnGroup::Rle { runs } => {
-                let mut r = 0usize;
-                let mut total = 0.0;
-                for &(v, len) in runs {
-                    if v != 0.0 {
-                        let s: f64 = weights[r..r + len as usize].iter().sum();
-                        total += v * s;
-                    }
-                    r += len as usize;
-                }
-                total
-            }
-            ColumnGroup::Uc { values } => values.iter().zip(weights).map(|(&v, &w)| v * w).sum(),
+            ColumnGroup::Ddc8 { dict, codes } => ColumnGroup::Ddc8 {
+                dict: dict.iter().map(|&v| f(v)).collect(),
+                codes: codes.clone(),
+            },
+            ColumnGroup::Ddc16 { dict, codes } => ColumnGroup::Ddc16 {
+                dict: dict.iter().map(|&v| f(v)).collect(),
+                codes: codes.clone(),
+            },
+            ColumnGroup::Rle { runs } => ColumnGroup::Rle {
+                runs: runs.iter().map(|&(v, len)| (f(v), len)).collect(),
+            },
+            ColumnGroup::Uc { values } => ColumnGroup::Uc {
+                values: values.iter().map(|&v| f(v)).collect(),
+            },
         }
     }
 
-    /// Sum of the column values.
-    fn sum(&self, rows: usize) -> f64 {
+    /// Walks the decoded values of rows `lo..hi` in ascending row order,
+    /// calling `f(r, value)` — the building block of every compressed
+    /// reduction. Emitting rows strictly in order is what makes the
+    /// compressed chains bitwise identical to the dense kernels'.
+    fn for_each_range(&self, lo: usize, hi: usize, mut f: impl FnMut(usize, f64)) {
         match self {
             ColumnGroup::Ddc8 { dict, codes } => {
-                let mut counts = vec![0usize; dict.len()];
-                for &c in codes {
-                    counts[c as usize] += 1;
+                for (d, &code) in codes[lo..hi].iter().enumerate() {
+                    f(lo + d, dict[code as usize]);
                 }
-                counts.iter().zip(dict).map(|(&n, &d)| n as f64 * d).sum()
             }
             ColumnGroup::Ddc16 { dict, codes } => {
-                let mut counts = vec![0usize; dict.len()];
-                for &c in codes {
-                    counts[c as usize] += 1;
+                for (d, &code) in codes[lo..hi].iter().enumerate() {
+                    f(lo + d, dict[code as usize]);
                 }
-                counts.iter().zip(dict).map(|(&n, &d)| n as f64 * d).sum()
             }
-            ColumnGroup::Rle { runs } => runs.iter().map(|&(v, len)| v * len as f64).sum(),
+            ColumnGroup::Rle { runs } => {
+                let mut r = 0usize;
+                for &(v, len) in runs {
+                    let end = r + len as usize;
+                    if end > lo {
+                        for rr in r.max(lo)..end.min(hi) {
+                            f(rr, v);
+                        }
+                        if end >= hi {
+                            break;
+                        }
+                    }
+                    r = end;
+                }
+            }
             ColumnGroup::Uc { values } => {
-                debug_assert_eq!(values.len(), rows);
-                values.iter().sum()
+                for (d, &v) in values[lo..hi].iter().enumerate() {
+                    f(lo + d, v);
+                }
             }
+        }
+    }
+
+    /// Visits each *distinct* stored value once. Every dictionary entry
+    /// and run value is present in at least one row, so an order-blind
+    /// reduction over distinct values (min/max with the Col-aggregate
+    /// comparison, which ignores NaN on both sides) equals the dense
+    /// row-walk result.
+    fn for_each_distinct(&self, mut f: impl FnMut(f64)) {
+        match self {
+            ColumnGroup::Ddc8 { dict, .. } => dict.iter().for_each(|&v| f(v)),
+            ColumnGroup::Ddc16 { dict, .. } => dict.iter().for_each(|&v| f(v)),
+            ColumnGroup::Rle { runs } => runs.iter().for_each(|&(v, _)| f(v)),
+            ColumnGroup::Uc { values } => values.iter().for_each(|&v| f(v)),
+        }
+    }
+}
+
+/// Streaming row cursor over one column group: `next()` yields the value
+/// of the next row in O(1). Used by the row-major full-aggregate walk,
+/// which must interleave columns in the dense kernel's cell order.
+enum Cursor<'a> {
+    Ddc8 {
+        /// Distinct values of the column.
+        dict: &'a [f64],
+        /// Remaining codes, front = next row.
+        codes: std::slice::Iter<'a, u8>,
+    },
+    Ddc16 {
+        /// Distinct values of the column.
+        dict: &'a [f64],
+        /// Remaining codes, front = next row.
+        codes: std::slice::Iter<'a, u16>,
+    },
+    Rle {
+        /// Remaining runs, front = current run.
+        runs: std::slice::Iter<'a, (f64, u32)>,
+        /// Value of the current run.
+        value: f64,
+        /// Rows left in the current run.
+        left: u32,
+    },
+    Uc {
+        /// Remaining values, front = next row.
+        values: std::slice::Iter<'a, f64>,
+    },
+}
+
+impl<'a> Cursor<'a> {
+    fn new(g: &'a ColumnGroup) -> Self {
+        match g {
+            ColumnGroup::Ddc8 { dict, codes } => Cursor::Ddc8 {
+                dict,
+                codes: codes.iter(),
+            },
+            ColumnGroup::Ddc16 { dict, codes } => Cursor::Ddc16 {
+                dict,
+                codes: codes.iter(),
+            },
+            ColumnGroup::Rle { runs } => Cursor::Rle {
+                runs: runs.iter(),
+                value: 0.0,
+                left: 0,
+            },
+            ColumnGroup::Uc { values } => Cursor::Uc {
+                values: values.iter(),
+            },
+        }
+    }
+
+    fn next(&mut self) -> f64 {
+        match self {
+            Cursor::Ddc8 { dict, codes } => dict[*codes.next().expect("rows in bounds") as usize],
+            Cursor::Ddc16 { dict, codes } => dict[*codes.next().expect("rows in bounds") as usize],
+            Cursor::Rle { runs, value, left } => {
+                while *left == 0 {
+                    let &(v, len) = runs.next().expect("rows in bounds");
+                    *value = v;
+                    *left = len;
+                }
+                *left -= 1;
+                *value
+            }
+            Cursor::Uc { values } => *values.next().expect("rows in bounds"),
         }
     }
 }
@@ -298,58 +394,255 @@ impl CompressedMatrix {
         out
     }
 
-    /// Matrix-vector product `self * v` executed directly on the compressed
-    /// representation (one dictionary-aggregated dot per column).
-    ///
-    /// Note: this evaluates `selfᵀ`-major, so it is most efficient when the
-    /// matrix is tall; it returns the exact same result as the dense kernel.
-    pub fn matvec(&self, v: &DenseMatrix) -> crate::error::Result<DenseMatrix> {
+    /// Per-group parallel chunk size: columns per block sized so each
+    /// block carries at least `PAR_MIN_WORK` row visits.
+    fn group_chunk(&self) -> usize {
+        let min_cols = (crate::kernels::PAR_MIN_WORK / self.rows.max(1)).max(1);
+        exdra_par::chunk_len(self.cols(), min_cols)
+    }
+
+    /// Applies an element-wise function to every cell *without decoding*:
+    /// only the distinct values of each column group are transformed, in
+    /// O(distinct) per column, and the result stays compressed. This is
+    /// the compressed-domain execution path for scalar ops, unary ops,
+    /// `replace`, and fused element-wise chains.
+    pub fn map_cells(&self, f: impl Fn(f64) -> f64 + Sync) -> CompressedMatrix {
+        let chunk = self.group_chunk();
+        let groups = exdra_par::map_chunks(self.cols(), chunk, |_, range| {
+            range
+                .map(|c| self.groups[c].map_values(&f))
+                .collect::<Vec<_>>()
+        })
+        .into_iter()
+        .flatten()
+        .collect();
+        CompressedMatrix {
+            rows: self.rows,
+            groups,
+        }
+    }
+
+    /// Computes an aggregate directly on the compressed representation,
+    /// bitwise identical to `aggregates::aggregate(&self.decompress(), ..)`:
+    /// every cell is visited in the same order, with the same running
+    /// stats, as the corresponding dense arm (min/max column aggregates
+    /// shortcut over distinct values, which is order-blind and exact).
+    pub fn aggregate(&self, op: AggOp, dir: AggDir) -> Result<DenseMatrix> {
+        let (r, c) = (self.rows, self.cols());
+        let needs_data = !matches!(op, AggOp::Sum | AggOp::SumSq);
+        if r * c == 0 && needs_data {
+            return Err(MatrixError::InvalidArgument {
+                op: op.name(),
+                msg: "aggregate of empty matrix".into(),
+            });
+        }
+        match dir {
+            AggDir::Full => {
+                // Row-major cell order via one streaming cursor per
+                // column — the dense Full arm's exact chain.
+                let mut cursors: Vec<Cursor> = self.groups.iter().map(Cursor::new).collect();
+                let mut sum = 0.0;
+                let mut sumsq = 0.0;
+                let mut min = f64::INFINITY;
+                let mut max = f64::NEG_INFINITY;
+                for _ in 0..r {
+                    for cur in cursors.iter_mut() {
+                        let v = cur.next();
+                        sum += v;
+                        sumsq += v * v;
+                        min = min.min(v);
+                        max = max.max(v);
+                    }
+                }
+                Ok(DenseMatrix::filled(
+                    1,
+                    1,
+                    finish(op, sum, sumsq, min, max, (r * c) as f64),
+                ))
+            }
+            AggDir::Row => {
+                // Column-outer walk over disjoint row blocks: each row's
+                // stats update in c-ascending order — the dense Row arm's
+                // left-to-right chain, `f64::min`/`f64::max` style.
+                let mut out = DenseMatrix::zeros(r, 1);
+                let rows_per_chunk = exdra_par::chunk_len(r, par_floor(4 * c));
+                exdra_par::par_chunks_mut(out.values_mut(), rows_per_chunk, |_, lo, chunk| {
+                    let hi = lo + chunk.len();
+                    let w = chunk.len();
+                    let mut sum = vec![0.0; w];
+                    let mut sumsq = vec![0.0; w];
+                    let mut min = vec![f64::INFINITY; w];
+                    let mut max = vec![f64::NEG_INFINITY; w];
+                    for g in &self.groups {
+                        g.for_each_range(lo, hi, |row, v| {
+                            let d = row - lo;
+                            sum[d] += v;
+                            sumsq[d] += v * v;
+                            min[d] = min[d].min(v);
+                            max[d] = max[d].max(v);
+                        });
+                    }
+                    for (d, o) in chunk.iter_mut().enumerate() {
+                        *o = finish(op, sum[d], sumsq[d], min[d], max[d], c as f64);
+                    }
+                });
+                Ok(out)
+            }
+            AggDir::Col => {
+                // One output cell per group, groups disjoint. Sum-based
+                // ops walk rows top-to-bottom (the dense Col arm's
+                // i-ascending chain); min/max scan distinct values with
+                // the Col arm's `<`/`>` comparisons, which is set-based
+                // and therefore order-independent.
+                let mut out = DenseMatrix::zeros(1, c);
+                let chunk = self.group_chunk();
+                exdra_par::par_chunks_mut(out.values_mut(), chunk, |_, c0, ochunk| {
+                    for (d, o) in ochunk.iter_mut().enumerate() {
+                        let g = &self.groups[c0 + d];
+                        let mut sum = 0.0;
+                        let mut sumsq = 0.0;
+                        let mut min = f64::INFINITY;
+                        let mut max = f64::NEG_INFINITY;
+                        match op {
+                            AggOp::Min | AggOp::Max => g.for_each_distinct(|v| {
+                                if v < min {
+                                    min = v;
+                                }
+                                if v > max {
+                                    max = v;
+                                }
+                            }),
+                            _ => g.for_each_range(0, r, |_, v| {
+                                sum += v;
+                                sumsq += v * v;
+                            }),
+                        }
+                        *o = finish(op, sum, sumsq, min, max, r as f64);
+                    }
+                });
+                Ok(out)
+            }
+        }
+    }
+
+    /// Matrix-vector product `self * v` executed directly on the
+    /// compressed representation: column-outer, every column visited in
+    /// ascending order with no zero-skip, each term `x * v[c]` added
+    /// individually — the dense matvec fast path's per-row k-ascending
+    /// chain, bit for bit, reading 1-2 byte codes instead of 8-byte cells.
+    pub fn matvec(&self, v: &DenseMatrix) -> Result<DenseMatrix> {
         if v.rows() != self.cols() || v.cols() != 1 {
-            return Err(crate::error::MatrixError::DimensionMismatch {
+            return Err(MatrixError::DimensionMismatch {
                 op: "compressed_matvec",
                 lhs: (self.rows, self.cols()),
                 rhs: v.shape(),
             });
         }
-        // out[r] = sum_c value(r,c) * v[c]; evaluate column-wise with scaling.
+        let vv = v.values();
         let mut out = vec![0.0; self.rows];
-        let mut colbuf = vec![0.0; self.rows];
-        for (c, g) in self.groups.iter().enumerate() {
-            let scale = v.get(c, 0);
-            if scale == 0.0 {
-                continue;
+        let chunk = exdra_par::chunk_len(self.rows, par_floor(self.cols()));
+        exdra_par::par_chunks_mut(&mut out, chunk, |_, lo, oseg| {
+            let hi = lo + oseg.len();
+            for (c, g) in self.groups.iter().enumerate() {
+                let scale = vv[c];
+                g.for_each_range(lo, hi, |row, x| oseg[row - lo] += x * scale);
             }
-            g.decode_into(&mut colbuf, 1);
-            for (o, &x) in out.iter_mut().zip(&colbuf) {
-                *o += scale * x;
-            }
-        }
+        });
         DenseMatrix::new(self.rows, 1, out)
     }
 
-    /// Vector-matrix product `wᵀ * self` on the compressed representation;
-    /// this is the fast path (per-code weight aggregation, no decode).
-    pub fn t_vecmat(&self, w: &DenseMatrix) -> crate::error::Result<DenseMatrix> {
+    /// Vector-matrix product `wᵀ * self` on the compressed representation:
+    /// per column, one r-ascending chain `acc += w[r] * x` — exactly the
+    /// blocked GEMM's per-cell k-ascending order for `t(w) %*% X`.
+    pub fn t_vecmat(&self, w: &DenseMatrix) -> Result<DenseMatrix> {
         if w.rows() != self.rows || w.cols() != 1 {
-            return Err(crate::error::MatrixError::DimensionMismatch {
+            return Err(MatrixError::DimensionMismatch {
                 op: "compressed_vecmat",
                 lhs: (self.rows, self.cols()),
                 rhs: w.shape(),
             });
         }
-        let data: Vec<f64> = self.groups.iter().map(|g| g.dot(w.values())).collect();
-        DenseMatrix::new(1, self.cols(), data)
+        let wv = w.values();
+        let mut out = vec![0.0; self.cols()];
+        let chunk = self.group_chunk();
+        exdra_par::par_chunks_mut(&mut out, chunk, |_, c0, ochunk| {
+            for (d, o) in ochunk.iter_mut().enumerate() {
+                let mut acc = 0.0;
+                self.groups[c0 + d].for_each_range(0, self.rows, |row, x| acc += wv[row] * x);
+                *o = acc;
+            }
+        });
+        DenseMatrix::new(1, self.cols(), out)
+    }
+
+    /// Fused chain `Xᵀ (w ⊙ (X v))` on the compressed representation,
+    /// phase for phase the dense `mmchain` kernel: phase 1 accumulates
+    /// each row's dot c-ascending (column-outer) then applies `w`; phase
+    /// 2 reduces each output column r-ascending with `q[r]` as the left
+    /// operand. Bitwise identical to decompress-then-`mmchain`.
+    pub fn mmchain(&self, v: &DenseMatrix, w: Option<&DenseMatrix>) -> Result<DenseMatrix> {
+        if v.rows() != self.cols() || v.cols() != 1 {
+            return Err(MatrixError::DimensionMismatch {
+                op: "compressed_mmchain",
+                lhs: (self.rows, self.cols()),
+                rhs: v.shape(),
+            });
+        }
+        if let Some(w) = w {
+            if w.rows() != self.rows || w.cols() != 1 {
+                return Err(MatrixError::DimensionMismatch {
+                    op: "compressed_mmchain",
+                    lhs: (self.rows, self.cols()),
+                    rhs: w.shape(),
+                });
+            }
+        }
+        let (m, n) = (self.rows, self.cols());
+        let mut out = DenseMatrix::zeros(n, 1);
+        if m == 0 || n == 0 {
+            return Ok(out);
+        }
+        let vv = v.values();
+        let wv = w.map(|w| w.values());
+        // Phase 1: q = (X v) ⊙ w, column-outer over disjoint row blocks.
+        let mut q = vec![0.0; m];
+        let chunk = exdra_par::chunk_len(m, par_floor(n));
+        exdra_par::par_chunks_mut(&mut q, chunk, |_, lo, qseg| {
+            let hi = lo + qseg.len();
+            for (c, g) in self.groups.iter().enumerate() {
+                let scale = vv[c];
+                g.for_each_range(lo, hi, |row, x| qseg[row - lo] += x * scale);
+            }
+            if let Some(wv) = wv {
+                for (d, qi) in qseg.iter_mut().enumerate() {
+                    *qi *= wv[lo + d];
+                }
+            }
+        });
+        // Phase 2: out = Xᵀ q, one r-ascending chain per column.
+        let q = &q;
+        let chunk = self.group_chunk();
+        exdra_par::par_chunks_mut(out.values_mut(), chunk, |_, c0, ochunk| {
+            for (d, o) in ochunk.iter_mut().enumerate() {
+                let mut acc = 0.0;
+                self.groups[c0 + d].for_each_range(0, m, |row, x| acc += q[row] * x);
+                *o = acc;
+            }
+        });
+        Ok(out)
     }
 
     /// Column sums computed on the compressed representation.
     pub fn col_sums(&self) -> DenseMatrix {
-        let data: Vec<f64> = self.groups.iter().map(|g| g.sum(self.rows)).collect();
-        DenseMatrix::new(1, self.cols(), data).expect("consistent dims")
+        self.aggregate(AggOp::Sum, AggDir::Col)
+            .expect("sum aggregate cannot fail")
     }
 
     /// Full sum computed on the compressed representation.
     pub fn sum(&self) -> f64 {
-        self.groups.iter().map(|g| g.sum(self.rows)).sum()
+        self.aggregate(AggOp::Sum, AggDir::Full)
+            .expect("sum aggregate cannot fail")
+            .get(0, 0)
     }
 }
 
@@ -440,5 +733,65 @@ mod tests {
         .unwrap();
         assert!(c.col_sums().max_abs_diff(&want) < 1e-10);
         assert!((c.sum() - d.values().iter().sum::<f64>()).abs() < 1e-10);
+    }
+
+    fn same_bits(a: &DenseMatrix, b: &DenseMatrix) -> bool {
+        a.shape() == b.shape()
+            && a.values()
+                .iter()
+                .zip(b.values())
+                .all(|(x, y)| x.to_bits() == y.to_bits())
+    }
+
+    #[test]
+    fn every_aggregate_is_bitwise_identical_to_dense() {
+        use crate::kernels::aggregates::{aggregate, AggDir, AggOp};
+        let d = mixed_matrix(97);
+        let c = CompressedMatrix::compress(&d);
+        for op in [
+            AggOp::Sum,
+            AggOp::Min,
+            AggOp::Max,
+            AggOp::Mean,
+            AggOp::Var,
+            AggOp::Sd,
+            AggOp::SumSq,
+        ] {
+            for dir in [AggDir::Full, AggDir::Row, AggDir::Col] {
+                let got = c.aggregate(op, dir).unwrap();
+                let want = aggregate(&d, op, dir).unwrap();
+                assert!(same_bits(&got, &want), "{:?} {:?} differs", op, dir);
+            }
+        }
+    }
+
+    #[test]
+    fn matvec_vecmat_mmchain_bitwise_match_dense_kernels() {
+        use crate::kernels::matmul::{matmul, mmchain};
+        let d = mixed_matrix(150);
+        let c = CompressedMatrix::compress(&d);
+        let v = rand_matrix(4, 1, -1.0, 1.0, 5);
+        let w = rand_matrix(150, 1, 0.0, 1.0, 6);
+        assert!(same_bits(&c.matvec(&v).unwrap(), &matmul(&d, &v).unwrap()));
+        let want_vm = matmul(&transpose(&w), &d).unwrap();
+        assert!(same_bits(&c.t_vecmat(&w).unwrap(), &want_vm));
+        for weights in [None, Some(&w)] {
+            let got = c.mmchain(&v, weights).unwrap();
+            let want = mmchain(&d, &v, weights).unwrap();
+            assert!(same_bits(&got, &want));
+        }
+    }
+
+    #[test]
+    fn map_cells_stays_compressed_and_matches_dense_map() {
+        let d = mixed_matrix(120);
+        let c = CompressedMatrix::compress(&d);
+        let got = c.map_cells(|v| (v * 2.0).abs());
+        // Structure preserved: same schemes, no decode.
+        let before: Vec<_> = c.plan().iter().map(|p| p.scheme).collect();
+        let after: Vec<_> = got.plan().iter().map(|p| p.scheme).collect();
+        assert_eq!(before, after);
+        let want = d.map(|v| (v * 2.0).abs());
+        assert!(same_bits(&got.decompress(), &want));
     }
 }

@@ -54,7 +54,7 @@ pub enum AggDir {
     Col,
 }
 
-fn finish(op: AggOp, sum: f64, sumsq: f64, min: f64, max: f64, n: f64) -> f64 {
+pub(crate) fn finish(op: AggOp, sum: f64, sumsq: f64, min: f64, max: f64, n: f64) -> f64 {
     match op {
         AggOp::Sum => sum,
         AggOp::SumSq => sumsq,

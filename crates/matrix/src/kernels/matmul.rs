@@ -1,5 +1,22 @@
 //! Matrix multiplication kernels: `mm`, `tsmm` (transpose-self), and
 //! `mmchain` (the fused `Xᵀ (w ⊙ (X v))` pattern used by LM and MLogReg).
+//!
+//! The general kernel is a cache- and register-blocked GEMM (DESIGN.md
+//! §4k): `lhs` micro-panels and `rhs` column panels are packed into
+//! contiguous buffers, tiled over `k` in [`KC`]-deep slabs, and reduced by
+//! a fully-unrolled [`MR`]`x`[`NR`] register micro-tile. Every output
+//! cell still accumulates its `a*b` terms as one left-to-right chain in
+//! k-ascending order — blocking changes *where* the operands come from,
+//! never the order they are added — so the result is bitwise identical to
+//! [`matmul_naive`] at every thread count (the PR 4 determinism
+//! contract).
+//!
+//! The hot bodies are compiled twice: once for the portable baseline and
+//! once with AVX2 enabled (plus a hand-vectorized AVX-512 micro-tile),
+//! selected by runtime CPU detection. The wide paths perform the exact
+//! same lane-wise multiplies and adds — no fused multiply-add is ever
+//! emitted — so every dispatch target rounds identically; the proptest
+//! oracle suite pins all of them to `matmul_naive` bit for bit.
 
 // Parallel-array index loops are intentional in the hot kernels below:
 // iterator zips over 3+ arrays obscure the access pattern.
@@ -9,17 +26,235 @@ use super::par_floor;
 use crate::dense::DenseMatrix;
 use crate::error::{MatrixError, Result};
 
-/// Cache-blocking tile edge (in elements) for the general kernel.
+/// Cache-blocking tile edge (in elements) of the pre-blocking kernel,
+/// kept for [`matmul_unblocked`].
 const TILE: usize = 64;
+
+/// Rows of the register micro-tile (unroll factor in the M direction).
+pub const MR: usize = 4;
+/// Columns of the register micro-tile (unroll factor in the N direction):
+/// one AVX-512 lane group, or two AVX2 lane groups, per tile row. The
+/// `MR x NR` accumulator gives eight independent AVX2 add chains, enough
+/// to cover the `vaddpd` latency that a 4-wide tile stalls on.
+pub const NR: usize = 8;
+/// Depth of one packed k-slab: a [`NR`]-wide rhs panel is `KC * NR`
+/// doubles (16 KiB) and stays L1-resident while every micro-tile of the
+/// row block reduces against it.
+pub const KC: usize = 256;
+
+/// The fully-unrolled `MR x NR` micro-kernel: `acc[i][j] += a[i] * b[j]`
+/// for each of the `kc` packed depth steps. Terms are added one at a
+/// time in t-ascending order, so each cell's accumulation chain is
+/// exactly the k-ascending chain of the naive kernel. Dispatches to a
+/// hand-vectorized twin when the CPU allows; all twins perform the same
+/// lane-wise IEEE-754 multiplies and adds, so the choice never changes a
+/// single output bit.
+#[inline(always)]
+fn micro_tile(kc: usize, ap: &[f64], bp: &[f64], acc: &mut [[f64; NR]; MR]) {
+    #[cfg(target_arch = "x86_64")]
+    {
+        // SAFETY: each call is guarded by its runtime feature
+        // detection; panel bounds are asserted inside the twins.
+        if avx512_available() {
+            unsafe { micro_tile_avx512(kc, ap, bp, acc) };
+            return;
+        }
+        if avx2_available() {
+            unsafe { micro_tile_avx2(kc, ap, bp, acc) };
+            return;
+        }
+    }
+    micro_tile_scalar(kc, ap, bp, acc);
+}
+
+/// Portable body of [`micro_tile`]: accumulates in a by-value copy so
+/// the tile lives in registers for the whole depth loop instead of
+/// round-tripping through the stack.
+#[inline(always)]
+fn micro_tile_scalar(kc: usize, ap: &[f64], bp: &[f64], acc: &mut [[f64; NR]; MR]) {
+    let mut c = *acc;
+    let panels = ap.chunks_exact(MR).zip(bp.chunks_exact(NR)).take(kc);
+    for (a, b) in panels {
+        for i in 0..MR {
+            let ai = a[i];
+            for j in 0..NR {
+                c[i][j] += ai * b[j];
+            }
+        }
+    }
+    *acc = c;
+}
+
+// The vector twins hard-code two 256-bit (one 512-bit) lane groups per
+// tile row.
+#[cfg(target_arch = "x86_64")]
+const _: () = assert!(MR == 4 && NR == 8, "vector micro-tiles assume a 4x8 tile");
+
+/// AVX2 twin of [`micro_tile`]: the same 32 `acc[i][j] += a[i] * b[j]`
+/// updates per depth step, issued as broadcast/`vmulpd`/`vaddpd` triples
+/// over two 4-lane groups per tile row. Multiply and add are lane-wise
+/// IEEE-754 operations — lane `j` computes exactly the scalar
+/// `acc[i][j] + a[i] * b[j]` with the same rounding, and no fused
+/// multiply-add is ever emitted — so the twin is bitwise identical to
+/// [`micro_tile_scalar`] by construction (and the proptest oracle suite
+/// pins it to `matmul_naive`).
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn micro_tile_avx2(kc: usize, ap: &[f64], bp: &[f64], acc: &mut [[f64; NR]; MR]) {
+    use core::arch::x86_64::*;
+    assert!(
+        ap.len() >= kc * MR && bp.len() >= kc * NR,
+        "packed panel underflow"
+    );
+    // SAFETY (for the raw loads below): each row of `acc` is NR = 8
+    // contiguous doubles, and every `ap`/`bp` offset stays inside the
+    // panel lengths asserted above.
+    let mut c00 = _mm256_loadu_pd(acc[0].as_ptr());
+    let mut c01 = _mm256_loadu_pd(acc[0].as_ptr().add(4));
+    let mut c10 = _mm256_loadu_pd(acc[1].as_ptr());
+    let mut c11 = _mm256_loadu_pd(acc[1].as_ptr().add(4));
+    let mut c20 = _mm256_loadu_pd(acc[2].as_ptr());
+    let mut c21 = _mm256_loadu_pd(acc[2].as_ptr().add(4));
+    let mut c30 = _mm256_loadu_pd(acc[3].as_ptr());
+    let mut c31 = _mm256_loadu_pd(acc[3].as_ptr().add(4));
+    for t in 0..kc {
+        let b0 = _mm256_loadu_pd(bp.as_ptr().add(t * NR));
+        let b1 = _mm256_loadu_pd(bp.as_ptr().add(t * NR + 4));
+        let a = ap.as_ptr().add(t * MR);
+        let a0 = _mm256_set1_pd(*a);
+        c00 = _mm256_add_pd(c00, _mm256_mul_pd(a0, b0));
+        c01 = _mm256_add_pd(c01, _mm256_mul_pd(a0, b1));
+        let a1 = _mm256_set1_pd(*a.add(1));
+        c10 = _mm256_add_pd(c10, _mm256_mul_pd(a1, b0));
+        c11 = _mm256_add_pd(c11, _mm256_mul_pd(a1, b1));
+        let a2 = _mm256_set1_pd(*a.add(2));
+        c20 = _mm256_add_pd(c20, _mm256_mul_pd(a2, b0));
+        c21 = _mm256_add_pd(c21, _mm256_mul_pd(a2, b1));
+        let a3 = _mm256_set1_pd(*a.add(3));
+        c30 = _mm256_add_pd(c30, _mm256_mul_pd(a3, b0));
+        c31 = _mm256_add_pd(c31, _mm256_mul_pd(a3, b1));
+    }
+    _mm256_storeu_pd(acc[0].as_mut_ptr(), c00);
+    _mm256_storeu_pd(acc[0].as_mut_ptr().add(4), c01);
+    _mm256_storeu_pd(acc[1].as_mut_ptr(), c10);
+    _mm256_storeu_pd(acc[1].as_mut_ptr().add(4), c11);
+    _mm256_storeu_pd(acc[2].as_mut_ptr(), c20);
+    _mm256_storeu_pd(acc[2].as_mut_ptr().add(4), c21);
+    _mm256_storeu_pd(acc[3].as_mut_ptr(), c30);
+    _mm256_storeu_pd(acc[3].as_mut_ptr().add(4), c31);
+}
+
+/// AVX-512 twin of [`micro_tile`]: one 8-lane group per tile row, four
+/// broadcast/`vmulpd`/`vaddpd` triples per depth step. Same lane-wise
+/// rounding argument as [`micro_tile_avx2`] — no FMA, no reassociation —
+/// so it too is bitwise identical to the scalar body.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx512f")]
+unsafe fn micro_tile_avx512(kc: usize, ap: &[f64], bp: &[f64], acc: &mut [[f64; NR]; MR]) {
+    use core::arch::x86_64::*;
+    assert!(
+        ap.len() >= kc * MR && bp.len() >= kc * NR,
+        "packed panel underflow"
+    );
+    // SAFETY: as in [`micro_tile_avx2`] — NR = 8 doubles per `acc` row,
+    // offsets bounded by the assert above.
+    let mut c0 = _mm512_loadu_pd(acc[0].as_ptr());
+    let mut c1 = _mm512_loadu_pd(acc[1].as_ptr());
+    let mut c2 = _mm512_loadu_pd(acc[2].as_ptr());
+    let mut c3 = _mm512_loadu_pd(acc[3].as_ptr());
+    for t in 0..kc {
+        let b = _mm512_loadu_pd(bp.as_ptr().add(t * NR));
+        let a = ap.as_ptr().add(t * MR);
+        c0 = _mm512_add_pd(c0, _mm512_mul_pd(_mm512_set1_pd(*a), b));
+        c1 = _mm512_add_pd(c1, _mm512_mul_pd(_mm512_set1_pd(*a.add(1)), b));
+        c2 = _mm512_add_pd(c2, _mm512_mul_pd(_mm512_set1_pd(*a.add(2)), b));
+        c3 = _mm512_add_pd(c3, _mm512_mul_pd(_mm512_set1_pd(*a.add(3)), b));
+    }
+    _mm512_storeu_pd(acc[0].as_mut_ptr(), c0);
+    _mm512_storeu_pd(acc[1].as_mut_ptr(), c1);
+    _mm512_storeu_pd(acc[2].as_mut_ptr(), c2);
+    _mm512_storeu_pd(acc[3].as_mut_ptr(), c3);
+}
+
+/// Edge-tile micro-kernel for ragged `mr x nr` remainders
+/// (`mr <= MR, nr <= NR`); same packed layout and reduction order as
+/// [`micro_tile`].
+#[inline(always)]
+fn micro_tail(kc: usize, mr: usize, nr: usize, ap: &[f64], bp: &[f64], acc: &mut [[f64; NR]; MR]) {
+    for t in 0..kc {
+        let a: &[f64; MR] = ap[t * MR..t * MR + MR].try_into().unwrap();
+        let b: &[f64; NR] = bp[t * NR..t * NR + NR].try_into().unwrap();
+        for i in 0..mr {
+            for j in 0..nr {
+                acc[i][j] += a[i] * b[j];
+            }
+        }
+    }
+}
+
+/// True when the running CPU supports AVX2. The default `x86-64` target
+/// only assumes SSE2, which halves f64 SIMD width; the blocked kernels
+/// therefore carry a second compilation of the *same* Rust body gated on
+/// AVX2 and dispatch here at runtime. Rust never contracts `a * b + c`
+/// into a fused multiply-add, so both compilations round every term
+/// identically — the wider path is bitwise-equal by construction (and
+/// the proptest oracle suite enforces it).
+#[inline]
+fn avx2_available() -> bool {
+    #[cfg(target_arch = "x86_64")]
+    {
+        std::arch::is_x86_feature_detected!("avx2")
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        false
+    }
+}
+
+/// True when the running CPU supports the AVX-512 foundation subset,
+/// which is all [`micro_tile_avx512`] uses.
+#[cfg(target_arch = "x86_64")]
+#[inline]
+fn avx512_available() -> bool {
+    std::arch::is_x86_feature_detected!("avx512f")
+}
+
+/// Expands an AVX2-compiled twin of an `#[inline(always)]` kernel body
+/// plus a dispatcher that picks it when the CPU allows. The body is
+/// written once; the twin differs only in the instructions LLVM may
+/// select, never in operation order or rounding.
+macro_rules! avx2_twin {
+    ($dispatch:ident / $twin:ident => $body:ident ($($arg:ident: $ty:ty),* $(,)?)) => {
+        #[cfg(target_arch = "x86_64")]
+        #[target_feature(enable = "avx2")]
+        unsafe fn $twin($($arg: $ty),*) {
+            $body($($arg),*);
+        }
+
+        #[inline]
+        fn $dispatch($($arg: $ty),*) {
+            #[cfg(target_arch = "x86_64")]
+            if avx2_available() {
+                // SAFETY: guarded by the runtime AVX2 detection above;
+                // the body itself is plain safe Rust.
+                unsafe { $twin($($arg),*) };
+                return;
+            }
+            $body($($arg),*);
+        }
+    };
+}
 
 /// General matrix multiplication `lhs (m x k) * rhs (k x n)`.
 ///
-/// Uses an i-k-j loop order with tiling over `k` so the inner loop streams
-/// both the `rhs` row and the output row — the standard dense layout-friendly
-/// schedule for row-major data. Output rows are split into disjoint blocks
-/// fanned out across the `exdra_par` pool; every output cell accumulates in
-/// k-ascending order regardless of the split, so the result is bitwise
-/// identical at any thread count.
+/// Blocked schedule: output rows split into disjoint blocks fanned out
+/// across the `exdra_par` pool; within a block, `k` is tiled in [`KC`]
+/// slabs, the rhs slab is packed into [`NR`]-wide column panels, each
+/// [`MR`]-row lhs micro-panel is packed depth-major, and an `MR x NR`
+/// register tile reduces the slab. Every cell's terms are added in
+/// k-ascending order with the output cell carried through the slabs, so
+/// the result is bitwise identical to [`matmul_naive`] at any thread
+/// count and any block geometry.
 pub fn matmul(lhs: &DenseMatrix, rhs: &DenseMatrix) -> Result<DenseMatrix> {
     if lhs.cols() != rhs.rows() {
         return Err(MatrixError::DimensionMismatch {
@@ -41,17 +276,122 @@ pub fn matmul(lhs: &DenseMatrix, rhs: &DenseMatrix) -> Result<DenseMatrix> {
     if n == 1 {
         let rows_per_chunk = exdra_par::chunk_len(m, par_floor(k));
         exdra_par::par_chunks_mut(out.values_mut(), rows_per_chunk, |_, row0, chunk| {
-            for (d, o) in chunk.iter_mut().enumerate() {
-                let lrow = &lv[(row0 + d) * k..(row0 + d + 1) * k];
-                let mut acc = 0.0;
-                for (a, b) in lrow.iter().zip(rv) {
-                    acc += a * b;
-                }
-                *o = acc;
-            }
+            matvec_chunk(lv, rv, k, row0, chunk);
         });
         return Ok(out);
     }
+    let rows_per_chunk = exdra_par::chunk_len(m, par_floor(k * n));
+    let npanels = n.div_ceil(NR);
+    exdra_par::par_chunks_mut(out.values_mut(), rows_per_chunk * n, |_, cell0, ochunk| {
+        gemm_chunk(lv, rv, k, n, npanels, cell0 / n, ochunk);
+    });
+    Ok(out)
+}
+
+/// One parallel chunk of the matrix-vector fast path.
+#[inline(always)]
+fn matvec_chunk_body(lv: &[f64], rv: &[f64], k: usize, row0: usize, chunk: &mut [f64]) {
+    for (d, o) in chunk.iter_mut().enumerate() {
+        let lrow = &lv[(row0 + d) * k..(row0 + d + 1) * k];
+        let mut acc = 0.0;
+        for (a, b) in lrow.iter().zip(rv) {
+            acc += a * b;
+        }
+        *o = acc;
+    }
+}
+avx2_twin!(matvec_chunk / matvec_chunk_avx2 => matvec_chunk_body(
+    lv: &[f64], rv: &[f64], k: usize, row0: usize, chunk: &mut [f64]
+));
+
+/// One parallel chunk of the blocked GEMM: pack the rhs slab into
+/// NR-wide column panels, each MR-row lhs micro-panel depth-major, and
+/// reduce with the register micro-tile, carrying output cells through
+/// the k-slabs.
+#[inline(always)]
+fn gemm_chunk_body(
+    lv: &[f64],
+    rv: &[f64],
+    k: usize,
+    n: usize,
+    npanels: usize,
+    i0: usize,
+    ochunk: &mut [f64],
+) {
+    let rows = ochunk.len() / n;
+    // Packed buffers are per chunk: no cross-thread sharing, and the
+    // rhs panel layout is identical however the rows are split.
+    let mut bpack = vec![0.0f64; npanels * KC * NR];
+    let mut apack = vec![0.0f64; KC * MR];
+    for kb in (0..k).step_by(KC) {
+        let kc = (kb + KC).min(k) - kb;
+        // Pack the rhs slab into NR-wide column panels, depth-major
+        // within each panel. Ragged tail lanes stay at the buffer's
+        // initial 0.0 and are never read back.
+        for t in 0..kc {
+            let rrow = &rv[(kb + t) * n..(kb + t + 1) * n];
+            for (jp, colseg) in rrow.chunks(NR).enumerate() {
+                bpack[jp * KC * NR + t * NR..][..colseg.len()].copy_from_slice(colseg);
+            }
+        }
+        for ip in (0..rows).step_by(MR) {
+            let mr = (ip + MR).min(rows) - ip;
+            // Pack the lhs micro-panel, MR-interleaved: apack[t*MR+i]
+            // holds lhs[i0+ip+i][kb+t]. Stale tail lanes (mr < MR)
+            // feed accumulator rows that are never stored.
+            for lane in 0..mr {
+                let lrow = &lv[(i0 + ip + lane) * k + kb..][..kc];
+                for t in 0..kc {
+                    apack[t * MR + lane] = lrow[t];
+                }
+            }
+            for jp in 0..npanels {
+                let j0 = jp * NR;
+                let nr = (j0 + NR).min(n) - j0;
+                let bp = &bpack[jp * KC * NR..][..kc * NR];
+                // Carry the output micro-tile through the k-slabs:
+                // load, extend each cell's chain term by term, store.
+                let mut acc = [[0.0f64; NR]; MR];
+                for i in 0..mr {
+                    let orow = &ochunk[(ip + i) * n + j0..];
+                    acc[i][..nr].copy_from_slice(&orow[..nr]);
+                }
+                if mr == MR && nr == NR {
+                    micro_tile(kc, &apack, bp, &mut acc);
+                } else {
+                    micro_tail(kc, mr, nr, &apack, bp, &mut acc);
+                }
+                for i in 0..mr {
+                    let orow = &mut ochunk[(ip + i) * n + j0..];
+                    orow[..nr].copy_from_slice(&acc[i][..nr]);
+                }
+            }
+        }
+    }
+}
+avx2_twin!(gemm_chunk / gemm_chunk_avx2 => gemm_chunk_body(
+    lv: &[f64], rv: &[f64], k: usize, n: usize, npanels: usize, i0: usize, ochunk: &mut [f64]
+));
+
+/// The pre-blocking general kernel (i-k-j with a k tile and a zero-skip),
+/// kept as the measured baseline for `kernel_bench`'s blocked-vs-serial
+/// comparison. Not dispatched by any production path.
+pub fn matmul_unblocked(lhs: &DenseMatrix, rhs: &DenseMatrix) -> Result<DenseMatrix> {
+    if lhs.cols() != rhs.rows() {
+        return Err(MatrixError::DimensionMismatch {
+            op: "matmul_unblocked",
+            lhs: lhs.shape(),
+            rhs: rhs.shape(),
+        });
+    }
+    let (m, k) = lhs.shape();
+    let n = rhs.cols();
+    let mut out = DenseMatrix::zeros(m, n);
+    if m == 0 || n == 0 {
+        return Ok(out);
+    }
+    let lv = lhs.values();
+    let rv = rhs.values();
     let rows_per_chunk = exdra_par::chunk_len(m, par_floor(k * n));
     exdra_par::par_chunks_mut(out.values_mut(), rows_per_chunk * n, |_, cell0, ochunk| {
         let i0 = cell0 / n;
@@ -79,6 +419,12 @@ pub fn matmul(lhs: &DenseMatrix, rhs: &DenseMatrix) -> Result<DenseMatrix> {
 
 /// Transpose-self matrix multiplication `tsmm`: computes `Xᵀ X` (`left=true`)
 /// or `X Xᵀ` (`left=false`) exploiting the symmetry of the result.
+///
+/// Uses the same packed-panel blocking as [`matmul`] with `X`'s rows as
+/// the reduction dimension: both operands of the micro-tile are column
+/// panels of `X`. Only micro-tiles intersecting the upper triangle are
+/// reduced, and only their upper cells stored; each upper cell's chain is
+/// the full r-ascending sum, bitwise stable across thread counts.
 pub fn tsmm(x: &DenseMatrix, left: bool) -> Result<DenseMatrix> {
     if left {
         let (m, n) = x.shape();
@@ -88,35 +434,27 @@ pub fn tsmm(x: &DenseMatrix, left: bool) -> Result<DenseMatrix> {
         }
         let xv = x.values();
         // Output rows of the upper triangle are disjoint, so fan them out
-        // in blocks; each cell still accumulates in r-ascending order with
-        // the same zero-skip, keeping bits identical to the serial r-i-j
-        // schedule. Upper rows carry more columns, but the pool's shared
+        // in blocks. Upper rows carry more columns, but the pool's shared
         // queue lets early-finishing threads steal the cheap tail chunks.
         let rows_per_chunk = exdra_par::chunk_len(n, par_floor(m * (n / 2 + 1)));
+        let npanels = n.div_ceil(NR);
         exdra_par::par_chunks_mut(out.values_mut(), rows_per_chunk * n, |_, cell0, ochunk| {
-            let i0 = cell0 / n;
-            let rows = ochunk.len() / n;
-            for r in 0..m {
-                let row = &xv[r * n..(r + 1) * n];
-                for di in 0..rows {
-                    let a = row[i0 + di];
-                    if a == 0.0 {
-                        continue;
-                    }
-                    let orow = &mut ochunk[di * n..(di + 1) * n];
-                    for j in (i0 + di)..n {
-                        orow[j] += a * row[j];
-                    }
+            tsmm_chunk(xv, m, n, npanels, cell0 / n, ochunk);
+        });
+        // Mirror the upper triangle into the lower half: snapshot the
+        // finished rows once, then fill each lower row slice in parallel
+        // over disjoint output rows (replaces the serial get/set loop).
+        let upper = out.values().to_vec();
+        let mirror_rows = exdra_par::chunk_len(n, par_floor(n / 2 + 1));
+        exdra_par::par_chunks_mut(out.values_mut(), mirror_rows * n, |_, cell0, ochunk| {
+            let j0 = cell0 / n;
+            for (dj, orow) in ochunk.chunks_mut(n).enumerate() {
+                let j = j0 + dj;
+                for (i, o) in orow[..j].iter_mut().enumerate() {
+                    *o = upper[i * n + j];
                 }
             }
         });
-        // Mirror the upper triangle.
-        for i in 0..n {
-            for j in (i + 1)..n {
-                let v = out.get(i, j);
-                out.set(j, i, v);
-            }
-        }
         Ok(out)
     } else {
         let xt = super::reorg::transpose(x);
@@ -124,11 +462,76 @@ pub fn tsmm(x: &DenseMatrix, left: bool) -> Result<DenseMatrix> {
     }
 }
 
+/// One parallel chunk of blocked `tsmm`: identical packing to
+/// [`gemm_chunk_body`] with `X`'s rows as the reduction dimension and
+/// both operands drawn from `X`'s column panels; only micro-tiles
+/// touching the upper triangle are reduced and only upper cells stored.
+#[inline(always)]
+fn tsmm_chunk_body(xv: &[f64], m: usize, n: usize, npanels: usize, i0: usize, ochunk: &mut [f64]) {
+    let rows = ochunk.len() / n;
+    let mut bpack = vec![0.0f64; npanels * KC * NR];
+    let mut apack = vec![0.0f64; KC * MR];
+    for rb in (0..m).step_by(KC) {
+        let kc = (rb + KC).min(m) - rb;
+        for t in 0..kc {
+            let xrow = &xv[(rb + t) * n..(rb + t + 1) * n];
+            for (jp, colseg) in xrow.chunks(NR).enumerate() {
+                bpack[jp * KC * NR + t * NR..][..colseg.len()].copy_from_slice(colseg);
+            }
+        }
+        for ip in (0..rows).step_by(MR) {
+            let mr = (ip + MR).min(rows) - ip;
+            for t in 0..kc {
+                let xrow = &xv[(rb + t) * n..];
+                for lane in 0..mr {
+                    apack[t * MR + lane] = xrow[i0 + ip + lane];
+                }
+            }
+            // Skip panels strictly left of the upper triangle.
+            for jp in ((i0 + ip) / NR)..npanels {
+                let j0 = jp * NR;
+                let nr = (j0 + NR).min(n) - j0;
+                let bp = &bpack[jp * KC * NR..][..kc * NR];
+                let mut acc = [[0.0f64; NR]; MR];
+                for i in 0..mr {
+                    let orow = &ochunk[(ip + i) * n + j0..];
+                    acc[i][..nr].copy_from_slice(&orow[..nr]);
+                }
+                if mr == MR && nr == NR {
+                    micro_tile(kc, &apack, bp, &mut acc);
+                } else {
+                    micro_tail(kc, mr, nr, &apack, bp, &mut acc);
+                }
+                // Diagonal-crossing tiles compute a few lower
+                // cells; those are discarded here (their slots
+                // reload 0.0 next slab), upper cells carry on.
+                for i in 0..mr {
+                    let ig = i0 + ip + i;
+                    let orow = &mut ochunk[(ip + i) * n + j0..];
+                    for j in 0..nr {
+                        if j0 + j >= ig {
+                            orow[j] = acc[i][j];
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+avx2_twin!(tsmm_chunk / tsmm_chunk_avx2 => tsmm_chunk_body(
+    xv: &[f64], m: usize, n: usize, npanels: usize, i0: usize, ochunk: &mut [f64]
+));
+
 /// Fused matrix-multiplication chain `Xᵀ (w ⊙ (X v))`.
 ///
 /// With `w = None` this is `Xᵀ (X v)` — the conjugate-gradient inner step of
 /// the paper's LM algorithm. The fusion avoids materializing `X v` twice and
 /// is the exact `mmchain` instruction of Table 1.
+///
+/// Both phases unroll by 4 (rows in phase 1, reduction steps in phase 2)
+/// without reordering any cell's chain, and phase 2 adds every `q[i]`
+/// term unconditionally — no zero-skip — so the compressed-domain
+/// `mmchain` (DESIGN.md §4k) can reproduce the chain bit for bit.
 pub fn mmchain(x: &DenseMatrix, v: &DenseMatrix, w: Option<&DenseMatrix>) -> Result<DenseMatrix> {
     if x.cols() != v.rows() || v.cols() != 1 {
         return Err(MatrixError::DimensionMismatch {
@@ -154,44 +557,122 @@ pub fn mmchain(x: &DenseMatrix, v: &DenseMatrix, w: Option<&DenseMatrix>) -> Res
     if m == 0 || n == 0 {
         return Ok(out);
     }
-    // Phase 1: q = (X v) ⊙ w — one dot product per row, row-disjoint.
+    // Phase 1: q = (X v) ⊙ w — one dot product per row, row-disjoint,
+    // 4 rows at a time sharing each streamed v element.
     let mut q = vec![0.0; m];
     exdra_par::par_chunks_mut(
         &mut q,
         exdra_par::chunk_len(m, par_floor(n)),
         |_, i0, chunk| {
-            for (d, qi) in chunk.iter_mut().enumerate() {
-                let row = &xv[(i0 + d) * n..(i0 + d + 1) * n];
-                let mut acc = 0.0;
-                for (a, b) in row.iter().zip(vv) {
-                    acc += a * b;
-                }
-                if let Some(wv) = wv {
-                    acc *= wv[i0 + d];
-                }
-                *qi = acc;
-            }
+            mmchain_q_chunk(xv, vv, wv, n, i0, chunk);
         },
     );
-    // Phase 2: out = Xᵀ q over disjoint column blocks of the output;
-    // each out[j] accumulates i-ascending with the same q≠0 skip as the
-    // fused serial loop, so bits match at any split.
+    // Phase 2: out = Xᵀ q over disjoint column blocks of the output.
     let q = &q;
     let cols_per_chunk = exdra_par::chunk_len(n, par_floor(m));
     exdra_par::par_chunks_mut(out.values_mut(), cols_per_chunk, |_, j0, ochunk| {
-        let width = ochunk.len();
-        for (i, &qi) in q.iter().enumerate() {
-            if qi == 0.0 {
-                continue;
-            }
-            let seg = &xv[i * n + j0..i * n + j0 + width];
-            for (o, &a) in ochunk.iter_mut().zip(seg) {
-                *o += qi * a;
-            }
-        }
+        mmchain_xtq_chunk(xv, q, m, n, j0, ochunk);
     });
     Ok(out)
 }
+
+/// One parallel chunk of mmchain phase 1: `q[i] = w[i] * (x[i] · v)`.
+#[inline(always)]
+fn mmchain_q_chunk_body(
+    xv: &[f64],
+    vv: &[f64],
+    wv: Option<&[f64]>,
+    n: usize,
+    i0: usize,
+    chunk: &mut [f64],
+) {
+    let rows = chunk.len();
+    let mut d = 0;
+    while d + 4 <= rows {
+        let base = (i0 + d) * n;
+        let r0 = &xv[base..base + n];
+        let r1 = &xv[base + n..base + 2 * n];
+        let r2 = &xv[base + 2 * n..base + 3 * n];
+        let r3 = &xv[base + 3 * n..base + 4 * n];
+        let (mut a0, mut a1, mut a2, mut a3) = (0.0, 0.0, 0.0, 0.0);
+        for (c, &b) in vv.iter().enumerate() {
+            a0 += r0[c] * b;
+            a1 += r1[c] * b;
+            a2 += r2[c] * b;
+            a3 += r3[c] * b;
+        }
+        if let Some(wv) = wv {
+            a0 *= wv[i0 + d];
+            a1 *= wv[i0 + d + 1];
+            a2 *= wv[i0 + d + 2];
+            a3 *= wv[i0 + d + 3];
+        }
+        chunk[d] = a0;
+        chunk[d + 1] = a1;
+        chunk[d + 2] = a2;
+        chunk[d + 3] = a3;
+        d += 4;
+    }
+    while d < rows {
+        let row = &xv[(i0 + d) * n..(i0 + d + 1) * n];
+        let mut acc = 0.0;
+        for (a, b) in row.iter().zip(vv) {
+            acc += a * b;
+        }
+        if let Some(wv) = wv {
+            acc *= wv[i0 + d];
+        }
+        chunk[d] = acc;
+        d += 1;
+    }
+}
+avx2_twin!(mmchain_q_chunk / mmchain_q_chunk_avx2 => mmchain_q_chunk_body(
+    xv: &[f64], vv: &[f64], wv: Option<&[f64]>, n: usize, i0: usize, chunk: &mut [f64]
+));
+
+/// One parallel chunk of mmchain phase 2: `out[j] += Σ_i q[i]·x[i][j]`.
+/// Each out[j] accumulates i-ascending, one term at a time (4 rows per
+/// pass, cell held in a register between the adds), so bits match at any
+/// split — and match the compressed-domain walk.
+#[inline(always)]
+fn mmchain_xtq_chunk_body(
+    xv: &[f64],
+    q: &[f64],
+    m: usize,
+    n: usize,
+    j0: usize,
+    ochunk: &mut [f64],
+) {
+    let width = ochunk.len();
+    let mut i = 0;
+    while i + 4 <= m {
+        let (q0, q1, q2, q3) = (q[i], q[i + 1], q[i + 2], q[i + 3]);
+        let r0 = &xv[i * n + j0..i * n + j0 + width];
+        let r1 = &xv[(i + 1) * n + j0..(i + 1) * n + j0 + width];
+        let r2 = &xv[(i + 2) * n + j0..(i + 2) * n + j0 + width];
+        let r3 = &xv[(i + 3) * n + j0..(i + 3) * n + j0 + width];
+        for (d, o) in ochunk.iter_mut().enumerate() {
+            let mut t = *o;
+            t += q0 * r0[d];
+            t += q1 * r1[d];
+            t += q2 * r2[d];
+            t += q3 * r3[d];
+            *o = t;
+        }
+        i += 4;
+    }
+    while i < m {
+        let qi = q[i];
+        let seg = &xv[i * n + j0..i * n + j0 + width];
+        for (o, &a) in ochunk.iter_mut().zip(seg) {
+            *o += qi * a;
+        }
+        i += 1;
+    }
+}
+avx2_twin!(mmchain_xtq_chunk / mmchain_xtq_chunk_avx2 => mmchain_xtq_chunk_body(
+    xv: &[f64], q: &[f64], m: usize, n: usize, j0: usize, ochunk: &mut [f64]
+));
 
 /// Naive triple-loop reference used by tests to validate the tiled kernel.
 pub fn matmul_naive(lhs: &DenseMatrix, rhs: &DenseMatrix) -> Result<DenseMatrix> {
@@ -232,10 +713,43 @@ mod tests {
     }
 
     #[test]
+    fn blocked_is_bitwise_naive() {
+        // The blocked kernel extends each cell's chain term by term in
+        // k-ascending order: not just close to naive — identical bits.
+        for (m, k, n, seed) in [
+            (37, 513, 29, 1),
+            (4, 4, 4, 2),
+            (65, 256, 9, 3),
+            (3, 700, 5, 4),
+        ] {
+            let a = rand_matrix(m, k, -1.0, 1.0, seed);
+            let b = rand_matrix(k, n, -1.0, 1.0, seed + 100);
+            let got = matmul(&a, &b).unwrap();
+            let want = matmul_naive(&a, &b).unwrap();
+            let same = got
+                .values()
+                .iter()
+                .zip(want.values())
+                .all(|(x, y)| x.to_bits() == y.to_bits());
+            assert!(same, "{m}x{k}x{n}: blocked != naive bitwise");
+        }
+    }
+
+    #[test]
+    fn unblocked_matches_blocked() {
+        let a = rand_matrix(53, 131, -1.0, 1.0, 11);
+        let b = rand_matrix(131, 41, -1.0, 1.0, 12);
+        let got = matmul_unblocked(&a, &b).unwrap();
+        let want = matmul(&a, &b).unwrap();
+        assert!(got.max_abs_diff(&want) < 1e-12);
+    }
+
+    #[test]
     fn matmul_dimension_check() {
         let a = DenseMatrix::zeros(2, 3);
         let b = DenseMatrix::zeros(2, 3);
         assert!(matmul(&a, &b).is_err());
+        assert!(matmul_unblocked(&a, &b).is_err());
     }
 
     #[test]
@@ -257,12 +771,100 @@ mod tests {
     }
 
     #[test]
+    fn tsmm_mirror_is_exact() {
+        // The parallel mirror must leave a perfectly symmetric matrix.
+        let x = rand_matrix(300, 37, -2.0, 2.0, 13);
+        let got = tsmm(&x, true).unwrap();
+        for i in 0..37 {
+            for j in 0..37 {
+                assert_eq!(got.get(i, j).to_bits(), got.get(j, i).to_bits());
+            }
+        }
+    }
+
+    #[test]
     fn tsmm_right_matches_explicit() {
         let x = rand_matrix(9, 20, -2.0, 2.0, 6);
         let got = tsmm(&x, false).unwrap();
         let xt = super::super::reorg::transpose(&x);
         let want = matmul_naive(&x, &xt).unwrap();
         assert!(got.max_abs_diff(&want) < 1e-9);
+    }
+
+    #[test]
+    fn micro_tile_twins_are_bitwise_equal() {
+        // The dispatcher picks the widest available twin, so the
+        // narrower paths need pinning explicitly: same packed panels,
+        // same bits out of every implementation the CPU can run.
+        let kc = KC - 3;
+        let noise = rand_matrix(kc, MR + NR, -1.0, 1.0, 99);
+        let ap: Vec<f64> = (0..kc * MR)
+            .map(|i| noise.values()[i % noise.values().len()])
+            .collect();
+        let bp: Vec<f64> = (0..kc * NR)
+            .map(|i| noise.values()[(i * 7 + 3) % noise.values().len()])
+            .collect();
+        let seed = |s: f64| {
+            let mut acc = [[0.0f64; NR]; MR];
+            for (i, row) in acc.iter_mut().enumerate() {
+                for (j, c) in row.iter_mut().enumerate() {
+                    *c = s * (i * NR + j) as f64;
+                }
+            }
+            acc
+        };
+        let bits = |acc: &[[f64; NR]; MR]| {
+            acc.iter()
+                .flatten()
+                .map(|v| v.to_bits())
+                .collect::<Vec<_>>()
+        };
+        let mut want = seed(0.25);
+        micro_tile_scalar(kc, &ap, &bp, &mut want);
+        #[cfg(target_arch = "x86_64")]
+        {
+            if avx2_available() {
+                let mut got = seed(0.25);
+                unsafe { micro_tile_avx2(kc, &ap, &bp, &mut got) };
+                assert_eq!(bits(&got), bits(&want), "avx2 twin differs");
+            }
+            if avx512_available() {
+                let mut got = seed(0.25);
+                unsafe { micro_tile_avx512(kc, &ap, &bp, &mut got) };
+                assert_eq!(bits(&got), bits(&want), "avx512 twin differs");
+            }
+        }
+        let mut via_dispatch = seed(0.25);
+        micro_tile(kc, &ap, &bp, &mut via_dispatch);
+        assert_eq!(bits(&via_dispatch), bits(&want));
+    }
+
+    #[test]
+    #[ignore = "manual perf probe"]
+    fn gemm_speed_probe() {
+        let n = 1024;
+        let a = rand_matrix(n, n, -1.0, 1.0, 1);
+        let b = rand_matrix(n, n, -1.0, 1.0, 2);
+        let flops = 2.0 * (n as f64).powi(3);
+        exdra_par::with_threads(1, || {
+            for (name, f) in [
+                (
+                    "blocked",
+                    &matmul as &dyn Fn(&DenseMatrix, &DenseMatrix) -> _,
+                ),
+                ("unblocked", &matmul_unblocked),
+            ] {
+                let mut best = f64::MAX;
+                for _ in 0..3 {
+                    let t0 = std::time::Instant::now();
+                    let out = f(&a, &b).unwrap();
+                    let dt = t0.elapsed().as_secs_f64();
+                    assert!(out.get(0, 0).is_finite());
+                    best = best.min(dt);
+                }
+                println!("{name}: {best:.3}s {:.2} GF/s", flops / best / 1e9);
+            }
+        });
     }
 
     #[test]

@@ -197,6 +197,13 @@ impl SparseMatrix {
     ///
     /// Avoids materializing the transpose; used for `t(P) %*% X` style
     /// aggregation products on sparse assignment matrices (paper Example 3).
+    ///
+    /// Builds a transient CSC view of `self` with a stable counting sort
+    /// (entries of each column stay in ascending-row order), then fans
+    /// the output rows — `self`'s columns, which are disjoint under CSC —
+    /// across the pool. Each output cell accumulates its contributions in
+    /// the same r-ascending order as the old serial row-outer scatter, so
+    /// the result is bitwise identical at every thread count.
     pub fn t_matmul_dense(&self, rhs: &DenseMatrix) -> Result<DenseMatrix> {
         if self.rows != rhs.rows() {
             return Err(MatrixError::DimensionMismatch {
@@ -207,16 +214,43 @@ impl SparseMatrix {
         }
         let n = rhs.cols();
         let mut out = DenseMatrix::zeros(self.cols, n);
+        let nnz = self.nnz();
+        if self.cols == 0 || n == 0 || nnz == 0 {
+            return Ok(out);
+        }
+        let mut col_ptr = vec![0usize; self.cols + 1];
+        for &c in &self.col_idx {
+            col_ptr[c as usize + 1] += 1;
+        }
+        for c in 0..self.cols {
+            col_ptr[c + 1] += col_ptr[c];
+        }
+        let mut next = col_ptr.clone();
+        let mut row_idx = vec![0u32; nnz];
+        let mut vals = vec![0.0f64; nnz];
         for r in 0..self.rows {
-            let rr = rhs.row(r);
             for k in self.row_ptr[r]..self.row_ptr[r + 1] {
-                let v = self.values[k];
-                let out_row = out.row_mut(self.col_idx[k] as usize);
-                for (o, &x) in out_row.iter_mut().zip(rr) {
-                    *o += v * x;
-                }
+                let slot = &mut next[self.col_idx[k] as usize];
+                row_idx[*slot] = r as u32;
+                vals[*slot] = self.values[k];
+                *slot += 1;
             }
         }
+        let avg_row_work = (nnz * n / self.cols).max(1);
+        let rows_per_chunk =
+            exdra_par::chunk_len(self.cols, crate::kernels::par_floor(avg_row_work));
+        exdra_par::par_chunks_mut(out.values_mut(), rows_per_chunk * n, |_, cell0, ochunk| {
+            let c0 = cell0 / n;
+            for (dc, out_row) in ochunk.chunks_mut(n).enumerate() {
+                for k in col_ptr[c0 + dc]..col_ptr[c0 + dc + 1] {
+                    let v = vals[k];
+                    let rr = rhs.row(row_idx[k] as usize);
+                    for (o, &x) in out_row.iter_mut().zip(rr) {
+                        *o += v * x;
+                    }
+                }
+            }
+        });
         Ok(out)
     }
 
@@ -356,6 +390,23 @@ mod tests {
         let dt = crate::kernels::reorg::transpose(&d);
         let want = crate::kernels::matmul::matmul(&dt, &rhs).unwrap();
         assert!(got.max_abs_diff(&want) < 1e-12);
+    }
+
+    #[test]
+    fn t_matmul_csc_is_bitwise_stable_across_widths() {
+        let d = crate::rng::sprand_matrix(400, 37, -1.0, 1.0, 0.05, 21);
+        let s = SparseMatrix::from_dense(&d);
+        let rhs = crate::rng::rand_matrix(400, 9, -1.0, 1.0, 22);
+        let serial = exdra_par::with_threads(1, || s.t_matmul_dense(&rhs).unwrap());
+        for width in [3, 8] {
+            let got = exdra_par::with_threads(width, || s.t_matmul_dense(&rhs).unwrap());
+            let same = got
+                .values()
+                .iter()
+                .zip(serial.values())
+                .all(|(x, y)| x.to_bits() == y.to_bits());
+            assert!(same, "width {width} differs bitwise");
+        }
     }
 
     #[test]

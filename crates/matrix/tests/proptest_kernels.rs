@@ -1,0 +1,185 @@
+//! Property tests for the blocked GEMM micro-kernels and the
+//! compressed-domain execution paths (DESIGN.md §4k).
+//!
+//! Two oracles, both bitwise:
+//!
+//! * the register-blocked `matmul`/`tsmm` agree with `matmul_naive`
+//!   exactly — the packed panels preserve the k-ascending per-cell
+//!   reduction chain — across ragged shapes that straddle the `MR`/`NR`
+//!   tile and `KC` slab boundaries, at pool widths {1, 3, 8};
+//! * every compressed op agrees with decompress-then-dense-op exactly,
+//!   so the worker may execute on column groups without changing a
+//!   single output bit.
+
+use exdra_matrix::compress::CompressedMatrix;
+use exdra_matrix::kernels::aggregates::{aggregate, AggDir, AggOp};
+use exdra_matrix::kernels::elementwise::{scalar, unary, BinaryOp, UnaryOp};
+use exdra_matrix::kernels::matmul::{matmul, matmul_naive, mmchain, tsmm, KC, MR, NR};
+use exdra_matrix::kernels::reorg::transpose;
+use exdra_matrix::rng::rand_matrix;
+use exdra_matrix::DenseMatrix;
+use proptest::prelude::*;
+
+/// Pool widths exercised against the serial schedule (same contract as
+/// `proptest_par.rs`): odd width with ragged tails, and a wide one.
+const WIDTHS: [usize; 2] = [3, 8];
+
+fn same_bits(a: &DenseMatrix, b: &DenseMatrix) -> bool {
+    a.shape() == b.shape()
+        && a.values()
+            .iter()
+            .zip(b.values())
+            .all(|(x, y)| x.to_bits() == y.to_bits())
+}
+
+/// Runs `f` at width 1 and at each test width, asserting bitwise-equal
+/// outputs, and returns the serial result for oracle comparison.
+fn widths_agree(label: &str, f: impl Fn() -> DenseMatrix) -> DenseMatrix {
+    let serial = exdra_par::with_threads(1, &f);
+    for w in WIDTHS {
+        let par = exdra_par::with_threads(w, &f);
+        assert!(
+            same_bits(&serial, &par),
+            "{label}: width {w} differs bitwise from serial"
+        );
+    }
+    serial
+}
+
+/// Shapes biased toward micro-kernel boundaries: exact multiples of the
+/// register tile, one off either side, and tiny degenerate sizes.
+fn tile_dim(scale: usize) -> impl Strategy<Value = usize> {
+    prop_oneof![
+        1usize..=(2 * MR.max(NR) + 1),
+        Just(scale * MR),
+        Just(scale * MR + 1),
+        Just(scale * NR - 1),
+        (scale * MR)..=(scale * MR + 2 * NR),
+    ]
+}
+
+/// Reduction depths on both sides of the `KC` cache slab.
+fn depth_dim() -> impl Strategy<Value = usize> {
+    prop_oneof![
+        1usize..=24,
+        (KC - 3)..=(KC + 3),
+        (2 * KC - 2)..=(2 * KC + 2),
+    ]
+}
+
+/// A compressible mix: categorical, constant, run-structured, and
+/// incompressible columns, so DDC, RLE and UC groups all participate.
+fn mixed_matrix(rows: usize, seed: u64) -> DenseMatrix {
+    let noise = rand_matrix(rows, 1, -1.0, 1.0, seed);
+    let mut x = DenseMatrix::zeros(rows, 4);
+    for r in 0..rows {
+        x.set(r, 0, (r % 5) as f64 - 2.0);
+        x.set(r, 1, 3.25);
+        x.set(r, 2, if r < rows / 2 { -1.5 } else { 4.0 });
+        x.set(r, 3, noise.get(r, 0));
+    }
+    x
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn blocked_gemm_is_bitwise_naive_over_ragged_shapes(
+        m in tile_dim(9),
+        k in depth_dim(),
+        n in tile_dim(7),
+        seed in 0u64..1_000_000,
+    ) {
+        let a = rand_matrix(m, k, -1.0, 1.0, seed);
+        let b = rand_matrix(k, n, -1.0, 1.0, seed + 1);
+        let out = widths_agree("blocked-gemm", || matmul(&a, &b).expect("shapes"));
+        let oracle = matmul_naive(&a, &b).expect("shapes");
+        prop_assert!(same_bits(&out, &oracle), "blocked differs from naive chain");
+    }
+
+    #[test]
+    fn blocked_tsmm_is_bitwise_explicit_product(
+        m in depth_dim(),
+        n in tile_dim(6),
+        left in proptest::bool::ANY,
+        seed in 0u64..1_000_000,
+    ) {
+        let x = rand_matrix(m, n, -1.0, 1.0, seed);
+        let out = widths_agree("blocked-tsmm", || tsmm(&x, left).expect("shapes"));
+        // The mirrored lower triangle must hold exactly the upper bits.
+        for i in 0..out.rows() {
+            for j in 0..i {
+                prop_assert_eq!(out.get(i, j).to_bits(), out.get(j, i).to_bits());
+            }
+        }
+        let xt = transpose(&x);
+        let oracle = if left {
+            matmul_naive(&xt, &x).expect("shapes")
+        } else {
+            matmul_naive(&x, &xt).expect("shapes")
+        };
+        // Upper triangle comes straight out of the k-ascending kernel.
+        for i in 0..out.rows() {
+            for j in i..out.cols() {
+                prop_assert_eq!(out.get(i, j).to_bits(), oracle.get(i, j).to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn compressed_aggregates_match_decompressed_oracle(
+        rows in 2usize..=300,
+        seed in 0u64..1_000_000,
+    ) {
+        let d = mixed_matrix(rows, seed);
+        let c = CompressedMatrix::compress(&d);
+        for op in [AggOp::Sum, AggOp::SumSq, AggOp::Min, AggOp::Max, AggOp::Mean, AggOp::Var, AggOp::Sd] {
+            for dir in [AggDir::Full, AggDir::Row, AggDir::Col] {
+                let got = widths_agree("c-agg", || c.aggregate(op, dir).expect("agg"));
+                let want = aggregate(&d, op, dir).expect("agg");
+                prop_assert!(same_bits(&got, &want), "{}/{:?} differs", op.name(), dir);
+            }
+        }
+    }
+
+    #[test]
+    fn compressed_map_cells_matches_decompressed_elementwise(
+        rows in 1usize..=300,
+        s in -2.0f64..2.0,
+        seed in 0u64..1_000_000,
+    ) {
+        let d = mixed_matrix(rows, seed);
+        let c = CompressedMatrix::compress(&d);
+        for op in [UnaryOp::Exp, UnaryOp::Sigmoid, UnaryOp::Abs, UnaryOp::Round] {
+            let got = widths_agree("c-unary", || c.map_cells(|v| op.apply(v)).decompress());
+            prop_assert!(same_bits(&got, &unary(&d, op)));
+        }
+        let got = widths_agree("c-scalar", || {
+            c.map_cells(move |v| BinaryOp::Mul.apply(v, s)).decompress()
+        });
+        prop_assert!(same_bits(&got, &scalar(&d, BinaryOp::Mul, s, false)));
+    }
+
+    #[test]
+    fn compressed_products_match_dense_kernels(
+        rows in 1usize..=300,
+        weighted in proptest::bool::ANY,
+        seed in 0u64..1_000_000,
+    ) {
+        let d = mixed_matrix(rows, seed);
+        let c = CompressedMatrix::compress(&d);
+        let v = rand_matrix(d.cols(), 1, -1.0, 1.0, seed + 1);
+        let w = rand_matrix(rows, 1, 0.0, 1.0, seed + 2);
+
+        let got = widths_agree("c-matvec", || c.matvec(&v).expect("shapes"));
+        prop_assert!(same_bits(&got, &matmul(&d, &v).expect("shapes")));
+
+        let got = widths_agree("c-vecmat", || c.t_vecmat(&w).expect("shapes"));
+        prop_assert!(same_bits(&got, &matmul(&transpose(&w), &d).expect("shapes")));
+
+        let wm = weighted.then_some(&w);
+        let got = widths_agree("c-mmchain", || c.mmchain(&v, wm).expect("shapes"));
+        prop_assert!(same_bits(&got, &mmchain(&d, &v, wm).expect("shapes")));
+    }
+}

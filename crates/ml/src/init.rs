@@ -35,6 +35,13 @@ pub fn sample_rows(x: &Tensor, k: usize, seed: u64) -> Result<DenseMatrix> {
             let idx = exdra_matrix::kernels::reorg::index(&perm, 0, k, 0, 1)?;
             Ok(exdra_matrix::kernels::reorg::gather_rows(m, &idx)?)
         }
+        Tensor::Compressed(c) => {
+            let idx = exdra_matrix::kernels::reorg::index(&perm, 0, k, 0, 1)?;
+            Ok(exdra_matrix::kernels::reorg::gather_rows(
+                &c.decompress(),
+                &idx,
+            )?)
+        }
         Tensor::Fed(_) => {
             let mut c = DenseMatrix::zeros(k, d);
             for i in 0..k {

@@ -13,6 +13,7 @@
 use bytes::{Buf, BufMut};
 use exdra_matrix::compress::CompressedMatrix;
 use exdra_matrix::frame::{Frame, FrameColumn};
+use exdra_matrix::kernels::matmul::{KC, NR};
 use exdra_matrix::{DenseMatrix, Matrix, SparseMatrix};
 
 /// Error raised when decoding malformed wire data.
@@ -205,18 +206,31 @@ impl<A: Wire, B: Wire> Wire for (A, B) {
 /// `exdra_par` pool (64k f64 = 512 KiB on the wire).
 const PAR_DENSE_CELLS: usize = 1 << 16;
 
+/// Cells per contiguous wire panel: one `KC x NR` packed panel of the
+/// blocked GEMM micro-kernels (8 KiB of f64). Parallel (de)serialization
+/// chunks are rounded up to whole panels so frames stream in panel-sized
+/// contiguous runs — the same unit the matmul kernels pack — and a panel
+/// is never split across two pool workers.
+const WIRE_PANEL_CELLS: usize = KC * NR;
+
+/// Parallel chunk size (in cells) for an `n`-cell dense payload: the
+/// pool's preferred chunk, rounded up to whole kernel panels.
+fn wire_chunk_cells(n: usize) -> usize {
+    exdra_par::chunk_len(n, PAR_DENSE_CELLS / 8).next_multiple_of(WIRE_PANEL_CELLS)
+}
+
 impl Wire for DenseMatrix {
     fn encode(&self, buf: &mut impl BufMut) {
         self.rows().encode(buf);
         self.cols().encode(buf);
         let values = self.values();
         if values.len() >= PAR_DENSE_CELLS {
-            // Large payload: byte-convert in parallel chunks into a
-            // staging buffer, then append in one shot. Chunks are
-            // disjoint 8-byte-aligned slices, so the wire bytes are
-            // identical to the serial loop below.
+            // Large payload: byte-convert panel-aligned chunks in
+            // parallel into a staging buffer, then append in one shot.
+            // Chunks are disjoint 8-byte-aligned slices, so the wire
+            // bytes are identical to the serial loop below.
             let mut raw = vec![0u8; values.len() * 8];
-            let chunk = exdra_par::chunk_len(values.len(), PAR_DENSE_CELLS / 8);
+            let chunk = wire_chunk_cells(values.len());
             exdra_par::par_chunks_mut(&mut raw, chunk * 8, |_, off, part| {
                 for (d, bytes) in part.chunks_exact_mut(8).enumerate() {
                     bytes.copy_from_slice(&values[off / 8 + d].to_le_bytes());
@@ -238,15 +252,26 @@ impl Wire for DenseMatrix {
         need(buf, n * 8, "dense payload")?;
         let mut data = vec![0.0f64; n];
         if n >= PAR_DENSE_CELLS {
-            let mut raw = vec![0u8; n * 8];
-            buf.copy_to_slice(&mut raw);
-            let chunk = exdra_par::chunk_len(n, PAR_DENSE_CELLS / 8);
-            exdra_par::par_chunks_mut(&mut data, chunk, |_, off, part| {
-                for (d, v) in part.iter_mut().enumerate() {
-                    let at = (off + d) * 8;
-                    *v = f64::from_le_bytes(raw[at..at + 8].try_into().unwrap());
-                }
-            });
+            let chunk = wire_chunk_cells(n);
+            let convert = |raw: &[u8], data: &mut [f64]| {
+                exdra_par::par_chunks_mut(data, chunk, |_, off, part| {
+                    for (d, v) in part.iter_mut().enumerate() {
+                        let at = (off + d) * 8;
+                        *v = f64::from_le_bytes(raw[at..at + 8].try_into().unwrap());
+                    }
+                });
+            };
+            if buf.chunk().len() >= n * 8 {
+                // Fast path: the whole payload is contiguous in the
+                // receive buffer — convert panels straight out of it,
+                // skipping the staging copy entirely.
+                convert(&buf.chunk()[..n * 8], &mut data);
+                buf.advance(n * 8);
+            } else {
+                let mut raw = vec![0u8; n * 8];
+                buf.copy_to_slice(&mut raw);
+                convert(&raw, &mut data);
+            }
         } else {
             for v in &mut data {
                 *v = buf.get_f64_le();
@@ -418,6 +443,42 @@ mod tests {
     fn dense_matrix_roundtrip() {
         roundtrip(&rand_matrix(13, 7, -5.0, 5.0, 71));
         roundtrip(&DenseMatrix::zeros(0, 5));
+    }
+
+    #[test]
+    fn large_dense_panel_path_matches_serial_bytes() {
+        // 90_000 cells > PAR_DENSE_CELLS: exercises the panel-aligned
+        // parallel encode and the zero-copy contiguous decode path.
+        let m = rand_matrix(300, 300, -2.0, 2.0, 77);
+        let bytes = m.to_bytes();
+        // Wire bytes must equal the serial little-endian dump.
+        let mut want = Vec::with_capacity(bytes.len());
+        m.rows().encode(&mut want);
+        m.cols().encode(&mut want);
+        for &v in m.values() {
+            want.put_f64_le(v);
+        }
+        assert_eq!(bytes, want, "panel encode changed the wire format");
+        let back = DenseMatrix::from_bytes(&bytes).unwrap();
+        assert_eq!(back.values(), m.values());
+
+        // A non-contiguous receive buffer (empty `chunk()`) must fall
+        // back to the staging copy and still produce identical bits.
+        struct Staged<'a>(&'a [u8]);
+        impl Buf for Staged<'_> {
+            fn remaining(&self) -> usize {
+                self.0.remaining()
+            }
+            fn copy_to_slice(&mut self, dst: &mut [u8]) {
+                self.0.copy_to_slice(dst)
+            }
+            fn advance(&mut self, cnt: usize) {
+                self.0.advance(cnt)
+            }
+        }
+        let mut staged = Staged(&bytes);
+        let back2 = DenseMatrix::decode(&mut staged).unwrap();
+        assert_eq!(back2.values(), m.values());
     }
 
     #[test]

@@ -84,7 +84,7 @@ fn main() -> exdra::core::Result<()> {
     // --- balanced federated 70/30 split ----------------------------------
     let x_fed = match &x {
         Tensor::Fed(f) => f.clone(),
-        Tensor::Local(_) => unreachable!("pipeline stays federated"),
+        Tensor::Local(_) | Tensor::Compressed(_) => unreachable!("pipeline stays federated"),
     };
     let split = split_rows_per_partition(&x_fed, Some(&y_all), 0.7, 7)?;
     println!(
