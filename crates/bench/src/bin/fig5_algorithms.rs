@@ -36,6 +36,7 @@ fn ps_config(epochs: usize, batch: usize) -> PsConfig {
         nesterov: true,
         seed: 42,
         aggregation: exdra_paramserv::AggregationMode::Strict,
+        max_staleness: None,
     }
 }
 

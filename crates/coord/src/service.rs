@@ -495,16 +495,14 @@ impl Tenant {
         }
     }
 
-    /// Waits (bounded) for the supervisor's heartbeat to see `w` healthy.
+    /// Waits (bounded) for the supervisor's heartbeat to see `w`
+    /// healthy, re-checking on every completed supervision sweep rather
+    /// than polling wall clock.
     pub fn await_healthy(&self, w: usize, timeout: Duration) -> bool {
-        let deadline = std::time::Instant::now() + timeout;
-        while std::time::Instant::now() < deadline {
-            if self.service.supervisor.detector().state(w) == exdra_fault::HealthState::Healthy {
-                return true;
-            }
-            std::thread::sleep(Duration::from_millis(10));
-        }
-        false
+        let sup = &self.service.supervisor;
+        sup.wait_until(timeout, || {
+            sup.detector().state(w) == exdra_fault::HealthState::Healthy
+        })
     }
 
     /// Closes the session: reaps the namespace on every worker and frees

@@ -129,6 +129,12 @@ pub struct Supervisor {
     /// Live background-recovery threads (pruned on inspection).
     recoveries: Mutex<Vec<std::thread::JoinHandle<()>>>,
     shutdown: AtomicBool,
+    /// Completed-sweep counter + condvar, bumped by every sweep (manual
+    /// or background-loop). Tests and callers barrier on it through
+    /// [`Supervisor::wait_until`] instead of wall-clock sleeps.
+    /// `std::sync` because the vendored `parking_lot` has no `Condvar`.
+    sweep_gen: std::sync::Mutex<u64>,
+    sweep_cond: std::sync::Condvar,
 }
 
 impl Supervisor {
@@ -152,6 +158,8 @@ impl Supervisor {
             reconnector: Mutex::new(None),
             recoveries: Mutex::new(Vec::new()),
             shutdown: AtomicBool::new(false),
+            sweep_gen: std::sync::Mutex::new(0),
+            sweep_cond: std::sync::Condvar::new(),
         })
     }
 
@@ -493,7 +501,66 @@ impl Supervisor {
                 recovered.push(w);
             }
         }
+        {
+            let mut gen = self
+                .sweep_gen
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            *gen += 1;
+        }
+        self.sweep_cond.notify_all();
         recovered
+    }
+
+    /// Number of completed sweeps (heartbeat rounds), whether driven by
+    /// the background loop or manual [`Supervisor::sweep`] calls.
+    pub fn sweeps_completed(&self) -> u64 {
+        *self
+            .sweep_gen
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    /// Blocks until `pred()` holds, re-checking after every completed
+    /// sweep (and at least every 10 ms, so predicates that change outside
+    /// the sweep path — background recoveries, checkpoint writes — are
+    /// still picked up promptly). Returns `false` on timeout. This is the
+    /// sleep-free barrier time-sensitive tests use in place of polling
+    /// wall-clock loops.
+    pub fn wait_until(&self, timeout: Duration, mut pred: impl FnMut() -> bool) -> bool {
+        let deadline = Instant::now() + timeout;
+        let mut gen = self
+            .sweep_gen
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        loop {
+            drop(gen);
+            if pred() {
+                return true;
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return false;
+            }
+            let wait = (deadline - now).min(Duration::from_millis(10));
+            gen = self
+                .sweep_cond
+                .wait_timeout(
+                    self.sweep_gen
+                        .lock()
+                        .unwrap_or_else(std::sync::PoisonError::into_inner),
+                    wait,
+                )
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                .0;
+        }
+    }
+
+    /// Convenience barrier: waits until at least `n` more sweeps have
+    /// completed (a heartbeat-count barrier). Returns `false` on timeout.
+    pub fn wait_sweeps(&self, n: u64, timeout: Duration) -> bool {
+        let target = self.sweeps_completed() + n;
+        self.wait_until(timeout, || self.sweeps_completed() >= target)
     }
 
     /// Issues `batch` to `worker` with straggler speculation: the

@@ -279,6 +279,22 @@ impl ExperimentDb {
             .cloned()
     }
 
+    /// Best run by metric, minimizing — the natural query for loss-like
+    /// metrics a continuous-learning loop tracks per retraining round.
+    pub fn best_run_min(&self, metric: &str) -> Option<Run> {
+        self.inner
+            .read()
+            .runs
+            .iter()
+            .filter(|r| r.metric(metric).is_some())
+            .min_by(|a, b| {
+                a.metric(metric)
+                    .partial_cmp(&b.metric(metric))
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            })
+            .cloned()
+    }
+
     /// Query-based comparison: mean metric per pipeline version, sorted
     /// descending — the "query-based pipeline comparisons" of §3.3.
     pub fn compare(&self, metric: &str) -> Vec<(u64, f64, usize)> {
@@ -502,6 +518,9 @@ mod tests {
         assert_eq!(db.runs_for(p1).len(), 2);
         let best = db.best_run("accuracy").unwrap();
         assert_eq!(best.metric("accuracy"), Some(0.9));
+        let worst = db.best_run_min("accuracy").unwrap();
+        assert_eq!(worst.metric("accuracy"), Some(0.8));
+        assert!(db.best_run_min("loss").is_none());
         let cmp = db.compare("accuracy");
         assert_eq!(cmp[0].0, p1); // mean 0.85 ... tie actually: p1 mean 0.85, p2 0.85
         assert_eq!(cmp.len(), 2);

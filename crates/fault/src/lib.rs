@@ -35,5 +35,5 @@ pub mod straggler;
 
 pub use detector::{FailureDetector, HealthState, WorkerHealth};
 pub use inject::{FaultPlan, FaultyChannel};
-pub use retry::{Deadline, ErrorClass, RetryPolicy};
+pub use retry::{splitmix64, Deadline, ErrorClass, RetryPolicy};
 pub use straggler::{LatencyTracker, SpeculationPolicy};

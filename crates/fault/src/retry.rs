@@ -99,7 +99,12 @@ impl Default for RetryPolicy {
     }
 }
 
-pub(crate) fn splitmix64(state: &mut u64) -> u64 {
+/// SplitMix64 step: advances `state` and returns the next 64-bit draw.
+/// This is the repo's canonical sub-seed derivation — scenario harnesses
+/// fan one recorded master seed out into per-component seeds (fault
+/// plans, shaping jitter, partition skew) through it, so an entire run
+/// replays from a single number.
+pub fn splitmix64(state: &mut u64) -> u64 {
     *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
     let mut z = *state;
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);

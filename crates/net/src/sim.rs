@@ -21,6 +21,13 @@ pub struct NetProfile {
     pub one_way_latency_ms: f64,
     /// Link bandwidth in bytes per second (`f64::INFINITY` = unshaped).
     pub bandwidth_bytes_per_sec: f64,
+    /// Per-message latency jitter as a fraction of the one-way latency
+    /// (`0.25` = ±25%). `0.0` (the default) disables jitter.
+    pub jitter_frac: f64,
+    /// Seed for the deterministic jitter stream. Two channels shaped with
+    /// the same `(seed, message sequence)` draw identical jitter, so a
+    /// shaped run is reproducible from its recorded seed.
+    pub jitter_seed: u64,
 }
 
 impl NetProfile {
@@ -31,6 +38,8 @@ impl NetProfile {
         Self {
             one_way_latency_ms: 0.0,
             bandwidth_bytes_per_sec: f64::INFINITY,
+            jitter_frac: 0.0,
+            jitter_seed: 0,
         }
     }
 
@@ -40,6 +49,8 @@ impl NetProfile {
         Self {
             one_way_latency_ms: 20.0,
             bandwidth_bytes_per_sec: 1.7e6,
+            jitter_frac: 0.0,
+            jitter_seed: 0,
         }
     }
 
@@ -48,12 +59,24 @@ impl NetProfile {
         Self {
             one_way_latency_ms: rtt_ms / 2.0,
             bandwidth_bytes_per_sec: mbps * 1e6,
+            jitter_frac: 0.0,
+            jitter_seed: 0,
         }
+    }
+
+    /// Adds seeded latency jitter: each message's propagation latency is
+    /// perturbed by a deterministic draw in `±frac` of the base latency,
+    /// keyed by `(seed, message sequence number)`.
+    pub fn with_jitter(mut self, frac: f64, seed: u64) -> Self {
+        self.jitter_frac = frac.max(0.0);
+        self.jitter_seed = seed;
+        self
     }
 
     /// Scales delays down by `factor` (e.g. 0.1 = ten times faster), for
     /// quick experiment runs; relative overheads are preserved because both
-    /// the latency and transfer terms scale together.
+    /// the latency and transfer terms scale together (and jitter is
+    /// relative, so it scales with them).
     pub fn scaled(self, factor: f64) -> Self {
         Self {
             one_way_latency_ms: self.one_way_latency_ms * factor,
@@ -62,6 +85,7 @@ impl NetProfile {
             } else {
                 self.bandwidth_bytes_per_sec
             },
+            ..self
         }
     }
 
@@ -73,6 +97,28 @@ impl NetProfile {
     /// The one-way propagation latency as a [`Duration`].
     pub fn latency(&self) -> Duration {
         Duration::from_secs_f64(self.one_way_latency_ms / 1e3)
+    }
+
+    /// The one-way latency for message number `seq` on this link,
+    /// including the deterministic jitter draw (identical to
+    /// [`NetProfile::latency`] when `jitter_frac` is 0).
+    pub fn latency_jittered(&self, seq: u64) -> Duration {
+        if self.jitter_frac == 0.0 {
+            return self.latency();
+        }
+        // splitmix64 over (seed, seq): a full avalanche per message, so
+        // consecutive sequence numbers draw independent-looking jitter
+        // while the whole stream replays from the recorded seed.
+        let mut s = self
+            .jitter_seed
+            .wrapping_add(seq.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        s = (s ^ (s >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        s = (s ^ (s >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        s ^= s >> 31;
+        // Uniform in [-1, 1).
+        let unit = (s >> 11) as f64 / (1u64 << 53) as f64 * 2.0 - 1.0;
+        let ms = (self.one_way_latency_ms * (1.0 + self.jitter_frac * unit)).max(0.0);
+        Duration::from_secs_f64(ms / 1e3)
     }
 
     /// The link-occupancy (serialization) time for `bytes` at the
@@ -154,9 +200,39 @@ mod tests {
         let lat_only = NetProfile {
             one_way_latency_ms: 5.0,
             bandwidth_bytes_per_sec: f64::INFINITY,
+            jitter_frac: 0.0,
+            jitter_seed: 0,
         };
         assert_eq!(lat_only.delay_for(0), lat_only.delay_for(1 << 20));
         assert!(!lat_only.is_unshaped());
+    }
+
+    #[test]
+    fn jitter_is_seeded_bounded_and_deterministic() {
+        let base = NetProfile::wan();
+        // No jitter: jittered latency is exactly the base latency.
+        assert_eq!(base.latency_jittered(17), base.latency());
+        let p = base.with_jitter(0.25, 99);
+        let lo = base.one_way_latency_ms * 0.75 / 1e3;
+        let hi = base.one_way_latency_ms * 1.25 / 1e3;
+        let mut distinct = false;
+        for seq in 0..64u64 {
+            let d = p.latency_jittered(seq).as_secs_f64();
+            assert!((lo..=hi).contains(&d), "seq {seq}: {d} outside ±25%");
+            // Same (seed, seq) replays the identical draw.
+            assert_eq!(p.latency_jittered(seq), p.latency_jittered(seq));
+            if p.latency_jittered(seq) != p.latency() {
+                distinct = true;
+            }
+        }
+        assert!(distinct, "jitter never moved off the base latency");
+        // A different seed yields a different stream.
+        let q = base.with_jitter(0.25, 100);
+        assert!((0..64u64).any(|s| p.latency_jittered(s) != q.latency_jittered(s)));
+        // Scaling preserves the relative jitter band.
+        let s = p.scaled(0.1);
+        assert_eq!(s.jitter_frac, p.jitter_frac);
+        assert_eq!(s.jitter_seed, p.jitter_seed);
     }
 
     #[test]

@@ -491,6 +491,9 @@ pub struct ShapedChannel {
     /// Simulated instant through which the link is busy transferring
     /// already-accepted messages.
     link_free: Option<Instant>,
+    /// Delivered-message counter keying the profile's deterministic
+    /// per-message jitter stream.
+    seq: u64,
 }
 
 enum ShapedMode {
@@ -535,6 +538,7 @@ impl ShapedChannel {
             profile,
             mode,
             link_free: None,
+            seq: 0,
         }
     }
 
@@ -558,7 +562,9 @@ impl ShapedChannel {
             _ => arrival,
         };
         self.link_free = Some(start + transfer);
-        let deliver = start + transfer + self.profile.latency();
+        let latency = self.profile.latency_jittered(self.seq);
+        self.seq += 1;
+        let deliver = start + transfer + latency;
         let now = Instant::now();
         if deliver > now {
             std::thread::sleep(deliver - now);
@@ -599,6 +605,7 @@ impl Channel for ShapedChannel {
             profile,
             mode,
             link_free,
+            seq,
         } = *self;
         match mode {
             ShapedMode::Pumped { tx, rx } => SplitResult::Split(
@@ -607,12 +614,14 @@ impl Channel for ShapedChannel {
                     profile,
                     rx,
                     link_free,
+                    seq,
                 }),
             ),
             ShapedMode::Whole(w) => SplitResult::Whole(Box::new(ShapedChannel {
                 profile,
                 mode: ShapedMode::Whole(w),
                 link_free,
+                seq,
             })),
         }
     }
@@ -632,6 +641,7 @@ struct ShapedRecvHalf {
     profile: NetProfile,
     rx: Receiver<(Instant, io::Result<Vec<u8>>)>,
     link_free: Option<Instant>,
+    seq: u64,
 }
 
 impl RecvHalf for ShapedRecvHalf {
@@ -648,7 +658,9 @@ impl RecvHalf for ShapedRecvHalf {
                 _ => arrival,
             };
             self.link_free = Some(start + transfer);
-            let deliver = start + transfer + self.profile.latency();
+            let latency = self.profile.latency_jittered(self.seq);
+            self.seq += 1;
+            let deliver = start + transfer + latency;
             let now = Instant::now();
             if deliver > now {
                 std::thread::sleep(deliver - now);

@@ -94,6 +94,58 @@ fn state() -> &'static Mutex<State> {
     STATE.get_or_init(|| Mutex::new(State::new()))
 }
 
+/// Incident-arrival barrier: a generation counter bumped by every
+/// [`incident`] call (written, suppressed, or failed) plus a condvar for
+/// [`wait_for_incident`]. Separate from the ring state and on `std::sync`
+/// primitives because the vendored `parking_lot` has no `Condvar`.
+fn incident_signal() -> &'static (std::sync::Mutex<u64>, std::sync::Condvar) {
+    static SIGNAL: OnceLock<(std::sync::Mutex<u64>, std::sync::Condvar)> = OnceLock::new();
+    SIGNAL.get_or_init(|| (std::sync::Mutex::new(0), std::sync::Condvar::new()))
+}
+
+fn bump_incident_signal() {
+    let (lock, cond) = incident_signal();
+    let mut gen = lock
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    *gen += 1;
+    drop(gen);
+    cond.notify_all();
+}
+
+/// Blocks until some recorded incident satisfies `pred`, waking on every
+/// new [`incident`] call, and returns the first match (oldest first).
+/// Returns `None` on timeout. This is the incident-ring barrier that
+/// replaces sleep-polling in time-sensitive tests.
+pub fn wait_for_incident(
+    timeout: std::time::Duration,
+    mut pred: impl FnMut(&IncidentSummary) -> bool,
+) -> Option<IncidentSummary> {
+    let deadline = std::time::Instant::now() + timeout;
+    let (lock, cond) = incident_signal();
+    let mut gen = lock
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    loop {
+        drop(gen);
+        if let Some(hit) = recent_incidents().into_iter().find(&mut pred) {
+            return Some(hit);
+        }
+        let now = std::time::Instant::now();
+        if now >= deadline {
+            return None;
+        }
+        gen = cond
+            .wait_timeout(
+                lock.lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner),
+                deadline - now,
+            )
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .0;
+    }
+}
+
 fn unix_nanos() -> u64 {
     SystemTime::now()
         .duration_since(UNIX_EPOCH)
@@ -195,6 +247,8 @@ pub fn incident(kind: &'static str, detail: &str) -> Option<PathBuf> {
         st.incidents.pop_front();
     }
     st.incidents.push_back(summary);
+    drop(st);
+    bump_incident_signal();
     written
 }
 
@@ -294,6 +348,31 @@ mod tests {
             duration_nanos: 2,
             attrs: vec![("worker", crate::trace::AttrValue::U64(3))],
         }
+    }
+
+    #[test]
+    fn wait_for_incident_wakes_on_arrival_and_times_out_clean() {
+        let _g = GATE.lock();
+        set_enabled(true);
+        set_output_dir(std::env::temp_dir().join(format!("exdra-rec-wait-{}", std::process::id())));
+        reset();
+        // No match yet: a short wait must time out rather than hang.
+        let t0 = std::time::Instant::now();
+        assert!(
+            wait_for_incident(std::time::Duration::from_millis(30), |i| i.kind == "never")
+                .is_none()
+        );
+        assert!(t0.elapsed() >= std::time::Duration::from_millis(25));
+        // Arrival from another thread wakes the waiter.
+        let waiter = std::thread::spawn(|| {
+            wait_for_incident(std::time::Duration::from_secs(5), |i| i.kind == "wait_kind")
+        });
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        incident("wait_kind", "arrived");
+        let hit = waiter.join().unwrap().expect("waiter saw the incident");
+        assert_eq!(hit.detail, "arrived");
+        set_enabled(false);
+        reset();
     }
 
     #[test]

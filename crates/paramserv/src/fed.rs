@@ -197,6 +197,51 @@ fn quorum_tolerable(e: &RuntimeError) -> bool {
     e.is_transient() || matches!(e, RuntimeError::WorkerDead { .. })
 }
 
+/// Shared stale-synchronous state for the ASP arm: per-partition epoch
+/// progress plus an active mask (a partition that finished, errored, or
+/// dropped out under quorum must stop holding the minimum down).
+/// Uses `std::sync` primitives because the gate needs a condvar.
+struct SspState {
+    /// Epochs completed per partition.
+    progress: Vec<usize>,
+    /// Whether the partition still participates in the staleness minimum.
+    active: Vec<bool>,
+}
+
+impl SspState {
+    /// Minimum completed epoch across active partitions; `None` when no
+    /// partition is active any more (then nothing can be gated on).
+    fn min_active_progress(&self) -> Option<usize> {
+        self.progress
+            .iter()
+            .zip(&self.active)
+            .filter(|&(_, &a)| a)
+            .map(|(&p, _)| p)
+            .min()
+    }
+}
+
+/// Deactivates its partition in the SSP state on drop — every exit path
+/// of a partition thread (finish, error, quorum drop-out, panic) must
+/// wake gated siblings or they would wait on a dead minimum forever.
+struct SspGuard<'a> {
+    ssp: &'a (std::sync::Mutex<SspState>, std::sync::Condvar),
+    slot: usize,
+}
+
+impl Drop for SspGuard<'_> {
+    fn drop(&mut self) {
+        let mut st = self
+            .ssp
+            .0
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        st.active[self.slot] = false;
+        drop(st);
+        self.ssp.1.notify_all();
+    }
+}
+
 /// Trains a network with the federated parameter server over a
 /// row-partitioned federated feature matrix and aligned federated labels.
 ///
@@ -245,6 +290,7 @@ pub fn train_tracked(
     }
     let model = Arc::new(Mutex::new(net.params()));
     let mut skipped_updates = 0usize;
+    let mut max_observed_staleness = 0usize;
     let mut epoch_losses = Vec::with_capacity(cfg.epochs);
     let make_udf = |snapshot: &[DenseMatrix], epoch: usize| Udf::Registered {
         name: PS_EPOCH_UDF.into(),
@@ -374,6 +420,17 @@ pub fn train_tracked(
             let losses = Arc::new(Mutex::new(vec![0.0f64; cfg.epochs]));
             // (skipped contributions, weight of partitions that gave up)
             let dropped = Arc::new(Mutex::new((0usize, 0.0f64)));
+            // Stale-synchronous bookkeeping: progress is always tracked
+            // (so the run reports its realized staleness even unbounded);
+            // the condvar gate only engages when `max_staleness` is set.
+            let ssp = Arc::new((
+                std::sync::Mutex::new(SspState {
+                    progress: vec![0usize; data_ids.len()],
+                    active: vec![true; data_ids.len()],
+                }),
+                std::sync::Condvar::new(),
+            ));
+            let staleness_seen = Arc::new(Mutex::new(0usize));
             let parent = train_span.context();
             std::thread::scope(|scope| -> Result<()> {
                 let mut handles = Vec::new();
@@ -381,6 +438,8 @@ pub fn train_tracked(
                     let model = Arc::clone(&model);
                     let losses = Arc::clone(&losses);
                     let dropped = Arc::clone(&dropped);
+                    let ssp = Arc::clone(&ssp);
+                    let staleness_seen = Arc::clone(&staleness_seen);
                     let weight = weights[i];
                     let ctx = Arc::clone(ctx);
                     handles.push(scope.spawn(move || -> Result<()> {
@@ -388,7 +447,34 @@ pub fn train_tracked(
                         let mut part_span =
                             exdra_obs::span(exdra_obs::SpanKind::ParamServ, "ps.partition");
                         part_span.attr("worker", worker);
+                        let _deactivate = SspGuard { ssp: &ssp, slot: i };
                         for epoch in 0..cfg.epochs {
+                            // SSP gate: block until no active partition is
+                            // more than `max_staleness` epochs behind us,
+                            // recording the lag we actually proceed with.
+                            {
+                                let (lock, cvar) = &*ssp;
+                                let mut st = lock
+                                    .lock()
+                                    .unwrap_or_else(std::sync::PoisonError::into_inner);
+                                if let Some(bound) = cfg.max_staleness {
+                                    while st
+                                        .min_active_progress()
+                                        .is_some_and(|min| epoch > min + bound)
+                                    {
+                                        st = cvar
+                                            .wait(st)
+                                            .unwrap_or_else(std::sync::PoisonError::into_inner);
+                                    }
+                                }
+                                let lag =
+                                    epoch.saturating_sub(st.min_active_progress().unwrap_or(epoch));
+                                drop(st);
+                                let mut seen = staleness_seen.lock();
+                                if lag > *seen {
+                                    *seen = lag;
+                                }
+                            }
                             let snapshot = model.lock().clone();
                             let mut udf = make_udf(&snapshot, epoch);
                             if let Udf::Registered { arg_ids, .. } = &mut udf {
@@ -416,9 +502,16 @@ pub fn train_tracked(
                             };
                             let data = expect_data(&rs[0], worker)?;
                             let (delta, l) = split_epoch_result(&data)?;
-                            let mut m = model.lock();
-                            axpy_model(&mut m, &delta, weight);
+                            {
+                                let mut m = model.lock();
+                                axpy_model(&mut m, &delta, weight);
+                            }
                             losses.lock()[epoch] += weight * l;
+                            let (lock, cvar) = &*ssp;
+                            lock.lock()
+                                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                                .progress[i] = epoch + 1;
+                            cvar.notify_all();
                         }
                         Ok(())
                     }));
@@ -429,6 +522,7 @@ pub fn train_tracked(
                 }
                 Ok(())
             })?;
+            max_observed_staleness = *staleness_seen.lock();
             let (skips, lost_weight) = *dropped.lock();
             skipped_updates = skips;
             if obs_on {
@@ -460,6 +554,7 @@ pub fn train_tracked(
         params,
         epoch_losses,
         skipped_updates,
+        max_observed_staleness,
     })
 }
 
@@ -626,6 +721,58 @@ mod tests {
         trained.set_params(&run.params).unwrap();
         let pred = trained.predict(&x).unwrap();
         assert!(accuracy(&pred, &y).unwrap() > 0.85);
+    }
+
+    #[test]
+    fn asp_bounded_staleness_is_enforced_and_reported() {
+        let (x, y) = synth::multi_class(300, 4, 2, 0.4, 215);
+        let y1h = synth::one_hot(&y, 2);
+        let net = Network::ffn(4, &[10], 2, 216);
+        let (_ctx, workers) = mem_federation(3);
+        let fed = FedMatrix::scatter_rows(&_ctx, &x, PrivacyLevel::Public).unwrap();
+        for bound in [0usize, 1, 2] {
+            let run = train_federated(
+                &fed,
+                &y1h,
+                &workers,
+                &net,
+                &PsConfig {
+                    update_type: UpdateType::Asp,
+                    epochs: 8,
+                    max_staleness: Some(bound),
+                    ..PsConfig::default()
+                },
+                BalanceStrategy::None,
+            )
+            .unwrap();
+            assert!(
+                run.max_observed_staleness <= bound,
+                "bound {bound} violated: observed {}",
+                run.max_observed_staleness
+            );
+            assert_eq!(run.epoch_losses.len(), 8);
+        }
+        // max_staleness = Some(0) is BSP-like lockstep: every epoch slot
+        // still accumulates all three weighted partition losses.
+        let run = train_federated(
+            &fed,
+            &y1h,
+            &workers,
+            &net,
+            &PsConfig {
+                update_type: UpdateType::Asp,
+                epochs: 6,
+                max_staleness: Some(0),
+                ..PsConfig::default()
+            },
+            BalanceStrategy::None,
+        )
+        .unwrap();
+        assert!(run.epoch_losses.iter().all(|l| *l > 0.0));
+        let mut trained = net.clone();
+        trained.set_params(&run.params).unwrap();
+        let pred = trained.predict(&x).unwrap();
+        assert!(exdra_ml::scoring::accuracy(&pred, &y).unwrap() > 0.8);
     }
 
     #[test]

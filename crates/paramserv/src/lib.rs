@@ -80,6 +80,12 @@ pub struct PsConfig {
     pub seed: u64,
     /// Partial-failure tolerance of each synchronization round.
     pub aggregation: AggregationMode,
+    /// Stale-synchronous bound for [`UpdateType::Asp`]: a partition at
+    /// epoch `e` blocks until every active partition has completed at
+    /// least epoch `e - bound`. `None` (the default) is fully
+    /// asynchronous; `Some(0)` degenerates to BSP-like lockstep. Ignored
+    /// under [`UpdateType::Bsp`], whose barrier is already exact.
+    pub max_staleness: Option<usize>,
 }
 
 impl Default for PsConfig {
@@ -94,6 +100,7 @@ impl Default for PsConfig {
             nesterov: true,
             seed: 42,
             aggregation: AggregationMode::Strict,
+            max_staleness: None,
         }
     }
 }

@@ -22,6 +22,12 @@ pub struct PsRun {
     /// Per-partition epoch contributions skipped by quorum aggregation
     /// (always 0 for local runs and strict federated runs).
     pub skipped_updates: usize,
+    /// Largest epoch lag observed between the fastest and slowest active
+    /// partition at any update-apply point. Always 0 for BSP (the barrier
+    /// is exact) and for local runs; under federated ASP it measures the
+    /// realized staleness, which [`crate::PsConfig::max_staleness`]
+    /// mechanically bounds when set.
+    pub max_observed_staleness: usize,
 }
 
 /// One local worker's epoch: run mini-batch SGD from the given snapshot,
@@ -132,6 +138,7 @@ pub fn train(net: &Network, parts: &[(DenseMatrix, DenseMatrix)], cfg: &PsConfig
         params,
         epoch_losses,
         skipped_updates: 0,
+        max_observed_staleness: 0,
     })
 }
 

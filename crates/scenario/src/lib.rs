@@ -1,0 +1,35 @@
+#![warn(missing_docs)]
+//! # exdra-scenario
+//!
+//! Continuous federated learning over streams, and the
+//! adversarial-topology scenario harness that exercises it.
+//!
+//! The paper's system runs exploratory data science *against live,
+//! geo-distributed, failure-prone sites*. This crate closes the loop on
+//! that claim in two layers:
+//!
+//! * [`continuous`] — windowed continuous queries (`exdra-stream`) feed
+//!   federated mini-batch retraining through the parameter server
+//!   (`exdra-paramserv`, BSP and ASP with bounded staleness), every model
+//!   version is tracked in the `ExperimentDb`, and transform-metadata
+//!   drift triggers a two-pass re-encode exactly when a site's data
+//!   escapes its encoded domain.
+//! * [`topology`] / [`runner`] — scenarios declared *as data* (per-site
+//!   link shaping + fault plans, churn schedule, workload, invariants),
+//!   with the four matrix topologies — `hub_and_spoke_wan`,
+//!   `one_straggler`, `site_churn`, `skewed_partitions` — derived
+//!   entirely from one master seed and executed with mechanical
+//!   invariant checking: bitwise model identity against a fault-free
+//!   oracle under BSP, bounded staleness under ASP, and zero failed
+//!   computations through mid-training site churn.
+
+pub mod continuous;
+pub mod runner;
+pub mod topology;
+
+pub use continuous::{
+    label_classes, model_hash, scatter_site_blocks, ContinuousTrainer, RoundMetrics, SitePipeline,
+    TrainerConfig, PIPELINE_NAME,
+};
+pub use runner::{percentile, run_scenario, RoundStat, ScenarioReport};
+pub use topology::{ChurnEvent, Invariant, Scenario, SiteLink, Workload};

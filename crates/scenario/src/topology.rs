@@ -1,0 +1,399 @@
+//! Scenarios as data.
+//!
+//! An adversarial-topology scenario is a *declaration*: per-site link
+//! conditions ([`exdra_net::sim::NetProfile`] shaping plus an optional
+//! [`exdra_fault::FaultPlan`]), a churn schedule, a continuous-learning
+//! workload, and the invariants the run must uphold. The four named
+//! topologies of the scenario matrix — hub-and-spoke WAN, one straggler
+//! site, site churn mid-training, skewed partition sizes — are
+//! constructors over this one type, each deriving every internal seed
+//! (sensor streams, latency jitter, fault schedule, partition skew) from
+//! a single master seed through [`exdra_fault::splitmix64`], so an
+//! entire scenario replays bit-identically from the `(name, master_seed)`
+//! pair recorded in its JSON artifact.
+
+use std::time::Duration;
+
+use exdra_fault::{splitmix64, FaultPlan};
+use exdra_net::sim::NetProfile;
+use exdra_paramserv::UpdateType;
+
+/// Link conditions between the coordinator hub and one site.
+#[derive(Debug, Clone)]
+pub struct SiteLink {
+    /// Latency/bandwidth/jitter shaping; `None` = plain in-process link.
+    pub profile: Option<NetProfile>,
+    /// Injected transport faults; `None` = clean link.
+    pub fault: Option<FaultPlan>,
+}
+
+impl SiteLink {
+    /// An unshaped, fault-free link.
+    pub fn plain() -> Self {
+        Self {
+            profile: None,
+            fault: None,
+        }
+    }
+}
+
+/// One scheduled mid-training site failure: before round `round` trains,
+/// site `site`'s worker process is killed (after the round's data has
+/// been scattered and checkpointed).
+#[derive(Debug, Clone, Copy)]
+pub struct ChurnEvent {
+    /// Round index (0-based) whose training the kill interrupts.
+    pub round: usize,
+    /// Site to kill.
+    pub site: usize,
+}
+
+/// A mechanically checkable promise about a scenario run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Invariant {
+    /// The final model is bitwise identical to the fault-free oracle run
+    /// (same workload, plain links, no churn). Holds for BSP scenarios:
+    /// adversity may cost time but never correctness.
+    BitwiseModelMatch,
+    /// Observed ASP staleness never exceeded the configured bound.
+    BoundedStaleness,
+    /// No round ultimately failed: every computation, including rounds
+    /// interrupted by churn, completed (possibly after recovery + retry).
+    ZeroFailedComputations,
+    /// Distribution drift was detected and the transform metadata
+    /// re-encoded at least once.
+    ReencodeOnDrift,
+}
+
+impl Invariant {
+    /// Stable snake_case name used in reports and JSON artifacts.
+    pub fn name(self) -> &'static str {
+        match self {
+            Invariant::BitwiseModelMatch => "bitwise_model_match",
+            Invariant::BoundedStaleness => "bounded_staleness",
+            Invariant::ZeroFailedComputations => "zero_failed_computations",
+            Invariant::ReencodeOnDrift => "reencode_on_drift",
+        }
+    }
+}
+
+/// The continuous-learning workload a scenario drives.
+#[derive(Debug, Clone)]
+pub struct Workload {
+    /// Number of federated sites (= workers).
+    pub sites: usize,
+    /// Retraining rounds.
+    pub rounds: usize,
+    /// Sensor fields per site (= model input width).
+    pub fields: usize,
+    /// Tumbling-window length in records.
+    pub window: usize,
+    /// Raw sensor records pumped per site per round (index = site);
+    /// unequal entries express partition skew.
+    pub site_records: Vec<usize>,
+    /// Target classes.
+    pub classes: usize,
+    /// Hidden layer width.
+    pub hidden: usize,
+    /// Parameter-server epochs per round.
+    pub epochs_per_round: usize,
+    /// Mini-batch size.
+    pub batch_size: usize,
+    /// BSP or ASP synchronization.
+    pub update_type: UpdateType,
+    /// Stale-synchronous bound under ASP.
+    pub max_staleness: Option<usize>,
+    /// Worst-site drift score that triggers a metadata re-encode.
+    pub drift_threshold: f64,
+    /// Optional sensor recalibration: from round `.0` on, every feature
+    /// is offset by `.1` — a deterministic regime change that must drive
+    /// the drift detector over its threshold.
+    pub drift_shift: Option<(usize, f64)>,
+}
+
+/// A fully declared scenario: topology + fault schedule + workload +
+/// invariants, all derived from one master seed.
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    /// Scenario name (one of the four matrix topologies, or custom).
+    pub name: String,
+    /// The single seed every internal RNG stream is derived from.
+    pub master_seed: u64,
+    /// Per-site link conditions (index = site).
+    pub links: Vec<SiteLink>,
+    /// Scheduled mid-training site kills.
+    pub churn: Vec<ChurnEvent>,
+    /// The continuous-learning workload.
+    pub workload: Workload,
+    /// Invariants asserted after the run.
+    pub invariants: Vec<Invariant>,
+}
+
+/// Salts for the per-purpose sub-seed streams, so adding a consumer
+/// never perturbs the draws of another.
+mod salt {
+    pub const SENSOR: u64 = 0x5e25;
+    pub const JITTER: u64 = 0x717e;
+    pub const FAULT: u64 = 0xfa17;
+    pub const SKEW: u64 = 0x5e3b;
+    pub const TRAIN: u64 = 0x7a13;
+}
+
+impl Scenario {
+    /// Derives the deterministic sub-seed for (`salt`, `index`) from the
+    /// master seed — the only seed-derivation path in the harness.
+    pub fn sub_seed(&self, salt: u64, index: u64) -> u64 {
+        derive(self.master_seed, salt, index)
+    }
+
+    /// Sensor-stream seed for one site.
+    pub fn sensor_seed(&self, site: usize) -> u64 {
+        self.sub_seed(salt::SENSOR, site as u64)
+    }
+
+    /// Training seed (model init + shuffles).
+    pub fn train_seed(&self) -> u64 {
+        self.sub_seed(salt::TRAIN, 0)
+    }
+
+    /// The fault-free oracle of this scenario: identical workload and
+    /// seeds, but plain links and no churn. BSP scenarios must reach the
+    /// bitwise-identical final model.
+    pub fn stripped(&self) -> Scenario {
+        Scenario {
+            name: format!("{}-oracle", self.name),
+            links: self.links.iter().map(|_| SiteLink::plain()).collect(),
+            churn: Vec::new(),
+            invariants: Vec::new(),
+            ..self.clone()
+        }
+    }
+
+    /// All four matrix topologies at the given scale.
+    pub fn matrix(master_seed: u64, scale: f64) -> Vec<Scenario> {
+        vec![
+            Scenario::hub_and_spoke_wan(master_seed, scale),
+            Scenario::one_straggler(master_seed, scale),
+            Scenario::site_churn(master_seed, scale),
+            Scenario::skewed_partitions(master_seed, scale),
+        ]
+    }
+
+    /// Hub-and-spoke WAN: every site sits behind a scaled-down version of
+    /// the paper's measured WAN profile with ±25% seeded latency jitter;
+    /// mid-run a sensor recalibration forces a metadata re-encode. BSP
+    /// over shaped links must still match the oracle bitwise.
+    pub fn hub_and_spoke_wan(master_seed: u64, scale: f64) -> Scenario {
+        let mut sc = Scenario {
+            name: "hub_and_spoke_wan".into(),
+            master_seed,
+            links: Vec::new(),
+            churn: Vec::new(),
+            workload: base_workload(3, scale),
+            invariants: vec![
+                Invariant::BitwiseModelMatch,
+                Invariant::ZeroFailedComputations,
+                Invariant::ReencodeOnDrift,
+            ],
+        };
+        sc.workload.drift_shift = Some((sc.workload.rounds / 2, 2.0));
+        sc.links = (0..sc.workload.sites)
+            .map(|site| SiteLink {
+                profile: Some(
+                    NetProfile::wan()
+                        .scaled((0.2 * scale).clamp(0.02, 0.5))
+                        .with_jitter(0.25, derive(master_seed, salt::JITTER, site as u64)),
+                ),
+                fault: None,
+            })
+            .collect();
+        sc
+    }
+
+    /// One straggler site: ASP training with a bounded-staleness gate
+    /// while site 0's link delays every message; fast sites may run
+    /// ahead, but never beyond the staleness bound.
+    pub fn one_straggler(master_seed: u64, scale: f64) -> Scenario {
+        let mut sc = Scenario {
+            name: "one_straggler".into(),
+            master_seed,
+            links: Vec::new(),
+            churn: Vec::new(),
+            workload: base_workload(3, scale),
+            invariants: vec![
+                Invariant::BoundedStaleness,
+                Invariant::ZeroFailedComputations,
+            ],
+        };
+        sc.workload.update_type = UpdateType::Asp;
+        sc.workload.max_staleness = Some(1);
+        let delay_ms = ((25.0 * scale) as u64).max(4);
+        sc.links = (0..sc.workload.sites)
+            .map(|site| SiteLink {
+                profile: None,
+                fault: (site == 0).then(|| {
+                    FaultPlan::none(derive(master_seed, salt::FAULT, site as u64))
+                        .with_delay(1.0, Duration::from_millis(delay_ms))
+                }),
+            })
+            .collect();
+        sc
+    }
+
+    /// Site churn mid-training: one site's worker process is killed after
+    /// the round's data is scattered and checkpointed; the supervisor
+    /// must recover it onto a replacement worker and the retried round
+    /// must leave the final model bitwise identical to the oracle, with
+    /// zero ultimately-failed computations.
+    pub fn site_churn(master_seed: u64, scale: f64) -> Scenario {
+        let workload = base_workload(3, scale);
+        let churn = vec![ChurnEvent {
+            round: workload.rounds / 2,
+            site: 1,
+        }];
+        Scenario {
+            name: "site_churn".into(),
+            master_seed,
+            links: (0..workload.sites).map(|_| SiteLink::plain()).collect(),
+            churn,
+            workload,
+            invariants: vec![
+                Invariant::BitwiseModelMatch,
+                Invariant::ZeroFailedComputations,
+            ],
+        }
+    }
+
+    /// Skewed partition sizes: per-site record volumes drawn from the
+    /// seeded skew stream span roughly a 4x spread, so aggregation
+    /// weights and batch counts diverge across sites. The run must be
+    /// reproducible bitwise from its seed.
+    pub fn skewed_partitions(master_seed: u64, scale: f64) -> Scenario {
+        let mut workload = base_workload(4, scale);
+        let base = workload.site_records[0];
+        workload.site_records = (0..workload.sites)
+            .map(|site| {
+                let draw = derive(master_seed, salt::SKEW, site as u64);
+                // Fraction in [0.25, 1.0]: smallest site ~4x smaller.
+                let frac = 0.25 + 0.75 * (draw >> 11) as f64 / (1u64 << 53) as f64;
+                round_to_window(((base as f64) * frac) as usize, workload.window)
+            })
+            .collect();
+        Scenario {
+            name: "skewed_partitions".into(),
+            master_seed,
+            links: (0..workload.sites).map(|_| SiteLink::plain()).collect(),
+            churn: Vec::new(),
+            workload,
+            invariants: vec![
+                Invariant::BitwiseModelMatch,
+                Invariant::ZeroFailedComputations,
+            ],
+        }
+    }
+}
+
+/// One splitmix64 draw keyed by `(master, salt, index)`.
+fn derive(master: u64, salt: u64, index: u64) -> u64 {
+    let mut state = master
+        .wrapping_add(salt.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+        .wrapping_add(index.wrapping_mul(0xD1B5_4A32_D192_ED03));
+    splitmix64(&mut state)
+}
+
+/// Rounds `records` down to a positive multiple of the window size (at
+/// least four windows, so every site emits a usable mini-batch).
+fn round_to_window(records: usize, window: usize) -> usize {
+    let min = window * 4;
+    (records / window * window).max(min)
+}
+
+/// The shared baseline workload; `scale` in (0, 1] shrinks per-round
+/// record volume for smoke runs.
+fn base_workload(sites: usize, scale: f64) -> Workload {
+    let window = 5;
+    let records = round_to_window((150.0 * scale.clamp(0.05, 4.0)) as usize, window);
+    Workload {
+        sites,
+        rounds: 6,
+        fields: 4,
+        window,
+        site_records: vec![records; sites],
+        classes: 2,
+        hidden: 8,
+        epochs_per_round: 2,
+        batch_size: 16,
+        update_type: UpdateType::Bsp,
+        max_staleness: None,
+        drift_threshold: 0.4,
+        drift_shift: None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matrix_declares_four_named_seeded_topologies() {
+        let m = Scenario::matrix(7, 1.0);
+        let names: Vec<&str> = m.iter().map(|s| s.name.as_str()).collect();
+        assert_eq!(
+            names,
+            [
+                "hub_and_spoke_wan",
+                "one_straggler",
+                "site_churn",
+                "skewed_partitions"
+            ]
+        );
+        for sc in &m {
+            assert_eq!(sc.master_seed, 7);
+            assert_eq!(sc.links.len(), sc.workload.sites);
+            assert_eq!(sc.workload.site_records.len(), sc.workload.sites);
+            assert!(sc
+                .workload
+                .site_records
+                .iter()
+                .all(|r| *r >= sc.workload.window * 4 && r % sc.workload.window == 0));
+        }
+    }
+
+    #[test]
+    fn sub_seeds_are_deterministic_and_distinct() {
+        let a = Scenario::site_churn(42, 1.0);
+        let b = Scenario::site_churn(42, 1.0);
+        assert_eq!(a.sensor_seed(0), b.sensor_seed(0));
+        assert_eq!(a.train_seed(), b.train_seed());
+        assert_ne!(a.sensor_seed(0), a.sensor_seed(1));
+        assert_ne!(a.sensor_seed(0), a.train_seed());
+        let c = Scenario::site_churn(43, 1.0);
+        assert_ne!(a.sensor_seed(0), c.sensor_seed(0));
+    }
+
+    #[test]
+    fn skew_spreads_partition_sizes() {
+        let sc = Scenario::skewed_partitions(11, 1.0);
+        let min = sc.workload.site_records.iter().min().unwrap();
+        let max = sc.workload.site_records.iter().max().unwrap();
+        assert!(
+            max > min,
+            "skew produced equal sites: {:?}",
+            sc.workload.site_records
+        );
+    }
+
+    #[test]
+    fn stripped_oracle_removes_adversity_only() {
+        let sc = Scenario::hub_and_spoke_wan(3, 1.0);
+        let oracle = sc.stripped();
+        assert!(oracle
+            .links
+            .iter()
+            .all(|l| l.profile.is_none() && l.fault.is_none()));
+        assert!(oracle.churn.is_empty());
+        assert_eq!(oracle.master_seed, sc.master_seed);
+        assert_eq!(oracle.workload.site_records, sc.workload.site_records);
+        assert_eq!(oracle.sensor_seed(2), sc.sensor_seed(2));
+    }
+}

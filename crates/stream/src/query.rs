@@ -115,6 +115,33 @@ impl Query {
         &self.name
     }
 
+    /// The operator pipeline.
+    pub fn operators(&self) -> &[Operator] {
+        &self.operators
+    }
+
+    /// Clears all stateful operator state (partially filled window
+    /// buffers), so the query can be reused across bounded runs without
+    /// records from one run leaking into the next window of the other.
+    pub fn reset(&mut self) {
+        for state in &mut self.state {
+            if let OpState::Window { buffer } = state {
+                buffer.clear();
+            }
+        }
+    }
+
+    /// Records currently buffered in partially filled windows.
+    pub fn pending_window_records(&self) -> usize {
+        self.state
+            .iter()
+            .map(|s| match s {
+                OpState::Window { buffer } => buffer.len(),
+                OpState::Stateless => 0,
+            })
+            .sum()
+    }
+
     /// Output schema given the input schema.
     pub fn output_schema(&self, input: &Schema) -> Schema {
         let mut fields = input.fields.clone();
@@ -277,6 +304,45 @@ mod tests {
         // Records 1.0 and 3.0 fill the first window (the -5 was dropped).
         assert_eq!(outs.len(), 1);
         assert_eq!(outs[0].values[0], 3.0);
+    }
+
+    #[test]
+    fn reset_discards_partial_windows() {
+        let mut q = Query::new(
+            "r",
+            vec![Operator::TumblingWindow {
+                size: 3,
+                agg: WindowAgg::Sum,
+            }],
+        );
+        assert!(q.process(rec(0, &[1.0])).is_empty());
+        assert!(q.process(rec(1, &[2.0])).is_empty());
+        assert_eq!(q.pending_window_records(), 2);
+        q.reset();
+        assert_eq!(q.pending_window_records(), 0);
+        // The two pre-reset records must not contaminate the next window.
+        assert!(q.process(rec(2, &[10.0])).is_empty());
+        assert!(q.process(rec(3, &[20.0])).is_empty());
+        let out = q.process(rec(4, &[30.0]));
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].values[0], 60.0);
+    }
+
+    #[test]
+    fn window_min_and_sum_aggregate_per_field() {
+        for (agg, expect) in [
+            (WindowAgg::Min, vec![1.0, -2.0]),
+            (WindowAgg::Sum, vec![4.0, 3.0]),
+            (WindowAgg::Max, vec![3.0, 5.0]),
+            (WindowAgg::Mean, vec![2.0, 1.5]),
+        ] {
+            let mut q = Query::new("agg", vec![Operator::TumblingWindow { size: 2, agg }]);
+            assert!(q.process(rec(0, &[1.0, 5.0])).is_empty());
+            let out = q.process(rec(1, &[3.0, -2.0]));
+            assert_eq!(out.len(), 1, "{agg:?}");
+            assert_eq!(out[0].values, expect, "{agg:?}");
+            assert_eq!(out[0].timestamp, 1);
+        }
     }
 
     #[test]

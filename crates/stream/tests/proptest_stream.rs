@@ -1,0 +1,145 @@
+//! Property tests pinning the streaming operators to batch oracles.
+//!
+//! A tumbling window over a record stream must equal the obvious batch
+//! computation: chunk the input into consecutive full windows and fold
+//! each chunk per field. The full Filter → Project → TumblingWindow
+//! pipeline must likewise equal filter-then-map-then-chunk over the
+//! whole batch, and `Query::reset` must make a reused query behave as if
+//! freshly built.
+
+use exdra_stream::query::{Cmp, Operator, Query, WindowAgg};
+use exdra_stream::record::Record;
+use proptest::prelude::*;
+
+fn agg_strategy() -> impl Strategy<Value = WindowAgg> {
+    prop_oneof![
+        Just(WindowAgg::Mean),
+        Just(WindowAgg::Min),
+        Just(WindowAgg::Max),
+        Just(WindowAgg::Sum),
+    ]
+}
+
+/// Batch oracle: aggregate one full window of rows per field.
+fn batch_window(rows: &[Vec<f64>], agg: WindowAgg) -> Vec<f64> {
+    let arity = rows[0].len();
+    (0..arity)
+        .map(|f| {
+            let col: Vec<f64> = rows.iter().map(|r| r[f]).collect();
+            match agg {
+                WindowAgg::Sum => col.iter().sum(),
+                WindowAgg::Mean => col.iter().sum::<f64>() / col.len() as f64,
+                WindowAgg::Min => col.iter().cloned().fold(f64::INFINITY, f64::min),
+                WindowAgg::Max => col.iter().cloned().fold(f64::NEG_INFINITY, f64::max),
+            }
+        })
+        .collect()
+}
+
+fn stream_through(q: &mut Query, rows: &[Vec<f64>]) -> Vec<Record> {
+    let mut out = Vec::new();
+    for (t, vals) in rows.iter().enumerate() {
+        out.extend(q.process(Record::new(t as u64, vals.clone())));
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Tumbling-window aggregation over a stream equals chunked batch
+    /// aggregation, bitwise, for every aggregate function. Trailing
+    /// records that never fill a window produce nothing.
+    #[test]
+    fn tumbling_window_matches_batch_oracle(
+        rows in proptest::collection::vec(
+            proptest::collection::vec(-1e3f64..1e3, 3), 0..40),
+        size in 1usize..6,
+        agg in agg_strategy(),
+    ) {
+        let mut q = Query::new("w", vec![Operator::TumblingWindow { size, agg }]);
+        let streamed = stream_through(&mut q, &rows);
+        let expected: Vec<Vec<f64>> = rows
+            .chunks_exact(size)
+            .map(|chunk| batch_window(chunk, agg))
+            .collect();
+        prop_assert_eq!(streamed.len(), expected.len());
+        for (got, want) in streamed.iter().zip(&expected) {
+            for (g, w) in got.values.iter().zip(want) {
+                prop_assert_eq!(g.to_bits(), w.to_bits(), "agg {:?}", agg);
+            }
+        }
+        // Timestamp of each aggregate = last record of its window.
+        for (i, got) in streamed.iter().enumerate() {
+            prop_assert_eq!(got.timestamp, ((i + 1) * size - 1) as u64);
+        }
+        prop_assert_eq!(q.pending_window_records(), rows.len() % size);
+    }
+
+    /// The composed Filter → Project → TumblingWindow pipeline equals the
+    /// batch pipeline: keep rows passing the predicate, transform them,
+    /// then window the survivors in arrival order.
+    #[test]
+    fn filter_project_window_pipeline_matches_batch(
+        rows in proptest::collection::vec(
+            proptest::collection::vec(-10f64..10.0, 2), 0..60),
+        threshold in -5f64..5.0,
+        size in 1usize..5,
+        agg in agg_strategy(),
+    ) {
+        let mut q = Query::new(
+            "pipeline",
+            vec![
+                Operator::Filter { field: 0, cmp: Cmp::Ge, value: threshold },
+                Operator::Project {
+                    fields: vec![1, 0],
+                    scale: vec![2.0, 1.0],
+                    offset: vec![0.5, 0.0],
+                },
+                Operator::TumblingWindow { size, agg },
+            ],
+        );
+        let streamed = stream_through(&mut q, &rows);
+        let survivors: Vec<Vec<f64>> = rows
+            .iter()
+            .filter(|r| r[0] >= threshold)
+            .map(|r| vec![r[1] * 2.0 + 0.5, r[0]])
+            .collect();
+        let expected: Vec<Vec<f64>> = survivors
+            .chunks_exact(size)
+            .map(|chunk| batch_window(chunk, agg))
+            .collect();
+        prop_assert_eq!(streamed.len(), expected.len());
+        for (got, want) in streamed.iter().zip(&expected) {
+            for (g, w) in got.values.iter().zip(want) {
+                prop_assert_eq!(g.to_bits(), w.to_bits());
+            }
+        }
+    }
+
+    /// `Query::reset` restores fresh-query behavior: run a prefix, reset,
+    /// then the second batch's outputs are exactly a fresh query's.
+    #[test]
+    fn reset_equals_fresh_query(
+        first in proptest::collection::vec(
+            proptest::collection::vec(-1e2f64..1e2, 2), 0..20),
+        second in proptest::collection::vec(
+            proptest::collection::vec(-1e2f64..1e2, 2), 0..20),
+        size in 1usize..5,
+        agg in agg_strategy(),
+    ) {
+        let ops = vec![Operator::TumblingWindow { size, agg }];
+        let mut reused = Query::new("reused", ops.clone());
+        let _ = stream_through(&mut reused, &first);
+        reused.reset();
+        let after_reset = stream_through(&mut reused, &second);
+        let mut fresh = Query::new("fresh", ops);
+        let fresh_out = stream_through(&mut fresh, &second);
+        prop_assert_eq!(after_reset.len(), fresh_out.len());
+        for (a, b) in after_reset.iter().zip(&fresh_out) {
+            for (x, y) in a.values.iter().zip(&b.values) {
+                prop_assert_eq!(x.to_bits(), y.to_bits());
+            }
+        }
+    }
+}

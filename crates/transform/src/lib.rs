@@ -15,10 +15,12 @@
 //! runtime (`exdra-core`) orchestrates over its six request types.
 
 pub mod bloom;
+pub mod drift;
 pub mod encoders;
 pub mod hashing;
 pub mod impute;
 
+pub use drift::{column_drift, drift_score, max_drift};
 pub use encoders::{
     apply, build_partial, decode, merge_partials, transform_encode, ColumnMeta, ColumnSpec,
     EncodeKind, PartialMeta, TransformMeta, TransformSpec,

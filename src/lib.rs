@@ -23,6 +23,7 @@ pub use exdra_ml as ml;
 pub use exdra_net as net;
 pub use exdra_obs as obs;
 pub use exdra_paramserv as paramserv;
+pub use exdra_scenario as scenario;
 pub use exdra_stream as stream;
 pub use exdra_transform as transform;
 

@@ -223,18 +223,15 @@ fn eight_concurrent_sessions_match_serial_isolated_runs() {
     // Phase 2 gate: wait until the victim's namespace is reaped on every
     // worker, then release the survivors.
     let mut victim_ns = 0;
-    for _ in 0..300 {
+    service.supervisor().wait_until(Duration::from_secs(5), || {
         victim_ns = (1..=N_SESSIONS as u64)
             .find(|ns| {
                 (0..N_WORKERS).all(|w| fleet.worker(w).table().namespace_len(*ns) == 0)
                     && (0..N_WORKERS).any(|w| !fleet.worker(w).table().is_empty())
             })
             .unwrap_or(0);
-        if victim_ns != 0 {
-            break;
-        }
-        std::thread::sleep(Duration::from_millis(10));
-    }
+        victim_ns != 0
+    });
     // The victim thread returns its namespace; cross-check below.
     let survivors: Vec<u64> = (1..=N_SESSIONS as u64)
         .filter(|ns| *ns != victim_ns)
@@ -264,14 +261,10 @@ fn eight_concurrent_sessions_match_serial_isolated_runs() {
                     && !entries.iter().any(|e| e.id >> NS_SHIFT == victim_ns)
             })
     };
-    for _ in 0..300 {
-        if checkpoint_settled() {
-            break;
-        }
-        std::thread::sleep(Duration::from_millis(10));
-    }
     assert!(
-        checkpoint_settled(),
+        service
+            .supervisor()
+            .wait_until(Duration::from_secs(5), checkpoint_settled),
         "background checkpoint of worker 0 covers all survivors and no victim state"
     );
     let doomed = fleet.worker(0);
@@ -367,19 +360,13 @@ fn tcp_attach_rejection_and_namespace_isolation() {
 
     // Killing the socket (drop without detach) reaps the namespace.
     drop(s1);
-    for _ in 0..300 {
-        let held: usize = (0..N_WORKERS)
+    let reaped = service.supervisor().wait_until(Duration::from_secs(5), || {
+        (0..N_WORKERS)
             .map(|w| fleet.worker(w).table().namespace_len(ns1))
-            .sum();
-        if held == 0 {
-            break;
-        }
-        std::thread::sleep(Duration::from_millis(10));
-    }
-    let held: usize = (0..N_WORKERS)
-        .map(|w| fleet.worker(w).table().namespace_len(ns1))
-        .sum();
-    assert_eq!(held, 0, "abnormal disconnect reaps the namespace");
+            .sum::<usize>()
+            == 0
+    });
+    assert!(reaped, "abnormal disconnect reaps the namespace");
     // The other session is unaffected.
     let (a2b, _) = session_plans(&s2, 200);
     assert_eq!(a2b.values(), e2.values());
@@ -433,13 +420,12 @@ fn tcp_attach_survives_worker_kill_via_server_side_recovery() {
             .snapshot(0)
             .is_some_and(|entries| entries.iter().any(|e| e.id >> NS_SHIFT == ns))
     };
-    for _ in 0..300 {
-        if checkpointed() {
-            break;
-        }
-        std::thread::sleep(Duration::from_millis(10));
-    }
-    assert!(checkpointed(), "checkpoint covers the attached namespace");
+    assert!(
+        service
+            .supervisor()
+            .wait_until(Duration::from_secs(5), checkpointed),
+        "checkpoint covers the attached namespace"
+    );
     let doomed = fleet.worker(0);
     fleet.replace(0);
     doomed.shutdown();
@@ -548,13 +534,12 @@ fn tcp_worker_kill_dumps_incident_bundle() {
             .snapshot(1)
             .is_some_and(|entries| entries.iter().any(|e| e.id >> NS_SHIFT == ns))
     };
-    for _ in 0..300 {
-        if checkpointed() {
-            break;
-        }
-        std::thread::sleep(Duration::from_millis(10));
-    }
-    assert!(checkpointed(), "checkpoint covers the tenant namespace");
+    assert!(
+        service
+            .supervisor()
+            .wait_until(Duration::from_secs(5), checkpointed),
+        "checkpoint covers the tenant namespace"
+    );
     let (doomed, _old_addr) = {
         let fresh = Worker::new(WorkerConfig::default());
         let addr = fresh.serve_tcp("127.0.0.1:0").expect("serve tcp");
@@ -571,23 +556,12 @@ fn tcp_worker_kill_dumps_incident_bundle() {
     let again = sds.compute(&fed.tsmm().expect("plan")).expect("recompute");
     assert_eq!(before.values(), again.values());
 
-    // The recorder dumped a worker_death bundle for worker 1.
-    let find = || {
-        exdra::obs::recorder::recent_incidents()
-            .into_iter()
-            .find(|i| {
-                i.kind == "worker_death" && i.detail.contains("worker 1") && !i.path.is_empty()
-            })
-    };
-    let mut found = None;
-    for _ in 0..500 {
-        if let Some(i) = find() {
-            found = Some(i);
-            break;
-        }
-        std::thread::sleep(Duration::from_millis(10));
-    }
-    let inc = found.expect("worker_death incident dumped a bundle");
+    // The recorder dumped a worker_death bundle for worker 1 — block on
+    // the incident-ring signal instead of polling wall clock.
+    let inc = exdra::obs::recorder::wait_for_incident(Duration::from_secs(5), |i| {
+        i.kind == "worker_death" && i.detail.contains("worker 1") && !i.path.is_empty()
+    })
+    .expect("worker_death incident dumped a bundle");
     assert!(
         std::path::Path::new(&inc.path).starts_with(&dir),
         "bundle landed in the configured directory: {}",

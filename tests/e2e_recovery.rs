@@ -67,16 +67,12 @@ fn tcp_worker_killed_mid_run_recovers_from_checkpoint() {
     let plan = fed.tsmm().unwrap();
     let expected = sds.compute(&plan).unwrap();
 
-    // Wait for a background checkpoint of the scattered partitions.
+    // Wait for a background checkpoint of the scattered partitions —
+    // sweep-gated barrier, not a wall-clock poll, so the test holds up
+    // under load.
     let sup = sds.supervisor().unwrap();
-    for _ in 0..200 {
-        if sup.checkpoint_store().has(0) {
-            break;
-        }
-        std::thread::sleep(Duration::from_millis(10));
-    }
     assert!(
-        sup.checkpoint_store().has(0),
+        sup.wait_until(Duration::from_secs(5), || sup.checkpoint_store().has(0)),
         "background checkpoint landed"
     );
 
